@@ -1,0 +1,297 @@
+//! The multi-port Arbiter: cascaded 1-port Arbiters (Fig. 4(a)).
+//!
+//! `p` priority encoders are chained: each stage receives the previous
+//! stage's masked request vector `R'` and produces one more one-hot grant,
+//! so up to `p` grant vectors are generated within a single clock cycle.
+//! The grants drive the inference wordlines RWL0–RWL3 of the SRAM array.
+
+use esam_bits::BitVec;
+use esam_tech::calibration::fitted;
+use esam_tech::units::{AreaUm2, Joules, Seconds};
+
+use crate::encoder::{EncoderStructure, PriorityEncoder};
+use crate::error::ArbiterError;
+
+/// Result of one arbitration cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grants {
+    /// Granted request indices in priority order (at most `ports` entries).
+    granted: Vec<usize>,
+    /// Requests still pending after this cycle.
+    remaining: BitVec,
+}
+
+impl Grants {
+    /// Assembles a grant result (used by the arbiter implementations).
+    pub(crate) fn from_parts(granted: Vec<usize>, remaining: BitVec) -> Self {
+        Self { granted, remaining }
+    }
+
+    /// Granted request indices, leftmost-first.
+    pub fn granted(&self) -> &[usize] {
+        &self.granted
+    }
+
+    /// Requests not served this cycle (`R` minus all grants).
+    pub fn remaining(&self) -> &BitVec {
+        &self.remaining
+    }
+
+    /// Number of grants issued.
+    pub fn count(&self) -> usize {
+        self.granted.len()
+    }
+
+    /// The paper's `R_empty` signal: no requests remain pending, so the
+    /// neurons may evaluate their thresholds (§3.4).
+    pub fn all_served(&self) -> bool {
+        !self.remaining.any()
+    }
+}
+
+/// A `p`-port arbiter over `width` request lines.
+///
+/// # Examples
+///
+/// ```
+/// use esam_arbiter::MultiPortArbiter;
+/// use esam_bits::BitVec;
+///
+/// // The paper's 128-wide, 4-port tree arbiter.
+/// let arbiter = MultiPortArbiter::paper_default();
+/// let r = BitVec::from_indices(128, &[5, 17, 80, 81, 99]);
+/// let grants = arbiter.arbitrate(&r);
+/// assert_eq!(grants.granted(), &[5, 17, 80, 81]);
+/// assert_eq!(grants.remaining().iter_ones().collect::<Vec<_>>(), vec![99]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiPortArbiter {
+    encoder: PriorityEncoder,
+    ports: usize,
+}
+
+impl MultiPortArbiter {
+    /// Creates an arbiter with `ports` cascaded encoders of the given
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArbiterError::ZeroPorts`] for `ports == 0`, or any encoder
+    /// construction error.
+    pub fn new(
+        width: usize,
+        ports: usize,
+        structure: EncoderStructure,
+    ) -> Result<Self, ArbiterError> {
+        if ports == 0 {
+            return Err(ArbiterError::ZeroPorts);
+        }
+        Ok(Self {
+            encoder: PriorityEncoder::new(width, structure)?,
+            ports,
+        })
+    }
+
+    /// The paper's production configuration: 128 wide, 4 ports, tree
+    /// structure with 16-request base encoders (§3.3).
+    pub fn paper_default() -> Self {
+        Self::new(128, 4, EncoderStructure::Tree { base_width: 16 })
+            .expect("the paper's arbiter configuration is valid")
+    }
+
+    /// Request width.
+    pub fn width(&self) -> usize {
+        self.encoder.width()
+    }
+
+    /// Number of ports (grants per cycle).
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The underlying 1-port encoder.
+    pub fn encoder(&self) -> &PriorityEncoder {
+        &self.encoder
+    }
+
+    /// Serves up to `ports` requests from `requests` in one clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vector width does not match the arbiter width.
+    pub fn arbitrate(&self, requests: &BitVec) -> Grants {
+        let mut granted = Vec::with_capacity(self.ports);
+        let mut pending = requests.clone();
+        for _ in 0..self.ports {
+            let result = self.encoder.encode(&pending);
+            match result.grant {
+                Some(index) => {
+                    granted.push(index);
+                    pending = result.masked;
+                }
+                None => break,
+            }
+        }
+        Grants {
+            granted,
+            remaining: pending,
+        }
+    }
+
+    /// Critical path of one arbitration cycle: the first encoder pass plus
+    /// the per-port cascade increment for each additional port.
+    pub fn critical_path(&self) -> Seconds {
+        self.encoder.critical_path()
+            + self.encoder.cascade_increment() * (self.ports - 1) as f64
+    }
+
+    /// Pipeline-stage duration: critical path plus register overhead and the
+    /// synthesis slack margin — the quantity Table 2 reports.
+    pub fn stage_time(&self) -> Seconds {
+        (self.critical_path() + Seconds::new(fitted::ARBITER_REGISTER_OVERHEAD))
+            * (1.0 + fitted::STAGE_SLACK_FRACTION)
+    }
+
+    /// Total silicon area (all cascaded encoders plus masking glue).
+    pub fn area(&self) -> AreaUm2 {
+        self.encoder.area() * self.ports as f64
+    }
+
+    /// Dynamic energy of one arbitration cycle issuing `grants` grants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grants` exceeds the port count.
+    pub fn cycle_energy(&self, grants: usize) -> Joules {
+        assert!(
+            grants <= self.ports,
+            "cannot issue {grants} grants on a {}-port arbiter",
+            self.ports
+        );
+        Joules::new(fitted::ARBITER_ENERGY_PER_CYCLE)
+            + Joules::new(fitted::ARBITER_ENERGY_PER_GRANT) * grants as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat4() -> MultiPortArbiter {
+        MultiPortArbiter::new(128, 4, EncoderStructure::Flat).unwrap()
+    }
+
+    #[test]
+    fn serves_up_to_p_spikes_in_priority_order() {
+        let arbiter = MultiPortArbiter::paper_default();
+        let r = BitVec::from_indices(128, &[127, 0, 64, 32, 96]);
+        let grants = arbiter.arbitrate(&r);
+        assert_eq!(grants.granted(), &[0, 32, 64, 96]);
+        assert_eq!(grants.count(), 4);
+        assert!(!grants.all_served());
+        assert_eq!(grants.remaining().iter_ones().collect::<Vec<_>>(), vec![127]);
+    }
+
+    #[test]
+    fn underfull_requests_drain_completely() {
+        let arbiter = MultiPortArbiter::paper_default();
+        let r = BitVec::from_indices(128, &[3, 77]);
+        let grants = arbiter.arbitrate(&r);
+        assert_eq!(grants.granted(), &[3, 77]);
+        assert!(grants.all_served(), "R_empty must assert once all spikes served");
+    }
+
+    #[test]
+    fn empty_request_vector_grants_nothing() {
+        let grants = MultiPortArbiter::paper_default().arbitrate(&BitVec::new(128));
+        assert_eq!(grants.count(), 0);
+        assert!(grants.all_served());
+    }
+
+    #[test]
+    fn repeated_arbitration_drains_any_request_set() {
+        let arbiter = MultiPortArbiter::paper_default();
+        let mut pending = BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>());
+        let total = pending.count_ones();
+        let mut served = 0;
+        let mut cycles = 0;
+        while pending.any() {
+            let grants = arbiter.arbitrate(&pending);
+            served += grants.count();
+            pending = grants.remaining().clone();
+            cycles += 1;
+            assert!(cycles <= 128, "arbitration must terminate");
+        }
+        assert_eq!(served, total);
+        assert_eq!(cycles, total.div_ceil(4));
+    }
+
+    #[test]
+    fn paper_timing_inequalities_hold() {
+        use esam_tech::calibration::paper;
+        let flat = flat4();
+        let tree = MultiPortArbiter::paper_default();
+        assert!(
+            flat.critical_path().ps() > paper::ARBITER_FLAT_CRITICAL_PS,
+            "flat 128x4 path {} must exceed 1100 ps",
+            flat.critical_path()
+        );
+        assert!(
+            tree.critical_path().ps() < paper::ARBITER_TREE_CRITICAL_PS,
+            "tree 128x4 path {} must be below 800 ps",
+            tree.critical_path()
+        );
+    }
+
+    #[test]
+    fn tree_area_overhead_is_about_8_percent() {
+        let flat = flat4();
+        let tree = MultiPortArbiter::paper_default();
+        let overhead = tree.area() / flat.area() - 1.0;
+        assert!(
+            (overhead - 0.08).abs() < 0.01,
+            "tree area overhead {overhead:.4} should be ≈ 8 % (§3.3)"
+        );
+    }
+
+    #[test]
+    fn stage_time_matches_table2_class() {
+        let stage = MultiPortArbiter::paper_default().stage_time();
+        assert!(
+            stage.ns() > 0.9 && stage.ns() < 1.1,
+            "arbiter stage {stage} should be ≈ 1.01 ns (Table 2)"
+        );
+    }
+
+    #[test]
+    fn critical_path_is_port_count_sensitive_but_mildly() {
+        // Table 2: the arbiter stage barely moves across cell kinds; the
+        // same 128-wide 4-port arbiter is used for every design.
+        let one = MultiPortArbiter::new(128, 1, EncoderStructure::Tree { base_width: 16 })
+            .unwrap()
+            .critical_path();
+        let four = MultiPortArbiter::paper_default().critical_path();
+        assert!(four > one);
+        assert!(four.ps() - one.ps() < 600.0);
+    }
+
+    #[test]
+    fn cycle_energy_scales_with_grants() {
+        let arbiter = MultiPortArbiter::paper_default();
+        assert!(arbiter.cycle_energy(4) > arbiter.cycle_energy(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot issue")]
+    fn too_many_grants_panics() {
+        MultiPortArbiter::paper_default().cycle_energy(5);
+    }
+
+    #[test]
+    fn zero_ports_rejected() {
+        assert!(matches!(
+            MultiPortArbiter::new(128, 0, EncoderStructure::Flat),
+            Err(ArbiterError::ZeroPorts)
+        ));
+    }
+}

@@ -1,0 +1,268 @@
+//! The 1-port Arbiter: a fixed-priority encoder (Fig. 4(b)/(c)).
+//!
+//! The encoder scans the request vector `R` and selects its leftmost `1`,
+//! producing the one-hot grant vector `G`, the blocking signal chain `s[n]`
+//! (modeled, not materialized), the masked remainder `R' = R & !G`, and the
+//! `noR` flag when no request is pending.
+//!
+//! Two physical implementations share this functional behaviour:
+//!
+//! * [`EncoderStructure::Flat`] — a single chain of identical subblocks; its
+//!   critical path grows linearly with the width and exceeds 1100 ps at 128
+//!   requests (§3.3);
+//! * [`EncoderStructure::Tree`] — several short base encoders arbitrated by a
+//!   higher-level encoder, trading 8 % area for a sub-800 ps path.
+
+use esam_bits::BitVec;
+use esam_tech::calibration::fitted;
+use esam_tech::units::{AreaUm2, Seconds};
+
+use crate::error::ArbiterError;
+
+/// Physical structure of a priority encoder (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncoderStructure {
+    /// One monolithic subblock chain across the full width.
+    Flat,
+    /// Base encoders of `base_width` requests arbitrated by a higher-level
+    /// encoder (one tree level, as in the paper's 128-wide design).
+    Tree {
+        /// Requests handled by each base encoder.
+        base_width: usize,
+    },
+}
+
+/// Functional result of one encoding pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeResult {
+    /// Index of the granted request (leftmost set bit), if any.
+    pub grant: Option<usize>,
+    /// `R' = R & !G`: the requests still pending after this grant.
+    pub masked: BitVec,
+    /// The paper's `noR` flag: `R` contained no request.
+    pub no_request: bool,
+}
+
+/// A fixed-priority encoder over `width` request lines.
+///
+/// # Examples
+///
+/// ```
+/// use esam_arbiter::{EncoderStructure, PriorityEncoder};
+/// use esam_bits::BitVec;
+///
+/// let pe = PriorityEncoder::new(128, EncoderStructure::Tree { base_width: 16 })?;
+/// let r = BitVec::from_indices(128, &[40, 7, 99]);
+/// let result = pe.encode(&r);
+/// assert_eq!(result.grant, Some(7)); // leftmost wins
+/// assert_eq!(result.masked.iter_ones().collect::<Vec<_>>(), vec![40, 99]);
+/// # Ok::<(), esam_arbiter::ArbiterError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityEncoder {
+    width: usize,
+    structure: EncoderStructure,
+}
+
+impl PriorityEncoder {
+    /// Creates an encoder over `width` request lines.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArbiterError::ZeroWidth`] when `width == 0`;
+    /// * [`ArbiterError::BadBaseWidth`] when a tree's `base_width` is zero,
+    ///   does not divide `width`, or is not smaller than `width`.
+    pub fn new(width: usize, structure: EncoderStructure) -> Result<Self, ArbiterError> {
+        if width == 0 {
+            return Err(ArbiterError::ZeroWidth);
+        }
+        if let EncoderStructure::Tree { base_width } = structure {
+            if base_width == 0 || base_width >= width || !width.is_multiple_of(base_width) {
+                return Err(ArbiterError::BadBaseWidth { width, base_width });
+            }
+        }
+        Ok(Self { width, structure })
+    }
+
+    /// Number of request lines.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Physical structure.
+    pub fn structure(&self) -> EncoderStructure {
+        self.structure
+    }
+
+    /// Runs one encoding pass over `requests`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != width()` — request buses are
+    /// fixed-width in hardware.
+    pub fn encode(&self, requests: &BitVec) -> EncodeResult {
+        assert_eq!(
+            requests.len(),
+            self.width,
+            "request vector width {} does not match encoder width {}",
+            requests.len(),
+            self.width
+        );
+        let grant = requests.first_set();
+        let mut masked = requests.clone();
+        if let Some(index) = grant {
+            masked.set(index, false);
+        }
+        EncodeResult {
+            grant,
+            masked,
+            no_request: grant.is_none(),
+        }
+    }
+
+    /// Critical path of one encoding pass.
+    ///
+    /// Flat: input overhead plus the full subblock chain. Tree: base chain,
+    /// group OR-reduce, higher-level chain, downward broadcast and grant
+    /// qualification.
+    pub fn critical_path(&self) -> Seconds {
+        let sub = Seconds::new(fitted::PE_SUBBLOCK_DELAY);
+        let overhead = Seconds::new(fitted::PE_STAGE_OVERHEAD);
+        match self.structure {
+            EncoderStructure::Flat => overhead + sub * self.width as f64,
+            EncoderStructure::Tree { base_width } => {
+                overhead
+                    + sub * base_width as f64
+                    + Seconds::new(fitted::PE_OR_REDUCE_DELAY)
+                    + sub * self.group_count() as f64
+                    + Seconds::new(fitted::PE_BROADCAST_DELAY)
+                    + Seconds::new(fitted::PE_QUALIFY_DELAY)
+            }
+        }
+    }
+
+    /// Delay added per extra cascaded port *after* the first grant of a
+    /// cycle. In both structures the downstream stage's blocking chain
+    /// tracks the upstream one wave-like — a stage only waits on the local
+    /// `R' = R & !G` masking, not on a full re-evaluation. This is why
+    /// Table 2 shows the arbiter stage "does not scale with added ports".
+    pub fn cascade_increment(&self) -> Seconds {
+        Seconds::new(fitted::CASCADE_MASK_DELAY)
+    }
+
+    /// Silicon area of one encoder instance.
+    pub fn area(&self) -> AreaUm2 {
+        let sub = AreaUm2::new(fitted::PE_SUBBLOCK_AREA_UM2);
+        let glue = 1.0 + fitted::ARBITER_GLUE_AREA_FRACTION;
+        match self.structure {
+            EncoderStructure::Flat => sub * self.width as f64 * glue,
+            EncoderStructure::Tree { .. } => {
+                sub * (self.width + self.group_count()) as f64
+                    * (glue + fitted::TREE_GLUE_AREA_FRACTION)
+            }
+        }
+    }
+
+    /// Number of base groups in a tree (1 for flat).
+    pub fn group_count(&self) -> usize {
+        match self.structure {
+            EncoderStructure::Flat => 1,
+            EncoderStructure::Tree { base_width } => self.width / base_width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(width: usize) -> PriorityEncoder {
+        PriorityEncoder::new(width, EncoderStructure::Flat).unwrap()
+    }
+
+    fn tree(width: usize, base: usize) -> PriorityEncoder {
+        PriorityEncoder::new(width, EncoderStructure::Tree { base_width: base }).unwrap()
+    }
+
+    #[test]
+    fn grants_leftmost_request() {
+        let pe = flat(16);
+        let r = BitVec::from_indices(16, &[9, 3, 15]);
+        let result = pe.encode(&r);
+        assert_eq!(result.grant, Some(3));
+        assert!(!result.no_request);
+        assert_eq!(result.masked.iter_ones().collect::<Vec<_>>(), vec![9, 15]);
+    }
+
+    #[test]
+    fn empty_request_raises_no_r() {
+        let pe = tree(128, 16);
+        let result = pe.encode(&BitVec::new(128));
+        assert_eq!(result.grant, None);
+        assert!(result.no_request);
+        assert!(!result.masked.any());
+    }
+
+    #[test]
+    fn tree_and_flat_are_functionally_identical() {
+        let f = flat(128);
+        let t = tree(128, 16);
+        for seed in 0..50usize {
+            let r = BitVec::from_indices(
+                128,
+                &[(seed * 7) % 128, (seed * 13 + 5) % 128, (seed * 29 + 11) % 128],
+            );
+            assert_eq!(f.encode(&r), t.encode(&r), "divergence at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn flat_critical_path_scales_with_width() {
+        let short = flat(32).critical_path();
+        let long = flat(128).critical_path();
+        assert!(long.ps() > 3.0 * short.ps() * 0.8);
+        // §3.3: the flat 128-wide chain is already ≈ 1 ns by itself.
+        assert!(long.ps() > 900.0, "flat 128 chain {long}");
+    }
+
+    #[test]
+    fn tree_is_faster_but_larger() {
+        let f = flat(128);
+        let t = tree(128, 16);
+        assert!(t.critical_path() < f.critical_path());
+        assert!(t.area() > f.area());
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(matches!(
+            PriorityEncoder::new(0, EncoderStructure::Flat),
+            Err(ArbiterError::ZeroWidth)
+        ));
+        assert!(matches!(
+            PriorityEncoder::new(128, EncoderStructure::Tree { base_width: 0 }),
+            Err(ArbiterError::BadBaseWidth { .. })
+        ));
+        assert!(matches!(
+            PriorityEncoder::new(128, EncoderStructure::Tree { base_width: 24 }),
+            Err(ArbiterError::BadBaseWidth { .. })
+        ));
+        assert!(matches!(
+            PriorityEncoder::new(128, EncoderStructure::Tree { base_width: 128 }),
+            Err(ArbiterError::BadBaseWidth { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match encoder width")]
+    fn width_mismatch_panics() {
+        flat(16).encode(&BitVec::new(8));
+    }
+
+    #[test]
+    fn group_count() {
+        assert_eq!(flat(128).group_count(), 1);
+        assert_eq!(tree(128, 16).group_count(), 8);
+        assert_eq!(tree(128, 32).group_count(), 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for arbiter construction.
+
+use std::fmt;
+
+/// Errors produced when building arbiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArbiterError {
+    /// The request width was zero.
+    ZeroWidth,
+    /// The number of ports was zero (an arbiter must grant something).
+    ZeroPorts,
+    /// A tree encoder's base width must be a proper divisor of the width.
+    BadBaseWidth {
+        /// Total request width.
+        width: usize,
+        /// Rejected base width.
+        base_width: usize,
+    },
+}
+
+impl fmt::Display for ArbiterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbiterError::ZeroWidth => write!(f, "arbiter width must be non-zero"),
+            ArbiterError::ZeroPorts => write!(f, "arbiter must serve at least one port"),
+            ArbiterError::BadBaseWidth { width, base_width } => write!(
+                f,
+                "tree base width {base_width} must be a proper divisor of the request width {width}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArbiterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        assert!(ArbiterError::ZeroWidth.to_string().contains("non-zero"));
+        assert!(ArbiterError::ZeroPorts.to_string().contains("at least one"));
+        let e = ArbiterError::BadBaseWidth { width: 128, base_width: 24 };
+        assert!(e.to_string().contains("24") && e.to_string().contains("128"));
+    }
+}

@@ -1,0 +1,43 @@
+//! The ESAM spike Arbiter (§3.3): fixed-priority encoders, cascaded into a
+//! multiport arbiter, optionally restructured as a tree for timing closure.
+//!
+//! The arbiter's job is to look at the spike request vector `R` (one bit per
+//! SRAM row / pre-synaptic neuron) and pick up to `p` requests per clock
+//! cycle, one per decoupled SRAM read port. Selection is leftmost-first
+//! (fixed priority); non-granted requests are passed, masked, to the next
+//! cascaded stage and ultimately retried next cycle.
+//!
+//! Two structures are modeled, matching the paper:
+//!
+//! * **flat** — one subblock chain per 1-port arbiter; critical path grows
+//!   linearly with width, exceeding 1100 ps for the 128-wide 4-port unit;
+//! * **tree** — short base encoders plus a higher-level encoder; 8 % more
+//!   area, but the same unit closes below 800 ps.
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_arbiter::{EncoderStructure, MultiPortArbiter};
+//! use esam_bits::BitVec;
+//!
+//! let arbiter = MultiPortArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 })?;
+//! let grants = arbiter.arbitrate(&BitVec::from_indices(128, &[12, 90, 3]));
+//! assert_eq!(grants.granted(), &[3, 12, 90]);
+//! assert!(grants.all_served());
+//! # Ok::<(), esam_arbiter::ArbiterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod encoder;
+pub mod error;
+pub mod round_robin;
+pub mod structural;
+
+pub use cascade::{Grants, MultiPortArbiter};
+pub use encoder::{EncodeResult, EncoderStructure, PriorityEncoder};
+pub use error::ArbiterError;
+pub use round_robin::RoundRobinArbiter;
+pub use structural::StructuralArbiter;

@@ -1,0 +1,249 @@
+//! Round-robin arbiter — a fairness ablation of the paper's design.
+//!
+//! ESAM's 1-port arbiter is a *fixed*-priority encoder (§3.3): the leftmost
+//! pending request always wins. Within one inference timestep every request
+//! is eventually served (granted spikes are masked out), so fixed priority
+//! costs nothing in correctness — but it *does* skew per-neuron service
+//! latency: high-index rows systematically wait longer, which matters for
+//! temporal codes where spike timing carries information.
+//!
+//! [`RoundRobinArbiter`] rotates the priority origin after each cycle, the
+//! classical fairness fix. The cost is a programmable-origin blocking chain,
+//! modeled as one extra subblock delay level plus origin-register overhead.
+//! The `repro arbiter` ablation and `tests/` quantify the trade:
+//! near-identical throughput, substantially lower worst-case waiting time.
+
+use esam_bits::BitVec;
+use esam_tech::calibration::fitted;
+use esam_tech::units::{AreaUm2, Seconds};
+
+use crate::cascade::Grants;
+use crate::encoder::{EncoderStructure, PriorityEncoder};
+use crate::error::ArbiterError;
+
+/// Extra delay of the programmable priority origin (thermometer mask +
+/// wrap-around OR) relative to the fixed-priority encoder.
+const ORIGIN_MASK_DELAY: f64 = 45e-12;
+
+/// Area of the origin register and mask gates, per request line (µm²).
+const ORIGIN_AREA_PER_LINE: f64 = 0.02;
+
+/// A `p`-port arbiter with rotating priority.
+///
+/// Functionally identical to [`MultiPortArbiter`](crate::MultiPortArbiter)
+/// except that the search origin advances past the last granted index each
+/// cycle, so no request line is systematically favoured.
+///
+/// # Examples
+///
+/// ```
+/// use esam_arbiter::{EncoderStructure, RoundRobinArbiter};
+/// use esam_bits::BitVec;
+///
+/// let mut arbiter = RoundRobinArbiter::new(8, 2, EncoderStructure::Flat)?;
+/// let requests = BitVec::from_indices(8, &[0, 4, 7]);
+/// let first = arbiter.arbitrate(&requests);
+/// assert_eq!(first.granted(), &[0, 4]);
+/// // Next cycle the origin sits past index 4: request 7 wins immediately.
+/// let second = arbiter.arbitrate(first.remaining());
+/// assert_eq!(second.granted(), &[7]);
+/// # Ok::<(), esam_arbiter::ArbiterError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobinArbiter {
+    encoder: PriorityEncoder,
+    ports: usize,
+    origin: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates a rotating-priority arbiter.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiPortArbiter::new`](crate::MultiPortArbiter::new).
+    pub fn new(
+        width: usize,
+        ports: usize,
+        structure: EncoderStructure,
+    ) -> Result<Self, ArbiterError> {
+        if ports == 0 {
+            return Err(ArbiterError::ZeroPorts);
+        }
+        Ok(Self {
+            encoder: PriorityEncoder::new(width, structure)?,
+            ports,
+            origin: 0,
+        })
+    }
+
+    /// Request width.
+    pub fn width(&self) -> usize {
+        self.encoder.width()
+    }
+
+    /// Ports (grants per cycle).
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Current priority origin (the index searched first).
+    pub fn origin(&self) -> usize {
+        self.origin
+    }
+
+    /// Resets the priority origin to zero.
+    pub fn reset(&mut self) {
+        self.origin = 0;
+    }
+
+    /// Serves up to `ports` requests, searching from the rotating origin
+    /// (with wrap-around), then advances the origin past the last grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request width does not match the arbiter width.
+    pub fn arbitrate(&mut self, requests: &BitVec) -> Grants {
+        assert_eq!(
+            requests.len(),
+            self.width(),
+            "request vector width {} does not match arbiter width {}",
+            requests.len(),
+            self.width()
+        );
+        let width = self.width();
+        let mut pending = requests.clone();
+        let mut granted = Vec::with_capacity(self.ports);
+        for _ in 0..self.ports {
+            // Rotated first-set search: origin..width, then 0..origin.
+            let winner = (self.origin..width)
+                .chain(0..self.origin)
+                .find(|&i| pending.get(i));
+            match winner {
+                Some(index) => {
+                    pending.set(index, false);
+                    granted.push(index);
+                    self.origin = (index + 1) % width;
+                }
+                None => break,
+            }
+        }
+        Grants::from_parts(granted, pending)
+    }
+
+    /// Critical path: the fixed-priority chain plus the origin mask level.
+    pub fn critical_path(&self) -> Seconds {
+        self.encoder.critical_path()
+            + self.encoder.cascade_increment() * (self.ports - 1) as f64
+            + Seconds::new(ORIGIN_MASK_DELAY)
+    }
+
+    /// Silicon area: the cascaded encoders plus the origin register/mask.
+    pub fn area(&self) -> AreaUm2 {
+        self.encoder.area() * self.ports as f64
+            + AreaUm2::new(ORIGIN_AREA_PER_LINE) * self.width() as f64
+    }
+
+    /// Pipeline-stage duration including register overhead and slack,
+    /// comparable to [`MultiPortArbiter::stage_time`](crate::MultiPortArbiter::stage_time).
+    pub fn stage_time(&self) -> Seconds {
+        (self.critical_path() + Seconds::new(fitted::ARBITER_REGISTER_OVERHEAD))
+            * (1.0 + fitted::STAGE_SLACK_FRACTION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiPortArbiter;
+
+    fn rr(width: usize, ports: usize) -> RoundRobinArbiter {
+        RoundRobinArbiter::new(width, ports, EncoderStructure::Flat).unwrap()
+    }
+
+    #[test]
+    fn rotation_prevents_starvation() {
+        // With fixed priority, index 7 waits while 0..3 keep re-requesting;
+        // round-robin serves everyone within two cycles.
+        let mut arbiter = rr(8, 2);
+        let all = BitVec::from_indices(8, &[0, 1, 2, 7]);
+        let first = arbiter.arbitrate(&all);
+        assert_eq!(first.granted(), &[0, 1]);
+        // Requests 0/1 re-arrive immediately (hot rows).
+        let mut next = first.remaining().clone();
+        next.set(0, true);
+        next.set(1, true);
+        let second = arbiter.arbitrate(&next);
+        assert_eq!(second.granted(), &[2, 7], "rotation must reach the tail");
+    }
+
+    #[test]
+    fn fixed_priority_starves_the_tail() {
+        // Control experiment: the paper's arbiter always serves hot low rows.
+        let arbiter = MultiPortArbiter::new(8, 2, EncoderStructure::Flat).unwrap();
+        let mut pending = BitVec::from_indices(8, &[0, 1, 2, 7]);
+        let first = arbiter.arbitrate(&pending);
+        assert_eq!(first.granted(), &[0, 1]);
+        pending = first.remaining().clone();
+        pending.set(0, true);
+        pending.set(1, true);
+        let second = arbiter.arbitrate(&pending);
+        assert_eq!(second.granted(), &[0, 1], "fixed priority re-serves hot rows");
+    }
+
+    #[test]
+    fn drains_any_request_set_like_fixed_priority() {
+        let mut arbiter = rr(128, 4);
+        let mut pending = BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>());
+        let total = pending.count_ones();
+        let mut served = 0;
+        let mut cycles = 0;
+        while pending.any() {
+            let grants = arbiter.arbitrate(&pending);
+            served += grants.count();
+            pending = grants.remaining().clone();
+            cycles += 1;
+            assert!(cycles <= 128);
+        }
+        assert_eq!(served, total);
+        assert_eq!(cycles, total.div_ceil(4), "same throughput as fixed priority");
+    }
+
+    #[test]
+    fn wrap_around_search() {
+        let mut arbiter = rr(8, 1);
+        arbiter.arbitrate(&BitVec::from_indices(8, &[6])); // origin → 7
+        assert_eq!(arbiter.origin(), 7);
+        let grants = arbiter.arbitrate(&BitVec::from_indices(8, &[2]));
+        assert_eq!(grants.granted(), &[2], "search must wrap past the end");
+    }
+
+    #[test]
+    fn costs_slightly_more_than_fixed_priority() {
+        let fixed = MultiPortArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 })
+            .unwrap();
+        let rotating =
+            RoundRobinArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 }).unwrap();
+        assert!(rotating.critical_path() > fixed.critical_path());
+        assert!(rotating.area().value() > fixed.area().value());
+        // …but only marginally (<10 % path, <5 % area).
+        assert!(rotating.critical_path().ps() < fixed.critical_path().ps() * 1.10);
+        assert!(rotating.area().value() < fixed.area().value() * 1.05);
+        assert!(rotating.stage_time() > fixed.stage_time());
+    }
+
+    #[test]
+    fn reset_restores_origin() {
+        let mut arbiter = rr(8, 1);
+        arbiter.arbitrate(&BitVec::from_indices(8, &[5]));
+        assert_ne!(arbiter.origin(), 0);
+        arbiter.reset();
+        assert_eq!(arbiter.origin(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match arbiter width")]
+    fn width_mismatch_panics() {
+        rr(8, 1).arbitrate(&BitVec::new(9));
+    }
+}

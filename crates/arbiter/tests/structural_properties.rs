@@ -1,0 +1,126 @@
+//! Property-based equivalence between the gate-level arbiter and the
+//! behavioral model, across random widths, port counts, structures and
+//! request vectors.
+
+use esam_arbiter::{EncoderStructure, MultiPortArbiter, StructuralArbiter};
+use esam_bits::BitVec;
+use esam_logic::{GateTiming, Level, Simulator, TimingAnalysis};
+use proptest::prelude::*;
+
+fn requests(width: usize, bits: Vec<bool>) -> BitVec {
+    let mut r = BitVec::new(width);
+    for (i, &b) in bits.iter().take(width).enumerate() {
+        r.set(i, b);
+    }
+    r
+}
+
+/// Strategy producing (width, ports, structure) with valid tree bases.
+fn arbiter_params() -> impl Strategy<Value = (usize, usize, EncoderStructure)> {
+    (1usize..=64, 1usize..=4, any::<bool>(), 1usize..=4).prop_map(
+        |(width, ports, tree, base_pick)| {
+            let structure = if tree {
+                // Valid divisors of `width` strictly below it, if any.
+                let divisors: Vec<usize> =
+                    (1..width).filter(|b| width % b == 0).collect();
+                if divisors.is_empty() {
+                    EncoderStructure::Flat
+                } else {
+                    EncoderStructure::Tree {
+                        base_width: divisors[base_pick % divisors.len()],
+                    }
+                }
+            } else {
+                EncoderStructure::Flat
+            };
+            (width, ports, structure)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn structural_equals_behavioral(
+        (width, ports, structure) in arbiter_params(),
+        bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let r = requests(width, bits);
+        let structural = StructuralArbiter::new(width, ports, structure)
+            .expect("params are valid");
+        let behavioral = MultiPortArbiter::new(width, ports, structure)
+            .expect("params are valid");
+        let got = structural.arbitrate(&r).expect("netlist evaluates");
+        let want = behavioral.arbitrate(&r);
+        prop_assert_eq!(got.granted(), want.granted());
+        prop_assert_eq!(got.remaining(), want.remaining());
+    }
+
+    #[test]
+    fn grants_are_sound(
+        (width, ports, structure) in arbiter_params(),
+        bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let r = requests(width, bits);
+        let arbiter = StructuralArbiter::new(width, ports, structure).expect("valid");
+        let grants = arbiter.arbitrate(&r).expect("netlist evaluates");
+
+        // Every grant answers a real request.
+        for &g in grants.granted() {
+            prop_assert!(r.get(g), "granted {g} was never requested");
+        }
+        // At most `ports` grants, no duplicates (sorted + strictly increasing).
+        prop_assert!(grants.granted().len() <= ports);
+        prop_assert!(grants.granted().windows(2).all(|w| w[0] < w[1]));
+        // Remaining = requests minus grants, exactly.
+        let mut expected = r.clone();
+        for &g in grants.granted() {
+            expected.set(g, false);
+        }
+        prop_assert_eq!(grants.remaining(), &expected);
+        // Leftmost-first: every non-granted pending request sits to the
+        // right of the last grant (fixed priority).
+        if let (Some(&last), Some(first_pending)) =
+            (grants.granted().last(), grants.remaining().first_set())
+        {
+            prop_assert!(first_pending > last || grants.granted().len() == ports);
+        }
+    }
+
+    #[test]
+    fn event_simulation_agrees_with_evaluation(
+        bits in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        // Event-driven (glitchy, timed) simulation must converge to the
+        // same grants as zero-delay evaluation.
+        let width = 16;
+        let arbiter = StructuralArbiter::new(width, 3, EncoderStructure::Flat).expect("valid");
+        let r = requests(width, bits);
+        let want = arbiter.arbitrate(&r).expect("evaluates");
+
+        let timing = GateTiming::finfet_3nm();
+        let stimulus: Vec<Level> = r.to_bools().iter().map(|&b| Level::from(b)).collect();
+        let mut sim = Simulator::new(arbiter.netlist(), timing).expect("valid netlist");
+        let (settle, _) = sim.settle(&stimulus).expect("settles");
+
+        let sta = TimingAnalysis::run(arbiter.netlist(), &timing).expect("valid netlist");
+        prop_assert!(settle <= sta.critical_path().delay());
+
+        // Reconstruct grants from simulated net levels.
+        let granted: Vec<usize> = (0..width)
+            .filter(|&n| {
+                (0..3).any(|p| {
+                    let name = format!("p{p}_g[{n}]");
+                    arbiter
+                        .netlist()
+                        .gates()
+                        .find(|(_, gate)| arbiter.netlist().net_name(gate.output()) == name)
+                        .map(|(_, gate)| sim.level(gate.output()) == Level::High)
+                        .unwrap_or(false)
+                })
+            })
+            .collect();
+        prop_assert_eq!(granted, want.granted().to_vec());
+    }
+}

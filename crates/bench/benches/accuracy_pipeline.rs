@@ -1,0 +1,23 @@
+//! Criterion bench + reproduction of the §4.4.2 accuracy pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::accuracy::{accuracy_numbers, accuracy_table};
+use esam_bench::{ExperimentContext, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let context = ExperimentContext::prepare(Fidelity::Quick).expect("context");
+    let numbers = accuracy_numbers(&context, 60).expect("accuracy");
+    println!("{}", accuracy_table(&numbers));
+
+    let frame = context.dataset().test.spikes(0);
+    c.bench_function("accuracy/golden_snn_forward", |b| {
+        b.iter(|| std::hint::black_box(context.model().classify(&frame).unwrap()))
+    });
+    let image: Vec<f32> = context.dataset().test.image(0).to_vec();
+    c.bench_function("accuracy/bnn_forward", |b| {
+        b.iter(|| std::hint::black_box(context.network().classify(&image).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

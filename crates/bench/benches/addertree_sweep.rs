@@ -1,0 +1,22 @@
+//! Criterion bench + reproduction of the adder-tree vs CIM-P sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::addertree::{addertree_table, DENSITIES};
+use esam_core::{energy_crossover, sparsity_sweep, AdderTreeMacro};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", addertree_table().expect("adder-tree sweep reproduces"));
+
+    c.bench_function("addertree/generate_128_column_model", |b| {
+        b.iter(|| std::hint::black_box(AdderTreeMacro::new(128, 128).expect("builds").tree_gates()))
+    });
+    c.bench_function("addertree/sparsity_sweep_6_points", |b| {
+        b.iter(|| std::hint::black_box(sparsity_sweep(128, 128, 4, &DENSITIES).expect("sweeps")))
+    });
+    c.bench_function("addertree/energy_crossover_bisection", |b| {
+        b.iter(|| std::hint::black_box(energy_crossover(128, 128, 4).expect("converges")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

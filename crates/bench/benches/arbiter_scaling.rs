@@ -1,0 +1,34 @@
+//! Criterion bench + reproduction of the §3.3 arbiter comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_arbiter::MultiPortArbiter;
+use esam_bench::experiments::arbiter::{arbiter_scaling_table, arbiter_table};
+use esam_bits::BitVec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", arbiter_table().expect("arbiter reproduces"));
+    println!("{}", arbiter_scaling_table().expect("scaling reproduces"));
+    let arbiter = MultiPortArbiter::paper_default();
+    let dense = BitVec::from_indices(128, &(0..128).step_by(2).collect::<Vec<_>>());
+    let sparse = BitVec::from_indices(128, &[5, 77, 126]);
+    c.bench_function("arbiter/arbitrate_dense_64_requests", |b| {
+        b.iter(|| std::hint::black_box(arbiter.arbitrate(&dense).count()))
+    });
+    c.bench_function("arbiter/arbitrate_sparse_3_requests", |b| {
+        b.iter(|| std::hint::black_box(arbiter.arbitrate(&sparse).count()))
+    });
+    c.bench_function("arbiter/drain_64_requests", |b| {
+        b.iter(|| {
+            let mut pending = dense.clone();
+            let mut cycles = 0u32;
+            while pending.any() {
+                pending = arbiter.arbitrate(&pending).remaining().clone();
+                cycles += 1;
+            }
+            std::hint::black_box(cycles)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

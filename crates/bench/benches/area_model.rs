@@ -1,0 +1,21 @@
+//! Criterion bench + reproduction of the §4.2 cell-area model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::area::area_table;
+use esam_sram::BitcellKind;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", area_table());
+    c.bench_function("area_model/full_family", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for cell in BitcellKind::ALL {
+                total += std::hint::black_box(cell.area().value());
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench + reproduction of the DVFS/HVT corner projection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::corners::{corner_set, corners_table};
+use esam_tech::dvfs::OperatingPoint;
+use esam_tech::finfet::VtFlavor;
+use esam_tech::units::Volts;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", corners_table());
+
+    let nominal = OperatingPoint::nominal();
+    c.bench_function("corners/project_four_corners", |b| {
+        b.iter(|| {
+            corner_set()
+                .iter()
+                .map(|(_, corner)| {
+                    corner.frequency_scale(&nominal)
+                        + corner.dynamic_power_scale(&nominal)
+                        + corner.leakage_power_scale(&nominal)
+                })
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("corners/vdd_sweep_350_points", |b| {
+        b.iter(|| {
+            (370..=700)
+                .map(|mv| {
+                    OperatingPoint::new(Volts::from_mv(mv as f64), VtFlavor::Svt)
+                        .dynamic_power_scale(&nominal)
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

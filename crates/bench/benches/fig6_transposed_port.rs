@@ -1,0 +1,21 @@
+//! Criterion bench + reproduction of Fig. 6 (transposed-port timing/energy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::fig6::fig6_table;
+use esam_sram::{ArrayConfig, BitcellKind, EnergyAnalysis, TimingAnalysis};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig6_table().expect("fig6 reproduces"));
+    let config = ArrayConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    c.bench_function("fig6/rw_write_timing_analysis", |b| {
+        let timing = TimingAnalysis::new(&config);
+        b.iter(|| std::hint::black_box(timing.rw_write().unwrap().total()))
+    });
+    c.bench_function("fig6/rw_write_energy_analysis", |b| {
+        let energy = EnergyAnalysis::new(&config);
+        b.iter(|| std::hint::black_box(energy.rw_write_per_cell().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

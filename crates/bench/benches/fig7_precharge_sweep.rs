@@ -1,0 +1,29 @@
+//! Criterion bench + reproduction of Fig. 7 (V_prech / port-count sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::fig7::{fig7_table, RAILS_MV};
+use esam_sram::{ArrayConfig, BitcellKind, EnergyAnalysis, TimingAnalysis};
+use esam_tech::units::Volts;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7_table().expect("fig7 reproduces"));
+    c.bench_function("fig7/full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &rail in &RAILS_MV {
+                for ports in 1..=4u8 {
+                    let cfg = ArrayConfig::builder(128, 128, BitcellKind::multiport(ports).unwrap())
+                        .vprech(Volts::from_mv(rail))
+                        .build()
+                        .unwrap();
+                    acc += TimingAnalysis::new(&cfg).inference_read().total().ps();
+                    acc += EnergyAnalysis::new(&cfg).inference_read(64).fj();
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

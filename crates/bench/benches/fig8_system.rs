@@ -1,0 +1,35 @@
+//! Criterion bench + reproduction of Fig. 8 (system-level sweep).
+//!
+//! Uses the quick-fidelity context (reduced training budget) so the bench
+//! harness stays fast; the `repro` binary produces the full-fidelity tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::fig8::{fig8_results, fig8_table, headline_table};
+use esam_bench::{ExperimentContext, Fidelity};
+use esam_core::{EsamSystem, SystemConfig};
+use esam_sram::BitcellKind;
+
+fn bench(c: &mut Criterion) {
+    let context = ExperimentContext::prepare(Fidelity::Quick).expect("context");
+    let results = fig8_results(&context, 60).expect("fig8 reproduces");
+    println!("{}", fig8_table(&results));
+    println!("{}", headline_table(&results));
+
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let mut system = EsamSystem::from_model(context.model(), &config).expect("system");
+    let frames = context.test_frames(20);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(20);
+    group.bench_function("single_inference_4port", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let frame = &frames[index % frames.len()];
+            index += 1;
+            std::hint::black_box(system.infer(frame).unwrap().prediction)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

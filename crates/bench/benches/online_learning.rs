@@ -1,0 +1,32 @@
+//! Criterion bench + reproduction of §4.4.1 (online-learning access cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::learning::learning_table;
+use esam_bits::BitVec;
+use esam_core::{OnlineLearningEngine, PipelineTiming, SystemConfig, Tile};
+use esam_nn::{StdpRule, TeacherSignal};
+use esam_sram::BitcellKind;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", learning_table().expect("learning reproduces"));
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 128, 10])
+        .build()
+        .unwrap();
+    let clock = PipelineTiming::analyze(&config).unwrap().clock_period();
+    let pre = BitVec::from_indices(128, &[3, 40, 77, 101]);
+    c.bench_function("learning/transposed_column_update", |b| {
+        let mut tile = Tile::new(128, 128, &config).unwrap();
+        let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 1);
+        b.iter(|| {
+            std::hint::black_box(
+                engine
+                    .teach(&mut tile, clock, &pre, 0, TeacherSignal::ShouldFire)
+                    .unwrap()
+                    .cycles,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

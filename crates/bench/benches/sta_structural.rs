@@ -1,0 +1,53 @@
+//! Criterion bench + reproduction of the gate-level STA cross-check.
+//!
+//! Prints the structural flat-vs-tree table, then measures the cost of
+//! netlist generation, STA and event simulation at the paper's 128-wide
+//! 4-port size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_arbiter::{EncoderStructure, StructuralArbiter};
+use esam_bench::experiments::sta::sta_table;
+use esam_bits::BitVec;
+use esam_logic::{GateTiming, Level, Simulator, TimingAnalysis};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", sta_table().expect("sta cross-check reproduces"));
+
+    let timing = GateTiming::finfet_3nm();
+    let tree = StructuralArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 })
+        .expect("paper-size arbiter builds");
+    let requests = BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>());
+    let stimulus: Vec<Level> = requests.to_bools().iter().map(|&b| Level::from(b)).collect();
+
+    c.bench_function("sta/generate_tree_netlist_128x4", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                StructuralArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 })
+                    .expect("builds")
+                    .gate_count(),
+            )
+        })
+    });
+    c.bench_function("sta/analyze_tree_netlist_128x4", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                TimingAnalysis::run(tree.netlist(), &timing)
+                    .expect("valid netlist")
+                    .critical_path()
+                    .delay(),
+            )
+        })
+    });
+    c.bench_function("sta/event_sim_tree_128x4", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(tree.netlist(), timing).expect("valid netlist");
+            std::hint::black_box(sim.settle(&stimulus).expect("settles").0)
+        })
+    });
+    c.bench_function("sta/evaluate_grants_128x4", |b| {
+        b.iter(|| std::hint::black_box(tree.arbitrate(&requests).expect("evaluates").count()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench + reproduction of Table 2 (pipeline stages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::table2::table2_table;
+use esam_core::{PipelineTiming, SystemConfig};
+use esam_sram::BitcellKind;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table2_table().expect("table2 reproduces"));
+    c.bench_function("table2/pipeline_analysis_all_cells", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cell in BitcellKind::ALL {
+                let timing = PipelineTiming::analyze(&SystemConfig::paper_default(cell)).unwrap();
+                acc += timing.clock_period().ps();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench + reproduction of Table 3 (SOTA comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::accuracy::accuracy_numbers;
+use esam_bench::experiments::fig8::fig8_results;
+use esam_bench::experiments::table3::table3_table;
+use esam_bench::{ExperimentContext, Fidelity};
+use esam_core::baselines::sota_entries;
+
+fn bench(c: &mut Criterion) {
+    let context = ExperimentContext::prepare(Fidelity::Quick).expect("context");
+    let results = fig8_results(&context, 40).expect("fig8");
+    let accuracy = accuracy_numbers(&context, 40).expect("accuracy");
+    println!("{}", table3_table(results.four_port(), accuracy.hardware * 100.0));
+
+    c.bench_function("table3/sota_entry_lookup", |b| {
+        b.iter(|| std::hint::black_box(sota_entries().len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Probe: which teaching policy recovers accuracy under drift?
+use esam_bench::{ExperimentContext, Fidelity};
+use esam_bits::BitVec;
+use esam_core::{EsamSystem, OnlineLearningEngine, SystemConfig};
+use esam_nn::{Dataset, DigitsConfig, Split, StdpRule, TeacherSignal};
+use esam_sram::BitcellKind;
+
+fn accuracy(system: &mut EsamSystem, split: &Split, n: usize) -> f64 {
+    let count = n.min(split.len());
+    let mut ok = 0;
+    for i in 0..count {
+        if system.infer(&split.spikes(i)).unwrap().prediction == split.label(i) as usize {
+            ok += 1;
+        }
+    }
+    ok as f64 / count as f64
+}
+
+fn main() {
+    let context = ExperimentContext::prepare(Fidelity::Quick).unwrap();
+    let shifted = Dataset::generate(&DigitsConfig {
+        train_count: 500,
+        test_count: 300,
+        noise: 0.06,
+        max_shear: 3,
+        seed: 99,
+        ..DigitsConfig::default()
+    })
+    .unwrap();
+    for (label, p_pot, depress, passes, margin, adapt_count) in [
+        ("specialize n=100 m=30 p=0.08", 0.08, false, 6usize, Some(30.0f32), 100usize),
+        ("specialize n=100 m=inf p=0.08", 0.08, false, 6, None, 100),
+        ("specialize n=300 m=30 p=0.06", 0.06, false, 6, Some(30.0), 300),
+    ] {
+        let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+        let mut system = EsamSystem::from_model(context.model(), &config).unwrap();
+        let before = accuracy(&mut system, &shifted.test, 200);
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(p_pot, 0.0), 7);
+        let out = system.tiles().len() - 1;
+        let mut accs = vec![];
+        for _ in 0..passes {
+            for i in 0..adapt_count.min(shifted.train.len()) {
+                let frame = shifted.train.spikes(i);
+                let target = shifted.train.label(i) as usize;
+                let r = system.infer(&frame).unwrap();
+                if r.prediction == target {
+                    continue;
+                }
+                if let Some(m) = margin {
+                    // Only teach near-miss samples; hopeless ones destabilize.
+                    if r.logits[r.prediction] - r.logits[target] > m {
+                        continue;
+                    }
+                }
+                let pre: BitVec = r.layer_inputs[out].clone();
+                engine
+                    .teach_system(&mut system, out, &pre, target, TeacherSignal::ShouldFire)
+                    .unwrap();
+                if depress {
+                    engine
+                        .teach_system(&mut system, out, &pre, r.prediction, TeacherSignal::ShouldNotFire)
+                        .unwrap();
+                }
+            }
+            // Accuracy on the adaptation set itself (environment specialization)
+            // and on held-out shifted data.
+            let mut ok = 0;
+            for i in 0..adapt_count.min(shifted.train.len()) {
+                if system.infer(&shifted.train.spikes(i)).unwrap().prediction
+                    == shifted.train.label(i) as usize
+                {
+                    ok += 1;
+                }
+            }
+            let own = 100.0 * ok as f64 / adapt_count.min(shifted.train.len()) as f64;
+            let held = 100.0 * accuracy(&mut system, &shifted.test, 200);
+            accs.push(format!("{own:.0}/{held:.0}"));
+        }
+        println!("{label}: before {:.1}% → own/held: {}", 100.0 * before, accs.join(" → "));
+    }
+}

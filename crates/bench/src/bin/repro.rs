@@ -1,0 +1,59 @@
+//! `repro` — regenerate the ESAM paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--samples N] <experiment>... | all
+//! ```
+//!
+//! Experiments: area, fig6, fig7, table2, arbiter, nbl, sta, transient,
+//! addertree, corners, learning, fig8, table3, accuracy — or `all`. `--quick` trims the BNN training budget;
+//! `--samples` bounds the test images used by system-level experiments
+//! (default 200).
+
+use std::process::ExitCode;
+
+use esam_bench::{run_experiments, Fidelity};
+
+fn main() -> ExitCode {
+    let mut fidelity = Fidelity::Full;
+    let mut samples = 200usize;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--samples" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--samples needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(n) if n > 0 => samples = n,
+                    _ => {
+                        eprintln!("--samples needs a positive integer, got '{value}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--samples N] <experiment>... | all\n\
+                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners learning fig8 table3 accuracy"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+
+    match run_experiments(&ids, fidelity, samples) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

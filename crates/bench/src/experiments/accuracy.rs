@@ -1,0 +1,98 @@
+//! §4.4.2 accuracy reproduction: BNN → converted SNN → hardware simulation,
+//! all three evaluated on the held-out synthetic test set.
+
+use esam_core::{EsamSystem, SystemConfig};
+use esam_nn::{evaluate_bnn, evaluate_snn};
+use esam_sram::BitcellKind;
+use esam_tech::calibration::paper;
+
+use crate::context::ExperimentContext;
+use crate::{BenchError, Table};
+
+/// Accuracy of each evaluation stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyNumbers {
+    /// Trained BNN on the test split.
+    pub bnn: f64,
+    /// Converted SNN golden model.
+    pub snn: f64,
+    /// Hardware (spike-by-spike) simulation on the 4-port system.
+    pub hardware: f64,
+    /// Test samples evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates all three stages on up to `samples` test images.
+pub fn accuracy_numbers(
+    context: &ExperimentContext,
+    samples: usize,
+) -> Result<AccuracyNumbers, BenchError> {
+    let test = &context.dataset().test;
+    let bnn = evaluate_bnn(context.network(), test)?.accuracy();
+    let snn = evaluate_snn(context.model(), test)?.accuracy();
+
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).expect("4 ports"));
+    let mut system = EsamSystem::from_model(context.model(), &config)?;
+    let count = samples.min(test.len());
+    let mut correct = 0usize;
+    for i in 0..count {
+        let result = system.infer(&test.spikes(i))?;
+        if result.prediction == test.label(i) as usize {
+            correct += 1;
+        }
+    }
+    Ok(AccuracyNumbers {
+        bnn,
+        snn,
+        hardware: correct as f64 / count as f64,
+        samples: count,
+    })
+}
+
+/// Renders the accuracy comparison.
+pub fn accuracy_table(numbers: &AccuracyNumbers) -> Table {
+    let mut table = Table::new(
+        "§4.4.2 — Classification accuracy (synthetic digits; MNIST substitute)",
+        &["stage", "accuracy [%]"],
+    );
+    table.row_owned(vec!["trained BNN".into(), format!("{:.2}", numbers.bnn * 100.0)]);
+    table.row_owned(vec![
+        "converted Binary-SNN (golden)".into(),
+        format!("{:.2}", numbers.snn * 100.0),
+    ]);
+    table.row_owned(vec![
+        format!("ESAM hardware sim (1RW+4R, {} samples)", numbers.samples),
+        format!("{:.2}", numbers.hardware * 100.0),
+    ]);
+    table.note(&format!(
+        "paper reports {:.2}% on MNIST; the synthetic substitute checks the *pipeline* (train→convert→hardware, all lossless), not the absolute number",
+        paper::MNIST_ACCURACY_PERCENT
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    #[test]
+    fn conversion_and_hardware_are_lossless() {
+        let context = ExperimentContext::prepare(Fidelity::Quick).unwrap();
+        let numbers = accuracy_numbers(&context, 120).unwrap();
+        // BNN → SNN conversion is bit-exact: identical accuracy.
+        assert!((numbers.bnn - numbers.snn).abs() < 1e-12);
+        assert!(numbers.bnn > 0.72, "quick-trained accuracy {:.3}", numbers.bnn);
+        // Hardware simulation matches the golden model on its subset.
+        let test = &context.dataset().test;
+        let mut golden_correct = 0usize;
+        for i in 0..numbers.samples {
+            if context.model().classify(&test.spikes(i)).unwrap() == test.label(i) as usize {
+                golden_correct += 1;
+            }
+        }
+        let golden = golden_correct as f64 / numbers.samples as f64;
+        assert!((numbers.hardware - golden).abs() < 1e-12);
+        assert_eq!(accuracy_table(&numbers).row_count(), 3);
+    }
+}

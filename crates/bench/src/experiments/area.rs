@@ -1,0 +1,51 @@
+//! §4.2 cell-area reproduction: absolute areas and multipliers of the
+//! bitcell family, plus the rejected fifth port.
+
+use esam_sram::BitcellKind;
+use esam_tech::calibration::paper;
+
+use crate::Table;
+
+/// Reproduces the §4.2 cell-area figures.
+pub fn area_table() -> Table {
+    let mut table = Table::new(
+        "§4.2 — Bitcell areas (IMEC 3nm FinFET)",
+        &["cell", "area [µm²]", "multiplier", "paper multiplier", "transistors"],
+    );
+    for cell in BitcellKind::ALL {
+        table.row_owned(vec![
+            cell.name().to_string(),
+            format!("{:.5}", cell.area().value()),
+            format!("{:.3}x", cell.area_multiplier()),
+            format!("{:.3}x", paper::CELL_AREA_MULTIPLIERS[cell.read_ports_index()]),
+            cell.transistor_count().to_string(),
+        ]);
+    }
+    table.note(&format!(
+        "a 5th read port would cost +{:.1}% of the 6T area (total {:.3}x) and is rejected (§4.2)",
+        paper::FIFTH_PORT_EXTRA_AREA_FRACTION * 100.0,
+        BitcellKind::fifth_port_area_multiplier(),
+    ));
+    table.note(&format!(
+        "6T anchor: {} µm² from [20]; all areas derive from it",
+        paper::CELL_AREA_6T_UM2
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_and_values() {
+        let t = area_table();
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.cell(0, 0), Some("1RW"));
+        // Model multiplier equals the paper multiplier by construction.
+        for row in 0..5 {
+            assert_eq!(t.cell(row, 2), t.cell(row, 3));
+        }
+        assert_eq!(t.cell(4, 4), Some("11"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 6 reproduction: Write/Read times and energies via the Transposed
+//! (Read/Write) port for every cell type.
+
+use esam_sram::{ArrayConfig, BitcellKind, EnergyAnalysis, TimingAnalysis};
+
+use crate::{BenchError, Table};
+
+/// Reproduces Fig. 6: per-cell transposed-port characterization on the
+/// paper's 128×128 array at 700 mV with NBL assist and ±3σ worst case.
+pub fn fig6_table() -> Result<Table, BenchError> {
+    let mut table = Table::new(
+        "Fig. 6 — Transposed-port Write/Read time & energy per cell",
+        &[
+            "cell",
+            "write time [ps]",
+            "read time [ps]",
+            "write energy [fJ]",
+            "read energy [fJ]",
+            "V_WD [mV]",
+        ],
+    );
+    for cell in BitcellKind::ALL {
+        let config = ArrayConfig::paper_default(cell);
+        let timing = TimingAnalysis::new(&config);
+        let energy = EnergyAnalysis::new(&config);
+        let write = timing.rw_write()?;
+        let read = timing.rw_read();
+        table.row_owned(vec![
+            cell.name().to_string(),
+            format!("{:.0}", write.total().ps()),
+            format!("{:.0}", read.total().ps()),
+            format!("{:.1}", energy.rw_write_per_cell()?.fj()),
+            format!("{:.1}", energy.rw_read_per_cell().fj()),
+            format!("{:.0}", config.write_assist()?.mv()),
+        ]);
+    }
+    table.note("paper shape: monotone increase with ports; a jump from 1RW to 1RW+1R (narrowed WL); write affected more than read (deeper V_WD)");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_holds() {
+        let t = fig6_table().unwrap();
+        assert_eq!(t.row_count(), 5);
+        // Monotone columns 1..=4 down the family.
+        for col in 1..=4 {
+            let mut prev = f64::NEG_INFINITY;
+            for row in 0..5 {
+                let v: f64 = t.cell(row, col).unwrap().parse().unwrap();
+                assert!(v > prev, "column {col} must grow down the family");
+                prev = v;
+            }
+        }
+        // V_WD deepens (more negative) down the family.
+        let mut prev = f64::INFINITY;
+        for row in 0..5 {
+            let v: f64 = t.cell(row, 5).unwrap().parse().unwrap();
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+}

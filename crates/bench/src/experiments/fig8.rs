@@ -1,0 +1,170 @@
+//! Fig. 8 reproduction: system-level power / throughput / energy / area for
+//! the five cell options, plus the headline 3.1× / 2.2× gains.
+
+use esam_core::{EsamSystem, SystemConfig, SystemMetrics};
+use esam_sram::BitcellKind;
+use esam_tech::calibration::paper;
+
+use crate::context::ExperimentContext;
+use crate::{BenchError, Table};
+
+/// Metrics of all five systems, Fig. 8 order.
+#[derive(Debug, Clone)]
+pub struct Fig8Results {
+    /// One entry per cell kind ([`BitcellKind::ALL`] order).
+    pub metrics: Vec<SystemMetrics>,
+}
+
+impl Fig8Results {
+    /// Metrics of the single-port baseline.
+    pub fn single_port(&self) -> &SystemMetrics {
+        &self.metrics[0]
+    }
+
+    /// Metrics of the 4-port flagship.
+    pub fn four_port(&self) -> &SystemMetrics {
+        &self.metrics[4]
+    }
+
+    /// Headline speedup: throughput(4R) / throughput(1RW) (paper: 3.1×).
+    pub fn speedup(&self) -> f64 {
+        self.four_port().throughput_inf_s / self.single_port().throughput_inf_s
+    }
+
+    /// Headline energy-efficiency gain: E/inf(1RW) / E/inf(4R) (paper: 2.2×).
+    pub fn energy_gain(&self) -> f64 {
+        self.single_port().energy_per_inf / self.four_port().energy_per_inf
+    }
+
+    /// Area ratio 4R / 1RW (paper: 2.4×).
+    pub fn area_ratio(&self) -> f64 {
+        self.four_port().area / self.single_port().area
+    }
+}
+
+/// Runs the Fig. 8 sweep: the trained 768:256:256:256:10 binary-SNN on all
+/// five cell options, `samples` test images each.
+pub fn fig8_results(
+    context: &ExperimentContext,
+    samples: usize,
+) -> Result<Fig8Results, BenchError> {
+    let frames = context.test_frames(samples);
+    let mut metrics = Vec::with_capacity(BitcellKind::ALL.len());
+    for cell in BitcellKind::ALL {
+        let config = SystemConfig::paper_default(cell);
+        let mut system = EsamSystem::from_model(context.model(), &config)?;
+        metrics.push(system.measure_batch(&frames)?);
+    }
+    Ok(Fig8Results { metrics })
+}
+
+/// Renders the Fig. 8 table.
+pub fn fig8_table(results: &Fig8Results) -> Table {
+    let mut table = Table::new(
+        "Fig. 8 — System-level comparison across cell options",
+        &[
+            "cell",
+            "clock [MHz]",
+            "throughput [MInf/s]",
+            "energy/inf [pJ]",
+            "power [mW]",
+            "area [µm²]",
+        ],
+    );
+    for (cell, m) in BitcellKind::ALL.iter().zip(&results.metrics) {
+        table.row_owned(vec![
+            cell.name().to_string(),
+            format!("{:.0}", m.clock.mhz()),
+            format!("{:.2}", m.throughput_minf_s()),
+            format!("{:.0}", m.energy_per_inf.pj()),
+            format!("{:.2}", m.total_power().mw()),
+            format!("{:.0}", m.area.value()),
+        ]);
+    }
+    table.note("paper shape: energy/inf falls with every added port; throughput dips at +1R then rises; 1RW power sits above +1R and +2R; area reaches ~2.4x at +4R");
+    table
+}
+
+/// Renders the headline-gains table (abstract / §4.4.2 / Table 3).
+pub fn headline_table(results: &Fig8Results) -> Table {
+    let mut table = Table::new(
+        "Headline — 1RW+4R system vs single-port baseline",
+        &["quantity", "measured", "paper"],
+    );
+    let m4 = results.four_port();
+    table.row_owned(vec![
+        "speedup (throughput)".into(),
+        format!("{:.2}x", results.speedup()),
+        format!("{:.1}x", paper::HEADLINE_SPEEDUP),
+    ]);
+    table.row_owned(vec![
+        "energy-efficiency gain".into(),
+        format!("{:.2}x", results.energy_gain()),
+        format!("{:.1}x", paper::HEADLINE_ENERGY_GAIN),
+    ]);
+    table.row_owned(vec![
+        "throughput".into(),
+        format!("{:.1} MInf/s", m4.throughput_minf_s()),
+        format!("{:.0} MInf/s", paper::SYSTEM_THROUGHPUT_INF_S / 1e6),
+    ]);
+    table.row_owned(vec![
+        "energy/inference".into(),
+        format!("{:.0} pJ", m4.energy_per_inf.pj()),
+        format!("{:.0} pJ", paper::SYSTEM_ENERGY_PER_INF_PJ),
+    ]);
+    table.row_owned(vec![
+        "power".into(),
+        format!("{:.1} mW", m4.total_power().mw()),
+        format!("{:.0} mW", paper::SYSTEM_POWER_MW),
+    ]);
+    table.row_owned(vec![
+        "clock".into(),
+        format!("{:.0} MHz", m4.clock.mhz()),
+        format!("{:.0} MHz", paper::SYSTEM_CLOCK_MHZ),
+    ]);
+    table.row_owned(vec![
+        "area ratio 4R/1RW".into(),
+        format!("{:.2}x", results.area_ratio()),
+        format!("{:.1}x", paper::SYSTEM_AREA_RATIO_4R),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    #[test]
+    fn fig8_shapes_hold_on_quick_context() {
+        let context = ExperimentContext::prepare(Fidelity::Quick).unwrap();
+        let results = fig8_results(&context, 60).unwrap();
+        let m = &results.metrics;
+
+        // Energy/inf strictly decreases with every added port.
+        for pair in m.windows(2) {
+            assert!(
+                pair[1].energy_per_inf < pair[0].energy_per_inf,
+                "energy/inf must fall with added ports"
+            );
+        }
+        // Throughput dips slightly at +1R, then rises.
+        assert!(m[1].throughput_inf_s < m[0].throughput_inf_s);
+        assert!(m[2].throughput_inf_s > m[1].throughput_inf_s);
+        assert!(m[4].throughput_inf_s > m[3].throughput_inf_s);
+        // 1RW power above +1R and +2R, then increasing with ports.
+        assert!(m[0].total_power() > m[1].total_power());
+        assert!(m[0].total_power() > m[2].total_power());
+        assert!(m[4].total_power() > m[3].total_power());
+        // Headline gains in the paper's class.
+        assert!(results.speedup() > 2.5 && results.speedup() < 3.7,
+            "speedup {:.2}", results.speedup());
+        assert!(results.energy_gain() > 1.9 && results.energy_gain() < 2.6,
+            "energy gain {:.2}", results.energy_gain());
+        assert!((results.area_ratio() - paper::SYSTEM_AREA_RATIO_4R).abs() < 0.2);
+
+        // Table renders all rows.
+        assert_eq!(fig8_table(&results).row_count(), 5);
+        assert_eq!(headline_table(&results).row_count(), 7);
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per reproduced table/figure. See `DESIGN.md` §3 for the
+//! experiment index.
+
+pub mod accuracy;
+pub mod addertree;
+pub mod area;
+pub mod corners;
+pub mod arbiter;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod learning;
+pub mod nbl;
+pub mod sta;
+pub mod table2;
+pub mod table3;
+pub mod transient;

@@ -1,0 +1,51 @@
+//! §4.1 / ref [19] reproduction: the NBL write-assist rule that limits
+//! arrays to 128×128.
+
+use esam_sram::BitcellKind;
+use esam_tech::nbl::NblModel;
+
+use crate::Table;
+
+/// Reproduces the array-size validity study: required `V_WD` per cell type
+/// and bitline length, with the −400 mV yield limit.
+pub fn nbl_table() -> Table {
+    let mut table = Table::new(
+        "§4.1 — NBL write assist: required V_WD [mV] vs cells per write bitline",
+        &["cell", "64 cells", "128 cells", "192 cells", "256 cells", "max valid"],
+    );
+    let nbl = NblModel::paper_default();
+    for cell in BitcellKind::ALL {
+        let mult = cell.area_multiplier();
+        let mut cells_row = vec![cell.name().to_string()];
+        for n in [64usize, 128, 192, 256] {
+            cells_row.push(match nbl.required_assist(n, mult) {
+                Ok(v) => format!("{:.0}", v.mv()),
+                Err(_) => "invalid".to_string(),
+            });
+        }
+        cells_row.push(nbl.max_valid_cells(mult).to_string());
+        table.row_owned(cells_row);
+    }
+    table.note("entries marked 'invalid' need V_WD below the −400 mV yield limit; this is what restricts ESAM arrays to ≤128 rows and columns (§4.1)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_reproduces_the_128_limit() {
+        let t = nbl_table();
+        assert_eq!(t.row_count(), 5);
+        for row in 0..5 {
+            // 128 cells valid for all types…
+            assert_ne!(t.cell(row, 2), Some("invalid"), "row {row}");
+            // …256 cells valid for none.
+            assert_eq!(t.cell(row, 4), Some("invalid"), "row {row}");
+            // 128 is within every cell's valid range.
+            let max: usize = t.cell(row, 5).unwrap().parse().unwrap();
+            assert!(max >= 128);
+        }
+    }
+}

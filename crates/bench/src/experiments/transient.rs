@@ -1,0 +1,141 @@
+//! Numerical (MNA) cross-check of the analytical bitline timing/energy
+//! models — the reproduction's stand-in for the paper's Spectre runs.
+//!
+//! For every cell option the table shows the analytical precharge and
+//! develop times next to the transient solver's threshold crossings over
+//! the same parasitics, plus the precharge energy identity
+//! `E = C·V·ΔV` against the integrated source power.
+
+use esam_circuit::{Circuit, Waveform};
+use esam_sram::{ArrayConfig, BitcellKind, LineKind, TimingAnalysis};
+use esam_tech::units::charge_energy;
+
+use crate::{BenchError, Table};
+
+/// Builds the transient cross-check table across 1R..4R cells.
+///
+/// # Errors
+///
+/// Propagates solver failures (singular matrices would indicate a model
+/// bug).
+pub fn transient_table() -> Result<Table, BenchError> {
+    let mut table = Table::new(
+        "Spectre-substitute cross-check — analytical models vs MNA transient (128×128)",
+        &[
+            "cell",
+            "precharge model [ps]",
+            "precharge transient [ps]",
+            "develop model [ps]",
+            "develop transient [ps]",
+            "E_prech model [fJ]",
+            "E_prech transient [fJ]",
+        ],
+    );
+    for ports in 1..=4u8 {
+        let config = ArrayConfig::paper_default(BitcellKind::MultiPort { read_ports: ports });
+        let timing = TimingAnalysis::new(&config);
+        let rbl = config.geometry().line(LineKind::InferenceBitline);
+        let c = rbl.total_capacitance();
+        let rail = config.vprech();
+        let share = timing.rbl_precharge_pitch_share();
+        let r = timing.precharge_resistance(rail, share);
+
+        // Precharge: R from the rail into the bitline capacitance.
+        let analytic_prech = timing.precharge_time(c, rail, share);
+        let mut ckt = Circuit::new();
+        let supply = ckt.add_node("vprech");
+        let bl = ckt.add_node("rbl");
+        ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(rail.v()))?;
+        ckt.add_resistor(supply, bl, r.value())?;
+        ckt.add_capacitor(bl, Circuit::GROUND, c.value())?;
+        let tau = r.value() * c.value();
+        let run = ckt.transient(10.0 * tau, tau / 300.0)?;
+        let transient_prech = run
+            .rising_crossing(bl, 0.9 * rail.v())
+            .expect("precharge reaches 90 %");
+
+        // Develop: the worst-case cell current discharging the bitline by
+        // the sense swing.
+        let i_cell = timing.cell_read_current();
+        let swing = 0.25 * rail.v();
+        let analytic_dev = c.value() * swing / i_cell.value();
+        let mut ckt = Circuit::new();
+        let bl = ckt.add_node("rbl");
+        ckt.add_capacitor(bl, Circuit::GROUND, c.value())?;
+        ckt.set_initial_voltage(bl, rail.v())?;
+        ckt.add_current_source(bl, Circuit::GROUND, Waveform::dc(i_cell.value()))?;
+        ckt.add_resistor(bl, Circuit::GROUND, 1e12)?;
+        let run = ckt.transient(4.0 * analytic_dev, analytic_dev / 300.0)?;
+        let transient_dev = run
+            .falling_crossing(bl, rail.v() - swing)
+            .expect("bitline develops");
+
+        // Precharge restore energy: C·V_rail·ΔV vs integrated source power.
+        let restore = 0.5 * rail.v();
+        let analytic_e = charge_energy(c, rail, rail * 0.5);
+        let mut ckt = Circuit::new();
+        let supply = ckt.add_node("vprech");
+        let bl = ckt.add_node("rbl");
+        ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(rail.v()))?;
+        ckt.add_resistor(supply, bl, r.value())?;
+        ckt.add_capacitor(bl, Circuit::GROUND, c.value())?;
+        ckt.set_initial_voltage(bl, rail.v() - restore)?;
+        let run = ckt.transient(15.0 * tau, tau / 300.0)?;
+        let transient_e = run.source_energy(0);
+
+        table.row_owned(vec![
+            format!("1RW+{ports}R"),
+            format!("{:.1}", analytic_prech.ps()),
+            format!("{:.1}", transient_prech * 1e12),
+            format!("{:.1}", analytic_dev * 1e12),
+            format!("{:.1}", transient_dev * 1e12),
+            format!("{:.2}", analytic_e.fj()),
+            format!("{:.2}", transient_e * 1e15),
+        ]);
+    }
+    table.note("model vs transient: precharge within the 2.2τ-vs-ln(10)τ band, develop exact (constant-current), energy within integration error");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_track_the_transient_solver() {
+        let table = transient_table().unwrap();
+        assert_eq!(table.row_count(), 4);
+        for row in 0..4 {
+            let m_prech: f64 = table.cell(row, 1).unwrap().parse().unwrap();
+            let t_prech: f64 = table.cell(row, 2).unwrap().parse().unwrap();
+            assert!(
+                (m_prech / t_prech - 1.0).abs() < 0.12,
+                "row {row}: precharge {m_prech} vs {t_prech}"
+            );
+            let m_dev: f64 = table.cell(row, 3).unwrap().parse().unwrap();
+            let t_dev: f64 = table.cell(row, 4).unwrap().parse().unwrap();
+            assert!(
+                (m_dev / t_dev - 1.0).abs() < 0.03,
+                "row {row}: develop {m_dev} vs {t_dev}"
+            );
+            let m_e: f64 = table.cell(row, 5).unwrap().parse().unwrap();
+            let t_e: f64 = table.cell(row, 6).unwrap().parse().unwrap();
+            assert!(
+                (m_e / t_e - 1.0).abs() < 0.05,
+                "row {row}: energy {m_e} vs {t_e}"
+            );
+        }
+    }
+
+    #[test]
+    fn times_grow_with_ports() {
+        let table = transient_table().unwrap();
+        let col = |row: usize, col: usize| -> f64 { table.cell(row, col).unwrap().parse().unwrap() };
+        for row in 1..4 {
+            assert!(
+                col(row, 2) >= col(row - 1, 2),
+                "transient precharge must grow with ports"
+            );
+        }
+    }
+}

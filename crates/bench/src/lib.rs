@@ -1,0 +1,178 @@
+//! Experiment harness: regenerates every table and figure of the ESAM paper.
+//!
+//! Each artifact of the paper's evaluation section has a module under
+//! [`experiments`] that computes it from the workspace's models — nothing is
+//! hard-coded except the paper's own quoted values, printed alongside for
+//! comparison. The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p esam-bench --bin repro -- all
+//! cargo run --release -p esam-bench --bin repro -- fig7 table2
+//! cargo run --release -p esam-bench --bin repro -- --quick fig8
+//! ```
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `area` | §4.2 cell areas |
+//! | `fig6` | transposed-port write/read time & energy |
+//! | `fig7` | access time/energy vs ports × V_prech |
+//! | `table2` | pipeline stage durations |
+//! | `arbiter` | §3.3 flat vs tree arbiter |
+//! | `nbl` | §4.1 array-size validity rule |
+//! | `learning` | §4.4.1 online-learning cost |
+//! | `fig8` | system sweep + headline gains |
+//! | `table3` | SOTA comparison |
+//! | `accuracy` | §4.4.2 classification accuracy |
+//! | `sta` | §3.3 gate-level STA cross-check (structural arbiter) |
+//! | `transient` | MNA transient cross-check of the bitline models |
+//! | `addertree` | intro baseline: adder-tree CIM vs CIM-P sparsity sweep |
+//! | `corners` | Table 3 note: DVFS/HVT corner projection |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod error;
+pub mod experiments;
+mod table;
+
+pub use context::{ExperimentContext, Fidelity};
+pub use error::BenchError;
+pub use table::Table;
+
+/// Experiment ids that need no trained network (circuit-level artifacts).
+pub const CIRCUIT_EXPERIMENTS: [&str; 10] = [
+    "area", "fig6", "fig7", "table2", "arbiter", "nbl", "sta", "transient", "addertree", "corners",
+];
+
+/// Experiment ids that need the trained network (system-level artifacts).
+pub const SYSTEM_EXPERIMENTS: [&str; 4] = ["learning", "fig8", "table3", "accuracy"];
+
+/// Runs a list of experiments, printing each table to stdout.
+///
+/// `samples` bounds the number of test images used by the system-level
+/// experiments. The shared [`ExperimentContext`] (dataset + trained model)
+/// is built lazily, only when a system experiment is requested.
+///
+/// # Errors
+///
+/// Returns [`BenchError::UnknownExperiment`] for an unrecognized id, or any
+/// propagated model error.
+pub fn run_experiments(
+    ids: &[String],
+    fidelity: Fidelity,
+    samples: usize,
+) -> Result<(), BenchError> {
+    let expanded: Vec<String> = if ids.iter().any(|id| id == "all") {
+        CIRCUIT_EXPERIMENTS
+            .iter()
+            .chain(SYSTEM_EXPERIMENTS.iter())
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        ids.to_vec()
+    };
+
+    // Validate ids before doing any expensive work.
+    for id in &expanded {
+        let known = CIRCUIT_EXPERIMENTS.contains(&id.as_str())
+            || SYSTEM_EXPERIMENTS.contains(&id.as_str());
+        if !known {
+            return Err(BenchError::UnknownExperiment(id.clone()));
+        }
+    }
+
+    let needs_context = expanded
+        .iter()
+        .any(|id| ["fig8", "table3", "accuracy"].contains(&id.as_str()));
+    let context = if needs_context {
+        eprintln!("[repro] preparing dataset + training the 768:256:256:256:10 BNN ({fidelity:?}) …");
+        Some(ExperimentContext::prepare(fidelity)?)
+    } else {
+        None
+    };
+    // fig8 results are reused by table3.
+    let mut fig8_cache: Option<experiments::fig8::Fig8Results> = None;
+    let mut accuracy_cache: Option<experiments::accuracy::AccuracyNumbers> = None;
+
+    for id in &expanded {
+        match id.as_str() {
+            "area" => println!("{}", experiments::area::area_table()),
+            "fig6" => println!("{}", experiments::fig6::fig6_table()?),
+            "fig7" => println!("{}", experiments::fig7::fig7_table()?),
+            "table2" => println!("{}", experiments::table2::table2_table()?),
+            "arbiter" => {
+                println!("{}", experiments::arbiter::arbiter_table()?);
+                println!("{}", experiments::arbiter::arbiter_scaling_table()?);
+            }
+            "nbl" => println!("{}", experiments::nbl::nbl_table()),
+            "sta" => println!("{}", experiments::sta::sta_table()?),
+            "transient" => println!("{}", experiments::transient::transient_table()?),
+            "addertree" => println!("{}", experiments::addertree::addertree_table()?),
+            "corners" => println!("{}", experiments::corners::corners_table()),
+            "learning" => println!("{}", experiments::learning::learning_table()?),
+            "fig8" => {
+                let context = context.as_ref().expect("context prepared above");
+                if fig8_cache.is_none() {
+                    fig8_cache = Some(experiments::fig8::fig8_results(context, samples)?);
+                }
+                let results = fig8_cache.as_ref().expect("just populated");
+                println!("{}", experiments::fig8::fig8_table(results));
+                println!("{}", experiments::fig8::headline_table(results));
+            }
+            "table3" => {
+                let context = context.as_ref().expect("context prepared above");
+                if fig8_cache.is_none() {
+                    fig8_cache = Some(experiments::fig8::fig8_results(context, samples)?);
+                }
+                if accuracy_cache.is_none() {
+                    accuracy_cache =
+                        Some(experiments::accuracy::accuracy_numbers(context, samples)?);
+                }
+                let results = fig8_cache.as_ref().expect("just populated");
+                let accuracy = accuracy_cache.as_ref().expect("just populated");
+                println!(
+                    "{}",
+                    experiments::table3::table3_table(
+                        results.four_port(),
+                        accuracy.hardware * 100.0
+                    )
+                );
+            }
+            "accuracy" => {
+                let context = context.as_ref().expect("context prepared above");
+                if accuracy_cache.is_none() {
+                    accuracy_cache =
+                        Some(experiments::accuracy::accuracy_numbers(context, samples)?);
+                }
+                println!(
+                    "{}",
+                    experiments::accuracy::accuracy_table(
+                        accuracy_cache.as_ref().expect("just populated")
+                    )
+                );
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_rejected_before_training() {
+        let err = run_experiments(&["bogus".to_string()], Fidelity::Quick, 5).unwrap_err();
+        assert!(matches!(err, BenchError::UnknownExperiment(_)));
+    }
+
+    #[test]
+    fn circuit_experiments_run_without_context() {
+        for id in CIRCUIT_EXPERIMENTS {
+            run_experiments(&[id.to_string()], Fidelity::Quick, 5)
+                .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        }
+    }
+}

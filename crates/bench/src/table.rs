@@ -1,0 +1,155 @@
+//! Plain-text result tables with aligned columns and CSV export.
+
+use std::fmt;
+
+/// A labelled table of experiment results.
+///
+/// # Examples
+///
+/// ```
+/// use esam_bench::Table;
+///
+/// let mut t = Table::new("Demo", &["cell", "value"]);
+/// t.row(&["1RW", "1.0"]);
+/// t.row(&["1RW+4R", "2.625"]);
+/// assert!(t.to_string().contains("1RW+4R"));
+/// assert!(t.to_csv().starts_with("cell,value"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends one row from owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Adds a free-text footnote printed under the table.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (`row`, `col`), `None` when out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// CSV rendering (headers + rows; notes are omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let mut header = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            header.push_str(&format!("{:width$}  ", h, width = widths[i]));
+        }
+        writeln!(f, "{}", header.trim_end())?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total.saturating_sub(2)))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                line.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_csv() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["xxxxxxxx", "1"]);
+        t.note("hello");
+        let text = t.to_string();
+        assert!(text.contains("== T =="));
+        assert!(text.contains("note: hello"));
+        assert_eq!(t.to_csv(), "a,long-header\nxxxxxxxx,1\n");
+        assert_eq!(t.cell(0, 0), Some("xxxxxxxx"));
+        assert_eq!(t.cell(1, 0), None);
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new("T", &["a", "b"]).row(&["only-one"]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Packed two-dimensional bit matrix (synaptic weight storage).
+
+use std::fmt;
+
+use crate::BitVec;
+
+const WORD_BITS: usize = 64;
+
+/// A `rows × cols` bit matrix packed row-major into `u64` words.
+///
+/// This is the functional view of the SRAM array content: rows are
+/// pre-synaptic neurons (wordlines for Inference reads), columns are
+/// post-synaptic neurons (the transposed access dimension used by on-chip
+/// learning, Fig. 1(b)/(c)).
+///
+/// # Examples
+///
+/// ```
+/// use esam_bits::BitMatrix;
+///
+/// let mut m = BitMatrix::new(128, 128);
+/// m.set(3, 40, true);
+/// assert!(m.get(3, 40));
+/// assert_eq!(m.column(40).count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix with the given dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        Self {
+            words: vec![0; rows * words_per_row],
+            rows,
+            cols,
+            words_per_row,
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every position.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esam_bits::BitMatrix;
+    /// let identity = BitMatrix::from_fn(4, 4, |r, c| r == c);
+    /// assert_eq!(identity.count_ones(), 4);
+    /// ```
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows (pre-synaptic dimension).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (post-synaptic dimension).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the bit at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.check(row, col);
+        let w = self.words[row * self.words_per_row + col / WORD_BITS];
+        (w >> (col % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes the bit at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.check(row, col);
+        let w = &mut self.words[row * self.words_per_row + col / WORD_BITS];
+        let mask = 1u64 << (col % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Returns row `row` as a [`BitVec`] (an Inference wordline read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    pub fn row(&self, row: usize) -> BitVec {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let mut v = BitVec::new(self.cols);
+        for c in 0..self.cols {
+            if self.get(row, c) {
+                v.set(c, true);
+            }
+        }
+        v
+    }
+
+    /// Returns column `col` as a [`BitVec`] (a transposed-port read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols()`.
+    pub fn column(&self, col: usize) -> BitVec {
+        assert!(col < self.cols, "column {col} out of range {}", self.cols);
+        let mut v = BitVec::new(self.rows);
+        for r in 0..self.rows {
+            if self.get(r, col) {
+                v.set(r, true);
+            }
+        }
+        v
+    }
+
+    /// Overwrites row `row` with `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `bits.len() != cols()`.
+    pub fn set_row(&mut self, row: usize, bits: &BitVec) {
+        assert_eq!(bits.len(), self.cols, "row width mismatch");
+        for c in 0..self.cols {
+            self.set(row, c, bits.get(c));
+        }
+    }
+
+    /// Overwrites column `col` with `bits` (a transposed-port write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `bits.len() != rows()`.
+    pub fn set_column(&mut self, col: usize, bits: &BitVec) {
+        assert_eq!(bits.len(), self.rows, "column height mismatch");
+        for r in 0..self.rows {
+            self.set(r, col, bits.get(r));
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of stored bits (`rows × cols`).
+    pub fn bit_count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitMatrix[{}x{}, {} ones]",
+            self.rows,
+            self.cols,
+            self.count_ones()
+        )
+    }
+}
+
+impl BitMatrix {
+    #[inline]
+    fn check(&self, row: usize, col: usize) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        assert!(col < self.cols, "column {col} out of range {}", self.cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_dimensions() {
+        let m = BitMatrix::new(128, 130);
+        assert_eq!(m.rows(), 128);
+        assert_eq!(m.cols(), 130);
+        assert_eq!(m.bit_count(), 128 * 130);
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::new(5, 70);
+        m.set(4, 69, true);
+        m.set(0, 0, true);
+        assert!(m.get(4, 69));
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 1));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn row_column_extraction() {
+        let m = BitMatrix::from_fn(8, 8, |r, c| r == c || c == 3);
+        let row2 = m.row(2);
+        assert_eq!(row2.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+        let col3 = m.column(3);
+        assert_eq!(col3.count_ones(), 8);
+    }
+
+    #[test]
+    fn set_row_and_column() {
+        let mut m = BitMatrix::new(4, 4);
+        m.set_row(1, &BitVec::from_indices(4, &[0, 3]));
+        assert!(m.get(1, 0) && m.get(1, 3));
+        m.set_column(0, &BitVec::from_indices(4, &[2]));
+        assert!(!m.get(1, 0), "column write overwrites prior row write");
+        assert!(m.get(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitMatrix::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn set_row_wrong_width_panics() {
+        BitMatrix::new(2, 4).set_row(0, &BitVec::new(3));
+    }
+
+    #[test]
+    fn transpose_identity() {
+        // row(i) of M equals column(i) of M when M is symmetric.
+        let m = BitMatrix::from_fn(16, 16, |r, c| (r + c) % 3 == 0);
+        for i in 0..16 {
+            assert_eq!(m.row(i).to_bools(), m.column(i).to_bools());
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", BitMatrix::new(1, 1)).is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! Fixed-length packed bit vector.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bit vector packed into `u64` words.
+///
+/// Bit index `0` is the *leftmost* bit — the highest-priority position for
+/// the paper's fixed-priority encoder (§3.3). The length is fixed at
+/// construction; all accessors panic on out-of-range indices, mirroring how
+/// a hardware request bus has a fixed width.
+///
+/// # Examples
+///
+/// ```
+/// use esam_bits::BitVec;
+///
+/// let mut v = BitVec::new(10);
+/// v.set(9, true);
+/// assert!(v.get(9));
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector from a slice of booleans, preserving order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esam_bits::BitVec;
+    /// let v = BitVec::from_bools(&[true, false, true]);
+    /// assert_eq!(v.count_ones(), 2);
+    /// ```
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a bit vector of `len` bits where exactly the listed indices
+    /// are set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut v = Self::new(len);
+        for &i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Sets every bit to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets every bit to one.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if at least one bit is set. This is the inverse of the
+    /// paper's `noR` flag (Fig. 4(b)).
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Index of the first (leftmost, highest-priority) set bit, if any.
+    ///
+    /// This is exactly the selection the paper's fixed-priority encoder
+    /// performs on the request vector `R`.
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterator over the indices of set bits, in ascending order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esam_bits::BitVec;
+    /// let v = BitVec::from_indices(8, &[1, 5]);
+    /// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![1, 5]);
+    /// ```
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place bitwise AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in and_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place bitwise OR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in or_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place bitwise AND-NOT (`self &= !other`): masks out the bits set
+    /// in `other`. This is the `R' = R \ G` operation of the cascaded
+    /// arbiter (Fig. 4(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_not_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in and_not_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Returns the bits as a vector of booleans.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// `true` when exactly one bit is set (a valid one-hot grant vector).
+    pub fn is_one_hot(&self) -> bool {
+        self.count_ones() == 1
+    }
+
+    /// `true` when every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in is_subset_of");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Zeroes the bits in the last word beyond `len`, keeping the packed
+    /// representation canonical so that `Eq`/`Hash` remain meaningful.
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        Self::from_bools(&bits)
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`], produced by
+/// [`BitVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    vec: &'a BitVec,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_index * WORD_BITS + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.any());
+        assert_eq!(v.first_set(), None);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::new(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+            assert!(v.get(i), "bit {i} should be set");
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::new(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitVec::new(8).set(8, true);
+    }
+
+    #[test]
+    fn first_set_is_leftmost() {
+        let v = BitVec::from_indices(128, &[100, 17, 55]);
+        assert_eq!(v.first_set(), Some(17));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let v = BitVec::from_indices(300, &[299, 0, 64, 128, 63]);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 128, 299]);
+    }
+
+    #[test]
+    fn set_all_respects_length() {
+        let mut v = BitVec::new(70);
+        v.set_all();
+        assert_eq!(v.count_ones(), 70);
+        let w = BitVec::from_bools(&vec![true; 70]);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn and_not_masks_grant() {
+        let mut r = BitVec::from_indices(16, &[2, 5, 9]);
+        let g = BitVec::from_indices(16, &[2]);
+        r.and_not_assign(&g);
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), vec![5, 9]);
+    }
+
+    #[test]
+    fn subset_and_one_hot() {
+        let g = BitVec::from_indices(16, &[5]);
+        let r = BitVec::from_indices(16, &[2, 5, 9]);
+        assert!(g.is_one_hot());
+        assert!(g.is_subset_of(&r));
+        assert!(!r.is_one_hot());
+        assert!(!r.is_subset_of(&g));
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        let bits = [true, false, false, true, true];
+        let v = BitVec::from_bools(&bits);
+        assert_eq!(v.to_bools(), bits);
+    }
+
+    #[test]
+    fn display_formats_bits() {
+        let v = BitVec::from_indices(5, &[0, 4]);
+        assert_eq!(v.to_string(), "10001");
+        assert!(!format!("{v:?}").is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v = BitVec::from_indices(90, &[0, 89]);
+        v.clear();
+        assert!(!v.any());
+    }
+
+    #[test]
+    fn or_and_assign() {
+        let mut a = BitVec::from_indices(8, &[1]);
+        let b = BitVec::from_indices(8, &[2]);
+        a.or_assign(&b);
+        assert_eq!(a.count_ones(), 2);
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Packed bit containers used across the ESAM reproduction.
+//!
+//! The architecture manipulates three kinds of bit-shaped data:
+//!
+//! * **Spike request vectors** (`R` in the paper, §3.3) — one bit per SRAM
+//!   wordline, consumed by the [arbiter].
+//! * **Synaptic weight matrices** — one bit per 1-bit synapse stored in the
+//!   multiport SRAM array (§3.2).
+//! * **Spike frames** — the binary pulses transmitted fully in parallel
+//!   between cascaded tiles (§3.1).
+//!
+//! [`BitVec`] and [`BitMatrix`] provide these with `u64`-packed storage,
+//! leftmost-first indexing (bit 0 is the highest-priority request, matching
+//! the paper's fixed-priority encoder), and the small set of operations the
+//! simulator needs (population counts, first-set scans, row/column access).
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_bits::BitVec;
+//!
+//! let mut requests = BitVec::new(128);
+//! requests.set(3, true);
+//! requests.set(77, true);
+//! assert_eq!(requests.first_set(), Some(3));
+//! assert_eq!(requests.count_ones(), 2);
+//! ```
+//!
+//! [arbiter]: https://docs.rs/esam-arbiter
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+mod bitvec;
+
+pub use bitmatrix::BitMatrix;
+pub use bitvec::BitVec;

@@ -1,0 +1,322 @@
+//! Circuit graphs: nodes, passive elements, sources and switches.
+//!
+//! A [`Circuit`] is built incrementally, then handed to
+//! [`Circuit::transient`](crate::Circuit::transient) for backward-Euler
+//! integration. The element set is the minimum needed to model SRAM
+//! bitline/wordline physics: resistors, capacitors, independent sources
+//! and time-scheduled switches (the access transistor turning on).
+
+use crate::error::CircuitError;
+use crate::waveform::Waveform;
+
+/// Identifier of a circuit node. [`Circuit::GROUND`] is node 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Position in circuit order (ground = 0).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Resistor {
+    pub a: usize,
+    pub b: usize,
+    pub ohms: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Capacitor {
+    pub a: usize,
+    pub b: usize,
+    pub farads: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VoltageSource {
+    pub pos: usize,
+    pub neg: usize,
+    pub wave: Waveform,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct CurrentSource {
+    /// Current flows out of `from` and into `to`.
+    pub from: usize,
+    pub to: usize,
+    pub wave: Waveform,
+}
+
+/// A time-scheduled ideal-ish switch: open (conductance 0) before
+/// `closes_at`, a resistor of `ron` ohms afterwards, optionally opening
+/// again at `opens_at`.
+#[derive(Debug, Clone)]
+pub(crate) struct Switch {
+    pub a: usize,
+    pub b: usize,
+    pub ron_ohms: f64,
+    pub closes_at: f64,
+    pub opens_at: Option<f64>,
+}
+
+impl Switch {
+    /// `true` if the switch conducts at time `t`.
+    pub(crate) fn is_closed(&self, t: f64) -> bool {
+        t >= self.closes_at && self.opens_at.is_none_or(|open| t < open)
+    }
+}
+
+/// A lumped-element circuit under construction.
+///
+/// # Examples
+///
+/// Precharge a 10 fF bitline to 500 mV, then discharge it through a 5 kΩ
+/// pulldown closing at t = 0:
+///
+/// ```
+/// use esam_circuit::{Circuit, Waveform};
+///
+/// # fn main() -> Result<(), esam_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let bl = ckt.add_node("bl");
+/// ckt.add_capacitor(bl, Circuit::GROUND, 10e-15)?;
+/// ckt.set_initial_voltage(bl, 0.5)?;
+/// ckt.add_switch(bl, Circuit::GROUND, 5e3, 0.0, None)?;
+///
+/// let result = ckt.transient(2e-9, 1e-12)?;
+/// let t50 = result.falling_crossing(bl, 0.25).expect("discharges");
+/// // t50 ≈ RC·ln2 = 34.7 ps
+/// assert!((t50 - 34.7e-12).abs() < 2e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) capacitors: Vec<Capacitor>,
+    pub(crate) vsources: Vec<VoltageSource>,
+    pub(crate) isources: Vec<CurrentSource>,
+    pub(crate) switches: Vec<Switch>,
+    pub(crate) initial: Vec<(usize, f64)>,
+}
+
+impl Circuit {
+    /// The ground reference node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only ground.
+    pub fn new() -> Self {
+        Self {
+            node_names: vec!["0".to_string()],
+            ..Self::default()
+        }
+    }
+
+    /// Adds a named node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.into());
+        id
+    }
+
+    /// Number of nodes, including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    fn check(&self, node: NodeId) -> Result<usize, CircuitError> {
+        if node.0 >= self.node_names.len() {
+            return Err(CircuitError::UnknownNode);
+        }
+        Ok(node.0)
+    }
+
+    fn check_positive(quantity: &'static str, value: f64) -> Result<f64, CircuitError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(CircuitError::InvalidValue { quantity, value });
+        }
+        Ok(value)
+    }
+
+    /// Connects a resistor of `ohms` between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] / [`CircuitError::InvalidValue`] on
+    /// bad arguments.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<(), CircuitError> {
+        let (a, b) = (self.check(a)?, self.check(b)?);
+        let ohms = Self::check_positive("resistance", ohms)?;
+        self.resistors.push(Resistor { a, b, ohms });
+        Ok(())
+    }
+
+    /// Connects a capacitor of `farads` between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] / [`CircuitError::InvalidValue`] on
+    /// bad arguments.
+    pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> Result<(), CircuitError> {
+        let (a, b) = (self.check(a)?, self.check(b)?);
+        let farads = Self::check_positive("capacitance", farads)?;
+        self.capacitors.push(Capacitor { a, b, farads });
+        Ok(())
+    }
+
+    /// Connects an ideal voltage source driving `pos` relative to `neg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] on bad nodes.
+    pub fn add_voltage_source(
+        &mut self,
+        pos: NodeId,
+        neg: NodeId,
+        wave: Waveform,
+    ) -> Result<(), CircuitError> {
+        let (pos, neg) = (self.check(pos)?, self.check(neg)?);
+        self.vsources.push(VoltageSource { pos, neg, wave });
+        Ok(())
+    }
+
+    /// Connects a current source pushing current out of `from` into `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] on bad nodes.
+    pub fn add_current_source(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        wave: Waveform,
+    ) -> Result<(), CircuitError> {
+        let (from, to) = (self.check(from)?, self.check(to)?);
+        self.isources.push(CurrentSource { from, to, wave });
+        Ok(())
+    }
+
+    /// Connects a switch of on-resistance `ron_ohms` that closes at
+    /// `closes_at` seconds and optionally opens again at `opens_at`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] / [`CircuitError::InvalidValue`] on
+    /// bad arguments.
+    pub fn add_switch(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ron_ohms: f64,
+        closes_at: f64,
+        opens_at: Option<f64>,
+    ) -> Result<(), CircuitError> {
+        let (a, b) = (self.check(a)?, self.check(b)?);
+        let ron_ohms = Self::check_positive("on-resistance", ron_ohms)?;
+        if let Some(open) = opens_at {
+            if open <= closes_at {
+                return Err(CircuitError::InvalidValue {
+                    quantity: "switch open time",
+                    value: open,
+                });
+            }
+        }
+        self.switches.push(Switch {
+            a,
+            b,
+            ron_ohms,
+            closes_at,
+            opens_at,
+        });
+        Ok(())
+    }
+
+    /// Sets the initial (t = 0) voltage of `node` — how bitlines start
+    /// precharged.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] on bad nodes.
+    pub fn set_initial_voltage(&mut self, node: NodeId, volts: f64) -> Result<(), CircuitError> {
+        let node = self.check(node)?;
+        self.initial.push((node, volts));
+        Ok(())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_named_and_counted() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node_count(), 1);
+        let bl = ckt.add_node("bl");
+        assert_eq!(ckt.node_name(bl), "bl");
+        assert_eq!(ckt.node_name(Circuit::GROUND), "0");
+        assert_eq!(ckt.node_count(), 2);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let mut ckt = Circuit::new();
+        let n = ckt.add_node("n");
+        assert!(matches!(
+            ckt.add_resistor(n, Circuit::GROUND, 0.0),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            ckt.add_capacitor(n, Circuit::GROUND, -1e-15),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            ckt.add_resistor(n, Circuit::GROUND, f64::NAN),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            ckt.add_switch(n, Circuit::GROUND, 1e3, 5.0, Some(4.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_nodes_are_rejected() {
+        let mut ckt = Circuit::new();
+        let bogus = NodeId(42);
+        assert_eq!(
+            ckt.add_resistor(bogus, Circuit::GROUND, 1e3),
+            Err(CircuitError::UnknownNode)
+        );
+        assert_eq!(ckt.set_initial_voltage(bogus, 0.5), Err(CircuitError::UnknownNode));
+    }
+
+    #[test]
+    fn switch_schedule() {
+        let s = Switch {
+            a: 0,
+            b: 1,
+            ron_ohms: 1e3,
+            closes_at: 1e-9,
+            opens_at: Some(3e-9),
+        };
+        assert!(!s.is_closed(0.5e-9));
+        assert!(s.is_closed(1e-9));
+        assert!(s.is_closed(2.9e-9));
+        assert!(!s.is_closed(3e-9));
+    }
+
+}

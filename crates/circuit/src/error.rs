@@ -1,0 +1,72 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the circuit substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A `NodeId` from a different circuit was used.
+    UnknownNode,
+    /// An element value was non-positive, NaN or infinite.
+    InvalidValue {
+        /// What was being set (e.g. "resistance").
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The MNA matrix is singular (typically a node with no DC path to
+    /// ground, or a loop of ideal voltage sources).
+    SingularMatrix {
+        /// Pivot index where elimination failed.
+        pivot: usize,
+    },
+    /// The requested simulation window or step is not positive.
+    BadTimeAxis {
+        /// Requested stop time.
+        stop: f64,
+        /// Requested step.
+        step: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode => f.write_str("node id does not belong to this circuit"),
+            CircuitError::InvalidValue { quantity, value } => {
+                write!(f, "invalid {quantity}: {value}")
+            }
+            CircuitError::SingularMatrix { pivot } => {
+                write!(f, "singular MNA matrix at pivot {pivot} (floating node or source loop)")
+            }
+            CircuitError::BadTimeAxis { stop, step } => {
+                write!(f, "bad time axis: stop {stop} s, step {step} s")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = CircuitError::InvalidValue {
+            quantity: "resistance",
+            value: -3.0,
+        };
+        assert_eq!(e.to_string(), "invalid resistance: -3");
+        assert!(CircuitError::SingularMatrix { pivot: 4 }.to_string().contains("pivot 4"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CircuitError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Transient circuit solver for the ESAM reproduction.
+//!
+//! The paper's circuit numbers come from Cadence Spectre runs over
+//! extracted parasitics (Table 1). This crate is the reproduction's
+//! numerical stand-in: a small modified-nodal-analysis (MNA) engine with
+//! backward-Euler integration over resistors, capacitors, independent
+//! sources and time-scheduled switches, plus [`RcLadder`] builders for
+//! distributed bitline/wordline models.
+//!
+//! It exists to *cross-check* the fast analytical models in `esam-tech` /
+//! `esam-sram` (Elmore delays, `E = C·V·ΔV` energies): integration tests
+//! build the same RC topologies both ways and assert the analytical
+//! results land where the numerical ones do. It is not a general SPICE —
+//! the element set is deliberately the minimum the ESAM studies need.
+//!
+//! # Examples
+//!
+//! Discharge a precharged bitline through an access transistor modeled as
+//! a switched pulldown:
+//!
+//! ```
+//! use esam_circuit::{Circuit, RcLadder, Waveform};
+//!
+//! # fn main() -> Result<(), esam_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let top = ckt.add_node("rbl_top");
+//! let ladder = RcLadder::build(&mut ckt, top, 16, 38.4e3, 3.1e-15, "rbl")?;
+//! for &node in ladder.nodes() {
+//!     ckt.set_initial_voltage(node, 0.5)?; // V_prech = 500 mV
+//! }
+//! ckt.add_switch(ladder.output(), Circuit::GROUND, 8e3, 0.0, None)?;
+//!
+//! let result = ckt.transient(2e-9, 1e-12)?;
+//! let sense_time = result.falling_crossing(top, 0.375); // 25 % swing
+//! assert!(sense_time.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod error;
+mod rc;
+mod solve;
+mod transient;
+mod waveform;
+
+pub use circuit::{Circuit, NodeId};
+pub use error::CircuitError;
+pub use rc::RcLadder;
+pub use solve::LuFactors;
+pub use transient::TransientResult;
+pub use waveform::Waveform;

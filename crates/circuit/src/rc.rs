@@ -1,0 +1,165 @@
+//! RC-ladder builders for distributed wire models.
+//!
+//! SRAM bitlines and wordlines are distributed RC lines; the analytical
+//! models in `esam-tech` reduce them to Elmore delays. These builders
+//! produce the equivalent segmented π-ladder so the transient solver can
+//! check those reductions numerically.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::CircuitError;
+
+/// A distributed wire realized as `segments` π-sections.
+#[derive(Debug, Clone)]
+pub struct RcLadder {
+    nodes: Vec<NodeId>,
+}
+
+impl RcLadder {
+    /// Builds a π-segment ladder from `input` with total resistance
+    /// `r_total` and total capacitance `c_total`, split evenly over
+    /// `segments` sections. Returns the ladder with its internal nodes;
+    /// the far end is [`RcLadder::output`].
+    ///
+    /// Each π-section carries `R/n` in series with `C/2n` shunts at both
+    /// ends (adjacent shunts merge, yielding the classic `C/n` internal
+    /// loading).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidValue`] for zero segments or non-positive
+    /// R/C; [`CircuitError::UnknownNode`] for a foreign `input` node.
+    pub fn build(
+        circuit: &mut Circuit,
+        input: NodeId,
+        segments: usize,
+        r_total: f64,
+        c_total: f64,
+        name: &str,
+    ) -> Result<Self, CircuitError> {
+        if segments == 0 {
+            return Err(CircuitError::InvalidValue {
+                quantity: "ladder segments",
+                value: 0.0,
+            });
+        }
+        let r_seg = r_total / segments as f64;
+        let c_half = c_total / (2.0 * segments as f64);
+
+        let mut nodes = vec![input];
+        circuit.add_capacitor(input, Circuit::GROUND, c_half)?;
+        let mut previous = input;
+        for k in 0..segments {
+            let next = circuit.add_node(format!("{name}[{k}]"));
+            circuit.add_resistor(previous, next, r_seg)?;
+            // End caps get C/2n; interior nodes receive C/2n from both
+            // adjacent sections.
+            let shunt = if k + 1 == segments { c_half } else { 2.0 * c_half };
+            circuit.add_capacitor(next, Circuit::GROUND, shunt)?;
+            nodes.push(next);
+            previous = next;
+        }
+        Ok(Self { nodes })
+    }
+
+    /// All ladder nodes from the driven end to the far end.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The far-end node.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a ladder always has at least two nodes.
+    pub fn output(&self) -> NodeId {
+        *self.nodes.last().expect("ladder has nodes")
+    }
+
+    /// Elmore delay from the driven end to the far end for this ladder
+    /// topology (`Σ R_i · C_downstream,i`), the quantity the analytical
+    /// wire model uses.
+    pub fn elmore_delay(segments: usize, r_total: f64, c_total: f64) -> f64 {
+        let n = segments as f64;
+        let r_seg = r_total / n;
+        let c_half = c_total / (2.0 * n);
+        // Downstream of segment resistor k (0-based): interior caps plus
+        // the far-end half cap.
+        let mut delay = 0.0;
+        for k in 0..segments {
+            let interior = (segments - 1 - k) as f64 * 2.0 * c_half;
+            delay += r_seg * (interior + c_half);
+        }
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn ladder_has_expected_node_count() {
+        let mut ckt = Circuit::new();
+        let driver = ckt.add_node("drv");
+        let ladder = RcLadder::build(&mut ckt, driver, 8, 1e3, 10e-15, "bl").unwrap();
+        assert_eq!(ladder.nodes().len(), 9);
+        assert_eq!(ckt.node_name(ladder.output()), "bl[7]");
+    }
+
+    #[test]
+    fn zero_segments_rejected() {
+        let mut ckt = Circuit::new();
+        let driver = ckt.add_node("drv");
+        assert!(matches!(
+            RcLadder::build(&mut ckt, driver, 0, 1e3, 1e-15, "bl"),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn elmore_converges_to_half_rc_for_distributed_lines() {
+        // The classic result: a distributed RC line's Elmore delay is
+        // R·C/2 in the many-segment limit.
+        let rc = 1e3 * 10e-15;
+        let coarse = RcLadder::elmore_delay(2, 1e3, 10e-15);
+        let fine = RcLadder::elmore_delay(64, 1e3, 10e-15);
+        assert!((fine - rc / 2.0).abs() < 0.02 * rc);
+        assert!((coarse - rc / 2.0).abs() < 0.2 * rc);
+    }
+
+    #[test]
+    fn transient_50_percent_delay_sits_below_elmore() {
+        // Elmore over-estimates the 50 % step delay of an RC line (the
+        // true distributed response crosses at ≈ 0.38·RC vs Elmore 0.5·RC),
+        // so the ratio must land below 1 but in the same decade.
+        let mut ckt = Circuit::new();
+        let driver = ckt.add_node("drv");
+        ckt.add_voltage_source(driver, Circuit::GROUND, Waveform::step(1e-12, 0.0, 1.0))
+            .unwrap();
+        let (r_total, c_total) = (2e3, 20e-15);
+        let ladder = RcLadder::build(&mut ckt, driver, 24, r_total, c_total, "bl").unwrap();
+        let elmore = RcLadder::elmore_delay(24, r_total, c_total);
+        let result = ckt.transient(10.0 * elmore, elmore / 400.0).unwrap();
+        let t50 = result.rising_crossing(ladder.output(), 0.5).expect("charges") - 1e-12;
+        let ratio = t50 / elmore;
+        assert!(
+            (0.5..1.0).contains(&ratio),
+            "t50/elmore ratio {ratio} outside the distributed-line band"
+        );
+    }
+
+    #[test]
+    fn far_end_lags_near_end() {
+        let mut ckt = Circuit::new();
+        let driver = ckt.add_node("drv");
+        ckt.add_voltage_source(driver, Circuit::GROUND, Waveform::step(0.0, 0.0, 0.7))
+            .unwrap();
+        let ladder = RcLadder::build(&mut ckt, driver, 8, 5e3, 8e-15, "wl").unwrap();
+        let elmore = RcLadder::elmore_delay(8, 5e3, 8e-15);
+        let result = ckt.transient(10.0 * elmore, elmore / 200.0).unwrap();
+        let near = result.rising_crossing(ladder.nodes()[1], 0.35).expect("charges");
+        let far = result.rising_crossing(ladder.output(), 0.35).expect("charges");
+        assert!(far > near, "far end {far} must lag near end {near}");
+    }
+}

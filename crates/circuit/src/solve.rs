@@ -1,0 +1,171 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! MNA systems for the ESAM bitline/wordline studies stay small (a few
+//! hundred unknowns), so a straightforward dense solver is both simpler
+//! and faster than anything sparse at this scale.
+
+use crate::error::CircuitError;
+
+/// An LU-factorized square matrix, reusable across many right-hand sides
+/// (the transient loop factorizes once per switch epoch and back-solves
+/// every step).
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined L (below diagonal, unit diagonal implied) and U.
+    lu: Vec<f64>,
+    /// Row permutation applied during pivoting.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorizes a row-major `n × n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularMatrix`] if a pivot collapses below 1e-300
+    /// (floating node or voltage-source loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.len() != n * n`.
+    pub fn factorize(mut matrix: Vec<f64>, n: usize) -> Result<Self, CircuitError> {
+        assert_eq!(matrix.len(), n * n, "matrix must be n × n");
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivoting: pick the largest magnitude in this column.
+            let (pivot_row, pivot_value) = (col..n)
+                .map(|r| (r, matrix[r * n + col].abs()))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite entries"))
+                .expect("column range is non-empty");
+            if pivot_value < 1e-300 {
+                return Err(CircuitError::SingularMatrix { pivot: col });
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    matrix.swap(col * n + k, pivot_row * n + k);
+                }
+                perm.swap(col, pivot_row);
+            }
+            let pivot = matrix[col * n + col];
+            for row in (col + 1)..n {
+                let factor = matrix[row * n + col] / pivot;
+                matrix[row * n + col] = factor;
+                for k in (col + 1)..n {
+                    matrix[row * n + k] -= factor * matrix[col * n + k];
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            lu: matrix,
+            perm,
+        })
+    }
+
+    /// Solves `A x = b` for the factorized `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length must match matrix size");
+        let n = self.n;
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for row in 1..n {
+            let mut acc = x[row];
+            for (col, &xc) in x.iter().enumerate().take(row) {
+                acc -= self.lu[row * n + col] * xc;
+            }
+            x[row] = acc;
+        }
+        // Back substitution with U.
+        for row in (0..n).rev() {
+            let mut acc = x[row];
+            for (col, &xc) in x.iter().enumerate().skip(row + 1) {
+                acc -= self.lu[row * n + col] * xc;
+            }
+            x[row] = acc / self.lu[row * n + row];
+        }
+        x
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multiply(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let lu = LuFactors::factorize(vec![1.0, 0.0, 0.0, 1.0], 2).unwrap();
+        assert_eq!(lu.solve(&[3.0, 4.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_a_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let lu = LuFactors::factorize(vec![2.0, 1.0, 1.0, 3.0], 2).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading zero forces a row swap.
+        let lu = LuFactors::factorize(vec![0.0, 1.0, 1.0, 0.0], 2).unwrap();
+        let x = lu.solve(&[7.0, 9.0]);
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_on_random_system() {
+        // Deterministic pseudo-random 12×12 system.
+        let n = 12;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a: Vec<f64> = (0..n * n)
+            .map(|i| rand() + if i % (n + 1) == 0 { 4.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let lu = LuFactors::factorize(a.clone(), n).unwrap();
+        let x = lu.solve(&b);
+        let r = multiply(&a, &x, n);
+        for (got, want) in r.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let result = LuFactors::factorize(vec![1.0, 2.0, 2.0, 4.0], 2);
+        assert!(matches!(result, Err(CircuitError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn many_rhs_reuse_one_factorization() {
+        let lu = LuFactors::factorize(vec![3.0, 1.0, 1.0, 2.0], 2).unwrap();
+        for k in 0..10 {
+            let b = vec![k as f64, 2.0 * k as f64];
+            let x = lu.solve(&b);
+            assert!((3.0 * x[0] + x[1] - b[0]).abs() < 1e-12);
+            assert!((x[0] + 2.0 * x[1] - b[1]).abs() < 1e-12);
+        }
+    }
+}

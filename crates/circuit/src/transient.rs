@@ -1,0 +1,479 @@
+//! Backward-Euler transient analysis over the MNA formulation.
+//!
+//! Unknowns are the non-ground node voltages plus one branch current per
+//! ideal voltage source. Each step solves
+//!
+//! ```text
+//! (G(t) + C/h) · x_{k+1} = b(t_{k+1}) + (C/h) · x_k
+//! ```
+//!
+//! `G` changes only when a switch opens or closes, so the LU factorization
+//! is reused across every step of a switch epoch. Backward Euler is
+//! A-stable — stiff bitline/driver time-constant ratios cannot blow up —
+//! at the cost of mild numerical damping, which the tests budget for.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::CircuitError;
+use crate::solve::LuFactors;
+
+/// Voltages (and source currents) sampled over a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `[step][node]`, ground included at index 0.
+    voltages: Vec<Vec<f64>>,
+    /// `[step][source]` instantaneous power delivered by each ideal
+    /// voltage source (positive = pushing energy into the circuit).
+    source_powers: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Sample times, starting at 0.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of samples (steps + 1).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the run produced no samples (it never does; present for
+    /// `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage of `node` at sample `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` or `node` is out of range.
+    pub fn voltage(&self, node: NodeId, step: usize) -> f64 {
+        self.voltages[step][node.index()]
+    }
+
+    /// Voltage of `node` at the final sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        self.voltages[self.voltages.len() - 1][node.index()]
+    }
+
+    /// Linearly interpolated voltage of `node` at time `t` (clamped to the
+    /// simulated window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn voltage_at(&self, node: NodeId, t: f64) -> f64 {
+        let idx = node.index();
+        if t <= self.times[0] {
+            return self.voltages[0][idx];
+        }
+        for k in 1..self.times.len() {
+            if t <= self.times[k] {
+                let (t0, t1) = (self.times[k - 1], self.times[k]);
+                let (v0, v1) = (self.voltages[k - 1][idx], self.voltages[k][idx]);
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+            }
+        }
+        self.final_voltage(node)
+    }
+
+    /// First time `node` falls through `threshold`, linearly interpolated.
+    pub fn falling_crossing(&self, node: NodeId, threshold: f64) -> Option<f64> {
+        self.crossing(node, threshold, |prev, next| prev > threshold && next <= threshold)
+    }
+
+    /// First time `node` rises through `threshold`, linearly interpolated.
+    pub fn rising_crossing(&self, node: NodeId, threshold: f64) -> Option<f64> {
+        self.crossing(node, threshold, |prev, next| prev < threshold && next >= threshold)
+    }
+
+    fn crossing(
+        &self,
+        node: NodeId,
+        threshold: f64,
+        hit: impl Fn(f64, f64) -> bool,
+    ) -> Option<f64> {
+        let idx = node.index();
+        for k in 1..self.times.len() {
+            let (v0, v1) = (self.voltages[k - 1][idx], self.voltages[k][idx]);
+            if hit(v0, v1) {
+                let (t0, t1) = (self.times[k - 1], self.times[k]);
+                if (v1 - v0).abs() < 1e-30 {
+                    return Some(t1);
+                }
+                return Some(t0 + (t1 - t0) * (threshold - v0) / (v1 - v0));
+            }
+        }
+        None
+    }
+
+    /// Extremes of `node` over the run: `(min, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn voltage_range(&self, node: NodeId) -> (f64, f64) {
+        let idx = node.index();
+        self.voltages.iter().fold((f64::MAX, f64::MIN), |(lo, hi), row| {
+            (lo.min(row[idx]), hi.max(row[idx]))
+        })
+    }
+
+    /// Energy delivered by voltage source `source` over the whole run,
+    /// integrated as `Σ v·i·h` (positive when the source pushes energy
+    /// into the circuit). This is the quantity the analytical
+    /// `E = C·V_supply·ΔV` precharge model approximates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn source_energy(&self, source: usize) -> f64 {
+        let mut energy = 0.0;
+        for k in 1..self.times.len() {
+            let h = self.times[k] - self.times[k - 1];
+            energy += self.source_powers[k][source] * h;
+        }
+        energy
+    }
+
+    fn push(&mut self, time: f64, voltages: Vec<f64>, powers: Vec<f64>) {
+        self.times.push(time);
+        self.voltages.push(voltages);
+        self.source_powers.push(powers);
+    }
+}
+
+impl Circuit {
+    /// Runs a backward-Euler transient from `t = 0` to `stop` with a fixed
+    /// `step`, both in seconds.
+    ///
+    /// Switch schedule times are honored on the step grid (a switch
+    /// closing at 1.05 ns with a 0.1 ns step conducts from the 1.1 ns
+    /// solve onwards).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadTimeAxis`] for non-positive `stop`/`step`;
+    /// * [`CircuitError::SingularMatrix`] for floating nodes (every node
+    ///   needs a DC path to ground through resistors, switches or
+    ///   sources — pure capacitor nodes get one from `C/h`, so in
+    ///   practice this flags truly disconnected nodes).
+    pub fn transient(&self, stop: f64, step: f64) -> Result<TransientResult, CircuitError> {
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(stop) || !positive(step) {
+            return Err(CircuitError::BadTimeAxis { stop, step });
+        }
+        let nodes = self.node_count();
+        let unknowns = (nodes - 1) + self.vsources.len();
+        let steps = (stop / step).ceil() as usize;
+
+        // Row/column index of a node in the reduced system (ground drops out).
+        let ridx = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        // Capacitance stamps are time-invariant.
+        let mut c_matrix = vec![0.0; unknowns * unknowns];
+        for cap in &self.capacitors {
+            let scaled = cap.farads;
+            if let Some(i) = ridx(cap.a) {
+                c_matrix[i * unknowns + i] += scaled;
+            }
+            if let Some(j) = ridx(cap.b) {
+                c_matrix[j * unknowns + j] += scaled;
+            }
+            if let (Some(i), Some(j)) = (ridx(cap.a), ridx(cap.b)) {
+                c_matrix[i * unknowns + j] -= scaled;
+                c_matrix[j * unknowns + i] -= scaled;
+            }
+        }
+
+        let assemble = |t: f64| -> Vec<f64> {
+            let mut g = vec![0.0; unknowns * unknowns];
+            let mut stamp_conductance = |a: usize, b: usize, siemens: f64| {
+                if let Some(i) = ridx(a) {
+                    g[i * unknowns + i] += siemens;
+                }
+                if let Some(j) = ridx(b) {
+                    g[j * unknowns + j] += siemens;
+                }
+                if let (Some(i), Some(j)) = (ridx(a), ridx(b)) {
+                    g[i * unknowns + j] -= siemens;
+                    g[j * unknowns + i] -= siemens;
+                }
+            };
+            for r in &self.resistors {
+                stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+            }
+            for s in &self.switches {
+                if s.is_closed(t) {
+                    stamp_conductance(s.a, s.b, 1.0 / s.ron_ohms);
+                }
+            }
+            for (k, src) in self.vsources.iter().enumerate() {
+                let row = (nodes - 1) + k;
+                if let Some(i) = ridx(src.pos) {
+                    g[row * unknowns + i] += 1.0;
+                    g[i * unknowns + row] += 1.0;
+                }
+                if let Some(j) = ridx(src.neg) {
+                    g[row * unknowns + j] -= 1.0;
+                    g[j * unknowns + row] -= 1.0;
+                }
+            }
+            g
+        };
+
+        // Initial state: user-provided node voltages, zero source currents.
+        let mut x = vec![0.0; unknowns];
+        for &(node, volts) in &self.initial {
+            if let Some(i) = ridx(node) {
+                x[i] = volts;
+            }
+        }
+
+        let record = |x: &[f64]| -> (Vec<f64>, Vec<f64>) {
+            let mut v = Vec::with_capacity(nodes);
+            v.push(0.0);
+            v.extend_from_slice(&x[..nodes - 1]);
+            let powers = self
+                .vsources
+                .iter()
+                .enumerate()
+                .map(|(k, src)| {
+                    // The MNA unknown is the branch current flowing from
+                    // the `pos` node *into* the source, so the current the
+                    // source pushes into the circuit is −i and the power
+                    // it delivers is (v_pos − v_neg) · (−i).
+                    let i = x[(nodes - 1) + k];
+                    let vp = ridx(src.pos).map_or(0.0, |n| x[n]);
+                    let vn = ridx(src.neg).map_or(0.0, |n| x[n]);
+                    (vp - vn) * -i
+                })
+                .collect::<Vec<f64>>();
+            (v, powers)
+        };
+
+        let mut result = TransientResult {
+            times: Vec::with_capacity(steps + 1),
+            voltages: Vec::with_capacity(steps + 1),
+            source_powers: Vec::with_capacity(steps + 1),
+        };
+        {
+            let (v, mut p) = record(&x);
+            // Before the first solve the source current is undefined; report 0.
+            p.fill(0.0);
+            result.push(0.0, v, p);
+        }
+
+        let mut factors: Option<(Vec<bool>, LuFactors)> = None;
+        for k in 1..=steps {
+            let t = k as f64 * step;
+            let switch_state: Vec<bool> = self.switches.iter().map(|s| s.is_closed(t)).collect();
+            let refactor = match &factors {
+                Some((state, _)) => *state != switch_state,
+                None => true,
+            };
+            if refactor {
+                let mut a = assemble(t);
+                for i in 0..unknowns * unknowns {
+                    a[i] += c_matrix[i] / step;
+                }
+                factors = Some((switch_state, LuFactors::factorize(a, unknowns)?));
+            }
+            let lu = &factors.as_ref().expect("factorized above").1;
+
+            // rhs = b(t) + (C/h)·x_k
+            let mut rhs = vec![0.0; unknowns];
+            for src in &self.isources {
+                let value = src.wave.value_at(t);
+                if let Some(i) = ridx(src.from) {
+                    rhs[i] -= value;
+                }
+                if let Some(j) = ridx(src.to) {
+                    rhs[j] += value;
+                }
+            }
+            for (s, src) in self.vsources.iter().enumerate() {
+                rhs[(nodes - 1) + s] = src.wave.value_at(t);
+            }
+            for row in 0..unknowns {
+                let mut acc = 0.0;
+                for col in 0..unknowns {
+                    acc += c_matrix[row * unknowns + col] * x[col];
+                }
+                rhs[row] += acc / step;
+            }
+
+            x = lu.solve(&rhs);
+            let (v, i) = record(&x);
+            result.push(t, v, i);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    /// RC charge through a resistor from an ideal source: the canonical
+    /// first-order response v(t) = V·(1 − e^(−t/RC)).
+    fn rc_charge() -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let drive = ckt.add_node("drive");
+        let out = ckt.add_node("out");
+        ckt.add_voltage_source(drive, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_resistor(drive, out, 1e3).unwrap();
+        ckt.add_capacitor(out, Circuit::GROUND, 1e-12).unwrap();
+        (ckt, out)
+    }
+
+    #[test]
+    fn rc_step_response_matches_the_analytic_curve() {
+        let (ckt, out) = rc_charge();
+        let tau = 1e3 * 1e-12; // 1 ns
+        let result = ckt.transient(5.0 * tau, tau / 500.0).unwrap();
+        for factor in [0.5, 1.0, 2.0, 3.0] {
+            let t = factor * tau;
+            let want = 1.0 - (-factor as f64).exp();
+            let got = result.voltage_at(out, t);
+            assert!(
+                (got - want).abs() < 0.01,
+                "v({factor}τ): got {got}, want {want}"
+            );
+        }
+        assert!((result.final_voltage(out) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rc_discharge_crosses_half_at_ln2_tau() {
+        let mut ckt = Circuit::new();
+        let bl = ckt.add_node("bl");
+        ckt.add_capacitor(bl, Circuit::GROUND, 2e-15).unwrap();
+        ckt.add_resistor(bl, Circuit::GROUND, 10e3).unwrap();
+        ckt.set_initial_voltage(bl, 0.5).unwrap();
+        let tau = 10e3 * 2e-15;
+        let result = ckt.transient(5.0 * tau, tau / 500.0).unwrap();
+        let t50 = result.falling_crossing(bl, 0.25).expect("discharges through 250 mV");
+        assert!(
+            (t50 - tau * std::f64::consts::LN_2).abs() < 0.01 * tau,
+            "t50 {t50} vs ln2·τ {}",
+            tau * std::f64::consts::LN_2
+        );
+    }
+
+    #[test]
+    fn resistive_divider_settles_to_the_dc_solution() {
+        let mut ckt = Circuit::new();
+        let top = ckt.add_node("top");
+        let mid = ckt.add_node("mid");
+        ckt.add_voltage_source(top, Circuit::GROUND, Waveform::dc(0.9)).unwrap();
+        ckt.add_resistor(top, mid, 2e3).unwrap();
+        ckt.add_resistor(mid, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor(mid, Circuit::GROUND, 1e-15).unwrap();
+        let result = ckt.transient(1e-9, 1e-12).unwrap();
+        assert!((result.final_voltage(mid) - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn switch_delays_the_discharge() {
+        let mut ckt = Circuit::new();
+        let bl = ckt.add_node("bl");
+        ckt.add_capacitor(bl, Circuit::GROUND, 10e-15).unwrap();
+        ckt.set_initial_voltage(bl, 0.5).unwrap();
+        ckt.add_switch(bl, Circuit::GROUND, 5e3, 1e-9, None).unwrap();
+        let result = ckt.transient(3e-9, 1e-12).unwrap();
+        // Untouched before the switch closes...
+        assert!((result.voltage_at(bl, 0.9e-9) - 0.5).abs() < 1e-6);
+        // ...then discharging with τ = 50 ps.
+        let t50 = result.falling_crossing(bl, 0.25).expect("discharges");
+        let expected = 1e-9 + 5e3 * 10e-15 * std::f64::consts::LN_2;
+        assert!((t50 - expected).abs() < 3e-12, "t50 {t50} vs {expected}");
+    }
+
+    #[test]
+    fn reopening_switch_freezes_the_voltage() {
+        let mut ckt = Circuit::new();
+        let bl = ckt.add_node("bl");
+        ckt.add_capacitor(bl, Circuit::GROUND, 10e-15).unwrap();
+        ckt.set_initial_voltage(bl, 0.5).unwrap();
+        ckt.add_switch(bl, Circuit::GROUND, 5e3, 0.0, Some(30e-12)).unwrap();
+        let result = ckt.transient(1e-9, 0.5e-12).unwrap();
+        let frozen = result.voltage_at(bl, 35e-12);
+        assert!(frozen > 0.2 && frozen < 0.4, "partially discharged: {frozen}");
+        assert!((result.final_voltage(bl) - frozen).abs() < 1e-6);
+    }
+
+    #[test]
+    fn source_energy_for_full_charge_is_c_v_squared() {
+        // Charging C through R from 0 to V draws E = C·V² from the source
+        // (half stored, half burned in R) — the identity behind the
+        // analytical precharge-energy model.
+        let (ckt, _) = rc_charge();
+        let tau = 1e-9;
+        let result = ckt.transient(12.0 * tau, tau / 200.0).unwrap();
+        let energy = result.source_energy(0);
+        let want = 1e-12 * 1.0 * 1.0;
+        assert!(
+            (energy - want).abs() < 0.02 * want,
+            "source energy {energy} vs C·V² {want}"
+        );
+    }
+
+    #[test]
+    fn current_source_charges_linearly() {
+        let mut ckt = Circuit::new();
+        let n = ckt.add_node("n");
+        ckt.add_capacitor(n, Circuit::GROUND, 1e-12).unwrap();
+        // 1 µA into 1 pF → 1 V/µs → 1 mV/ns.
+        ckt.add_current_source(Circuit::GROUND, n, Waveform::dc(1e-6)).unwrap();
+        // Bleed resistor keeps the DC matrix non-singular without loading
+        // the node noticeably over 10 ns.
+        ckt.add_resistor(n, Circuit::GROUND, 1e12).unwrap();
+        let result = ckt.transient(10e-9, 10e-12).unwrap();
+        assert!((result.final_voltage(n) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn floating_node_is_reported_singular() {
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node("a");
+        let b = ckt.add_node("b");
+        // `b` has no connection at all; `a` at least sees a resistor.
+        ckt.add_resistor(a, Circuit::GROUND, 1e3).unwrap();
+        let _ = b;
+        assert!(matches!(
+            ckt.transient(1e-9, 1e-12),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_time_axis_is_rejected() {
+        let (ckt, _) = rc_charge();
+        assert!(matches!(
+            ckt.transient(-1.0, 1e-12),
+            Err(CircuitError::BadTimeAxis { .. })
+        ));
+        assert!(matches!(
+            ckt.transient(1e-9, 0.0),
+            Err(CircuitError::BadTimeAxis { .. })
+        ));
+    }
+
+    #[test]
+    fn voltage_range_and_len() {
+        let (ckt, out) = rc_charge();
+        let result = ckt.transient(5e-9, 1e-11).unwrap();
+        assert!(!result.is_empty());
+        assert_eq!(result.len(), result.times().len());
+        let (lo, hi) = result.voltage_range(out);
+        assert!(lo >= 0.0 && hi <= 1.0 + 1e-9);
+    }
+}

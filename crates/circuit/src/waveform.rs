@@ -1,0 +1,132 @@
+//! Time-dependent source waveforms.
+
+/// A source value as a function of time.
+///
+/// # Examples
+///
+/// ```
+/// use esam_circuit::Waveform;
+///
+/// let step = Waveform::step(1e-9, 0.0, 0.7);
+/// assert_eq!(step.value_at(0.0), 0.0);
+/// assert_eq!(step.value_at(2e-9), 0.7);
+///
+/// let ramp = Waveform::pwl(vec![(0.0, 0.0), (1e-9, 0.5)]);
+/// assert!((ramp.value_at(0.5e-9) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `before` until `at`, then `after`.
+    Step {
+        /// Switching time in seconds.
+        at: f64,
+        /// Value before the step.
+        before: f64,
+        /// Value after the step.
+        after: f64,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` points,
+    /// clamped at both ends. Points must be sorted by time.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Constant source.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// Ideal step at `at` from `before` to `after`.
+    pub fn step(at: f64, before: f64, after: f64) -> Self {
+        Waveform::Step { at, before, after }
+    }
+
+    /// Piecewise-linear waveform through `points` (sorted by time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are not non-decreasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL waveform needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "PWL times must be non-decreasing"
+        );
+        Waveform::Pwl(points)
+    }
+
+    /// Value at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Step { at, before, after } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            Waveform::Pwl(points) => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveform::dc(0.7);
+        assert_eq!(w.value_at(0.0), 0.7);
+        assert_eq!(w.value_at(1.0), 0.7);
+    }
+
+    #[test]
+    fn step_switches_at_threshold() {
+        let w = Waveform::step(5e-12, 0.5, 0.0);
+        assert_eq!(w.value_at(4.9e-12), 0.5);
+        assert_eq!(w.value_at(5e-12), 0.0);
+        assert_eq!(w.value_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::pwl(vec![(1.0, 0.0), (3.0, 1.0)]);
+        assert_eq!(w.value_at(0.0), 0.0); // clamp left
+        assert!((w.value_at(2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(9.0), 1.0); // clamp right
+    }
+
+    #[test]
+    fn pwl_handles_vertical_segments() {
+        let w = Waveform::pwl(vec![(1.0, 0.0), (1.0, 0.7), (2.0, 0.7)]);
+        assert_eq!(w.value_at(1.5), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn pwl_rejects_unsorted_points() {
+        let _ = Waveform::pwl(vec![(2.0, 0.0), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the transient solver.
+//!
+//! Physical invariants that must hold for any passive RC network:
+//! passivity (voltages stay inside the initial/source envelope), monotone
+//! relaxation, crossing-time monotonicity in R and C, and determinism.
+
+use esam_circuit::{Circuit, RcLadder, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Source-free RC networks relax inside the envelope of their initial
+    /// voltages: no node may overshoot the initial min/max.
+    #[test]
+    fn passivity_bounds_every_node(
+        segments in 1usize..12,
+        r_kohm in 0.5f64..50.0,
+        c_ff in 1.0f64..50.0,
+        v_init in 0.05f64..1.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let top = ckt.add_node("top");
+        let ladder = RcLadder::build(
+            &mut ckt, top, segments, r_kohm * 1e3, c_ff * 1e-15, "w",
+        ).expect("ladder builds");
+        for &node in ladder.nodes() {
+            ckt.set_initial_voltage(node, v_init).expect("node exists");
+        }
+        ckt.add_resistor(ladder.output(), Circuit::GROUND, r_kohm * 1e3)
+            .expect("nodes exist");
+        let tau = r_kohm * 1e3 * c_ff * 1e-15;
+        let result = ckt.transient(5.0 * tau, tau / 100.0).expect("solves");
+        for &node in ladder.nodes() {
+            let (lo, hi) = result.voltage_range(node);
+            prop_assert!(lo >= -1e-9, "undershoot at {}: {lo}", ckt.node_name(node));
+            prop_assert!(hi <= v_init + 1e-9, "overshoot at {}: {hi}", ckt.node_name(node));
+        }
+    }
+
+    /// A single discharging capacitor falls monotonically.
+    #[test]
+    fn discharge_is_monotone(
+        r_kohm in 0.5f64..100.0,
+        c_ff in 1.0f64..100.0,
+        v_init in 0.1f64..1.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let n = ckt.add_node("n");
+        ckt.add_capacitor(n, Circuit::GROUND, c_ff * 1e-15).expect("valid");
+        ckt.add_resistor(n, Circuit::GROUND, r_kohm * 1e3).expect("valid");
+        ckt.set_initial_voltage(n, v_init).expect("valid");
+        let tau = r_kohm * 1e3 * c_ff * 1e-15;
+        let result = ckt.transient(4.0 * tau, tau / 50.0).expect("solves");
+        let series: Vec<f64> = (0..result.len()).map(|k| result.voltage(n, k)).collect();
+        prop_assert!(series.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    /// The 50 % discharge crossing scales linearly with both R and C
+    /// (τ = RC), so doubling either doubles the crossing time.
+    #[test]
+    fn crossing_scales_with_tau(
+        r_kohm in 1.0f64..20.0,
+        c_ff in 2.0f64..20.0,
+    ) {
+        let t50 = |r: f64, c: f64| {
+            let mut ckt = Circuit::new();
+            let n = ckt.add_node("n");
+            ckt.add_capacitor(n, Circuit::GROUND, c).expect("valid");
+            ckt.add_resistor(n, Circuit::GROUND, r).expect("valid");
+            ckt.set_initial_voltage(n, 0.5).expect("valid");
+            let tau = r * c;
+            ckt.transient(3.0 * tau, tau / 200.0)
+                .expect("solves")
+                .falling_crossing(n, 0.25)
+                .expect("crosses half")
+        };
+        let base = t50(r_kohm * 1e3, c_ff * 1e-15);
+        let double_r = t50(2.0 * r_kohm * 1e3, c_ff * 1e-15);
+        let double_c = t50(r_kohm * 1e3, 2.0 * c_ff * 1e-15);
+        prop_assert!((double_r / base - 2.0).abs() < 0.05, "R scaling {}", double_r / base);
+        prop_assert!((double_c / base - 2.0).abs() < 0.05, "C scaling {}", double_c / base);
+    }
+
+    /// Charging a passive network from a DC source never pulls energy
+    /// *out* of the source.
+    #[test]
+    fn source_energy_is_nonnegative(
+        segments in 1usize..10,
+        r_kohm in 0.5f64..20.0,
+        c_ff in 1.0f64..20.0,
+        vdd in 0.2f64..1.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let drive = ckt.add_node("drive");
+        ckt.add_voltage_source(drive, Circuit::GROUND, Waveform::dc(vdd)).expect("valid");
+        let ladder = RcLadder::build(&mut ckt, drive, segments, r_kohm * 1e3, c_ff * 1e-15, "w")
+            .expect("ladder builds");
+        let _ = ladder;
+        let tau = r_kohm * 1e3 * c_ff * 1e-15;
+        let result = ckt.transient(4.0 * tau, tau / 100.0).expect("solves");
+        prop_assert!(result.source_energy(0) >= -1e-21);
+    }
+
+    /// Identical circuits and time axes produce bit-identical results.
+    #[test]
+    fn transient_is_deterministic(
+        segments in 1usize..8,
+        r_kohm in 0.5f64..20.0,
+        c_ff in 1.0f64..20.0,
+    ) {
+        let run = || {
+            let mut ckt = Circuit::new();
+            let drive = ckt.add_node("drive");
+            ckt.add_voltage_source(drive, Circuit::GROUND, Waveform::step(1e-12, 0.0, 0.7))
+                .expect("valid");
+            let ladder = RcLadder::build(
+                &mut ckt, drive, segments, r_kohm * 1e3, c_ff * 1e-15, "w",
+            ).expect("builds");
+            let tau = (r_kohm * 1e3 * c_ff * 1e-15).max(1e-15);
+            let result = ckt.transient(3.0 * tau, tau / 64.0).expect("solves");
+            (0..result.len())
+                .map(|k| result.voltage(ladder.output(), k))
+                .collect::<Vec<f64>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,33 @@
+//! Calibration probe: full-system Fig. 8 sweep with the overhead-bucket
+//! statistics used to fit CONTROL/PIPE energy constants.
+use esam_core::{EsamSystem, SystemConfig};
+use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, TrainConfig, Trainer};
+use esam_sram::BitcellKind;
+
+fn main() {
+    let data = Dataset::generate(&DigitsConfig::default()).unwrap();
+    let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42).unwrap();
+    Trainer::new(TrainConfig::default()).train(&mut net, &data.train).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let frames: Vec<_> = (0..200).map(|i| data.test.spikes(i)).collect();
+    let n = frames.len() as f64;
+    for cell in BitcellKind::ALL {
+        let config = SystemConfig::paper_default(cell);
+        let mut system = EsamSystem::from_model(&model, &config).unwrap();
+        let m = system.measure_batch(&frames).unwrap();
+        // overhead-bucket stats
+        let p = cell.inference_parallelism() as f64;
+        let mut cc = 0f64; // column-cycles per inf
+        for t in system.tiles() {
+            cc += (t.stats().active_cycles * t.outputs() as u64) as f64 / n;
+        }
+        let pb = cc * p; // port-bit-cycles per inf
+        let ca = 15.5e-15; let cb = 5.46e-15;
+        let r = m.energy_per_inf.pj() - (cc * ca + pb * cb) * 1e12;
+        println!(
+            "{:8} clk={:6.1}MHz cyc={:5.1} T={:6.2}M E={:7.1}pJ P={:5.2}mW leak={:4.2} CC={:7.0} PB={:7.0} R={:6.1}pJ",
+            cell.name(), m.clock.mhz(), m.bottleneck_cycles, m.throughput_minf_s(),
+            m.energy_per_inf.pj(), m.total_power().mw(), m.leakage_power.mw(), cc, pb, r
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Adder-tree digital CIM baseline (the paper's refs [2–5]).
+//!
+//! The introduction frames the design space: *"Adder Trees allow enhanced
+//! parallelism but come at the price of disrupting the SRAM structure and
+//! introducing considerable hardware overhead. In contrast, SRAM-based
+//! CIM-P designs minimize hardware overhead and efficiently leverage SNN
+//! sparsity, albeit with the trade-off of reduced parallelism."*
+//!
+//! This module models the adder-tree alternative at the same abstraction
+//! level as the ESAM tiles so the trade-off can be swept quantitatively:
+//!
+//! * **structure** — one binary-signal popcount tree per output neuron
+//!   (for 1-bit weights an AND masks each row's bit into the tree); the
+//!   gate inventory comes from actually generating the
+//!   [`esam_logic::gen::popcount`] netlist, not from a constant;
+//! * **throughput** — one full 128-row MAC per column per cycle,
+//!   independent of input sparsity;
+//! * **energy** — the whole tree toggles every cycle regardless of how
+//!   many spikes arrived, which is exactly why sparse SNN workloads favor
+//!   CIM-P.
+//!
+//! The `addertree` experiment sweeps spike density and reports the
+//! energy crossover against the 4R CIM-P tile.
+
+use esam_logic::gen::{input_bus, popcount};
+use esam_logic::{GateArea, GateTiming, Netlist, TimingAnalysis};
+use esam_sram::{ArrayConfig, BitcellKind};
+use esam_tech::calibration::paper;
+use esam_tech::finfet::{FinFet, Polarity, VtFlavor};
+use esam_tech::units::{dynamic_energy, AreaUm2, Joules, Seconds};
+
+use crate::error::CoreError;
+
+/// Analytical model of one adder-tree CIM macro over a `rows × cols`
+/// binary-weight array.
+///
+/// # Examples
+///
+/// ```
+/// use esam_core::AdderTreeMacro;
+///
+/// # fn main() -> Result<(), esam_core::CoreError> {
+/// let tree = AdderTreeMacro::new(128, 128)?;
+/// // All 128 rows are consumed in one cycle...
+/// assert_eq!(tree.cycles_per_timestep(), 1);
+/// // ...but the area is a multiple of the plain SRAM macro.
+/// assert!(tree.area_overhead_vs_sram() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdderTreeMacro {
+    rows: usize,
+    cols: usize,
+    /// Gates of one column's popcount tree (generated, then counted).
+    tree_gates: usize,
+    /// Standard-cell area of one column tree.
+    tree_area: AreaUm2,
+    /// Combinational depth of one column tree.
+    tree_delay: Seconds,
+}
+
+impl AdderTreeMacro {
+    /// Builds the model for a `rows × cols` array by generating one
+    /// column's popcount netlist and measuring it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, CoreError> {
+        if rows == 0 || cols == 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "adder-tree macro needs a non-empty array, got {rows}×{cols}"
+            )));
+        }
+        let mut netlist = Netlist::new();
+        let bits = input_bus(&mut netlist, "masked_row", rows);
+        let count = popcount(&mut netlist, bits.nets(), "col")
+            .expect("popcount generation over a non-empty bus cannot fail");
+        for &net in count.nets() {
+            netlist.mark_output(net).expect("count nets exist");
+        }
+        let sta = TimingAnalysis::run(&netlist, &GateTiming::finfet_3nm())
+            .expect("generated netlists are valid");
+        Ok(Self {
+            rows,
+            cols,
+            tree_gates: netlist.gate_count(),
+            tree_area: netlist.area(&GateArea::finfet_3nm()),
+            tree_delay: sta.critical_path().delay(),
+        })
+    }
+
+    /// Array rows (pre-synaptic neurons).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (post-synaptic neurons).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Gates in one column's popcount tree.
+    pub fn tree_gates(&self) -> usize {
+        self.tree_gates
+    }
+
+    /// Combinational delay of one column tree (sets the MAC cycle floor).
+    pub fn tree_delay(&self) -> Seconds {
+        self.tree_delay
+    }
+
+    /// Cycles to absorb one input timestep: always 1 — every row is summed
+    /// in parallel.
+    pub fn cycles_per_timestep(&self) -> u64 {
+        1
+    }
+
+    /// Total macro area: 6T cell array plus one popcount tree per column
+    /// plus the input AND mask row.
+    pub fn area(&self) -> AreaUm2 {
+        let cell = AreaUm2::new(paper::CELL_AREA_6T_UM2);
+        let array = cell * (self.rows * self.cols) as f64;
+        let mask =
+            GateArea::finfet_3nm().area(esam_logic::GateKind::And, 2) * (self.rows * self.cols) as f64;
+        array + (self.tree_area + mask / self.cols as f64) * self.cols as f64
+    }
+
+    /// Area relative to the plain (1RW) SRAM array of the same size.
+    pub fn area_overhead_vs_sram(&self) -> f64 {
+        let array = paper::CELL_AREA_6T_UM2 * (self.rows * self.cols) as f64;
+        self.area().value() / array
+    }
+
+    /// Energy of one timestep: every tree node and mask gate toggles with
+    ///`activity` probability (0.5 at dense random inputs), independent of
+    /// how many input spikes actually arrived.
+    pub fn timestep_energy(&self, activity: f64) -> Joules {
+        let device = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 2);
+        let toggled_cap = device.gate_capacitance() + device.drain_capacitance();
+        let per_gate = dynamic_energy(
+            toggled_cap,
+            esam_tech::units::Volts::from_mv(paper::VDD_MV),
+            esam_tech::units::Volts::from_mv(paper::VDD_MV),
+        );
+        let gates = (self.tree_gates + self.rows) * self.cols;
+        per_gate * gates as f64 * activity.clamp(0.0, 1.0)
+    }
+}
+
+/// One point of the sparsity sweep: the same workload on both designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityPoint {
+    /// Fraction of input rows spiking per timestep (0..=1).
+    pub spike_density: f64,
+    /// CIM-P cycles to drain the spikes through `p` ports.
+    pub cim_cycles: u64,
+    /// CIM-P energy for those cycles.
+    pub cim_energy: Joules,
+    /// Adder-tree cycles (always 1).
+    pub tree_cycles: u64,
+    /// Adder-tree energy for the timestep.
+    pub tree_energy: Joules,
+}
+
+/// Sweeps spike density and compares a `p`-port CIM-P macro against the
+/// adder tree on the same `rows × cols` array.
+///
+/// CIM-P serves `density × rows` spikes at `p` per cycle, spending energy
+/// only on served rows; the adder tree burns its full-tree energy once per
+/// timestep.
+///
+/// # Errors
+///
+/// Propagates [`AdderTreeMacro::new`] and configuration errors.
+pub fn sparsity_sweep(
+    rows: usize,
+    cols: usize,
+    read_ports: u8,
+    densities: &[f64],
+) -> Result<Vec<SparsityPoint>, CoreError> {
+    let tree = AdderTreeMacro::new(rows, cols)?;
+    let config = ArrayConfig::paper_default(BitcellKind::MultiPort { read_ports });
+    let energy = esam_sram::EnergyAnalysis::new(&config);
+    // One served spike = one full-row read on a decoupled port; half the
+    // bitlines discharge for random binary weights.
+    let per_spike = energy.inference_read(cols / 2);
+
+    densities
+        .iter()
+        .map(|&density| {
+            let spikes = ((density * rows as f64).round() as u64).min(rows as u64);
+            let cim_cycles = spikes.div_ceil(read_ports as u64).max(1);
+            let cim_energy = per_spike * spikes as f64;
+            Ok(SparsityPoint {
+                spike_density: density,
+                cim_cycles,
+                cim_energy,
+                tree_cycles: tree.cycles_per_timestep(),
+                tree_energy: tree.timestep_energy(0.5),
+            })
+        })
+        .collect()
+}
+
+/// The spike density at which CIM-P and the adder tree burn equal energy
+/// per timestep (bisected to 0.1 % density resolution).
+///
+/// # Errors
+///
+/// Propagates [`sparsity_sweep`] failures.
+pub fn energy_crossover(rows: usize, cols: usize, read_ports: u8) -> Result<f64, CoreError> {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..10 {
+        let mid = 0.5 * (lo + hi);
+        let point = sparsity_sweep(rows, cols, read_ports, &[mid])?[0];
+        if point.cim_energy < point.tree_energy {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_gate_count_matches_popcount_structure() {
+        let tree = AdderTreeMacro::new(128, 128).unwrap();
+        // An ideal carry-save compressor tree needs 127 full adders
+        // (~5 gates each, ~640 gates); the generated divide-and-conquer
+        // structure with ripple merges costs ~2.4× that. Anything outside
+        // this window signals a generator bug.
+        assert!(
+            (600..2200).contains(&tree.tree_gates()),
+            "unexpected tree size {}",
+            tree.tree_gates()
+        );
+    }
+
+    #[test]
+    fn tree_delay_is_logarithmic_in_rows() {
+        let small = AdderTreeMacro::new(16, 16).unwrap();
+        let large = AdderTreeMacro::new(128, 16).unwrap();
+        let ratio = large.tree_delay().value() / small.tree_delay().value();
+        // 8× the rows should cost ~log-ish depth growth, nowhere near 8×.
+        assert!((1.0..4.0).contains(&ratio), "depth ratio {ratio}");
+    }
+
+    #[test]
+    fn area_overhead_is_considerable() {
+        // The intro's qualitative claim: adder trees carry "considerable
+        // hardware overhead" over the plain array.
+        let tree = AdderTreeMacro::new(128, 128).unwrap();
+        assert!(
+            tree.area_overhead_vs_sram() > 2.0,
+            "overhead {} should dwarf the array",
+            tree.area_overhead_vs_sram()
+        );
+        // And exceed even the biggest multiport cell's 2.625× cell growth.
+        assert!(tree.area_overhead_vs_sram() > 2.625 * 0.9);
+    }
+
+    #[test]
+    fn sparse_workloads_favor_cim_p() {
+        let sweep = sparsity_sweep(128, 128, 4, &[0.01, 0.5]).unwrap();
+        let sparse = sweep[0];
+        let dense = sweep[1];
+        assert!(
+            sparse.cim_energy < sparse.tree_energy,
+            "at 1% density CIM-P must win: {:?} vs {:?}",
+            sparse.cim_energy,
+            sparse.tree_energy
+        );
+        // Dense workloads flip the verdict on throughput: the tree absorbs
+        // the whole timestep in 1 cycle while CIM-P queues spikes.
+        assert_eq!(dense.tree_cycles, 1);
+        assert!(dense.cim_cycles > 10);
+    }
+
+    #[test]
+    fn crossover_sits_at_plausible_density() {
+        let x = energy_crossover(128, 128, 4).unwrap();
+        assert!(
+            (0.001..0.9).contains(&x),
+            "crossover {x} should be an interior density"
+        );
+        // Below the crossover CIM-P wins, above it the tree wins.
+        let below = sparsity_sweep(128, 128, 4, &[x * 0.5]).unwrap()[0];
+        assert!(below.cim_energy <= below.tree_energy);
+    }
+
+    #[test]
+    fn zero_sized_arrays_are_rejected() {
+        assert!(AdderTreeMacro::new(0, 128).is_err());
+        assert!(AdderTreeMacro::new(128, 0).is_err());
+    }
+
+    #[test]
+    fn cim_cycles_scale_inversely_with_ports() {
+        let p1 = sparsity_sweep(128, 128, 1, &[0.25]).unwrap()[0];
+        let p4 = sparsity_sweep(128, 128, 4, &[0.25]).unwrap()[0];
+        assert!(
+            p1.cim_cycles >= 3 * p4.cim_cycles,
+            "4 ports should drain ~4x faster: {} vs {}",
+            p1.cim_cycles,
+            p4.cim_cycles
+        );
+    }
+}

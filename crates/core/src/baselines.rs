@@ -1,0 +1,169 @@
+//! Baselines and state-of-the-art comparison records (Table 3).
+//!
+//! The single-port baseline is simply the ESAM system built from
+//! [`BitcellKind::Std6T`]; this module additionally carries the published
+//! figures of the three accelerators the paper compares against, with
+//! provenance, so the Table 3 harness can print them next to measured
+//! values.
+
+use esam_sram::BitcellKind;
+
+use crate::config::SystemConfig;
+
+/// Published figures of one small-scale SNN accelerator (Table 3 columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotaEntry {
+    /// Citation label as used in the paper.
+    pub label: &'static str,
+    /// Short description / venue.
+    pub description: &'static str,
+    /// Technology node (nm).
+    pub technology_nm: f64,
+    /// Neuron count.
+    pub neurons: usize,
+    /// Synapse count.
+    pub synapses: usize,
+    /// Activation bit width (`None` = not reported).
+    pub activation_bits: Option<u8>,
+    /// Weight bit width.
+    pub weight_bits: u8,
+    /// Whether the synapse memory is transposable.
+    pub transposable: bool,
+    /// Clock frequency (Hz).
+    pub clock_hz: f64,
+    /// Total power (W) on the MNIST task.
+    pub power_w: f64,
+    /// MNIST accuracy (%).
+    pub accuracy_percent: f64,
+    /// Throughput (inferences/s).
+    pub throughput_inf_s: f64,
+    /// Energy per inference (J), when reported.
+    pub energy_per_inf_j: Option<f64>,
+}
+
+/// The three accelerators the paper compares against in Table 3.
+///
+/// Values are quoted from the paper's own table (its refs [6], [9], [10]);
+/// the [9] power is the paper's inference from SOP/s/mm², area and pJ/SOP.
+pub fn sota_entries() -> Vec<SotaEntry> {
+    vec![
+        SotaEntry {
+            label: "[6] Wang A-SSCC'20",
+            description: "always-on sub-300nW event-driven SNN",
+            technology_nm: 65.0,
+            neurons: 650,
+            synapses: 67_000,
+            activation_bits: Some(6),
+            weight_bits: 1,
+            transposable: false,
+            clock_hz: 70e3,
+            power_w: 305e-9,
+            accuracy_percent: 97.6,
+            throughput_inf_s: 2.0,
+            energy_per_inf_j: Some(195e-9),
+        },
+        SotaEntry {
+            label: "[9] Chen JSSC'19",
+            description: "4096-neuron 1M-synapse 10nm FinFET SNN with on-chip STDP",
+            technology_nm: 10.0,
+            neurons: 4096,
+            synapses: 1_000_000,
+            activation_bits: Some(1),
+            weight_bits: 7,
+            transposable: false,
+            clock_hz: 506e6,
+            power_w: 196e-3,
+            accuracy_percent: 97.9,
+            throughput_inf_s: 6250.0,
+            energy_per_inf_j: Some(1000e-9),
+        },
+        SotaEntry {
+            label: "[10] Kim Front.Neuro'18",
+            description: "reconfigurable digital neuromorphic with transposable synapse memory",
+            technology_nm: 65.0,
+            neurons: 1024,
+            synapses: 256_000,
+            activation_bits: None,
+            weight_bits: 5,
+            transposable: true,
+            clock_hz: 100e6,
+            power_w: 53e-3,
+            accuracy_percent: 97.2,
+            throughput_inf_s: 20.0,
+            energy_per_inf_j: None,
+        },
+    ]
+}
+
+/// The single-port (1RW) baseline system configuration the headline 3.1× /
+/// 2.2× gains are measured against.
+pub fn single_port_baseline() -> SystemConfig {
+    SystemConfig::paper_default(BitcellKind::Std6T)
+}
+
+/// "This Work" static descriptors for Table 3 (counts derive from the
+/// topology; measured rows come from the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThisWorkDescriptor {
+    /// Technology node (nm).
+    pub technology_nm: u32,
+    /// Neuron count (hidden + output).
+    pub neurons: usize,
+    /// Synapse count.
+    pub synapses: usize,
+    /// Activation bits (binary spikes).
+    pub activation_bits: u8,
+    /// Weight bits (binary synapses).
+    pub weight_bits: u8,
+    /// Transposable synapse memory.
+    pub transposable: bool,
+}
+
+/// Descriptor of the reproduced system for a given configuration.
+pub fn this_work_descriptor(config: &SystemConfig) -> ThisWorkDescriptor {
+    let topology = config.topology();
+    ThisWorkDescriptor {
+        technology_nm: 3,
+        neurons: topology[1..].iter().sum(),
+        synapses: topology.windows(2).map(|w| w[0] * w[1]).sum(),
+        activation_bits: 1,
+        weight_bits: 1,
+        transposable: config.cell().is_transposable(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esam_tech::calibration::paper;
+
+    #[test]
+    fn sota_matches_paper_table3() {
+        let entries = sota_entries();
+        assert_eq!(entries.len(), 3);
+        let chen = &entries[1];
+        assert_eq!(chen.neurons, 4096);
+        assert!((chen.power_w - 0.196).abs() < 1e-9);
+        let kim = &entries[2];
+        assert!(kim.transposable);
+        assert!(kim.energy_per_inf_j.is_none());
+    }
+
+    #[test]
+    fn this_work_counts_match_table3() {
+        let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+        let descriptor = this_work_descriptor(&config);
+        assert_eq!(descriptor.neurons, paper::SYSTEM_NEURON_COUNT);
+        assert_eq!(descriptor.synapses, paper::SYSTEM_SYNAPSE_COUNT);
+        assert!(descriptor.transposable);
+        assert_eq!(descriptor.weight_bits, 1);
+    }
+
+    #[test]
+    fn baseline_is_single_port() {
+        let baseline = single_port_baseline();
+        assert_eq!(baseline.cell(), BitcellKind::Std6T);
+        assert_eq!(baseline.grants_per_arbiter(), 1);
+        assert!(!this_work_descriptor(&baseline).transposable);
+    }
+}

@@ -1,0 +1,299 @@
+//! On-chip online learning through the transposed port (§4.4.1).
+//!
+//! Learning updates the weight column of a post-synaptic neuron. With
+//! transposed access this costs `2 × mux` clock cycles per 128-row block
+//! (4 read + 4 write cycles in the paper); without it, the 6T baseline must
+//! read-modify-write every row of the array: `2 × 128` cycles. The engine
+//! performs the *functional* update with the stochastic 1-bit STDP rule of
+//! `esam_nn::stdp` and reports the exact cycle/time/energy cost from the
+//! arrays' access counters.
+
+use std::ops::Add;
+
+use esam_bits::BitVec;
+use esam_nn::{StdpRule, TeacherSignal};
+use esam_tech::units::{Joules, Seconds};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::ARRAY_DIM;
+use crate::error::CoreError;
+use crate::system::EsamSystem;
+use crate::tile::Tile;
+
+/// Cost of one learning operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LearningCost {
+    /// SRAM access cycles consumed.
+    pub cycles: u64,
+    /// Wall-clock time at the system clock.
+    pub latency: Seconds,
+    /// Dynamic energy of the SRAM accesses.
+    pub energy: Joules,
+    /// Weight bits actually flipped.
+    pub bits_flipped: usize,
+}
+
+impl Add for LearningCost {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            cycles: self.cycles + rhs.cycles,
+            latency: self.latency + rhs.latency,
+            energy: self.energy + rhs.energy,
+            bits_flipped: self.bits_flipped + rhs.bits_flipped,
+        }
+    }
+}
+
+/// Online-learning engine: applies teacher-driven stochastic STDP updates to
+/// a tile's weight columns and accounts for the memory-access cost.
+#[derive(Debug, Clone)]
+pub struct OnlineLearningEngine {
+    rule: StdpRule,
+    rng: ChaCha8Rng,
+}
+
+impl OnlineLearningEngine {
+    /// Creates an engine with the given rule and RNG seed.
+    pub fn new(rule: StdpRule, seed: u64) -> Self {
+        Self {
+            rule,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The STDP rule in use.
+    pub fn rule(&self) -> &StdpRule {
+        &self.rule
+    }
+
+    /// Updates the weight column of `neuron` in `tile` according to the
+    /// teacher signal, given the pre-synaptic spike frame that triggered
+    /// learning. Returns the exact access cost.
+    ///
+    /// Transposable (multiport) tiles read+write the column through the
+    /// transposed port; the 6T baseline falls back to row-wise
+    /// read-modify-write of every row that must change (costed as the full
+    /// `2 × rows` sweep the paper describes, since the row data must be read
+    /// to be merged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM access errors; `neuron` must be within the tile's
+    /// outputs.
+    pub fn teach(
+        &mut self,
+        tile: &mut Tile,
+        clock_period: Seconds,
+        pre_spikes: &BitVec,
+        neuron: usize,
+        signal: TeacherSignal,
+    ) -> Result<LearningCost, CoreError> {
+        if neuron >= tile.outputs() {
+            return Err(CoreError::InvalidConfig(format!(
+                "neuron {neuron} out of range for a {}-output tile",
+                tile.outputs()
+            )));
+        }
+        if pre_spikes.len() != tile.inputs() {
+            return Err(CoreError::InputWidthMismatch {
+                expected: tile.inputs(),
+                got: pre_spikes.len(),
+            });
+        }
+        let col_group = neuron / ARRAY_DIM;
+        let local_col = neuron % ARRAY_DIM;
+        let transposable = tile.arrays()[0].config().cell().is_transposable();
+
+        let mut cycles_before = 0u64;
+        let mut energy_before = Joules::ZERO;
+        for array in tile.arrays() {
+            let stats = array.stats();
+            cycles_before += stats.rw_read_cycles + stats.rw_write_cycles;
+            energy_before += array.consumed_energy()?;
+        }
+
+        let mut bits_flipped = 0usize;
+        let row_groups = tile.row_groups();
+        for rg in 0..row_groups {
+            let offset = rg * ARRAY_DIM;
+            let rows = (tile.inputs() - offset).min(ARRAY_DIM);
+            // Slice of the pre-synaptic frame feeding this block.
+            let pre_slice: BitVec = (0..rows).map(|r| pre_spikes.get(offset + r)).collect();
+            let array = tile.array_mut(rg, col_group);
+            if transposable {
+                let column = array.transposed_read(local_col)?;
+                let (updated, flips) =
+                    self.rule
+                        .update_column(&column, &pre_slice, signal, &mut self.rng);
+                array.transposed_write(local_col, &updated)?;
+                bits_flipped += flips;
+            } else {
+                // 6T baseline: RMW every row of the block (§4.4.1's 2×128).
+                for row in 0..rows {
+                    let mut row_bits = array.rowwise_read(row)?;
+                    let current = BitVec::from_bools(&[row_bits.get(local_col)]);
+                    let pre = BitVec::from_bools(&[pre_slice.get(row)]);
+                    let (updated, flips) =
+                        self.rule.update_column(&current, &pre, signal, &mut self.rng);
+                    row_bits.set(local_col, updated.get(0));
+                    array.rowwise_write(row, &row_bits)?;
+                    bits_flipped += flips;
+                }
+            }
+        }
+
+        let mut cycles_after = 0u64;
+        let mut energy_after = Joules::ZERO;
+        for array in tile.arrays() {
+            let stats = array.stats();
+            cycles_after += stats.rw_read_cycles + stats.rw_write_cycles;
+            energy_after += array.consumed_energy()?;
+        }
+        let cycles = cycles_after - cycles_before;
+        Ok(LearningCost {
+            cycles,
+            latency: clock_period * cycles as f64,
+            energy: energy_after - energy_before,
+            bits_flipped,
+        })
+    }
+
+    /// Convenience wrapper: teaches a neuron of layer `layer` inside a full
+    /// system, using the system's clock.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`teach`](Self::teach).
+    pub fn teach_system(
+        &mut self,
+        system: &mut EsamSystem,
+        layer: usize,
+        pre_spikes: &BitVec,
+        neuron: usize,
+        signal: TeacherSignal,
+    ) -> Result<LearningCost, CoreError> {
+        let clock = system.pipeline().clock_period();
+        self.teach(system.tile_mut(layer), clock, pre_spikes, neuron, signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use esam_sram::BitcellKind;
+    use esam_tech::calibration::paper;
+
+    fn tile(cell: BitcellKind) -> (Tile, Seconds) {
+        let config = SystemConfig::builder(cell, &[128, 128, 10]).build().unwrap();
+        let pipeline = crate::pipeline::PipelineTiming::analyze(&config).unwrap();
+        (
+            Tile::new(128, 128, &config).unwrap(),
+            pipeline.clock_period(),
+        )
+    }
+
+    #[test]
+    fn transposed_update_costs_2x4_cycles() {
+        let (mut t, clock) = tile(BitcellKind::multiport(4).unwrap());
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(1.0, 0.0), 1);
+        let pre = BitVec::from_indices(128, &[0, 5, 9]);
+        let cost = engine
+            .teach(&mut t, clock, &pre, 3, TeacherSignal::ShouldFire)
+            .unwrap();
+        assert_eq!(cost.cycles, 2 * 4, "§4.4.1: 4 read + 4 write cycles");
+        // 8 cycles at ~1.2 ns ≈ 9.9 ns (26× faster than row-wise).
+        assert!(
+            (cost.latency.ns() - paper::LEARN_ROWWISE_NS / paper::LEARN_TIME_GAIN).abs() < 1.5,
+            "latency {} vs ≈9.9 ns",
+            cost.latency
+        );
+        assert_eq!(cost.bits_flipped, 3, "deterministic potentiation of 3 bits");
+    }
+
+    #[test]
+    fn rowwise_update_costs_2x128_cycles() {
+        let (mut t, clock) = tile(BitcellKind::Std6T);
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(1.0, 0.0), 1);
+        let pre = BitVec::from_indices(128, &[0, 5, 9]);
+        let cost = engine
+            .teach(&mut t, clock, &pre, 3, TeacherSignal::ShouldFire)
+            .unwrap();
+        assert_eq!(cost.cycles, 2 * 128, "§4.4.1: read+write every row");
+        assert!(
+            (cost.latency.ns() - paper::LEARN_ROWWISE_NS).abs() / paper::LEARN_ROWWISE_NS < 0.05,
+            "latency {} vs 257.8 ns",
+            cost.latency
+        );
+    }
+
+    #[test]
+    fn update_changes_the_weights_functionally() {
+        let (mut t, clock) = tile(BitcellKind::multiport(2).unwrap());
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(1.0, 1.0), 2);
+        let pre = BitVec::from_indices(128, &[10, 20, 30]);
+        engine
+            .teach(&mut t, clock, &pre, 7, TeacherSignal::ShouldFire)
+            .unwrap();
+        let bits = t.arrays()[0].bits();
+        assert!(bits.get(10, 7) && bits.get(20, 7) && bits.get(30, 7));
+    }
+
+    #[test]
+    fn should_not_fire_depresses_active_synapses() {
+        let (mut t, clock) = tile(BitcellKind::multiport(2).unwrap());
+        // Start with all-ones weights in column 0.
+        let mut ones = BitVec::new(128);
+        ones.set_all();
+        t.array_mut(0, 0).transposed_write(0, &ones).unwrap();
+        t.array_mut(0, 0).reset_stats();
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(1.0, 0.0), 3);
+        let pre = BitVec::from_indices(128, &[4, 8]);
+        let cost = engine
+            .teach(&mut t, clock, &pre, 0, TeacherSignal::ShouldNotFire)
+            .unwrap();
+        assert_eq!(cost.bits_flipped, 2);
+        assert!(!t.arrays()[0].bits().get(4, 0));
+        assert!(!t.arrays()[0].bits().get(8, 0));
+    }
+
+    #[test]
+    fn costs_match_441_gains() {
+        let (mut t4, clock4) = tile(BitcellKind::multiport(4).unwrap());
+        let (mut t6, clock6) = tile(BitcellKind::Std6T);
+        let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 4);
+        let pre = BitVec::from_indices(128, &[1, 2, 3]);
+        let transposed = engine
+            .teach(&mut t4, clock4, &pre, 0, TeacherSignal::ShouldFire)
+            .unwrap();
+        let rowwise = engine
+            .teach(&mut t6, clock6, &pre, 0, TeacherSignal::ShouldFire)
+            .unwrap();
+        let time_gain = rowwise.latency / transposed.latency;
+        let energy_gain = rowwise.energy / transposed.energy;
+        assert!(
+            (time_gain - paper::LEARN_TIME_GAIN).abs() / paper::LEARN_TIME_GAIN < 0.2,
+            "time gain {time_gain:.1} vs paper 26.0x"
+        );
+        assert!(
+            energy_gain > 10.0 && energy_gain < 40.0,
+            "energy gain {energy_gain:.1} should be in the paper's 19.5x class"
+        );
+    }
+
+    #[test]
+    fn bad_neuron_index_rejected() {
+        let (mut t, clock) = tile(BitcellKind::multiport(1).unwrap());
+        let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 5);
+        let result = engine.teach(
+            &mut t,
+            clock,
+            &BitVec::new(128),
+            500,
+            TeacherSignal::ShouldFire,
+        );
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! ESAM system model: tiles, cascade, spike-by-spike simulation, metrics,
+//! online learning and baselines.
+//!
+//! This crate assembles the substrates — multiport SRAM macros
+//! ([`esam_sram`]), priority-encoder arbiters ([`esam_arbiter`]), IF neurons
+//! ([`esam_neuron`]) and converted binary-SNN models ([`esam_nn`]) — into the
+//! full accelerator of the paper's Fig. 2 and evaluates it the way §4.1
+//! describes: a spike-by-spike simulation whose access counters, combined
+//! with the circuit-level timing/energy models, yield system throughput,
+//! energy per inference, power and area (Fig. 8, Table 3).
+//!
+//! # Examples
+//!
+//! Build the paper's 768:256:256:256:10 system and measure it:
+//!
+//! ```no_run
+//! use esam_core::{EsamSystem, SystemConfig};
+//! use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, TrainConfig, Trainer};
+//! use esam_sram::BitcellKind;
+//!
+//! let data = Dataset::generate(&DigitsConfig::default())?;
+//! let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42)?;
+//! Trainer::new(TrainConfig::default()).train(&mut net, &data.train)?;
+//! let model = SnnModel::from_bnn(&net)?;
+//!
+//! let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+//! let mut system = EsamSystem::from_model(&model, &config)?;
+//! let frames: Vec<_> = (0..100).map(|i| data.test.spikes(i)).collect();
+//! let metrics = system.measure_batch(&frames)?;
+//! println!("{metrics}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder_tree;
+pub mod baselines;
+pub mod config;
+pub mod error;
+pub mod learning;
+pub mod metrics;
+pub mod pipeline;
+pub mod system;
+pub mod tile;
+
+pub use adder_tree::{energy_crossover, sparsity_sweep, AdderTreeMacro, SparsityPoint};
+pub use config::{SystemConfig, SystemConfigBuilder, ARRAY_DIM};
+pub use error::CoreError;
+pub use learning::{LearningCost, OnlineLearningEngine};
+pub use metrics::SystemMetrics;
+pub use pipeline::{PipelineStage, PipelineTiming};
+pub use system::{EsamSystem, InferenceResult, SequenceResult};
+pub use tile::{Tile, TileStats};

@@ -1,0 +1,74 @@
+//! System-level figures of merit (the quantities Fig. 8 and Table 3 report).
+
+use std::fmt;
+
+use esam_tech::units::{AreaUm2, Hertz, Joules, Seconds, Watts};
+
+/// Measured system-level metrics over a batch of inferences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemMetrics {
+    /// Pipeline clock frequency.
+    pub clock: Hertz,
+    /// Average clock cycles consumed by the bottleneck tile per inference.
+    pub bottleneck_cycles: f64,
+    /// Pipelined throughput (inferences per second).
+    pub throughput_inf_s: f64,
+    /// End-to-end latency of one inference through all tiles.
+    pub latency: Seconds,
+    /// Dynamic energy per inference.
+    pub energy_per_inf: Joules,
+    /// Dynamic power at the measured throughput.
+    pub dynamic_power: Watts,
+    /// Static leakage power.
+    pub leakage_power: Watts,
+    /// Total silicon area.
+    pub area: AreaUm2,
+}
+
+impl SystemMetrics {
+    /// Total power: dynamic at full throughput plus leakage.
+    pub fn total_power(&self) -> Watts {
+        self.dynamic_power + self.leakage_power
+    }
+
+    /// Throughput in mega-inferences per second (Table 3's unit).
+    pub fn throughput_minf_s(&self) -> f64 {
+        self.throughput_inf_s / 1e6
+    }
+}
+
+impl fmt::Display for SystemMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "clock:        {:.1}", self.clock)?;
+        writeln!(f, "throughput:   {:.2} MInf/s", self.throughput_minf_s())?;
+        writeln!(f, "latency:      {:.2}", self.latency)?;
+        writeln!(f, "energy/inf:   {:.1}", self.energy_per_inf)?;
+        writeln!(f, "power:        {:.2} (dynamic {:.2} + leakage {:.2})",
+            self.total_power(), self.dynamic_power, self.leakage_power)?;
+        write!(f, "area:         {:.0}", self.area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_display() {
+        let m = SystemMetrics {
+            clock: Hertz::from_mhz(810.0),
+            bottleneck_cycles: 17.0,
+            throughput_inf_s: 44e6,
+            latency: Seconds::from_ns(80.0),
+            energy_per_inf: Joules::from_pj(607.0),
+            dynamic_power: Watts::from_mw(26.7),
+            leakage_power: Watts::from_mw(2.3),
+            area: AreaUm2::new(20_000.0),
+        };
+        assert!((m.total_power().mw() - 29.0).abs() < 1e-9);
+        assert!((m.throughput_minf_s() - 44.0).abs() < 1e-9);
+        let text = m.to_string();
+        assert!(text.contains("MInf/s"));
+        assert!(text.contains("energy/inf"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Two-stage pipeline timing (§4.3, Table 2).
+//!
+//! ESAM's tile pipeline has two stages: the Arbiter stage (request register
+//! → grant vectors) and the SRAM-read + Neuron-accumulation stage. The
+//! longer of the two sets the clock period. The same 128-wide 4-port arbiter
+//! block is used for every cell design — which is why Table 2's arbiter row
+//! barely moves across cells — while the SRAM stage grows with added ports
+//! and becomes the bottleneck for every multiport design.
+
+use esam_arbiter::MultiPortArbiter;
+use esam_neuron::NeuronTiming;
+use esam_sram::TimingAnalysis;
+use esam_tech::calibration::fitted;
+use esam_tech::units::{Hertz, Seconds};
+
+use crate::config::{SystemConfig, ARRAY_DIM};
+use crate::error::CoreError;
+
+/// Durations of the two pipeline stages, including register overhead and the
+/// synthesis slack margin — directly comparable to Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTiming {
+    /// Arbiter stage duration.
+    pub arbiter_stage: Seconds,
+    /// SRAM read + neuron accumulation stage duration.
+    pub sram_neuron_stage: Seconds,
+}
+
+impl PipelineTiming {
+    /// Analyzes the pipeline for a system configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the arbiter/SRAM models.
+    pub fn analyze(config: &SystemConfig) -> Result<Self, CoreError> {
+        // Every design instantiates the same 4-port arbiter block (§3.3);
+        // designs with fewer read ports simply consume fewer grants.
+        let arbiter = MultiPortArbiter::new(ARRAY_DIM, 4, config.arbiter_structure())?;
+        let array = config.array_config(ARRAY_DIM, ARRAY_DIM)?;
+        let sram = TimingAnalysis::new(&array).inference_read().total();
+        let neuron = NeuronTiming::new(config.grants_per_arbiter().max(1)).stage_delay();
+        let sram_neuron_stage = (sram + neuron + Seconds::new(fitted::PIPELINE_REGISTER_OVERHEAD))
+            * (1.0 + fitted::STAGE_SLACK_FRACTION);
+        Ok(Self {
+            arbiter_stage: arbiter.stage_time(),
+            sram_neuron_stage,
+        })
+    }
+
+    /// The clock period: the longer of the two stages.
+    pub fn clock_period(&self) -> Seconds {
+        self.arbiter_stage.max(self.sram_neuron_stage)
+    }
+
+    /// The clock frequency.
+    pub fn clock_frequency(&self) -> Hertz {
+        self.clock_period().to_frequency()
+    }
+
+    /// Which stage limits the clock.
+    pub fn bottleneck(&self) -> PipelineStage {
+        if self.sram_neuron_stage > self.arbiter_stage {
+            PipelineStage::SramNeuron
+        } else {
+            PipelineStage::Arbiter
+        }
+    }
+}
+
+/// The two pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// Spike arbitration.
+    Arbiter,
+    /// SRAM read + neuron accumulation.
+    SramNeuron,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esam_sram::BitcellKind;
+    use esam_tech::calibration::paper;
+
+    fn timing(cell: BitcellKind) -> PipelineTiming {
+        PipelineTiming::analyze(&SystemConfig::paper_default(cell)).unwrap()
+    }
+
+    #[test]
+    fn arbiter_stage_is_flat_across_cells_table2() {
+        let stages: Vec<f64> = BitcellKind::ALL
+            .iter()
+            .map(|&c| timing(c).arbiter_stage.ns())
+            .collect();
+        for window in stages.windows(2) {
+            assert!(
+                (window[0] - window[1]).abs() < 0.01,
+                "arbiter stage must not scale with cell kind: {stages:?}"
+            );
+        }
+        // ~1.01 ns in the paper.
+        assert!(
+            (stages[0] - paper::TABLE2_ARBITER_NS[0]).abs() < 0.08,
+            "arbiter stage {} vs paper {}",
+            stages[0],
+            paper::TABLE2_ARBITER_NS[0]
+        );
+    }
+
+    #[test]
+    fn sram_stage_tracks_table2() {
+        for (index, cell) in BitcellKind::ALL.iter().enumerate() {
+            let stage = timing(*cell).sram_neuron_stage.ns();
+            let expected = paper::TABLE2_SRAM_NEURON_NS[index];
+            let deviation = (stage - expected).abs() / expected;
+            assert!(
+                deviation < 0.15,
+                "{cell}: SRAM+Neuron stage {stage:.2} ns vs paper {expected} ns ({deviation:.1}% off)"
+            );
+        }
+    }
+
+    #[test]
+    fn bottleneck_flips_from_arbiter_to_sram_table2() {
+        // 1RW: the arbiter dominates; multiport designs: the SRAM stage.
+        assert_eq!(timing(BitcellKind::Std6T).bottleneck(), PipelineStage::Arbiter);
+        for p in 2..=4 {
+            assert_eq!(
+                timing(BitcellKind::multiport(p).unwrap()).bottleneck(),
+                PipelineStage::SramNeuron,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn system_clock_matches_table3_class() {
+        // Table 3: 810 MHz for the 4-port system.
+        let clock = timing(BitcellKind::multiport(4).unwrap()).clock_frequency();
+        assert!(
+            (clock.mhz() - paper::SYSTEM_CLOCK_MHZ).abs() / paper::SYSTEM_CLOCK_MHZ < 0.12,
+            "clock {} vs paper {} MHz",
+            clock,
+            paper::SYSTEM_CLOCK_MHZ
+        );
+    }
+
+    #[test]
+    fn clock_period_is_max_of_stages() {
+        let t = timing(BitcellKind::multiport(3).unwrap());
+        assert_eq!(t.clock_period(), t.arbiter_stage.max(t.sram_neuron_stage));
+    }
+}

@@ -1,0 +1,511 @@
+//! One CIM-P tile: arbiters + SRAM macros + IF neuron array (Fig. 2).
+//!
+//! A tile implements one fully-connected layer. Wide layers are split into
+//! 128-wide blocks: `⌈inputs/128⌉` *row groups* (each with its own 128-wide
+//! arbiter, §4.4.2) × `⌈outputs/128⌉` *column groups*. A granted wordline
+//! spans all column groups of its row group, so a 768:256 layer grants up to
+//! `6 × p` spikes per clock cycle.
+//!
+//! Per clock cycle the tile:
+//!
+//! 1. lets each row-group arbiter grant up to `p` pending spike requests,
+//! 2. reads the granted rows on the corresponding SRAM ports,
+//! 3. feeds the sensed rows (with validity flags) to the neuron array.
+//!
+//! When the request register drains (`R_empty`), the neurons compare and
+//! fire, producing the parallel spike frame for the next tile (§3.1/§3.4).
+
+use esam_arbiter::{EncoderStructure, MultiPortArbiter};
+use esam_bits::{BitMatrix, BitVec};
+use esam_neuron::NeuronArray;
+use esam_nn::SnnLayer;
+use esam_sram::{SramArray, SramMacro};
+use esam_tech::calibration::fitted;
+use esam_tech::units::{AreaUm2, Joules, Watts};
+
+use crate::config::{SystemConfig, ARRAY_DIM};
+use crate::error::CoreError;
+
+/// Leakage of the tile's logic (arbiters, neurons, registers) relative to
+/// its SRAM arrays.
+const TILE_LOGIC_LEAK_FRACTION: f64 = 0.15;
+
+/// Activity counters of one tile, reconstructing spike-by-spike energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileStats {
+    /// Cycles in which at least one spike was served (idle cycles are
+    /// clock-gated, following the event-driven designs the paper cites).
+    pub active_cycles: u64,
+    /// Total grants issued (spikes served).
+    pub grants: u64,
+    /// Spikes injected into the request register.
+    pub spikes_in: u64,
+    /// `R_empty` fire/compare events.
+    pub timesteps: u64,
+    /// Port bits integrated by the neuron array.
+    pub neuron_bits: u64,
+}
+
+/// One ESAM tile (one network layer).
+#[derive(Debug, Clone)]
+pub struct Tile {
+    inputs: usize,
+    outputs: usize,
+    row_groups: usize,
+    col_groups: usize,
+    /// Row-major `[row_group][col_group]` blocks.
+    arrays: Vec<SramArray>,
+    arbiters: Vec<MultiPortArbiter>,
+    neurons: NeuronArray,
+    /// Pending spike requests, one vector per row group.
+    requests: Vec<BitVec>,
+    grants_per_cycle: usize,
+    stats: TileStats,
+}
+
+impl Tile {
+    /// Builds a tile for an `inputs → outputs` layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates array/arbiter construction errors (e.g. the NBL rule for
+    /// invalid block shapes).
+    pub fn new(inputs: usize, outputs: usize, config: &SystemConfig) -> Result<Self, CoreError> {
+        if inputs == 0 || outputs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "tile dimensions must be non-zero".into(),
+            ));
+        }
+        let row_groups = inputs.div_ceil(ARRAY_DIM);
+        let col_groups = outputs.div_ceil(ARRAY_DIM);
+        let mut arrays = Vec::with_capacity(row_groups * col_groups);
+        for rg in 0..row_groups {
+            let rows = block_len(inputs, rg);
+            for cg in 0..col_groups {
+                let cols = block_len(outputs, cg);
+                let array_config = config.array_config(rows, cols)?;
+                arrays.push(SramArray::new(array_config));
+            }
+        }
+        let arbiters = (0..row_groups)
+            .map(|rg| {
+                arbiter_for_width(
+                    block_len(inputs, rg),
+                    config.grants_per_arbiter(),
+                    config.arbiter_structure(),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let requests = (0..row_groups)
+            .map(|rg| BitVec::new(block_len(inputs, rg)))
+            .collect();
+        Ok(Self {
+            inputs,
+            outputs,
+            row_groups,
+            col_groups,
+            arrays,
+            arbiters,
+            neurons: NeuronArray::with_uniform_threshold(config.neuron(), outputs, 0),
+            requests,
+            grants_per_cycle: config.grants_per_arbiter(),
+            stats: TileStats::default(),
+        })
+    }
+
+    /// Fan-in of the tile.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Fan-out of the tile.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Number of 128-wide row groups (arbiters).
+    pub fn row_groups(&self) -> usize {
+        self.row_groups
+    }
+
+    /// Number of 128-wide column groups.
+    pub fn col_groups(&self) -> usize {
+        self.col_groups
+    }
+
+    /// Maximum spikes served per cycle: `row_groups × p` (§4.4.2).
+    pub fn max_spikes_per_cycle(&self) -> usize {
+        self.row_groups * self.grants_per_cycle
+    }
+
+    /// Accumulated activity counters.
+    pub fn stats(&self) -> &TileStats {
+        &self.stats
+    }
+
+    /// Resets activity counters (contents and membranes are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = TileStats::default();
+        for array in &mut self.arrays {
+            array.reset_stats();
+        }
+    }
+
+    /// The SRAM blocks of this tile (row-major `[row_group][col_group]`).
+    pub fn arrays(&self) -> &[SramArray] {
+        &self.arrays
+    }
+
+    /// Mutable access to one SRAM block — used by the online-learning
+    /// engine for transposed weight updates.
+    pub(crate) fn array_mut(&mut self, row_group: usize, col_group: usize) -> &mut SramArray {
+        &mut self.arrays[row_group * self.col_groups + col_group]
+    }
+
+    /// The neuron array.
+    pub fn neurons(&self) -> &NeuronArray {
+        &self.neurons
+    }
+
+    /// Loads a converted layer's weights and thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TopologyMismatch`] for shape mismatches and a
+    /// threshold-overflow error when a threshold exceeds the neuron's
+    /// register width.
+    pub fn load_layer(&mut self, layer: &SnnLayer) -> Result<(), CoreError> {
+        if layer.inputs() != self.inputs || layer.outputs() != self.outputs {
+            return Err(CoreError::TopologyMismatch {
+                expected: vec![self.inputs, self.outputs],
+                got: vec![layer.inputs(), layer.outputs()],
+            });
+        }
+        let neuron_config = self.neurons.neurons()[0].config();
+        for &threshold in layer.thresholds() {
+            if threshold > neuron_config.threshold_max() || threshold < neuron_config.threshold_min()
+            {
+                return Err(CoreError::Nn(esam_nn::NnError::ThresholdOverflow {
+                    threshold,
+                    bits: neuron_config.threshold_bits(),
+                }));
+            }
+        }
+        for rg in 0..self.row_groups {
+            let rows = block_len(self.inputs, rg);
+            for cg in 0..self.col_groups {
+                let cols = block_len(self.outputs, cg);
+                let block = BitMatrix::from_fn(rows, cols, |r, c| {
+                    layer.bits().get(rg * ARRAY_DIM + r, cg * ARRAY_DIM + c)
+                });
+                self.arrays[rg * self.col_groups + cg].load_weights(&block)?;
+            }
+        }
+        self.neurons.load_thresholds(layer.thresholds());
+        Ok(())
+    }
+
+    /// Injects a spike frame into the request register (binary pulses from
+    /// the previous tile arriving fully in parallel, §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for a wrong frame width.
+    pub fn inject(&mut self, frame: &BitVec) -> Result<(), CoreError> {
+        if frame.len() != self.inputs {
+            return Err(CoreError::InputWidthMismatch {
+                expected: self.inputs,
+                got: frame.len(),
+            });
+        }
+        for index in frame.iter_ones() {
+            self.requests[index / ARRAY_DIM].set(index % ARRAY_DIM, true);
+        }
+        self.stats.spikes_in += frame.count_ones() as u64;
+        Ok(())
+    }
+
+    /// `true` when no spike requests are pending (the `R_empty` condition).
+    pub fn is_drained(&self) -> bool {
+        self.requests.iter().all(|r| !r.any())
+    }
+
+    /// Executes one clock cycle: arbitration, SRAM reads, neuron
+    /// integration. Returns the number of spikes served (0 when idle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM access errors (none occur for in-range grants).
+    pub fn step(&mut self) -> Result<usize, CoreError> {
+        let mut port_rows: Vec<BitVec> = Vec::with_capacity(self.max_spikes_per_cycle());
+        for rg in 0..self.row_groups {
+            if !self.requests[rg].any() {
+                continue;
+            }
+            let grants = self.arbiters[rg].arbitrate(&self.requests[rg]);
+            self.requests[rg] = grants.remaining().clone();
+            for (slot, &local_row) in grants.granted().iter().enumerate() {
+                let mut full_row = BitVec::new(self.outputs);
+                for cg in 0..self.col_groups {
+                    let bits = self.arrays[rg * self.col_groups + cg]
+                        .inference_read(slot, local_row)?;
+                    for c in bits.iter_ones() {
+                        full_row.set(cg * ARRAY_DIM + c, true);
+                    }
+                }
+                port_rows.push(full_row);
+            }
+        }
+        if port_rows.is_empty() {
+            return Ok(0);
+        }
+        let valid = vec![true; port_rows.len()];
+        self.neurons.integrate(&port_rows, &valid);
+        self.stats.active_cycles += 1;
+        self.stats.grants += port_rows.len() as u64;
+        self.stats.neuron_bits += (port_rows.len() * self.outputs) as u64;
+        Ok(port_rows.len())
+    }
+
+    /// End-of-timestep evaluation (`R_empty` asserted): every neuron
+    /// compares and conditionally fires. Returns the output spike frame.
+    pub fn finish_timestep(&mut self) -> BitVec {
+        self.stats.timesteps += 1;
+        self.stats.active_cycles += 1; // the compare/fire cycle
+        let fired = self.neurons.end_timestep();
+        self.neurons.grant(&fired); // next tile latches the pulses at once
+        fired
+    }
+
+    /// Membrane potentials (output-layer readout, taken before
+    /// [`finish_timestep`](Self::finish_timestep)).
+    pub fn membranes(&self) -> Vec<i32> {
+        self.neurons.membranes()
+    }
+
+    /// Processes one full input frame: inject, drain, fire. Returns the
+    /// output spike frame and the number of clock cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection/step errors.
+    pub fn process_frame(&mut self, frame: &BitVec) -> Result<(BitVec, u64), CoreError> {
+        self.inject(frame)?;
+        let mut cycles = 0u64;
+        while !self.is_drained() {
+            self.step()?;
+            cycles += 1;
+        }
+        let fired = self.finish_timestep();
+        cycles += 1;
+        Ok((fired, cycles))
+    }
+
+    /// Dynamic energy implied by the accumulated counters: SRAM accesses,
+    /// arbitration, neuron integration and the fitted per-cycle
+    /// control/clock/pipeline overheads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM energy-model errors.
+    pub fn dynamic_energy(&self) -> Result<Joules, CoreError> {
+        let mut total = Joules::ZERO;
+        for array in &self.arrays {
+            total += array.consumed_energy()?;
+        }
+        // Arbiters: idle masked by clock gating; active cycles clock every
+        // row-group arbiter of the tile.
+        total += Joules::new(fitted::ARBITER_ENERGY_PER_CYCLE)
+            * (self.stats.active_cycles * self.row_groups as u64) as f64
+            + Joules::new(fitted::ARBITER_ENERGY_PER_GRANT) * self.stats.grants as f64;
+        // Neuron datapath.
+        total += Joules::new(fitted::NEURON_ACCUM_ENERGY_PER_BIT) * self.stats.neuron_bits as f64
+            + Joules::new(fitted::NEURON_FIRE_ENERGY)
+                * (self.stats.timesteps * self.outputs as u64) as f64;
+        // Fitted system overheads: control/clock per column-cycle and
+        // pipeline registers per port-bit-cycle.
+        let column_cycles = (self.stats.active_cycles * self.outputs as u64) as f64;
+        total += Joules::new(fitted::CONTROL_ENERGY_PER_COLUMN_CYCLE) * column_cycles
+            + Joules::new(fitted::PIPE_ENERGY_PER_PORT_BIT_CYCLE)
+                * column_cycles
+                * self.grants_per_cycle as f64;
+        Ok(total)
+    }
+
+    /// Static leakage of the tile (arrays plus logic share).
+    pub fn leakage_power(&self) -> Watts {
+        let arrays: Watts = self
+            .arrays
+            .iter()
+            .map(|a| a.energy().leakage_power())
+            .sum();
+        arrays * (1.0 + TILE_LOGIC_LEAK_FRACTION)
+    }
+
+    /// Silicon area of the tile: SRAM macros, arbiters and neurons.
+    pub fn area(&self) -> AreaUm2 {
+        let arrays: AreaUm2 = self
+            .arrays
+            .iter()
+            .map(|a| SramMacro::new(a.config().clone()).area().total())
+            .sum();
+        let arbiters: AreaUm2 = self.arbiters.iter().map(|a| a.area()).sum();
+        arrays + arbiters + AreaUm2::new(fitted::NEURON_AREA_UM2) * self.outputs as f64
+    }
+}
+
+/// Width of block `index` when splitting `total` into 128-wide groups.
+fn block_len(total: usize, index: usize) -> usize {
+    (total - index * ARRAY_DIM).min(ARRAY_DIM)
+}
+
+/// Builds a row-group arbiter, falling back to a flat encoder when the tree
+/// base width does not divide the (edge-block) width.
+fn arbiter_for_width(
+    width: usize,
+    ports: usize,
+    structure: EncoderStructure,
+) -> Result<MultiPortArbiter, CoreError> {
+    let structure = match structure {
+        EncoderStructure::Tree { base_width }
+            if base_width < width && width.is_multiple_of(base_width) =>
+        {
+            EncoderStructure::Tree { base_width }
+        }
+        _ => EncoderStructure::Flat,
+    };
+    Ok(MultiPortArbiter::new(width, ports, structure)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esam_sram::BitcellKind;
+
+    fn config(cell: BitcellKind) -> SystemConfig {
+        SystemConfig::paper_default(cell)
+    }
+
+    fn tile(inputs: usize, outputs: usize, cell: BitcellKind) -> Tile {
+        Tile::new(inputs, outputs, &config(cell)).unwrap()
+    }
+
+    #[test]
+    fn block_decomposition() {
+        let t = tile(768, 256, BitcellKind::multiport(4).unwrap());
+        assert_eq!(t.row_groups(), 6);
+        assert_eq!(t.col_groups(), 2);
+        assert_eq!(t.arrays().len(), 12);
+        assert_eq!(t.max_spikes_per_cycle(), 24);
+        let t = tile(256, 10, BitcellKind::multiport(4).unwrap());
+        assert_eq!((t.row_groups(), t.col_groups()), (2, 1));
+        assert_eq!(t.arrays()[0].config().cols(), 10);
+    }
+
+    #[test]
+    fn identity_like_layer_fires_correctly() {
+        // Weight matrix: all ones in column j for j < 4, zeros elsewhere.
+        // With threshold = spike count, neuron j<4 fires, others get -count.
+        let mut t = tile(128, 8, BitcellKind::multiport(4).unwrap());
+        let net = esam_nn::BnnNetwork::new(&[128, 8], 1).unwrap();
+        let mut model_net = net;
+        for o in 0..8 {
+            for i in 0..128 {
+                *model_net.layers_mut()[0].latent_mut().get_mut(o, i) =
+                    if o < 4 { 1.0 } else { -1.0 };
+            }
+            model_net.layers_mut()[0].bias_mut()[o] = if o < 4 { -3.0 } else { 0.0 };
+        }
+        let model = esam_nn::SnnModel::from_bnn(&model_net).unwrap();
+        t.load_layer(&model.layers()[0]).unwrap();
+
+        let frame = BitVec::from_indices(128, &[3, 50, 90]); // 3 spikes
+        let (fired, cycles) = t.process_frame(&frame).unwrap();
+        // Neurons 0..4: sum=+3, threshold=3 → fire; neurons 4..8: sum=−3,
+        // threshold 0 → silent.
+        assert_eq!(fired.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // 3 spikes on one 4-port arbiter: 1 serve cycle + 1 fire cycle.
+        assert_eq!(cycles, 2);
+    }
+
+    #[test]
+    fn cycle_count_follows_parallelism() {
+        for (cell, expected_serve_cycles) in [
+            (BitcellKind::Std6T, 9),                    // 9 spikes / 1 per cycle
+            (BitcellKind::multiport(1).unwrap(), 9),
+            (BitcellKind::multiport(3).unwrap(), 3),
+            (BitcellKind::multiport(4).unwrap(), 3),    // ceil(9/4)
+        ] {
+            let mut t = tile(128, 16, cell);
+            let frame = BitVec::from_indices(128, &(0..9).map(|i| i * 13).collect::<Vec<_>>());
+            let (_, cycles) = t.process_frame(&frame).unwrap();
+            assert_eq!(
+                cycles,
+                expected_serve_cycles + 1,
+                "{cell}: expected {expected_serve_cycles} serve cycles + 1 fire"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_group_grants_are_parallel() {
+        // 768 inputs = 6 arbiters: 24 spikes spread evenly over groups are
+        // served in ceil(4 per group / 4 ports) = 1 cycle on the 4R cell.
+        let mut t = tile(768, 128, BitcellKind::multiport(4).unwrap());
+        let spikes: Vec<usize> = (0..24).map(|i| i * 32).collect(); // 4 per group
+        let frame = BitVec::from_indices(768, &spikes);
+        let (_, cycles) = t.process_frame(&frame).unwrap();
+        assert_eq!(cycles, 2, "1 serve cycle + 1 fire cycle");
+        assert_eq!(t.stats().grants, 24);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut t = tile(128, 32, BitcellKind::multiport(2).unwrap());
+        let frame = BitVec::from_indices(128, &[1, 2, 3, 4, 5]);
+        t.process_frame(&frame).unwrap();
+        assert_eq!(t.stats().spikes_in, 5);
+        assert_eq!(t.stats().grants, 5);
+        assert_eq!(t.stats().timesteps, 1);
+        assert!(t.stats().active_cycles >= 4);
+        assert!(t.dynamic_energy().unwrap().pj() > 0.0);
+        t.reset_stats();
+        assert_eq!(t.stats().grants, 0);
+        assert!(t.dynamic_energy().unwrap().is_zero());
+    }
+
+    #[test]
+    fn wrong_frame_width_rejected() {
+        let mut t = tile(128, 32, BitcellKind::Std6T);
+        assert!(matches!(
+            t.inject(&BitVec::new(100)),
+            Err(CoreError::InputWidthMismatch { expected: 128, got: 100 })
+        ));
+    }
+
+    #[test]
+    fn load_layer_shape_checked() {
+        let mut t = tile(128, 32, BitcellKind::multiport(4).unwrap());
+        let net = esam_nn::BnnNetwork::new(&[64, 32], 2).unwrap();
+        let model = esam_nn::SnnModel::from_bnn(&net).unwrap();
+        assert!(matches!(
+            t.load_layer(&model.layers()[0]),
+            Err(CoreError::TopologyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn area_and_leakage_scale_with_cell() {
+        let a6 = tile(256, 256, BitcellKind::Std6T);
+        let a4 = tile(256, 256, BitcellKind::multiport(4).unwrap());
+        assert!(a4.area().value() > 2.0 * a6.area().value());
+        assert!(a4.leakage_power().value() > a6.leakage_power().value());
+    }
+
+    #[test]
+    fn idle_step_costs_nothing() {
+        let mut t = tile(128, 8, BitcellKind::multiport(4).unwrap());
+        assert_eq!(t.step().unwrap(), 0);
+        assert_eq!(t.stats().active_cycles, 0, "idle cycles are clock-gated");
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for netlist construction, evaluation and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Errors raised by the gate-level substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A gate was connected with the wrong number of inputs.
+    ArityMismatch {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// Inputs the kind requires (`None` = any positive count).
+        expected: Option<usize>,
+        /// Inputs actually supplied.
+        got: usize,
+    },
+    /// A second driver was connected to an already-driven net.
+    MultipleDrivers {
+        /// Name of the doubly-driven net.
+        net: String,
+    },
+    /// A net is neither a primary input nor driven by any gate.
+    UndrivenNet {
+        /// Name of the floating net.
+        net: String,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalLoop {
+        /// Name of one net on the cycle.
+        net: String,
+    },
+    /// A `NetId` from a different or newer netlist was used.
+    UnknownNet,
+    /// The stimulus vector length does not match the primary input count.
+    StimulusWidth {
+        /// Primary inputs in the netlist.
+        expected: usize,
+        /// Levels supplied.
+        got: usize,
+    },
+    /// The event simulator exceeded its event budget without settling
+    /// (oscillating feedback or an unreasonable stimulus rate).
+    DidNotSettle {
+        /// Events processed before giving up.
+        events: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::ArityMismatch { kind, expected, got } => match expected {
+                Some(n) => write!(f, "{kind:?} expects {n} inputs, got {got}"),
+                None => write!(f, "{kind:?} expects at least one input, got {got}"),
+            },
+            LogicError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` already has a driver")
+            }
+            LogicError::UndrivenNet { net } => {
+                write!(f, "net `{net}` has no driver and is not a primary input")
+            }
+            LogicError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            LogicError::UnknownNet => f.write_str("net id does not belong to this netlist"),
+            LogicError::StimulusWidth { expected, got } => {
+                write!(f, "stimulus has {got} levels but the netlist has {expected} inputs")
+            }
+            LogicError::DidNotSettle { events } => {
+                write!(f, "simulation did not settle after {events} events")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = LogicError::MultipleDrivers { net: "g[3]".into() };
+        assert_eq!(e.to_string(), "net `g[3]` already has a driver");
+        let e = LogicError::ArityMismatch {
+            kind: GateKind::Xor,
+            expected: Some(2),
+            got: 3,
+        };
+        assert!(e.to_string().contains("expects 2 inputs, got 3"));
+        let e = LogicError::ArityMismatch {
+            kind: GateKind::And,
+            expected: None,
+            got: 0,
+        };
+        assert!(e.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn implements_error_and_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<LogicError>();
+    }
+}

@@ -1,0 +1,406 @@
+//! Reusable netlist generators: buses, reduce trees, adders, popcount.
+//!
+//! These are the structural building blocks shared by the ESAM arbiter
+//! (OR-reduce trees for group-request detection) and the neuron datapath
+//! (popcount + ripple-carry accumulate). Each generator returns the nets it
+//! created so callers can compose them freely.
+
+use crate::error::LogicError;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// An ordered group of single-bit nets; bit 0 first (LSB for numeric buses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Wraps an explicit net list (bit 0 first).
+    pub fn from_nets(nets: Vec<NetId>) -> Self {
+        Self { nets }
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// `true` if the bus carries no bits.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Net of `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= width()`.
+    pub fn net(&self, bit: usize) -> NetId {
+        self.nets[bit]
+    }
+
+    /// All nets, bit 0 first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Interprets `levels` (full netlist state from
+    /// [`Netlist::evaluate`](crate::Netlist::evaluate)) as an unsigned
+    /// value, LSB first. Returns `None` if any bit is unknown.
+    pub fn decode(&self, levels: &[crate::Level]) -> Option<u64> {
+        let mut value = 0u64;
+        for (bit, &net) in self.nets.iter().enumerate() {
+            match levels[net.index()].to_bool() {
+                Some(true) => value |= 1 << bit,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(value)
+    }
+}
+
+/// Declares `width` primary inputs named `name[0]`..`name[width-1]`.
+pub fn input_bus(nl: &mut Netlist, name: &str, width: usize) -> Bus {
+    Bus {
+        nets: (0..width).map(|i| nl.add_input(format!("{name}[{i}]"))).collect(),
+    }
+}
+
+/// Balanced binary reduce tree of `kind` (must be `And` or `Or`) over
+/// `bits`; depth is `ceil(log2(n))`.
+///
+/// # Errors
+///
+/// Propagates netlist build errors; returns [`LogicError::ArityMismatch`]
+/// when `bits` is empty.
+pub fn reduce_tree(
+    nl: &mut Netlist,
+    kind: GateKind,
+    bits: &[NetId],
+    name: &str,
+) -> Result<NetId, LogicError> {
+    if bits.is_empty() {
+        return Err(LogicError::ArityMismatch {
+            kind,
+            expected: None,
+            got: 0,
+        });
+    }
+    let mut layer: Vec<NetId> = bits.to_vec();
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(nl.add_cell(kind, pair, format!("{name}_l{level}_{i}"))?);
+            } else {
+                next.push(pair[0]); // odd wire rides up unchanged
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    Ok(layer[0])
+}
+
+/// OR-reduce: `1` when any bit of `bits` is set ("this group holds a
+/// pending request", §3.3).
+///
+/// # Errors
+///
+/// Same as [`reduce_tree`].
+pub fn or_reduce(nl: &mut Netlist, bits: &[NetId], name: &str) -> Result<NetId, LogicError> {
+    reduce_tree(nl, GateKind::Or, bits, name)
+}
+
+/// AND-reduce over `bits`.
+///
+/// # Errors
+///
+/// Same as [`reduce_tree`].
+pub fn and_reduce(nl: &mut Netlist, bits: &[NetId], name: &str) -> Result<NetId, LogicError> {
+    reduce_tree(nl, GateKind::And, bits, name)
+}
+
+/// One full adder; returns `(sum, carry_out)`.
+///
+/// # Errors
+///
+/// Propagates netlist build errors.
+pub fn full_adder(
+    nl: &mut Netlist,
+    a: NetId,
+    b: NetId,
+    carry_in: NetId,
+    name: &str,
+) -> Result<(NetId, NetId), LogicError> {
+    let axb = nl.add_cell(GateKind::Xor, &[a, b], format!("{name}_axb"))?;
+    let sum = nl.add_cell(GateKind::Xor, &[axb, carry_in], format!("{name}_sum"))?;
+    let and_ab = nl.add_cell(GateKind::And, &[a, b], format!("{name}_ab"))?;
+    let and_cx = nl.add_cell(GateKind::And, &[carry_in, axb], format!("{name}_cx"))?;
+    let carry = nl.add_cell(GateKind::Or, &[and_ab, and_cx], format!("{name}_cout"))?;
+    Ok((sum, carry))
+}
+
+/// Ripple-carry adder over equal-width buses; returns `(sum, carry_out)`.
+///
+/// # Errors
+///
+/// Propagates netlist build errors.
+///
+/// # Panics
+///
+/// Panics if `a.width() != b.width()` or either bus is empty — mismatched
+/// datapaths are a construction bug, not a runtime condition.
+pub fn ripple_carry_adder(
+    nl: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+    carry_in: NetId,
+    name: &str,
+) -> Result<(Bus, NetId), LogicError> {
+    assert_eq!(a.width(), b.width(), "adder operand widths differ");
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut carry = carry_in;
+    let mut sum = Vec::with_capacity(a.width());
+    for bit in 0..a.width() {
+        let (s, c) = full_adder(nl, a.net(bit), b.net(bit), carry, &format!("{name}_b{bit}"))?;
+        sum.push(s);
+        carry = c;
+    }
+    Ok((Bus { nets: sum }, carry))
+}
+
+/// Bits needed to count `n` items (`floor(log2(n)) + 1`).
+fn count_width(n: usize) -> usize {
+    usize::BITS as usize - n.max(1).leading_zeros() as usize
+}
+
+/// Population count of `bits` as a binary bus of exactly
+/// `floor(log2(n)) + 1` bits, built from a divide-and-conquer adder tree.
+///
+/// This is the neuron-side structure that sums the `p` valid bitline hits
+/// of one cycle (§3.4) before the signed `V_mem` accumulate.
+///
+/// # Errors
+///
+/// Propagates netlist build errors; empty input yields a single constant-0
+/// bit.
+pub fn popcount(nl: &mut Netlist, bits: &[NetId], name: &str) -> Result<Bus, LogicError> {
+    match bits.len() {
+        0 => {
+            let zero = nl.add_cell(GateKind::Const0, &[], format!("{name}_zero"))?;
+            Ok(Bus { nets: vec![zero] })
+        }
+        1 => Ok(Bus {
+            nets: vec![bits[0]],
+        }),
+        2 => {
+            let sum = nl.add_cell(GateKind::Xor, &[bits[0], bits[1]], format!("{name}_s"))?;
+            let carry = nl.add_cell(GateKind::And, &[bits[0], bits[1]], format!("{name}_c"))?;
+            Ok(Bus {
+                nets: vec![sum, carry],
+            })
+        }
+        3 => {
+            // A full adder is exactly a 3-bit counter: the third bit rides
+            // in on the carry input.
+            let (s, c) = full_adder(nl, bits[0], bits[1], bits[2], name)?;
+            Ok(Bus { nets: vec![s, c] })
+        }
+        n => {
+            let half = n / 2;
+            let low = popcount(nl, &bits[..half], &format!("{name}_lo"))?;
+            let high = popcount(nl, &bits[half..], &format!("{name}_hi"))?;
+            let width = count_width(n);
+            let low = zero_extend(nl, &low, width, &format!("{name}_lox"))?;
+            let high = zero_extend(nl, &high, width, &format!("{name}_hix"))?;
+            let cin = nl.add_cell(GateKind::Const0, &[], format!("{name}_cin"))?;
+            let (sum, _overflow) = ripple_carry_adder(nl, &low, &high, cin, name)?;
+            // The count of n bits always fits in `width` bits, so the final
+            // carry is structurally zero and deliberately dropped.
+            Ok(sum)
+        }
+    }
+}
+
+/// Pads `bus` with constant-0 bits up to `width`.
+///
+/// # Errors
+///
+/// Propagates netlist build errors.
+///
+/// # Panics
+///
+/// Panics if `width < bus.width()` — truncation is never intended here.
+pub fn zero_extend(
+    nl: &mut Netlist,
+    bus: &Bus,
+    width: usize,
+    name: &str,
+) -> Result<Bus, LogicError> {
+    assert!(width >= bus.width(), "zero_extend cannot truncate");
+    let mut nets = bus.nets.clone();
+    for i in bus.width()..width {
+        nets.push(nl.add_cell(GateKind::Const0, &[], format!("{name}_pad{i}"))?);
+    }
+    Ok(Bus { nets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+
+    fn levels_for(value: u64, width: usize) -> Vec<Level> {
+        (0..width).map(|i| Level::from(value >> i & 1 == 1)).collect()
+    }
+
+    #[test]
+    fn or_reduce_matches_any() {
+        for width in 1..=9usize {
+            let mut nl = Netlist::new();
+            let bus = input_bus(&mut nl, "r", width);
+            let any = or_reduce(&mut nl, bus.nets(), "any").unwrap();
+            nl.mark_output(any).unwrap();
+            for value in 0..(1u64 << width) {
+                let levels = nl.evaluate(&levels_for(value, width)).unwrap();
+                assert_eq!(
+                    levels[any.index()],
+                    Level::from(value != 0),
+                    "width {width} value {value:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_reduce_matches_all() {
+        let mut nl = Netlist::new();
+        let bus = input_bus(&mut nl, "r", 5);
+        let all = and_reduce(&mut nl, bus.nets(), "all").unwrap();
+        for value in 0..32u64 {
+            let levels = nl.evaluate(&levels_for(value, 5)).unwrap();
+            assert_eq!(levels[all.index()], Level::from(value == 31));
+        }
+    }
+
+    #[test]
+    fn reduce_tree_depth_is_logarithmic() {
+        use crate::gate::GateTiming;
+        use crate::sta::TimingAnalysis;
+        let mut nl = Netlist::new();
+        let bus = input_bus(&mut nl, "r", 64);
+        let out = or_reduce(&mut nl, bus.nets(), "any").unwrap();
+        nl.mark_output(out).unwrap();
+        let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()).unwrap();
+        assert_eq!(sta.critical_path().depth(), 6, "64 inputs need exactly 6 OR2 levels");
+    }
+
+    #[test]
+    fn empty_reduce_is_an_error() {
+        let mut nl = Netlist::new();
+        assert!(matches!(
+            or_reduce(&mut nl, &[], "any"),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ripple_adder_is_exhaustively_correct_at_width_4() {
+        let mut nl = Netlist::new();
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let cin = nl.add_input("cin");
+        let (sum, cout) = ripple_carry_adder(&mut nl, &a, &b, cin, "add").unwrap();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                for c in 0..2u64 {
+                    let mut stim = levels_for(x, 4);
+                    stim.extend(levels_for(y, 4));
+                    stim.push(Level::from(c == 1));
+                    let levels = nl.evaluate(&stim).unwrap();
+                    let got = sum.decode(&levels).unwrap()
+                        + (u64::from(levels[cout.index()] == Level::High) << 4);
+                    assert_eq!(got, x + y + c, "{x} + {y} + {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn adder_rejects_mismatched_widths() {
+        let mut nl = Netlist::new();
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 3);
+        let cin = nl.add_input("cin");
+        let _ = ripple_carry_adder(&mut nl, &a, &b, cin, "add");
+    }
+
+    #[test]
+    fn popcount_is_exhaustively_correct_up_to_9_bits() {
+        for width in 1..=9usize {
+            let mut nl = Netlist::new();
+            let bus = input_bus(&mut nl, "x", width);
+            let count = popcount(&mut nl, bus.nets(), "pc").unwrap();
+            assert_eq!(count.width(), count_width(width), "width {width}");
+            for value in 0..(1u64 << width) {
+                let levels = nl.evaluate(&levels_for(value, width)).unwrap();
+                assert_eq!(
+                    count.decode(&levels),
+                    Some(u64::from(value.count_ones())),
+                    "popcount({value:b}) at width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_of_nothing_is_zero() {
+        let mut nl = Netlist::new();
+        let count = popcount(&mut nl, &[], "pc").unwrap();
+        let levels = nl.evaluate(&[]).unwrap();
+        assert_eq!(count.decode(&levels), Some(0));
+    }
+
+    #[test]
+    fn popcount_128_matches_on_samples() {
+        // The neuron-relevant size: up to two 4-port arbiters per 256-wide
+        // layer never exceeds 8, but the generator must scale to the full
+        // row width for completeness.
+        let mut nl = Netlist::new();
+        let bus = input_bus(&mut nl, "x", 128);
+        let count = popcount(&mut nl, bus.nets(), "pc").unwrap();
+        assert_eq!(count.width(), 8);
+        for seed in [0u64, 1, 0x5555_5555_5555_5555, u64::MAX] {
+            let mut stim = levels_for(seed, 64);
+            stim.extend(levels_for(seed.rotate_left(13), 64));
+            let expected: u64 = stim.iter().filter(|&&l| l == Level::High).count() as u64;
+            let levels = nl.evaluate(&stim).unwrap();
+            assert_eq!(count.decode(&levels), Some(expected));
+        }
+    }
+
+    #[test]
+    fn decode_reports_unknown_bits() {
+        let mut nl = Netlist::new();
+        let bus = input_bus(&mut nl, "x", 2);
+        let levels = vec![Level::High, Level::Unknown];
+        assert_eq!(bus.decode(&levels), None);
+        let levels = vec![Level::High, Level::Low];
+        assert_eq!(bus.decode(&levels), Some(1));
+    }
+
+    #[test]
+    fn zero_extend_pads_high_bits() {
+        let mut nl = Netlist::new();
+        let bus = input_bus(&mut nl, "x", 2);
+        let wide = zero_extend(&mut nl, &bus, 4, "xx").unwrap();
+        assert_eq!(wide.width(), 4);
+        let levels = nl.evaluate(&[Level::High, Level::High]).unwrap();
+        assert_eq!(wide.decode(&levels), Some(3));
+    }
+}

@@ -1,0 +1,199 @@
+//! Three-valued logic levels.
+//!
+//! Nets carry [`Level::Low`], [`Level::High`] or [`Level::Unknown`] (the
+//! classic `X` of HDL simulators). `Unknown` models uninitialized state and
+//! propagates pessimistically through gates: a gate output is `Unknown`
+//! unless the known inputs alone force a controlled value (e.g. one `Low`
+//! input forces an AND gate to `Low` regardless of the `X` inputs).
+
+use std::fmt;
+use std::ops::Not;
+
+/// A three-valued logic level: `0`, `1` or `X`.
+///
+/// # Examples
+///
+/// ```
+/// use esam_logic::Level;
+///
+/// assert_eq!(!Level::Low, Level::High);
+/// assert_eq!(Level::Low.and(Level::Unknown), Level::Low); // controlled
+/// assert_eq!(Level::High.and(Level::Unknown), Level::Unknown);
+/// assert_eq!(Level::from(true), Level::High);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Logic `0`.
+    Low,
+    /// Logic `1`.
+    High,
+    /// Uninitialized / conflicting value (`X`). The default state of every
+    /// net before the first assignment reaches it.
+    #[default]
+    Unknown,
+}
+
+impl Level {
+    /// `true` if the level is a resolved `0` or `1`.
+    pub fn is_known(self) -> bool {
+        self != Level::Unknown
+    }
+
+    /// Converts to `bool`, treating `Unknown` as absent.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Level::Low => Some(false),
+            Level::High => Some(true),
+            Level::Unknown => None,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Level) -> Level {
+        match (self, other) {
+            (Level::Low, _) | (_, Level::Low) => Level::Low,
+            (Level::High, Level::High) => Level::High,
+            _ => Level::Unknown,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Level) -> Level {
+        match (self, other) {
+            (Level::High, _) | (_, Level::High) => Level::High,
+            (Level::Low, Level::Low) => Level::Low,
+            _ => Level::Unknown,
+        }
+    }
+
+    /// Three-valued XOR (`Unknown` if either side is unknown).
+    pub fn xor(self, other: Level) -> Level {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Level::from(a != b),
+            _ => Level::Unknown,
+        }
+    }
+
+    /// The VCD character for this level (`0`, `1` or `x`).
+    pub fn vcd_char(self) -> char {
+        match self {
+            Level::Low => '0',
+            Level::High => '1',
+            Level::Unknown => 'x',
+        }
+    }
+}
+
+impl Not for Level {
+    type Output = Level;
+
+    fn not(self) -> Level {
+        match self {
+            Level::Low => Level::High,
+            Level::High => Level::Low,
+            Level::Unknown => Level::Unknown,
+        }
+    }
+}
+
+impl From<bool> for Level {
+    fn from(value: bool) -> Self {
+        if value {
+            Level::High
+        } else {
+            Level::Low
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Low => "0",
+            Level::High => "1",
+            Level::Unknown => "x",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Level; 3] = [Level::Low, Level::High, Level::Unknown];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Level::High.and(Level::High), Level::High);
+        assert_eq!(Level::High.and(Level::Low), Level::Low);
+        // A controlling 0 beats X on either side.
+        assert_eq!(Level::Low.and(Level::Unknown), Level::Low);
+        assert_eq!(Level::Unknown.and(Level::Low), Level::Low);
+        assert_eq!(Level::Unknown.and(Level::High), Level::Unknown);
+        assert_eq!(Level::Unknown.and(Level::Unknown), Level::Unknown);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Level::Low.or(Level::Low), Level::Low);
+        assert_eq!(Level::High.or(Level::Unknown), Level::High);
+        assert_eq!(Level::Unknown.or(Level::High), Level::High);
+        assert_eq!(Level::Low.or(Level::Unknown), Level::Unknown);
+    }
+
+    #[test]
+    fn xor_is_strict_in_unknown() {
+        assert_eq!(Level::High.xor(Level::Low), Level::High);
+        assert_eq!(Level::High.xor(Level::High), Level::Low);
+        for &l in &ALL {
+            assert_eq!(l.xor(Level::Unknown), Level::Unknown);
+            assert_eq!(Level::Unknown.xor(l), Level::Unknown);
+        }
+    }
+
+    #[test]
+    fn not_inverts_known_only() {
+        assert_eq!(!Level::Low, Level::High);
+        assert_eq!(!Level::High, Level::Low);
+        assert_eq!(!Level::Unknown, Level::Unknown);
+    }
+
+    #[test]
+    fn and_or_are_commutative_and_associative() {
+        for &a in &ALL {
+            for &b in &ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for &c in &ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan_holds_in_three_values() {
+        for &a in &ALL {
+            for &b in &ALL {
+                assert_eq!(!(a.and(b)), (!a).or(!b));
+                assert_eq!(!(a.or(b)), (!a).and(!b));
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_vcd() {
+        assert_eq!(Level::Low.to_string(), "0");
+        assert_eq!(Level::High.to_string(), "1");
+        assert_eq!(Level::Unknown.to_string(), "x");
+        assert_eq!(Level::Unknown.vcd_char(), 'x');
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Level::from(true).to_bool(), Some(true));
+        assert_eq!(Level::from(false).to_bool(), Some(false));
+        assert_eq!(Level::Unknown.to_bool(), None);
+    }
+}

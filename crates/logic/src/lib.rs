@@ -1,0 +1,63 @@
+//! Gate-level logic substrate for the ESAM reproduction.
+//!
+//! The DAC'24 ESAM paper synthesizes its arbiter and neuron logic with
+//! Cadence Genus and reports structural results (critical paths, area
+//! overheads). This crate provides the corresponding open substrate:
+//!
+//! * [`Netlist`] — validated combinational netlists over a small
+//!   standard-cell library ([`GateKind`]);
+//! * [`Netlist::evaluate`] — zero-delay levelized evaluation;
+//! * [`Simulator`] — event-driven timed simulation with transport delays
+//!   and deterministic femtosecond timestamps;
+//! * [`TimingAnalysis`] — static timing analysis with critical-path
+//!   extraction, an upper bound on every simulated settle time;
+//! * [`VcdWriter`] / [`ascii_waveform`] — waveform export;
+//! * [`gen`] — reusable generators (reduce trees, adders, popcount) used by
+//!   the structural arbiter and neuron models in `esam-arbiter` /
+//!   `esam-neuron`.
+//!
+//! # Examples
+//!
+//! Build a tiny circuit, time it, and simulate it:
+//!
+//! ```
+//! use esam_logic::{GateKind, GateTiming, Level, Netlist, Simulator, TimingAnalysis};
+//!
+//! # fn main() -> Result<(), esam_logic::LogicError> {
+//! let mut nl = Netlist::new();
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_cell(GateKind::Nand, &[a, b], "y")?;
+//! nl.mark_output(y)?;
+//!
+//! let timing = GateTiming::finfet_3nm();
+//! let sta = TimingAnalysis::run(&nl, &timing)?;
+//!
+//! let mut sim = Simulator::new(&nl, timing)?;
+//! let (settle, outputs) = sim.settle(&[Level::High, Level::High])?;
+//! assert_eq!(outputs, vec![Level::Low]);
+//! assert!(settle <= sta.critical_path().delay());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+
+mod error;
+mod gate;
+mod level;
+mod netlist;
+mod sim;
+mod sta;
+mod vcd;
+
+pub use error::LogicError;
+pub use gate::{GateArea, GateKind, GateTiming};
+pub use level::Level;
+pub use netlist::{Gate, GateId, NetId, Netlist};
+pub use sim::{Change, Simulator};
+pub use sta::{CriticalPath, TimingAnalysis};
+pub use vcd::{ascii_waveform, VcdWriter};

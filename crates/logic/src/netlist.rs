@@ -1,0 +1,523 @@
+//! Gate-level netlists: construction, validation, and zero-delay evaluation.
+//!
+//! A [`Netlist`] is a directed graph of [`GateKind`] instances connected by
+//! named nets. Construction is incremental and validated eagerly: every net
+//! has at most one driver, fixed-arity kinds get exactly their arity, and
+//! [`Netlist::topo_order`] rejects combinational loops.
+//!
+//! ```
+//! use esam_logic::{GateKind, Level, Netlist};
+//!
+//! # fn main() -> Result<(), esam_logic::LogicError> {
+//! let mut nl = Netlist::new();
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_cell(GateKind::Nand, &[a, b], "y")?;
+//! nl.mark_output(y)?;
+//!
+//! let levels = nl.evaluate(&[Level::High, Level::High])?;
+//! assert_eq!(levels[y.index()], Level::Low);
+//! # Ok(())
+//! # }
+//! ```
+
+use esam_tech::units::AreaUm2;
+
+use crate::error::LogicError;
+use crate::gate::{GateArea, GateKind};
+use crate::level::Level;
+
+/// Identifier of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Position of this net in netlist order (usable to index the level
+    /// vector returned by [`Netlist::evaluate`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a gate instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// Position of this gate in netlist order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Net {
+    name: String,
+    driver: Option<GateId>,
+    is_input: bool,
+    fanout: Vec<GateId>,
+}
+
+/// One gate instance.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The gate's kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// A combinational gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a primary input and returns its net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len());
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            is_input: true,
+            fanout: Vec::new(),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares an internal net with no driver yet.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len());
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            is_input: false,
+            fanout: Vec::new(),
+        });
+        id
+    }
+
+    /// Instantiates `kind` reading `inputs` and driving `output`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LogicError::UnknownNet`] if any net id is out of range;
+    /// * [`LogicError::ArityMismatch`] if `inputs.len()` violates the kind;
+    /// * [`LogicError::MultipleDrivers`] if `output` is already driven or is
+    ///   a primary input.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, LogicError> {
+        for &net in inputs.iter().chain([&output]) {
+            if net.0 >= self.nets.len() {
+                return Err(LogicError::UnknownNet);
+            }
+        }
+        match kind.arity() {
+            Some(n) if inputs.len() != n => {
+                return Err(LogicError::ArityMismatch {
+                    kind,
+                    expected: Some(n),
+                    got: inputs.len(),
+                })
+            }
+            None if inputs.is_empty() => {
+                return Err(LogicError::ArityMismatch {
+                    kind,
+                    expected: None,
+                    got: 0,
+                })
+            }
+            _ => {}
+        }
+        let out_net = &self.nets[output.0];
+        if out_net.driver.is_some() || out_net.is_input {
+            return Err(LogicError::MultipleDrivers {
+                net: out_net.name.clone(),
+            });
+        }
+        let id = GateId(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        self.nets[output.0].driver = Some(id);
+        for &input in inputs {
+            self.nets[input.0].fanout.push(id);
+        }
+        Ok(id)
+    }
+
+    /// Convenience: creates a fresh net named `name` and drives it with a
+    /// new `kind` instance reading `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::add_gate`].
+    pub fn add_cell(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        name: impl Into<String>,
+    ) -> Result<NetId, LogicError> {
+        let output = self.add_net(name);
+        self.add_gate(kind, inputs, output)?;
+        Ok(output)
+    }
+
+    /// Marks `net` as a primary output (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::UnknownNet`] if `net` is out of range.
+    pub fn mark_output(&mut self, net: NetId) -> Result<(), LogicError> {
+        if net.0 >= self.nets.len() {
+            return Err(LogicError::UnknownNet);
+        }
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+        Ok(())
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Name of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.0].name
+    }
+
+    /// Finds the first net named `name` (names are not required to be
+    /// unique; generators keep theirs unique by construction).
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets.iter().position(|n| n.name == name).map(NetId)
+    }
+
+    /// The gate instance `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0]
+    }
+
+    /// Iterates over all gate instances.
+    pub fn gates(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (GateId(i), g))
+    }
+
+    /// Gates reading `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        &self.nets[net.0].fanout
+    }
+
+    /// Driver gate of `net` (`None` for primary inputs and floating nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.nets[net.0].driver
+    }
+
+    /// Checks that every net is driven and the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// * [`LogicError::UndrivenNet`] for floating nets;
+    /// * [`LogicError::CombinationalLoop`] if a cycle exists.
+    pub fn validate(&self) -> Result<(), LogicError> {
+        for net in &self.nets {
+            if !net.is_input && net.driver.is_none() {
+                return Err(LogicError::UndrivenNet {
+                    net: net.name.clone(),
+                });
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Gates in topological (evaluation) order.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::CombinationalLoop`] if the netlist is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, LogicError> {
+        let mut pending: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|&&n| self.nets[n.0].driver.is_some())
+                    .count()
+            })
+            .collect();
+        let mut ready: Vec<GateId> = pending
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == 0)
+            .map(|(i, _)| GateId(i))
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(gate) = ready.pop() {
+            order.push(gate);
+            let out = self.gates[gate.0].output;
+            // The fanout list holds one entry per connected pin, so each
+            // entry releases exactly one pending pin (a gate reading the
+            // same net on two pins appears twice).
+            for &reader in &self.nets[out.0].fanout {
+                pending[reader.0] -= 1;
+                if pending[reader.0] == 0 {
+                    ready.push(reader);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            let stuck = pending
+                .iter()
+                .position(|&p| p > 0)
+                .map(|i| self.nets[self.gates[i].output.0].name.clone())
+                .unwrap_or_default();
+            return Err(LogicError::CombinationalLoop { net: stuck });
+        }
+        Ok(order)
+    }
+
+    /// Zero-delay levelized evaluation: applies `stimulus` to the primary
+    /// inputs and returns the settled level of every net, indexed by
+    /// [`NetId::index`]. Nets unreachable from any driver stay
+    /// [`Level::Unknown`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LogicError::StimulusWidth`] on input-count mismatch;
+    /// * [`LogicError::CombinationalLoop`] if the netlist is cyclic.
+    pub fn evaluate(&self, stimulus: &[Level]) -> Result<Vec<Level>, LogicError> {
+        if stimulus.len() != self.inputs.len() {
+            return Err(LogicError::StimulusWidth {
+                expected: self.inputs.len(),
+                got: stimulus.len(),
+            });
+        }
+        let order = self.topo_order()?;
+        let mut levels = vec![Level::Unknown; self.nets.len()];
+        for (&net, &level) in self.inputs.iter().zip(stimulus) {
+            levels[net.0] = level;
+        }
+        let mut scratch = Vec::new();
+        for gate_id in order {
+            let gate = &self.gates[gate_id.0];
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| levels[n.0]));
+            levels[gate.output.0] = gate.kind.eval(&scratch);
+        }
+        Ok(levels)
+    }
+
+    /// Total standard-cell area under `model`.
+    pub fn area(&self, model: &GateArea) -> AreaUm2 {
+        self.gates
+            .iter()
+            .map(|g| model.area(g.kind, g.inputs.len()))
+            .fold(AreaUm2::ZERO, |acc, a| acc + a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> (Netlist, NetId, NetId, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let sum = nl.add_cell(GateKind::Xor, &[a, b], "sum").unwrap();
+        let carry = nl.add_cell(GateKind::And, &[a, b], "carry").unwrap();
+        nl.mark_output(sum).unwrap();
+        nl.mark_output(carry).unwrap();
+        (nl, a, b, sum, carry)
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let (nl, _, _, sum, carry) = half_adder();
+        for (a, b, s, c) in [
+            (false, false, false, false),
+            (true, false, true, false),
+            (false, true, true, false),
+            (true, true, false, true),
+        ] {
+            let levels = nl.evaluate(&[a.into(), b.into()]).unwrap();
+            assert_eq!(levels[sum.index()], Level::from(s), "sum a={a} b={b}");
+            assert_eq!(levels[carry.index()], Level::from(c), "carry a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn double_driving_is_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let y = nl.add_cell(GateKind::Not, &[a], "y").unwrap();
+        assert_eq!(
+            nl.add_gate(GateKind::Buf, &[a], y),
+            Err(LogicError::MultipleDrivers { net: "y".into() })
+        );
+        // Driving a primary input is also double-driving.
+        assert!(matches!(
+            nl.add_gate(GateKind::Buf, &[y], a),
+            Err(LogicError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_is_validated_at_build_time() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let out = nl.add_net("out");
+        assert!(matches!(
+            nl.add_gate(GateKind::Xor, &[a], out),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            nl.add_gate(GateKind::And, &[], out),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_ids_are_rejected() {
+        let mut nl = Netlist::new();
+        let bogus = NetId(99);
+        assert_eq!(nl.add_gate(GateKind::Buf, &[bogus], bogus), Err(LogicError::UnknownNet));
+        assert_eq!(nl.mark_output(bogus), Err(LogicError::UnknownNet));
+    }
+
+    #[test]
+    fn undriven_net_fails_validation() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let floating = nl.add_net("floating");
+        let _ = nl.add_cell(GateKind::And, &[a, floating], "y").unwrap();
+        assert_eq!(
+            nl.validate(),
+            Err(LogicError::UndrivenNet { net: "floating".into() })
+        );
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::And, &[a, y], x).unwrap();
+        nl.add_gate(GateKind::Buf, &[x], y).unwrap();
+        assert!(matches!(nl.validate(), Err(LogicError::CombinationalLoop { .. })));
+        assert!(matches!(
+            nl.evaluate(&[Level::High]),
+            Err(LogicError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn same_net_on_two_pins_evaluates_once() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let y = nl.add_cell(GateKind::Xor, &[a, a], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        nl.validate().unwrap();
+        let levels = nl.evaluate(&[Level::High]).unwrap();
+        assert_eq!(levels[y.index()], Level::Low); // a ^ a = 0
+    }
+
+    #[test]
+    fn constants_need_no_inputs() {
+        let mut nl = Netlist::new();
+        let one = nl.add_cell(GateKind::Const1, &[], "one").unwrap();
+        nl.mark_output(one).unwrap();
+        let levels = nl.evaluate(&[]).unwrap();
+        assert_eq!(levels[one.index()], Level::High);
+    }
+
+    #[test]
+    fn stimulus_width_is_checked() {
+        let (nl, ..) = half_adder();
+        assert_eq!(
+            nl.evaluate(&[Level::High]),
+            Err(LogicError::StimulusWidth { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let (mut nl, _, _, sum, _) = half_adder();
+        nl.mark_output(sum).unwrap();
+        assert_eq!(nl.outputs().len(), 2);
+    }
+
+    #[test]
+    fn area_sums_over_gates() {
+        let (nl, ..) = half_adder();
+        let model = GateArea::finfet_3nm();
+        let expected = model.area(GateKind::Xor, 2) + model.area(GateKind::And, 2);
+        assert!((nl.area(&model).value() - expected.value()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,417 @@
+//! Event-driven timed simulation of a [`Netlist`].
+//!
+//! The simulator uses transport-delay semantics: when a gate's inputs
+//! change at time *t*, its freshly evaluated output is scheduled at
+//! *t + delay(gate)*. Glitches therefore propagate exactly as they would
+//! through a real combinational chain — which is the point: the settle time
+//! of the 128-wide priority encoder measured here is an independent check
+//! on the analytical critical-path model of `esam-arbiter`.
+//!
+//! Time is kept in integer femtoseconds so identical runs are bit-identical.
+//!
+//! ```
+//! use esam_logic::{GateKind, GateTiming, Level, Netlist, Simulator};
+//!
+//! # fn main() -> Result<(), esam_logic::LogicError> {
+//! let mut nl = Netlist::new();
+//! let a = nl.add_input("a");
+//! let y = nl.add_cell(GateKind::Not, &[a], "y")?;
+//! nl.mark_output(y)?;
+//!
+//! let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm())?;
+//! let (delay, outputs) = sim.settle(&[Level::High])?;
+//! assert_eq!(outputs, vec![Level::Low]);
+//! assert!(delay.ps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use esam_tech::units::Seconds;
+
+use crate::error::LogicError;
+use crate::gate::GateTiming;
+use crate::level::Level;
+use crate::netlist::{NetId, Netlist};
+
+/// One femtosecond in seconds.
+const FS: f64 = 1e-15;
+
+/// A committed net transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Change {
+    /// Simulation time of the transition, in femtoseconds.
+    pub time_fs: u64,
+    /// The net that changed.
+    pub net: NetId,
+    /// Its new level.
+    pub level: Level,
+}
+
+impl Change {
+    /// Transition time as [`Seconds`].
+    pub fn time(&self) -> Seconds {
+        Seconds::new(self.time_fs as f64 * FS)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time_fs: u64,
+    seq: u64,
+    net: usize,
+    level_tag: u8,
+}
+
+fn tag(level: Level) -> u8 {
+    match level {
+        Level::Low => 0,
+        Level::High => 1,
+        Level::Unknown => 2,
+    }
+}
+
+fn untag(tag: u8) -> Level {
+    match tag {
+        0 => Level::Low,
+        1 => Level::High,
+        _ => Level::Unknown,
+    }
+}
+
+/// Event-driven simulator over a borrowed [`Netlist`].
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    delays_fs: Vec<u64>,
+    levels: Vec<Level>,
+    queue: BinaryHeap<Reverse<Event>>,
+    trace: Vec<Change>,
+    now_fs: u64,
+    seq: u64,
+    max_events: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator for `netlist` with per-gate delays from `timing`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::validate`] failures (floating nets, loops).
+    pub fn new(netlist: &'a Netlist, timing: GateTiming) -> Result<Self, LogicError> {
+        netlist.validate()?;
+        let delays_fs = netlist
+            .gates()
+            .map(|(_, gate)| {
+                let fanout = netlist.fanout(gate.output()).len();
+                timing.delay_fs(gate.kind(), gate.inputs().len(), fanout)
+            })
+            .collect();
+        let mut sim = Self {
+            netlist,
+            delays_fs,
+            levels: vec![Level::Unknown; netlist.net_count()],
+            queue: BinaryHeap::new(),
+            trace: Vec::new(),
+            now_fs: 0,
+            seq: 0,
+            // Generous budget: every gate may glitch many times per
+            // stimulus, but combinational logic cannot exceed
+            // gates × depth transitions; scale with netlist size.
+            max_events: 1000 * netlist.gate_count().max(64),
+        };
+        // Zero-input gates (constants) never see an input event, so their
+        // outputs must be kicked off explicitly at t = 0.
+        for (id, gate) in netlist.gates() {
+            if gate.inputs().is_empty() {
+                let level = gate.kind().eval(&[]);
+                let at = sim.delays_fs[id.index()];
+                sim.schedule(at, gate.output().index(), level);
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Seconds {
+        Seconds::new(self.now_fs as f64 * FS)
+    }
+
+    /// Current level of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to the simulated netlist.
+    pub fn level(&self, net: NetId) -> Level {
+        self.levels[net.index()]
+    }
+
+    /// Levels of the primary outputs, in declaration order.
+    pub fn output_levels(&self) -> Vec<Level> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&n| self.levels[n.index()])
+            .collect()
+    }
+
+    /// All committed transitions since construction, in time order.
+    pub fn trace(&self) -> &[Change] {
+        &self.trace
+    }
+
+    /// Moves the clock forward to `time` (no-op if already past it).
+    pub fn advance_to(&mut self, time: Seconds) {
+        let fs = (time.value() / FS).round() as u64;
+        self.now_fs = self.now_fs.max(fs);
+    }
+
+    /// Schedules `level` on primary input `net` at the current time.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::UnknownNet`] if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, level: Level) -> Result<(), LogicError> {
+        if !self.netlist.inputs().contains(&net) {
+            return Err(LogicError::UnknownNet);
+        }
+        self.schedule(self.now_fs, net.index(), level);
+        Ok(())
+    }
+
+    /// Schedules all primary inputs at the current time.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::StimulusWidth`] on input-count mismatch.
+    pub fn set_inputs(&mut self, stimulus: &[Level]) -> Result<(), LogicError> {
+        if stimulus.len() != self.netlist.inputs().len() {
+            return Err(LogicError::StimulusWidth {
+                expected: self.netlist.inputs().len(),
+                got: stimulus.len(),
+            });
+        }
+        let nets: Vec<usize> = self.netlist.inputs().iter().map(|n| n.index()).collect();
+        for (net, &level) in nets.into_iter().zip(stimulus) {
+            self.schedule(self.now_fs, net, level);
+        }
+        Ok(())
+    }
+
+    /// Processes events until the queue drains, returning the time of the
+    /// last committed transition.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::DidNotSettle`] if the event budget is exhausted.
+    pub fn run_to_quiescence(&mut self) -> Result<Seconds, LogicError> {
+        let mut events = 0usize;
+        let mut last_change_fs = self.now_fs;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            events += 1;
+            if events > self.max_events {
+                return Err(LogicError::DidNotSettle { events });
+            }
+            self.now_fs = self.now_fs.max(event.time_fs);
+            let new = untag(event.level_tag);
+            if self.levels[event.net] == new {
+                continue;
+            }
+            self.levels[event.net] = new;
+            self.trace.push(Change {
+                time_fs: event.time_fs,
+                net: NetId(event.net),
+                level: new,
+            });
+            last_change_fs = last_change_fs.max(event.time_fs);
+            let readers: Vec<_> = self.netlist.fanout(NetId(event.net)).to_vec();
+            for gate_id in readers {
+                let gate = self.netlist.gate(gate_id);
+                let inputs: Vec<Level> = gate
+                    .inputs()
+                    .iter()
+                    .map(|&n| self.levels[n.index()])
+                    .collect();
+                let out_level = gate.kind().eval(&inputs);
+                let at = event.time_fs + self.delays_fs[gate_id.index()];
+                self.schedule(at, gate.output().index(), out_level);
+            }
+        }
+        self.now_fs = self.now_fs.max(last_change_fs);
+        Ok(Seconds::new(last_change_fs as f64 * FS))
+    }
+
+    /// Applies `stimulus` at the current time and runs to quiescence.
+    ///
+    /// Returns the propagation delay (settle time minus stimulus time) and
+    /// the primary output levels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::set_inputs`] and [`Self::run_to_quiescence`]
+    /// failures.
+    pub fn settle(&mut self, stimulus: &[Level]) -> Result<(Seconds, Vec<Level>), LogicError> {
+        let start_fs = self.now_fs;
+        self.set_inputs(stimulus)?;
+        let settled = self.run_to_quiescence()?;
+        let delay_fs = ((settled.value() / FS).round() as u64).saturating_sub(start_fs);
+        Ok((Seconds::new(delay_fs as f64 * FS), self.output_levels()))
+    }
+
+    fn schedule(&mut self, time_fs: u64, net: usize, level: Level) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time_fs,
+            seq: self.seq,
+            net,
+            level_tag: tag(level),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut prev = nl.add_input("in");
+        for i in 0..n {
+            prev = nl.add_cell(GateKind::Not, &[prev], format!("n{i}")).unwrap();
+        }
+        nl.mark_output(prev).unwrap();
+        nl
+    }
+
+    #[test]
+    fn inverter_chain_delay_scales_linearly() {
+        let timing = GateTiming::finfet_3nm();
+        let short = {
+            let nl = chain(4);
+            let mut sim = Simulator::new(&nl, timing).unwrap();
+            sim.settle(&[Level::High]).unwrap().0
+        };
+        let long = {
+            let nl = chain(16);
+            let mut sim = Simulator::new(&nl, timing).unwrap();
+            sim.settle(&[Level::High]).unwrap().0
+        };
+        let ratio = long.value() / short.value();
+        assert!((3.5..4.5).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn chain_parity_is_respected() {
+        let nl = chain(5);
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        let (_, out) = sim.settle(&[Level::High]).unwrap();
+        assert_eq!(out, vec![Level::Low]);
+        let (_, out) = sim.settle(&[Level::Low]).unwrap();
+        assert_eq!(out, vec![Level::High]);
+    }
+
+    #[test]
+    fn resettling_with_same_stimulus_is_instant() {
+        let nl = chain(8);
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        sim.settle(&[Level::High]).unwrap();
+        let (delay, _) = sim.settle(&[Level::High]).unwrap();
+        assert_eq!(delay, Seconds::ZERO);
+    }
+
+    #[test]
+    fn glitch_propagates_and_resolves() {
+        // y = a XOR a' where a' is a delayed copy of a: a rising edge makes
+        // y pulse high before settling low again. The trace must show the
+        // glitch; the final level must be 0.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let a_slow = nl.add_cell(GateKind::Buf, &[a], "a_slow").unwrap();
+        let y = nl.add_cell(GateKind::Xor, &[a, a_slow], "y").unwrap();
+        nl.mark_output(y).unwrap();
+
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        sim.settle(&[Level::Low]).unwrap();
+        let trace_before = sim.trace().len();
+        let (_, out) = sim.settle(&[Level::High]).unwrap();
+        assert_eq!(out, vec![Level::Low]);
+        let y_changes: Vec<_> = sim.trace()[trace_before..]
+            .iter()
+            .filter(|c| c.net == y)
+            .collect();
+        assert_eq!(y_changes.len(), 2, "expected a 0→1→0 glitch on y");
+        assert_eq!(y_changes[0].level, Level::High);
+        assert_eq!(y_changes[1].level, Level::Low);
+    }
+
+    #[test]
+    fn event_sim_agrees_with_levelized_eval() {
+        // Random-ish 3-input function built from mixed gates.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_cell(GateKind::Nand, &[a, b], "ab").unwrap();
+        let bc = nl.add_cell(GateKind::Nor, &[b, c], "bc").unwrap();
+        let y = nl.add_cell(GateKind::Xor, &[ab, bc], "y").unwrap();
+        let z = nl.add_cell(GateKind::Mux2, &[a, y, bc], "z").unwrap();
+        nl.mark_output(y).unwrap();
+        nl.mark_output(z).unwrap();
+
+        for bits in 0..8u8 {
+            let stim: Vec<Level> = (0..3).map(|i| Level::from(bits >> i & 1 == 1)).collect();
+            let levels = nl.evaluate(&stim).unwrap();
+            let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+            let (_, out) = sim.settle(&stim).unwrap();
+            assert_eq!(out[0], levels[y.index()], "y mismatch for {bits:03b}");
+            assert_eq!(out[1], levels[z.index()], "z mismatch for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn set_input_rejects_non_inputs() {
+        let nl = chain(2);
+        let internal = nl.outputs()[0];
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        assert_eq!(sim.set_input(internal, Level::High), Err(LogicError::UnknownNet));
+    }
+
+    #[test]
+    fn advance_to_moves_time_forward_only() {
+        let nl = chain(2);
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        sim.advance_to(Seconds::from_ps(100.0));
+        assert!((sim.now().ps() - 100.0).abs() < 1e-9);
+        sim.advance_to(Seconds::from_ps(50.0));
+        assert!((sim.now().ps() - 100.0).abs() < 1e-9, "time must not rewind");
+    }
+
+    #[test]
+    fn constants_propagate_without_input_events() {
+        // Regression: zero-input gates used to stay X forever because no
+        // input event ever triggered their evaluation.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let one = nl.add_cell(GateKind::Const1, &[], "one").unwrap();
+        let y = nl.add_cell(GateKind::And, &[a, one], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        let (_, out) = sim.settle(&[Level::High]).unwrap();
+        assert_eq!(out, vec![Level::High]);
+        assert_eq!(sim.level(one), Level::High);
+    }
+
+    #[test]
+    fn trace_is_time_ordered() {
+        let nl = chain(12);
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        sim.settle(&[Level::High]).unwrap();
+        sim.settle(&[Level::Low]).unwrap();
+        let times: Vec<u64> = sim.trace().iter().map(|c| c.time_fs).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!times.is_empty());
+    }
+}

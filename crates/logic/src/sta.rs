@@ -1,0 +1,261 @@
+//! Static timing analysis (STA) over a combinational [`Netlist`].
+//!
+//! Computes per-net worst-case arrival times under the same linear delay
+//! model as the event simulator and extracts the critical path. Because the
+//! analysis maximizes over all input vectors, any settle time observed by
+//! [`Simulator`](crate::Simulator) for a concrete vector is bounded by the
+//! STA delay — a property the crate's test suite checks on random netlists.
+//!
+//! ```
+//! use esam_logic::{GateKind, GateTiming, Netlist, TimingAnalysis};
+//!
+//! # fn main() -> Result<(), esam_logic::LogicError> {
+//! let mut nl = Netlist::new();
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let ab = nl.add_cell(GateKind::And, &[a, b], "ab")?;
+//! let y = nl.add_cell(GateKind::Not, &[ab], "y")?;
+//! nl.mark_output(y)?;
+//!
+//! let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm())?;
+//! assert!(sta.arrival(y) > sta.arrival(ab));
+//! assert_eq!(sta.critical_path().endpoint(), y);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use esam_tech::units::Seconds;
+
+use crate::error::LogicError;
+use crate::gate::GateTiming;
+use crate::netlist::{NetId, Netlist};
+
+/// The worst-delay register-to-register (here: input-to-output) path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    delay: Seconds,
+    nets: Vec<NetId>,
+}
+
+impl CriticalPath {
+    /// Total path delay.
+    pub fn delay(&self) -> Seconds {
+        self.delay
+    }
+
+    /// Nets along the path, from the launching primary input to the
+    /// endpoint.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// The path's endpoint net.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a critical path always has at least one net.
+    pub fn endpoint(&self) -> NetId {
+        *self.nets.last().expect("critical path is never empty")
+    }
+
+    /// Number of gate stages on the path.
+    pub fn depth(&self) -> usize {
+        self.nets.len().saturating_sub(1)
+    }
+}
+
+impl fmt::Display for CriticalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} ps over {} stages", self.delay.ps(), self.depth())
+    }
+}
+
+/// Result of one STA run.
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis {
+    arrival: Vec<Seconds>,
+    critical: CriticalPath,
+}
+
+impl TimingAnalysis {
+    /// Runs STA on `netlist` under `timing`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::validate`] failures (floating nets, loops).
+    pub fn run(netlist: &Netlist, timing: &GateTiming) -> Result<Self, LogicError> {
+        netlist.validate()?;
+        let order = netlist.topo_order()?;
+        // Arrival bookkeeping runs on the same femtosecond grid as the
+        // event simulator, making STA an exact upper bound on settle times.
+        let mut arrival_fs = vec![0u64; netlist.net_count()];
+        let mut pred: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+        for gate_id in order {
+            let gate = netlist.gate(gate_id);
+            let fanout = netlist.fanout(gate.output()).len();
+            let delay = timing.delay_fs(gate.kind(), gate.inputs().len(), fanout);
+            let (worst_in, worst_arrival) = gate
+                .inputs()
+                .iter()
+                .map(|&n| (Some(n), arrival_fs[n.index()]))
+                .max_by_key(|&(_, t)| t)
+                .unwrap_or((None, 0));
+            arrival_fs[gate.output().index()] = worst_arrival + delay;
+            pred[gate.output().index()] = worst_in;
+        }
+        let arrival: Vec<Seconds> = arrival_fs
+            .iter()
+            .map(|&fs| Seconds::new(fs as f64 * 1e-15))
+            .collect();
+        let endpoint = (0..netlist.net_count())
+            .map(NetId)
+            .max_by_key(|n| arrival_fs[n.index()])
+            .ok_or(LogicError::UnknownNet)?;
+        let mut nets = vec![endpoint];
+        let mut cursor = endpoint;
+        while let Some(previous) = pred[cursor.index()] {
+            nets.push(previous);
+            cursor = previous;
+        }
+        nets.reverse();
+        Ok(Self {
+            critical: CriticalPath {
+                delay: arrival[endpoint.index()],
+                nets,
+            },
+            arrival,
+        })
+    }
+
+    /// Worst-case arrival time of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to the analyzed netlist.
+    pub fn arrival(&self, net: NetId) -> Seconds {
+        self.arrival[net.index()]
+    }
+
+    /// The critical path.
+    pub fn critical_path(&self) -> &CriticalPath {
+        &self.critical
+    }
+
+    /// Worst arrival over the primary outputs of `netlist` (the clock-period
+    /// constraint for a register boundary placed on the outputs).
+    pub fn worst_output_arrival(&self, netlist: &Netlist) -> Seconds {
+        netlist
+            .outputs()
+            .iter()
+            .map(|&n| self.arrival[n.index()])
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::level::Level;
+    use crate::sim::Simulator;
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut prev = nl.add_input("in");
+        for i in 0..n {
+            prev = nl.add_cell(GateKind::Not, &[prev], format!("n{i}")).unwrap();
+        }
+        nl.mark_output(prev).unwrap();
+        nl
+    }
+
+    #[test]
+    fn chain_arrival_scales_linearly() {
+        let timing = GateTiming::finfet_3nm();
+        let short = TimingAnalysis::run(&chain(4), &timing).unwrap();
+        let long = TimingAnalysis::run(&chain(16), &timing).unwrap();
+        let ratio = long.critical_path().delay().value() / short.critical_path().delay().value();
+        assert!((3.5..4.5).contains(&ratio), "expected ~4x, got {ratio}");
+        assert_eq!(long.critical_path().depth(), 16);
+    }
+
+    #[test]
+    fn critical_path_traces_the_deep_branch() {
+        // A shallow AND next to a deep inverter chain: the path must run
+        // through the chain.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let shallow = nl.add_cell(GateKind::And, &[a, b], "shallow").unwrap();
+        let mut deep = a;
+        for i in 0..6 {
+            deep = nl.add_cell(GateKind::Not, &[deep], format!("d{i}")).unwrap();
+        }
+        let y = nl.add_cell(GateKind::Or, &[shallow, deep], "y").unwrap();
+        nl.mark_output(y).unwrap();
+
+        let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()).unwrap();
+        assert_eq!(sta.critical_path().endpoint(), y);
+        assert_eq!(sta.critical_path().depth(), 7); // 6 inverters + final OR
+        assert!(sta.critical_path().nets().contains(&deep));
+        assert!(!sta.critical_path().nets().contains(&shallow));
+    }
+
+    #[test]
+    fn sta_bounds_event_simulation() {
+        let nl = chain(32);
+        let timing = GateTiming::finfet_3nm();
+        let sta = TimingAnalysis::run(&nl, &timing).unwrap();
+        let mut sim = Simulator::new(&nl, timing).unwrap();
+        let (settle, _) = sim.settle(&[Level::High]).unwrap();
+        assert!(
+            settle <= sta.critical_path().delay() + Seconds::from_ps(0.01),
+            "event sim {settle} exceeded STA bound {}",
+            sta.critical_path().delay()
+        );
+    }
+
+    #[test]
+    fn inputs_arrive_at_zero() {
+        let nl = chain(3);
+        let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()).unwrap();
+        assert_eq!(sta.arrival(nl.inputs()[0]), Seconds::ZERO);
+    }
+
+    #[test]
+    fn worst_output_arrival_ignores_internal_nets() {
+        // Output is shallow; a deep internal cone hangs off to the side.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let out = nl.add_cell(GateKind::Buf, &[a], "out").unwrap();
+        nl.mark_output(out).unwrap();
+        let mut deep = a;
+        for i in 0..10 {
+            deep = nl.add_cell(GateKind::Not, &[deep], format!("d{i}")).unwrap();
+        }
+        let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()).unwrap();
+        assert!(sta.worst_output_arrival(&nl) < sta.critical_path().delay());
+        assert_eq!(sta.critical_path().endpoint(), deep);
+    }
+
+    #[test]
+    fn invalid_netlists_are_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let floating = nl.add_net("floating");
+        nl.add_cell(GateKind::And, &[a, floating], "y").unwrap();
+        assert!(matches!(
+            TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()),
+            Err(LogicError::UndrivenNet { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats_ps_and_depth() {
+        let sta = TimingAnalysis::run(&chain(4), &GateTiming::finfet_3nm()).unwrap();
+        let text = sta.critical_path().to_string();
+        assert!(text.contains("ps over 4 stages"), "{text}");
+    }
+}

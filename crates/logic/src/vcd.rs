@@ -1,0 +1,274 @@
+//! Waveform export: IEEE 1364 VCD dumping and ASCII waveform rendering.
+//!
+//! [`VcdWriter`] serializes a [`Simulator`](crate::Simulator) trace into a
+//! Value Change Dump readable by GTKWave and friends; [`ascii_waveform`]
+//! renders a handful of nets as text for terminal inspection. Output is
+//! fully deterministic (no timestamps or host data), so golden-file tests
+//! are stable.
+
+use std::io::{self, Write};
+
+use crate::netlist::{NetId, Netlist};
+use crate::sim::Change;
+
+/// Writer for IEEE 1364 Value Change Dump files.
+///
+/// # Examples
+///
+/// ```
+/// use esam_logic::{GateKind, GateTiming, Level, Netlist, Simulator, VcdWriter};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new();
+/// let a = nl.add_input("a");
+/// let y = nl.add_cell(GateKind::Not, &[a], "y")?;
+/// nl.mark_output(y)?;
+///
+/// let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm())?;
+/// sim.settle(&[Level::High])?;
+///
+/// let mut vcd = Vec::new();
+/// VcdWriter::new("esam").write(&nl, sim.trace(), &mut vcd)?;
+/// let text = String::from_utf8(vcd)?;
+/// assert!(text.contains("$timescale 1fs $end"));
+/// assert!(text.contains("$var wire 1"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdWriter {
+    module: String,
+}
+
+impl VcdWriter {
+    /// Creates a writer; `module` names the top VCD scope.
+    pub fn new(module: impl Into<String>) -> Self {
+        Self {
+            module: module.into(),
+        }
+    }
+
+    /// Writes the full VCD document for `trace` over `netlist` into `w`
+    /// (a `&mut` reference works too, since `Write` is implemented for it).
+    ///
+    /// All nets are declared; initial values are dumped as `x` and the
+    /// trace's transitions follow in time order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write<W: Write>(
+        &self,
+        netlist: &Netlist,
+        trace: &[Change],
+        mut w: W,
+    ) -> io::Result<()> {
+        writeln!(w, "$version esam-logic VCD dump $end")?;
+        writeln!(w, "$timescale 1fs $end")?;
+        writeln!(w, "$scope module {} $end", self.module)?;
+        for index in 0..netlist.net_count() {
+            let net = NetId(index);
+            writeln!(
+                w,
+                "$var wire 1 {} {} $end",
+                id_code(index),
+                sanitize(netlist.net_name(net))
+            )?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+        writeln!(w, "$dumpvars")?;
+        for index in 0..netlist.net_count() {
+            writeln!(w, "x{}", id_code(index))?;
+        }
+        writeln!(w, "$end")?;
+        let mut current_time = None;
+        for change in trace {
+            if current_time != Some(change.time_fs) {
+                writeln!(w, "#{}", change.time_fs)?;
+                current_time = Some(change.time_fs);
+            }
+            writeln!(w, "{}{}", change.level.vcd_char(), id_code(change.net.index()))?;
+        }
+        Ok(())
+    }
+}
+
+/// VCD identifier code for net `index`: base-94 over the printable ASCII
+/// range `!`..=`~`, shortest code first.
+fn id_code(index: usize) -> String {
+    const FIRST: u8 = b'!';
+    const RADIX: usize = 94;
+    let mut n = index;
+    let mut code = String::new();
+    loop {
+        code.push((FIRST + (n % RADIX) as u8) as char);
+        n /= RADIX;
+        if n == 0 {
+            break;
+        }
+        n -= 1; // bijective numeration: "!" then "!!" with no gaps
+    }
+    code
+}
+
+/// Replaces characters VCD identifiers cannot carry (spaces) with `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Renders `nets` as an ASCII waveform table, one row per net and one
+/// column per distinct transition time in `trace`.
+///
+/// Levels are drawn as `_` (low), `#` (high) and `.` (unknown). The header
+/// row lists the column times in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use esam_logic::{ascii_waveform, GateKind, GateTiming, Level, Netlist, Simulator};
+///
+/// # fn main() -> Result<(), esam_logic::LogicError> {
+/// let mut nl = Netlist::new();
+/// let a = nl.add_input("a");
+/// let y = nl.add_cell(GateKind::Not, &[a], "y")?;
+/// let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm())?;
+/// sim.settle(&[Level::High])?;
+/// let wave = ascii_waveform(&nl, sim.trace(), &[a, y]);
+/// assert!(wave.lines().count() >= 3); // header + two nets
+/// # Ok(())
+/// # }
+/// ```
+pub fn ascii_waveform(netlist: &Netlist, trace: &[Change], nets: &[NetId]) -> String {
+    let mut times: Vec<u64> = trace.iter().map(|c| c.time_fs).collect();
+    times.sort_unstable();
+    times.dedup();
+
+    let name_width = nets
+        .iter()
+        .map(|&n| netlist.net_name(n).len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>name_width$} |", "t/ps"));
+    for &t in &times {
+        out.push_str(&format!(" {:>7.1}", t as f64 / 1000.0));
+    }
+    out.push('\n');
+
+    for &net in nets {
+        out.push_str(&format!("{:>name_width$} |", netlist.net_name(net)));
+        let mut level = crate::Level::Unknown;
+        for &t in &times {
+            for change in trace.iter().filter(|c| c.time_fs == t && c.net == net) {
+                level = change.level;
+            }
+            let glyph = match level {
+                crate::Level::Low => "_______",
+                crate::Level::High => "#######",
+                crate::Level::Unknown => ".......",
+            };
+            out.push_str(&format!(" {glyph}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{GateKind, GateTiming};
+    use crate::level::Level;
+    use crate::sim::Simulator;
+
+    fn tiny() -> (Netlist, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let y = nl.add_cell(GateKind::Not, &[a], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        (nl, a, y)
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_short_first() {
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(id_code(i)), "duplicate id code at {i}");
+        }
+    }
+
+    #[test]
+    fn vcd_document_structure() {
+        let (nl, _, _) = tiny();
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        sim.settle(&[Level::High]).unwrap();
+        let mut buffer = Vec::new();
+        VcdWriter::new("top").write(&nl, sim.trace(), &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+
+        assert!(text.starts_with("$version"));
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$var wire 1 \" y $end"));
+        assert!(text.contains("$dumpvars\nx!\nx\"\n$end"));
+        // The stimulus commits at t=0, then the inverter output follows.
+        assert!(text.contains("#0\n1!"));
+        assert!(text.contains("0\""));
+    }
+
+    #[test]
+    fn vcd_is_deterministic() {
+        let (nl, _, _) = tiny();
+        let render = || {
+            let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+            sim.settle(&[Level::High]).unwrap();
+            sim.settle(&[Level::Low]).unwrap();
+            let mut buffer = Vec::new();
+            VcdWriter::new("top").write(&nl, sim.trace(), &mut buffer).unwrap();
+            buffer
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn names_with_spaces_are_sanitized() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("spike request 3");
+        let y = nl.add_cell(GateKind::Buf, &[a], "grant 3").unwrap();
+        nl.mark_output(y).unwrap();
+        let mut buffer = Vec::new();
+        VcdWriter::new("top").write(&nl, &[], &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("spike_request_3"));
+        assert!(text.contains("grant_3"));
+    }
+
+    #[test]
+    fn ascii_waveform_rows_and_levels() {
+        let (nl, a, y) = tiny();
+        let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
+        sim.settle(&[Level::High]).unwrap();
+        let wave = ascii_waveform(&nl, sim.trace(), &[a, y]);
+        let lines: Vec<&str> = wave.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("t/ps"));
+        assert!(lines[1].contains('#'), "input row should go high: {}", lines[1]);
+        assert!(lines[2].contains('_'), "output row should go low: {}", lines[2]);
+    }
+
+    #[test]
+    fn ascii_waveform_empty_trace() {
+        let (nl, a, _) = tiny();
+        let wave = ascii_waveform(&nl, &[], &[a]);
+        assert!(wave.contains("t/ps"));
+        assert!(wave.lines().count() == 2);
+    }
+}

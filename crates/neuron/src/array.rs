@@ -1,0 +1,245 @@
+//! A column of IF neurons fed by the multiport bitlines (§3.4).
+
+use esam_bits::BitVec;
+
+use crate::config::NeuronConfig;
+use crate::if_neuron::IfNeuron;
+
+/// The neuron array of one tile: one IF neuron per SRAM column.
+///
+/// Each clock cycle the array receives up to `p` sensed rows (one per SRAM
+/// read port) plus a validity flag per port — "an unused port is not
+/// erroneously read as a '1' and added to the membrane potential" (§3.4).
+/// Valid bits are decoded `1 → +1`, `0 → −1`, summed per column and
+/// accumulated.
+///
+/// # Examples
+///
+/// ```
+/// use esam_bits::BitVec;
+/// use esam_neuron::{NeuronArray, NeuronConfig};
+///
+/// let mut array = NeuronArray::with_uniform_threshold(NeuronConfig::paper_default(), 4, 1);
+/// // Two valid ports: column 0 sees (1, 1) → +2; column 3 sees (0, 0) → −2.
+/// let rows = vec![
+///     BitVec::from_indices(4, &[0, 1]),
+///     BitVec::from_indices(4, &[0, 2]),
+/// ];
+/// array.integrate(&rows, &[true, true]);
+/// let fired = array.end_timestep();
+/// assert!(fired.get(0));
+/// assert!(!fired.get(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeuronArray {
+    neurons: Vec<IfNeuron>,
+}
+
+impl NeuronArray {
+    /// Builds an array from per-neuron thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any threshold exceeds the configured register width.
+    pub fn new(config: NeuronConfig, thresholds: &[i32]) -> Self {
+        Self {
+            neurons: thresholds
+                .iter()
+                .map(|&t| IfNeuron::new(config, t))
+                .collect(),
+        }
+    }
+
+    /// Builds `count` neurons sharing one threshold.
+    pub fn with_uniform_threshold(config: NeuronConfig, count: usize, threshold: i32) -> Self {
+        Self::new(config, &vec![threshold; count])
+    }
+
+    /// Number of neurons (columns).
+    pub fn len(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// `true` when the array has no neurons.
+    pub fn is_empty(&self) -> bool {
+        self.neurons.is_empty()
+    }
+
+    /// Immutable view of the neurons.
+    pub fn neurons(&self) -> &[IfNeuron] {
+        &self.neurons
+    }
+
+    /// Current membrane potentials (useful as an analog readout of the
+    /// output layer).
+    pub fn membranes(&self) -> Vec<i32> {
+        self.neurons.iter().map(|n| n.v_mem()).collect()
+    }
+
+    /// Integrates one cycle of sensed rows.
+    ///
+    /// `rows[k]` is the row read on port `k` (one bit per column);
+    /// `valid[k]` is that port's validity flag. Invalid ports contribute
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `valid` lengths differ, or any row width does
+    /// not match the neuron count.
+    pub fn integrate(&mut self, rows: &[BitVec], valid: &[bool]) {
+        assert_eq!(
+            rows.len(),
+            valid.len(),
+            "one validity flag per port is required"
+        );
+        for (row, &is_valid) in rows.iter().zip(valid) {
+            if !is_valid {
+                continue;
+            }
+            assert_eq!(
+                row.len(),
+                self.neurons.len(),
+                "row width {} does not match neuron count {}",
+                row.len(),
+                self.neurons.len()
+            );
+        }
+        for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            let mut delta = 0;
+            for (row, &is_valid) in rows.iter().zip(valid) {
+                if is_valid {
+                    delta += if row.get(j) { 1 } else { -1 };
+                }
+            }
+            if delta != 0 {
+                neuron.accumulate(delta);
+            }
+        }
+    }
+
+    /// End-of-timestep evaluation of the whole array (`R_empty` asserted):
+    /// every neuron compares and conditionally fires. Returns the fired
+    /// pattern — the binary pulses sent fully in parallel to the next tile
+    /// (§3.1).
+    pub fn end_timestep(&mut self) -> BitVec {
+        let mut fired = BitVec::new(self.neurons.len());
+        for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            if neuron.end_timestep() {
+                fired.set(j, true);
+            }
+        }
+        fired
+    }
+
+    /// Clears the spike requests that were granted by the next tile.
+    pub fn grant(&mut self, granted: &BitVec) {
+        assert_eq!(granted.len(), self.neurons.len(), "grant width mismatch");
+        for j in granted.iter_ones() {
+            self.neurons[j].grant();
+        }
+    }
+
+    /// Resets every neuron to its power-on state.
+    pub fn reset(&mut self) {
+        for neuron in &mut self.neurons {
+            neuron.reset();
+        }
+    }
+
+    /// Replaces all thresholds (after learning).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or register overflow.
+    pub fn load_thresholds(&mut self, thresholds: &[i32]) {
+        assert_eq!(
+            thresholds.len(),
+            self.neurons.len(),
+            "threshold count mismatch"
+        );
+        for (neuron, &t) in self.neurons.iter_mut().zip(thresholds) {
+            neuron.set_threshold(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(count: usize, threshold: i32) -> NeuronArray {
+        NeuronArray::with_uniform_threshold(NeuronConfig::paper_default(), count, threshold)
+    }
+
+    #[test]
+    fn plus_minus_decode() {
+        let mut a = array(3, 0);
+        // Port row: col0 = 1 (+1), col1 = 0 (−1), col2 = 1 (+1).
+        a.integrate(&[BitVec::from_indices(3, &[0, 2])], &[true]);
+        assert_eq!(a.membranes(), vec![1, -1, 1]);
+    }
+
+    #[test]
+    fn invalid_ports_are_ignored() {
+        let mut a = array(2, 0);
+        let all_ones = BitVec::from_indices(2, &[0, 1]);
+        a.integrate(&[all_ones.clone(), all_ones], &[true, false]);
+        assert_eq!(a.membranes(), vec![1, 1], "only the valid port counts");
+    }
+
+    #[test]
+    fn multiport_sum_per_cycle() {
+        let mut a = array(2, 0);
+        let rows = vec![
+            BitVec::from_indices(2, &[0]),  // col0 +1, col1 −1
+            BitVec::from_indices(2, &[0]),  // col0 +1, col1 −1
+            BitVec::from_indices(2, &[1]),  // col0 −1, col1 +1
+            BitVec::new(2),                 // col0 −1, col1 −1
+        ];
+        a.integrate(&rows, &[true; 4]);
+        assert_eq!(a.membranes(), vec![0, -2]);
+    }
+
+    #[test]
+    fn end_timestep_produces_spike_frame() {
+        let mut a = NeuronArray::new(NeuronConfig::paper_default(), &[1, 2, 3]);
+        a.integrate(&[BitVec::from_indices(3, &[0, 1, 2])], &[true]);
+        a.integrate(&[BitVec::from_indices(3, &[0, 1])], &[true]);
+        // Membranes: [2, 2, 0] vs thresholds [1, 2, 3].
+        let fired = a.end_timestep();
+        assert!(fired.get(0));
+        assert!(fired.get(1));
+        assert!(!fired.get(2));
+        assert_eq!(a.membranes(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn grant_clears_requests() {
+        let mut a = array(2, 0);
+        a.integrate(&[BitVec::from_indices(2, &[0, 1])], &[true]);
+        let fired = a.end_timestep();
+        assert_eq!(fired.count_ones(), 2);
+        a.grant(&fired);
+        assert!(a.neurons().iter().all(|n| !n.spike_request()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        array(4, 0).integrate(&[BitVec::new(3)], &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "validity flag")]
+    fn missing_valid_flag_panics() {
+        array(4, 0).integrate(&[BitVec::new(4)], &[]);
+    }
+
+    #[test]
+    fn load_thresholds_roundtrip() {
+        let mut a = array(3, 0);
+        a.load_thresholds(&[5, -4, 7]);
+        let ths: Vec<i32> = a.neurons().iter().map(|n| n.v_th()).collect();
+        assert_eq!(ths, vec![5, -4, 7]);
+    }
+}

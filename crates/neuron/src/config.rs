@@ -1,0 +1,140 @@
+//! Neuron datapath configuration.
+
+use std::fmt;
+
+/// What happens to the membrane potential at the end of a timestep when the
+/// neuron did *not* fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResetPolicy {
+    /// Reset `V_mem` to zero every timestep, fired or not. This is the mode
+    /// used for the time-static classification task (§4.4.2): each image is
+    /// one timestep and must not leak potential into the next, matching the
+    /// BNN conversion exactly.
+    #[default]
+    EveryTimestep,
+    /// Reset only on fire, as the neuron description in §3.4 states —
+    /// appropriate for temporal streams where potential integrates across
+    /// timesteps.
+    OnFire,
+}
+
+/// Bit widths and reset behaviour of the IF neuron datapath (§3.4: the
+/// `m`-bit `V_mem` register and the `t`-bit `V_th` register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NeuronConfig {
+    mem_bits: u8,
+    threshold_bits: u8,
+    reset_policy: ResetPolicy,
+}
+
+impl NeuronConfig {
+    /// Creates a configuration with `mem_bits`-wide membrane register and
+    /// `threshold_bits`-wide threshold register.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 31` for both registers (they are signed
+    /// two's-complement values held in `i32`).
+    pub fn new(mem_bits: u8, threshold_bits: u8, reset_policy: ResetPolicy) -> Self {
+        assert!(
+            (2..=31).contains(&mem_bits) && (2..=31).contains(&threshold_bits),
+            "register widths must be within 2..=31 bits"
+        );
+        Self {
+            mem_bits,
+            threshold_bits,
+            reset_policy,
+        }
+    }
+
+    /// Defaults sized for the paper's system: a 768-input first layer can
+    /// accumulate at most ±768, so 12 bits cover every layer with margin.
+    pub fn paper_default() -> Self {
+        Self::new(12, 12, ResetPolicy::EveryTimestep)
+    }
+
+    /// Membrane register width (`m`).
+    pub fn mem_bits(&self) -> u8 {
+        self.mem_bits
+    }
+
+    /// Threshold register width (`t`).
+    pub fn threshold_bits(&self) -> u8 {
+        self.threshold_bits
+    }
+
+    /// Reset behaviour at end-of-timestep.
+    pub fn reset_policy(&self) -> ResetPolicy {
+        self.reset_policy
+    }
+
+    /// Largest representable membrane value.
+    pub fn mem_max(&self) -> i32 {
+        (1 << (self.mem_bits - 1)) - 1
+    }
+
+    /// Smallest representable membrane value.
+    pub fn mem_min(&self) -> i32 {
+        -(1 << (self.mem_bits - 1))
+    }
+
+    /// Largest representable threshold.
+    pub fn threshold_max(&self) -> i32 {
+        (1 << (self.threshold_bits - 1)) - 1
+    }
+
+    /// Smallest representable threshold.
+    pub fn threshold_min(&self) -> i32 {
+        -(1 << (self.threshold_bits - 1))
+    }
+}
+
+impl Default for NeuronConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for NeuronConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IF neuron (Vmem {} bits, Vth {} bits, reset {:?})",
+            self.mem_bits, self.threshold_bits, self.reset_policy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_ranges() {
+        let c = NeuronConfig::paper_default();
+        assert_eq!(c.mem_max(), 2047);
+        assert_eq!(c.mem_min(), -2048);
+        assert!(c.mem_max() >= 768, "must hold a full 768-input accumulation");
+        assert_eq!(c.reset_policy(), ResetPolicy::EveryTimestep);
+    }
+
+    #[test]
+    fn custom_widths() {
+        let c = NeuronConfig::new(8, 6, ResetPolicy::OnFire);
+        assert_eq!(c.mem_max(), 127);
+        assert_eq!(c.mem_min(), -128);
+        assert_eq!(c.threshold_max(), 31);
+        assert_eq!(c.threshold_min(), -32);
+    }
+
+    #[test]
+    #[should_panic(expected = "within 2..=31")]
+    fn absurd_width_panics() {
+        NeuronConfig::new(40, 12, ResetPolicy::EveryTimestep);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NeuronConfig::paper_default().to_string().contains("12"));
+    }
+}

@@ -1,0 +1,218 @@
+//! One Integrate-and-Fire neuron (§3.4, Fig. 5).
+
+use crate::config::{NeuronConfig, ResetPolicy};
+
+/// A digital Integrate-and-Fire neuron.
+///
+/// Valid bitline values are decoded to `+1`/`−1`, summed, and accumulated in
+/// the saturating `m`-bit membrane register. When the tile's arbiter raises
+/// `R_empty` (all input spikes served), [`IfNeuron::end_timestep`] compares
+/// `V_mem ≥ V_th`; on fire, the output register `r` is set (a spike request
+/// to the next tile) and `V_mem` resets to zero. A granted request clears
+/// `r` via [`IfNeuron::grant`].
+///
+/// # Examples
+///
+/// ```
+/// use esam_neuron::{IfNeuron, NeuronConfig};
+///
+/// let mut n = IfNeuron::new(NeuronConfig::paper_default(), 2);
+/// n.accumulate(3);           // three +1 contributions this cycle
+/// assert!(n.end_timestep()); // 3 ≥ 2 → fire
+/// assert!(n.spike_request());
+/// n.grant();
+/// assert!(!n.spike_request());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfNeuron {
+    config: NeuronConfig,
+    v_mem: i32,
+    v_th: i32,
+    spike_request: bool,
+}
+
+impl IfNeuron {
+    /// Creates a neuron with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold does not fit the configured `t`-bit register.
+    pub fn new(config: NeuronConfig, threshold: i32) -> Self {
+        assert!(
+            (config.threshold_min()..=config.threshold_max()).contains(&threshold),
+            "threshold {threshold} does not fit a {}-bit register",
+            config.threshold_bits()
+        );
+        Self {
+            config,
+            v_mem: 0,
+            v_th: threshold,
+            spike_request: false,
+        }
+    }
+
+    /// Current membrane potential.
+    pub fn v_mem(&self) -> i32 {
+        self.v_mem
+    }
+
+    /// Firing threshold.
+    pub fn v_th(&self) -> i32 {
+        self.v_th
+    }
+
+    /// Replaces the threshold (e.g. after on-chip learning re-calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new threshold does not fit the register.
+    pub fn set_threshold(&mut self, threshold: i32) {
+        assert!(
+            (self.config.threshold_min()..=self.config.threshold_max()).contains(&threshold),
+            "threshold {threshold} does not fit a {}-bit register",
+            self.config.threshold_bits()
+        );
+        self.v_th = threshold;
+    }
+
+    /// Pending spike request (`r` register).
+    pub fn spike_request(&self) -> bool {
+        self.spike_request
+    }
+
+    /// The neuron's configuration.
+    pub fn config(&self) -> NeuronConfig {
+        self.config
+    }
+
+    /// Adds `delta` (the decoded ±1 sum of the valid ports this cycle) to
+    /// the membrane potential, saturating at the `m`-bit register bounds.
+    pub fn accumulate(&mut self, delta: i32) {
+        self.v_mem = (self.v_mem + delta)
+            .clamp(self.config.mem_min(), self.config.mem_max());
+    }
+
+    /// End-of-timestep evaluation, enabled by `R_empty` (§3.4): fires when
+    /// `V_mem ≥ V_th`, setting the spike request and resetting the membrane.
+    /// Returns whether the neuron fired.
+    pub fn end_timestep(&mut self) -> bool {
+        let fired = self.v_mem >= self.v_th;
+        if fired {
+            self.spike_request = true;
+            self.v_mem = 0;
+        } else if self.config.reset_policy() == ResetPolicy::EveryTimestep {
+            self.v_mem = 0;
+        }
+        fired
+    }
+
+    /// Clears the spike request once the downstream arbiter granted it
+    /// (`g = 1` in Fig. 5).
+    pub fn grant(&mut self) {
+        self.spike_request = false;
+    }
+
+    /// Forces the neuron to its power-on state.
+    pub fn reset(&mut self) {
+        self.v_mem = 0;
+        self.spike_request = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neuron(threshold: i32) -> IfNeuron {
+        IfNeuron::new(NeuronConfig::paper_default(), threshold)
+    }
+
+    #[test]
+    fn fires_at_threshold() {
+        let mut n = neuron(5);
+        n.accumulate(4);
+        assert!(!n.end_timestep());
+        n.accumulate(5);
+        assert!(n.end_timestep(), "V_mem == V_th must fire (≥ comparison)");
+        assert_eq!(n.v_mem(), 0, "membrane resets on fire");
+    }
+
+    #[test]
+    fn negative_contributions() {
+        let mut n = neuron(0);
+        n.accumulate(-3);
+        assert!(!n.end_timestep(), "-3 < 0: no fire");
+        n.accumulate(0);
+        assert!(n.end_timestep(), "0 ≥ 0 fires");
+    }
+
+    #[test]
+    fn saturation_at_register_bounds() {
+        let cfg = NeuronConfig::new(4, 4, ResetPolicy::OnFire); // range −8..=7
+        let mut n = IfNeuron::new(cfg, 7);
+        for _ in 0..100 {
+            n.accumulate(3);
+        }
+        assert_eq!(n.v_mem(), 7, "must clamp at +7");
+        for _ in 0..100 {
+            n.accumulate(-5);
+        }
+        assert_eq!(n.v_mem(), -8, "must clamp at −8");
+    }
+
+    #[test]
+    fn reset_policy_every_timestep_clears_residue() {
+        let mut n = neuron(100);
+        n.accumulate(50);
+        assert!(!n.end_timestep());
+        assert_eq!(n.v_mem(), 0, "static-task policy clears V_mem");
+    }
+
+    #[test]
+    fn reset_policy_on_fire_keeps_residue() {
+        let cfg = NeuronConfig::new(12, 12, ResetPolicy::OnFire);
+        let mut n = IfNeuron::new(cfg, 100);
+        n.accumulate(50);
+        assert!(!n.end_timestep());
+        assert_eq!(n.v_mem(), 50, "temporal policy integrates across timesteps");
+        n.accumulate(50);
+        assert!(n.end_timestep());
+        assert_eq!(n.v_mem(), 0);
+    }
+
+    #[test]
+    fn request_grant_handshake() {
+        let mut n = neuron(1);
+        n.accumulate(2);
+        n.end_timestep();
+        assert!(n.spike_request());
+        n.grant();
+        assert!(!n.spike_request());
+    }
+
+    #[test]
+    fn request_persists_until_granted() {
+        let mut n = neuron(1);
+        n.accumulate(2);
+        n.end_timestep();
+        // A second quiet timestep must not clear the pending request.
+        n.end_timestep();
+        assert!(n.spike_request());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_threshold_panics() {
+        IfNeuron::new(NeuronConfig::new(8, 4, ResetPolicy::EveryTimestep), 100);
+    }
+
+    #[test]
+    fn full_reset() {
+        let mut n = neuron(1);
+        n.accumulate(5);
+        n.end_timestep();
+        n.reset();
+        assert_eq!(n.v_mem(), 0);
+        assert!(!n.spike_request());
+    }
+}

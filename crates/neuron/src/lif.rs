@@ -1,0 +1,177 @@
+//! Leaky Integrate-and-Fire extension.
+//!
+//! The paper picks a plain IF neuron because its test setup "involves a
+//! time-static classification task" (§3.4) — every image is one timestep.
+//! For temporal streams (the natural follow-on workload for a transposable,
+//! online-learning design) the membrane must *leak*, or stale evidence
+//! accumulates forever. [`LifNeuron`] adds the cheapest digital leak: an
+//! arithmetic right-shift per timestep, `V ← V − (V >> k)`, which costs one
+//! extra adder pass in the `R_empty` cycle and no multiplier.
+
+use crate::config::{NeuronConfig, ResetPolicy};
+use crate::if_neuron::IfNeuron;
+
+/// A leaky IF neuron: an [`IfNeuron`] with a shift-based decay applied at
+/// every end-of-timestep evaluation.
+///
+/// The decay factor per timestep is `1 − 2^(−leak_shift)`; `leak_shift = 0`
+/// clears the membrane every step, large shifts approach the plain IF
+/// behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use esam_neuron::{LifNeuron, NeuronConfig, ResetPolicy};
+///
+/// let config = NeuronConfig::new(12, 12, ResetPolicy::OnFire);
+/// let mut n = LifNeuron::new(config, 100, 2); // keeps 3/4 per timestep
+/// n.accumulate(40);
+/// n.end_timestep();
+/// assert_eq!(n.v_mem(), 30); // 40 − (40 >> 2)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifNeuron {
+    inner: IfNeuron,
+    leak_shift: u8,
+}
+
+impl LifNeuron {
+    /// Creates a leaky neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold does not fit the configured register, or if
+    /// `leak_shift > 30` (a meaningless shift for an `i32` membrane).
+    pub fn new(config: NeuronConfig, threshold: i32, leak_shift: u8) -> Self {
+        assert!(leak_shift <= 30, "leak shift {leak_shift} exceeds the register");
+        Self {
+            inner: IfNeuron::new(config, threshold),
+            leak_shift,
+        }
+    }
+
+    /// Current membrane potential.
+    pub fn v_mem(&self) -> i32 {
+        self.inner.v_mem()
+    }
+
+    /// Firing threshold.
+    pub fn v_th(&self) -> i32 {
+        self.inner.v_th()
+    }
+
+    /// Leak shift `k` (decay `1 − 2^(−k)` per timestep).
+    pub fn leak_shift(&self) -> u8 {
+        self.leak_shift
+    }
+
+    /// Pending spike request.
+    pub fn spike_request(&self) -> bool {
+        self.inner.spike_request()
+    }
+
+    /// Integrates one cycle's decoded ±1 sum.
+    pub fn accumulate(&mut self, delta: i32) {
+        self.inner.accumulate(delta);
+    }
+
+    /// End-of-timestep: compare/fire like the IF neuron, then leak the
+    /// surviving membrane. Returns whether the neuron fired.
+    pub fn end_timestep(&mut self) -> bool {
+        let fired = self.inner.end_timestep();
+        if !fired && self.inner.config().reset_policy() == ResetPolicy::OnFire {
+            let v = self.inner.v_mem();
+            let leaked = v - (v >> self.leak_shift);
+            // Re-apply through the saturating accumulate to stay in range.
+            self.inner.accumulate(leaked - v);
+        }
+        fired
+    }
+
+    /// Clears a granted spike request.
+    pub fn grant(&mut self) {
+        self.inner.grant();
+    }
+
+    /// Power-on reset.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lif(threshold: i32, shift: u8) -> LifNeuron {
+        LifNeuron::new(NeuronConfig::new(12, 12, ResetPolicy::OnFire), threshold, shift)
+    }
+
+    #[test]
+    fn leak_decays_by_shift() {
+        let mut n = lif(1000, 2);
+        n.accumulate(100);
+        n.end_timestep();
+        assert_eq!(n.v_mem(), 75);
+        n.end_timestep();
+        assert_eq!(n.v_mem(), 57); // 75 − 18
+    }
+
+    #[test]
+    fn zero_shift_clears_everything() {
+        let mut n = lif(1000, 0);
+        n.accumulate(500);
+        n.end_timestep();
+        assert_eq!(n.v_mem(), 0);
+    }
+
+    #[test]
+    fn firing_still_resets() {
+        let mut n = lif(10, 3);
+        n.accumulate(12);
+        assert!(n.end_timestep());
+        assert_eq!(n.v_mem(), 0);
+        assert!(n.spike_request());
+        n.grant();
+        assert!(!n.spike_request());
+    }
+
+    #[test]
+    fn negative_membrane_leaks_toward_zero() {
+        let mut n = lif(1000, 1);
+        n.accumulate(-64);
+        n.end_timestep();
+        assert_eq!(n.v_mem(), -32);
+        n.end_timestep();
+        assert_eq!(n.v_mem(), -16);
+    }
+
+    #[test]
+    fn stale_evidence_decays_away_if_vs_lif() {
+        // The motivation: with IF, sub-threshold evidence accumulates across
+        // timesteps and eventually fires on noise; with LIF it decays.
+        let config = NeuronConfig::new(12, 12, ResetPolicy::OnFire);
+        let mut if_neuron = IfNeuron::new(config, 50);
+        let mut lif_neuron = LifNeuron::new(config, 50, 1);
+        for _ in 0..20 {
+            if_neuron.accumulate(5);
+            if_neuron.end_timestep();
+            lif_neuron.accumulate(5);
+            lif_neuron.end_timestep();
+        }
+        assert!(
+            if_neuron.spike_request(),
+            "IF integrates 5/step and must cross 50"
+        );
+        assert!(
+            !lif_neuron.spike_request(),
+            "LIF equilibrium ≈ 2×rate = 10 < 50: never fires"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "leak shift")]
+    fn absurd_shift_panics() {
+        lif(10, 31);
+    }
+}

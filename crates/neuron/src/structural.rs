@@ -1,0 +1,261 @@
+//! Gate-level (structural) model of the Fig. 5 accumulation datapath.
+//!
+//! The neuron of §3.4 takes the `p` sensed bitline values with their
+//! validity flags, decodes them to ±1, sums them, and adds the sum to the
+//! `m`-bit membrane register. The behavioral model in
+//! [`timing`](crate::timing) carries fitted delay constants for that
+//! path; this module emits the actual logic — a validity mask, a popcount
+//! tree over the valid `+1` hits, and the `V_mem` ripple-carry accumulate
+//! adder — so the fitted constants can be cross-checked by static timing
+//! analysis and the arithmetic by exhaustive evaluation.
+//!
+//! The ±1 decode is implemented in counting form: with `v` valid ports of
+//! which `k` sensed a `1`, the membrane update is `2k − v`, so the
+//! datapath needs `popcount(data AND valid)`, `popcount(valid)` and one
+//! adder pass — exactly what is generated here.
+
+use esam_logic::gen::{input_bus, popcount, ripple_carry_adder, zero_extend, Bus};
+use esam_logic::{GateKind, GateTiming, Level, LogicError, Netlist, TimingAnalysis};
+use esam_tech::units::Seconds;
+
+/// Gate-level accumulation datapath for `ports` bitlines feeding an
+/// `mem_bits`-wide membrane register.
+///
+/// # Examples
+///
+/// ```
+/// use esam_neuron::structural::AccumulatorNetlist;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let acc = AccumulatorNetlist::new(4, 8)?;
+/// // Membrane 5, ports 0 and 2 valid (mask 0b0101), only port 2 sensed a
+/// // '1' (mask 0b0100): update = 2·1 − 2 = 0 … V_mem stays 5.
+/// let v = acc.evaluate(5, 0b0100, 0b0101)?;
+/// assert_eq!(v, 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccumulatorNetlist {
+    netlist: Netlist,
+    ports: usize,
+    mem_bits: u8,
+    mem_out: Bus,
+}
+
+impl AccumulatorNetlist {
+    /// Builds the datapath for `ports` read ports and an `mem_bits`-wide
+    /// two's-complement membrane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction failures; `ports` and `mem_bits`
+    /// must be non-zero and `mem_bits` at least 4 so the ±ports update
+    /// fits.
+    pub fn new(ports: usize, mem_bits: u8) -> Result<Self, LogicError> {
+        assert!(ports > 0, "a neuron needs at least one input port");
+        assert!(
+            (4..=31).contains(&mem_bits),
+            "mem_bits {mem_bits} out of the supported 4..=31 range"
+        );
+        let width = mem_bits as usize;
+        let mut nl = Netlist::new();
+        let mem_in = input_bus(&mut nl, "vmem", width);
+        let data_in = input_bus(&mut nl, "rbl", ports);
+        let valid_in = input_bus(&mut nl, "valid", ports);
+
+        // hits = popcount(data AND valid); vcount = popcount(valid).
+        let masked: Vec<_> = (0..ports)
+            .map(|p| {
+                nl.add_cell(
+                    GateKind::And,
+                    &[data_in.net(p), valid_in.net(p)],
+                    format!("hit[{p}]"),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let hits = popcount(&mut nl, &masked, "hits")?;
+        let vcount = popcount(&mut nl, valid_in.nets(), "vcount")?;
+
+        // update = 2·hits − vcount, in `width`-bit two's complement:
+        // (hits << 1) + NOT(vcount) + 1.
+        let zero = nl.add_cell(GateKind::Const0, &[], "zero")?;
+        let mut doubled = vec![zero];
+        doubled.extend_from_slice(hits.nets());
+        let doubled = zero_extend(&mut nl, &Bus::from_nets(doubled), width, "hits2x")?;
+        let vext = zero_extend(&mut nl, &vcount, width, "vext")?;
+        let vneg: Vec<_> = vext
+            .nets()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| nl.add_cell(GateKind::Not, &[n], format!("vinv[{i}]")))
+            .collect::<Result<_, _>>()?;
+        let one = nl.add_cell(GateKind::Const1, &[], "one")?;
+        let (update, _c) =
+            ripple_carry_adder(&mut nl, &doubled, &Bus::from_nets(vneg), one, "upd")?;
+
+        // V_mem' = V_mem + update (wrapping two's complement; the
+        // behavioral model's saturation is a register-side policy).
+        let (mem_out, _c) = ripple_carry_adder(&mut nl, &mem_in, &update, zero, "acc")?;
+        for &n in mem_out.nets() {
+            nl.mark_output(n)?;
+        }
+        nl.validate()?;
+        // Stimulus order in `evaluate` relies on the declaration order of
+        // the three input buses above (vmem, rbl, valid).
+        let _ = (mem_in, data_in, valid_in);
+        Ok(Self {
+            netlist: nl,
+            ports,
+            mem_bits,
+            mem_out,
+        })
+    }
+
+    /// Number of read ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Membrane register width in bits.
+    pub fn mem_bits(&self) -> u8 {
+        self.mem_bits
+    }
+
+    /// The generated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Evaluates one accumulation: `vmem + 2·popcount(data&valid) −
+    /// popcount(valid)` in wrapping `mem_bits` two's complement.
+    ///
+    /// `data` and `valid` are port bitmasks (bit `p` = port `p`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (an internal generation bug).
+    pub fn evaluate(&self, vmem: i32, data: u32, valid: u32) -> Result<i32, LogicError> {
+        let width = self.mem_bits as usize;
+        let mask = (1u64 << width) - 1;
+        let mem = (vmem as i64 as u64) & mask;
+        let mut stimulus: Vec<Level> = Vec::with_capacity(width + 2 * self.ports);
+        for bit in 0..width {
+            stimulus.push(Level::from(mem >> bit & 1 == 1));
+        }
+        for p in 0..self.ports {
+            stimulus.push(Level::from(data >> p & 1 == 1));
+        }
+        for p in 0..self.ports {
+            stimulus.push(Level::from(valid >> p & 1 == 1));
+        }
+        let levels = self.netlist.evaluate(&stimulus)?;
+        let raw = self.mem_out.decode(&levels).expect("outputs are driven");
+        // Sign-extend from mem_bits.
+        let shifted = (raw << (64 - width)) as i64 >> (64 - width);
+        Ok(shifted as i32)
+    }
+
+    /// STA critical path of the accumulate stage under `timing`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STA failures (an internal generation bug).
+    pub fn sta_delay(&self, timing: &GateTiming) -> Result<Seconds, LogicError> {
+        Ok(TimingAnalysis::run(&self.netlist, timing)?
+            .critical_path()
+            .delay())
+    }
+
+    /// Unused-input helper for tests: all-ports-valid mask.
+    pub fn all_valid(&self) -> u32 {
+        (1u32 << self.ports) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::NeuronTiming;
+
+    fn reference(vmem: i32, data: u32, valid: u32, ports: usize, bits: u8) -> i32 {
+        let hits = (data & valid & ((1 << ports) - 1)).count_ones() as i32;
+        let v = (valid & ((1 << ports) - 1)).count_ones() as i32;
+        let update = 2 * hits - v;
+        // Wrapping two's complement at `bits`.
+        let width = bits as u32;
+        let raw = (vmem.wrapping_add(update)) as i64;
+        ((raw << (64 - width)) >> (64 - width)) as i32
+    }
+
+    #[test]
+    fn matches_the_reference_exhaustively_at_4_ports() {
+        let acc = AccumulatorNetlist::new(4, 6).unwrap();
+        for vmem in [-32, -17, -1, 0, 1, 13, 31] {
+            for data in 0..16u32 {
+                for valid in 0..16u32 {
+                    assert_eq!(
+                        acc.evaluate(vmem, data, valid).unwrap(),
+                        reference(vmem, data, valid, 4, 6),
+                        "vmem={vmem} data={data:04b} valid={valid:04b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_ports_do_not_count() {
+        // §3.4: "a validity flag is used … an unused port is not
+        // erroneously read as a '1'".
+        let acc = AccumulatorNetlist::new(4, 8).unwrap();
+        // All data lines high but nothing valid: V_mem must not move.
+        assert_eq!(acc.evaluate(7, 0b1111, 0b0000).unwrap(), 7);
+        // One valid port carrying a 1: +1.
+        assert_eq!(acc.evaluate(7, 0b1111, 0b0001).unwrap(), 8);
+        // One valid port carrying a 0: −1.
+        assert_eq!(acc.evaluate(7, 0b1110, 0b0001).unwrap(), 6);
+    }
+
+    #[test]
+    fn full_valid_full_hits_adds_ports() {
+        let acc = AccumulatorNetlist::new(8, 8).unwrap();
+        let all = acc.all_valid();
+        assert_eq!(acc.evaluate(0, all, all).unwrap(), 8);
+        assert_eq!(acc.evaluate(0, 0, all).unwrap(), -8);
+    }
+
+    #[test]
+    fn sta_grows_with_membrane_width_and_tracks_the_fitted_model() {
+        let timing = GateTiming::finfet_3nm();
+        let narrow = AccumulatorNetlist::new(4, 6).unwrap().sta_delay(&timing).unwrap();
+        let wide = AccumulatorNetlist::new(4, 16).unwrap().sta_delay(&timing).unwrap();
+        assert!(wide > narrow, "wider V_mem must be slower");
+
+        // The fitted accumulate stage (Table 2's SRAM+Neuron component) and
+        // the generated ripple datapath must sit in the same few-hundred-ps
+        // decade at the paper's 8-bit membrane.
+        let fitted = NeuronTiming::new(4).accumulate_delay();
+        let structural = AccumulatorNetlist::new(4, 8).unwrap().sta_delay(&timing).unwrap();
+        let ratio = structural.value() / fitted.value();
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "structural {structural} vs fitted {fitted} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn wrapping_behaviour_is_twos_complement() {
+        let acc = AccumulatorNetlist::new(2, 4).unwrap();
+        // 7 + 2 wraps to -7 in 4-bit two's complement.
+        assert_eq!(acc.evaluate(7, 0b11, 0b11).unwrap(), -7);
+        // -8 - 2 wraps to 6.
+        assert_eq!(acc.evaluate(-8, 0b00, 0b11).unwrap(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input port")]
+    fn zero_ports_is_a_bug() {
+        let _ = AccumulatorNetlist::new(0, 8);
+    }
+}

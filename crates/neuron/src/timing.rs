@@ -1,0 +1,103 @@
+//! Neuron datapath timing and energy (the "+ Neuron accumulation" share of
+//! the Table 2 pipeline stage).
+
+use esam_tech::calibration::fitted;
+use esam_tech::units::{Joules, Seconds};
+
+/// Timing/energy model of the neuron accumulation datapath.
+///
+/// The datapath per cycle is: validity-gated ±1 decode of the `p` port bits,
+/// a small adder tree of depth `⌈log₂ p⌉`, and the `m`-bit membrane adder +
+/// register write. The threshold compare runs in the (rarer) `R_empty`
+/// cycle and is typically off the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeuronTiming {
+    ports: usize,
+}
+
+impl NeuronTiming {
+    /// Model for a neuron fed from `ports` bitlines per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "a neuron is fed by at least one port");
+        Self { ports }
+    }
+
+    /// Number of ports feeding the neuron.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Depth of the ±1 adder tree (stages before the membrane adder).
+    pub fn adder_tree_depth(&self) -> usize {
+        (usize::BITS - (self.ports - 1).leading_zeros()).max(1) as usize
+    }
+
+    /// Per-cycle accumulation delay: decode + adder tree + membrane
+    /// add/register.
+    pub fn accumulate_delay(&self) -> Seconds {
+        let stages = self.adder_tree_depth() + 1; // +1: the m-bit Vmem adder
+        Seconds::new(fitted::NEURON_ADD_STAGE_DELAY) * stages as f64
+            + Seconds::new(fitted::NEURON_COMPARE_DELAY) * 0.5 // register + mux share
+    }
+
+    /// Delay of the `R_empty` fire cycle: compare + request-register update.
+    pub fn fire_delay(&self) -> Seconds {
+        Seconds::new(fitted::NEURON_COMPARE_DELAY)
+    }
+
+    /// The neuron's contribution to the pipeline stage: the slower of the
+    /// accumulate and fire paths.
+    pub fn stage_delay(&self) -> Seconds {
+        self.accumulate_delay().max(self.fire_delay())
+    }
+
+    /// Energy of integrating `valid_bits` port bits this cycle.
+    pub fn accumulate_energy(&self, valid_bits: usize) -> Joules {
+        Joules::new(fitted::NEURON_ACCUM_ENERGY_PER_BIT) * valid_bits as f64
+    }
+
+    /// Energy of one end-of-timestep evaluation (compare + fire).
+    pub fn fire_energy(&self) -> Joules {
+        Joules::new(fitted::NEURON_FIRE_ENERGY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_depth_by_port_count() {
+        assert_eq!(NeuronTiming::new(1).adder_tree_depth(), 1);
+        assert_eq!(NeuronTiming::new(2).adder_tree_depth(), 1);
+        assert_eq!(NeuronTiming::new(3).adder_tree_depth(), 2);
+        assert_eq!(NeuronTiming::new(4).adder_tree_depth(), 2);
+        assert_eq!(NeuronTiming::new(8).adder_tree_depth(), 3);
+    }
+
+    #[test]
+    fn delay_grows_with_ports() {
+        let d1 = NeuronTiming::new(1).stage_delay();
+        let d4 = NeuronTiming::new(4).stage_delay();
+        assert!(d4 >= d1);
+        assert!(d4.ps() < 500.0, "neuron path stays a fraction of the 1.2 ns cycle");
+    }
+
+    #[test]
+    fn energy_scales_with_valid_bits() {
+        let t = NeuronTiming::new(4);
+        assert!(t.accumulate_energy(4) > t.accumulate_energy(1));
+        assert!(t.accumulate_energy(0).is_zero());
+        assert!(t.fire_energy().fj() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        NeuronTiming::new(0);
+    }
+}

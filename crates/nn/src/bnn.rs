@@ -1,0 +1,340 @@
+//! The Binary Neural Network the paper trains offline (§4.4.2).
+//!
+//! Following the XNOR-free formulation of Kim et al. [15], the network uses
+//! binary `{0, 1}` *activations* and binary `{−1, +1}` *weights* with
+//! real-valued per-neuron biases:
+//!
+//! ```text
+//! z_j = Σ_i sign(w_ji) · x_i + b_j      x_i ∈ {0, 1}
+//! h_j = step(z_j ≥ 0)                   (hidden layers)
+//! ```
+//!
+//! Because inputs are `{0, 1}`, the MAC degenerates to an *accumulation over
+//! firing inputs only* — exactly what the CIM-P hardware computes when a
+//! spike activates a wordline. Latent real weights are kept for training
+//! (straight-through estimator, see [`train`](crate::train)); inference
+//! always uses the binarized view.
+
+use rand::{Rng, RngExt};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::NnError;
+use crate::matrix::Matrix;
+
+/// Binarizes a latent weight: `sign(w)` with `sign(0) = +1`.
+#[inline]
+pub fn binarize(w: f32) -> f32 {
+    if w >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Binary step activation on `{0, 1}`.
+#[inline]
+pub fn step(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// One fully-connected binary layer (`outputs × inputs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnnLayer {
+    latent: Matrix,
+    bias: Vec<f32>,
+}
+
+impl BnnLayer {
+    /// Creates a layer with latent weights drawn uniformly from `[−1, 1]`
+    /// and zero biases.
+    pub fn new_random<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        assert!(inputs > 0 && outputs > 0, "layer dimensions must be non-zero");
+        Self {
+            latent: Matrix::from_fn(outputs, inputs, |_, _| rng.random_range(-1.0f32..1.0)),
+            bias: vec![0.0; outputs],
+        }
+    }
+
+    /// Fan-in of the layer.
+    pub fn inputs(&self) -> usize {
+        self.latent.cols()
+    }
+
+    /// Fan-out of the layer.
+    pub fn outputs(&self) -> usize {
+        self.latent.rows()
+    }
+
+    /// Binarized weight from input `i` to output `o` (±1).
+    #[inline]
+    pub fn binary_weight(&self, o: usize, i: usize) -> f32 {
+        binarize(self.latent.get(o, i))
+    }
+
+    /// Latent (real) weights — exposed for the trainer.
+    pub fn latent(&self) -> &Matrix {
+        &self.latent
+    }
+
+    /// Mutable latent weights — exposed for the trainer.
+    pub fn latent_mut(&mut self) -> &mut Matrix {
+        &mut self.latent
+    }
+
+    /// Per-neuron biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable per-neuron biases — exposed for the trainer.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Pre-activations `z = sign(W)·x + b` for a `{0, 1}` input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    pub fn pre_activations(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.inputs(), "input width mismatch");
+        let mut z = self.bias.clone();
+        for (o, z_o) in z.iter_mut().enumerate() {
+            let row = self.latent.row(o);
+            let mut acc = 0.0f32;
+            for (i, &xi) in x.iter().enumerate() {
+                if xi != 0.0 {
+                    acc += binarize(row[i]) * xi;
+                }
+            }
+            *z_o += acc;
+        }
+        z
+    }
+}
+
+/// Trace of one forward pass, kept for backpropagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardTrace {
+    /// `activations[0]` is the input; `activations[l]` the output of layer
+    /// `l−1`. The last entry holds the raw logits (no step applied).
+    pub activations: Vec<Vec<f32>>,
+    /// Pre-activations per layer.
+    pub pre_activations: Vec<Vec<f32>>,
+}
+
+impl ForwardTrace {
+    /// Output-layer logits.
+    pub fn logits(&self) -> &[f32] {
+        self.activations.last().expect("trace holds at least the input")
+    }
+
+    /// Argmax class prediction (lowest index wins ties).
+    pub fn prediction(&self) -> usize {
+        argmax(self.logits())
+    }
+}
+
+/// Returns the index of the largest value (first on ties).
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A feed-forward binary network (e.g. the paper's 768:256:256:256:10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnnNetwork {
+    layers: Vec<BnnLayer>,
+}
+
+impl BnnNetwork {
+    /// Creates a randomly-initialized network with the given layer sizes
+    /// (`sizes[0]` is the input width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] when fewer than two sizes are given.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esam_nn::bnn::BnnNetwork;
+    /// let net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42)?;
+    /// assert_eq!(net.topology(), vec![768, 256, 256, 256, 10]);
+    /// # Ok::<(), esam_nn::NnError>(())
+    /// ```
+    pub fn new(sizes: &[usize], seed: u64) -> Result<Self, NnError> {
+        if sizes.len() < 2 {
+            return Err(NnError::EmptyNetwork);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| BnnLayer::new_random(w[0], w[1], &mut rng))
+            .collect();
+        Ok(Self { layers })
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[BnnLayer] {
+        &self.layers
+    }
+
+    /// Mutable layer stack — exposed for the trainer.
+    pub fn layers_mut(&mut self) -> &mut [BnnLayer] {
+        &mut self.layers
+    }
+
+    /// Layer sizes including the input width.
+    pub fn topology(&self) -> Vec<usize> {
+        let mut sizes = vec![self.layers[0].inputs()];
+        sizes.extend(self.layers.iter().map(|l| l.outputs()));
+        sizes
+    }
+
+    /// Input width.
+    pub fn input_width(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Number of classes (output width).
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty network").outputs()
+    }
+
+    /// Full forward pass with intermediate values (for training and for
+    /// SNN-equivalence checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong input width.
+    pub fn forward_trace(&self, x: &[f32]) -> Result<ForwardTrace, NnError> {
+        if x.len() != self.input_width() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_width(),
+                got: x.len(),
+            });
+        }
+        let mut activations = vec![x.to_vec()];
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        for (index, layer) in self.layers.iter().enumerate() {
+            let z = layer.pre_activations(activations.last().expect("non-empty"));
+            let is_output = index + 1 == self.layers.len();
+            let h = if is_output {
+                z.clone() // raw logits
+            } else {
+                z.iter().map(|&v| step(v)).collect()
+            };
+            pre_activations.push(z);
+            activations.push(h);
+        }
+        Ok(ForwardTrace {
+            activations,
+            pre_activations,
+        })
+    }
+
+    /// Classifies one input (argmax over logits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong input width.
+    pub fn classify(&self, x: &[f32]) -> Result<usize, NnError> {
+        Ok(self.forward_trace(x)?.prediction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binarize_and_step_conventions() {
+        assert_eq!(binarize(0.0), 1.0, "sign(0) = +1 by convention");
+        assert_eq!(binarize(-0.3), -1.0);
+        assert_eq!(step(0.0), 1.0, "step(0) = 1 matches V_mem ≥ V_th");
+        assert_eq!(step(-0.1), 0.0);
+    }
+
+    #[test]
+    fn topology_and_shapes() {
+        let net = BnnNetwork::new(&[12, 8, 4], 1).unwrap();
+        assert_eq!(net.topology(), vec![12, 8, 4]);
+        assert_eq!(net.input_width(), 12);
+        assert_eq!(net.output_width(), 4);
+        assert_eq!(net.layers().len(), 2);
+    }
+
+    #[test]
+    fn forward_trace_shapes() {
+        let net = BnnNetwork::new(&[6, 5, 3], 2).unwrap();
+        let trace = net.forward_trace(&[1.0, 0.0, 1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(trace.activations.len(), 3);
+        assert_eq!(trace.activations[1].len(), 5);
+        assert_eq!(trace.logits().len(), 3);
+        // Hidden activations are binary.
+        assert!(trace.activations[1].iter().all(|&h| h == 0.0 || h == 1.0));
+    }
+
+    #[test]
+    fn pre_activation_math() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut layer = BnnLayer::new_random(3, 1, &mut rng);
+        // Force known weights: +1, −1, +1 and bias 0.5.
+        *layer.latent_mut().get_mut(0, 0) = 0.9;
+        *layer.latent_mut().get_mut(0, 1) = -0.2;
+        *layer.latent_mut().get_mut(0, 2) = 0.1;
+        layer.bias_mut()[0] = 0.5;
+        // x = (1, 1, 0): z = 1 − 1 + 0 + 0.5.
+        let z = layer.pre_activations(&[1.0, 1.0, 0.0]);
+        assert!((z[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn only_firing_inputs_contribute() {
+        // x = 0 inputs contribute nothing regardless of weight sign —
+        // the XNOR-free property the hardware depends on.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let layer = BnnLayer::new_random(10, 4, &mut rng);
+        let z_silent = layer.pre_activations(&[0.0; 10]);
+        assert_eq!(z_silent, layer.bias().to_vec());
+    }
+
+    #[test]
+    fn classify_is_deterministic() {
+        let net = BnnNetwork::new(&[8, 6, 3], 5).unwrap();
+        let x = [1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+        assert_eq!(net.classify(&x).unwrap(), net.classify(&x).unwrap());
+    }
+
+    #[test]
+    fn wrong_width_is_an_error() {
+        let net = BnnNetwork::new(&[8, 4], 1).unwrap();
+        assert!(matches!(
+            net.classify(&[0.0; 7]),
+            Err(NnError::DimensionMismatch { expected: 8, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(matches!(BnnNetwork::new(&[10], 0), Err(NnError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn argmax_ties_take_lowest_index() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the neural-network substrate.
+
+use std::fmt;
+
+/// Errors produced by dataset generation, training and conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A dataset split was requested with zero samples.
+    EmptyDataset,
+    /// Input width does not match the layer/network.
+    DimensionMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Received width.
+        got: usize,
+    },
+    /// A network must have at least one layer.
+    EmptyNetwork,
+    /// A converted threshold does not fit the neuron's register width.
+    ThresholdOverflow {
+        /// The overflowing threshold value.
+        threshold: i32,
+        /// Register bit width it must fit.
+        bits: u8,
+    },
+    /// An IDX (MNIST) file is malformed or unreadable.
+    IdxFormat(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::EmptyDataset => write!(f, "dataset splits must contain at least one sample"),
+            NnError::DimensionMismatch { expected, got } => {
+                write!(f, "input width mismatch: expected {expected}, got {got}")
+            }
+            NnError::EmptyNetwork => write!(f, "network must contain at least one layer"),
+            NnError::ThresholdOverflow { threshold, bits } => write!(
+                f,
+                "converted threshold {threshold} does not fit a {bits}-bit register"
+            ),
+            NnError::IdxFormat(msg) => write!(f, "malformed IDX file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(NnError::EmptyDataset.to_string().contains("at least one"));
+        let e = NnError::DimensionMismatch { expected: 768, got: 784 };
+        assert!(e.to_string().contains("768"));
+        let e = NnError::ThresholdOverflow { threshold: 5000, bits: 12 };
+        assert!(e.to_string().contains("5000"));
+        let e = NnError::IdxFormat("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

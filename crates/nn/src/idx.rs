@@ -1,0 +1,248 @@
+//! IDX file support: load real MNIST when the files are available.
+//!
+//! The paper evaluates on MNIST (§4.4.2); this reproduction ships a
+//! synthetic digit generator because the dataset cannot be bundled. When
+//! the four standard IDX files *are* present (e.g. downloaded separately),
+//! [`load_mnist_dir`] swaps them in transparently: images are binarized at
+//! the conventional 0.5 threshold and corner-cropped 784 → 768 exactly as
+//! §4.4.2 prescribes, producing the same [`Dataset`] shape the rest of the
+//! pipeline consumes.
+//!
+//! The format is the classic LeCun IDX layout: a magic number (`0x00` ×2,
+//! type byte, dimension count), big-endian `u32` dimension sizes, then raw
+//! data. Only `u8` payloads (type `0x08`) are needed here.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::dataset::{corner_crop, Dataset, Split, CLASSES, RAW_PIXELS};
+use crate::error::NnError;
+
+/// Magic type byte for unsigned 8-bit IDX payloads.
+const IDX_U8: u8 = 0x08;
+
+/// Reads an IDX file of `u8` payload from `reader` (a `&mut` reference
+/// works too, since `Read` is implemented for it).
+///
+/// Returns the dimension sizes and the flat payload.
+///
+/// # Errors
+///
+/// [`NnError::IdxFormat`] for malformed headers or truncated payloads,
+/// wrapping I/O errors as their display text.
+pub fn read_idx<R: Read>(mut reader: R) -> Result<(Vec<usize>, Vec<u8>), NnError> {
+    let io_err = |e: io::Error| NnError::IdxFormat(e.to_string());
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic).map_err(io_err)?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(NnError::IdxFormat(format!(
+            "bad magic prefix {:02x}{:02x}",
+            magic[0], magic[1]
+        )));
+    }
+    if magic[2] != IDX_U8 {
+        return Err(NnError::IdxFormat(format!(
+            "unsupported payload type 0x{:02x} (only u8/0x08 is supported)",
+            magic[2]
+        )));
+    }
+    let rank = magic[3] as usize;
+    if rank == 0 || rank > 4 {
+        return Err(NnError::IdxFormat(format!("unsupported rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let mut b = [0u8; 4];
+        reader.read_exact(&mut b).map_err(io_err)?;
+        dims.push(u32::from_be_bytes(b) as usize);
+    }
+    let total: usize = dims.iter().product();
+    let mut payload = vec![0u8; total];
+    reader.read_exact(&mut payload).map_err(io_err)?;
+    Ok((dims, payload))
+}
+
+/// Writes a `u8` IDX file (used by the round-trip tests and for exporting
+/// the synthetic set in a standard format).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `payload.len()` does not equal the product of `dims`.
+pub fn write_idx<W: Write>(mut writer: W, dims: &[usize], payload: &[u8]) -> io::Result<()> {
+    let total: usize = dims.iter().product();
+    assert_eq!(payload.len(), total, "payload does not match dimensions");
+    assert!(
+        (1..=4).contains(&dims.len()),
+        "IDX rank must be 1..=4, got {}",
+        dims.len()
+    );
+    writer.write_all(&[0, 0, IDX_U8, dims.len() as u8])?;
+    for &d in dims {
+        writer.write_all(&(d as u32).to_be_bytes())?;
+    }
+    writer.write_all(payload)
+}
+
+/// Decodes one IDX image/label pair into a [`Split`]: binarize at 127.5,
+/// corner-crop to 768 pixels.
+fn split_from_idx(
+    image_dims: &[usize],
+    images: &[u8],
+    label_dims: &[usize],
+    labels: &[u8],
+) -> Result<Split, NnError> {
+    if image_dims.len() != 3 || image_dims[1] * image_dims[2] != RAW_PIXELS {
+        return Err(NnError::IdxFormat(format!(
+            "expected N×28×28 images, got dims {image_dims:?}"
+        )));
+    }
+    if label_dims.len() != 1 || label_dims[0] != image_dims[0] {
+        return Err(NnError::IdxFormat(format!(
+            "label count {label_dims:?} does not match image count {}",
+            image_dims[0]
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l as usize >= CLASSES) {
+        return Err(NnError::IdxFormat(format!("label {bad} out of 0..=9")));
+    }
+    let mut cropped = Vec::with_capacity(image_dims[0]);
+    for chunk in images.chunks_exact(RAW_PIXELS) {
+        let full: Vec<f32> = chunk
+            .iter()
+            .map(|&p| if f32::from(p) > 127.5 { 1.0 } else { 0.0 })
+            .collect();
+        cropped.push(corner_crop(&full));
+    }
+    Ok(Split::from_parts(cropped, labels.to_vec()))
+}
+
+/// The four standard MNIST file names looked up by [`load_mnist_dir`].
+pub const MNIST_FILES: [&str; 4] = [
+    "train-images-idx3-ubyte",
+    "train-labels-idx1-ubyte",
+    "t10k-images-idx3-ubyte",
+    "t10k-labels-idx1-ubyte",
+];
+
+/// Loads real MNIST from `dir` if all four IDX files are present.
+///
+/// Returns `Ok(None)` when any file is missing — callers fall back to the
+/// synthetic generator, keeping offline builds fully functional.
+///
+/// # Errors
+///
+/// [`NnError::IdxFormat`] when files exist but are malformed.
+pub fn load_mnist_dir(dir: impl AsRef<Path>) -> Result<Option<Dataset>, NnError> {
+    let dir = dir.as_ref();
+    let paths: Vec<_> = MNIST_FILES.iter().map(|f| dir.join(f)).collect();
+    if !paths.iter().all(|p| p.is_file()) {
+        return Ok(None);
+    }
+    let read = |path: &Path| -> Result<(Vec<usize>, Vec<u8>), NnError> {
+        let file = File::open(path).map_err(|e| NnError::IdxFormat(e.to_string()))?;
+        read_idx(file)
+    };
+    let (train_img_dims, train_imgs) = read(&paths[0])?;
+    let (train_lbl_dims, train_lbls) = read(&paths[1])?;
+    let (test_img_dims, test_imgs) = read(&paths[2])?;
+    let (test_lbl_dims, test_lbls) = read(&paths[3])?;
+    Ok(Some(Dataset {
+        train: split_from_idx(&train_img_dims, &train_imgs, &train_lbl_dims, &train_lbls)?,
+        test: split_from_idx(&test_img_dims, &test_imgs, &test_lbl_dims, &test_lbls)?,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_mnist(n: usize) -> (Vec<u8>, Vec<u8>) {
+        // Deterministic images: diagonal-ish stripes, label = i mod 10.
+        let mut images = Vec::with_capacity(n * RAW_PIXELS);
+        for i in 0..n {
+            for p in 0..RAW_PIXELS {
+                images.push(if (p + i) % 7 == 0 { 200 } else { 10 });
+            }
+        }
+        let labels: Vec<u8> = (0..n).map(|i| (i % 10) as u8).collect();
+        (images, labels)
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        let dims = [3usize, 28, 28];
+        let payload: Vec<u8> = (0..3 * RAW_PIXELS).map(|i| (i % 251) as u8).collect();
+        let mut buffer = Vec::new();
+        write_idx(&mut buffer, &dims, &payload).unwrap();
+        let (got_dims, got_payload) = read_idx(buffer.as_slice()).unwrap();
+        assert_eq!(got_dims, dims);
+        assert_eq!(got_payload, payload);
+    }
+
+    #[test]
+    fn bad_magic_and_type_are_rejected() {
+        assert!(matches!(
+            read_idx(&[1u8, 0, IDX_U8, 1][..]),
+            Err(NnError::IdxFormat(_))
+        ));
+        assert!(matches!(
+            read_idx(&[0u8, 0, 0x0D, 1][..]), // f32 payload
+            Err(NnError::IdxFormat(_))
+        ));
+        // Truncated payload.
+        let mut buffer = Vec::new();
+        write_idx(&mut buffer, &[4], &[1, 2, 3, 4]).unwrap();
+        buffer.truncate(buffer.len() - 2);
+        assert!(matches!(read_idx(buffer.as_slice()), Err(NnError::IdxFormat(_))));
+    }
+
+    #[test]
+    fn loads_a_directory_of_idx_files() {
+        let dir = std::env::temp_dir().join(format!("esam_idx_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (train_imgs, train_lbls) = fake_mnist(20);
+        let (test_imgs, test_lbls) = fake_mnist(10);
+        let write = |name: &str, dims: &[usize], data: &[u8]| {
+            let mut f = File::create(dir.join(name)).unwrap();
+            write_idx(&mut f, dims, data).unwrap();
+        };
+        write(MNIST_FILES[0], &[20, 28, 28], &train_imgs);
+        write(MNIST_FILES[1], &[20], &train_lbls);
+        write(MNIST_FILES[2], &[10, 28, 28], &test_imgs);
+        write(MNIST_FILES[3], &[10], &test_lbls);
+
+        let dataset = load_mnist_dir(&dir).unwrap().expect("all files present");
+        assert_eq!(dataset.train.len(), 20);
+        assert_eq!(dataset.test.len(), 10);
+        assert_eq!(dataset.train.image(0).len(), crate::dataset::CROPPED_PIXELS);
+        assert_eq!(dataset.train.label(3), 3);
+        // Binarization: every pixel is exactly 0.0 or 1.0.
+        assert!(dataset
+            .train
+            .image(0)
+            .iter()
+            .all(|&p| p == 0.0 || p == 1.0));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_files_fall_back_to_none() {
+        let dir = std::env::temp_dir().join("esam_idx_definitely_missing");
+        assert!(load_mnist_dir(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn mismatched_labels_are_rejected() {
+        let (imgs, _) = fake_mnist(4);
+        let result = split_from_idx(&[4, 28, 28], &imgs, &[3], &[0, 1, 2]);
+        assert!(matches!(result, Err(NnError::IdxFormat(_))));
+        let result = split_from_idx(&[4, 28, 28], &imgs, &[4], &[0, 1, 2, 77]);
+        assert!(matches!(result, Err(NnError::IdxFormat(_))));
+    }
+}

@@ -1,0 +1,61 @@
+//! Neural-network substrate for the ESAM reproduction: BNN training,
+//! synthetic digits, BNN→SNN conversion and stochastic STDP.
+//!
+//! The paper's system evaluation (§4.4.2) trains a 768:256:256:256:10
+//! Binary Neural Network offline, converts it to a Binary-SNN with
+//! per-neuron thresholds following Kim et al. [15], and runs it on the CIM
+//! hardware. This crate rebuilds that software stack from scratch:
+//!
+//! * [`dataset`] — a deterministic synthetic digit set standing in for
+//!   MNIST (which is unavailable offline), with the paper's exact 784→768
+//!   corner-crop preprocessing;
+//! * [`bnn`] + [`train`] — XNOR-free BNN (binary `{0,1}` activations, `±1`
+//!   weights, real biases) trained with a straight-through estimator;
+//! * [`convert`] — lossless mapping onto SRAM bits and integer thresholds,
+//!   bit-exact with the BNN by construction;
+//! * [`stdp`] — the stochastic 1-bit STDP rule (ref [16]) that the online
+//!   learning engine applies through the transposed port;
+//! * [`eval`] — accuracy and confusion-matrix utilities.
+//!
+//! # Examples
+//!
+//! Train a small BNN and convert it:
+//!
+//! ```
+//! use esam_nn::bnn::BnnNetwork;
+//! use esam_nn::convert::SnnModel;
+//! use esam_nn::dataset::{Dataset, DigitsConfig};
+//! use esam_nn::train::{TrainConfig, Trainer};
+//!
+//! let data = Dataset::generate(&DigitsConfig {
+//!     train_count: 300, test_count: 50, ..DigitsConfig::default()
+//! })?;
+//! let mut net = BnnNetwork::new(&[768, 32, 10], 42)?;
+//! Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::default() })
+//!     .train(&mut net, &data.train)?;
+//! let snn = SnnModel::from_bnn(&net)?;
+//! assert_eq!(snn.topology(), vec![768, 32, 10]);
+//! # Ok::<(), esam_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bnn;
+pub mod convert;
+pub mod dataset;
+pub mod error;
+pub mod eval;
+pub mod idx;
+pub mod matrix;
+pub mod stdp;
+pub mod train;
+
+pub use bnn::{BnnLayer, BnnNetwork, ForwardTrace};
+pub use convert::{SnnLayer, SnnModel, SnnTrace};
+pub use dataset::{corner_crop, Dataset, DigitsConfig, Split, CLASSES, CROPPED_PIXELS};
+pub use error::NnError;
+pub use idx::{load_mnist_dir, read_idx, write_idx, MNIST_FILES};
+pub use eval::{evaluate_bnn, evaluate_snn, ConfusionMatrix};
+pub use stdp::{StdpRule, TeacherSignal};
+pub use train::{TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,230 @@
+//! Stochastic STDP for 1-bit synapses (on-chip learning rule).
+//!
+//! The paper's online-learning evaluation (§4.4.1) measures the *memory
+//! access cost* of updating one post-synaptic neuron's weight column; the
+//! rule it references is the authors' stochastic STDP for 1-bit synapses
+//! [16]: when a learning condition arises at a post-synaptic neuron, each
+//! synapse is probabilistically potentiated (bit → 1) if its pre-synaptic
+//! neuron was active, or depressed (bit → 0) otherwise. Stochasticity keeps
+//! 1-bit weights from thrashing: only a random fraction of eligible synapses
+//! flips per event.
+//!
+//! A supervised teacher wrapper is included for the digit-adaptation
+//! experiments: potentiate toward a neuron that should have fired, depress
+//! one that fired spuriously.
+
+use esam_bits::BitVec;
+use rand::{Rng, RngExt};
+
+/// Direction of a column update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TeacherSignal {
+    /// The neuron should have fired but did not: strengthen active inputs.
+    ShouldFire,
+    /// The neuron fired but should not have: weaken active inputs.
+    ShouldNotFire,
+}
+
+/// Stochastic 1-bit STDP rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StdpRule {
+    p_potentiation: f64,
+    p_depression: f64,
+}
+
+impl StdpRule {
+    /// Creates a rule with the given flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn new(p_potentiation: f64, p_depression: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_potentiation) && (0.0..=1.0).contains(&p_depression),
+            "probabilities must be in [0, 1]"
+        );
+        Self {
+            p_potentiation,
+            p_depression,
+        }
+    }
+
+    /// Defaults from the stochastic-STDP literature: potentiate eagerly,
+    /// depress conservatively.
+    pub fn paper_default() -> Self {
+        Self::new(0.25, 0.10)
+    }
+
+    /// Potentiation probability.
+    pub fn p_potentiation(&self) -> f64 {
+        self.p_potentiation
+    }
+
+    /// Depression probability.
+    pub fn p_depression(&self) -> f64 {
+        self.p_depression
+    }
+
+    /// Computes the updated weight column for one post-synaptic neuron.
+    ///
+    /// `column` is the current 1-bit weight column (one bit per pre-synaptic
+    /// neuron), `pre_spikes` the input frame that triggered learning.
+    /// Returns the new column and the number of flipped bits. The caller is
+    /// responsible for the transposed read/write that realizes the update in
+    /// SRAM (`esam-core`'s learning engine counts those accesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column and spike-frame widths differ.
+    pub fn update_column<R: Rng + ?Sized>(
+        &self,
+        column: &BitVec,
+        pre_spikes: &BitVec,
+        signal: TeacherSignal,
+        rng: &mut R,
+    ) -> (BitVec, usize) {
+        assert_eq!(
+            column.len(),
+            pre_spikes.len(),
+            "weight column and spike frame must have the same width"
+        );
+        let mut updated = column.clone();
+        let mut flips = 0;
+        for i in 0..column.len() {
+            let pre_active = pre_spikes.get(i);
+            let bit = column.get(i);
+            let (target, probability) = match signal {
+                // Strengthen the synapses that could make the neuron fire:
+                // active inputs toward 1, inactive toward 0 (they pull −1).
+                TeacherSignal::ShouldFire => {
+                    if pre_active {
+                        (true, self.p_potentiation)
+                    } else {
+                        (false, self.p_depression)
+                    }
+                }
+                // Weaken the evidence that made it fire: active inputs
+                // toward 0; inactive inputs toward 1 (more −1 drive).
+                TeacherSignal::ShouldNotFire => {
+                    if pre_active {
+                        (false, self.p_potentiation)
+                    } else {
+                        (true, self.p_depression)
+                    }
+                }
+            };
+            if bit != target && rng.random_bool(probability) {
+                updated.set(i, target);
+                flips += 1;
+            }
+        }
+        (updated, flips)
+    }
+}
+
+impl Default for StdpRule {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn potentiation_moves_active_bits_toward_one() {
+        let rule = StdpRule::new(1.0, 0.0); // deterministic potentiation
+        let column = BitVec::new(8);
+        let pre = BitVec::from_indices(8, &[1, 3, 5]);
+        let (updated, flips) =
+            rule.update_column(&column, &pre, TeacherSignal::ShouldFire, &mut rng(1));
+        assert_eq!(updated.iter_ones().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(flips, 3);
+    }
+
+    #[test]
+    fn depression_moves_active_bits_toward_zero() {
+        let rule = StdpRule::new(1.0, 0.0);
+        let mut column = BitVec::new(8);
+        column.set_all();
+        let pre = BitVec::from_indices(8, &[0, 7]);
+        let (updated, flips) =
+            rule.update_column(&column, &pre, TeacherSignal::ShouldNotFire, &mut rng(2));
+        assert!(!updated.get(0) && !updated.get(7));
+        assert_eq!(updated.count_ones(), 6);
+        assert_eq!(flips, 2);
+    }
+
+    #[test]
+    fn zero_probability_changes_nothing() {
+        let rule = StdpRule::new(0.0, 0.0);
+        let column = BitVec::from_indices(16, &[2, 4]);
+        let pre = BitVec::from_indices(16, &[2, 3]);
+        let (updated, flips) =
+            rule.update_column(&column, &pre, TeacherSignal::ShouldFire, &mut rng(3));
+        assert_eq!(updated, column);
+        assert_eq!(flips, 0);
+    }
+
+    #[test]
+    fn stochasticity_flips_a_fraction() {
+        let rule = StdpRule::new(0.5, 0.0);
+        let column = BitVec::new(1000);
+        let mut pre = BitVec::new(1000);
+        pre.set_all();
+        let (updated, flips) =
+            rule.update_column(&column, &pre, TeacherSignal::ShouldFire, &mut rng(4));
+        assert_eq!(updated.count_ones(), flips);
+        assert!(
+            (300..700).contains(&flips),
+            "~half of 1000 eligible bits should flip, got {flips}"
+        );
+    }
+
+    #[test]
+    fn update_is_deterministic_per_seed() {
+        let rule = StdpRule::paper_default();
+        let column = BitVec::from_indices(64, &[1, 2, 3]);
+        let pre = BitVec::from_indices(64, &[3, 4, 5]);
+        let a = rule.update_column(&column, &pre, TeacherSignal::ShouldFire, &mut rng(9));
+        let b = rule.update_column(&column, &pre, TeacherSignal::ShouldFire, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn already_correct_bits_do_not_count_as_flips() {
+        let rule = StdpRule::new(1.0, 1.0);
+        // Bit 0 is already 1 with an active input (target 1); bits 1–3 are
+        // already 0 with inactive inputs (target 0): nothing changes.
+        let column = BitVec::from_indices(4, &[0]);
+        let pre = BitVec::from_indices(4, &[0]);
+        let (updated, flips) =
+            rule.update_column(&column, &pre, TeacherSignal::ShouldFire, &mut rng(5));
+        assert_eq!(updated, column);
+        assert_eq!(flips, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn width_mismatch_panics() {
+        StdpRule::paper_default().update_column(
+            &BitVec::new(4),
+            &BitVec::new(5),
+            TeacherSignal::ShouldFire,
+            &mut rng(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn bad_probability_panics() {
+        StdpRule::new(1.5, 0.0);
+    }
+}

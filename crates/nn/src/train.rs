@@ -1,0 +1,368 @@
+//! Straight-through-estimator training of the BNN.
+//!
+//! The forward pass uses binarized weights and hard step activations; the
+//! backward pass substitutes a triangular surrogate derivative for the step
+//! and flows gradients onto the *latent* real weights, which are clipped to
+//! `[−1, 1]` after every update (the standard BNN recipe). Softmax
+//! cross-entropy is applied to the real-valued output logits.
+//!
+//! The surrogate window scales with `√fan-in`: pre-activation magnitudes of
+//! a binary layer grow with the root of the number of active inputs, so a
+//! fixed window would starve wide layers of gradient.
+
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::bnn::{binarize, BnnNetwork};
+use crate::dataset::Split;
+use crate::error::NnError;
+use crate::matrix::Matrix;
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate for the latent weights.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Multiplicative learning-rate decay per epoch.
+    pub lr_decay: f32,
+    /// Scale of the surrogate-gradient window relative to `√fan-in`.
+    pub surrogate_scale: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 12,
+            batch_size: 16,
+            learning_rate: 0.15,
+            momentum: 0.9,
+            lr_decay: 0.9,
+            surrogate_scale: 0.5,
+            seed: 11,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy loss over the epoch.
+    pub loss: f32,
+    /// Training accuracy over the epoch (fraction).
+    pub accuracy: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Accuracy of the final epoch.
+    pub fn final_accuracy(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |e| e.accuracy)
+    }
+}
+
+/// STE trainer for [`BnnNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use esam_nn::dataset::{Dataset, DigitsConfig};
+/// use esam_nn::bnn::BnnNetwork;
+/// use esam_nn::train::{TrainConfig, Trainer};
+///
+/// let data = Dataset::generate(&DigitsConfig {
+///     train_count: 200, test_count: 50, ..DigitsConfig::default()
+/// })?;
+/// let mut net = BnnNetwork::new(&[768, 32, 10], 1)?;
+/// let report = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
+///     .train(&mut net, &data.train)?;
+/// assert_eq!(report.epochs.len(), 2);
+/// # Ok::<(), esam_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The hyper-parameters in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on `split`, mutating it in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyDataset`] for an empty split and
+    /// [`NnError::DimensionMismatch`] when images do not match the network's
+    /// input width.
+    pub fn train(&self, net: &mut BnnNetwork, split: &Split) -> Result<TrainReport, NnError> {
+        if split.is_empty() {
+            return Err(NnError::EmptyDataset);
+        }
+        if split.image(0).len() != net.input_width() {
+            return Err(NnError::DimensionMismatch {
+                expected: net.input_width(),
+                got: split.image(0).len(),
+            });
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let layer_count = net.layers().len();
+        let mut weight_velocity: Vec<Matrix> = net
+            .layers()
+            .iter()
+            .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+            .collect();
+        let mut bias_velocity: Vec<Vec<f32>> =
+            net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+        let surrogate_windows: Vec<f32> = net
+            .layers()
+            .iter()
+            .map(|l| (l.inputs() as f32).sqrt() * self.config.surrogate_scale)
+            .collect();
+
+        let mut order: Vec<usize> = (0..split.len()).collect();
+        let mut lr = self.config.learning_rate;
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut correct = 0usize;
+
+            for batch in order.chunks(self.config.batch_size) {
+                let mut weight_grads: Vec<Matrix> = net
+                    .layers()
+                    .iter()
+                    .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+                    .collect();
+                let mut bias_grads: Vec<Vec<f32>> =
+                    net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+
+                for &sample in batch {
+                    let x = split.image(sample);
+                    let label = split.label(sample) as usize;
+                    let trace = net.forward_trace(x)?;
+                    let probabilities = softmax(trace.logits());
+                    epoch_loss += -f64::from(probabilities[label].max(1e-12).ln());
+                    if trace.prediction() == label {
+                        correct += 1;
+                    }
+
+                    // Output-layer delta: softmax − one-hot.
+                    let mut delta: Vec<f32> = probabilities;
+                    delta[label] -= 1.0;
+
+                    // Backward through the stack.
+                    for l in (0..layer_count).rev() {
+                        let inputs = &trace.activations[l];
+                        // Accumulate gradients for layer l.
+                        for (o, &d_o) in delta.iter().enumerate() {
+                            if d_o == 0.0 {
+                                continue;
+                            }
+                            bias_grads[l][o] += d_o;
+                            let grad_row = weight_grads[l].row_mut(o);
+                            for (i, &x_i) in inputs.iter().enumerate() {
+                                if x_i != 0.0 {
+                                    grad_row[i] += d_o * x_i;
+                                }
+                            }
+                        }
+                        // Propagate to the previous layer (skip at input).
+                        if l > 0 {
+                            let layer = &net.layers()[l];
+                            let width = layer.inputs();
+                            let mut prev_delta = vec![0.0f32; width];
+                            for (o, &d_o) in delta.iter().enumerate() {
+                                if d_o == 0.0 {
+                                    continue;
+                                }
+                                let row = layer.latent().row(o);
+                                for (i, prev) in prev_delta.iter_mut().enumerate() {
+                                    *prev += d_o * binarize(row[i]);
+                                }
+                            }
+                            // Surrogate derivative of the step at layer l−1.
+                            let window = surrogate_windows[l - 1];
+                            for (i, prev) in prev_delta.iter_mut().enumerate() {
+                                let z = trace.pre_activations[l - 1][i];
+                                *prev *= triangular_surrogate(z, window);
+                            }
+                            delta = prev_delta;
+                        }
+                    }
+                }
+
+                // SGD with momentum on latent weights and biases.
+                let scale = lr / batch.len() as f32;
+                for l in 0..layer_count {
+                    let layer = &mut net.layers_mut()[l];
+                    let velocity = &mut weight_velocity[l];
+                    for o in 0..layer.outputs() {
+                        let grad_row = weight_grads[l].row(o).to_vec();
+                        let velocity_row = velocity.row_mut(o);
+                        let latent_row = layer.latent_mut().row_mut(o);
+                        for i in 0..latent_row.len() {
+                            velocity_row[i] =
+                                self.config.momentum * velocity_row[i] - scale * grad_row[i];
+                            latent_row[i] = (latent_row[i] + velocity_row[i]).clamp(-1.0, 1.0);
+                        }
+                    }
+                    for (o, bias) in layer.bias_mut().iter_mut().enumerate() {
+                        bias_velocity[l][o] =
+                            self.config.momentum * bias_velocity[l][o] - scale * bias_grads[l][o];
+                        *bias += bias_velocity[l][o];
+                    }
+                }
+            }
+
+            epochs.push(EpochStats {
+                loss: (epoch_loss / split.len() as f64) as f32,
+                accuracy: correct as f64 / split.len() as f64,
+            });
+            lr *= self.config.lr_decay;
+        }
+
+        Ok(TrainReport { epochs })
+    }
+}
+
+/// Numerically-stable softmax.
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Triangular surrogate for the step derivative: peak `1/window` at `z = 0`,
+/// zero outside `|z| ≥ window`.
+fn triangular_surrogate(z: f32, window: f32) -> f32 {
+    let t = 1.0 - (z / window).abs();
+    if t > 0.0 {
+        t / window
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DigitsConfig};
+
+    fn small_data(train: usize, test: usize) -> Dataset {
+        Dataset::generate(&DigitsConfig {
+            train_count: train,
+            test_count: test,
+            noise: 0.01,
+            ..DigitsConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge logits.
+        let p = softmax(&[1000.0, 999.0]);
+        assert!(p[0].is_finite() && p[0] > p[1]);
+    }
+
+    #[test]
+    fn surrogate_shape() {
+        assert!(triangular_surrogate(0.0, 4.0) > triangular_surrogate(2.0, 4.0));
+        assert_eq!(triangular_surrogate(5.0, 4.0), 0.0);
+        assert_eq!(triangular_surrogate(-5.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let data = small_data(400, 100);
+        let mut net = BnnNetwork::new(&[768, 48, 10], 3).unwrap();
+        let report = Trainer::new(TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &data.train)
+        .unwrap();
+        let first = &report.epochs[0];
+        let last = report.epochs.last().unwrap();
+        assert!(
+            last.loss < first.loss,
+            "loss should fall: {} → {}",
+            first.loss,
+            last.loss
+        );
+        assert!(
+            report.final_accuracy() > 0.5,
+            "train accuracy {} too low for an easy synthetic set",
+            report.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = small_data(100, 10);
+        let config = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let mut a = BnnNetwork::new(&[768, 16, 10], 5).unwrap();
+        let mut b = BnnNetwork::new(&[768, 16, 10], 5).unwrap();
+        let ra = Trainer::new(config).train(&mut a, &data.train).unwrap();
+        let rb = Trainer::new(config).train(&mut b, &data.train).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latent_weights_stay_clipped() {
+        let data = small_data(100, 10);
+        let mut net = BnnNetwork::new(&[768, 16, 10], 5).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 2,
+            learning_rate: 0.5,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &data.train)
+        .unwrap();
+        for layer in net.layers() {
+            assert!(layer.latent().as_slice().iter().all(|w| (-1.0..=1.0).contains(w)));
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let data = small_data(10, 10);
+        let mut net = BnnNetwork::new(&[100, 16, 10], 5).unwrap();
+        assert!(matches!(
+            Trainer::new(TrainConfig::default()).train(&mut net, &data.train),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+    }
+}

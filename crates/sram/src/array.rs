@@ -1,0 +1,379 @@
+//! Functional multiport SRAM array with access accounting.
+//!
+//! [`SramArray`] stores actual weight bits and mimics the port semantics of
+//! the hardware: row-parallel inference reads on up to four decoupled ports,
+//! and column-wise (transposed) Read/Write in `mux_ratio` cycles per column.
+//! Every operation updates [`AccessStats`], from which
+//! [`SramArray::consumed_energy`] reconstructs the energy spike-by-spike, the
+//! same methodology the paper uses (§4.1: "simulate the network on a
+//! spike-by-spike basis … to determine the timing, power and energy").
+
+use esam_bits::{BitMatrix, BitVec};
+
+
+use crate::config::ArrayConfig;
+use crate::energy::EnergyAnalysis;
+use crate::error::SramError;
+use crate::timing::TimingAnalysis;
+use esam_tech::units::Joules;
+
+/// Operation counters for energy reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Row activations on inference ports.
+    pub inference_reads: u64,
+    /// Total zero-bits returned by inference reads (each discharges an RBL).
+    pub inference_zero_bits: u64,
+    /// RW-port read cycles (transposed reads for multiport cells, row reads
+    /// for the 6T baseline).
+    pub rw_read_cycles: u64,
+    /// RW-port write cycles.
+    pub rw_write_cycles: u64,
+}
+
+impl AccessStats {
+    /// Sum of all port activities (any kind of cycle).
+    pub fn total_accesses(&self) -> u64 {
+        self.inference_reads + self.rw_read_cycles + self.rw_write_cycles
+    }
+}
+
+/// A functional `rows × cols` SRAM array of a given bitcell kind.
+///
+/// # Examples
+///
+/// ```
+/// use esam_bits::BitMatrix;
+/// use esam_sram::{ArrayConfig, BitcellKind, SramArray};
+///
+/// let cfg = ArrayConfig::paper_default(BitcellKind::multiport(4).unwrap());
+/// let mut array = SramArray::new(cfg);
+/// array.load_weights(&BitMatrix::from_fn(128, 128, |r, c| (r + c) % 2 == 0)).unwrap();
+/// let row = array.inference_read(0, 5).unwrap();
+/// assert_eq!(row.len(), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramArray {
+    config: ArrayConfig,
+    bits: BitMatrix,
+    stats: AccessStats,
+}
+
+impl SramArray {
+    /// Creates an array with all-zero content.
+    pub fn new(config: ArrayConfig) -> Self {
+        let bits = BitMatrix::new(config.rows(), config.cols());
+        Self {
+            config,
+            bits,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Immutable view of the stored bits.
+    pub fn bits(&self) -> &BitMatrix {
+        &self.bits
+    }
+
+    /// Access counters accumulated so far.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets the access counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Bulk-initializes the contents (boot-time weight load; not counted as
+    /// runtime accesses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::DimensionMismatch`] when the matrix shape does
+    /// not match the array.
+    pub fn load_weights(&mut self, weights: &BitMatrix) -> Result<(), SramError> {
+        if weights.rows() != self.config.rows() || weights.cols() != self.config.cols() {
+            return Err(SramError::DimensionMismatch {
+                expected: self.config.rows() * self.config.cols(),
+                got: weights.rows() * weights.cols(),
+            });
+        }
+        self.bits = weights.clone();
+        Ok(())
+    }
+
+    /// Reads one row through inference port `port` (0-based).
+    ///
+    /// For the 6T baseline only port 0 exists (its RW port). The returned
+    /// bits mirror the cell contents exactly (M7 inverts `QB`, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::PortOutOfRange`] or [`SramError::RowOutOfRange`].
+    pub fn inference_read(&mut self, port: usize, row: usize) -> Result<BitVec, SramError> {
+        let available = self.config.cell().inference_parallelism();
+        if port >= available {
+            return Err(SramError::PortOutOfRange { port, available });
+        }
+        if row >= self.config.rows() {
+            return Err(SramError::RowOutOfRange {
+                row,
+                rows: self.config.rows(),
+            });
+        }
+        let bits = self.bits.row(row);
+        self.stats.inference_reads += 1;
+        self.stats.inference_zero_bits += (self.config.cols() - bits.count_ones()) as u64;
+        Ok(bits)
+    }
+
+    /// Reads a full weight column through the transposed port.
+    ///
+    /// Costs `mux_ratio` RW-port cycles (4 in the paper: §4.4.1's `2 × 4`
+    /// counts 4 read + 4 write cycles per column update).
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotTransposable`] on the 6T baseline,
+    /// [`SramError::ColOutOfRange`] for bad addresses.
+    pub fn transposed_read(&mut self, col: usize) -> Result<BitVec, SramError> {
+        self.require_transposable()?;
+        if col >= self.config.cols() {
+            return Err(SramError::ColOutOfRange {
+                col,
+                cols: self.config.cols(),
+            });
+        }
+        self.stats.rw_read_cycles += self.config.mux_ratio() as u64;
+        Ok(self.bits.column(col))
+    }
+
+    /// Writes a full weight column through the transposed port
+    /// (`mux_ratio` NBL-assisted cycles).
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotTransposable`], [`SramError::ColOutOfRange`] or
+    /// [`SramError::DimensionMismatch`].
+    pub fn transposed_write(&mut self, col: usize, bits: &BitVec) -> Result<(), SramError> {
+        self.require_transposable()?;
+        if col >= self.config.cols() {
+            return Err(SramError::ColOutOfRange {
+                col,
+                cols: self.config.cols(),
+            });
+        }
+        if bits.len() != self.config.rows() {
+            return Err(SramError::DimensionMismatch {
+                expected: self.config.rows(),
+                got: bits.len(),
+            });
+        }
+        self.bits.set_column(col, bits);
+        self.stats.rw_write_cycles += self.config.mux_ratio() as u64;
+        Ok(())
+    }
+
+    /// Reads one row through the RW port — the 6T baseline's only way to
+    /// access weights for learning (one cycle per row, §4.4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::RowOutOfRange`]; also fails on multiport cells, whose RW
+    /// port is column-oriented.
+    pub fn rowwise_read(&mut self, row: usize) -> Result<BitVec, SramError> {
+        if self.config.cell().is_transposable() {
+            return Err(SramError::InvalidConfig(
+                "row-wise RW access applies to the standard-orientation 6T baseline".into(),
+            ));
+        }
+        if row >= self.config.rows() {
+            return Err(SramError::RowOutOfRange {
+                row,
+                rows: self.config.rows(),
+            });
+        }
+        self.stats.rw_read_cycles += 1;
+        Ok(self.bits.row(row))
+    }
+
+    /// Writes one row through the RW port (6T baseline learning path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`rowwise_read`](Self::rowwise_read), plus
+    /// [`SramError::DimensionMismatch`].
+    pub fn rowwise_write(&mut self, row: usize, bits: &BitVec) -> Result<(), SramError> {
+        if self.config.cell().is_transposable() {
+            return Err(SramError::InvalidConfig(
+                "row-wise RW access applies to the standard-orientation 6T baseline".into(),
+            ));
+        }
+        if row >= self.config.rows() {
+            return Err(SramError::RowOutOfRange {
+                row,
+                rows: self.config.rows(),
+            });
+        }
+        if bits.len() != self.config.cols() {
+            return Err(SramError::DimensionMismatch {
+                expected: self.config.cols(),
+                got: bits.len(),
+            });
+        }
+        self.bits.set_row(row, bits);
+        self.stats.rw_write_cycles += 1;
+        Ok(())
+    }
+
+    /// Timing analysis for this array's configuration.
+    pub fn timing(&self) -> TimingAnalysis {
+        TimingAnalysis::new(&self.config)
+    }
+
+    /// Energy analysis for this array's configuration.
+    pub fn energy(&self) -> EnergyAnalysis {
+        EnergyAnalysis::new(&self.config)
+    }
+
+    /// Dynamic energy implied by the accumulated [`AccessStats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates write-margin violations from the write-energy model.
+    pub fn consumed_energy(&self) -> Result<Joules, SramError> {
+        let energy = self.energy();
+        let write = if self.stats.rw_write_cycles > 0 {
+            energy.rw_write_cycle()? * self.stats.rw_write_cycles as f64
+        } else {
+            Joules::ZERO
+        };
+        Ok(energy.inference_read_fixed() * self.stats.inference_reads as f64
+            + energy.inference_read_per_zero() * self.stats.inference_zero_bits as f64
+            + energy.rw_read_cycle() * self.stats.rw_read_cycles as f64
+            + write)
+    }
+
+    fn require_transposable(&self) -> Result<(), SramError> {
+        if self.config.cell().is_transposable() {
+            Ok(())
+        } else {
+            Err(SramError::NotTransposable)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::BitcellKind;
+
+    fn array(cell: BitcellKind) -> SramArray {
+        SramArray::new(ArrayConfig::paper_default(cell))
+    }
+
+    fn checkerboard() -> BitMatrix {
+        BitMatrix::from_fn(128, 128, |r, c| (r + c) % 2 == 0)
+    }
+
+    #[test]
+    fn inference_read_mirrors_contents() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&checkerboard()).unwrap();
+        for port in 0..4 {
+            let row = a.inference_read(port, 7).unwrap();
+            assert_eq!(row.to_bools(), checkerboard().row(7).to_bools());
+        }
+        assert_eq!(a.stats().inference_reads, 4);
+        assert_eq!(a.stats().inference_zero_bits, 4 * 64);
+    }
+
+    #[test]
+    fn port_bounds_enforced() {
+        let mut a = array(BitcellKind::multiport(2).unwrap());
+        assert!(matches!(
+            a.inference_read(2, 0),
+            Err(SramError::PortOutOfRange { port: 2, available: 2 })
+        ));
+        let mut a6 = array(BitcellKind::Std6T);
+        assert!(a6.inference_read(0, 0).is_ok(), "6T reads via its RW port");
+        assert!(a6.inference_read(1, 0).is_err());
+    }
+
+    #[test]
+    fn transposed_roundtrip_counts_mux_cycles() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        let column = BitVec::from_indices(128, &[0, 3, 127]);
+        a.transposed_write(9, &column).unwrap();
+        let read = a.transposed_read(9).unwrap();
+        assert_eq!(read, column);
+        // 4 write cycles + 4 read cycles (4:1 mux), §4.4.1.
+        assert_eq!(a.stats().rw_write_cycles, 4);
+        assert_eq!(a.stats().rw_read_cycles, 4);
+    }
+
+    #[test]
+    fn transposed_access_rejected_on_6t() {
+        let mut a = array(BitcellKind::Std6T);
+        assert!(matches!(a.transposed_read(0), Err(SramError::NotTransposable)));
+        assert!(matches!(
+            a.transposed_write(0, &BitVec::new(128)),
+            Err(SramError::NotTransposable)
+        ));
+    }
+
+    #[test]
+    fn rowwise_roundtrip_on_6t() {
+        let mut a = array(BitcellKind::Std6T);
+        let row = BitVec::from_indices(128, &[1, 2, 3]);
+        a.rowwise_write(42, &row).unwrap();
+        assert_eq!(a.rowwise_read(42).unwrap(), row);
+        assert_eq!(a.stats().rw_read_cycles, 1);
+        assert_eq!(a.stats().rw_write_cycles, 1);
+    }
+
+    #[test]
+    fn rowwise_rejected_on_multiport() {
+        let mut a = array(BitcellKind::multiport(1).unwrap());
+        assert!(a.rowwise_read(0).is_err());
+        assert!(a.rowwise_write(0, &BitVec::new(128)).is_err());
+    }
+
+    #[test]
+    fn consumed_energy_tracks_stats() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&checkerboard()).unwrap();
+        assert!(a.consumed_energy().unwrap().is_zero());
+        a.inference_read(0, 0).unwrap();
+        let e1 = a.consumed_energy().unwrap();
+        assert!(e1.fj() > 0.0);
+        a.transposed_write(0, &BitVec::new(128)).unwrap();
+        let e2 = a.consumed_energy().unwrap();
+        assert!(e2 > e1);
+        a.reset_stats();
+        assert!(a.consumed_energy().unwrap().is_zero());
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        assert!(matches!(
+            a.transposed_write(0, &BitVec::new(64)),
+            Err(SramError::DimensionMismatch { expected: 128, got: 64 })
+        ));
+        assert!(a.load_weights(&BitMatrix::new(64, 128)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_addresses() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        assert!(matches!(a.inference_read(0, 128), Err(SramError::RowOutOfRange { .. })));
+        assert!(matches!(a.transposed_read(128), Err(SramError::ColOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,269 @@
+//! The transposable multiport SRAM bitcell family (§3.2).
+//!
+//! ESAM's synapse cell keeps the classic 6T latch (M1–M6) but rotates it: the
+//! Read/Write wordline WL runs *vertically* and the BL/BLB pair *horizontally*,
+//! giving column-wise (transposed) Read/Write access for online learning. On
+//! top of that, a shared buffer transistor M7 mirrors the cell content onto an
+//! internal node `Qr`, and up to four access transistors (M8–M11) connect `Qr`
+//! to decoupled read bitlines RBL0–RBL3, selected by row-wise read wordlines
+//! RWL0–RWL3. Because M7 connects to the latch only through its gate, the
+//! added ports barely disturb cell stability and the read rail can be scaled
+//! below VDD (§3.2).
+//!
+//! The plain 6T cell (named `1RW` in the paper) is kept in its *standard*
+//! orientation — it has no decoupled ports and no transposed access; it is the
+//! baseline of every figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_sram::cell::BitcellKind;
+//!
+//! let cell = BitcellKind::multiport(4).unwrap();
+//! assert_eq!(cell.name(), "1RW+4R");
+//! assert_eq!(cell.inference_parallelism(), 4);
+//! assert!(cell.is_transposable());
+//! // §4.2: the 4-port cell is 2.625× the 6T area.
+//! assert!((cell.area_multiplier() - 2.625).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+
+use esam_tech::calibration::paper;
+use esam_tech::units::{AreaUm2, MicroMeters};
+
+use crate::error::SramError;
+
+/// Maximum number of decoupled read ports that fit the cell pitch (§4.2:
+/// "only 4 Bitlines could match the pitch of the 4-port cell").
+pub const MAX_READ_PORTS: u8 = 4;
+
+/// Physical orientation of the 6T core inside the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Conventional SRAM: WL horizontal (row-select), BL/BLB vertical.
+    /// Used by the plain 6T baseline.
+    Standard,
+    /// ESAM multiport cell: WL vertical (column-select), BL/BLB horizontal,
+    /// enabling transposed Read/Write for online learning (Fig. 2, green).
+    Transposed,
+}
+
+/// A member of the ESAM bitcell family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitcellKind {
+    /// The standard 6T cell — one Read/Write port, no decoupled read ports,
+    /// standard orientation ("1RW" throughout the paper).
+    Std6T,
+    /// Transposed 6T core plus `read_ports` decoupled single-ended read
+    /// ports ("1RW+pR"). `read_ports` is guaranteed to be in `1..=4`.
+    MultiPort {
+        /// Number of decoupled read ports (1..=4).
+        read_ports: u8,
+    },
+}
+
+impl BitcellKind {
+    /// All five cell options evaluated by the paper, in Fig. 6/8 order.
+    pub const ALL: [BitcellKind; 5] = [
+        BitcellKind::Std6T,
+        BitcellKind::MultiPort { read_ports: 1 },
+        BitcellKind::MultiPort { read_ports: 2 },
+        BitcellKind::MultiPort { read_ports: 3 },
+        BitcellKind::MultiPort { read_ports: 4 },
+    ];
+
+    /// Creates a multiport cell with `read_ports` decoupled read ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::TooManyPorts`] when `read_ports` is zero or
+    /// exceeds [`MAX_READ_PORTS`] — §4.2 shows a fifth port would add 87.5 %
+    /// of the 6T area and no longer match the bitline pitch.
+    pub fn multiport(read_ports: u8) -> Result<Self, SramError> {
+        if read_ports == 0 || read_ports > MAX_READ_PORTS {
+            return Err(SramError::TooManyPorts { requested: read_ports });
+        }
+        Ok(BitcellKind::MultiPort { read_ports })
+    }
+
+    /// Number of decoupled read ports (0 for the 6T baseline).
+    pub fn read_ports(self) -> usize {
+        match self {
+            BitcellKind::Std6T => 0,
+            BitcellKind::MultiPort { read_ports } => read_ports as usize,
+        }
+    }
+
+    /// How many rows can be read simultaneously for inference.
+    ///
+    /// The 6T baseline still serves one spike per cycle through its RW port;
+    /// multiport cells serve one per decoupled read port.
+    pub fn inference_parallelism(self) -> usize {
+        match self {
+            BitcellKind::Std6T => 1,
+            BitcellKind::MultiPort { read_ports } => read_ports as usize,
+        }
+    }
+
+    /// Whether the cell offers column-wise (transposed) Read/Write access.
+    pub fn is_transposable(self) -> bool {
+        matches!(self, BitcellKind::MultiPort { .. })
+    }
+
+    /// Orientation of the 6T core (see [`Orientation`]).
+    pub fn orientation(self) -> Orientation {
+        match self {
+            BitcellKind::Std6T => Orientation::Standard,
+            BitcellKind::MultiPort { .. } => Orientation::Transposed,
+        }
+    }
+
+    /// Transistors in the cell: the 6T latch, plus the shared mirror device
+    /// M7 and one access transistor per decoupled port (M8–M11).
+    pub fn transistor_count(self) -> usize {
+        match self {
+            BitcellKind::Std6T => 6,
+            BitcellKind::MultiPort { read_ports } => 6 + 1 + read_ports as usize,
+        }
+    }
+
+    /// Layout area relative to the 6T cell (§4.2: 1×, 1.5×, 1.875×, 2.25×,
+    /// 2.625×).
+    pub fn area_multiplier(self) -> f64 {
+        paper::CELL_AREA_MULTIPLIERS[self.read_ports_index()]
+    }
+
+    /// Absolute cell area, anchored to the published 6T area of
+    /// 0.01512 µm² [20].
+    pub fn area(self) -> AreaUm2 {
+        AreaUm2::new(paper::CELL_AREA_6T_UM2 * self.area_multiplier())
+    }
+
+    /// Cell width (horizontal pitch). The added vertical bitlines widen the
+    /// cell while its height stays fixed, so width carries the whole area
+    /// multiplier.
+    pub fn width(self) -> MicroMeters {
+        Self::base_width() * self.area_multiplier()
+    }
+
+    /// Cell height (vertical pitch) — identical for all family members.
+    pub fn height(self) -> MicroMeters {
+        Self::base_height()
+    }
+
+    /// Width of the hypothetical 6T cell (2:1 aspect ratio assumed, typical
+    /// for high-density FinFET SRAM).
+    fn base_width() -> MicroMeters {
+        MicroMeters::new((paper::CELL_AREA_6T_UM2 * 2.0).sqrt())
+    }
+
+    fn base_height() -> MicroMeters {
+        MicroMeters::new((paper::CELL_AREA_6T_UM2 / 2.0).sqrt())
+    }
+
+    /// Short display name matching the paper's figures ("1RW", "1RW+3R", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            BitcellKind::Std6T => "1RW",
+            BitcellKind::MultiPort { read_ports: 1 } => "1RW+1R",
+            BitcellKind::MultiPort { read_ports: 2 } => "1RW+2R",
+            BitcellKind::MultiPort { read_ports: 3 } => "1RW+3R",
+            BitcellKind::MultiPort { read_ports: 4 } => "1RW+4R",
+            BitcellKind::MultiPort { read_ports } => {
+                unreachable!("invalid port count {read_ports} escaped construction")
+            }
+        }
+    }
+
+    /// Index into the paper's five-entry per-cell tables (0 = 1RW … 4 = +4R).
+    pub fn read_ports_index(self) -> usize {
+        self.read_ports()
+    }
+
+    /// Area a fifth read port would cost, relative to the 6T cell — the
+    /// reason the family stops at four ports (§4.2).
+    pub fn fifth_port_area_multiplier() -> f64 {
+        paper::CELL_AREA_MULTIPLIERS[4] + paper::FIFTH_PORT_EXTRA_AREA_FRACTION
+    }
+}
+
+impl fmt::Display for BitcellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_matches_paper_areas() {
+        let expected = [1.0, 1.5, 1.875, 2.25, 2.625];
+        for (cell, &mult) in BitcellKind::ALL.iter().zip(&expected) {
+            assert!((cell.area_multiplier() - mult).abs() < 1e-12);
+            assert!((cell.area().value() - 0.01512 * mult).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn width_carries_area_height_fixed() {
+        let base = BitcellKind::Std6T;
+        for cell in BitcellKind::ALL {
+            assert!((cell.height().um() - base.height().um()).abs() < 1e-12);
+            let area = cell.width() * cell.height();
+            assert!((area.value() - cell.area().value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn port_accessors() {
+        assert_eq!(BitcellKind::Std6T.read_ports(), 0);
+        assert_eq!(BitcellKind::Std6T.inference_parallelism(), 1);
+        assert!(!BitcellKind::Std6T.is_transposable());
+        let four = BitcellKind::multiport(4).unwrap();
+        assert_eq!(four.read_ports(), 4);
+        assert_eq!(four.inference_parallelism(), 4);
+        assert!(four.is_transposable());
+    }
+
+    #[test]
+    fn transistor_inventory() {
+        assert_eq!(BitcellKind::Std6T.transistor_count(), 6);
+        assert_eq!(BitcellKind::multiport(1).unwrap().transistor_count(), 8);
+        assert_eq!(BitcellKind::multiport(4).unwrap().transistor_count(), 11);
+    }
+
+    #[test]
+    fn five_ports_are_rejected() {
+        assert!(matches!(
+            BitcellKind::multiport(5),
+            Err(SramError::TooManyPorts { requested: 5 })
+        ));
+        assert!(matches!(
+            BitcellKind::multiport(0),
+            Err(SramError::TooManyPorts { requested: 0 })
+        ));
+        // §4.2: a fifth port would land at 3.5× the 6T area.
+        assert!((BitcellKind::fifth_port_area_multiplier() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orientation_split() {
+        assert_eq!(BitcellKind::Std6T.orientation(), Orientation::Standard);
+        for p in 1..=4 {
+            assert_eq!(
+                BitcellKind::multiport(p).unwrap().orientation(),
+                Orientation::Transposed
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = BitcellKind::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["1RW", "1RW+1R", "1RW+2R", "1RW+3R", "1RW+4R"]);
+        assert_eq!(BitcellKind::Std6T.to_string(), "1RW");
+    }
+}

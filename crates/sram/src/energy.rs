@@ -1,0 +1,394 @@
+//! Per-operation energy analysis of the SRAM array.
+//!
+//! Follows the paper's accounting (§4.2): *read energy* is the energy of a
+//! full clock cycle including bitline precharge; *write energy* is the energy
+//! consumed during the write time, dominated by the full-swing BL/BLB
+//! transition deepened by the NBL assist.
+//!
+//! All energies derive from switched capacitance (`E = C·V·ΔV`), the NBL
+//! charge-pump model, the inverter-SA crossover current and the
+//! decoder/flip constants of [`calibration::fitted`](esam_tech::calibration::fitted).
+//! Three mechanisms produce the Fig. 7 energy shape:
+//!
+//! * read-bitline restore scales with `V_prech²` (big savings at 500 mV);
+//! * the inverter SA is supplied from the precharge rail (`∝ V_prech²`);
+//! * its crossover current grows as the sensing margin shrinks and flows for
+//!   the whole (precharge-stretched) sensing window — which is what makes
+//!   400 mV *counter-productive* for the 3–4-port cells whose pitch-shared
+//!   precharge devices are weakest.
+
+use esam_tech::calibration::fitted;
+use esam_tech::finfet::{FinFet, Polarity, VtFlavor};
+use esam_tech::units::{dynamic_energy, Joules, Watts};
+
+use crate::cell::BitcellKind;
+use crate::config::ArrayConfig;
+use crate::error::SramError;
+use crate::lines::LineKind;
+use crate::sense_amp::SenseAmpKind;
+use crate::timing::TimingAnalysis;
+
+/// Per-operation energy analysis for one array configuration.
+#[derive(Debug, Clone)]
+pub struct EnergyAnalysis {
+    config: ArrayConfig,
+}
+
+impl EnergyAnalysis {
+    /// Builds the analysis for a validated configuration.
+    pub fn new(config: &ArrayConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+
+    // ---- Inference path ----------------------------------------------------
+
+    /// Fixed energy of one inference row activation on one port: wordline
+    /// switching, sense-amplifier evaluation + crossover on every column,
+    /// and decode.
+    pub fn inference_read_fixed(&self) -> Joules {
+        let geometry = self.config.geometry();
+        let cols = self.config.cols() as f64;
+        let vdd = self.config.vdd();
+        match self.config.cell() {
+            BitcellKind::Std6T => {
+                let wl = geometry.line(LineKind::WriteWordline);
+                let swing = SenseAmpKind::Differential.required_swing(vdd);
+                let bl = geometry.line(LineKind::WriteBitline);
+                dynamic_energy(wl.total_capacitance(), vdd, vdd)
+                    // Every column pair develops the differential swing and
+                    // draws DC cell current while the WL pulse is open.
+                    + (dynamic_energy(bl.total_capacitance(), vdd, swing)
+                        + self.rw_read_dc_per_pair())
+                        * cols
+                    + SenseAmpKind::Differential.energy(vdd) * cols
+                    + Joules::new(fitted::DECODE_ENERGY_PER_ACCESS)
+            }
+            BitcellKind::MultiPort { .. } => {
+                let rwl = geometry.line(LineKind::InferenceWordline);
+                let rail = self.config.vprech();
+                let sa = SenseAmpKind::CascadedInverter;
+                let window = TimingAnalysis::new(&self.config).inference_sense_window();
+                let crossover = sa.crossover_power(rail) * window;
+                dynamic_energy(rwl.total_capacitance(), vdd, vdd)
+                    + (sa.energy(rail) + crossover) * cols
+                    + Joules::new(fitted::DECODE_ENERGY_PER_ACCESS)
+            }
+        }
+    }
+
+    /// Energy of restoring one discharged read bitline.
+    ///
+    /// Single-ended RBLs fall to the ratioed trip point (half the rail) when
+    /// the stored bit is 0 — the M7/M8 stack mirrors `QB` — and are restored
+    /// from the precharge rail: `E = C · V_prech · (V_prech/2)`. 1-bits cost
+    /// nothing. The 6T baseline develops only the limited differential
+    /// swing, which is already counted in
+    /// [`inference_read_fixed`](Self::inference_read_fixed).
+    pub fn inference_read_per_zero(&self) -> Joules {
+        match self.config.cell() {
+            BitcellKind::Std6T => Joules::ZERO,
+            BitcellKind::MultiPort { .. } => {
+                let rbl = self.config.geometry().line(LineKind::InferenceBitline);
+                let rail = self.config.vprech();
+                dynamic_energy(
+                    rbl.total_capacitance(),
+                    rail,
+                    rail * fitted::RBL_RESTORE_SWING_FRACTION,
+                )
+            }
+        }
+    }
+
+    /// Total energy of one inference row read that found `zeros` zero-bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeros` exceeds the column count.
+    pub fn inference_read(&self, zeros: usize) -> Joules {
+        assert!(
+            zeros <= self.config.cols(),
+            "cannot discharge {zeros} bitlines in a {}-column array",
+            self.config.cols()
+        );
+        self.inference_read_fixed() + self.inference_read_per_zero() * zeros as f64
+    }
+
+    /// DC energy one accessed cell burns into its BL/BLB pair during the
+    /// wordline pulse of a differential read: `I_cell · V_DD · t_pulse`.
+    /// The limited-swing clamp does not stop the cell current, so every
+    /// read on the RW port pays this per pair; the decoupled single-ended
+    /// ports do not (their RBL stops drawing once discharged).
+    fn rw_read_dc_per_pair(&self) -> Joules {
+        let current = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1)
+            .on_current(self.config.vdd())
+            * fitted::RW_READ_STACK_FACTOR
+            * self.config.variation().worst_case_current_factor();
+        self.config.vdd() * current * esam_tech::units::Seconds::new(fitted::RW_WL_PULSE_WIDTH)
+    }
+
+    // ---- Read/Write (transposed) port ---------------------------------------
+
+    /// Energy of one read cycle on the RW port.
+    ///
+    /// For multiport cells this is a transposed read: the column-select WL
+    /// opens every cell of the column, all `rows` BL pairs develop swing and
+    /// `rows / mux` differential SAs evaluate. For the 6T baseline it is a
+    /// plain row read with all `cols` SAs evaluating.
+    pub fn rw_read_cycle(&self) -> Joules {
+        let geometry = self.config.geometry();
+        let vdd = self.config.vdd();
+        let wl = geometry.line(LineKind::WriteWordline);
+        let bl = geometry.line(LineKind::WriteBitline);
+        let swing = SenseAmpKind::Differential.required_swing(vdd);
+        let (pairs, sensed) = self.rw_pairs_and_sensed();
+        dynamic_energy(wl.total_capacitance(), vdd, vdd)
+            + (dynamic_energy(bl.total_capacitance(), vdd, swing) + self.rw_read_dc_per_pair())
+                * pairs as f64
+            + SenseAmpKind::Differential.energy(vdd) * sensed as f64
+            + Joules::new(fitted::DECODE_ENERGY_PER_ACCESS)
+    }
+
+    /// Energy of one write cycle on the RW port (NBL-assisted).
+    ///
+    /// Multiport: `rows / mux` pairs are driven full-swing below ground
+    /// while the remaining pairs of the selected column are *half-selected*
+    /// — the open column WL lets those cells drive a substantial swing onto
+    /// their floating bitlines. 6T baseline: all `cols` pairs are driven,
+    /// none half-selected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write-margin violation for unwritable configurations.
+    pub fn rw_write_cycle(&self) -> Result<Joules, SramError> {
+        let geometry = self.config.geometry();
+        let vdd = self.config.vdd();
+        let wl = geometry.line(LineKind::WriteWordline);
+        let (pairs, driven) = self.rw_pairs_and_sensed();
+        let half_selected = pairs - driven;
+
+        let bl = geometry.line(LineKind::WriteBitline);
+        let c_bl = bl.total_capacitance();
+        let per_half_selected =
+            dynamic_energy(c_bl, vdd, vdd * fitted::HALF_SELECT_SWING_FRACTION);
+
+        Ok(dynamic_energy(wl.total_capacitance(), vdd, vdd)
+            + self.driven_pair_energy()? * driven as f64
+            + per_half_selected * half_selected as f64
+            + Joules::new(fitted::CELL_FLIP_ENERGY) * driven as f64
+            + Joules::new(fitted::DECODE_ENERGY_PER_ACCESS))
+    }
+
+    /// Energy of driving one BL/BLB pair full-swing with the NBL excursion:
+    /// `C·(V_DD² + PUMP·(2·V_DD·|V_WD| + V_WD²))`.
+    fn driven_pair_energy(&self) -> Result<Joules, SramError> {
+        let assist = self.config.write_assist()?;
+        let bl = self.config.geometry().line(LineKind::WriteBitline);
+        let vdd = self.config.vdd();
+        let vwd = assist.abs();
+        Ok(Joules::new(
+            bl.total_capacitance().value()
+                * (vdd.v() * vdd.v()
+                    + fitted::NBL_PUMP_FACTOR * (2.0 * vdd.v() * vwd.v() + vwd.v() * vwd.v())),
+        ))
+    }
+
+    /// `(BL pairs that develop swing, pairs actually sensed/driven)` for one
+    /// RW-port cycle.
+    fn rw_pairs_and_sensed(&self) -> (usize, usize) {
+        match self.config.cell() {
+            BitcellKind::Std6T => (self.config.cols(), self.config.cols()),
+            BitcellKind::MultiPort { .. } => (
+                self.config.rows(),
+                self.config.rows() / self.config.mux_ratio(),
+            ),
+        }
+    }
+
+    /// Cells sharing one RW wordline (the divisor for per-cell WL energy).
+    fn cells_on_rw_wordline(&self) -> usize {
+        match self.config.cell() {
+            BitcellKind::Std6T => self.config.cols(),
+            BitcellKind::MultiPort { .. } => self.config.rows(),
+        }
+    }
+
+    // ---- Per-cell characterization (Fig. 6) ---------------------------------
+
+    /// Energy of writing a single cell through the RW port — the Fig. 6
+    /// "Write energy" characterization ("Writing to the cell … using the
+    /// Transposed port"): one BL/BLB pair full-swing with the NBL excursion,
+    /// plus this cell's share of the wordline, plus the latch flip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write-margin violation for unwritable configurations.
+    pub fn rw_write_per_cell(&self) -> Result<Joules, SramError> {
+        let geometry = self.config.geometry();
+        let vdd = self.config.vdd();
+        let wl = geometry.line(LineKind::WriteWordline);
+        let wl_share =
+            dynamic_energy(wl.total_capacitance(), vdd, vdd) / self.cells_on_rw_wordline() as f64;
+        Ok(self.driven_pair_energy()? + wl_share + Joules::new(fitted::CELL_FLIP_ENERGY))
+    }
+
+    /// Energy of reading a single cell through the RW port — the Fig. 6
+    /// "Read energy" characterization: the differential swing on one BL/BLB
+    /// pair, one sense-amp evaluation and the wordline share, accounted over
+    /// a full clock cycle including precharge restore (§4.2).
+    pub fn rw_read_per_cell(&self) -> Joules {
+        let geometry = self.config.geometry();
+        let vdd = self.config.vdd();
+        let bl = geometry.line(LineKind::WriteBitline);
+        let wl = geometry.line(LineKind::WriteWordline);
+        let swing = SenseAmpKind::Differential.required_swing(vdd);
+        let wl_share =
+            dynamic_energy(wl.total_capacitance(), vdd, vdd) / self.cells_on_rw_wordline() as f64;
+        dynamic_energy(bl.total_capacitance(), vdd, swing)
+            + self.rw_read_dc_per_pair()
+            + SenseAmpKind::Differential.energy(vdd)
+            + wl_share
+    }
+
+    // ---- Static power --------------------------------------------------------
+
+    /// Leakage power of the cell array plus periphery.
+    pub fn leakage_power(&self) -> Watts {
+        let device = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1);
+        let per_transistor = device.leakage_power(self.config.vdd());
+        let transistors = (self.config.rows() * self.config.cols()) as f64
+            * self.config.cell().transistor_count() as f64
+            * fitted::BITCELL_FINS_PER_TRANSISTOR;
+        per_transistor * transistors * (1.0 + fitted::PERIPHERY_LEAK_FRACTION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esam_tech::units::Volts;
+
+    fn energy(cell: BitcellKind) -> EnergyAnalysis {
+        EnergyAnalysis::new(&ArrayConfig::paper_default(cell))
+    }
+
+    fn at_vprech(p: u8, mv: f64) -> EnergyAnalysis {
+        let cell = BitcellKind::multiport(p).unwrap();
+        let cfg = ArrayConfig::builder(128, 128, cell)
+            .vprech(Volts::from_mv(mv))
+            .build()
+            .unwrap();
+        EnergyAnalysis::new(&cfg)
+    }
+
+    #[test]
+    fn inference_read_energy_is_femto_to_pico_scale() {
+        for cell in BitcellKind::ALL {
+            let e = energy(cell).inference_read(64);
+            assert!(
+                e.fj() > 10.0 && e.pj() < 5.0,
+                "{cell}: inference read {e} out of plausible range"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_cost_energy_on_decoupled_ports() {
+        let e = energy(BitcellKind::multiport(4).unwrap());
+        assert!(e.inference_read_per_zero().fj() > 0.0);
+        assert!(e.inference_read(128) > e.inference_read(0));
+        // 6T differential reads burn the same swing regardless of data.
+        let e6 = energy(BitcellKind::Std6T);
+        assert!(e6.inference_read_per_zero().is_zero());
+        assert_eq!(e6.inference_read(0), e6.inference_read(128));
+    }
+
+    #[test]
+    fn vprech_500_saves_heavily_over_700_fig7() {
+        use esam_tech::calibration::paper;
+        for p in 1..=4u8 {
+            let e700 = at_vprech(p, 700.0).inference_read(64);
+            let e500 = at_vprech(p, 500.0).inference_read(64);
+            let saving = 1.0 - e500 / e700;
+            assert!(
+                saving >= paper::VPRECH_500_ENERGY_SAVING_MIN - 0.02,
+                "p={p}: saving {saving:.3} below the ~43 % the paper reports"
+            );
+        }
+    }
+
+    #[test]
+    fn vprech_400_helps_low_port_hurts_high_port_fig7() {
+        // Fig. 7: 400 mV saves up to ~10 % more for 1–2-port cells but
+        // *increases* energy for 3–4-port cells (slower pitch-shared
+        // precharge stretches the crossover window).
+        let saving = |p: u8| {
+            let e500 = at_vprech(p, 500.0).inference_read(64);
+            let e400 = at_vprech(p, 400.0).inference_read(64);
+            1.0 - e400 / e500
+        };
+        assert!(saving(1) > 0.0, "1-port must still save at 400 mV");
+        assert!(saving(1) < 0.15, "1-port saving is modest (≤ ~10 %)");
+        assert!(saving(4) < 0.0, "4-port energy must increase at 400 mV");
+        assert!(saving(1) > saving(2), "savings shrink with port count");
+        assert!(saving(2) > saving(3));
+        assert!(saving(3) > saving(4));
+    }
+
+    #[test]
+    fn per_cell_write_energy_grows_with_ports_fig6_shape() {
+        let mut prev = Joules::ZERO;
+        for cell in BitcellKind::ALL {
+            let e = energy(cell).rw_write_per_cell().unwrap();
+            assert!(e > prev, "{cell}: per-cell write energy must grow with ports");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn per_cell_read_energy_grows_with_ports_fig6_shape() {
+        let mut prev = Joules::ZERO;
+        for cell in BitcellKind::ALL {
+            let e = energy(cell).rw_read_per_cell();
+            assert!(e > prev, "{cell}: per-cell read energy must grow with ports");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn learning_cycle_energies_match_441_anchors() {
+        use esam_tech::calibration::paper;
+        // 6T row-wise full-array read+write ≈ 157 pJ.
+        let e6 = energy(BitcellKind::Std6T);
+        let rowwise = (e6.rw_read_cycle() + e6.rw_write_cycle().unwrap()) * 128.0;
+        let anchor = paper::LEARN_ROWWISE_PJ;
+        assert!(
+            (rowwise.pj() - anchor).abs() / anchor < 0.35,
+            "row-wise learning energy {rowwise} vs paper {anchor} pJ"
+        );
+        // 4R transposed column read+write ≈ 8.04 pJ.
+        let e4 = energy(BitcellKind::multiport(4).unwrap());
+        let transposed = (e4.rw_read_cycle() + e4.rw_write_cycle().unwrap()) * 4.0;
+        let anchor = paper::LEARN_ROWWISE_PJ / paper::LEARN_ENERGY_GAIN;
+        assert!(
+            (transposed.pj() - anchor).abs() / anchor < 0.35,
+            "transposed learning energy {transposed} vs paper {anchor:.2} pJ"
+        );
+    }
+
+    #[test]
+    fn leakage_power_scales_with_transistor_count() {
+        let p6 = energy(BitcellKind::Std6T).leakage_power();
+        let p4 = energy(BitcellKind::multiport(4).unwrap()).leakage_power();
+        assert!((p4.value() / p6.value() - 11.0 / 6.0).abs() < 1e-9);
+        // One 128×128 6T array leaks in the µW class.
+        assert!(p6.uw() > 1.0 && p6.uw() < 500.0, "got {p6}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot discharge")]
+    fn too_many_zeros_panics() {
+        energy(BitcellKind::multiport(1).unwrap()).inference_read(129);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for SRAM construction and access.
+
+use std::fmt;
+
+use esam_tech::nbl::WriteMarginError;
+
+/// Errors produced by the SRAM macro model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// A multiport cell was requested with an unbuildable port count; the
+    /// family supports 1–4 decoupled read ports (§4.2).
+    TooManyPorts {
+        /// The rejected port count.
+        requested: u8,
+    },
+    /// The array dimensions violate the NBL write-margin yield rule of §4.1.
+    WriteMargin(WriteMarginError),
+    /// An inference read addressed a decoupled port the cell does not have.
+    PortOutOfRange {
+        /// Requested port index.
+        port: usize,
+        /// Ports available on this cell.
+        available: usize,
+    },
+    /// A row index exceeded the array height.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Array rows.
+        rows: usize,
+    },
+    /// A column index exceeded the array width.
+    ColOutOfRange {
+        /// Requested column.
+        col: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// Provided data does not match the array dimensions.
+    DimensionMismatch {
+        /// Expected number of bits.
+        expected: usize,
+        /// Received number of bits.
+        got: usize,
+    },
+    /// A transposed access was issued on a cell without transposed ports
+    /// (the 6T baseline must fall back to row-wise read-modify-write).
+    NotTransposable,
+    /// Invalid configuration parameter (zero dimension, bad voltage, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::TooManyPorts { requested } => write!(
+                f,
+                "unbuildable port count {requested}: the cell family supports 1..=4 decoupled read ports (a 5th would add 87.5% of the 6T area)"
+            ),
+            SramError::WriteMargin(e) => write!(f, "{e}"),
+            SramError::PortOutOfRange { port, available } => {
+                write!(f, "read port {port} out of range: cell has {available} decoupled ports")
+            }
+            SramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for {rows}-row array")
+            }
+            SramError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range for {cols}-column array")
+            }
+            SramError::DimensionMismatch { expected, got } => {
+                write!(f, "data width mismatch: expected {expected} bits, got {got}")
+            }
+            SramError::NotTransposable => {
+                write!(f, "transposed access on a cell without transposed ports (6T baseline)")
+            }
+            SramError::InvalidConfig(msg) => write!(f, "invalid SRAM configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SramError::WriteMargin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WriteMarginError> for SramError {
+    fn from(e: WriteMarginError) -> Self {
+        SramError::WriteMargin(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let e = SramError::TooManyPorts { requested: 6 };
+        assert!(e.to_string().contains("1..=4"));
+        let e = SramError::PortOutOfRange { port: 3, available: 2 };
+        assert!(e.to_string().contains("port 3"));
+        let e = SramError::DimensionMismatch { expected: 128, got: 64 };
+        assert!(e.to_string().contains("128"));
+        let e = SramError::NotTransposable;
+        assert!(e.to_string().contains("6T"));
+    }
+
+    #[test]
+    fn write_margin_source_chain() {
+        use esam_tech::nbl::NblModel;
+        let inner = NblModel::paper_default().required_assist(512, 1.0).unwrap_err();
+        let e: SramError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! Transposable multiport SRAM-based CIM macro — the core circuit
+//! contribution of the ESAM paper (§3.2).
+//!
+//! This crate models the full bitcell family the paper evaluates:
+//!
+//! | Cell | Ports | Area (vs 6T) | Orientation |
+//! |------|-------|--------------|-------------|
+//! | `1RW` | 1 R/W | 1× | standard |
+//! | `1RW+1R` … `1RW+4R` | 1 R/W + 1–4 decoupled reads | 1.5× … 2.625× | transposed |
+//!
+//! Three views of the array are provided:
+//!
+//! * **functional** — [`SramArray`] stores bits and honours port semantics
+//!   (multi-port row reads, 4:1-muxed transposed column access), counting
+//!   every access for spike-by-spike energy reconstruction;
+//! * **timing** — [`TimingAnalysis`] derives precharge/read/write times from
+//!   wire parasitics, FinFET drive currents and ±3σ worst-case derating
+//!   (Fig. 6, Fig. 7, Table 2);
+//! * **energy** — [`EnergyAnalysis`] prices every operation from switched
+//!   capacitance and the NBL write-assist charge pump (Fig. 6–8, §4.4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_sram::{ArrayConfig, BitcellKind, SramArray, TimingAnalysis};
+//!
+//! // The paper's 128×128 array of 4-port cells at 700 mV / 500 mV.
+//! let cfg = ArrayConfig::paper_default(BitcellKind::multiport(4)?);
+//! let timing = TimingAnalysis::new(&cfg);
+//! let access = timing.inference_read();
+//! assert!(access.total().ns() < 2.0);
+//!
+//! // Arrays beyond 128 cells per write bitline violate the NBL yield rule.
+//! assert!(ArrayConfig::builder(256, 256, BitcellKind::Std6T).build().is_err());
+//! # Ok::<(), esam_sram::SramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod config;
+pub mod energy;
+pub mod error;
+pub mod lines;
+pub mod macro_;
+pub mod sense_amp;
+pub mod timing;
+
+pub use array::{AccessStats, SramArray};
+pub use cell::{BitcellKind, Orientation, MAX_READ_PORTS};
+pub use config::{ArrayConfig, ArrayConfigBuilder};
+pub use energy::EnergyAnalysis;
+pub use error::SramError;
+pub use lines::{ArrayGeometry, LineKind, LineParasitics};
+pub use macro_::{MacroArea, SramMacro};
+pub use sense_amp::SenseAmpKind;
+pub use timing::{ReadBreakdown, TimingAnalysis, WriteBreakdown};

@@ -1,0 +1,276 @@
+//! Array wiring: geometry and parasitics of every word/bit line.
+//!
+//! Four line classes exist in an ESAM array (Fig. 2 / Fig. 3(a)):
+//!
+//! * **Write wordline** (`WL`) — selects the cell row (6T baseline) or cell
+//!   *column* (transposed multiport cell). In multiport cells it is drawn
+//!   narrow because RBL0–RBL3 occupy the same metal layer, which is the root
+//!   cause of the Fig. 6 jump from 1RW to 1RW+1R.
+//! * **Write bitline** (`BL`/`BLB`) — differential pair carrying write data
+//!   and transposed reads.
+//! * **Inference wordline** (`RWL0–RWL3`) — row-select of the decoupled read
+//!   ports, driven by the arbiter grants.
+//! * **Inference bitline** (`RBL0–RBL3`) — single-ended, precharged to
+//!   `V_prech`, discharged by the M7/M8 stack when the stored bit is 0.
+//!
+//! Lengths follow directly from the cell pitch: horizontal lines span
+//! `cols × cell_width` (and therefore grow with the multiport area
+//! multiplier), vertical lines span `rows × cell_height` (constant across the
+//! family).
+
+use esam_tech::calibration::fitted;
+use esam_tech::finfet::{FinFet, Polarity, VtFlavor};
+use esam_tech::units::{Farads, MicroMeters, Ohms};
+use esam_tech::wire::{WireSegment, WireSpec, WireWidth};
+
+use crate::cell::{BitcellKind, Orientation};
+
+/// The four line classes of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineKind {
+    /// Read/Write wordline of the 6T core.
+    WriteWordline,
+    /// One wire of the BL/BLB differential pair.
+    WriteBitline,
+    /// Decoupled read wordline (RWLx).
+    InferenceWordline,
+    /// Decoupled read bitline (RBLx).
+    InferenceBitline,
+}
+
+/// Resistance, wire capacitance and attached-device load of one line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineParasitics {
+    wire: WireSegment,
+    device_load: Farads,
+}
+
+impl LineParasitics {
+    /// Total distributed wire resistance.
+    pub fn resistance(&self) -> Ohms {
+        self.wire.resistance()
+    }
+
+    /// Wire-only capacitance.
+    pub fn wire_capacitance(&self) -> Farads {
+        self.wire.capacitance()
+    }
+
+    /// Attached transistor gate/junction load.
+    pub fn device_load(&self) -> Farads {
+        self.device_load
+    }
+
+    /// Total switched capacitance.
+    pub fn total_capacitance(&self) -> Farads {
+        self.wire.capacitance() + self.device_load
+    }
+
+    /// Run length of the wire.
+    pub fn length(&self) -> MicroMeters {
+        self.wire.length()
+    }
+}
+
+/// Physical floorplan of one `rows × cols` array of a given cell kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayGeometry {
+    rows: usize,
+    cols: usize,
+    cell: BitcellKind,
+}
+
+impl ArrayGeometry {
+    /// Creates the geometry for a `rows × cols` array of `cell`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, cell: BitcellKind) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        Self { rows, cols, cell }
+    }
+
+    /// Array rows (pre-synaptic dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (post-synaptic dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cell kind.
+    pub fn cell(&self) -> BitcellKind {
+        self.cell
+    }
+
+    /// Horizontal span of the cell mat.
+    pub fn mat_width(&self) -> MicroMeters {
+        self.cell.width() * self.cols as f64
+    }
+
+    /// Vertical span of the cell mat.
+    pub fn mat_height(&self) -> MicroMeters {
+        self.cell.height() * self.rows as f64
+    }
+
+    /// Number of cells hanging on one write bitline — the quantity the NBL
+    /// write-margin rule constrains (§4.1).
+    ///
+    /// In standard orientation BL runs vertically over `rows` cells; in the
+    /// transposed multiport cell it runs horizontally over `cols` cells.
+    pub fn cells_on_write_bitline(&self) -> usize {
+        match self.cell.orientation() {
+            Orientation::Standard => self.rows,
+            Orientation::Transposed => self.cols,
+        }
+    }
+
+    /// Parasitics of one line of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asking for inference lines on the 6T baseline — it has no
+    /// decoupled ports; use [`LineKind::WriteWordline`]/[`LineKind::WriteBitline`],
+    /// which double as its (only) read path.
+    pub fn line(&self, kind: LineKind) -> LineParasitics {
+        let gate = access_gate_cap();
+        let drain = access_drain_cap();
+        let (wire, device_load) = match (kind, self.cell.orientation()) {
+            // --- 6T baseline: conventional orientation -------------------
+            (LineKind::WriteWordline, Orientation::Standard) => (
+                self.horizontal(WireWidth::Standard),
+                // Two pass-gate gates per cell along the row.
+                gate * (2 * self.cols) as f64,
+            ),
+            (LineKind::WriteBitline, Orientation::Standard) => (
+                self.vertical(WireWidth::Standard),
+                drain * self.rows as f64,
+            ),
+            (LineKind::InferenceWordline | LineKind::InferenceBitline, Orientation::Standard) => {
+                panic!("the 6T baseline has no decoupled inference ports")
+            }
+            // --- Multiport cell: transposed orientation ------------------
+            (LineKind::WriteWordline, Orientation::Transposed) => (
+                // WL runs vertically and is narrowed to make room for the
+                // RBLs in the same layer (§4.2).
+                self.vertical(WireWidth::Narrow),
+                gate * (2 * self.rows) as f64,
+            ),
+            (LineKind::WriteBitline, Orientation::Transposed) => (
+                self.horizontal(WireWidth::Standard),
+                drain * self.cols as f64,
+            ),
+            (LineKind::InferenceWordline, Orientation::Transposed) => (
+                self.horizontal(WireWidth::Standard),
+                // One read-access gate (M8..M11) per cell along the row.
+                gate * self.cols as f64,
+            ),
+            (LineKind::InferenceBitline, Orientation::Transposed) => (
+                self.vertical(WireWidth::Standard),
+                drain * self.rows as f64,
+            ),
+        };
+        LineParasitics { wire, device_load }
+    }
+
+    fn horizontal(&self, width: WireWidth) -> WireSegment {
+        WireSegment::new(WireSpec::new(width), self.mat_width())
+    }
+
+    fn vertical(&self, width: WireWidth) -> WireSegment {
+        WireSegment::new(WireSpec::new(width), self.mat_height())
+    }
+}
+
+/// Gate capacitance of a single-fin access transistor.
+fn access_gate_cap() -> Farads {
+    FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1).gate_capacitance()
+}
+
+/// Junction + contact capacitance one access transistor adds to a bitline.
+fn access_drain_cap() -> Farads {
+    FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1).drain_capacitance()
+        + Farads::new(fitted::BITLINE_CONTACT_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(cell: BitcellKind) -> ArrayGeometry {
+        ArrayGeometry::new(128, 128, cell)
+    }
+
+    #[test]
+    fn mat_dimensions_scale_with_ports() {
+        let g6 = geo(BitcellKind::Std6T);
+        let g4 = geo(BitcellKind::multiport(4).unwrap());
+        assert!((g4.mat_width().um() / g6.mat_width().um() - 2.625).abs() < 1e-9);
+        assert!((g4.mat_height().um() - g6.mat_height().um()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiport_wordline_is_more_resistive() {
+        let g6 = geo(BitcellKind::Std6T);
+        let g1 = geo(BitcellKind::multiport(1).unwrap());
+        let wl6 = g6.line(LineKind::WriteWordline);
+        let wl1 = g1.line(LineKind::WriteWordline);
+        // The 6T WL is horizontal (long, standard width); the multiport WL is
+        // vertical (short) but narrow — its per-µm resistance is much higher.
+        assert!(
+            wl1.resistance().value() / wl1.length().um()
+                > 2.0 * wl6.resistance().value() / wl6.length().um()
+        );
+    }
+
+    #[test]
+    fn write_bitline_grows_with_cell_width() {
+        let g1 = geo(BitcellKind::multiport(1).unwrap());
+        let g4 = geo(BitcellKind::multiport(4).unwrap());
+        let bl1 = g1.line(LineKind::WriteBitline);
+        let bl4 = g4.line(LineKind::WriteBitline);
+        assert!(bl4.resistance().value() > 1.5 * bl1.resistance().value());
+        assert!(bl4.total_capacitance().value() > bl1.total_capacitance().value());
+    }
+
+    #[test]
+    fn inference_bitline_constant_across_family() {
+        let g1 = geo(BitcellKind::multiport(1).unwrap());
+        let g4 = geo(BitcellKind::multiport(4).unwrap());
+        let r1 = g1.line(LineKind::InferenceBitline);
+        let r4 = g4.line(LineKind::InferenceBitline);
+        assert!((r1.total_capacitance().ff() - r4.total_capacitance().ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_bitline_cell_count_follows_orientation() {
+        assert_eq!(geo(BitcellKind::Std6T).cells_on_write_bitline(), 128);
+        let tall = ArrayGeometry::new(64, 128, BitcellKind::Std6T);
+        assert_eq!(tall.cells_on_write_bitline(), 64);
+        let wide = ArrayGeometry::new(64, 128, BitcellKind::multiport(2).unwrap());
+        assert_eq!(wide.cells_on_write_bitline(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "no decoupled inference ports")]
+    fn inference_lines_absent_on_6t() {
+        geo(BitcellKind::Std6T).line(LineKind::InferenceBitline);
+    }
+
+    #[test]
+    fn capacitances_are_femto_scale() {
+        let g = geo(BitcellKind::multiport(4).unwrap());
+        let rbl = g.line(LineKind::InferenceBitline);
+        let c = rbl.total_capacitance().ff();
+        assert!(c > 2.0 && c < 50.0, "RBL capacitance {c} fF out of plausible range");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        ArrayGeometry::new(0, 128, BitcellKind::Std6T);
+    }
+}

@@ -1,0 +1,107 @@
+//! The SRAM macro: cell mat plus periphery, with area and leakage summaries.
+
+use esam_tech::calibration::fitted;
+use esam_tech::units::{AreaUm2, Watts};
+
+use crate::config::ArrayConfig;
+use crate::energy::EnergyAnalysis;
+
+/// Area breakdown of one SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroArea {
+    /// Cell mat area (`rows × cols × cell area`).
+    pub cells: AreaUm2,
+    /// Periphery: decoders, precharge, sense amplifiers, write drivers,
+    /// row mux.
+    pub periphery: AreaUm2,
+}
+
+impl MacroArea {
+    /// Total macro footprint.
+    pub fn total(&self) -> AreaUm2 {
+        self.cells + self.periphery
+    }
+}
+
+/// Physical summary of one SRAM macro instance.
+///
+/// # Examples
+///
+/// ```
+/// use esam_sram::{ArrayConfig, BitcellKind, SramMacro};
+///
+/// let m6 = SramMacro::new(ArrayConfig::paper_default(BitcellKind::Std6T));
+/// let m4 = SramMacro::new(ArrayConfig::paper_default(BitcellKind::multiport(4).unwrap()));
+/// // §4.2: the 4-port mat is 2.625× the 6T mat.
+/// let ratio = m4.area().cells / m6.area().cells;
+/// assert!((ratio - 2.625).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramMacro {
+    config: ArrayConfig,
+}
+
+impl SramMacro {
+    /// Creates the macro summary for a configuration.
+    pub fn new(config: ArrayConfig) -> Self {
+        Self { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Area breakdown.
+    pub fn area(&self) -> MacroArea {
+        let cells = self.config.cell().area()
+            * (self.config.rows() as f64 * self.config.cols() as f64);
+        MacroArea {
+            cells,
+            periphery: cells * fitted::MACRO_PERIPHERY_AREA_FRACTION,
+        }
+    }
+
+    /// Static leakage of the macro (array + periphery).
+    pub fn leakage_power(&self) -> Watts {
+        EnergyAnalysis::new(&self.config).leakage_power()
+    }
+
+    /// Number of synapse bits stored.
+    pub fn bit_count(&self) -> usize {
+        self.config.rows() * self.config.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::BitcellKind;
+
+    #[test]
+    fn area_scales_with_cell_family() {
+        let areas: Vec<f64> = BitcellKind::ALL
+            .iter()
+            .map(|&c| SramMacro::new(ArrayConfig::paper_default(c)).area().total().value())
+            .collect();
+        assert!(areas.windows(2).all(|w| w[1] > w[0]));
+        // 128×128 6T mat ≈ 16384 × 0.01512 µm² ≈ 248 µm² plus periphery.
+        assert!(areas[0] > 240.0 && areas[0] < 320.0, "6T macro {} µm²", areas[0]);
+    }
+
+    #[test]
+    fn periphery_is_a_fraction_of_cells() {
+        let m = SramMacro::new(ArrayConfig::paper_default(BitcellKind::Std6T));
+        let a = m.area();
+        assert!(a.periphery.value() < a.cells.value());
+        assert!((a.total().value() - (a.cells + a.periphery).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_is_microwatt_class() {
+        let m = SramMacro::new(ArrayConfig::paper_default(BitcellKind::multiport(4).unwrap()));
+        let p = m.leakage_power();
+        assert!(p.uw() > 1.0 && p.uw() < 1000.0, "got {p}");
+        assert_eq!(m.bit_count(), 128 * 128);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sense amplifiers (§3.2).
+//!
+//! Two sensing schemes coexist in the macro:
+//!
+//! * the **transposed port** (BL/BLB) uses a conventional voltage-mode
+//!   differential sense amplifier, row-muxed 4:1 to match the SRAM row
+//!   pitch — fast, fires on a small fixed differential;
+//! * the **decoupled read ports** (RBL0–RBL3) are single-ended and use
+//!   cascaded-inverter sense amplifiers, which fit the column pitch but
+//!   "deliver a slightly slower readout result than traditional Sense
+//!   Amplifiers". Their speed and crossover current depend on the sensing
+//!   margin `V_prech − V_trip`: lowering the precharge rail saves dynamic
+//!   energy but slows the resolve — the Fig. 7 trade-off.
+
+use esam_tech::calibration::fitted;
+use esam_tech::units::{Joules, Seconds, Volts, Watts};
+
+/// The sensing scheme attached to a bitline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SenseAmpKind {
+    /// Voltage-mode differential SA on the BL/BLB pair (4:1 row-muxed).
+    Differential,
+    /// Cascaded-inverter single-ended SA on an RBL.
+    CascadedInverter,
+}
+
+impl SenseAmpKind {
+    /// Sensing margin of the inverter chain at rail `v` (clamped ≥ 20 mV so
+    /// degenerate rails stay finite; the config validator rejects them
+    /// anyway).
+    fn inverter_margin(rail: Volts) -> f64 {
+        (rail.v() - fitted::INV_SA_VT).max(0.02)
+    }
+
+    /// Reference margin at the nominal 500 mV rail.
+    fn reference_margin() -> f64 {
+        0.5 - fitted::INV_SA_VT
+    }
+
+    /// Resolve delay once the bitline swing reaches the amplifier.
+    ///
+    /// The differential SA is margin-independent; the inverter SA slows as
+    /// `1 / (V_prech − V_trip)`.
+    pub fn resolve_delay(self, rail: Volts) -> Seconds {
+        match self {
+            SenseAmpKind::Differential => Seconds::new(fitted::DIFF_SA_DELAY),
+            SenseAmpKind::CascadedInverter => {
+                let ratio = Self::reference_margin() / Self::inverter_margin(rail);
+                Seconds::new(fitted::INV_SA_DELAY_AT_500MV)
+                    * ratio.powf(fitted::INV_SA_DELAY_MARGIN_EXP)
+            }
+        }
+    }
+
+    /// Bitline swing the amplifier needs before it can resolve.
+    ///
+    /// Differential: a small fixed differential. Inverter chain: the RBL
+    /// must approach the (ratioed) trip point — but because the cell
+    /// discharges in the triode region, the *time* this takes is modeled
+    /// with the rail-independent [`fitted::RBL_TIMING_SWING`].
+    pub fn required_swing(self, _rail: Volts) -> Volts {
+        match self {
+            SenseAmpKind::Differential => Volts::new(fitted::DIFF_SA_SWING),
+            SenseAmpKind::CascadedInverter => Volts::new(fitted::RBL_TIMING_SWING),
+        }
+    }
+
+    /// Switching energy of one evaluation at rail `rail` (the inverter SA is
+    /// supplied from the precharge rail, so its dynamic energy scales with
+    /// `rail²`).
+    pub fn energy(self, rail: Volts) -> Joules {
+        match self {
+            SenseAmpKind::Differential => Joules::new(fitted::DIFF_SA_ENERGY),
+            SenseAmpKind::CascadedInverter => {
+                Joules::new(fitted::INV_SA_ENERGY) * (rail.v() / 0.5).powi(2)
+            }
+        }
+    }
+
+    /// Crossover (short-circuit) power burned while the input traverses the
+    /// transition region; zero for the clocked differential SA.
+    pub fn crossover_power(self, rail: Volts) -> Watts {
+        match self {
+            SenseAmpKind::Differential => Watts::ZERO,
+            SenseAmpKind::CascadedInverter => {
+                let ratio = Self::reference_margin() / Self::inverter_margin(rail);
+                Watts::new(fitted::INV_SA_SC_POWER_AT_500MV) * (ratio * ratio)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V500: Volts = Volts::new(0.5);
+    const V700: Volts = Volts::new(0.7);
+    const V400: Volts = Volts::new(0.4);
+
+    #[test]
+    fn inverter_sa_is_slower_than_differential() {
+        let d = SenseAmpKind::Differential;
+        let i = SenseAmpKind::CascadedInverter;
+        assert!(
+            i.resolve_delay(V500) > d.resolve_delay(V500),
+            "§3.2: slightly slower readout"
+        );
+    }
+
+    #[test]
+    fn inverter_delay_grows_as_rail_drops() {
+        let i = SenseAmpKind::CascadedInverter;
+        assert!(i.resolve_delay(V400) > i.resolve_delay(V500));
+        assert!(i.resolve_delay(V500) > i.resolve_delay(V700));
+        // At 400 mV the margin halves: delay grows substantially.
+        let ratio = i.resolve_delay(V400) / i.resolve_delay(V500);
+        assert!(ratio > 1.3 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn differential_is_rail_independent() {
+        let d = SenseAmpKind::Differential;
+        assert_eq!(d.resolve_delay(V400), d.resolve_delay(V700));
+        assert_eq!(d.required_swing(V400), d.required_swing(V700));
+        assert!(d.crossover_power(V500).is_zero());
+    }
+
+    #[test]
+    fn inverter_energy_scales_with_rail_squared() {
+        let i = SenseAmpKind::CascadedInverter;
+        let ratio = i.energy(V700) / i.energy(V500);
+        assert!((ratio - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_power_explodes_near_trip() {
+        let i = SenseAmpKind::CascadedInverter;
+        assert!(i.crossover_power(V400).value() > 1.5 * i.crossover_power(V500).value());
+    }
+}

@@ -1,0 +1,377 @@
+//! Access-time analysis of the SRAM array.
+//!
+//! Reproduces what the paper extracts from Spectre transients (Fig. 6, Fig. 7,
+//! the SRAM share of Table 2):
+//!
+//! * **Read time** — "the delay between the Wordline being driven and the
+//!   data output of the Sense Amplifier flipping" (§4.2);
+//! * **Write time** — "the delay between the start of the Write process and
+//!   the cell content flipping to 90 % of its intended value";
+//! * **Total access time** (Fig. 7) — "the sum of the precharge time and the
+//!   Read time".
+//!
+//! Every number is computed from the line parasitics of
+//! [`ArrayGeometry`](crate::lines::ArrayGeometry), the FinFET drive model and
+//! the worst-case ±3σ derating — no figure value is hard-coded.
+//!
+//! Two rail-dependent mechanisms matter for the Fig. 7 trade-off:
+//!
+//! * the precharge device is a velocity-saturating square-law PMOS, and the
+//!   precharge transistors of the `p` read-bitline planes share the cell's
+//!   column pitch, so each gets width `mult(p)/p` of a full device;
+//! * the inverter sense amplifier slows as the sensing margin
+//!   `V_prech − V_trip` shrinks.
+
+use esam_tech::calibration::fitted;
+use esam_tech::elmore::{constant_current_slew, driven_wire_delay};
+use esam_tech::finfet::{FinFet, Polarity, VtFlavor};
+use esam_tech::units::{Amps, Farads, Ohms, Seconds, Volts};
+
+use crate::cell::BitcellKind;
+use crate::config::ArrayConfig;
+use crate::error::SramError;
+use crate::lines::LineKind;
+use crate::sense_amp::SenseAmpKind;
+
+/// Phase-by-phase breakdown of a read access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadBreakdown {
+    /// Bitline precharge to the read rail.
+    pub precharge: Seconds,
+    /// Decode + wordline rise.
+    pub wordline: Seconds,
+    /// Bitline swing development by the cell current.
+    pub develop: Seconds,
+    /// Sense-amplifier resolution (plus row-mux for transposed reads).
+    pub sense: Seconds,
+}
+
+impl ReadBreakdown {
+    /// Read time in the paper's sense: wordline → SA output (§4.2).
+    pub fn read_time(&self) -> Seconds {
+        self.wordline + self.develop + self.sense
+    }
+
+    /// Total access time in the Fig. 7 sense: precharge + read time.
+    pub fn total(&self) -> Seconds {
+        self.precharge + self.read_time()
+    }
+}
+
+/// Phase-by-phase breakdown of a write access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteBreakdown {
+    /// Decode + wordline rise.
+    pub wordline: Seconds,
+    /// Write driver slewing the bitline pair.
+    pub drive: Seconds,
+    /// Negative-bitline assist kick settling.
+    pub nbl_kick: Seconds,
+    /// Cell latch regeneration to 90 % of the target value.
+    pub flip: Seconds,
+}
+
+impl WriteBreakdown {
+    /// Write time in the paper's sense: start of write → 90 % content flip.
+    pub fn total(&self) -> Seconds {
+        self.wordline + self.drive + self.nbl_kick + self.flip
+    }
+}
+
+/// Access-time analysis for one array configuration.
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis {
+    config: ArrayConfig,
+}
+
+impl TimingAnalysis {
+    /// Builds the analysis for a validated configuration.
+    pub fn new(config: &ArrayConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+
+    /// Worst-case (±3σ) cell read current through a two-transistor stack
+    /// with the given stack degradation factor.
+    fn stack_current(&self, stack_factor: f64) -> Amps {
+        let device = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1);
+        device.on_current(self.config.vdd())
+            * stack_factor
+            * self.config.variation().worst_case_current_factor()
+    }
+
+    /// Worst-case read current of the decoupled M7/M8 path.
+    pub fn cell_read_current(&self) -> Amps {
+        self.stack_current(fitted::DECOUPLED_READ_STACK_FACTOR)
+    }
+
+    /// Effective resistance of a precharge device fed from `rail`, with
+    /// `pitch_share` of a full-width device (triode model).
+    pub fn precharge_resistance(&self, rail: Volts, pitch_share: f64) -> Ohms {
+        let overdrive = rail.v() - fitted::PRECHARGE_VTP;
+        assert!(
+            overdrive > 0.0,
+            "precharge rail {rail} leaves no overdrive (validated at config build)"
+        );
+        assert!(pitch_share > 0.0, "pitch share must be positive");
+        let effective = overdrive * overdrive.min(fitted::PRECHARGE_VSAT);
+        Ohms::new(fitted::PRECHARGE_R0_OHM_V2 / effective / pitch_share)
+    }
+
+    /// Pitch share of one RBL-plane precharge device: the `p` planes split
+    /// the (widened) cell pitch `mult(p)`.
+    pub fn rbl_precharge_pitch_share(&self) -> f64 {
+        match self.config.cell() {
+            BitcellKind::Std6T => 1.0,
+            BitcellKind::MultiPort { read_ports } => {
+                self.config.cell().area_multiplier() / read_ports as f64
+            }
+        }
+    }
+
+    /// Time to precharge capacitance `c` to 90 % of `rail` (2.2 τ).
+    pub fn precharge_time(&self, c: Farads, rail: Volts, pitch_share: f64) -> Seconds {
+        2.2 * (self.precharge_resistance(rail, pitch_share) * c)
+    }
+
+    /// Inference read access (the path Table 2 and Fig. 7 time):
+    /// the decoupled single-ended port for multiport cells, the ordinary
+    /// differential RW port for the 6T baseline.
+    pub fn inference_read(&self) -> ReadBreakdown {
+        match self.config.cell() {
+            BitcellKind::Std6T => self.rw_read(),
+            BitcellKind::MultiPort { .. } => {
+                let geometry = self.config.geometry();
+                let rwl = geometry.line(LineKind::InferenceWordline);
+                let rbl = geometry.line(LineKind::InferenceBitline);
+                let rail = self.config.vprech();
+                let sa = SenseAmpKind::CascadedInverter;
+                ReadBreakdown {
+                    precharge: self.precharge_time(
+                        rbl.total_capacitance(),
+                        rail,
+                        self.rbl_precharge_pitch_share(),
+                    ),
+                    wordline: self.wordline_time(&rwl),
+                    develop: constant_current_slew(
+                        rbl.total_capacitance(),
+                        sa.required_swing(rail),
+                        self.cell_read_current(),
+                    ),
+                    sense: sa.resolve_delay(rail),
+                }
+            }
+        }
+    }
+
+    /// The sensing window of one decoupled-port access: precharge + develop
+    /// \+ sense. The inverter SA burns crossover current over this window
+    /// (used by the energy model).
+    pub fn inference_sense_window(&self) -> Seconds {
+        let r = self.inference_read();
+        r.precharge + r.develop + r.sense
+    }
+
+    /// Read via the Read/Write port (the "Transposed port" of Fig. 6 for
+    /// multiport cells; the one-and-only port of the 6T baseline).
+    pub fn rw_read(&self) -> ReadBreakdown {
+        let geometry = self.config.geometry();
+        let wl = geometry.line(LineKind::WriteWordline);
+        let bl = geometry.line(LineKind::WriteBitline);
+        let vdd = self.config.vdd();
+        let sa = SenseAmpKind::Differential;
+        let mux = match self.config.cell() {
+            BitcellKind::Std6T => Seconds::ZERO,
+            BitcellKind::MultiPort { .. } => Seconds::new(fitted::MUX_PASS_DELAY),
+        };
+        ReadBreakdown {
+            precharge: self.precharge_time(bl.total_capacitance(), vdd, 1.0),
+            wordline: self.wordline_time(&wl),
+            develop: constant_current_slew(
+                bl.total_capacitance(),
+                sa.required_swing(vdd),
+                self.stack_current(fitted::RW_READ_STACK_FACTOR),
+            ),
+            sense: sa.resolve_delay(vdd) + mux,
+        }
+    }
+
+    /// Write via the Read/Write port, with NBL assist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write-margin violation if the configured array size
+    /// needs an assist below the yield limit.
+    pub fn rw_write(&self) -> Result<WriteBreakdown, SramError> {
+        // The assist level is validated here even though its depth enters the
+        // energy (not timing) model — an unwritable array has no write time.
+        let _assist = self.config.write_assist()?;
+        let geometry = self.config.geometry();
+        let wl = geometry.line(LineKind::WriteWordline);
+        let bl = geometry.line(LineKind::WriteBitline);
+        let drive = driven_wire_delay(
+            Ohms::new(fitted::WRITE_DRIVER_RES),
+            bl.resistance(),
+            bl.wire_capacitance(),
+            bl.device_load(),
+        );
+        Ok(WriteBreakdown {
+            wordline: self.wordline_time(&wl),
+            drive,
+            nbl_kick: Seconds::new(fitted::NBL_KICK_TIME),
+            flip: Seconds::new(fitted::CELL_FLIP_TIME)
+                * self.config.variation().worst_case_delay_factor(),
+        })
+    }
+
+    /// Decode chain + RC rise of a wordline.
+    fn wordline_time(&self, line: &crate::lines::LineParasitics) -> Seconds {
+        Seconds::new(fitted::WL_DECODE_DELAY)
+            + driven_wire_delay(
+                Ohms::new(fitted::WL_DRIVER_RES),
+                line.resistance(),
+                line.wire_capacitance(),
+                line.device_load(),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+
+    fn timing(cell: BitcellKind) -> TimingAnalysis {
+        TimingAnalysis::new(&ArrayConfig::paper_default(cell))
+    }
+
+    #[test]
+    fn read_times_are_sub_nanosecond_scale() {
+        for cell in BitcellKind::ALL {
+            let t = timing(cell).inference_read();
+            let ns = t.total().ns();
+            assert!(ns > 0.1 && ns < 2.0, "{cell}: access {ns} ns out of range");
+        }
+    }
+
+    #[test]
+    fn decoupled_port_is_slower_than_6t_differential() {
+        // Table 2: the SRAM stage jumps from 0.69 ns (1RW) to ≥ 1.08 ns once
+        // the decoupled single-ended port is used.
+        let t6 = timing(BitcellKind::Std6T).inference_read().total();
+        let t1 = timing(BitcellKind::multiport(1).unwrap()).inference_read().total();
+        assert!(t1.ps() > 1.3 * t6.ps(), "6T {} vs +1R {}", t6, t1);
+    }
+
+    #[test]
+    fn inference_access_grows_with_ports() {
+        let mut prev = Seconds::ZERO;
+        for p in 1..=4 {
+            let t = timing(BitcellKind::multiport(p).unwrap()).inference_read().total();
+            assert!(t > prev, "access time must grow with ports (p={p})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn transposed_port_slows_with_ports_fig6_shape() {
+        // Fig. 6: both RW-port read and write times grow monotonically with
+        // added ports, with a jump from 1RW to 1RW+1R.
+        let mut prev_read = Seconds::ZERO;
+        let mut prev_write = Seconds::ZERO;
+        for cell in BitcellKind::ALL {
+            let t = timing(cell);
+            let read = t.rw_read().total();
+            let write = t.rw_write().unwrap().total();
+            assert!(read > prev_read, "{cell}: RW read time must grow");
+            assert!(write > prev_write, "{cell}: RW write time must grow");
+            prev_read = read;
+            prev_write = write;
+        }
+    }
+
+    #[test]
+    fn narrow_wordline_causes_1r_jump() {
+        // §4.2: one extra port causes an immediate, significant increase in
+        // transposed-port times because the WL narrows.
+        let t6 = timing(BitcellKind::Std6T).rw_read().read_time();
+        let t1 = timing(BitcellKind::multiport(1).unwrap()).rw_read().read_time();
+        assert!(
+            t1.ps() > t6.ps() * 1.05,
+            "expected a visible jump: 6T {} vs +1R {}",
+            t6,
+            t1
+        );
+    }
+
+    #[test]
+    fn lower_precharge_rail_costs_bounded_time_fig7() {
+        use esam_tech::calibration::paper;
+        // Fig. 7 discussion: Vprech 500 mV costs at most ~19 % access time
+        // over 700 mV; 400 mV is disproportionately slow.
+        for p in 1..=4u8 {
+            let cell = BitcellKind::multiport(p).unwrap();
+            let mk = |mv: f64| {
+                let cfg = ArrayConfig::builder(128, 128, cell)
+                    .vprech(Volts::from_mv(mv))
+                    .build()
+                    .unwrap();
+                TimingAnalysis::new(&cfg).inference_read().total()
+            };
+            let t700 = mk(700.0);
+            let t500 = mk(500.0);
+            let t400 = mk(400.0);
+            let penalty500 = t500 / t700 - 1.0;
+            assert!(
+                penalty500 > 0.0 && penalty500 < paper::VPRECH_500_TIME_PENALTY_MAX + 0.03,
+                "p={p}: 500 mV penalty {penalty500:.3} out of band"
+            );
+            assert!(t400 > t500, "p={p}: 400 mV must be slower still");
+        }
+    }
+
+    #[test]
+    fn worst_case_cell_is_slower_than_nominal() {
+        use esam_tech::process::VariationModel;
+        let cell = BitcellKind::multiport(4).unwrap();
+        let worst = ArrayConfig::paper_default(cell);
+        let nominal = ArrayConfig::builder(128, 128, cell)
+            .variation(VariationModel::nominal())
+            .build()
+            .unwrap();
+        let t_worst = TimingAnalysis::new(&worst).inference_read().develop;
+        let t_nom = TimingAnalysis::new(&nominal).inference_read().develop;
+        assert!(t_worst > t_nom);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let t = timing(BitcellKind::multiport(3).unwrap());
+        let r = t.inference_read();
+        assert!(
+            (r.total().ps() - (r.precharge + r.wordline + r.develop + r.sense).ps()).abs() < 1e-9
+        );
+        let w = t.rw_write().unwrap();
+        assert!(
+            (w.total().ps() - (w.wordline + w.drive + w.nbl_kick + w.flip).ps()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn write_fits_in_the_learning_clock() {
+        // §4.4.1: the 4-port cell's transposed ops run at a ~1.2 ns clock.
+        let w = timing(BitcellKind::multiport(4).unwrap()).rw_write().unwrap();
+        assert!(w.total().ns() < 1.25, "write {} must fit a 1.2 ns cycle", w.total());
+    }
+
+    #[test]
+    fn pitch_share_follows_cell_family() {
+        assert_eq!(timing(BitcellKind::Std6T).rbl_precharge_pitch_share(), 1.0);
+        let s1 = timing(BitcellKind::multiport(1).unwrap()).rbl_precharge_pitch_share();
+        let s4 = timing(BitcellKind::multiport(4).unwrap()).rbl_precharge_pitch_share();
+        assert!((s1 - 1.5).abs() < 1e-12);
+        assert!((s4 - 2.625 / 4.0).abs() < 1e-12);
+        assert!(s4 < 1.0, "4 planes squeeze each precharge device");
+    }
+}

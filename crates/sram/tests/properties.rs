@@ -1,0 +1,136 @@
+//! Property tests for the functional SRAM array: port semantics, transposed
+//! access, and physical-model monotonicities.
+
+use esam_bits::{BitMatrix, BitVec};
+use esam_sram::{ArrayConfig, BitcellKind, EnergyAnalysis, SramArray, TimingAnalysis};
+use esam_tech::units::Volts;
+use proptest::prelude::*;
+
+fn weights(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
+    any::<u64>().prop_map(move |seed| {
+        BitMatrix::from_fn(rows, cols, |r, c| (seed >> ((r * 13 + c * 7) % 64)) & 1 == 1)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn inference_reads_mirror_contents_on_every_port(
+        w in weights(128, 128),
+        row in 0usize..128,
+    ) {
+        for ports in 1..=4u8 {
+            let cell = BitcellKind::multiport(ports).unwrap();
+            let mut array = SramArray::new(ArrayConfig::paper_default(cell));
+            array.load_weights(&w).unwrap();
+            for port in 0..ports as usize {
+                let bits = array.inference_read(port, row).unwrap();
+                prop_assert_eq!(&bits, &w.row(row), "port {} row {}", port, row);
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_write_then_read_roundtrips(
+        w in weights(128, 128),
+        col in 0usize..128,
+        column_seed in any::<u64>(),
+    ) {
+        let cell = BitcellKind::multiport(4).unwrap();
+        let mut array = SramArray::new(ArrayConfig::paper_default(cell));
+        array.load_weights(&w).unwrap();
+        let column: BitVec = (0..128).map(|r| (column_seed >> (r % 64)) & 1 == 1).collect();
+        array.transposed_write(col, &column).unwrap();
+        prop_assert_eq!(array.transposed_read(col).unwrap(), column);
+        // Neighbouring columns are untouched.
+        let other = (col + 1) % 128;
+        prop_assert_eq!(array.transposed_read(other).unwrap(), w.column(other));
+    }
+
+    #[test]
+    fn rowwise_rmw_equals_transposed_update(
+        w in weights(64, 64),
+        col in 0usize..64,
+        column_seed in any::<u64>(),
+    ) {
+        // The 6T baseline's row-wise read-modify-write must produce the same
+        // final contents as a multiport transposed write.
+        let column: BitVec = (0..64).map(|r| (column_seed >> (r % 64)) & 1 == 1).collect();
+
+        let mp = BitcellKind::multiport(2).unwrap();
+        let mut multi = SramArray::new(ArrayConfig::builder(64, 64, mp).build().unwrap());
+        multi.load_weights(&w).unwrap();
+        let _old_column = multi.transposed_read(col).unwrap(); // read-modify-write
+        multi.transposed_write(col, &column).unwrap();
+
+        let mut single = SramArray::new(ArrayConfig::builder(64, 64, BitcellKind::Std6T).build().unwrap());
+        single.load_weights(&w).unwrap();
+        for row in 0..64 {
+            let mut bits = single.rowwise_read(row).unwrap();
+            bits.set(col, column.get(row));
+            single.rowwise_write(row, &bits).unwrap();
+        }
+        prop_assert_eq!(single.bits(), multi.bits());
+        // …but at wildly different access cost (the §4.4.1 point).
+        prop_assert_eq!(multi.stats().rw_read_cycles + multi.stats().rw_write_cycles, 8);
+        prop_assert_eq!(single.stats().rw_read_cycles + single.stats().rw_write_cycles, 128);
+    }
+
+    #[test]
+    fn zero_count_energy_accounting_is_exact(
+        w in weights(128, 128),
+        row in 0usize..128,
+    ) {
+        let cell = BitcellKind::multiport(3).unwrap();
+        let mut array = SramArray::new(ArrayConfig::paper_default(cell));
+        array.load_weights(&w).unwrap();
+        array.inference_read(0, row).unwrap();
+        let zeros = 128 - w.row(row).count_ones();
+        prop_assert_eq!(array.stats().inference_zero_bits, zeros as u64);
+        let expected = EnergyAnalysis::new(array.config()).inference_read(zeros);
+        let consumed = array.consumed_energy().unwrap();
+        prop_assert!((consumed.fj() - expected.fj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_precharge_rail_never_speeds_access(
+        ports in 1u8..=4,
+        rail_mv in 320.0f64..700.0,
+    ) {
+        // Monotonicity of the Fig. 7 time axis: any rail below 700 mV is at
+        // least as slow as 700 mV.
+        let cell = BitcellKind::multiport(ports).unwrap();
+        let low = ArrayConfig::builder(128, 128, cell)
+            .vprech(Volts::from_mv(rail_mv))
+            .build()
+            .unwrap();
+        let high = ArrayConfig::builder(128, 128, cell)
+            .vprech(Volts::from_mv(700.0))
+            .build()
+            .unwrap();
+        let t_low = TimingAnalysis::new(&low).inference_read().total();
+        let t_high = TimingAnalysis::new(&high).inference_read().total();
+        prop_assert!(t_low >= t_high);
+    }
+
+    #[test]
+    fn smaller_arrays_are_never_slower_or_hungrier(
+        rows in 1usize..=128,
+        cols in 1usize..=128,
+    ) {
+        // Any sub-array of the paper's 128×128 has shorter lines: its access
+        // time and per-op energy cannot exceed the full array's.
+        prop_assume!(rows % 4 == 0 || rows < 4);
+        let cell = BitcellKind::multiport(4).unwrap();
+        let mux = if rows % 4 == 0 { 4 } else { 1 };
+        let small = ArrayConfig::builder(rows, cols, cell).mux_ratio(mux).build().unwrap();
+        let full = ArrayConfig::paper_default(cell);
+        let t_small = TimingAnalysis::new(&small).inference_read().total();
+        let t_full = TimingAnalysis::new(&full).inference_read().total();
+        prop_assert!(t_small.ps() <= t_full.ps() + 1e-6);
+        let e_small = EnergyAnalysis::new(&small).inference_read_fixed();
+        let e_full = EnergyAnalysis::new(&full).inference_read_fixed();
+        prop_assert!(e_small.fj() <= e_full.fj() + 1e-9);
+    }
+}

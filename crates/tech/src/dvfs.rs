@@ -1,0 +1,203 @@
+//! Dynamic voltage/frequency scaling and Vt-flavor corners.
+//!
+//! Table 3's closing note: *"For applications that have lower throughput
+//! demands, a lower VDD, lower clock frequency, and HVT transistors can be
+//! utilized to significantly reduce power consumption, while maintaining
+//! similar energy/Inference."* This module makes that claim quantitative:
+//!
+//! * achievable clock frequency follows the alpha-power law,
+//!   `f ∝ (V − V_t)^α / V`;
+//! * dynamic power scales as `C·V²·f`;
+//! * leakage power scales with the flavor's per-fin leakage and the rail.
+//!
+//! The `corners` experiment in `esam-bench` projects the paper's 4R system
+//! across these corners.
+
+use crate::calibration::{fitted, paper};
+use crate::finfet::VtFlavor;
+use crate::units::{Hertz, Volts};
+
+/// An operating corner: supply voltage plus logic Vt flavor.
+///
+/// # Examples
+///
+/// ```
+/// use esam_tech::dvfs::OperatingPoint;
+/// use esam_tech::finfet::VtFlavor;
+/// use esam_tech::units::Volts;
+///
+/// let nominal = OperatingPoint::nominal();
+/// let eco = OperatingPoint::new(Volts::from_mv(500.0), VtFlavor::Hvt);
+/// // The slow corner trades clock for a large power saving.
+/// assert!(eco.frequency_scale(&nominal) < 0.5);
+/// assert!(eco.dynamic_power_scale(&nominal) < 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    vdd: Volts,
+    flavor: VtFlavor,
+}
+
+impl OperatingPoint {
+    /// Creates a corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vdd` leaves at least 50 mV of overdrive above the
+    /// flavor's threshold — below that the alpha-power model (and the
+    /// silicon) stops switching.
+    pub fn new(vdd: Volts, flavor: VtFlavor) -> Self {
+        assert!(
+            vdd.v() >= flavor.threshold().v() + 0.05,
+            "V_DD {vdd} leaves no overdrive above {flavor} threshold {}",
+            flavor.threshold()
+        );
+        Self { vdd, flavor }
+    }
+
+    /// The paper's operating point: 700 mV, standard-Vt logic.
+    pub fn nominal() -> Self {
+        Self {
+            vdd: Volts::from_mv(paper::VDD_MV),
+            flavor: VtFlavor::Svt,
+        }
+    }
+
+    /// Supply voltage.
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Logic Vt flavor.
+    pub fn flavor(&self) -> VtFlavor {
+        self.flavor
+    }
+
+    /// Alpha-power-law drive factor `(V − V_t)^α / V` (arbitrary units,
+    /// meaningful only as a ratio between corners).
+    fn drive(&self) -> f64 {
+        let overdrive = self.vdd.v() - self.flavor.threshold().v();
+        overdrive.powf(fitted::ALPHA) / self.vdd.v()
+    }
+
+    /// Achievable clock relative to `reference` (1.0 = same speed).
+    pub fn frequency_scale(&self, reference: &OperatingPoint) -> f64 {
+        self.drive() / reference.drive()
+    }
+
+    /// Achievable clock at this corner given the clock `reference_clock`
+    /// closed at the `reference` corner.
+    pub fn max_clock(&self, reference: &OperatingPoint, reference_clock: Hertz) -> Hertz {
+        reference_clock * self.frequency_scale(reference)
+    }
+
+    /// Dynamic power relative to `reference` when running at each corner's
+    /// own maximum clock: `C·V²·f` with C fixed.
+    pub fn dynamic_power_scale(&self, reference: &OperatingPoint) -> f64 {
+        let v = self.vdd.v() / reference.vdd.v();
+        v * v * self.frequency_scale(reference)
+    }
+
+    /// Dynamic energy per operation relative to `reference` (`C·V²`,
+    /// clock-independent — the reason energy/inference survives DVFS).
+    pub fn energy_scale(&self, reference: &OperatingPoint) -> f64 {
+        let v = self.vdd.v() / reference.vdd.v();
+        v * v
+    }
+
+    /// Leakage power relative to `reference`: per-fin leakage ratio of the
+    /// flavors times the rail ratio (subthreshold current is
+    /// first-order rail-independent; power is `I·V`).
+    pub fn leakage_power_scale(&self, reference: &OperatingPoint) -> f64 {
+        let leak = |f: VtFlavor| fitted::LEAK_PER_FIN[leak_index(f)];
+        (leak(self.flavor) / leak(reference.flavor)) * (self.vdd.v() / reference.vdd.v())
+    }
+}
+
+fn leak_index(flavor: VtFlavor) -> usize {
+    match flavor {
+        VtFlavor::Lvt => 0,
+        VtFlavor::Svt => 1,
+        VtFlavor::Hvt => 2,
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_scales_to_unity() {
+        let nominal = OperatingPoint::nominal();
+        assert!((nominal.frequency_scale(&nominal) - 1.0).abs() < 1e-12);
+        assert!((nominal.dynamic_power_scale(&nominal) - 1.0).abs() < 1e-12);
+        assert!((nominal.energy_scale(&nominal) - 1.0).abs() < 1e-12);
+        assert!((nominal.leakage_power_scale(&nominal) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_vdd_is_slower_and_cheaper() {
+        let nominal = OperatingPoint::nominal();
+        let low = OperatingPoint::new(Volts::from_mv(500.0), VtFlavor::Svt);
+        assert!(low.frequency_scale(&nominal) < 1.0);
+        assert!(low.dynamic_power_scale(&nominal) < low.frequency_scale(&nominal));
+        assert!(low.energy_scale(&nominal) < 1.0);
+    }
+
+    #[test]
+    fn hvt_cuts_leakage_by_an_order_of_magnitude() {
+        let nominal = OperatingPoint::nominal();
+        let hvt = OperatingPoint::new(nominal.vdd(), VtFlavor::Hvt);
+        let scale = hvt.leakage_power_scale(&nominal);
+        assert!(scale < 0.3, "HVT leakage scale {scale}");
+        // ...while costing speed.
+        assert!(hvt.frequency_scale(&nominal) < 1.0);
+    }
+
+    #[test]
+    fn energy_per_op_is_frequency_independent() {
+        // Same V and flavor at an (implicitly) lower clock: energy scale
+        // depends only on V².
+        let nominal = OperatingPoint::nominal();
+        let same = OperatingPoint::new(nominal.vdd(), VtFlavor::Svt);
+        assert!((same.energy_scale(&nominal) - 1.0).abs() < 1e-12);
+        let low = OperatingPoint::new(Volts::from_mv(490.0), VtFlavor::Svt);
+        let expect = (0.49f64 / nominal.vdd().v()).powi(2);
+        assert!((low.energy_scale(&nominal) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_note_holds_quantitatively() {
+        // The paper's escape hatch: 500 mV + HVT should cut total power by
+        // several× while keeping energy/inference within ~2× (it actually
+        // *improves* energy thanks to V²).
+        let nominal = OperatingPoint::nominal();
+        let eco = OperatingPoint::new(Volts::from_mv(500.0), VtFlavor::Hvt);
+        let power = eco.dynamic_power_scale(&nominal);
+        let energy = eco.energy_scale(&nominal);
+        assert!(power < 0.25, "eco dynamic power scale {power} (want ≥4× cut)");
+        assert!(energy < 1.0, "eco energy scale {energy}");
+        assert!(eco.frequency_scale(&nominal) > 0.02, "still usable clock");
+    }
+
+    #[test]
+    fn max_clock_applies_the_scale() {
+        let nominal = OperatingPoint::nominal();
+        let low = OperatingPoint::new(Volts::from_mv(600.0), VtFlavor::Svt);
+        let clock = low.max_clock(&nominal, Hertz::from_mhz(810.0));
+        assert!(clock.mhz() < 810.0);
+        assert!(clock.mhz() > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no overdrive")]
+    fn sub_threshold_corner_is_rejected() {
+        let _ = OperatingPoint::new(Volts::from_mv(300.0), VtFlavor::Hvt);
+    }
+}

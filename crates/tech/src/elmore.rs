@@ -1,0 +1,119 @@
+//! Elmore-style RC delay estimation.
+//!
+//! Spectre's transient analyses are replaced by the classical first-order
+//! delay expressions used throughout memory design:
+//!
+//! * lumped RC step response to 50 %: `t = 0.69·R·C`
+//! * distributed wire (RC ladder) to 50 %: `t = 0.38·R_w·C_w`
+//! * driver + distributed wire + lumped far-end load:
+//!   `t = 0.69·R_d·(C_w + C_L) + 0.38·R_w·C_w + 0.69·R_w·C_L`
+//!
+//! These capture exactly the scaling the paper attributes to parasitics:
+//! longer bitlines (wider multiport cells) and narrower, more resistive
+//! wordlines.
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_tech::elmore::driven_wire_delay;
+//! use esam_tech::units::{Farads, Ohms};
+//!
+//! let t = driven_wire_delay(
+//!     Ohms::new(2_000.0),              // driver
+//!     Ohms::new(3_000.0),              // wire R
+//!     Farads::from_ff(5.0),            // wire C
+//!     Farads::from_ff(2.0),            // far-end load
+//! );
+//! assert!(t.ps() > 0.0);
+//! ```
+
+use crate::units::{Farads, Ohms, Seconds};
+
+/// 50 % step-response delay of a lumped RC: `0.69·R·C`.
+#[inline]
+pub fn lumped_rc_delay(r: Ohms, c: Farads) -> Seconds {
+    0.69 * (r * c)
+}
+
+/// 50 % step-response delay of a distributed RC line: `0.38·R·C`.
+#[inline]
+pub fn distributed_rc_delay(r: Ohms, c: Farads) -> Seconds {
+    0.38 * (r * c)
+}
+
+/// Delay of a driver with effective resistance `r_driver` charging a
+/// distributed wire (`r_wire`, `c_wire`) terminated by a lumped load
+/// `c_load`.
+#[inline]
+pub fn driven_wire_delay(r_driver: Ohms, r_wire: Ohms, c_wire: Farads, c_load: Farads) -> Seconds {
+    lumped_rc_delay(r_driver, c_wire + c_load)
+        + distributed_rc_delay(r_wire, c_wire)
+        + lumped_rc_delay(r_wire, c_load)
+}
+
+/// Time for a constant current `i` to move a capacitance `c` through a
+/// voltage swing `dv`: `t = C·ΔV / I`. This models the cell pull-down
+/// discharging a read bitline.
+///
+/// # Panics
+///
+/// Panics if `i` is zero or negative.
+#[inline]
+pub fn constant_current_slew(
+    c: Farads,
+    dv: crate::units::Volts,
+    i: crate::units::Amps,
+) -> Seconds {
+    assert!(i.value() > 0.0, "discharge current must be positive");
+    Seconds::new(c.value() * dv.v() / i.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Amps, Volts};
+
+    #[test]
+    fn lumped_beats_distributed() {
+        let r = Ohms::new(1_000.0);
+        let c = Farads::from_ff(10.0);
+        assert!(lumped_rc_delay(r, c) > distributed_rc_delay(r, c));
+    }
+
+    #[test]
+    fn known_values() {
+        // 1 kΩ × 10 fF = 10 ps τ; 0.69τ = 6.9 ps.
+        let t = lumped_rc_delay(Ohms::new(1_000.0), Farads::from_ff(10.0));
+        assert!((t.ps() - 6.9).abs() < 1e-9);
+        let t = distributed_rc_delay(Ohms::new(1_000.0), Farads::from_ff(10.0));
+        assert!((t.ps() - 3.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn driven_wire_is_sum_of_terms() {
+        let rd = Ohms::new(2_000.0);
+        let rw = Ohms::new(3_000.0);
+        let cw = Farads::from_ff(5.0);
+        let cl = Farads::from_ff(2.0);
+        let total = driven_wire_delay(rd, rw, cw, cl);
+        let by_hand = lumped_rc_delay(rd, cw + cl)
+            + distributed_rc_delay(rw, cw)
+            + lumped_rc_delay(rw, cl);
+        assert!((total.ps() - by_hand.ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slew_linear_in_capacitance() {
+        let i = Amps::from_ua(10.0);
+        let dv = Volts::from_mv(210.0);
+        let t1 = constant_current_slew(Farads::from_ff(4.0), dv, i);
+        let t2 = constant_current_slew(Farads::from_ff(8.0), dv, i);
+        assert!((t2.ps() / t1.ps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_current_slew_panics() {
+        constant_current_slew(Farads::from_ff(1.0), Volts::from_mv(100.0), Amps::ZERO);
+    }
+}

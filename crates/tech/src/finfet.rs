@@ -1,0 +1,258 @@
+//! Analytical 3nm FinFET device model.
+//!
+//! The paper characterizes its circuits with Cadence Spectre on IMEC's 3nm
+//! FinFET PDK (Table 1). We replace the PDK with an alpha-power-law
+//! transistor model — the standard analytical abstraction for
+//! velocity-saturated short-channel devices:
+//!
+//! ```text
+//! I_on = k · n_fins · (V_GS − V_th)^α
+//! ```
+//!
+//! Together with per-fin gate/drain capacitances and per-fin sub-threshold
+//! leakage this is enough to derive every delay and energy the paper's
+//! figures need. Coefficients are documented in
+//! [`calibration::fitted`](crate::calibration::fitted).
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_tech::finfet::{FinFet, Polarity, VtFlavor};
+//! use esam_tech::units::Volts;
+//!
+//! let pull_down = FinFet::new(Polarity::Nmos, VtFlavor::Lvt, 1);
+//! let i = pull_down.on_current(Volts::from_mv(700.0));
+//! assert!(i.ua() > 30.0 && i.ua() < 60.0); // ~45 µA/fin class device
+//! ```
+
+use std::fmt;
+
+use crate::calibration::fitted;
+use crate::units::{Amps, Farads, Ohms, Volts, Watts};
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Threshold-voltage flavor offered by the technology.
+///
+/// The paper notes that low-throughput applications can use HVT devices to
+/// cut power (§4.4.2); the SRAM bitcell itself uses the standard (SVT)
+/// flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VtFlavor {
+    /// Low threshold: fastest, leakiest.
+    Lvt,
+    /// Standard threshold.
+    #[default]
+    Svt,
+    /// High threshold: slowest, lowest leakage.
+    Hvt,
+}
+
+impl VtFlavor {
+    /// Threshold voltage magnitude for this flavor at the 3nm node.
+    pub fn threshold(self) -> Volts {
+        match self {
+            VtFlavor::Lvt => Volts::from_mv(180.0),
+            VtFlavor::Svt => Volts::from_mv(250.0),
+            VtFlavor::Hvt => Volts::from_mv(320.0),
+        }
+    }
+
+    fn leak_index(self) -> usize {
+        match self {
+            VtFlavor::Lvt => 0,
+            VtFlavor::Svt => 1,
+            VtFlavor::Hvt => 2,
+        }
+    }
+}
+
+impl fmt::Display for VtFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VtFlavor::Lvt => "LVT",
+            VtFlavor::Svt => "SVT",
+            VtFlavor::Hvt => "HVT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One FinFET device: polarity, Vt flavor and fin count.
+///
+/// Fin count plays the role of transistor width at this node — drive current,
+/// capacitance and leakage all scale linearly with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FinFet {
+    polarity: Polarity,
+    flavor: VtFlavor,
+    fins: u32,
+}
+
+impl FinFet {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fins == 0`; a zero-width transistor is meaningless.
+    pub fn new(polarity: Polarity, flavor: VtFlavor, fins: u32) -> Self {
+        assert!(fins > 0, "a FinFET needs at least one fin");
+        Self {
+            polarity,
+            flavor,
+            fins,
+        }
+    }
+
+    /// Polarity of the device.
+    pub fn polarity(self) -> Polarity {
+        self.polarity
+    }
+
+    /// Vt flavor of the device.
+    pub fn flavor(self) -> VtFlavor {
+        self.flavor
+    }
+
+    /// Number of fins.
+    pub fn fins(self) -> u32 {
+        self.fins
+    }
+
+    /// Saturation (on) current at gate drive `v_gs` via the alpha-power law.
+    ///
+    /// Returns zero current when the overdrive is non-positive — the device
+    /// is off (sub-threshold conduction is modeled separately as
+    /// [`leakage_current`](Self::leakage_current)).
+    pub fn on_current(self, v_gs: Volts) -> Amps {
+        let overdrive = v_gs.v() - self.flavor.threshold().v();
+        if overdrive <= 0.0 {
+            return Amps::ZERO;
+        }
+        let k = match self.polarity {
+            Polarity::Nmos => fitted::NMOS_K_PER_FIN,
+            Polarity::Pmos => fitted::NMOS_K_PER_FIN * fitted::PMOS_DRIVE_RATIO,
+        };
+        Amps::new(k * self.fins as f64 * overdrive.powf(fitted::ALPHA))
+    }
+
+    /// Effective switching resistance for RC delay estimation, using the
+    /// standard switch model `R_eff ≈ V_DD / (2·I_on(V_DD))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device does not conduct at `v_dd` (overdrive ≤ 0).
+    pub fn effective_resistance(self, v_dd: Volts) -> Ohms {
+        let i = self.on_current(v_dd);
+        assert!(
+            i.value() > 0.0,
+            "device with Vt {} does not conduct at {v_dd}",
+            self.flavor.threshold()
+        );
+        Volts::new(v_dd.v() / 2.0) / i
+    }
+
+    /// Total gate capacitance.
+    pub fn gate_capacitance(self) -> Farads {
+        Farads::new(fitted::GATE_CAP_PER_FIN * self.fins as f64)
+    }
+
+    /// Source/drain junction + contact capacitance (one terminal).
+    pub fn drain_capacitance(self) -> Farads {
+        Farads::new(fitted::DRAIN_CAP_PER_FIN * self.fins as f64)
+    }
+
+    /// Sub-threshold (off-state) leakage current at nominal conditions.
+    pub fn leakage_current(self) -> Amps {
+        Amps::new(fitted::LEAK_PER_FIN[self.flavor.leak_index()] * self.fins as f64)
+    }
+
+    /// Static leakage power when biased at `v_dd`.
+    pub fn leakage_power(self, v_dd: Volts) -> Watts {
+        v_dd * self.leakage_current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VDD: Volts = Volts::new(0.7);
+
+    #[test]
+    fn lvt_fin_drives_about_45_ua() {
+        let t = FinFet::new(Polarity::Nmos, VtFlavor::Lvt, 1);
+        let i = t.on_current(VDD).ua();
+        assert!((i - 45.0).abs() < 5.0, "got {i} µA");
+    }
+
+    #[test]
+    fn current_scales_with_fins() {
+        let one = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1).on_current(VDD);
+        let three = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 3).on_current(VDD);
+        assert!((three.value() / one.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmos_is_weaker_than_nmos() {
+        let n = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1).on_current(VDD);
+        let p = FinFet::new(Polarity::Pmos, VtFlavor::Svt, 1).on_current(VDD);
+        assert!(p.value() < n.value());
+    }
+
+    #[test]
+    fn vt_ordering_in_current_and_leakage() {
+        let lvt = FinFet::new(Polarity::Nmos, VtFlavor::Lvt, 1);
+        let svt = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1);
+        let hvt = FinFet::new(Polarity::Nmos, VtFlavor::Hvt, 1);
+        assert!(lvt.on_current(VDD).value() > svt.on_current(VDD).value());
+        assert!(svt.on_current(VDD).value() > hvt.on_current(VDD).value());
+        assert!(lvt.leakage_current().value() > svt.leakage_current().value());
+        assert!(svt.leakage_current().value() > hvt.leakage_current().value());
+    }
+
+    #[test]
+    fn off_below_threshold() {
+        let t = FinFet::new(Polarity::Nmos, VtFlavor::Hvt, 2);
+        assert_eq!(t.on_current(Volts::from_mv(300.0)), Amps::ZERO);
+    }
+
+    #[test]
+    fn effective_resistance_is_kohm_class() {
+        let t = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1);
+        let r = t.effective_resistance(VDD).value();
+        assert!(r > 3_000.0 && r < 20_000.0, "got {r} Ω");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not conduct")]
+    fn effective_resistance_panics_when_off() {
+        FinFet::new(Polarity::Nmos, VtFlavor::Hvt, 1).effective_resistance(Volts::from_mv(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fin")]
+    fn zero_fins_panics() {
+        FinFet::new(Polarity::Nmos, VtFlavor::Svt, 0);
+    }
+
+    #[test]
+    fn lower_vdd_means_less_current() {
+        let t = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1);
+        assert!(t.on_current(Volts::from_mv(500.0)).value() < t.on_current(VDD).value());
+    }
+
+    #[test]
+    fn leakage_power_scale() {
+        // An SVT fin leaks ~0.5 nA ⇒ ~0.35 nW at 0.7 V.
+        let p = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1).leakage_power(VDD);
+        assert!(p.value() > 0.1e-9 && p.value() < 1.0e-9, "got {p}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Technology substrate for the ESAM reproduction: an analytical stand-in
+//! for IMEC's 3nm FinFET PDK plus the EDA flow the paper used.
+//!
+//! The paper (Table 1) characterizes its circuits with Cadence Spectre,
+//! Calibre PEX parasitics, ±3σ process variation and a Negative-Bitline
+//! write-assist methodology [19]. None of those are available outside the
+//! IMEC ecosystem, so this crate provides the calibrated analytical
+//! equivalents the rest of the workspace builds on:
+//!
+//! * [`units`] — strongly-typed physical quantities (seconds, volts, farads,
+//!   joules, watts, µm², …) so model code cannot mix dimensions.
+//! * [`finfet`] — alpha-power-law FinFET drive current, capacitance and
+//!   leakage per fin.
+//! * [`wire`] — resistance-dominated 3nm interconnect, including the
+//!   narrowed multiport wordline of §4.2.
+//! * [`elmore`] — first-order RC delay estimation.
+//! * [`process`] — ±3σ worst-case derating and seeded Monte-Carlo mismatch.
+//! * [`nbl`] — the write-margin rule that limits arrays to 128×128.
+//! * [`calibration`] — every paper datapoint used as a model anchor, with
+//!   provenance.
+//!
+//! # Examples
+//!
+//! Estimate how long a worst-case cell takes to discharge a read bitline:
+//!
+//! ```
+//! use esam_tech::elmore::constant_current_slew;
+//! use esam_tech::finfet::{FinFet, Polarity, VtFlavor};
+//! use esam_tech::process::VariationModel;
+//! use esam_tech::units::{Farads, Volts};
+//!
+//! let cell = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1);
+//! let nominal = cell.on_current(Volts::from_mv(700.0));
+//! let worst = nominal * VariationModel::paper_default().worst_case_current_factor();
+//! let t = constant_current_slew(Farads::from_ff(4.8), Volts::from_mv(210.0), worst);
+//! assert!(t.ps() > 10.0 && t.ps() < 200.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod dvfs;
+pub mod elmore;
+pub mod finfet;
+pub mod nbl;
+pub mod process;
+pub mod units;
+pub mod wire;

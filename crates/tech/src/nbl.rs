@@ -1,0 +1,331 @@
+//! Negative-Bitline (NBL) write-assist model.
+//!
+//! Writing an SRAM cell at resistance-dominated nodes needs help: the write
+//! driver under-drives the complementary bitline to a voltage `V_WD < V_SS`
+//! to force the cell to flip (§4.1, ref [19]). How deep `V_WD` must go grows
+//! with the bitline parasitics — more cells on the line and wider (multiport)
+//! cells both hurt. A required `V_WD` below −400 mV marks the array size as
+//! non-implementable for yield reasons; this is what restricts ESAM arrays
+//! to ≤128 rows and columns.
+//!
+//! The model is quadratic in electrical bitline length (IR drop across a
+//! distributed RC grows superlinearly) with a linear term for the extra
+//! internal-node loading of multiport cells:
+//!
+//! ```text
+//! |V_WD| = a · n̂ · (1 + b·(mult − 1)) + c · n̂²      with n̂ = cells/128
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_tech::nbl::NblModel;
+//!
+//! let nbl = NblModel::paper_default();
+//! // A 128-cell bitline of 6T cells needs a mild assist...
+//! let v = nbl.required_assist(128, 1.0).unwrap();
+//! assert!(v.mv() < 0.0 && v.mv() > -400.0);
+//! // ...but 256 cells violate the −400 mV yield limit.
+//! assert!(nbl.required_assist(256, 1.0).is_err());
+//! ```
+
+use std::fmt;
+
+use crate::calibration::paper;
+use crate::units::Volts;
+
+/// Error returned when an array size cannot be written reliably.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteMarginError {
+    required: Volts,
+    limit: Volts,
+    cells_on_bitline: usize,
+    width_multiplier: f64,
+}
+
+impl WriteMarginError {
+    /// The assist voltage the configuration would need.
+    pub fn required(&self) -> Volts {
+        self.required
+    }
+
+    /// The yield limit it violates.
+    pub fn limit(&self) -> Volts {
+        self.limit
+    }
+}
+
+impl fmt::Display for WriteMarginError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "write margin violation: {} cells on bitline at {:.3}x width need V_WD = {:.1} mV, below the {:.0} mV yield limit",
+            self.cells_on_bitline,
+            self.width_multiplier,
+            self.required.mv(),
+            self.limit.mv()
+        )
+    }
+}
+
+impl std::error::Error for WriteMarginError {}
+
+/// Negative-bitline assist requirement model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NblModel {
+    linear_mv: f64,
+    width_coupling: f64,
+    quadratic_mv: f64,
+    limit: Volts,
+}
+
+impl NblModel {
+    /// Builds a model from raw coefficients (millivolts at the 128-cell
+    /// reference length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or the limit is positive.
+    pub fn new(linear_mv: f64, width_coupling: f64, quadratic_mv: f64, limit: Volts) -> Self {
+        assert!(linear_mv >= 0.0 && width_coupling >= 0.0 && quadratic_mv >= 0.0);
+        assert!(limit.mv() < 0.0, "the yield limit is a negative voltage");
+        Self {
+            linear_mv,
+            width_coupling,
+            quadratic_mv,
+            limit,
+        }
+    }
+
+    /// Coefficients fitted to the paper's constraints: 128-cell lines are
+    /// valid for every cell type (6T needs a mild assist, the 4-port cell a
+    /// deep but legal one), while 256-cell lines fail for all of them.
+    pub fn paper_default() -> Self {
+        Self::new(30.0, 3.2, 90.0, Volts::from_mv(paper::VWD_LIMIT_MV))
+    }
+
+    /// Required assist voltage (negative) for `cells_on_bitline` cells of
+    /// relative width `width_multiplier` sharing one write bitline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteMarginError`] when the requirement is below the yield
+    /// limit (§4.1: such array sizes are considered non-valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_on_bitline == 0` or `width_multiplier < 1.0`.
+    pub fn required_assist(
+        &self,
+        cells_on_bitline: usize,
+        width_multiplier: f64,
+    ) -> Result<Volts, WriteMarginError> {
+        assert!(cells_on_bitline > 0, "a bitline carries at least one cell");
+        assert!(
+            width_multiplier >= 1.0,
+            "width multiplier is relative to the 6T cell (≥ 1.0)"
+        );
+        let n_hat = cells_on_bitline as f64 / 128.0;
+        let magnitude_mv = self.linear_mv * n_hat * (1.0 + self.width_coupling * (width_multiplier - 1.0))
+            + self.quadratic_mv * n_hat * n_hat;
+        let required = Volts::from_mv(-magnitude_mv);
+        if required < self.limit {
+            Err(WriteMarginError {
+                required,
+                limit: self.limit,
+                cells_on_bitline,
+                width_multiplier,
+            })
+        } else {
+            Ok(required)
+        }
+    }
+
+    /// The yield limit (−400 mV in the paper).
+    pub fn limit(&self) -> Volts {
+        self.limit
+    }
+
+    /// Per-cell write-failure probability given the assist headroom.
+    ///
+    /// The −400 mV rule is a proxy for yield [19]: the deeper the required
+    /// `V_WD` sits below the limit the less margin remains against local
+    /// write-margin variation. We model the cell-to-cell write margin as
+    /// Gaussian with [`WRITE_MARGIN_SIGMA_MV`] of σ; a cell fails when
+    /// variation eats the whole headroom. Returns a probability in `[0, 1]`.
+    pub fn cell_write_failure_probability(
+        &self,
+        cells_on_bitline: usize,
+        width_multiplier: f64,
+    ) -> f64 {
+        let headroom_mv = match self.required_assist(cells_on_bitline, width_multiplier) {
+            Ok(v) => v.mv() - self.limit.mv(), // positive headroom
+            Err(e) => e.required().mv() - self.limit.mv(), // negative
+        };
+        gaussian_tail(headroom_mv / WRITE_MARGIN_SIGMA_MV)
+    }
+
+    /// Expected yield of a full `rows × cols` array: every cell must write.
+    pub fn array_yield(&self, rows: usize, cols: usize, width_multiplier: f64) -> f64 {
+        let cells_on_bitline = cols.max(rows); // conservative: the longer dim
+        let p_fail = self.cell_write_failure_probability(cells_on_bitline, width_multiplier);
+        (1.0 - p_fail).powi((rows * cols) as i32).max(0.0)
+    }
+
+    /// Largest bitline length (cells) that stays within the yield limit for
+    /// a given cell width.
+    pub fn max_valid_cells(&self, width_multiplier: f64) -> usize {
+        let mut lo = 1usize;
+        let mut hi = 4096usize;
+        while self.required_assist(hi, width_multiplier).is_ok() {
+            hi *= 2;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if self.required_assist(mid, width_multiplier).is_ok() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+impl Default for NblModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// σ of local write-margin variation (mV), referred to the assist voltage.
+const WRITE_MARGIN_SIGMA_MV: f64 = 22.0;
+
+/// Upper-tail probability `P(X > x)` of a standard normal, via the
+/// Abramowitz–Stegun complementary-error-function approximation (7.1.26) —
+/// accurate to ~1.5e-7, ample for yield estimates.
+fn gaussian_tail(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - gaussian_tail(-x);
+    }
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * z);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    0.5 * poly * (-z * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::paper::CELL_AREA_MULTIPLIERS;
+
+    #[test]
+    fn all_cell_types_valid_at_128() {
+        let nbl = NblModel::paper_default();
+        for &mult in &CELL_AREA_MULTIPLIERS {
+            let v = nbl
+                .required_assist(128, mult)
+                .unwrap_or_else(|e| panic!("128 cells at {mult}x must be valid: {e}"));
+            assert!(v.mv() <= 0.0);
+        }
+    }
+
+    #[test]
+    fn no_cell_type_valid_at_256() {
+        let nbl = NblModel::paper_default();
+        for &mult in &CELL_AREA_MULTIPLIERS {
+            assert!(
+                nbl.required_assist(256, mult).is_err(),
+                "256 cells at {mult}x must violate the yield limit"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_assist_for_wider_cells() {
+        let nbl = NblModel::paper_default();
+        let v6t = nbl.required_assist(128, 1.0).unwrap();
+        let v4r = nbl.required_assist(128, 2.625).unwrap();
+        assert!(v4r < v6t, "multiport cells need a deeper V_WD");
+    }
+
+    #[test]
+    fn deeper_assist_for_longer_bitlines() {
+        let nbl = NblModel::paper_default();
+        let short = nbl.required_assist(64, 1.0).unwrap();
+        let long = nbl.required_assist(128, 1.0).unwrap();
+        assert!(long < short);
+    }
+
+    #[test]
+    fn max_valid_cells_is_128_class() {
+        let nbl = NblModel::paper_default();
+        let max_6t = nbl.max_valid_cells(1.0);
+        assert!(
+            (128..256).contains(&max_6t),
+            "6T max bitline {max_6t} should sit between 128 and 256"
+        );
+        let max_4r = nbl.max_valid_cells(2.625);
+        assert!(max_4r >= 128, "the paper implements 128-cell 4R arrays");
+        assert!(max_4r < max_6t, "wider cells cap out earlier");
+    }
+
+    #[test]
+    fn error_is_informative() {
+        let nbl = NblModel::paper_default();
+        let err = nbl.required_assist(512, 2.625).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("write margin violation"));
+        assert!(err.required() < err.limit());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        NblModel::paper_default().required_assist(0, 1.0).ok();
+    }
+
+    #[test]
+    fn gaussian_tail_sanity() {
+        assert!((gaussian_tail(0.0) - 0.5).abs() < 1e-6);
+        assert!((gaussian_tail(1.0) - 0.158655).abs() < 1e-4);
+        assert!((gaussian_tail(-1.0) - 0.841345).abs() < 1e-4);
+        assert!(gaussian_tail(6.0) < 1e-8);
+    }
+
+    #[test]
+    fn yield_is_high_inside_the_limit_and_collapses_outside() {
+        let nbl = NblModel::paper_default();
+        // The paper's 128×128 arrays: near-perfect yield for every cell.
+        for &mult in &CELL_AREA_MULTIPLIERS {
+            let y = nbl.array_yield(128, 128, mult);
+            assert!(y > 0.95, "128x128 at {mult}x: yield {y}");
+        }
+        // Slightly past the 4R validity boundary the yield collapses —
+        // exactly why the −400 mV rule exists.
+        let boundary = nbl.max_valid_cells(2.625);
+        let just_past = nbl.array_yield(128, boundary + 24, 2.625);
+        assert!(just_past < 0.5, "yield past the limit: {just_past}");
+        // And it is monotone in array size.
+        assert!(
+            nbl.array_yield(128, 128, 2.625) > nbl.array_yield(128, boundary, 2.625)
+        );
+    }
+
+    #[test]
+    fn failure_probability_grows_with_loading() {
+        let nbl = NblModel::paper_default();
+        let p128 = nbl.cell_write_failure_probability(128, 2.625);
+        let p192 = nbl.cell_write_failure_probability(192, 2.625);
+        assert!(p192 > p128);
+        assert!(p128 < 1e-6, "inside the limit failures are rare: {p128}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width multiplier")]
+    fn sub_unity_width_panics() {
+        NblModel::paper_default().required_assist(128, 0.5).ok();
+    }
+}

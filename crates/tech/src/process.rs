@@ -1,0 +1,178 @@
+//! Process variation: worst-case derating and Monte-Carlo sampling.
+//!
+//! The paper simulates at ±3σ process variation and targets the *worst-case*
+//! cell/row/column (Table 1). [`VariationModel`] captures that contract: a
+//! deterministic worst-case derating factor for analytical timing, plus a
+//! seeded Monte-Carlo sampler (Box–Muller over ChaCha8) for distribution
+//! studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_tech::process::VariationModel;
+//!
+//! let var = VariationModel::paper_default();
+//! // Worst cell at −3σ drives ~24 % less current than nominal.
+//! let factor = var.worst_case_current_factor();
+//! assert!(factor < 1.0 && factor > 0.5);
+//! ```
+
+use rand::{Rng, RngExt};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::calibration::fitted;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// `rand_distr` is intentionally not a dependency; two uniform draws are all
+/// Monte-Carlo needs here.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    f64::sqrt(-2.0 * u1.ln()) * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Statistical model of cell-to-cell mismatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    current_sigma: f64,
+    n_sigma: f64,
+}
+
+impl VariationModel {
+    /// Builds a model with the given fractional σ of cell read current and
+    /// the number of sigmas for the worst-case corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current_sigma` is not in `[0, 0.5)` or `n_sigma` is
+    /// negative.
+    pub fn new(current_sigma: f64, n_sigma: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&current_sigma),
+            "current sigma fraction must be in [0, 0.5)"
+        );
+        assert!(n_sigma >= 0.0, "sigma count must be non-negative");
+        Self {
+            current_sigma,
+            n_sigma,
+        }
+    }
+
+    /// The paper's setup: ±3σ with the fitted current mismatch.
+    pub fn paper_default() -> Self {
+        Self::new(fitted::CELL_CURRENT_SIGMA, 3.0)
+    }
+
+    /// A variation-free model (nominal corner), useful in unit tests.
+    pub fn nominal() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// Fractional σ of the cell read current.
+    pub fn current_sigma(&self) -> f64 {
+        self.current_sigma
+    }
+
+    /// Number of sigmas used for worst-case analysis.
+    pub fn n_sigma(&self) -> f64 {
+        self.n_sigma
+    }
+
+    /// Multiplicative derating applied to cell drive current for the
+    /// worst-case cell: `1 − n·σ`, floored at 10 % of nominal.
+    pub fn worst_case_current_factor(&self) -> f64 {
+        (1.0 - self.n_sigma * self.current_sigma).max(0.1)
+    }
+
+    /// Worst-case slowdown of any current-limited delay (reciprocal of the
+    /// current factor).
+    pub fn worst_case_delay_factor(&self) -> f64 {
+        1.0 / self.worst_case_current_factor()
+    }
+
+    /// Samples one cell's current factor from the mismatch distribution.
+    pub fn sample_current_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (1.0 + standard_normal(rng) * self.current_sigma).max(0.05)
+    }
+
+    /// Runs an `n`-sample Monte-Carlo of cell current factors with a fixed
+    /// seed and returns the samples, worst (minimum) first.
+    pub fn monte_carlo(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut samples: Vec<f64> = (0..n).map(|_| self.sample_current_factor(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        samples
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_derates_current() {
+        let v = VariationModel::paper_default();
+        let f = v.worst_case_current_factor();
+        assert!((f - (1.0 - 3.0 * fitted::CELL_CURRENT_SIGMA)).abs() < 1e-12);
+        assert!(v.worst_case_delay_factor() > 1.0);
+    }
+
+    #[test]
+    fn nominal_model_is_identity() {
+        let v = VariationModel::nominal();
+        assert_eq!(v.worst_case_current_factor(), 1.0);
+        assert_eq!(v.worst_case_delay_factor(), 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let v = VariationModel::paper_default();
+        assert_eq!(v.monte_carlo(100, 7), v.monte_carlo(100, 7));
+        assert_ne!(v.monte_carlo(100, 7), v.monte_carlo(100, 8));
+    }
+
+    #[test]
+    fn monte_carlo_statistics_are_sane() {
+        let v = VariationModel::paper_default();
+        let samples = v.monte_carlo(20_000, 42);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let var: f64 =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let sigma = var.sqrt();
+        assert!(
+            (sigma - fitted::CELL_CURRENT_SIGMA).abs() < 0.01,
+            "sigma {sigma}"
+        );
+        // Sorted ascending: first sample is the worst cell.
+        assert!(samples[0] < samples[samples.len() - 1]);
+    }
+
+    #[test]
+    fn worst_case_floor() {
+        let v = VariationModel::new(0.4, 3.0);
+        assert!((v.worst_case_current_factor() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma fraction")]
+    fn absurd_sigma_panics() {
+        VariationModel::new(0.9, 3.0);
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| standard_normal(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,688 @@
+//! Strongly-typed physical quantities.
+//!
+//! Every electrical quantity in the ESAM models is carried in a newtype
+//! (`C-NEWTYPE`): a time can never be added to an energy, and a precharge
+//! voltage can never be passed where a capacitance is expected. All values
+//! are stored in base SI units (`f64`) with convenience constructors and
+//! accessors for the magnitudes the paper uses (ps/ns, mV, fF, fJ/pJ, mW,
+//! µm²).
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_tech::units::{Farads, Ohms, Seconds, Volts};
+//!
+//! let r = Ohms::new(5_000.0);
+//! let c = Farads::from_ff(5.0);
+//! let tau: Seconds = r * c; // Ω × F = s, checked at compile time
+//! assert!(tau.ps() > 0.0);
+//! let swing = Volts::from_mv(700.0) - Volts::from_mv(500.0);
+//! assert!((swing.mv() - 200.0).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Formats `value` with an engineering prefix (e.g. `1.23 ns`, `607 pJ`).
+fn eng_format(f: &mut fmt::Formatter<'_>, value: f64, unit: &str) -> fmt::Result {
+    if value == 0.0 {
+        return write!(f, "0 {unit}");
+    }
+    if !value.is_finite() {
+        return write!(f, "{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 11] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1e0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ];
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| magnitude >= *s)
+        .copied()
+        .unwrap_or((1e-18, "a"));
+    let scaled = value / scale;
+    if let Some(precision) = f.precision() {
+        write!(f, "{scaled:.precision$} {prefix}{unit}")
+    } else {
+        write!(f, "{scaled:.3} {prefix}{unit}")
+    }
+}
+
+macro_rules! unit_type {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a value expressed in base SI units.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Raw value in base SI units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// `true` when the value is finite (not NaN or ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` when the value is exactly zero.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                eng_format(f, self.0, $unit)
+            }
+        }
+    };
+}
+
+unit_type!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+unit_type!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+unit_type!(
+    /// A capacitance in farads.
+    Farads,
+    "F"
+);
+unit_type!(
+    /// A resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit_type!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+unit_type!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+unit_type!(
+    /// A current in amperes.
+    Amps,
+    "A"
+);
+unit_type!(
+    /// A frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit_type!(
+    /// A silicon area in square micrometres.
+    ///
+    /// Unlike the other units this one is *not* SI-based: layout areas in the
+    /// paper are quoted in µm² (the 6T cell is 0.01512 µm²), so µm² is the
+    /// base unit here.
+    AreaUm2,
+    "µm²"
+);
+unit_type!(
+    /// A length in micrometres (layout dimension base unit).
+    MicroMeters,
+    "µm"
+);
+
+impl Seconds {
+    /// Creates a duration from picoseconds.
+    #[inline]
+    pub fn from_ps(ps: f64) -> Self {
+        Self(ps * 1e-12)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Value in picoseconds.
+    #[inline]
+    pub fn ps(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Value in nanoseconds.
+    #[inline]
+    pub fn ns(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Value in microseconds.
+    #[inline]
+    pub fn us(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The frequency whose period is this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero or negative.
+    #[inline]
+    pub fn to_frequency(self) -> Hertz {
+        assert!(self.0 > 0.0, "period must be positive to form a frequency");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Volts {
+    /// Creates a potential from millivolts.
+    #[inline]
+    pub fn from_mv(mv: f64) -> Self {
+        Self(mv * 1e-3)
+    }
+
+    /// Value in millivolts.
+    #[inline]
+    pub fn mv(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Value in volts (alias of [`Volts::value`] for readability).
+    #[inline]
+    pub fn v(self) -> f64 {
+        self.0
+    }
+}
+
+impl Farads {
+    /// Creates a capacitance from femtofarads.
+    #[inline]
+    pub fn from_ff(ff: f64) -> Self {
+        Self(ff * 1e-15)
+    }
+
+    /// Creates a capacitance from picofarads.
+    #[inline]
+    pub fn from_pf(pf: f64) -> Self {
+        Self(pf * 1e-12)
+    }
+
+    /// Value in femtofarads.
+    #[inline]
+    pub fn ff(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Joules {
+    /// Creates an energy from femtojoules.
+    #[inline]
+    pub fn from_fj(fj: f64) -> Self {
+        Self(fj * 1e-15)
+    }
+
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub fn from_pj(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[inline]
+    pub fn from_nj(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Value in femtojoules.
+    #[inline]
+    pub fn fj(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Value in picojoules.
+    #[inline]
+    pub fn pj(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Value in nanojoules.
+    #[inline]
+    pub fn nj(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub fn from_mw(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[inline]
+    pub fn from_uw(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Creates a power from nanowatts.
+    #[inline]
+    pub fn from_nw(nw: f64) -> Self {
+        Self(nw * 1e-9)
+    }
+
+    /// Value in milliwatts.
+    #[inline]
+    pub fn mw(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Value in microwatts.
+    #[inline]
+    pub fn uw(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Amps {
+    /// Creates a current from microamperes.
+    #[inline]
+    pub fn from_ua(ua: f64) -> Self {
+        Self(ua * 1e-6)
+    }
+
+    /// Creates a current from nanoamperes.
+    #[inline]
+    pub fn from_na(na: f64) -> Self {
+        Self(na * 1e-9)
+    }
+
+    /// Value in microamperes.
+    #[inline]
+    pub fn ua(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Hertz {
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Value in megahertz.
+    #[inline]
+    pub fn mhz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[inline]
+    pub fn to_period(self) -> Seconds {
+        assert!(self.0 > 0.0, "frequency must be positive to form a period");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl MicroMeters {
+    /// Creates a length from nanometres.
+    #[inline]
+    pub fn from_nm(nm: f64) -> Self {
+        Self(nm * 1e-3)
+    }
+
+    /// Value in nanometres.
+    #[inline]
+    pub fn nm(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Value in micrometres (alias of [`MicroMeters::value`]).
+    #[inline]
+    pub fn um(self) -> f64 {
+        self.0
+    }
+}
+
+// ---- Cross-unit arithmetic -------------------------------------------------
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    /// `Ω × F = s` — an RC time constant.
+    #[inline]
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Seconds {
+        rhs * self
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// `V × A = W`.
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// `W × s = J`.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// `J / s = W`.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    /// `V / A = Ω`.
+    #[inline]
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// `V / Ω = A`.
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<MicroMeters> for MicroMeters {
+    type Output = AreaUm2;
+    /// `µm × µm = µm²`.
+    #[inline]
+    fn mul(self, rhs: MicroMeters) -> AreaUm2 {
+        AreaUm2(self.0 * rhs.0)
+    }
+}
+
+/// Switching (dynamic) energy of charging a capacitance `c` through a supply
+/// at `v_supply` over a voltage swing `v_swing`: `E = C · V_supply · ΔV`.
+///
+/// For a full-rail transition (`v_swing == v_supply`) this reduces to the
+/// familiar `C·V²`. Limited-swing bitlines (differential sensing) pass the
+/// actual developed swing instead.
+///
+/// # Examples
+///
+/// ```
+/// use esam_tech::units::{dynamic_energy, Farads, Volts};
+/// let e = dynamic_energy(Farads::from_ff(10.0), Volts::from_mv(700.0), Volts::from_mv(700.0));
+/// assert!((e.fj() - 4.9).abs() < 1e-9); // 10 fF × 0.7 V × 0.7 V
+/// ```
+#[inline]
+pub fn dynamic_energy(c: Farads, v_supply: Volts, v_swing: Volts) -> Joules {
+    Joules(c.0 * v_supply.0 * v_swing.0)
+}
+
+/// Charge-based energy drawn from a supply `v_supply` when moving charge
+/// `q = C·ΔV`: identical to [`dynamic_energy`]; provided for readability at
+/// call sites that think in charge.
+#[inline]
+pub fn charge_energy(c: Farads, v_supply: Volts, delta_v: Volts) -> Joules {
+    dynamic_energy(c, v_supply, delta_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert!((Seconds::from_ns(1.2).ps() - 1200.0).abs() < 1e-9);
+        assert!((Volts::from_mv(700.0).v() - 0.7).abs() < 1e-12);
+        assert!((Farads::from_ff(5.0).value() - 5e-15).abs() < 1e-27);
+        assert!((Joules::from_pj(607.0).nj() - 0.607).abs() < 1e-9);
+        assert!((Watts::from_mw(29.0).value() - 0.029).abs() < 1e-12);
+        assert!((Hertz::from_mhz(810.0).to_period().ns() - 1.2345679).abs() < 1e-3);
+        assert!((MicroMeters::from_nm(174.0).um() - 0.174).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_within_unit() {
+        let a = Seconds::from_ns(1.0) + Seconds::from_ns(0.5);
+        assert!((a.ns() - 1.5).abs() < 1e-12);
+        let b = a - Seconds::from_ns(0.5);
+        assert!((b.ns() - 1.0).abs() < 1e-12);
+        assert!((2.0 * b).ns() > b.ns());
+        assert!(((b / 2.0).ns() - 0.5).abs() < 1e-12);
+        assert!((a / b - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_unit_arithmetic() {
+        let tau: Seconds = Ohms::new(1000.0) * Farads::from_ff(1.0);
+        assert!((tau.ps() - 1e-3 * 1000.0).abs() < 1e-9); // 1 kΩ × 1 fF = 1 ps
+        let p: Watts = Volts::new(0.7) * Amps::from_ua(10.0);
+        assert!((p.uw() - 7.0).abs() < 1e-9);
+        let e: Joules = p * Seconds::from_ns(1.0);
+        assert!((e.fj() - 7.0).abs() < 1e-9);
+        let back: Watts = e / Seconds::from_ns(1.0);
+        assert!((back.uw() - 7.0).abs() < 1e-9);
+        let r: Ohms = Volts::new(0.7) / Amps::from_ua(70.0);
+        assert!((r.value() - 10_000.0).abs() < 1e-6);
+        let i: Amps = Volts::new(0.7) / Ohms::new(10_000.0);
+        assert!((i.ua() - 70.0).abs() < 1e-9);
+        let area: AreaUm2 = MicroMeters::from_nm(174.0) * MicroMeters::from_nm(87.0);
+        assert!((area.value() - 0.015138).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamic_energy_full_rail() {
+        let e = dynamic_energy(Farads::from_ff(1.0), Volts::new(0.7), Volts::new(0.7));
+        assert!((e.fj() - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_abs() {
+        let a = Seconds::from_ns(1.0);
+        let b = Seconds::from_ns(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-a).abs(), a);
+        assert!(a.is_finite());
+        assert!(Seconds::ZERO.is_zero());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Joules = (0..4).map(|_| Joules::from_pj(1.0)).sum();
+        assert!((total.pj() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_engineering_prefixes() {
+        assert_eq!(format!("{}", Seconds::from_ns(1.23)), "1.230 ns");
+        assert_eq!(format!("{}", Joules::from_pj(607.0)), "607.000 pJ");
+        assert_eq!(format!("{}", Watts::from_mw(29.0)), "29.000 mW");
+        assert_eq!(format!("{:.1}", Hertz::from_mhz(810.0)), "810.0 MHz");
+        assert_eq!(format!("{}", Seconds::ZERO), "0 s");
+    }
+
+    #[test]
+    fn period_frequency_roundtrip() {
+        let f = Hertz::from_mhz(810.0);
+        let p = f.to_period();
+        assert!((p.to_frequency().mhz() - 810.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        Seconds::ZERO.to_frequency();
+    }
+}

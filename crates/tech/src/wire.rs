@@ -1,0 +1,150 @@
+//! Interconnect parasitics: per-µm wire resistance and capacitance.
+//!
+//! At the 3nm node local interconnect is *resistance-dominated* (the paper's
+//! refs [19] and [21] are exactly about this). The model exposes two wire
+//! widths: the standard width, and the narrowed width the multiport bitcell
+//! is forced to use for its wordline so that RBL0–RBL3 fit in the same metal
+//! layer (§4.2) — the cause of the jump in transposed-port access times in
+//! Fig. 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use esam_tech::wire::{WireSegment, WireSpec, WireWidth};
+//! use esam_tech::units::MicroMeters;
+//!
+//! let std_wl = WireSegment::new(WireSpec::new(WireWidth::Standard), MicroMeters::new(11.1));
+//! let narrow_wl = WireSegment::new(WireSpec::new(WireWidth::Narrow), MicroMeters::new(11.1));
+//! assert!(narrow_wl.resistance().value() > 2.0 * std_wl.resistance().value());
+//! ```
+
+use crate::calibration::fitted;
+use crate::units::{Farads, MicroMeters, Ohms};
+
+/// Drawn width class of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireWidth {
+    /// Standard-width local interconnect.
+    #[default]
+    Standard,
+    /// Narrowed wire: the multiport cell's WL, squeezed by the added
+    /// read bitlines routed in the same layer (§4.2).
+    Narrow,
+}
+
+/// Electrical description of a routing track.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WireSpec {
+    width: WireWidth,
+}
+
+impl WireSpec {
+    /// Creates a spec for the given width class.
+    pub fn new(width: WireWidth) -> Self {
+        Self { width }
+    }
+
+    /// Width class.
+    pub fn width(self) -> WireWidth {
+        self.width
+    }
+
+    /// Resistance per micrometre of run length.
+    pub fn r_per_um(self) -> Ohms {
+        let base = fitted::WIRE_R_PER_UM_STD;
+        match self.width {
+            WireWidth::Standard => Ohms::new(base),
+            WireWidth::Narrow => Ohms::new(base * fitted::NARROW_WIRE_R_FACTOR),
+        }
+    }
+
+    /// Capacitance per micrometre of run length.
+    pub fn c_per_um(self) -> Farads {
+        let base = fitted::WIRE_C_PER_UM_STD;
+        match self.width {
+            WireWidth::Standard => Farads::new(base),
+            WireWidth::Narrow => Farads::new(base * fitted::NARROW_WIRE_C_FACTOR),
+        }
+    }
+}
+
+/// A routed wire of a given spec and length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSegment {
+    spec: WireSpec,
+    length: MicroMeters,
+}
+
+impl WireSegment {
+    /// Creates a wire segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is negative.
+    pub fn new(spec: WireSpec, length: MicroMeters) -> Self {
+        assert!(length.value() >= 0.0, "wire length must be non-negative");
+        Self { spec, length }
+    }
+
+    /// The wire's spec.
+    pub fn spec(self) -> WireSpec {
+        self.spec
+    }
+
+    /// Run length.
+    pub fn length(self) -> MicroMeters {
+        self.length
+    }
+
+    /// Total distributed resistance.
+    pub fn resistance(self) -> Ohms {
+        self.spec.r_per_um() * self.length.um()
+    }
+
+    /// Total distributed capacitance (wire only, excluding attached devices).
+    pub fn capacitance(self) -> Farads {
+        self.spec.c_per_um() * self.length.um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_wire_parasitics() {
+        let w = WireSegment::new(WireSpec::default(), MicroMeters::new(10.0));
+        assert!((w.resistance().value() - 3000.0).abs() < 1.0);
+        assert!((w.capacitance().ff() - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_wire_is_more_resistive_less_capacitive() {
+        let std = WireSpec::new(WireWidth::Standard);
+        let narrow = WireSpec::new(WireWidth::Narrow);
+        assert!(narrow.r_per_um().value() > std.r_per_um().value());
+        assert!(narrow.c_per_um().value() < std.c_per_um().value());
+    }
+
+    #[test]
+    fn parasitics_scale_linearly_with_length() {
+        let spec = WireSpec::default();
+        let short = WireSegment::new(spec, MicroMeters::new(1.0));
+        let long = WireSegment::new(spec, MicroMeters::new(4.0));
+        assert!((long.resistance().value() / short.resistance().value() - 4.0).abs() < 1e-9);
+        assert!((long.capacitance().value() / short.capacitance().value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_wire_is_free() {
+        let w = WireSegment::new(WireSpec::default(), MicroMeters::ZERO);
+        assert!(w.resistance().is_zero());
+        assert!(w.capacitance().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_panics() {
+        WireSegment::new(WireSpec::default(), MicroMeters::new(-1.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Design-space exploration: sweep the bitcell family and the precharge
+//! rail, print the resulting throughput/energy/power/area trade-offs.
+//!
+//! This is the experiment a designer would run before committing to a cell:
+//! Fig. 7 + Fig. 8 compressed into one table. Weights are random (activity
+//! statistics, not accuracy, drive the metrics).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use esam::prelude::*;
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topology = [768usize, 256, 256, 256, 10];
+    let net = BnnNetwork::new(&topology, 5)?;
+    let model = SnnModel::from_bnn(&net)?;
+
+    // Synthetic input frames at the digit-like ~20 % activity.
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let frames: Vec<BitVec> = (0..40)
+        .map(|_| (0..768).map(|_| rng.random_bool(0.2)).collect())
+        .collect();
+
+    println!(
+        "{:8} {:>7} {:>9} {:>11} {:>11} {:>9} {:>11}",
+        "cell", "Vprech", "clock", "throughput", "energy/inf", "power", "area"
+    );
+    println!("{}", "-".repeat(72));
+    for cell in BitcellKind::ALL {
+        let rails: &[f64] = if cell.is_transposable() {
+            &[600.0, 500.0, 400.0]
+        } else {
+            &[700.0] // the 6T baseline has no separate read rail
+        };
+        for &rail in rails {
+            let config = SystemConfig::builder(cell, &topology)
+                .vprech(Volts::from_mv(rail))
+                .build()?;
+            let mut system = EsamSystem::from_model(&model, &config)?;
+            let m = system.measure_batch(&frames)?;
+            println!(
+                "{:8} {:>5.0}mV {:>6.0}MHz {:>9.1}M/s {:>9.0}pJ {:>7.2}mW {:>9.0}µm²",
+                cell.name(),
+                rail,
+                m.clock.mhz(),
+                m.throughput_minf_s(),
+                m.energy_per_inf.pj(),
+                m.total_power().mw(),
+                m.area.value(),
+            );
+        }
+    }
+    println!();
+    println!("reading guide: the paper selects 1RW+4R at Vprech = 500 mV —");
+    println!("max throughput and min energy/inf, paying ~2.4x the 6T area (Fig. 7/8).");
+    Ok(())
+}

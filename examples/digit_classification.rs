@@ -1,0 +1,93 @@
+//! End-to-end §4.4.2 workload: train the 768:256:256:256:10 BNN on the
+//! digit set, convert it to a binary SNN, run it spike-by-spike on the
+//! ESAM hardware model, and report accuracy plus the Table 3 metrics.
+//!
+//! Uses real MNIST when the four standard IDX files are found in
+//! `$ESAM_MNIST_DIR` (or `./mnist`); otherwise falls back to the built-in
+//! synthetic digit generator so offline runs work out of the box.
+//!
+//! ```text
+//! cargo run --release --example digit_classification [-- quick]
+//! ```
+
+use esam::prelude::*;
+use esam_nn::{evaluate_bnn, evaluate_snn, load_mnist_dir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "quick");
+
+    // 1. Data: the paper crops 2×2 pixels from every 28×28 corner → 768
+    //    inputs = 6 × 128 SRAM rows. Real MNIST is used when available.
+    let mnist_dir =
+        std::env::var("ESAM_MNIST_DIR").unwrap_or_else(|_| "mnist".to_string());
+    let data = match load_mnist_dir(&mnist_dir)? {
+        Some(real) => {
+            println!(
+                "loaded real MNIST from {mnist_dir}/ ({} train / {} test)",
+                real.train.len(),
+                real.test.len()
+            );
+            real
+        }
+        None => {
+            let digits = if quick {
+                DigitsConfig {
+                    train_count: 1200,
+                    test_count: 300,
+                    ..DigitsConfig::default()
+                }
+            } else {
+                DigitsConfig::default()
+            };
+            println!(
+                "generating synthetic digits ({} train / {} test) …",
+                digits.train_count, digits.test_count
+            );
+            Dataset::generate(&digits)?
+        }
+    };
+
+    // 2. Train the BNN offline (sign weights, step activations, STE).
+    let train = if quick {
+        TrainConfig { epochs: 5, ..TrainConfig::default() }
+    } else {
+        TrainConfig::default()
+    };
+    println!("training 768:256:256:256:10 BNN ({} epochs) …", train.epochs);
+    let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42)?;
+    let report = Trainer::new(train).train(&mut net, &data.train)?;
+    println!("  final train accuracy: {:.2}%", report.final_accuracy() * 100.0);
+
+    let bnn_test = evaluate_bnn(&net, &data.test)?.accuracy();
+    println!("  BNN test accuracy:    {:.2}%", bnn_test * 100.0);
+
+    // 3. Convert: ±1 weights → SRAM bits, biases → integer thresholds.
+    let model = SnnModel::from_bnn(&net)?;
+    let snn_test = evaluate_snn(&model, &data.test)?.accuracy();
+    println!("  SNN test accuracy:    {:.2}% (conversion is lossless)", snn_test * 100.0);
+
+    // 4. Run on the hardware model (4-port cells) and measure.
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let mut system = EsamSystem::from_model(&model, &config)?;
+    let samples = if quick { 100 } else { 300 };
+    let mut correct = 0usize;
+    let mut frames = Vec::with_capacity(samples);
+    for i in 0..samples.min(data.test.len()) {
+        let frame = data.test.spikes(i);
+        let result = system.infer(&frame)?;
+        if result.prediction == data.test.label(i) as usize {
+            correct += 1;
+        }
+        frames.push(frame);
+    }
+    println!(
+        "  hardware accuracy:    {:.2}% over {} samples",
+        100.0 * correct as f64 / frames.len() as f64,
+        frames.len()
+    );
+    println!();
+    println!("system metrics (paper Table 3: 44 MInf/s, 607 pJ/Inf, 29 mW, 810 MHz):");
+    let metrics = system.measure_batch(&frames)?;
+    println!("{metrics}");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a small binary SNN, load it into an ESAM system, run a
+//! few inferences and print the circuit-derived metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use esam::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small network: 128 inputs, 32 hidden IF neurons, 10 classes.
+    //    (Random weights here — see `digit_classification` for training.)
+    let net = BnnNetwork::new(&[128, 32, 10], 42)?;
+    let model = SnnModel::from_bnn(&net)?;
+
+    // 2. The hardware: the paper's 4-port cell, 700 mV supply, 500 mV
+    //    precharge rail, 128-wide tree arbiters.
+    let cell = BitcellKind::multiport(4).expect("1..=4 ports");
+    let config = SystemConfig::builder(cell, &[128, 32, 10]).build()?;
+    let mut system = EsamSystem::from_model(&model, &config)?;
+
+    println!("ESAM quickstart");
+    println!("  cell:          {}", config.cell());
+    println!("  clock period:  {}", system.pipeline().clock_period());
+    println!("  silicon area:  {:.0}", system.area());
+    println!("  leakage:       {}", system.leakage_power());
+    println!();
+
+    // 3. Fire some spikes at it.
+    let frames = [
+        BitVec::from_indices(128, &[3, 17, 40, 77, 90]),
+        BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>()),
+        BitVec::from_indices(128, &[64]),
+    ];
+    for (index, frame) in frames.iter().enumerate() {
+        let result = system.infer(frame)?;
+        println!(
+            "frame {index}: {} input spikes → class {} (bottleneck {} cycles, latency {} cycles)",
+            frame.count_ones(),
+            result.prediction,
+            result.bottleneck_cycles(),
+            result.total_cycles(),
+        );
+    }
+    println!();
+
+    // 4. Spike-by-spike metrics over the batch.
+    let metrics = system.measure_batch(&frames)?;
+    println!("{metrics}");
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: dataset → BNN training → conversion → hardware
+//! simulation → metrics, on the paper's full topology.
+
+use std::sync::OnceLock;
+
+use esam::prelude::*;
+use esam_nn::{evaluate_bnn, evaluate_snn};
+
+/// One shared (quick) end-to-end artifact for this test binary — training is
+/// the expensive part, so both tests reuse it.
+fn trained_pipeline() -> &'static (Dataset, BnnNetwork, SnnModel) {
+    static PIPELINE: OnceLock<(Dataset, BnnNetwork, SnnModel)> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let data = Dataset::generate(&DigitsConfig {
+            train_count: 1100,
+            test_count: 250,
+            ..DigitsConfig::default()
+        })
+        .expect("dataset generates");
+        let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42).expect("network builds");
+        Trainer::new(TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &data.train)
+        .expect("training runs");
+        let model = SnnModel::from_bnn(&net).expect("conversion");
+        (data, net, model)
+    })
+}
+
+#[test]
+fn full_pipeline_learns_converts_and_simulates() {
+    let (data, net, model) = trained_pipeline();
+
+    // Training reached usable accuracy on the easy synthetic set.
+    let bnn_accuracy = evaluate_bnn(&net, &data.test).unwrap().accuracy();
+    assert!(bnn_accuracy > 0.70, "BNN accuracy {bnn_accuracy:.3} too low");
+
+    // Conversion is lossless.
+    let snn_accuracy = evaluate_snn(&model, &data.test).unwrap().accuracy();
+    assert!(
+        (bnn_accuracy - snn_accuracy).abs() < 1e-12,
+        "conversion must be bit-exact: {bnn_accuracy} vs {snn_accuracy}"
+    );
+
+    // Thresholds fit the paper-default 12-bit registers.
+    model.check_threshold_registers(12).expect("thresholds fit");
+
+    // The hardware simulation agrees sample-by-sample with the golden model.
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+    for i in 0..40 {
+        let frame = data.test.spikes(i);
+        let hw = system.infer(&frame).unwrap();
+        let golden = model.forward(&frame).unwrap();
+        assert_eq!(hw.prediction, golden.prediction(), "sample {i}");
+    }
+
+    // System metrics land in the paper's class (Table 3).
+    let frames: Vec<BitVec> = (0..60).map(|i| data.test.spikes(i)).collect();
+    let metrics = system.measure_batch(&frames).unwrap();
+    assert!(
+        metrics.throughput_minf_s() > 20.0 && metrics.throughput_minf_s() < 100.0,
+        "throughput {} MInf/s out of the paper's class",
+        metrics.throughput_minf_s()
+    );
+    assert!(
+        metrics.energy_per_inf.pj() > 200.0 && metrics.energy_per_inf.pj() < 1500.0,
+        "energy {} out of class",
+        metrics.energy_per_inf
+    );
+    assert!(
+        metrics.total_power().mw() > 5.0 && metrics.total_power().mw() < 80.0,
+        "power {} out of class",
+        metrics.total_power()
+    );
+    assert!(
+        (metrics.clock.mhz() - 766.0).abs() < 100.0,
+        "clock {} off the 4R design point",
+        metrics.clock
+    );
+}
+
+#[test]
+fn headline_gains_reproduce_on_the_trained_network() {
+    let (data, _net, model) = trained_pipeline();
+    let frames: Vec<BitVec> = (0..50).map(|i| data.test.spikes(i)).collect();
+
+    let mut single = EsamSystem::from_model(&model, &SystemConfig::paper_default(BitcellKind::Std6T))
+        .unwrap();
+    let mut multi = EsamSystem::from_model(
+        &model,
+        &SystemConfig::paper_default(BitcellKind::multiport(4).unwrap()),
+    )
+    .unwrap();
+    let m1 = single.measure_batch(&frames).unwrap();
+    let m4 = multi.measure_batch(&frames).unwrap();
+
+    let speedup = m4.throughput_inf_s / m1.throughput_inf_s;
+    let energy_gain = m1.energy_per_inf / m4.energy_per_inf;
+    assert!(
+        speedup > 2.4 && speedup < 3.8,
+        "speedup {speedup:.2} should be in the paper's 3.1x class"
+    );
+    assert!(
+        energy_gain > 1.8 && energy_gain < 2.7,
+        "energy gain {energy_gain:.2} should be in the paper's 2.2x class"
+    );
+    // Area: the multiport system costs ~2.4x the single-port one (Fig. 8).
+    let area_ratio = m4.area / m1.area;
+    assert!(
+        (area_ratio - 2.4).abs() < 0.25,
+        "area ratio {area_ratio:.2} off the paper's 2.4x"
+    );
+}

@@ -1,0 +1,156 @@
+//! Cross-crate physical invariants: monotonicities and paper anchors that
+//! must survive any recalibration of the technology constants.
+
+use esam::prelude::*;
+use esam::sram::{EnergyAnalysis, TimingAnalysis};
+use esam::tech::calibration::paper;
+
+#[test]
+fn clock_periods_are_consistent_everywhere() {
+    // The system clock must equal the slower pipeline stage, and learning
+    // latencies must be exact multiples of it.
+    for cell in BitcellKind::ALL {
+        let config = SystemConfig::builder(cell, &[128, 128, 10]).build().unwrap();
+        let pipeline = PipelineTiming::analyze(&config).unwrap();
+        let clock = pipeline.clock_period();
+        assert_eq!(
+            clock,
+            pipeline.arbiter_stage.max(pipeline.sram_neuron_stage),
+            "{cell}"
+        );
+        let net = BnnNetwork::new(&[128, 128, 10], 1).unwrap();
+        let model = SnnModel::from_bnn(&net).unwrap();
+        let mut system = EsamSystem::from_model(&model, &config).unwrap();
+        let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 2);
+        let cost = engine
+            .teach_system(
+                &mut system,
+                0,
+                &BitVec::from_indices(128, &[1]),
+                0,
+                TeacherSignal::ShouldFire,
+            )
+            .unwrap();
+        let cycles_from_latency = cost.latency / clock;
+        assert!(
+            (cycles_from_latency - cost.cycles as f64).abs() < 1e-9,
+            "{cell}: latency must be cycles x clock"
+        );
+    }
+}
+
+#[test]
+fn every_operation_has_positive_cost() {
+    for cell in BitcellKind::ALL {
+        let config = ArrayConfig::paper_default(cell);
+        let timing = TimingAnalysis::new(&config);
+        let energy = EnergyAnalysis::new(&config);
+        assert!(timing.inference_read().total().ps() > 0.0);
+        assert!(timing.rw_read().total().ps() > 0.0);
+        assert!(timing.rw_write().unwrap().total().ps() > 0.0);
+        assert!(energy.inference_read(0).fj() > 0.0);
+        assert!(energy.rw_read_cycle().fj() > 0.0);
+        assert!(energy.rw_write_cycle().unwrap().fj() > 0.0);
+        assert!(energy.leakage_power().uw() > 0.0);
+    }
+}
+
+#[test]
+fn system_energy_equals_sum_of_tile_energies() {
+    let net = BnnNetwork::new(&[256, 128, 10], 5).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[256, 128, 10])
+        .build()
+        .unwrap();
+    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+    let frame = BitVec::from_indices(256, &(0..256).step_by(5).collect::<Vec<_>>());
+    system.infer(&frame).unwrap();
+    let total = system.accumulated_energy().unwrap();
+    let by_tiles: f64 = system
+        .tiles()
+        .iter()
+        .map(|t| t.dynamic_energy().unwrap().pj())
+        .sum();
+    assert!((total.pj() - by_tiles).abs() < 1e-9);
+}
+
+#[test]
+fn more_input_spikes_cost_more_energy_and_cycles() {
+    let net = BnnNetwork::new(&[128, 64, 10], 6).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(2).unwrap(), &[128, 64, 10])
+        .build()
+        .unwrap();
+    let mut prev_energy = Joules::ZERO;
+    for spikes in [4usize, 32, 96] {
+        let mut system = EsamSystem::from_model(&model, &config).unwrap();
+        let frame = BitVec::from_indices(128, &(0..spikes).map(|i| i % 128).collect::<Vec<_>>());
+        system.infer(&frame).unwrap();
+        let energy = system.accumulated_energy().unwrap();
+        assert!(
+            energy > prev_energy,
+            "{spikes} spikes must cost more than fewer spikes"
+        );
+        prev_energy = energy;
+    }
+}
+
+#[test]
+fn learning_anchor_latencies_hold() {
+    // §4.4.1: 2x128 cycles at the 6T clock ≈ 257.8 ns; 2x4 cycles per block
+    // at the 4R clock ≈ 9.9 ns.
+    let c6 = SystemConfig::builder(BitcellKind::Std6T, &[128, 128, 10]).build().unwrap();
+    let clock6 = PipelineTiming::analyze(&c6).unwrap().clock_period();
+    let rowwise = clock6 * 256.0;
+    assert!(
+        (rowwise.ns() - paper::LEARN_ROWWISE_NS).abs() / paper::LEARN_ROWWISE_NS < 0.05,
+        "row-wise latency {} vs paper {} ns",
+        rowwise,
+        paper::LEARN_ROWWISE_NS
+    );
+    let c4 = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 128, 10])
+        .build()
+        .unwrap();
+    let clock4 = PipelineTiming::analyze(&c4).unwrap().clock_period();
+    let transposed = clock4 * 8.0;
+    let anchor = paper::LEARN_ROWWISE_NS / paper::LEARN_TIME_GAIN;
+    assert!(
+        (transposed.ns() - anchor).abs() / anchor < 0.15,
+        "transposed latency {} vs paper ≈{:.1} ns",
+        transposed,
+        anchor
+    );
+}
+
+#[test]
+fn leakage_scales_with_system_size() {
+    let cell = BitcellKind::multiport(4).unwrap();
+    let small_net = BnnNetwork::new(&[128, 64, 10], 1).unwrap();
+    let small = EsamSystem::from_model(
+        &SnnModel::from_bnn(&small_net).unwrap(),
+        &SystemConfig::builder(cell, &[128, 64, 10]).build().unwrap(),
+    )
+    .unwrap();
+    let big_net = BnnNetwork::new(&[768, 256, 10], 1).unwrap();
+    let big = EsamSystem::from_model(
+        &SnnModel::from_bnn(&big_net).unwrap(),
+        &SystemConfig::builder(cell, &[768, 256, 10]).build().unwrap(),
+    )
+    .unwrap();
+    assert!(big.leakage_power().value() > 5.0 * small.leakage_power().value());
+    assert!(big.area().value() > 5.0 * small.area().value());
+}
+
+#[test]
+fn paper_system_leakage_is_in_the_2mw_class() {
+    // Table 3 arithmetic: 29 mW total − 607 pJ × 44 MInf/s ≈ 2.3 mW leakage.
+    let net = BnnNetwork::new(&paper::NETWORK_TOPOLOGY, 1).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let system = EsamSystem::from_model(&model, &config).unwrap();
+    let leakage = system.leakage_power().mw();
+    assert!(
+        leakage > 1.2 && leakage < 3.5,
+        "leakage {leakage} mW out of the paper's ~2.3 mW class"
+    );
+}

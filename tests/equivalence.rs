@@ -1,0 +1,111 @@
+//! Cross-crate equivalence: the spike-by-spike hardware simulation must be
+//! bit-exact with the converted SNN golden model, which in turn must be
+//! bit-exact with the trained BNN — for every cell kind, since port
+//! parallelism only reorders commutative accumulations.
+
+use esam::prelude::*;
+use proptest::prelude::*;
+
+fn frame_strategy(width: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), width).prop_map(|bits| BitVec::from_bools(&bits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hardware_equals_golden_equals_bnn(
+        seed in 0u64..1000,
+        frame in frame_strategy(96),
+    ) {
+        let net = BnnNetwork::new(&[96, 40, 8], seed).expect("valid topology");
+        let model = SnnModel::from_bnn(&net).expect("conversion");
+        let golden = model.forward(&frame).expect("golden forward");
+
+        // BNN equivalence.
+        let x: Vec<f32> = frame.to_bools().iter().map(|&b| f32::from(b)).collect();
+        let bnn = net.forward_trace(&x).expect("bnn forward");
+        prop_assert_eq!(golden.prediction(), bnn.prediction());
+
+        // Hardware equivalence for single- and multi-port cells.
+        for cell in [BitcellKind::Std6T, BitcellKind::multiport(4).unwrap()] {
+            let config = SystemConfig::builder(cell, &[96, 40, 8])
+                .build()
+                .expect("valid config");
+            let mut system = EsamSystem::from_model(&model, &config).expect("system");
+            let hw = system.infer(&frame).expect("inference");
+            prop_assert_eq!(&hw.membranes, &golden.membranes, "membranes diverged on {}", cell);
+            prop_assert_eq!(hw.prediction, golden.prediction(), "prediction diverged on {}", cell);
+        }
+    }
+
+    #[test]
+    fn membranes_identical_across_all_cell_kinds(
+        seed in 0u64..1000,
+        frame in frame_strategy(128),
+    ) {
+        // Port parallelism changes cycle counts, never results.
+        let net = BnnNetwork::new(&[128, 32, 10], seed).expect("valid topology");
+        let model = SnnModel::from_bnn(&net).expect("conversion");
+        let mut reference: Option<Vec<i32>> = None;
+        for cell in BitcellKind::ALL {
+            let config = SystemConfig::builder(cell, &[128, 32, 10])
+                .build()
+                .expect("valid config");
+            let mut system = EsamSystem::from_model(&model, &config).expect("system");
+            let membranes = system.infer(&frame).expect("inference").membranes;
+            match &reference {
+                None => reference = Some(membranes),
+                Some(r) => prop_assert_eq!(r, &membranes, "cell {} diverged", cell),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_inference_is_stateless(
+        seed in 0u64..1000,
+        frame in frame_strategy(64),
+    ) {
+        // EveryTimestep reset: running the same frame twice gives the same
+        // answer (no membrane leakage between inferences).
+        let net = BnnNetwork::new(&[64, 24, 6], seed).expect("valid topology");
+        let model = SnnModel::from_bnn(&net).expect("conversion");
+        let config = SystemConfig::builder(BitcellKind::multiport(2).unwrap(), &[64, 24, 6])
+            .build()
+            .expect("valid config");
+        let mut system = EsamSystem::from_model(&model, &config).expect("system");
+        let first = system.infer(&frame).expect("first");
+        let second = system.infer(&frame).expect("second");
+        prop_assert_eq!(first.membranes, second.membranes);
+        prop_assert_eq!(first.per_tile_cycles, second.per_tile_cycles);
+    }
+}
+
+#[test]
+fn empty_frame_still_produces_a_prediction() {
+    // All-zero input: no spikes served, output = biases only.
+    let net = BnnNetwork::new(&[64, 16, 4], 3).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[64, 16, 4])
+        .build()
+        .unwrap();
+    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+    let result = system.infer(&BitVec::new(64)).unwrap();
+    let golden = model.forward(&BitVec::new(64)).unwrap();
+    assert_eq!(result.prediction, golden.prediction());
+}
+
+#[test]
+fn full_frame_matches_golden() {
+    let net = BnnNetwork::new(&[64, 16, 4], 4).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(3).unwrap(), &[64, 16, 4])
+        .build()
+        .unwrap();
+    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+    let mut frame = BitVec::new(64);
+    frame.set_all();
+    let result = system.infer(&frame).unwrap();
+    let golden = model.forward(&frame).unwrap();
+    assert_eq!(result.membranes, golden.membranes);
+}

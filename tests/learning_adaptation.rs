@@ -1,0 +1,133 @@
+//! Online-learning integration: the STDP engine must functionally adapt a
+//! deployed system and its access costs must follow §4.4.1.
+
+use esam::prelude::*;
+
+/// Builds a 128→128→10 system whose first-layer weights we adapt.
+fn system_with(cell: BitcellKind) -> EsamSystem {
+    let net = BnnNetwork::new(&[128, 128, 10], 21).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(cell, &[128, 128, 10]).build().unwrap();
+    EsamSystem::from_model(&model, &config).unwrap()
+}
+
+#[test]
+fn teaching_should_fire_eventually_fires_the_neuron() {
+    let mut system = system_with(BitcellKind::multiport(4).unwrap());
+    let mut engine = OnlineLearningEngine::new(StdpRule::new(0.6, 0.3), 5);
+    let pattern = BitVec::from_indices(128, &(0..128).step_by(4).collect::<Vec<_>>());
+    let neuron = 7usize;
+
+    // Drive the first tile directly: teach until neuron 7 fires on the
+    // pattern (threshold is fixed; the weights move toward the pattern).
+    let mut fired_at = None;
+    for round in 0..40 {
+        let result = system.infer(&pattern).unwrap();
+        // layer_inputs[1] is tile 1's input = tile 0's firing pattern.
+        let hidden = &result.layer_inputs[1];
+        if hidden.get(neuron) {
+            fired_at = Some(round);
+            break;
+        }
+        engine
+            .teach_system(&mut system, 0, &pattern, neuron, TeacherSignal::ShouldFire)
+            .unwrap();
+    }
+    assert!(
+        fired_at.is_some(),
+        "repeated potentiation must eventually make neuron {neuron} fire"
+    );
+}
+
+#[test]
+fn teaching_should_not_fire_eventually_silences_the_neuron() {
+    let mut system = system_with(BitcellKind::multiport(4).unwrap());
+    let mut engine = OnlineLearningEngine::new(StdpRule::new(0.6, 0.3), 6);
+    let pattern = BitVec::from_indices(128, &(0..128).step_by(2).collect::<Vec<_>>());
+
+    // Find a neuron that currently fires on the pattern.
+    let result = system.infer(&pattern).unwrap();
+    let Some(neuron) = result.layer_inputs[1].first_set() else {
+        // Nothing fires: vacuously silenced.
+        return;
+    };
+    let mut silenced = false;
+    for _ in 0..40 {
+        engine
+            .teach_system(&mut system, 0, &pattern, neuron, TeacherSignal::ShouldNotFire)
+            .unwrap();
+        let result = system.infer(&pattern).unwrap();
+        if !result.layer_inputs[1].get(neuron) {
+            silenced = true;
+            break;
+        }
+    }
+    assert!(silenced, "repeated depression must silence neuron {neuron}");
+}
+
+#[test]
+fn transposed_update_cost_scales_with_row_groups() {
+    // A 128-input tile needs 1 block update (8 cycles); the 768-input tile
+    // needs 6 (48 cycles) — one per row group.
+    let net = BnnNetwork::new(&[768, 128, 10], 2).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[768, 128, 10])
+        .build()
+        .unwrap();
+    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+    let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 8);
+    let pre = BitVec::from_indices(768, &[0, 100, 700]);
+    let cost = engine
+        .teach_system(&mut system, 0, &pre, 0, TeacherSignal::ShouldFire)
+        .unwrap();
+    assert_eq!(cost.cycles, 6 * 8, "6 row groups x (4 read + 4 write) cycles");
+}
+
+#[test]
+fn transposed_beats_rowwise_by_the_paper_margins() {
+    let mut multi = system_with(BitcellKind::multiport(4).unwrap());
+    let mut single = system_with(BitcellKind::Std6T);
+    let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 9);
+    let pre = BitVec::from_indices(128, &[1, 2, 3]);
+
+    let transposed = engine
+        .teach_system(&mut multi, 0, &pre, 0, TeacherSignal::ShouldFire)
+        .unwrap();
+    let rowwise = engine
+        .teach_system(&mut single, 0, &pre, 0, TeacherSignal::ShouldFire)
+        .unwrap();
+
+    assert_eq!(transposed.cycles, 8);
+    assert_eq!(rowwise.cycles, 256);
+    let time_gain = rowwise.latency / transposed.latency;
+    assert!(
+        time_gain > 19.0 && time_gain < 33.0,
+        "time gain {time_gain:.1} should be in the paper's 26x class"
+    );
+    let energy_gain = rowwise.energy / transposed.energy;
+    assert!(
+        energy_gain > 10.0 && energy_gain < 40.0,
+        "energy gain {energy_gain:.1} should be in the paper's 19.5x class"
+    );
+}
+
+#[test]
+fn learning_preserves_unrelated_columns() {
+    let mut system = system_with(BitcellKind::multiport(2).unwrap());
+    let before: Vec<BitVec> = (0..10)
+        .map(|c| system.tiles()[0].arrays()[0].bits().column(c))
+        .collect();
+    let mut engine = OnlineLearningEngine::new(StdpRule::new(1.0, 1.0), 10);
+    let pre = BitVec::from_indices(128, &[5, 50]);
+    engine
+        .teach_system(&mut system, 0, &pre, 3, TeacherSignal::ShouldFire)
+        .unwrap();
+    for (c, old) in before.iter().enumerate() {
+        let now = system.tiles()[0].arrays()[0].bits().column(c);
+        if c == 3 {
+            assert_ne!(&now, old, "taught column must change");
+        } else {
+            assert_eq!(&now, old, "column {c} must be untouched");
+        }
+    }
+}
