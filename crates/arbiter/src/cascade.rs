@@ -141,8 +141,7 @@ impl MultiPortArbiter {
     /// Critical path of one arbitration cycle: the first encoder pass plus
     /// the per-port cascade increment for each additional port.
     pub fn critical_path(&self) -> Seconds {
-        self.encoder.critical_path()
-            + self.encoder.cascade_increment() * (self.ports - 1) as f64
+        self.encoder.critical_path() + self.encoder.cascade_increment() * (self.ports - 1) as f64
     }
 
     /// Pipeline-stage duration: critical path plus register overhead and the
@@ -189,7 +188,10 @@ mod tests {
         assert_eq!(grants.granted(), &[0, 32, 64, 96]);
         assert_eq!(grants.count(), 4);
         assert!(!grants.all_served());
-        assert_eq!(grants.remaining().iter_ones().collect::<Vec<_>>(), vec![127]);
+        assert_eq!(
+            grants.remaining().iter_ones().collect::<Vec<_>>(),
+            vec![127]
+        );
     }
 
     #[test]
@@ -198,7 +200,10 @@ mod tests {
         let r = BitVec::from_indices(128, &[3, 77]);
         let grants = arbiter.arbitrate(&r);
         assert_eq!(grants.granted(), &[3, 77]);
-        assert!(grants.all_served(), "R_empty must assert once all spikes served");
+        assert!(
+            grants.all_served(),
+            "R_empty must assert once all spikes served"
+        );
     }
 
     #[test]

@@ -210,7 +210,11 @@ mod tests {
         for seed in 0..50usize {
             let r = BitVec::from_indices(
                 128,
-                &[(seed * 7) % 128, (seed * 13 + 5) % 128, (seed * 29 + 11) % 128],
+                &[
+                    (seed * 7) % 128,
+                    (seed * 13 + 5) % 128,
+                    (seed * 29 + 11) % 128,
+                ],
             );
             assert_eq!(f.encode(&r), t.encode(&r), "divergence at seed {seed}");
         }

@@ -42,7 +42,10 @@ mod tests {
     fn messages_are_meaningful() {
         assert!(ArbiterError::ZeroWidth.to_string().contains("non-zero"));
         assert!(ArbiterError::ZeroPorts.to_string().contains("at least one"));
-        let e = ArbiterError::BadBaseWidth { width: 128, base_width: 24 };
+        let e = ArbiterError::BadBaseWidth {
+            width: 128,
+            base_width: 24,
+        };
         assert!(e.to_string().contains("24") && e.to_string().contains("128"));
     }
 }

@@ -188,7 +188,11 @@ mod tests {
         pending.set(0, true);
         pending.set(1, true);
         let second = arbiter.arbitrate(&pending);
-        assert_eq!(second.granted(), &[0, 1], "fixed priority re-serves hot rows");
+        assert_eq!(
+            second.granted(),
+            &[0, 1],
+            "fixed priority re-serves hot rows"
+        );
     }
 
     #[test]
@@ -206,7 +210,11 @@ mod tests {
             assert!(cycles <= 128);
         }
         assert_eq!(served, total);
-        assert_eq!(cycles, total.div_ceil(4), "same throughput as fixed priority");
+        assert_eq!(
+            cycles,
+            total.div_ceil(4),
+            "same throughput as fixed priority"
+        );
     }
 
     #[test]
@@ -220,8 +228,8 @@ mod tests {
 
     #[test]
     fn costs_slightly_more_than_fixed_priority() {
-        let fixed = MultiPortArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 })
-            .unwrap();
+        let fixed =
+            MultiPortArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 }).unwrap();
         let rotating =
             RoundRobinArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 }).unwrap();
         assert!(rotating.critical_path() > fixed.critical_path());

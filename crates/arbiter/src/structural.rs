@@ -32,7 +32,9 @@
 //! ```
 
 use esam_bits::BitVec;
-use esam_logic::{GateArea, GateKind, GateTiming, Level, LogicError, NetId, Netlist, TimingAnalysis};
+use esam_logic::{
+    GateArea, GateKind, GateTiming, Level, LogicError, NetId, Netlist, TimingAnalysis,
+};
 use esam_tech::units::{AreaUm2, Seconds};
 
 use crate::cascade::Grants;
@@ -80,7 +82,11 @@ fn build_encoder(
 
 /// Fig. 4(b)/(c): the subblock chain. Per bit: `g[n] = r[n] AND s[n]`,
 /// `s[n+1] = s[n] AND NOT r[n]`; the chain's tail is `noR`.
-fn build_chain(nl: &mut Netlist, requests: &[NetId], prefix: &str) -> Result<ChainPorts, LogicError> {
+fn build_chain(
+    nl: &mut Netlist,
+    requests: &[NetId],
+    prefix: &str,
+) -> Result<ChainPorts, LogicError> {
     let width = requests.len();
     let mut s = nl.add_cell(GateKind::Const1, &[], format!("{prefix}_s0"))?;
     let mut grants = Vec::with_capacity(width);
@@ -195,7 +201,9 @@ impl StructuralArbiter {
             }
         }
         let mut netlist = Netlist::new();
-        let requests: Vec<NetId> = (0..width).map(|n| netlist.add_input(format!("r[{n}]"))).collect();
+        let requests: Vec<NetId> = (0..width)
+            .map(|n| netlist.add_input(format!("r[{n}]")))
+            .collect();
         let mut stages = Vec::with_capacity(ports);
         let mut stage_requests = requests;
         for p in 0..ports {
@@ -208,7 +216,9 @@ impl StructuralArbiter {
             for &g in &stage.grants {
                 netlist.mark_output(g).expect("grant nets exist");
             }
-            netlist.mark_output(stage.no_request).expect("noR net exists");
+            netlist
+                .mark_output(stage.no_request)
+                .expect("noR net exists");
         }
         for &m in &stages[ports - 1].masked {
             netlist.mark_output(m).expect("masked nets exist");
@@ -265,7 +275,11 @@ impl StructuralArbiter {
             requests.len(),
             self.width
         );
-        let stimulus: Vec<Level> = requests.to_bools().iter().map(|&b| Level::from(b)).collect();
+        let stimulus: Vec<Level> = requests
+            .to_bools()
+            .iter()
+            .map(|&b| Level::from(b))
+            .collect();
         let levels = self.netlist.evaluate(&stimulus)?;
         let mut granted = Vec::new();
         for stage in &self.stages {
@@ -276,7 +290,11 @@ impl StructuralArbiter {
                 .filter(|&(_, &g)| levels[g.index()] == Level::High)
                 .map(|(n, _)| n)
                 .collect();
-            debug_assert!(hits.len() <= 1, "stage granted {} requests at once", hits.len());
+            debug_assert!(
+                hits.len() <= 1,
+                "stage granted {} requests at once",
+                hits.len()
+            );
             if let Some(&index) = hits.first() {
                 granted.push(index);
             }
@@ -323,7 +341,9 @@ mod tests {
         let mut r = BitVec::new(width);
         let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
         for n in 0..width {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if x >> 33 & 0b11 == 0 {
                 r.set(n, true);
             }

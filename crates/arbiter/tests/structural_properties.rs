@@ -21,8 +21,7 @@ fn arbiter_params() -> impl Strategy<Value = (usize, usize, EncoderStructure)> {
         |(width, ports, tree, base_pick)| {
             let structure = if tree {
                 // Valid divisors of `width` strictly below it, if any.
-                let divisors: Vec<usize> =
-                    (1..width).filter(|b| width % b == 0).collect();
+                let divisors: Vec<usize> = (1..width).filter(|b| width % b == 0).collect();
                 if divisors.is_empty() {
                     EncoderStructure::Flat
                 } else {

@@ -5,7 +5,10 @@ use esam_bench::experiments::addertree::{addertree_table, DENSITIES};
 use esam_core::{energy_crossover, sparsity_sweep, AdderTreeMacro};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", addertree_table().expect("adder-tree sweep reproduces"));
+    println!(
+        "{}",
+        addertree_table().expect("adder-tree sweep reproduces")
+    );
 
     c.bench_function("addertree/generate_128_column_model", |b| {
         b.iter(|| std::hint::black_box(AdderTreeMacro::new(128, 128).expect("builds").tree_gates()))

@@ -1,0 +1,39 @@
+//! Criterion bench for the parallel batch engine: frames/sec vs threads.
+//!
+//! Prints the batch-scaling table (wall-clock speedup + bit-identity check
+//! against the sequential walk), then benches `BatchEngine::measure` at
+//! each swept thread count so regressions in either the simulator hot path
+//! or the engine's scheduling show up as ns/iter shifts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::batch::{batch_results, batch_table};
+use esam_bench::{ExperimentContext, Fidelity};
+use esam_core::{BatchConfig, BatchEngine, EsamSystem, SystemConfig};
+use esam_sram::BitcellKind;
+
+fn bench(c: &mut Criterion) {
+    let context = ExperimentContext::prepare(Fidelity::Quick).expect("context");
+    let results = batch_results(&context, 48, 0).expect("batch scaling runs");
+    println!("{}", batch_table(&results));
+    assert!(
+        results.points.iter().all(|p| p.identical),
+        "parallel metrics diverged from the sequential reference"
+    );
+
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let system = EsamSystem::from_model(context.model(), &config).expect("system");
+    let frames = context.test_frames(24);
+
+    let mut group = c.benchmark_group("batch_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let mut engine = BatchEngine::new(&system, &BatchConfig::with_threads(threads));
+        group.bench_function(format!("measure_{threads}_threads"), |b| {
+            b.iter(|| std::hint::black_box(engine.measure(&frames).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

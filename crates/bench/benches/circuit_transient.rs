@@ -10,8 +10,8 @@ use esam_circuit::{Circuit, RcLadder, Waveform};
 fn discharge_circuit(segments: usize) -> Circuit {
     let mut ckt = Circuit::new();
     let top = ckt.add_node("rbl_top");
-    let ladder = RcLadder::build(&mut ckt, top, segments, 40e3, 3.2e-15, "rbl")
-        .expect("ladder builds");
+    let ladder =
+        RcLadder::build(&mut ckt, top, segments, 40e3, 3.2e-15, "rbl").expect("ladder builds");
     for &node in ladder.nodes() {
         ckt.set_initial_voltage(node, 0.5).expect("node exists");
     }
@@ -21,28 +21,36 @@ fn discharge_circuit(segments: usize) -> Circuit {
 }
 
 fn bench(c: &mut Criterion) {
-    println!("{}", transient_table().expect("transient cross-check reproduces"));
+    println!(
+        "{}",
+        transient_table().expect("transient cross-check reproduces")
+    );
 
     for segments in [8usize, 32, 128] {
         let ckt = discharge_circuit(segments);
-        c.bench_function(&format!("transient/bitline_discharge_{segments}_segments"), |b| {
-            b.iter(|| {
-                std::hint::black_box(
-                    ckt.transient(2e-9, 2e-12).expect("solves").len(),
-                )
-            })
-        });
+        c.bench_function(
+            &format!("transient/bitline_discharge_{segments}_segments"),
+            |b| b.iter(|| std::hint::black_box(ckt.transient(2e-9, 2e-12).expect("solves").len())),
+        );
     }
 
     // Precharge-style charge through a driver: the refactor-free fast path.
     let mut ckt = Circuit::new();
     let supply = ckt.add_node("v");
     let bl = ckt.add_node("bl");
-    ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(0.5)).expect("builds");
+    ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(0.5))
+        .expect("builds");
     ckt.add_resistor(supply, bl, 2e3).expect("builds");
-    ckt.add_capacitor(bl, Circuit::GROUND, 4e-15).expect("builds");
+    ckt.add_capacitor(bl, Circuit::GROUND, 4e-15)
+        .expect("builds");
     c.bench_function("transient/precharge_2000_steps", |b| {
-        b.iter(|| std::hint::black_box(ckt.transient(16e-12 * 2000.0, 16e-12).expect("solves").len()))
+        b.iter(|| {
+            std::hint::black_box(
+                ckt.transient(16e-12 * 2000.0, 16e-12)
+                    .expect("solves")
+                    .len(),
+            )
+        })
     });
 }
 

@@ -12,10 +12,11 @@ fn bench(c: &mut Criterion) {
             let mut acc = 0.0;
             for &rail in &RAILS_MV {
                 for ports in 1..=4u8 {
-                    let cfg = ArrayConfig::builder(128, 128, BitcellKind::multiport(ports).unwrap())
-                        .vprech(Volts::from_mv(rail))
-                        .build()
-                        .unwrap();
+                    let cfg =
+                        ArrayConfig::builder(128, 128, BitcellKind::multiport(ports).unwrap())
+                            .vprech(Volts::from_mv(rail))
+                            .build()
+                            .unwrap();
                     acc += TimingAnalysis::new(&cfg).inference_read().total().ps();
                     acc += EnergyAnalysis::new(&cfg).inference_read(64).fj();
                 }

@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
     let tree = StructuralArbiter::new(128, 4, EncoderStructure::Tree { base_width: 16 })
         .expect("paper-size arbiter builds");
     let requests = BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>());
-    let stimulus: Vec<Level> = requests.to_bools().iter().map(|&b| Level::from(b)).collect();
+    let stimulus: Vec<Level> = requests
+        .to_bools()
+        .iter()
+        .map(|&b| Level::from(b))
+        .collect();
 
     c.bench_function("sta/generate_tree_netlist_128x4", |b| {
         b.iter(|| {

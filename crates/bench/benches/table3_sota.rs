@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let context = ExperimentContext::prepare(Fidelity::Quick).expect("context");
     let results = fig8_results(&context, 40).expect("fig8");
     let accuracy = accuracy_numbers(&context, 40).expect("accuracy");
-    println!("{}", table3_table(results.four_port(), accuracy.hardware * 100.0));
+    println!(
+        "{}",
+        table3_table(results.four_port(), accuracy.hardware * 100.0)
+    );
 
     c.bench_function("table3/sota_entry_lookup", |b| {
         b.iter(|| std::hint::black_box(sota_entries().len()))

@@ -28,9 +28,23 @@ fn main() {
     })
     .unwrap();
     for (label, p_pot, depress, passes, margin, adapt_count) in [
-        ("specialize n=100 m=30 p=0.08", 0.08, false, 6usize, Some(30.0f32), 100usize),
+        (
+            "specialize n=100 m=30 p=0.08",
+            0.08,
+            false,
+            6usize,
+            Some(30.0f32),
+            100usize,
+        ),
         ("specialize n=100 m=inf p=0.08", 0.08, false, 6, None, 100),
-        ("specialize n=300 m=30 p=0.06", 0.06, false, 6, Some(30.0), 300),
+        (
+            "specialize n=300 m=30 p=0.06",
+            0.06,
+            false,
+            6,
+            Some(30.0),
+            300,
+        ),
     ] {
         let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
         let mut system = EsamSystem::from_model(context.model(), &config).unwrap();
@@ -58,7 +72,13 @@ fn main() {
                     .unwrap();
                 if depress {
                     engine
-                        .teach_system(&mut system, out, &pre, r.prediction, TeacherSignal::ShouldNotFire)
+                        .teach_system(
+                            &mut system,
+                            out,
+                            &pre,
+                            r.prediction,
+                            TeacherSignal::ShouldNotFire,
+                        )
                         .unwrap();
                 }
             }
@@ -76,6 +96,10 @@ fn main() {
             let held = 100.0 * accuracy(&mut system, &shifted.test, 200);
             accs.push(format!("{own:.0}/{held:.0}"));
         }
-        println!("{label}: before {:.1}% → own/held: {}", 100.0 * before, accs.join(" → "));
+        println!(
+            "{label}: before {:.1}% → own/held: {}",
+            100.0 * before,
+            accs.join(" → ")
+        );
     }
 }

@@ -1,13 +1,14 @@
 //! `repro` — regenerate the ESAM paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--samples N] <experiment>... | all
+//! repro [--quick] [--samples N] [--threads N] <experiment>... | all
 //! ```
 //!
 //! Experiments: area, fig6, fig7, table2, arbiter, nbl, sta, transient,
-//! addertree, corners, learning, fig8, table3, accuracy — or `all`. `--quick` trims the BNN training budget;
-//! `--samples` bounds the test images used by system-level experiments
-//! (default 200).
+//! addertree, corners, learning, fig8, table3, accuracy, batch — or `all`.
+//! `--quick` trims the BNN training budget; `--samples` bounds the test
+//! images used by system-level experiments (default 200); `--threads` caps
+//! the worker sweep of the `batch` experiment (default: all cores).
 
 use std::process::ExitCode;
 
@@ -16,6 +17,7 @@ use esam_bench::{run_experiments, Fidelity};
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
     let mut samples = 200usize;
+    let mut threads = 0usize; // 0 = available parallelism
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -35,10 +37,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--threads needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(n) if n > 0 => threads = n,
+                    _ => {
+                        eprintln!("--threads needs a positive integer, got '{value}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--samples N] <experiment>... | all\n\
-                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners learning fig8 table3 accuracy"
+                    "usage: repro [--quick] [--samples N] [--threads N] <experiment>... | all\n\
+                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners learning fig8 table3 accuracy batch"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -49,7 +64,7 @@ fn main() -> ExitCode {
         ids.push("all".to_string());
     }
 
-    match run_experiments(&ids, fidelity, samples) {
+    match run_experiments(&ids, fidelity, samples, threads) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro failed: {e}");

@@ -7,9 +7,7 @@
 //! while keeping the paper's exact topology.
 
 use esam_bits::BitVec;
-use esam_nn::{
-    BnnNetwork, Dataset, DigitsConfig, SnnModel, TrainConfig, TrainReport, Trainer,
-};
+use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, TrainConfig, TrainReport, Trainer};
 use esam_tech::calibration::paper;
 
 use crate::BenchError;

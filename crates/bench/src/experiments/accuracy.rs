@@ -55,7 +55,10 @@ pub fn accuracy_table(numbers: &AccuracyNumbers) -> Table {
         "§4.4.2 — Classification accuracy (synthetic digits; MNIST substitute)",
         &["stage", "accuracy [%]"],
     );
-    table.row_owned(vec!["trained BNN".into(), format!("{:.2}", numbers.bnn * 100.0)]);
+    table.row_owned(vec![
+        "trained BNN".into(),
+        format!("{:.2}", numbers.bnn * 100.0),
+    ]);
     table.row_owned(vec![
         "converted Binary-SNN (golden)".into(),
         format!("{:.2}", numbers.snn * 100.0),
@@ -82,7 +85,11 @@ mod tests {
         let numbers = accuracy_numbers(&context, 120).unwrap();
         // BNN → SNN conversion is bit-exact: identical accuracy.
         assert!((numbers.bnn - numbers.snn).abs() < 1e-12);
-        assert!(numbers.bnn > 0.72, "quick-trained accuracy {:.3}", numbers.bnn);
+        assert!(
+            numbers.bnn > 0.72,
+            "quick-trained accuracy {:.3}",
+            numbers.bnn
+        );
         // Hardware simulation matches the golden model on its subset.
         let test = &context.dataset().test;
         let mut golden_correct = 0usize;

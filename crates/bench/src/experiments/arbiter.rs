@@ -10,7 +10,12 @@ use crate::{BenchError, Table};
 pub fn arbiter_table() -> Result<Table, BenchError> {
     let mut table = Table::new(
         "§3.3 — Arbiter structure comparison (128-wide, 4-port)",
-        &["structure", "critical path [ps]", "area [µm²]", "stage time [ns]"],
+        &[
+            "structure",
+            "critical path [ps]",
+            "area [µm²]",
+            "stage time [ns]",
+        ],
     );
     let flat = MultiPortArbiter::new(128, 4, EncoderStructure::Flat)
         .map_err(esam_core::CoreError::from)?;
@@ -84,7 +89,10 @@ mod tests {
         assert_eq!(t.row_count(), 5);
         let flat32: f64 = t.cell(0, 1).unwrap().parse().unwrap();
         let flat512: f64 = t.cell(4, 1).unwrap().parse().unwrap();
-        assert!(flat512 > 8.0 * flat32, "flat path scales ~linearly with width");
+        assert!(
+            flat512 > 8.0 * flat32,
+            "flat path scales ~linearly with width"
+        );
         let tree512: f64 = t.cell(4, 2).unwrap().parse().unwrap();
         assert!(tree512 < flat512 / 2.0, "tree flattens the scaling");
     }

@@ -10,14 +10,23 @@ use crate::Table;
 pub fn area_table() -> Table {
     let mut table = Table::new(
         "§4.2 — Bitcell areas (IMEC 3nm FinFET)",
-        &["cell", "area [µm²]", "multiplier", "paper multiplier", "transistors"],
+        &[
+            "cell",
+            "area [µm²]",
+            "multiplier",
+            "paper multiplier",
+            "transistors",
+        ],
     );
     for cell in BitcellKind::ALL {
         table.row_owned(vec![
             cell.name().to_string(),
             format!("{:.5}", cell.area().value()),
             format!("{:.3}x", cell.area_multiplier()),
-            format!("{:.3}x", paper::CELL_AREA_MULTIPLIERS[cell.read_ports_index()]),
+            format!(
+                "{:.3}x",
+                paper::CELL_AREA_MULTIPLIERS[cell.read_ports_index()]
+            ),
             cell.transistor_count().to_string(),
         ]);
     }

@@ -1,0 +1,178 @@
+//! Batch-scaling experiment: simulator frames/sec vs worker threads.
+//!
+//! Unlike the other experiments this measures the *simulator* itself, not
+//! the modeled silicon: the paper's Fig. 8 / Table 3 numbers come from a
+//! spike-by-spike simulation whose sequential walk limits how fast large
+//! batches can be evaluated. The [`esam_core::BatchEngine`] shards a batch
+//! across worker pipelines and merges counters exactly, so this experiment
+//! reports wall-clock scaling *and* cross-checks that every thread count
+//! reproduces the sequential [`SystemMetrics`] bit-for-bit.
+
+use std::time::{Duration, Instant};
+
+use esam_core::{BatchConfig, BatchEngine, EsamSystem, SystemConfig, SystemMetrics};
+use esam_sram::BitcellKind;
+
+use crate::context::ExperimentContext;
+use crate::{BenchError, Table};
+
+/// One measured thread count.
+#[derive(Debug, Clone)]
+pub struct BatchScalingPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Simulated frames per wall-clock second.
+    pub sim_frames_per_s: f64,
+    /// Whether the merged metrics equal the sequential reference exactly.
+    pub identical: bool,
+}
+
+/// Results of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct BatchScalingResults {
+    /// Batch size measured.
+    pub frames: usize,
+    /// Sequential reference wall-clock time.
+    pub sequential_wall: Duration,
+    /// The (thread-count independent) system metrics.
+    pub metrics: SystemMetrics,
+    /// One point per measured thread count, ascending.
+    pub points: Vec<BatchScalingPoint>,
+}
+
+impl BatchScalingResults {
+    /// Speedup of the fastest measured point over the sequential walk.
+    pub fn best_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| self.sequential_wall.as_secs_f64() / p.wall.as_secs_f64())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Thread counts to sweep: powers of two up to `max_threads` (at least
+/// 1, 2, 4 so the sweep shape is comparable across machines).
+fn thread_sweep(max_threads: usize) -> Vec<usize> {
+    let cap = max_threads.max(4);
+    let mut threads = Vec::new();
+    let mut t = 1;
+    while t <= cap {
+        threads.push(t);
+        t *= 2;
+    }
+    threads
+}
+
+/// Runs the sweep on the paper-default 4-port system with the trained
+/// model, `samples` test frames, sweeping worker counts up to
+/// `max_threads` (0 = this machine's available parallelism).
+pub fn batch_results(
+    context: &ExperimentContext,
+    samples: usize,
+    max_threads: usize,
+) -> Result<BatchScalingResults, BenchError> {
+    let max_threads = if max_threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        max_threads
+    };
+    let frames = context.test_frames(samples);
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let mut system = EsamSystem::from_model(context.model(), &config)?;
+
+    let start = Instant::now();
+    let metrics = system.measure_batch(&frames)?;
+    let sequential_wall = start.elapsed();
+
+    let mut points = Vec::new();
+    for threads in thread_sweep(max_threads) {
+        let mut engine = BatchEngine::new(&system, &BatchConfig::with_threads(threads));
+        let start = Instant::now();
+        let parallel = engine.measure(&frames)?;
+        let wall = start.elapsed();
+        points.push(BatchScalingPoint {
+            threads,
+            wall,
+            sim_frames_per_s: frames.len() as f64 / wall.as_secs_f64(),
+            identical: parallel == metrics,
+        });
+    }
+    Ok(BatchScalingResults {
+        frames: frames.len(),
+        sequential_wall,
+        metrics,
+        points,
+    })
+}
+
+/// Renders the scaling table.
+pub fn batch_table(results: &BatchScalingResults) -> Table {
+    let mut table = Table::new(
+        "Batch scaling — simulator frames/sec vs worker threads (4-port system)",
+        &[
+            "threads",
+            "wall [ms]",
+            "speedup",
+            "frames/s",
+            "metrics match",
+        ],
+    );
+    table.row_owned(vec![
+        "seq".into(),
+        format!("{:.1}", results.sequential_wall.as_secs_f64() * 1e3),
+        "1.00x".into(),
+        format!(
+            "{:.0}",
+            results.frames as f64 / results.sequential_wall.as_secs_f64()
+        ),
+        "reference".into(),
+    ]);
+    for point in &results.points {
+        table.row_owned(vec![
+            point.threads.to_string(),
+            format!("{:.1}", point.wall.as_secs_f64() * 1e3),
+            format!(
+                "{:.2}x",
+                results.sequential_wall.as_secs_f64() / point.wall.as_secs_f64()
+            ),
+            format!("{:.0}", point.sim_frames_per_s),
+            if point.identical {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+            .into(),
+        ]);
+    }
+    table.note("merge law: worker counters are u64 sums, merged then finalized once — metrics are bit-identical at every thread count; speedup needs physical cores");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    #[test]
+    fn sweep_shape() {
+        assert_eq!(thread_sweep(1), vec![1, 2, 4]);
+        assert_eq!(thread_sweep(4), vec![1, 2, 4]);
+        assert_eq!(thread_sweep(9), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn every_thread_count_is_bit_identical() {
+        let context = ExperimentContext::prepare(Fidelity::Quick).unwrap();
+        let results = batch_results(&context, 24, 4).unwrap();
+        assert_eq!(results.frames, 24);
+        assert_eq!(results.points.len(), 3);
+        for point in &results.points {
+            assert!(point.identical, "{} threads diverged", point.threads);
+        }
+        assert_eq!(batch_table(&results).row_count(), 4);
+    }
+}

@@ -92,7 +92,10 @@ mod tests {
             for port_index in 0..4 {
                 let row = rail_index * 4 + port_index;
                 let v: f64 = t.cell(row, 2).unwrap().parse().unwrap();
-                assert!(v < prev, "rail {rail_index}: time/port must fall with ports");
+                assert!(
+                    v < prev,
+                    "rail {rail_index}: time/port must fall with ports"
+                );
                 prev = v;
             }
         }

@@ -157,10 +157,16 @@ mod tests {
         assert!(m[0].total_power() > m[2].total_power());
         assert!(m[4].total_power() > m[3].total_power());
         // Headline gains in the paper's class.
-        assert!(results.speedup() > 2.5 && results.speedup() < 3.7,
-            "speedup {:.2}", results.speedup());
-        assert!(results.energy_gain() > 1.9 && results.energy_gain() < 2.6,
-            "energy gain {:.2}", results.energy_gain());
+        assert!(
+            results.speedup() > 2.5 && results.speedup() < 3.7,
+            "speedup {:.2}",
+            results.speedup()
+        );
+        assert!(
+            results.energy_gain() > 1.9 && results.energy_gain() < 2.6,
+            "energy gain {:.2}",
+            results.energy_gain()
+        );
         assert!((results.area_ratio() - paper::SYSTEM_AREA_RATIO_4R).abs() < 0.2);
 
         // Table renders all rows.

@@ -68,13 +68,30 @@ pub fn learning_table() -> Result<Table, BenchError> {
     let n = learning_numbers()?;
     let mut table = Table::new(
         "§4.4.1 — Online-learning column update: transposed vs row-wise",
-        &["quantity", "row-wise (6T)", "transposed (1RW+4R)", "gain", "paper gain"],
+        &[
+            "quantity",
+            "row-wise (6T)",
+            "transposed (1RW+4R)",
+            "gain",
+            "paper gain",
+        ],
     );
     table.row_owned(vec![
         "cycles".into(),
-        format!("{} (paper {})", n.rowwise_cycles, paper::LEARN_ROWWISE_CYCLES),
-        format!("{} (paper {})", n.transposed_cycles, paper::LEARN_TRANSPOSED_CYCLES),
-        format!("{:.1}x", n.rowwise_cycles as f64 / n.transposed_cycles as f64),
+        format!(
+            "{} (paper {})",
+            n.rowwise_cycles,
+            paper::LEARN_ROWWISE_CYCLES
+        ),
+        format!(
+            "{} (paper {})",
+            n.transposed_cycles,
+            paper::LEARN_TRANSPOSED_CYCLES
+        ),
+        format!(
+            "{:.1}x",
+            n.rowwise_cycles as f64 / n.transposed_cycles as f64
+        ),
         "32.0x".into(),
     ]);
     table.row_owned(vec![

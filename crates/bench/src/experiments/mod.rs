@@ -3,9 +3,10 @@
 
 pub mod accuracy;
 pub mod addertree;
-pub mod area;
-pub mod corners;
 pub mod arbiter;
+pub mod area;
+pub mod batch;
+pub mod corners;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

@@ -1,4 +1,4 @@
-//! §4.1 / ref [19] reproduction: the NBL write-assist rule that limits
+//! §4.1 / ref \[19\] reproduction: the NBL write-assist rule that limits
 //! arrays to 128×128.
 
 use esam_sram::BitcellKind;
@@ -11,7 +11,14 @@ use crate::Table;
 pub fn nbl_table() -> Table {
     let mut table = Table::new(
         "§4.1 — NBL write assist: required V_WD [mV] vs cells per write bitline",
-        &["cell", "64 cells", "128 cells", "192 cells", "256 cells", "max valid"],
+        &[
+            "cell",
+            "64 cells",
+            "128 cells",
+            "192 cells",
+            "256 cells",
+            "max valid",
+        ],
     );
     let nbl = NblModel::paper_default();
     for cell in BitcellKind::ALL {

@@ -45,7 +45,11 @@ pub fn sta_table() -> Result<Table, BenchError> {
         let behavioral =
             MultiPortArbiter::new(128, 4, structure).map_err(esam_core::CoreError::from)?;
         let sta = structural.sta_critical_path(&timing)?;
-        let stimulus: Vec<Level> = requests.to_bools().iter().map(|&b| Level::from(b)).collect();
+        let stimulus: Vec<Level> = requests
+            .to_bools()
+            .iter()
+            .map(|&b| Level::from(b))
+            .collect();
         let mut sim = Simulator::new(structural.netlist(), timing)?;
         let (settle, _) = sim.settle(&stimulus)?;
         table.row_owned(vec![
@@ -58,7 +62,8 @@ pub fn sta_table() -> Result<Table, BenchError> {
     }
     table.note(&format!(
         "paper bounds: flat >{} ps, tree <{} ps; STA bounds every event-sim settle by construction",
-        paper::ARBITER_FLAT_CRITICAL_PS, paper::ARBITER_TREE_CRITICAL_PS,
+        paper::ARBITER_FLAT_CRITICAL_PS,
+        paper::ARBITER_TREE_CRITICAL_PS,
     ));
     table.note("functional equivalence of structural vs behavioral grants is asserted by the esam-arbiter property suite");
     Ok(table)

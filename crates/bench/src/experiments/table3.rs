@@ -13,7 +13,14 @@ use crate::Table;
 pub fn table3_table(four_port: &SystemMetrics, accuracy_percent: f64) -> Table {
     let mut table = Table::new(
         "Table 3 — Comparison with state-of-the-art small-scale SNN accelerators",
-        &["quantity", "[6]", "[9]", "[10]", "this work (measured)", "this work (paper)"],
+        &[
+            "quantity",
+            "[6]",
+            "[9]",
+            "[10]",
+            "this work (measured)",
+            "this work (paper)",
+        ],
     );
     let sota = sota_entries();
     let config = SystemConfig::paper_default(BitcellKind::multiport(4).expect("4 ports"));
@@ -114,7 +121,11 @@ pub fn table3_table(four_port: &SystemMetrics, accuracy_percent: f64) -> Table {
 }
 
 fn yes_no(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]

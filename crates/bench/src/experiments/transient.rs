@@ -130,7 +130,8 @@ mod tests {
     #[test]
     fn times_grow_with_ports() {
         let table = transient_table().unwrap();
-        let col = |row: usize, col: usize| -> f64 { table.cell(row, col).unwrap().parse().unwrap() };
+        let col =
+            |row: usize, col: usize| -> f64 { table.cell(row, col).unwrap().parse().unwrap() };
         for row in 1..4 {
             assert!(
                 col(row, 2) >= col(row - 1, 2),

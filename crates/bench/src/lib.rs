@@ -21,6 +21,7 @@
 //! | `nbl` | §4.1 array-size validity rule |
 //! | `learning` | §4.4.1 online-learning cost |
 //! | `fig8` | system sweep + headline gains |
+//! | `batch` | simulator batch-scaling: frames/sec vs worker threads |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
 //! | `sta` | §3.3 gate-level STA cross-check (structural arbiter) |
@@ -42,17 +43,28 @@ pub use table::Table;
 
 /// Experiment ids that need no trained network (circuit-level artifacts).
 pub const CIRCUIT_EXPERIMENTS: [&str; 10] = [
-    "area", "fig6", "fig7", "table2", "arbiter", "nbl", "sta", "transient", "addertree", "corners",
+    "area",
+    "fig6",
+    "fig7",
+    "table2",
+    "arbiter",
+    "nbl",
+    "sta",
+    "transient",
+    "addertree",
+    "corners",
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
-pub const SYSTEM_EXPERIMENTS: [&str; 4] = ["learning", "fig8", "table3", "accuracy"];
+pub const SYSTEM_EXPERIMENTS: [&str; 5] = ["learning", "fig8", "table3", "accuracy", "batch"];
 
 /// Runs a list of experiments, printing each table to stdout.
 ///
 /// `samples` bounds the number of test images used by the system-level
-/// experiments. The shared [`ExperimentContext`] (dataset + trained model)
-/// is built lazily, only when a system experiment is requested.
+/// experiments; `threads` caps the worker sweep of the `batch` experiment
+/// (0 = this machine's available parallelism). The shared
+/// [`ExperimentContext`] (dataset + trained model) is built lazily, only
+/// when a system experiment is requested.
 ///
 /// # Errors
 ///
@@ -62,6 +74,7 @@ pub fn run_experiments(
     ids: &[String],
     fidelity: Fidelity,
     samples: usize,
+    threads: usize,
 ) -> Result<(), BenchError> {
     let expanded: Vec<String> = if ids.iter().any(|id| id == "all") {
         CIRCUIT_EXPERIMENTS
@@ -75,8 +88,8 @@ pub fn run_experiments(
 
     // Validate ids before doing any expensive work.
     for id in &expanded {
-        let known = CIRCUIT_EXPERIMENTS.contains(&id.as_str())
-            || SYSTEM_EXPERIMENTS.contains(&id.as_str());
+        let known =
+            CIRCUIT_EXPERIMENTS.contains(&id.as_str()) || SYSTEM_EXPERIMENTS.contains(&id.as_str());
         if !known {
             return Err(BenchError::UnknownExperiment(id.clone()));
         }
@@ -84,9 +97,11 @@ pub fn run_experiments(
 
     let needs_context = expanded
         .iter()
-        .any(|id| ["fig8", "table3", "accuracy"].contains(&id.as_str()));
+        .any(|id| ["fig8", "table3", "accuracy", "batch"].contains(&id.as_str()));
     let context = if needs_context {
-        eprintln!("[repro] preparing dataset + training the 768:256:256:256:10 BNN ({fidelity:?}) …");
+        eprintln!(
+            "[repro] preparing dataset + training the 768:256:256:256:10 BNN ({fidelity:?}) …"
+        );
         Some(ExperimentContext::prepare(fidelity)?)
     } else {
         None
@@ -111,6 +126,11 @@ pub fn run_experiments(
             "addertree" => println!("{}", experiments::addertree::addertree_table()?),
             "corners" => println!("{}", experiments::corners::corners_table()),
             "learning" => println!("{}", experiments::learning::learning_table()?),
+            "batch" => {
+                let context = context.as_ref().expect("context prepared above");
+                let results = experiments::batch::batch_results(context, samples, threads)?;
+                println!("{}", experiments::batch::batch_table(&results));
+            }
             "fig8" => {
                 let context = context.as_ref().expect("context prepared above");
                 if fig8_cache.is_none() {
@@ -164,14 +184,14 @@ mod tests {
 
     #[test]
     fn unknown_experiment_is_rejected_before_training() {
-        let err = run_experiments(&["bogus".to_string()], Fidelity::Quick, 5).unwrap_err();
+        let err = run_experiments(&["bogus".to_string()], Fidelity::Quick, 5, 0).unwrap_err();
         assert!(matches!(err, BenchError::UnknownExperiment(_)));
     }
 
     #[test]
     fn circuit_experiments_run_without_context() {
         for id in CIRCUIT_EXPERIMENTS {
-            run_experiments(&[id.to_string()], Fidelity::Quick, 5)
+            run_experiments(&[id.to_string()], Fidelity::Quick, 5, 0)
                 .unwrap_or_else(|e| panic!("{id} failed: {e}"));
         }
     }

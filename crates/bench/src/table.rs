@@ -45,7 +45,8 @@ impl Table {
             self.headers.len(),
             "row width must match header count"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends one row from owned strings.

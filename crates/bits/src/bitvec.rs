@@ -88,7 +88,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -99,7 +103,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / WORD_BITS];
         let mask = 1u64 << (index % WORD_BITS);
         if value {

@@ -254,7 +254,6 @@ impl Circuit {
         self.initial.push((node, volts));
         Ok(())
     }
-
 }
 
 #[cfg(test)]
@@ -301,7 +300,10 @@ mod tests {
             ckt.add_resistor(bogus, Circuit::GROUND, 1e3),
             Err(CircuitError::UnknownNode)
         );
-        assert_eq!(ckt.set_initial_voltage(bogus, 0.5), Err(CircuitError::UnknownNode));
+        assert_eq!(
+            ckt.set_initial_voltage(bogus, 0.5),
+            Err(CircuitError::UnknownNode)
+        );
     }
 
     #[test]
@@ -318,5 +320,4 @@ mod tests {
         assert!(s.is_closed(2.9e-9));
         assert!(!s.is_closed(3e-9));
     }
-
 }

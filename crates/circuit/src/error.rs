@@ -39,7 +39,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "invalid {quantity}: {value}")
             }
             CircuitError::SingularMatrix { pivot } => {
-                write!(f, "singular MNA matrix at pivot {pivot} (floating node or source loop)")
+                write!(
+                    f,
+                    "singular MNA matrix at pivot {pivot} (floating node or source loop)"
+                )
             }
             CircuitError::BadTimeAxis { stop, step } => {
                 write!(f, "bad time axis: stop {stop} s, step {step} s")
@@ -61,7 +64,9 @@ mod tests {
             value: -3.0,
         };
         assert_eq!(e.to_string(), "invalid resistance: -3");
-        assert!(CircuitError::SingularMatrix { pivot: 4 }.to_string().contains("pivot 4"));
+        assert!(CircuitError::SingularMatrix { pivot: 4 }
+            .to_string()
+            .contains("pivot 4"));
     }
 
     #[test]

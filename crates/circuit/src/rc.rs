@@ -53,7 +53,11 @@ impl RcLadder {
             circuit.add_resistor(previous, next, r_seg)?;
             // End caps get C/2n; interior nodes receive C/2n from both
             // adjacent sections.
-            let shunt = if k + 1 == segments { c_half } else { 2.0 * c_half };
+            let shunt = if k + 1 == segments {
+                c_half
+            } else {
+                2.0 * c_half
+            };
             circuit.add_capacitor(next, Circuit::GROUND, shunt)?;
             nodes.push(next);
             previous = next;
@@ -141,7 +145,10 @@ mod tests {
         let ladder = RcLadder::build(&mut ckt, driver, 24, r_total, c_total, "bl").unwrap();
         let elmore = RcLadder::elmore_delay(24, r_total, c_total);
         let result = ckt.transient(10.0 * elmore, elmore / 400.0).unwrap();
-        let t50 = result.rising_crossing(ladder.output(), 0.5).expect("charges") - 1e-12;
+        let t50 = result
+            .rising_crossing(ladder.output(), 0.5)
+            .expect("charges")
+            - 1e-12;
         let ratio = t50 / elmore;
         assert!(
             (0.5..1.0).contains(&ratio),
@@ -158,8 +165,12 @@ mod tests {
         let ladder = RcLadder::build(&mut ckt, driver, 8, 5e3, 8e-15, "wl").unwrap();
         let elmore = RcLadder::elmore_delay(8, 5e3, 8e-15);
         let result = ckt.transient(10.0 * elmore, elmore / 200.0).unwrap();
-        let near = result.rising_crossing(ladder.nodes()[1], 0.35).expect("charges");
-        let far = result.rising_crossing(ladder.output(), 0.35).expect("charges");
+        let near = result
+            .rising_crossing(ladder.nodes()[1], 0.35)
+            .expect("charges");
+        let far = result
+            .rising_crossing(ladder.output(), 0.35)
+            .expect("charges");
         assert!(far > near, "far end {far} must lag near end {near}");
     }
 }

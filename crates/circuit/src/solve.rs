@@ -137,7 +137,9 @@ mod tests {
         let n = 12;
         let mut seed = 0x9e3779b97f4a7c15u64;
         let mut rand = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let a: Vec<f64> = (0..n * n)

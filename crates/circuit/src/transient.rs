@@ -85,12 +85,16 @@ impl TransientResult {
 
     /// First time `node` falls through `threshold`, linearly interpolated.
     pub fn falling_crossing(&self, node: NodeId, threshold: f64) -> Option<f64> {
-        self.crossing(node, threshold, |prev, next| prev > threshold && next <= threshold)
+        self.crossing(node, threshold, |prev, next| {
+            prev > threshold && next <= threshold
+        })
     }
 
     /// First time `node` rises through `threshold`, linearly interpolated.
     pub fn rising_crossing(&self, node: NodeId, threshold: f64) -> Option<f64> {
-        self.crossing(node, threshold, |prev, next| prev < threshold && next >= threshold)
+        self.crossing(node, threshold, |prev, next| {
+            prev < threshold && next >= threshold
+        })
     }
 
     fn crossing(
@@ -120,9 +124,11 @@ impl TransientResult {
     /// Panics if `node` is out of range.
     pub fn voltage_range(&self, node: NodeId) -> (f64, f64) {
         let idx = node.index();
-        self.voltages.iter().fold((f64::MAX, f64::MIN), |(lo, hi), row| {
-            (lo.min(row[idx]), hi.max(row[idx]))
-        })
+        self.voltages
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), row| {
+                (lo.min(row[idx]), hi.max(row[idx]))
+            })
     }
 
     /// Energy delivered by voltage source `source` over the whole run,
@@ -328,7 +334,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let drive = ckt.add_node("drive");
         let out = ckt.add_node("out");
-        ckt.add_voltage_source(drive, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_voltage_source(drive, Circuit::GROUND, Waveform::dc(1.0))
+            .unwrap();
         ckt.add_resistor(drive, out, 1e3).unwrap();
         ckt.add_capacitor(out, Circuit::GROUND, 1e-12).unwrap();
         (ckt, out)
@@ -360,7 +367,9 @@ mod tests {
         ckt.set_initial_voltage(bl, 0.5).unwrap();
         let tau = 10e3 * 2e-15;
         let result = ckt.transient(5.0 * tau, tau / 500.0).unwrap();
-        let t50 = result.falling_crossing(bl, 0.25).expect("discharges through 250 mV");
+        let t50 = result
+            .falling_crossing(bl, 0.25)
+            .expect("discharges through 250 mV");
         assert!(
             (t50 - tau * std::f64::consts::LN_2).abs() < 0.01 * tau,
             "t50 {t50} vs ln2·τ {}",
@@ -373,7 +382,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let top = ckt.add_node("top");
         let mid = ckt.add_node("mid");
-        ckt.add_voltage_source(top, Circuit::GROUND, Waveform::dc(0.9)).unwrap();
+        ckt.add_voltage_source(top, Circuit::GROUND, Waveform::dc(0.9))
+            .unwrap();
         ckt.add_resistor(top, mid, 2e3).unwrap();
         ckt.add_resistor(mid, Circuit::GROUND, 1e3).unwrap();
         ckt.add_capacitor(mid, Circuit::GROUND, 1e-15).unwrap();
@@ -387,7 +397,8 @@ mod tests {
         let bl = ckt.add_node("bl");
         ckt.add_capacitor(bl, Circuit::GROUND, 10e-15).unwrap();
         ckt.set_initial_voltage(bl, 0.5).unwrap();
-        ckt.add_switch(bl, Circuit::GROUND, 5e3, 1e-9, None).unwrap();
+        ckt.add_switch(bl, Circuit::GROUND, 5e3, 1e-9, None)
+            .unwrap();
         let result = ckt.transient(3e-9, 1e-12).unwrap();
         // Untouched before the switch closes...
         assert!((result.voltage_at(bl, 0.9e-9) - 0.5).abs() < 1e-6);
@@ -403,10 +414,14 @@ mod tests {
         let bl = ckt.add_node("bl");
         ckt.add_capacitor(bl, Circuit::GROUND, 10e-15).unwrap();
         ckt.set_initial_voltage(bl, 0.5).unwrap();
-        ckt.add_switch(bl, Circuit::GROUND, 5e3, 0.0, Some(30e-12)).unwrap();
+        ckt.add_switch(bl, Circuit::GROUND, 5e3, 0.0, Some(30e-12))
+            .unwrap();
         let result = ckt.transient(1e-9, 0.5e-12).unwrap();
         let frozen = result.voltage_at(bl, 35e-12);
-        assert!(frozen > 0.2 && frozen < 0.4, "partially discharged: {frozen}");
+        assert!(
+            frozen > 0.2 && frozen < 0.4,
+            "partially discharged: {frozen}"
+        );
         assert!((result.final_voltage(bl) - frozen).abs() < 1e-6);
     }
 
@@ -432,7 +447,8 @@ mod tests {
         let n = ckt.add_node("n");
         ckt.add_capacitor(n, Circuit::GROUND, 1e-12).unwrap();
         // 1 µA into 1 pF → 1 V/µs → 1 mV/ns.
-        ckt.add_current_source(Circuit::GROUND, n, Waveform::dc(1e-6)).unwrap();
+        ckt.add_current_source(Circuit::GROUND, n, Waveform::dc(1e-6))
+            .unwrap();
         // Bleed resistor keeps the DC matrix non-singular without loading
         // the node noticeably over 10 ns.
         ckt.add_resistor(n, Circuit::GROUND, 1e12).unwrap();

@@ -7,7 +7,9 @@ use esam_sram::BitcellKind;
 fn main() {
     let data = Dataset::generate(&DigitsConfig::default()).unwrap();
     let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42).unwrap();
-    Trainer::new(TrainConfig::default()).train(&mut net, &data.train).unwrap();
+    Trainer::new(TrainConfig::default())
+        .train(&mut net, &data.train)
+        .unwrap();
     let model = SnnModel::from_bnn(&net).unwrap();
     let frames: Vec<_> = (0..200).map(|i| data.test.spikes(i)).collect();
     let n = frames.len() as f64;
@@ -22,7 +24,8 @@ fn main() {
             cc += (t.stats().active_cycles * t.outputs() as u64) as f64 / n;
         }
         let pb = cc * p; // port-bit-cycles per inf
-        let ca = 15.5e-15; let cb = 5.46e-15;
+        let ca = 15.5e-15;
+        let cb = 5.46e-15;
         let r = m.energy_per_inf.pj() - (cc * ca + pb * cb) * 1e12;
         println!(
             "{:8} clk={:6.1}MHz cyc={:5.1} T={:6.2}M E={:7.1}pJ P={:5.2}mW leak={:4.2} CC={:7.0} PB={:7.0} R={:6.1}pJ",

@@ -5,6 +5,12 @@ fn main() {
     use esam_sram::BitcellKind;
     for cell in BitcellKind::ALL {
         let t = PipelineTiming::analyze(&SystemConfig::paper_default(cell)).unwrap();
-        println!("{:8} arb={:.3}ns sram+neuron={:.3}ns clock={:.3}ns", cell.name(), t.arbiter_stage.ns(), t.sram_neuron_stage.ns(), t.clock_period().ns());
+        println!(
+            "{:8} arb={:.3}ns sram+neuron={:.3}ns clock={:.3}ns",
+            cell.name(),
+            t.arbiter_stage.ns(),
+            t.sram_neuron_stage.ns(),
+            t.clock_period().ns()
+        );
     }
 }

@@ -122,8 +122,8 @@ impl AdderTreeMacro {
     pub fn area(&self) -> AreaUm2 {
         let cell = AreaUm2::new(paper::CELL_AREA_6T_UM2);
         let array = cell * (self.rows * self.cols) as f64;
-        let mask =
-            GateArea::finfet_3nm().area(esam_logic::GateKind::And, 2) * (self.rows * self.cols) as f64;
+        let mask = GateArea::finfet_3nm().area(esam_logic::GateKind::And, 2)
+            * (self.rows * self.cols) as f64;
         array + (self.tree_area + mask / self.cols as f64) * self.cols as f64
     }
 

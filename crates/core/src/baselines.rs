@@ -43,8 +43,8 @@ pub struct SotaEntry {
 
 /// The three accelerators the paper compares against in Table 3.
 ///
-/// Values are quoted from the paper's own table (its refs [6], [9], [10]);
-/// the [9] power is the paper's inference from SOP/s/mm², area and pJ/SOP.
+/// Values are quoted from the paper's own table (its refs \[6\], \[9\], \[10\]);
+/// the \[9\] power is the paper's inference from SOP/s/mm², area and pJ/SOP.
 pub fn sota_entries() -> Vec<SotaEntry> {
     vec![
         SotaEntry {

@@ -123,7 +123,9 @@ impl SystemConfig {
             ));
         }
         if self.topology.contains(&0) {
-            return Err(CoreError::InvalidConfig("layer widths must be non-zero".into()));
+            return Err(CoreError::InvalidConfig(
+                "layer widths must be non-zero".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.input_activity_hint) {
             return Err(CoreError::InvalidConfig(
@@ -135,6 +137,86 @@ impl SystemConfig {
         // blocks, which are strictly easier to write).
         self.array_config(ARRAY_DIM, ARRAY_DIM)?;
         Ok(())
+    }
+}
+
+/// Sharding plan for the parallel batch engine
+/// ([`BatchEngine`](crate::batch::BatchEngine)).
+///
+/// `threads` is the number of worker pipelines (independent clones of the
+/// tile cascade, mirroring how the multi-core architectures the paper's
+/// related work replicates compute tiles); `chunk_size` is the number of
+/// consecutive frames a worker claims from the shared queue at a time.
+/// Neither parameter affects *results* — the engine's counter merge is
+/// exact for any partition (see [`TileStats::merge`](crate::TileStats)) —
+/// only wall-clock scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use esam_core::BatchConfig;
+///
+/// let auto = BatchConfig::default();          // all available cores
+/// assert!(auto.threads() >= 1);
+/// let fixed = BatchConfig::with_threads(4);   // explicit worker count
+/// assert_eq!(fixed.threads(), 4);
+/// assert_eq!(BatchConfig::sequential().threads(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    threads: usize,
+    chunk_size: usize,
+}
+
+impl BatchConfig {
+    /// A plan using `threads` workers and automatic chunk sizing.
+    ///
+    /// `threads` is clamped to at least 1.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            chunk_size: 0,
+        }
+    }
+
+    /// The single-threaded plan (the sequential reference path).
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Sets the number of consecutive frames a worker claims at a time
+    /// (0 = automatic: balances queue contention against tail latency).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Number of worker pipelines.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Frames claimed per queue pop; resolves the automatic setting for a
+    /// batch of `frames` frames served by `workers` worker pipelines (which
+    /// may be fewer than [`threads`](Self::threads) — the engine clamps
+    /// state-carrying workloads to one worker).
+    pub fn effective_chunk_size(&self, frames: usize, workers: usize) -> usize {
+        if self.chunk_size > 0 {
+            return self.chunk_size;
+        }
+        // Automatic: ~4 chunks per worker bounds idle tails at the end of
+        // the batch while keeping queue traffic negligible.
+        (frames / (workers.max(1) * 4)).max(1)
+    }
+}
+
+impl Default for BatchConfig {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(threads)
     }
 }
 

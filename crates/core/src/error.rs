@@ -41,10 +41,16 @@ impl fmt::Display for CoreError {
             CoreError::Arbiter(e) => write!(f, "arbiter: {e}"),
             CoreError::Nn(e) => write!(f, "network: {e}"),
             CoreError::TopologyMismatch { expected, got } => {
-                write!(f, "topology mismatch: system expects {expected:?}, model has {got:?}")
+                write!(
+                    f,
+                    "topology mismatch: system expects {expected:?}, model has {got:?}"
+                )
             }
             CoreError::InputWidthMismatch { expected, got } => {
-                write!(f, "input frame width mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "input frame width mismatch: expected {expected}, got {got}"
+                )
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid system configuration: {msg}"),
         }

@@ -136,7 +136,8 @@ impl OnlineLearningEngine {
                     let current = BitVec::from_bools(&[row_bits.get(local_col)]);
                     let pre = BitVec::from_bools(&[pre_slice.get(row)]);
                     let (updated, flips) =
-                        self.rule.update_column(&current, &pre, signal, &mut self.rng);
+                        self.rule
+                            .update_column(&current, &pre, signal, &mut self.rng);
                     row_bits.set(local_col, updated.get(0));
                     array.rowwise_write(row, &row_bits)?;
                     bits_flipped += flips;
@@ -187,7 +188,9 @@ mod tests {
     use esam_tech::calibration::paper;
 
     fn tile(cell: BitcellKind) -> (Tile, Seconds) {
-        let config = SystemConfig::builder(cell, &[128, 128, 10]).build().unwrap();
+        let config = SystemConfig::builder(cell, &[128, 128, 10])
+            .build()
+            .unwrap();
         let pipeline = crate::pipeline::PipelineTiming::analyze(&config).unwrap();
         (
             Tile::new(128, 128, &config).unwrap(),

@@ -9,25 +9,41 @@
 //! with the circuit-level timing/energy models, yield system throughput,
 //! energy per inference, power and area (Fig. 8, Table 3).
 //!
+//! Heavy batch workloads go through the [`batch::BatchEngine`], which
+//! shards frames across worker clones of the tile cascade and merges their
+//! counters exactly — parallel measurements are bit-identical to the
+//! sequential walk at any thread count (see [`metrics`] for the merge
+//! law).
+//!
 //! # Examples
 //!
-//! Build the paper's 768:256:256:256:10 system and measure it:
+//! Build a system, measure a batch sequentially, then re-measure it on the
+//! parallel [`BatchEngine`] — the results are bit-identical (this example
+//! *runs* under `cargo test`; it uses a small untrained network so it
+//! finishes in milliseconds — substitute `SystemConfig::paper_default` and
+//! a [`Trainer`](esam_nn::Trainer)-trained network for the paper's full
+//! 768:256:256:256:10 system, as the `repro` binary does):
 //!
-//! ```no_run
-//! use esam_core::{EsamSystem, SystemConfig};
-//! use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, TrainConfig, Trainer};
+//! ```
+//! use esam_bits::BitVec;
+//! use esam_core::{BatchConfig, BatchEngine, EsamSystem, SystemConfig};
+//! use esam_nn::{BnnNetwork, SnnModel};
 //! use esam_sram::BitcellKind;
 //!
-//! let data = Dataset::generate(&DigitsConfig::default())?;
-//! let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42)?;
-//! Trainer::new(TrainConfig::default()).train(&mut net, &data.train)?;
+//! let net = BnnNetwork::new(&[128, 32, 10], 42)?;
 //! let model = SnnModel::from_bnn(&net)?;
-//!
-//! let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+//! let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 32, 10])
+//!     .build()?;
 //! let mut system = EsamSystem::from_model(&model, &config)?;
-//! let frames: Vec<_> = (0..100).map(|i| data.test.spikes(i)).collect();
-//! let metrics = system.measure_batch(&frames)?;
-//! println!("{metrics}");
+//!
+//! let frames: Vec<BitVec> = (0..24)
+//!     .map(|i| BitVec::from_indices(128, &[i, (i * 7) % 128, (i * 31) % 128]))
+//!     .collect();
+//! let sequential = system.measure_batch(&frames)?;
+//!
+//! let mut engine = BatchEngine::new(&system, &BatchConfig::with_threads(4));
+//! assert_eq!(engine.measure(&frames)?, sequential); // bit-identical merge
+//! println!("{sequential}");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -36,6 +52,7 @@
 
 pub mod adder_tree;
 pub mod baselines;
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod learning;
@@ -45,10 +62,11 @@ pub mod system;
 pub mod tile;
 
 pub use adder_tree::{energy_crossover, sparsity_sweep, AdderTreeMacro, SparsityPoint};
-pub use config::{SystemConfig, SystemConfigBuilder, ARRAY_DIM};
+pub use batch::BatchEngine;
+pub use config::{BatchConfig, SystemConfig, SystemConfigBuilder, ARRAY_DIM};
 pub use error::CoreError;
 pub use learning::{LearningCost, OnlineLearningEngine};
-pub use metrics::SystemMetrics;
+pub use metrics::{BatchTally, SystemMetrics};
 pub use pipeline::{PipelineStage, PipelineTiming};
 pub use system::{EsamSystem, InferenceResult, SequenceResult};
-pub use tile::{Tile, TileStats};
+pub use tile::{Tile, TileStats, TileWeights};

@@ -1,8 +1,61 @@
-//! System-level figures of merit (the quantities Fig. 8 and Table 3 report).
+//! System-level figures of merit (the quantities Fig. 8 and Table 3 report)
+//! and the batch engine's merge law.
+//!
+//! # The merge law
+//!
+//! A batch measurement is built from two kinds of state, both of which merge
+//! exactly across workload shards:
+//!
+//! 1. **Cycle tallies** ([`BatchTally`]): per-frame bottleneck/latency cycle
+//!    counts summed as `u64`. Addition is associative and commutative, so
+//!    any partition of the frames produces the same sums.
+//! 2. **Activity counters** ([`TileStats`](crate::TileStats) and the
+//!    per-array access counters): also plain `u64` sums.
+//!
+//! [`SystemMetrics`] is then a *pure function* of (merged tally, merged
+//! counters, static system properties): the same merged integers go through
+//! the same float arithmetic, so a parallel measurement is **bit-identical**
+//! to the sequential one — not merely statistically equivalent. The
+//! float-level shortcut [`SystemMetrics::merge`] also exists for combining
+//! already-finalized metrics, but being float arithmetic it is exact only up
+//! to rounding; the engine always merges the integer state instead.
 
 use std::fmt;
 
 use esam_tech::units::{AreaUm2, Hertz, Joules, Seconds, Watts};
+
+use crate::system::InferenceResult;
+
+/// Raw cycle tallies accumulated while running a batch (or a shard of one).
+///
+/// This is the integer half of the merge law (see the module docs): tallies
+/// from any partition of a batch [`merge`](Self::merge) into exactly the
+/// tallies of the sequential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchTally {
+    /// Frames processed.
+    pub frames: u64,
+    /// Summed bottleneck-tile cycles (pipelined throughput numerator).
+    pub bottleneck_cycles: u64,
+    /// Summed whole-cascade cycles (latency numerator).
+    pub latency_cycles: u64,
+}
+
+impl BatchTally {
+    /// Records one inference.
+    pub fn record(&mut self, result: &InferenceResult) {
+        self.frames += 1;
+        self.bottleneck_cycles += result.bottleneck_cycles();
+        self.latency_cycles += result.total_cycles();
+    }
+
+    /// Adds another shard's tallies into this one (exact).
+    pub fn merge(&mut self, other: &BatchTally) {
+        self.frames += other.frames;
+        self.bottleneck_cycles += other.bottleneck_cycles;
+        self.latency_cycles += other.latency_cycles;
+    }
+}
 
 /// Measured system-level metrics over a batch of inferences.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +88,46 @@ impl SystemMetrics {
     pub fn throughput_minf_s(&self) -> f64 {
         self.throughput_inf_s / 1e6
     }
+
+    /// Combines two finalized measurements of the *same system* over
+    /// disjoint batches of `self_frames` and `other_frames` frames.
+    ///
+    /// Per-inference quantities are frame-weighted averages; throughput and
+    /// dynamic power are re-derived from the merged averages. This is the
+    /// closed-form counterpart of re-measuring the concatenated batch —
+    /// exact up to float rounding. The batch engine does **not** use this
+    /// shortcut: it merges the underlying integer tallies/counters and
+    /// finalizes once, which is bit-exact (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when both frame counts are zero (an empty merge has no
+    /// meaning), or in debug builds when the static properties (clock,
+    /// area) differ — i.e. the measurements came from different systems.
+    pub fn merge(&self, other: &SystemMetrics, self_frames: u64, other_frames: u64) -> Self {
+        assert!(
+            self_frames + other_frames > 0,
+            "merging two empty measurements"
+        );
+        debug_assert_eq!(self.clock, other.clock, "metrics from different systems");
+        debug_assert_eq!(self.area, other.area, "metrics from different systems");
+        let total = (self_frames + other_frames) as f64;
+        let wa = self_frames as f64 / total;
+        let wb = other_frames as f64 / total;
+        let bottleneck_cycles = self.bottleneck_cycles * wa + other.bottleneck_cycles * wb;
+        let throughput = self.clock.value() / bottleneck_cycles;
+        let energy_per_inf = self.energy_per_inf * wa + other.energy_per_inf * wb;
+        SystemMetrics {
+            clock: self.clock,
+            bottleneck_cycles,
+            throughput_inf_s: throughput,
+            latency: self.latency * wa + other.latency * wb,
+            energy_per_inf,
+            dynamic_power: Watts::new(energy_per_inf.value() * throughput),
+            leakage_power: self.leakage_power,
+            area: self.area,
+        }
+    }
 }
 
 impl fmt::Display for SystemMetrics {
@@ -43,8 +136,13 @@ impl fmt::Display for SystemMetrics {
         writeln!(f, "throughput:   {:.2} MInf/s", self.throughput_minf_s())?;
         writeln!(f, "latency:      {:.2}", self.latency)?;
         writeln!(f, "energy/inf:   {:.1}", self.energy_per_inf)?;
-        writeln!(f, "power:        {:.2} (dynamic {:.2} + leakage {:.2})",
-            self.total_power(), self.dynamic_power, self.leakage_power)?;
+        writeln!(
+            f,
+            "power:        {:.2} (dynamic {:.2} + leakage {:.2})",
+            self.total_power(),
+            self.dynamic_power,
+            self.leakage_power
+        )?;
         write!(f, "area:         {:.0}", self.area)
     }
 }
@@ -52,6 +150,53 @@ impl fmt::Display for SystemMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample(bottleneck: f64, energy_pj: f64) -> SystemMetrics {
+        let clock = Hertz::from_mhz(810.0);
+        let throughput = clock.value() / bottleneck;
+        SystemMetrics {
+            clock,
+            bottleneck_cycles: bottleneck,
+            throughput_inf_s: throughput,
+            latency: Seconds::from_ns(80.0),
+            energy_per_inf: Joules::from_pj(energy_pj),
+            dynamic_power: Watts::new(Joules::from_pj(energy_pj).value() * throughput),
+            leakage_power: Watts::from_mw(2.3),
+            area: AreaUm2::new(20_000.0),
+        }
+    }
+
+    #[test]
+    fn tally_merge_is_plain_addition() {
+        let mut a = BatchTally {
+            frames: 3,
+            bottleneck_cycles: 30,
+            latency_cycles: 90,
+        };
+        let b = BatchTally {
+            frames: 2,
+            bottleneck_cycles: 25,
+            latency_cycles: 70,
+        };
+        a.merge(&b);
+        assert_eq!(a.frames, 5);
+        assert_eq!(a.bottleneck_cycles, 55);
+        assert_eq!(a.latency_cycles, 160);
+    }
+
+    #[test]
+    fn metrics_merge_weights_by_frames() {
+        let a = sample(10.0, 100.0);
+        let b = sample(20.0, 400.0);
+        let merged = a.merge(&b, 1, 3);
+        assert!((merged.bottleneck_cycles - 17.5).abs() < 1e-12);
+        assert!((merged.energy_per_inf.pj() - 325.0).abs() < 1e-9);
+        // Throughput re-derived from the merged cycle count.
+        assert!((merged.throughput_inf_s - merged.clock.value() / 17.5).abs() < 1.0);
+        // Merging with itself at equal weight is the identity.
+        let same = a.merge(&a, 5, 5);
+        assert!((same.bottleneck_cycles - a.bottleneck_cycles).abs() < 1e-12);
+    }
 
     #[test]
     fn totals_and_display() {

@@ -57,6 +57,19 @@ impl PipelineTiming {
         self.clock_period().to_frequency()
     }
 
+    /// Wall-clock duration of `cycles` clock cycles (fractional cycle
+    /// counts arise from batch averages).
+    pub fn seconds_for_cycles(&self, cycles: f64) -> Seconds {
+        self.clock_period() * cycles
+    }
+
+    /// Pipelined throughput (inferences/s) when the bottleneck tile needs
+    /// `cycles` clock cycles per inference on average — the conversion the
+    /// Fig. 8 metrics use.
+    pub fn throughput_for_cycles(&self, cycles: f64) -> f64 {
+        1.0 / self.seconds_for_cycles(cycles).value()
+    }
+
     /// Which stage limits the clock.
     pub fn bottleneck(&self) -> PipelineStage {
         if self.sram_neuron_stage > self.arbiter_stage {
@@ -123,7 +136,10 @@ mod tests {
     #[test]
     fn bottleneck_flips_from_arbiter_to_sram_table2() {
         // 1RW: the arbiter dominates; multiport designs: the SRAM stage.
-        assert_eq!(timing(BitcellKind::Std6T).bottleneck(), PipelineStage::Arbiter);
+        assert_eq!(
+            timing(BitcellKind::Std6T).bottleneck(),
+            PipelineStage::Arbiter
+        );
         for p in 2..=4 {
             assert_eq!(
                 timing(BitcellKind::multiport(p).unwrap()).bottleneck(),

@@ -4,7 +4,7 @@
 //! Tiles are cascaded directly; spike frames travel between them as parallel
 //! binary pulses, so no decoding or routing is modeled (or needed). The
 //! pipeline operates at the clock period derived in
-//! [`PipelineTiming`](crate::pipeline::PipelineTiming); in steady state every
+//! [`PipelineTiming`]; in steady state every
 //! tile works on a different inference, so throughput is set by the
 //! *bottleneck* tile's cycle count while latency is the sum over tiles.
 
@@ -13,9 +13,10 @@ use esam_nn::bnn::argmax;
 use esam_nn::SnnModel;
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
-use crate::config::SystemConfig;
+use crate::batch::BatchEngine;
+use crate::config::{BatchConfig, SystemConfig};
 use crate::error::CoreError;
-use crate::metrics::SystemMetrics;
+use crate::metrics::{BatchTally, SystemMetrics};
 use crate::pipeline::PipelineTiming;
 use crate::tile::Tile;
 
@@ -262,6 +263,12 @@ impl EsamSystem {
     /// dynamic energy per inference from the spike-by-spike counters, and
     /// power as `E/inf × throughput + leakage`.
     ///
+    /// This is the sequential reference path; it shares its accumulation
+    /// (`run_frames`) and finalization (`finalize_metrics`) with the
+    /// parallel engine, which is why
+    /// [`measure_batch_parallel`](Self::measure_batch_parallel) is
+    /// bit-identical to it at any thread count.
+    ///
     /// # Errors
     ///
     /// Propagates inference errors; returns
@@ -273,29 +280,110 @@ impl EsamSystem {
             ));
         }
         self.reset_stats();
-        let mut bottleneck_total = 0u64;
-        let mut latency_cycles_total = 0u64;
+        let tally = self.run_frames(frames)?;
+        self.finalize_metrics(&tally)
+    }
+
+    /// Runs a batch sharded over [`BatchConfig::threads`] worker pipelines
+    /// and merges the shards into one [`SystemMetrics`].
+    ///
+    /// The result is **bit-identical** to [`measure_batch`](Self::measure_batch)
+    /// on the same frames for every thread count and chunk size: workers
+    /// only accumulate `u64` counters, which merge exactly, and the final
+    /// float arithmetic runs once over the merged counters (see
+    /// [`crate::metrics`] for the full argument). After the call, this
+    /// system's activity counters hold the whole batch — the same
+    /// post-state the sequential path leaves behind.
+    ///
+    /// One-off convenience wrapper around [`BatchEngine`]; build the engine
+    /// directly to amortize worker setup over many batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference errors; returns
+    /// [`CoreError::InvalidConfig`] for an empty batch.
+    pub fn measure_batch_parallel(
+        &mut self,
+        frames: &[BitVec],
+        config: &BatchConfig,
+    ) -> Result<SystemMetrics, CoreError> {
+        if config.threads() <= 1 || !crate::batch::frames_are_independent(self) {
+            // Sharding requires per-frame independence (the default
+            // EveryTimestep reset); a state-carrying reset policy walks the
+            // batch sequentially, where frame order is well-defined.
+            return self.measure_batch(frames);
+        }
+        let mut engine = BatchEngine::new(self, config);
+        let metrics = engine.measure(frames)?;
+        // Leave this system's counters holding the whole batch, exactly as
+        // the sequential path would.
+        self.reset_stats();
+        for worker in engine.workers() {
+            self.absorb_stats(worker);
+        }
+        Ok(metrics)
+    }
+
+    /// Accumulation core shared by the sequential and parallel paths: runs
+    /// every frame, tallying cycle counts (activity counters accumulate in
+    /// the tiles as a side effect of [`infer`](Self::infer)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame inference errors.
+    pub(crate) fn run_frames(&mut self, frames: &[BitVec]) -> Result<BatchTally, CoreError> {
+        let mut tally = BatchTally::default();
         for frame in frames {
             let result = self.infer(frame)?;
-            bottleneck_total += result.bottleneck_cycles();
-            latency_cycles_total += result.total_cycles();
+            tally.record(&result);
         }
-        let n = frames.len() as f64;
-        let clock_period = self.pipeline.clock_period();
-        let bottleneck_cycles = bottleneck_total as f64 / n;
-        let seconds_per_inf = clock_period * bottleneck_cycles;
-        let throughput = 1.0 / seconds_per_inf.value();
+        Ok(tally)
+    }
+
+    /// Finalization core shared by the sequential and parallel paths:
+    /// derives [`SystemMetrics`] from a cycle tally plus this system's
+    /// accumulated activity counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM energy-model errors; returns
+    /// [`CoreError::InvalidConfig`] for an empty tally.
+    pub(crate) fn finalize_metrics(&self, tally: &BatchTally) -> Result<SystemMetrics, CoreError> {
+        if tally.frames == 0 {
+            return Err(CoreError::InvalidConfig(
+                "metrics need at least one frame".into(),
+            ));
+        }
+        let n = tally.frames as f64;
+        let bottleneck_cycles = tally.bottleneck_cycles as f64 / n;
+        let throughput = self.pipeline.throughput_for_cycles(bottleneck_cycles);
         let energy_per_inf = self.accumulated_energy()? / n;
         Ok(SystemMetrics {
             clock: self.pipeline.clock_frequency(),
             bottleneck_cycles,
             throughput_inf_s: throughput,
-            latency: clock_period * (latency_cycles_total as f64 / n),
+            latency: self
+                .pipeline
+                .seconds_for_cycles(tally.latency_cycles as f64 / n),
             energy_per_inf,
             dynamic_power: Watts::new(energy_per_inf.value() * throughput),
             leakage_power: self.leakage_power(),
             area: self.area(),
         })
+    }
+
+    /// Merges another system's activity counters into this one
+    /// (tile-by-tile; see [`Tile::absorb_stats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the two systems have different
+    /// topologies.
+    pub fn absorb_stats(&mut self, other: &EsamSystem) {
+        debug_assert_eq!(self.tiles.len(), other.tiles.len());
+        for (mine, theirs) in self.tiles.iter_mut().zip(&other.tiles) {
+            mine.absorb_stats(theirs);
+        }
     }
 }
 
@@ -393,7 +481,9 @@ mod tests {
         let (mut system, model) = small_system(BitcellKind::multiport(4).unwrap());
         let frame = random_frame(128, 5);
         let single = system.infer(&frame).unwrap();
-        let sequence = system.infer_sequence(&[frame.clone(), frame.clone(), frame]).unwrap();
+        let sequence = system
+            .infer_sequence(&[frame.clone(), frame.clone(), frame])
+            .unwrap();
         // EveryTimestep reset: identical frames → logits sum linearly.
         for (acc, single_logit) in sequence.accumulated_logits.iter().zip(&single.logits) {
             assert!((acc - 3.0 * single_logit).abs() < 1e-3);
@@ -412,10 +502,19 @@ mod tests {
     #[test]
     fn temporal_majority_beats_a_noisy_frame() {
         // Two clean frames outvote one corrupted frame of a different class.
+        // The untrained network gives no general guarantee here, so the
+        // seeds are chosen such that the two frames map to different classes
+        // AND the doubled clean evidence dominates (§3.4's rate-coded
+        // readout); seeds 0/5 satisfy both with the deterministic RNG.
         let (mut system, _) = small_system(BitcellKind::multiport(2).unwrap());
-        let clean = random_frame(128, 8);
-        let noisy = random_frame(128, 9);
+        let clean = random_frame(128, 0);
+        let noisy = random_frame(128, 5);
         let clean_class = system.infer(&clean).unwrap().prediction;
+        let noisy_class = system.infer(&noisy).unwrap().prediction;
+        assert_ne!(
+            clean_class, noisy_class,
+            "seeds must map to different classes"
+        );
         let sequence = system
             .infer_sequence(&[clean.clone(), noisy, clean])
             .unwrap();

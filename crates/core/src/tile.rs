@@ -14,12 +14,27 @@
 //!
 //! When the request register drains (`R_empty`), the neurons compare and
 //! fire, producing the parallel spike frame for the next tile (§3.1/§3.4).
+//!
+//! # Weight sharing and cheap clones
+//!
+//! The loaded weight arrays — by far the largest part of a tile — live
+//! behind an [`Arc`] ([`TileWeights`]) and are *immutable during inference*.
+//! All per-inference mutable state (request registers, membrane potentials,
+//! activity counters) sits directly in [`Tile`], so `Tile::clone` costs a
+//! reference-count bump plus a few small vectors. The parallel
+//! [`BatchEngine`](crate::batch::BatchEngine) exploits this to stamp out one
+//! pipeline clone per worker thread. Weight *mutation* (online learning
+//! through the transposed port) goes through [`Arc::make_mut`]: unique
+//! owners mutate in place, while a tile whose weights are currently shared
+//! transparently un-shares them first (copy-on-write).
+
+use std::sync::Arc;
 
 use esam_arbiter::{EncoderStructure, MultiPortArbiter};
 use esam_bits::{BitMatrix, BitVec};
 use esam_neuron::NeuronArray;
 use esam_nn::SnnLayer;
-use esam_sram::{SramArray, SramMacro};
+use esam_sram::{AccessStats, SramArray, SramMacro};
 use esam_tech::calibration::fitted;
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
@@ -46,6 +61,44 @@ pub struct TileStats {
     pub neuron_bits: u64,
 }
 
+impl TileStats {
+    /// Adds another tile's counters into this one.
+    ///
+    /// This is the tile-level merge law of the batch engine: every field is
+    /// a plain sum over processed spikes/cycles, and `u64` addition is
+    /// associative and commutative, so merging per-worker counters yields
+    /// exactly the counters a sequential run over the concatenated frames
+    /// would have produced — which makes the derived energy figures
+    /// bit-identical too (they are pure functions of the counters).
+    pub fn merge(&mut self, other: &TileStats) {
+        self.active_cycles += other.active_cycles;
+        self.grants += other.grants;
+        self.spikes_in += other.spikes_in;
+        self.timesteps += other.timesteps;
+        self.neuron_bits += other.neuron_bits;
+    }
+}
+
+/// The immutable, shareable part of a tile: its loaded SRAM weight blocks.
+///
+/// Held behind an [`Arc`] by every [`Tile`] clone; see the module docs for
+/// the sharing contract. The embedded [`SramArray`] access counters are only
+/// advanced by *learning* traffic (transposed/row-wise writes) — inference
+/// reads are counted in the owning tile's per-clone mirror so concurrent
+/// workers never contend on shared counters.
+#[derive(Debug, Clone)]
+pub struct TileWeights {
+    /// Row-major `[row_group][col_group]` blocks.
+    arrays: Vec<SramArray>,
+}
+
+impl TileWeights {
+    /// The SRAM blocks (row-major `[row_group][col_group]`).
+    pub fn arrays(&self) -> &[SramArray] {
+        &self.arrays
+    }
+}
+
 /// One ESAM tile (one network layer).
 #[derive(Debug, Clone)]
 pub struct Tile {
@@ -53,14 +106,17 @@ pub struct Tile {
     outputs: usize,
     row_groups: usize,
     col_groups: usize,
-    /// Row-major `[row_group][col_group]` blocks.
-    arrays: Vec<SramArray>,
+    /// Shared immutable weights (see module docs).
+    weights: Arc<TileWeights>,
     arbiters: Vec<MultiPortArbiter>,
     neurons: NeuronArray,
     /// Pending spike requests, one vector per row group.
     requests: Vec<BitVec>,
     grants_per_cycle: usize,
     stats: TileStats,
+    /// Per-clone mirror of inference access counters, parallel to
+    /// [`TileWeights::arrays`] (learning counters stay inside the arrays).
+    array_stats: Vec<AccessStats>,
 }
 
 impl Tile {
@@ -99,17 +155,19 @@ impl Tile {
         let requests = (0..row_groups)
             .map(|rg| BitVec::new(block_len(inputs, rg)))
             .collect();
+        let array_stats = vec![AccessStats::default(); arrays.len()];
         Ok(Self {
             inputs,
             outputs,
             row_groups,
             col_groups,
-            arrays,
+            weights: Arc::new(TileWeights { arrays }),
             arbiters,
             neurons: NeuronArray::with_uniform_threshold(config.neuron(), outputs, 0),
             requests,
             grants_per_cycle: config.grants_per_arbiter(),
             stats: TileStats::default(),
+            array_stats,
         })
     }
 
@@ -143,23 +201,69 @@ impl Tile {
         &self.stats
     }
 
+    /// Per-array inference access counters (parallel to [`Self::arrays`]).
+    pub fn array_stats(&self) -> &[AccessStats] {
+        &self.array_stats
+    }
+
+    /// Whether this tile currently shares its weights with other clones.
+    pub fn weights_shared(&self) -> bool {
+        Arc::strong_count(&self.weights) > 1
+    }
+
     /// Resets activity counters (contents and membranes are untouched).
+    ///
+    /// Learning counters live inside the (possibly shared) weight arrays;
+    /// they are only cleared when non-zero, so a tile that never learned
+    /// resets without un-sharing its weights.
     pub fn reset_stats(&mut self) {
         self.stats = TileStats::default();
-        for array in &mut self.arrays {
-            array.reset_stats();
+        for stats in &mut self.array_stats {
+            *stats = AccessStats::default();
+        }
+        if self
+            .weights
+            .arrays
+            .iter()
+            .any(|a| a.stats().total_accesses() != 0)
+        {
+            for array in &mut Arc::make_mut(&mut self.weights).arrays {
+                array.reset_stats();
+            }
+        }
+    }
+
+    /// Merges another tile's activity counters into this one (the batch
+    /// engine's shard→merge step; see [`TileStats::merge`] for why this is
+    /// exact).
+    ///
+    /// Only the per-clone counters are merged: learning counters inside
+    /// shared weights are visible through every clone already and must not
+    /// be double-counted.
+    pub fn absorb_stats(&mut self, other: &Tile) {
+        debug_assert_eq!(self.array_stats.len(), other.array_stats.len());
+        self.stats.merge(&other.stats);
+        for (mine, theirs) in self.array_stats.iter_mut().zip(&other.array_stats) {
+            mine.merge(theirs);
         }
     }
 
     /// The SRAM blocks of this tile (row-major `[row_group][col_group]`).
     pub fn arrays(&self) -> &[SramArray] {
-        &self.arrays
+        &self.weights.arrays
+    }
+
+    /// The shared weight handle (cheap to clone; see module docs).
+    pub fn weights(&self) -> &Arc<TileWeights> {
+        &self.weights
     }
 
     /// Mutable access to one SRAM block — used by the online-learning
-    /// engine for transposed weight updates.
+    /// engine for transposed weight updates. Un-shares the weights first
+    /// when they are shared with other clones (copy-on-write).
     pub(crate) fn array_mut(&mut self, row_group: usize, col_group: usize) -> &mut SramArray {
-        &mut self.arrays[row_group * self.col_groups + col_group]
+        let index = row_group * self.col_groups + col_group;
+        &mut Arc::make_mut(&mut self.weights).arrays[index]
     }
 
     /// The neuron array.
@@ -183,7 +287,8 @@ impl Tile {
         }
         let neuron_config = self.neurons.neurons()[0].config();
         for &threshold in layer.thresholds() {
-            if threshold > neuron_config.threshold_max() || threshold < neuron_config.threshold_min()
+            if threshold > neuron_config.threshold_max()
+                || threshold < neuron_config.threshold_min()
             {
                 return Err(CoreError::Nn(esam_nn::NnError::ThresholdOverflow {
                     threshold,
@@ -191,6 +296,7 @@ impl Tile {
                 }));
             }
         }
+        let weights = Arc::make_mut(&mut self.weights);
         for rg in 0..self.row_groups {
             let rows = block_len(self.inputs, rg);
             for cg in 0..self.col_groups {
@@ -198,7 +304,7 @@ impl Tile {
                 let block = BitMatrix::from_fn(rows, cols, |r, c| {
                     layer.bits().get(rg * ARRAY_DIM + r, cg * ARRAY_DIM + c)
                 });
-                self.arrays[rg * self.col_groups + cg].load_weights(&block)?;
+                weights.arrays[rg * self.col_groups + cg].load_weights(&block)?;
             }
         }
         self.neurons.load_thresholds(layer.thresholds());
@@ -247,8 +353,15 @@ impl Tile {
             for (slot, &local_row) in grants.granted().iter().enumerate() {
                 let mut full_row = BitVec::new(self.outputs);
                 for cg in 0..self.col_groups {
-                    let bits = self.arrays[rg * self.col_groups + cg]
-                        .inference_read(slot, local_row)?;
+                    let index = rg * self.col_groups + cg;
+                    // Counted in the per-clone mirror (not the shared
+                    // array) so concurrent batch workers never contend;
+                    // same bounds and increments as SramArray::inference_read.
+                    let bits = self.weights.arrays[index].read_row_counted(
+                        &mut self.array_stats[index],
+                        slot,
+                        local_row,
+                    )?;
                     for c in bits.iter_ones() {
                         full_row.set(cg * ARRAY_DIM + c, true);
                     }
@@ -305,13 +418,21 @@ impl Tile {
     /// arbitration, neuron integration and the fitted per-cycle
     /// control/clock/pipeline overheads.
     ///
+    /// Inference accesses are counted in the tile's per-clone mirror and
+    /// learning accesses inside the arrays; both are combined per array
+    /// before the energy reconstruction, so the result is a pure function of
+    /// the summed counters (the property the batch engine's merge relies
+    /// on).
+    ///
     /// # Errors
     ///
     /// Propagates SRAM energy-model errors.
     pub fn dynamic_energy(&self) -> Result<Joules, CoreError> {
         let mut total = Joules::ZERO;
-        for array in &self.arrays {
-            total += array.consumed_energy()?;
+        for (array, inference) in self.weights.arrays.iter().zip(&self.array_stats) {
+            let mut combined = *array.stats();
+            combined.merge(inference);
+            total += array.energy_for_stats(&combined)?;
         }
         // Arbiters: idle masked by clock gating; active cycles clock every
         // row-group arbiter of the tile.
@@ -335,6 +456,7 @@ impl Tile {
     /// Static leakage of the tile (arrays plus logic share).
     pub fn leakage_power(&self) -> Watts {
         let arrays: Watts = self
+            .weights
             .arrays
             .iter()
             .map(|a| a.energy().leakage_power())
@@ -345,6 +467,7 @@ impl Tile {
     /// Silicon area of the tile: SRAM macros, arbiters and neurons.
     pub fn area(&self) -> AreaUm2 {
         let arrays: AreaUm2 = self
+            .weights
             .arrays
             .iter()
             .map(|a| SramMacro::new(a.config().clone()).area().total())
@@ -431,10 +554,10 @@ mod tests {
     #[test]
     fn cycle_count_follows_parallelism() {
         for (cell, expected_serve_cycles) in [
-            (BitcellKind::Std6T, 9),                    // 9 spikes / 1 per cycle
+            (BitcellKind::Std6T, 9), // 9 spikes / 1 per cycle
             (BitcellKind::multiport(1).unwrap(), 9),
             (BitcellKind::multiport(3).unwrap(), 3),
-            (BitcellKind::multiport(4).unwrap(), 3),    // ceil(9/4)
+            (BitcellKind::multiport(4).unwrap(), 3), // ceil(9/4)
         ] {
             let mut t = tile(128, 16, cell);
             let frame = BitVec::from_indices(128, &(0..9).map(|i| i * 13).collect::<Vec<_>>());
@@ -475,11 +598,56 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_weights_until_learning_unshares_them() {
+        let mut t = tile(128, 32, BitcellKind::multiport(2).unwrap());
+        let clone = t.clone();
+        assert!(t.weights_shared());
+        assert!(Arc::ptr_eq(t.weights(), clone.weights()));
+        // Inference on the clone's lineage never un-shares.
+        let mut active = clone.clone();
+        active
+            .process_frame(&BitVec::from_indices(128, &[1, 5, 9]))
+            .unwrap();
+        assert!(Arc::ptr_eq(t.weights(), active.weights()));
+        // Weight mutation through the learning path un-shares (copy-on-write).
+        let column = active.arrays()[0].bits().column(0);
+        active.array_mut(0, 0).transposed_write(0, &column).unwrap();
+        assert!(!Arc::ptr_eq(t.weights(), active.weights()));
+        let _ = t.array_mut(0, 0); // unique again after the clone diverged
+    }
+
+    #[test]
+    fn clone_counters_are_independent_and_merge_exactly() {
+        let mut sequential = tile(128, 32, BitcellKind::multiport(2).unwrap());
+        let mut shard_a = sequential.clone();
+        let mut shard_b = sequential.clone();
+        let frame_a = BitVec::from_indices(128, &[1, 2, 3]);
+        let frame_b = BitVec::from_indices(128, &[4, 5, 6, 7]);
+        sequential.process_frame(&frame_a).unwrap();
+        sequential.process_frame(&frame_b).unwrap();
+        shard_a.process_frame(&frame_a).unwrap();
+        shard_b.process_frame(&frame_b).unwrap();
+        let mut merged = tile(128, 32, BitcellKind::multiport(2).unwrap());
+        merged.absorb_stats(&shard_a);
+        merged.absorb_stats(&shard_b);
+        assert_eq!(merged.stats(), sequential.stats());
+        assert_eq!(merged.array_stats(), sequential.array_stats());
+        assert_eq!(
+            merged.dynamic_energy().unwrap(),
+            sequential.dynamic_energy().unwrap(),
+            "energy is a pure function of the merged counters"
+        );
+    }
+
+    #[test]
     fn wrong_frame_width_rejected() {
         let mut t = tile(128, 32, BitcellKind::Std6T);
         assert!(matches!(
             t.inject(&BitVec::new(100)),
-            Err(CoreError::InputWidthMismatch { expected: 128, got: 100 })
+            Err(CoreError::InputWidthMismatch {
+                expected: 128,
+                got: 100
+            })
         ));
     }
 

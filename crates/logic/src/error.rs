@@ -53,7 +53,11 @@ pub enum LogicError {
 impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LogicError::ArityMismatch { kind, expected, got } => match expected {
+            LogicError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => match expected {
                 Some(n) => write!(f, "{kind:?} expects {n} inputs, got {got}"),
                 None => write!(f, "{kind:?} expects at least one input, got {got}"),
             },
@@ -68,7 +72,10 @@ impl fmt::Display for LogicError {
             }
             LogicError::UnknownNet => f.write_str("net id does not belong to this netlist"),
             LogicError::StimulusWidth { expected, got } => {
-                write!(f, "stimulus has {got} levels but the netlist has {expected} inputs")
+                write!(
+                    f,
+                    "stimulus has {got} levels but the netlist has {expected} inputs"
+                )
             }
             LogicError::DidNotSettle { events } => {
                 write!(f, "simulation did not settle after {events} events")

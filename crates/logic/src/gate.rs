@@ -69,7 +69,12 @@ impl GateKind {
     /// builder guarantees this never happens for validated netlists.
     pub fn eval(self, inputs: &[Level]) -> Level {
         if let Some(n) = self.arity() {
-            assert_eq!(inputs.len(), n, "{self:?} expects {n} inputs, got {}", inputs.len());
+            assert_eq!(
+                inputs.len(),
+                n,
+                "{self:?} expects {n} inputs, got {}",
+                inputs.len()
+            );
         } else {
             assert!(!inputs.is_empty(), "{self:?} needs at least one input");
         }
@@ -255,11 +260,26 @@ mod tests {
 
     #[test]
     fn controlling_values_dominate_unknown() {
-        assert_eq!(GateKind::And.eval(&[Level::Low, Level::Unknown]), Level::Low);
-        assert_eq!(GateKind::Or.eval(&[Level::High, Level::Unknown]), Level::High);
-        assert_eq!(GateKind::Nand.eval(&[Level::Low, Level::Unknown]), Level::High);
-        assert_eq!(GateKind::Nor.eval(&[Level::High, Level::Unknown]), Level::Low);
-        assert_eq!(GateKind::And.eval(&[Level::High, Level::Unknown]), Level::Unknown);
+        assert_eq!(
+            GateKind::And.eval(&[Level::Low, Level::Unknown]),
+            Level::Low
+        );
+        assert_eq!(
+            GateKind::Or.eval(&[Level::High, Level::Unknown]),
+            Level::High
+        );
+        assert_eq!(
+            GateKind::Nand.eval(&[Level::Low, Level::Unknown]),
+            Level::High
+        );
+        assert_eq!(
+            GateKind::Nor.eval(&[Level::High, Level::Unknown]),
+            Level::Low
+        );
+        assert_eq!(
+            GateKind::And.eval(&[Level::High, Level::Unknown]),
+            Level::Unknown
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl Bus {
 /// Declares `width` primary inputs named `name[0]`..`name[width-1]`.
 pub fn input_bus(nl: &mut Netlist, name: &str, width: usize) -> Bus {
     Bus {
-        nets: (0..width).map(|i| nl.add_input(format!("{name}[{i}]"))).collect(),
+        nets: (0..width)
+            .map(|i| nl.add_input(format!("{name}[{i}]")))
+            .collect(),
     }
 }
 
@@ -255,7 +257,9 @@ mod tests {
     use crate::level::Level;
 
     fn levels_for(value: u64, width: usize) -> Vec<Level> {
-        (0..width).map(|i| Level::from(value >> i & 1 == 1)).collect()
+        (0..width)
+            .map(|i| Level::from(value >> i & 1 == 1))
+            .collect()
     }
 
     #[test]
@@ -296,7 +300,11 @@ mod tests {
         let out = or_reduce(&mut nl, bus.nets(), "any").unwrap();
         nl.mark_output(out).unwrap();
         let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()).unwrap();
-        assert_eq!(sta.critical_path().depth(), 6, "64 inputs need exactly 6 OR2 levels");
+        assert_eq!(
+            sta.critical_path().depth(),
+            6,
+            "64 inputs need exactly 6 OR2 levels"
+        );
     }
 
     #[test]

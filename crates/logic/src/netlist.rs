@@ -446,7 +446,10 @@ mod tests {
     fn foreign_ids_are_rejected() {
         let mut nl = Netlist::new();
         let bogus = NetId(99);
-        assert_eq!(nl.add_gate(GateKind::Buf, &[bogus], bogus), Err(LogicError::UnknownNet));
+        assert_eq!(
+            nl.add_gate(GateKind::Buf, &[bogus], bogus),
+            Err(LogicError::UnknownNet)
+        );
         assert_eq!(nl.mark_output(bogus), Err(LogicError::UnknownNet));
     }
 
@@ -458,7 +461,9 @@ mod tests {
         let _ = nl.add_cell(GateKind::And, &[a, floating], "y").unwrap();
         assert_eq!(
             nl.validate(),
-            Err(LogicError::UndrivenNet { net: "floating".into() })
+            Err(LogicError::UndrivenNet {
+                net: "floating".into()
+            })
         );
     }
 
@@ -470,7 +475,10 @@ mod tests {
         let y = nl.add_net("y");
         nl.add_gate(GateKind::And, &[a, y], x).unwrap();
         nl.add_gate(GateKind::Buf, &[x], y).unwrap();
-        assert!(matches!(nl.validate(), Err(LogicError::CombinationalLoop { .. })));
+        assert!(matches!(
+            nl.validate(),
+            Err(LogicError::CombinationalLoop { .. })
+        ));
         assert!(matches!(
             nl.evaluate(&[Level::High]),
             Err(LogicError::CombinationalLoop { .. })
@@ -502,7 +510,10 @@ mod tests {
         let (nl, ..) = half_adder();
         assert_eq!(
             nl.evaluate(&[Level::High]),
-            Err(LogicError::StimulusWidth { expected: 2, got: 1 })
+            Err(LogicError::StimulusWidth {
+                expected: 2,
+                got: 1
+            })
         );
     }
 

@@ -280,7 +280,9 @@ mod tests {
         let mut nl = Netlist::new();
         let mut prev = nl.add_input("in");
         for i in 0..n {
-            prev = nl.add_cell(GateKind::Not, &[prev], format!("n{i}")).unwrap();
+            prev = nl
+                .add_cell(GateKind::Not, &[prev], format!("n{i}"))
+                .unwrap();
         }
         nl.mark_output(prev).unwrap();
         nl
@@ -376,7 +378,10 @@ mod tests {
         let nl = chain(2);
         let internal = nl.outputs()[0];
         let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
-        assert_eq!(sim.set_input(internal, Level::High), Err(LogicError::UnknownNet));
+        assert_eq!(
+            sim.set_input(internal, Level::High),
+            Err(LogicError::UnknownNet)
+        );
     }
 
     #[test]
@@ -386,7 +391,10 @@ mod tests {
         sim.advance_to(Seconds::from_ps(100.0));
         assert!((sim.now().ps() - 100.0).abs() < 1e-9);
         sim.advance_to(Seconds::from_ps(50.0));
-        assert!((sim.now().ps() - 100.0).abs() < 1e-9, "time must not rewind");
+        assert!(
+            (sim.now().ps() - 100.0).abs() < 1e-9,
+            "time must not rewind"
+        );
     }
 
     #[test]

@@ -165,7 +165,9 @@ mod tests {
         let mut nl = Netlist::new();
         let mut prev = nl.add_input("in");
         for i in 0..n {
-            prev = nl.add_cell(GateKind::Not, &[prev], format!("n{i}")).unwrap();
+            prev = nl
+                .add_cell(GateKind::Not, &[prev], format!("n{i}"))
+                .unwrap();
         }
         nl.mark_output(prev).unwrap();
         nl
@@ -191,7 +193,9 @@ mod tests {
         let shallow = nl.add_cell(GateKind::And, &[a, b], "shallow").unwrap();
         let mut deep = a;
         for i in 0..6 {
-            deep = nl.add_cell(GateKind::Not, &[deep], format!("d{i}")).unwrap();
+            deep = nl
+                .add_cell(GateKind::Not, &[deep], format!("d{i}"))
+                .unwrap();
         }
         let y = nl.add_cell(GateKind::Or, &[shallow, deep], "y").unwrap();
         nl.mark_output(y).unwrap();
@@ -233,7 +237,9 @@ mod tests {
         nl.mark_output(out).unwrap();
         let mut deep = a;
         for i in 0..10 {
-            deep = nl.add_cell(GateKind::Not, &[deep], format!("d{i}")).unwrap();
+            deep = nl
+                .add_cell(GateKind::Not, &[deep], format!("d{i}"))
+                .unwrap();
         }
         let sta = TimingAnalysis::run(&nl, &GateTiming::finfet_3nm()).unwrap();
         assert!(sta.worst_output_arrival(&nl) < sta.critical_path().delay());

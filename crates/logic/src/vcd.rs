@@ -57,12 +57,7 @@ impl VcdWriter {
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
-    pub fn write<W: Write>(
-        &self,
-        netlist: &Netlist,
-        trace: &[Change],
-        mut w: W,
-    ) -> io::Result<()> {
+    pub fn write<W: Write>(&self, netlist: &Netlist, trace: &[Change], mut w: W) -> io::Result<()> {
         writeln!(w, "$version esam-logic VCD dump $end")?;
         writeln!(w, "$timescale 1fs $end")?;
         writeln!(w, "$scope module {} $end", self.module)?;
@@ -88,7 +83,12 @@ impl VcdWriter {
                 writeln!(w, "#{}", change.time_fs)?;
                 current_time = Some(change.time_fs);
             }
-            writeln!(w, "{}{}", change.level.vcd_char(), id_code(change.net.index()))?;
+            writeln!(
+                w,
+                "{}{}",
+                change.level.vcd_char(),
+                id_code(change.net.index())
+            )?;
         }
         Ok(())
     }
@@ -211,7 +211,9 @@ mod tests {
         let mut sim = Simulator::new(&nl, GateTiming::finfet_3nm()).unwrap();
         sim.settle(&[Level::High]).unwrap();
         let mut buffer = Vec::new();
-        VcdWriter::new("top").write(&nl, sim.trace(), &mut buffer).unwrap();
+        VcdWriter::new("top")
+            .write(&nl, sim.trace(), &mut buffer)
+            .unwrap();
         let text = String::from_utf8(buffer).unwrap();
 
         assert!(text.starts_with("$version"));
@@ -232,7 +234,9 @@ mod tests {
             sim.settle(&[Level::High]).unwrap();
             sim.settle(&[Level::Low]).unwrap();
             let mut buffer = Vec::new();
-            VcdWriter::new("top").write(&nl, sim.trace(), &mut buffer).unwrap();
+            VcdWriter::new("top")
+                .write(&nl, sim.trace(), &mut buffer)
+                .unwrap();
             buffer
         };
         assert_eq!(render(), render());
@@ -260,8 +264,16 @@ mod tests {
         let lines: Vec<&str> = wave.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("t/ps"));
-        assert!(lines[1].contains('#'), "input row should go high: {}", lines[1]);
-        assert!(lines[2].contains('_'), "output row should go low: {}", lines[2]);
+        assert!(
+            lines[1].contains('#'),
+            "input row should go high: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains('_'),
+            "output row should go low: {}",
+            lines[2]
+        );
     }
 
     #[test]

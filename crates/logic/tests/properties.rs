@@ -17,7 +17,9 @@ use proptest::prelude::*;
 /// the nets created so far), which yields arbitrary DAGs without cycles.
 fn build_random(inputs: usize, recipe: &[(u8, usize, usize)]) -> Netlist {
     let mut nl = Netlist::new();
-    let mut nets: Vec<_> = (0..inputs).map(|i| nl.add_input(format!("in{i}"))).collect();
+    let mut nets: Vec<_> = (0..inputs)
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
     for (step, &(kind_pick, a_pick, b_pick)) in recipe.iter().enumerate() {
         let a = nets[a_pick % nets.len()];
         let b = nets[b_pick % nets.len()];
@@ -40,7 +42,9 @@ fn build_random(inputs: usize, recipe: &[(u8, usize, usize)]) -> Netlist {
 }
 
 fn stimulus(bits: u64, width: usize) -> Vec<Level> {
-    (0..width).map(|i| Level::from(bits >> (i % 64) & 1 == 1)).collect()
+    (0..width)
+        .map(|i| Level::from(bits >> (i % 64) & 1 == 1))
+        .collect()
 }
 
 proptest! {

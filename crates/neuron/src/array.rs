@@ -191,10 +191,10 @@ mod tests {
     fn multiport_sum_per_cycle() {
         let mut a = array(2, 0);
         let rows = vec![
-            BitVec::from_indices(2, &[0]),  // col0 +1, col1 −1
-            BitVec::from_indices(2, &[0]),  // col0 +1, col1 −1
-            BitVec::from_indices(2, &[1]),  // col0 −1, col1 +1
-            BitVec::new(2),                 // col0 −1, col1 −1
+            BitVec::from_indices(2, &[0]), // col0 +1, col1 −1
+            BitVec::from_indices(2, &[0]), // col0 +1, col1 −1
+            BitVec::from_indices(2, &[1]), // col0 −1, col1 +1
+            BitVec::new(2),                // col0 −1, col1 −1
         ];
         a.integrate(&rows, &[true; 4]);
         assert_eq!(a.membranes(), vec![0, -2]);

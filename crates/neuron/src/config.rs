@@ -114,7 +114,10 @@ mod tests {
         let c = NeuronConfig::paper_default();
         assert_eq!(c.mem_max(), 2047);
         assert_eq!(c.mem_min(), -2048);
-        assert!(c.mem_max() >= 768, "must hold a full 768-input accumulation");
+        assert!(
+            c.mem_max() >= 768,
+            "must hold a full 768-input accumulation"
+        );
         assert_eq!(c.reset_policy(), ResetPolicy::EveryTimestep);
     }
 

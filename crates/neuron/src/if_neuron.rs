@@ -88,8 +88,7 @@ impl IfNeuron {
     /// Adds `delta` (the decoded ±1 sum of the valid ports this cycle) to
     /// the membrane potential, saturating at the `m`-bit register bounds.
     pub fn accumulate(&mut self, delta: i32) {
-        self.v_mem = (self.v_mem + delta)
-            .clamp(self.config.mem_min(), self.config.mem_max());
+        self.v_mem = (self.v_mem + delta).clamp(self.config.mem_min(), self.config.mem_max());
     }
 
     /// End-of-timestep evaluation, enabled by `R_empty` (§3.4): fires when

@@ -43,7 +43,10 @@ impl LifNeuron {
     /// Panics if the threshold does not fit the configured register, or if
     /// `leak_shift > 30` (a meaningless shift for an `i32` membrane).
     pub fn new(config: NeuronConfig, threshold: i32, leak_shift: u8) -> Self {
-        assert!(leak_shift <= 30, "leak shift {leak_shift} exceeds the register");
+        assert!(
+            leak_shift <= 30,
+            "leak shift {leak_shift} exceeds the register"
+        );
         Self {
             inner: IfNeuron::new(config, threshold),
             leak_shift,
@@ -104,7 +107,11 @@ mod tests {
     use super::*;
 
     fn lif(threshold: i32, shift: u8) -> LifNeuron {
-        LifNeuron::new(NeuronConfig::new(12, 12, ResetPolicy::OnFire), threshold, shift)
+        LifNeuron::new(
+            NeuronConfig::new(12, 12, ResetPolicy::OnFire),
+            threshold,
+            shift,
+        )
     }
 
     #[test]

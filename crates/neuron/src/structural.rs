@@ -228,15 +228,24 @@ mod tests {
     #[test]
     fn sta_grows_with_membrane_width_and_tracks_the_fitted_model() {
         let timing = GateTiming::finfet_3nm();
-        let narrow = AccumulatorNetlist::new(4, 6).unwrap().sta_delay(&timing).unwrap();
-        let wide = AccumulatorNetlist::new(4, 16).unwrap().sta_delay(&timing).unwrap();
+        let narrow = AccumulatorNetlist::new(4, 6)
+            .unwrap()
+            .sta_delay(&timing)
+            .unwrap();
+        let wide = AccumulatorNetlist::new(4, 16)
+            .unwrap()
+            .sta_delay(&timing)
+            .unwrap();
         assert!(wide > narrow, "wider V_mem must be slower");
 
         // The fitted accumulate stage (Table 2's SRAM+Neuron component) and
         // the generated ripple datapath must sit in the same few-hundred-ps
         // decade at the paper's 8-bit membrane.
         let fitted = NeuronTiming::new(4).accumulate_delay();
-        let structural = AccumulatorNetlist::new(4, 8).unwrap().sta_delay(&timing).unwrap();
+        let structural = AccumulatorNetlist::new(4, 8)
+            .unwrap()
+            .sta_delay(&timing)
+            .unwrap();
         let ratio = structural.value() / fitted.value();
         assert!(
             (0.2..5.0).contains(&ratio),

@@ -84,7 +84,10 @@ mod tests {
         let d1 = NeuronTiming::new(1).stage_delay();
         let d4 = NeuronTiming::new(4).stage_delay();
         assert!(d4 >= d1);
-        assert!(d4.ps() < 500.0, "neuron path stays a fraction of the 1.2 ns cycle");
+        assert!(
+            d4.ps() < 500.0,
+            "neuron path stays a fraction of the 1.2 ns cycle"
+        );
     }
 
     #[test]

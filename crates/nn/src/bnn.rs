@@ -1,6 +1,6 @@
 //! The Binary Neural Network the paper trains offline (§4.4.2).
 //!
-//! Following the XNOR-free formulation of Kim et al. [15], the network uses
+//! Following the XNOR-free formulation of Kim et al. \[15\], the network uses
 //! binary `{0, 1}` *activations* and binary `{−1, +1}` *weights* with
 //! real-valued per-neuron biases:
 //!
@@ -53,7 +53,10 @@ impl BnnLayer {
     /// Creates a layer with latent weights drawn uniformly from `[−1, 1]`
     /// and zero biases.
     pub fn new_random<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
-        assert!(inputs > 0 && outputs > 0, "layer dimensions must be non-zero");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "layer dimensions must be non-zero"
+        );
         Self {
             latent: Matrix::from_fn(outputs, inputs, |_, _| rng.random_range(-1.0f32..1.0)),
             bias: vec![0.0; outputs],
@@ -131,7 +134,9 @@ pub struct ForwardTrace {
 impl ForwardTrace {
     /// Output-layer logits.
     pub fn logits(&self) -> &[f32] {
-        self.activations.last().expect("trace holds at least the input")
+        self.activations
+            .last()
+            .expect("trace holds at least the input")
     }
 
     /// Argmax class prediction (lowest index wins ties).
@@ -323,13 +328,19 @@ mod tests {
         let net = BnnNetwork::new(&[8, 4], 1).unwrap();
         assert!(matches!(
             net.classify(&[0.0; 7]),
-            Err(NnError::DimensionMismatch { expected: 8, got: 7 })
+            Err(NnError::DimensionMismatch {
+                expected: 8,
+                got: 7
+            })
         ));
     }
 
     #[test]
     fn empty_network_rejected() {
-        assert!(matches!(BnnNetwork::new(&[10], 0), Err(NnError::EmptyNetwork)));
+        assert!(matches!(
+            BnnNetwork::new(&[10], 0),
+            Err(NnError::EmptyNetwork)
+        ));
     }
 
     #[test]

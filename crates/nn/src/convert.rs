@@ -1,4 +1,4 @@
-//! BNN → Binary-SNN conversion (§4.4.2, ref [15]).
+//! BNN → Binary-SNN conversion (§4.4.2, ref \[15\]).
 //!
 //! The trained BNN maps onto the ESAM hardware as follows:
 //!
@@ -254,7 +254,11 @@ mod tests {
             for (l, frame) in snn.spikes.iter().skip(1).enumerate() {
                 let bnn_hidden: Vec<bool> =
                     bnn.activations[l + 1].iter().map(|&h| h == 1.0).collect();
-                assert_eq!(frame.to_bools(), bnn_hidden, "layer {l} diverged (seed {seed})");
+                assert_eq!(
+                    frame.to_bools(),
+                    bnn_hidden,
+                    "layer {l} diverged (seed {seed})"
+                );
             }
             // Logits match up to f32 rounding; predictions exactly.
             for (a, b) in snn.logits.iter().zip(bnn.logits()) {
@@ -267,7 +271,9 @@ mod tests {
     #[test]
     fn threshold_is_ceil_of_negated_bias() {
         let mut net = BnnNetwork::new(&[4, 3], 3).unwrap();
-        net.layers_mut()[0].bias_mut().copy_from_slice(&[0.4, -1.7, 2.0]);
+        net.layers_mut()[0]
+            .bias_mut()
+            .copy_from_slice(&[0.4, -1.7, 2.0]);
         let model = SnnModel::from_bnn(&net).unwrap();
         assert_eq!(model.layers()[0].thresholds(), &[0, 2, -2]);
     }

@@ -35,44 +35,44 @@ const GLYPH_H: usize = 12;
 /// 8×12 seed glyphs for the ten digits ('#' = ink).
 const GLYPHS: [[&str; GLYPH_H]; CLASSES] = [
     [
-        "..####..", ".#....#.", "#......#", "#......#", "#......#", "#......#",
-        "#......#", "#......#", "#......#", "#......#", ".#....#.", "..####..",
+        "..####..", ".#....#.", "#......#", "#......#", "#......#", "#......#", "#......#",
+        "#......#", "#......#", "#......#", ".#....#.", "..####..",
     ],
     [
-        "...##...", "..###...", ".#.##...", "...##...", "...##...", "...##...",
-        "...##...", "...##...", "...##...", "...##...", "...##...", ".######.",
+        "...##...", "..###...", ".#.##...", "...##...", "...##...", "...##...", "...##...",
+        "...##...", "...##...", "...##...", "...##...", ".######.",
     ],
     [
-        ".#####..", "#.....#.", "#.....#.", "......#.", ".....#..", "....#...",
-        "...#....", "..#.....", ".#......", "#.......", "#......#", "########",
+        ".#####..", "#.....#.", "#.....#.", "......#.", ".....#..", "....#...", "...#....",
+        "..#.....", ".#......", "#.......", "#......#", "########",
     ],
     [
-        ".#####..", "#.....#.", "......#.", "......#.", "......#.", "..####..",
-        "......#.", "......#.", "......#.", "......#.", "#.....#.", ".#####..",
+        ".#####..", "#.....#.", "......#.", "......#.", "......#.", "..####..", "......#.",
+        "......#.", "......#.", "......#.", "#.....#.", ".#####..",
     ],
     [
-        "....##..", "...#.#..", "..#..#..", ".#...#..", "#....#..", "#....#..",
-        "########", ".....#..", ".....#..", ".....#..", ".....#..", ".....#..",
+        "....##..", "...#.#..", "..#..#..", ".#...#..", "#....#..", "#....#..", "########",
+        ".....#..", ".....#..", ".....#..", ".....#..", ".....#..",
     ],
     [
-        "#######.", "#.......", "#.......", "#.......", "######..", "......#.",
-        ".......#", ".......#", ".......#", ".......#", "#.....#.", ".#####..",
+        "#######.", "#.......", "#.......", "#.......", "######..", "......#.", ".......#",
+        ".......#", ".......#", ".......#", "#.....#.", ".#####..",
     ],
     [
-        "..####..", ".#......", "#.......", "#.......", "######..", "#.....#.",
-        "#......#", "#......#", "#......#", "#......#", ".#....#.", "..####..",
+        "..####..", ".#......", "#.......", "#.......", "######..", "#.....#.", "#......#",
+        "#......#", "#......#", "#......#", ".#....#.", "..####..",
     ],
     [
-        "########", "#......#", ".......#", "......#.", "......#.", ".....#..",
-        ".....#..", "....#...", "....#...", "...#....", "...#....", "...#....",
+        "########", "#......#", ".......#", "......#.", "......#.", ".....#..", ".....#..",
+        "....#...", "....#...", "...#....", "...#....", "...#....",
     ],
     [
-        "..####..", ".#....#.", "#......#", "#......#", ".#....#.", "..####..",
-        ".#....#.", "#......#", "#......#", "#......#", ".#....#.", "..####..",
+        "..####..", ".#....#.", "#......#", "#......#", ".#....#.", "..####..", ".#....#.",
+        "#......#", "#......#", "#......#", ".#....#.", "..####..",
     ],
     [
-        "..####..", ".#....#.", "#......#", "#......#", "#......#", ".#.....#",
-        "..#####.", ".......#", ".......#", ".......#", "......#.", "..####..",
+        "..####..", ".#....#.", "#......#", "#......#", "#......#", ".#.....#", "..#####.",
+        ".......#", ".......#", ".......#", "......#.", "..####..",
     ],
 ];
 
@@ -325,7 +325,10 @@ mod tests {
                     "digit {digit} row {row_index} has wrong width"
                 );
             }
-            let ink: usize = glyph.iter().map(|r| r.bytes().filter(|&b| b == b'#').count()).sum();
+            let ink: usize = glyph
+                .iter()
+                .map(|r| r.bytes().filter(|&b| b == b'#').count())
+                .sum();
             assert!(ink >= 12, "digit {digit} glyph too sparse ({ink} pixels)");
         }
     }
@@ -341,7 +344,10 @@ mod tests {
         }
         let cropped = corner_crop(&image);
         assert_eq!(cropped.len(), CROPPED_PIXELS);
-        assert!(cropped.iter().all(|&p| p == 0.0), "corner pixels must be gone");
+        assert!(
+            cropped.iter().all(|&p| p == 0.0),
+            "corner pixels must be gone"
+        );
     }
 
     #[test]
@@ -416,8 +422,9 @@ mod tests {
             seed: 1,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let renders: Vec<Vec<f32>> =
-            (0..10).map(|d| render_digit(d, &config, &mut rng)).collect();
+        let renders: Vec<Vec<f32>> = (0..10)
+            .map(|d| render_digit(d, &config, &mut rng))
+            .collect();
         for a in 0..10 {
             for b in (a + 1)..10 {
                 let diff: usize = renders[a]
@@ -453,6 +460,9 @@ mod tests {
             test_count: 1,
             ..DigitsConfig::default()
         };
-        assert!(matches!(Dataset::generate(&config), Err(NnError::EmptyDataset)));
+        assert!(matches!(
+            Dataset::generate(&config),
+            Err(NnError::EmptyDataset)
+        ));
     }
 }

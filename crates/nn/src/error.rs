@@ -54,9 +54,15 @@ mod tests {
     #[test]
     fn messages() {
         assert!(NnError::EmptyDataset.to_string().contains("at least one"));
-        let e = NnError::DimensionMismatch { expected: 768, got: 784 };
+        let e = NnError::DimensionMismatch {
+            expected: 768,
+            got: 784,
+        };
         assert!(e.to_string().contains("768"));
-        let e = NnError::ThresholdOverflow { threshold: 5000, bits: 12 };
+        let e = NnError::ThresholdOverflow {
+            threshold: 5000,
+            bits: 12,
+        };
         assert!(e.to_string().contains("5000"));
         let e = NnError::IdxFormat("bad magic".into());
         assert!(e.to_string().contains("bad magic"));

@@ -198,7 +198,10 @@ mod tests {
         let mut buffer = Vec::new();
         write_idx(&mut buffer, &[4], &[1, 2, 3, 4]).unwrap();
         buffer.truncate(buffer.len() - 2);
-        assert!(matches!(read_idx(buffer.as_slice()), Err(NnError::IdxFormat(_))));
+        assert!(matches!(
+            read_idx(buffer.as_slice()),
+            Err(NnError::IdxFormat(_))
+        ));
     }
 
     #[test]
@@ -222,11 +225,7 @@ mod tests {
         assert_eq!(dataset.train.image(0).len(), crate::dataset::CROPPED_PIXELS);
         assert_eq!(dataset.train.label(3), 3);
         // Binarization: every pixel is exactly 0.0 or 1.0.
-        assert!(dataset
-            .train
-            .image(0)
-            .iter()
-            .all(|&p| p == 0.0 || p == 1.0));
+        assert!(dataset.train.image(0).iter().all(|&p| p == 0.0 || p == 1.0));
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -3,7 +3,7 @@
 //!
 //! The paper's system evaluation (§4.4.2) trains a 768:256:256:256:10
 //! Binary Neural Network offline, converts it to a Binary-SNN with
-//! per-neuron thresholds following Kim et al. [15], and runs it on the CIM
+//! per-neuron thresholds following Kim et al. \[15\], and runs it on the CIM
 //! hardware. This crate rebuilds that software stack from scratch:
 //!
 //! * [`dataset`] — a deterministic synthetic digit set standing in for
@@ -13,7 +13,7 @@
 //!   weights, real biases) trained with a straight-through estimator;
 //! * [`convert`] — lossless mapping onto SRAM bits and integer thresholds,
 //!   bit-exact with the BNN by construction;
-//! * [`stdp`] — the stochastic 1-bit STDP rule (ref [16]) that the online
+//! * [`stdp`] — the stochastic 1-bit STDP rule (ref \[16\]) that the online
 //!   learning engine applies through the transposed port;
 //! * [`eval`] — accuracy and confusion-matrix utilities.
 //!
@@ -55,7 +55,7 @@ pub use bnn::{BnnLayer, BnnNetwork, ForwardTrace};
 pub use convert::{SnnLayer, SnnModel, SnnTrace};
 pub use dataset::{corner_crop, Dataset, DigitsConfig, Split, CLASSES, CROPPED_PIXELS};
 pub use error::NnError;
-pub use idx::{load_mnist_dir, read_idx, write_idx, MNIST_FILES};
 pub use eval::{evaluate_bnn, evaluate_snn, ConfusionMatrix};
+pub use idx::{load_mnist_dir, read_idx, write_idx, MNIST_FILES};
 pub use stdp::{StdpRule, TeacherSignal};
 pub use train::{TrainConfig, TrainReport, Trainer};

@@ -3,7 +3,7 @@
 //! The paper's online-learning evaluation (§4.4.1) measures the *memory
 //! access cost* of updating one post-synaptic neuron's weight column; the
 //! rule it references is the authors' stochastic STDP for 1-bit synapses
-//! [16]: when a learning condition arises at a post-synaptic neuron, each
+//! \[16\]: when a learning condition arises at a post-synaptic neuron, each
 //! synapse is probabilistically potentiated (bit → 1) if its pre-synaptic
 //! neuron was active, or depressed (bit → 0) otherwise. Stochasticity keeps
 //! 1-bit weights from thrashing: only a random fraction of eligible synapses

@@ -134,8 +134,11 @@ impl Trainer {
             .iter()
             .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
             .collect();
-        let mut bias_velocity: Vec<Vec<f32>> =
-            net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+        let mut bias_velocity: Vec<Vec<f32>> = net
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.outputs()])
+            .collect();
         let surrogate_windows: Vec<f32> = net
             .layers()
             .iter()
@@ -157,8 +160,11 @@ impl Trainer {
                     .iter()
                     .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
                     .collect();
-                let mut bias_grads: Vec<Vec<f32>> =
-                    net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+                let mut bias_grads: Vec<Vec<f32>> = net
+                    .layers()
+                    .iter()
+                    .map(|l| vec![0.0; l.outputs()])
+                    .collect();
 
                 for &sample in batch {
                     let x = split.image(sample);
@@ -352,7 +358,11 @@ mod tests {
         .train(&mut net, &data.train)
         .unwrap();
         for layer in net.layers() {
-            assert!(layer.latent().as_slice().iter().all(|w| (-1.0..=1.0).contains(w)));
+            assert!(layer
+                .latent()
+                .as_slice()
+                .iter()
+                .all(|w| (-1.0..=1.0).contains(w)));
         }
     }
 

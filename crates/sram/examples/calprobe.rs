@@ -27,18 +27,32 @@ fn main() {
         let t = TimingAnalysis::new(&cfg).inference_read();
         println!(
             "{:8} total={:.0}ps (pre {:.0} wl {:.0} dev {:.0} sns {:.0})",
-            cell.name(), t.total().ps(), t.precharge.ps(), t.wordline.ps(), t.develop.ps(), t.sense.ps()
+            cell.name(),
+            t.total().ps(),
+            t.precharge.ps(),
+            t.wordline.ps(),
+            t.develop.ps(),
+            t.sense.ps()
         );
     }
-    println!("\n== Fig7: access time/energy per port count & Vprech (avg per access, full util) ==");
+    println!(
+        "\n== Fig7: access time/energy per port count & Vprech (avg per access, full util) =="
+    );
     for mv in [700.0, 600.0, 500.0, 400.0] {
         print!("Vp={mv:3.0}mV: ");
         for p in 1..=4u8 {
             let cell = BitcellKind::multiport(p).unwrap();
-            let cfg = ArrayConfig::builder(128, 128, cell).vprech(Volts::from_mv(mv)).build().unwrap();
+            let cfg = ArrayConfig::builder(128, 128, cell)
+                .vprech(Volts::from_mv(mv))
+                .build()
+                .unwrap();
             let t = TimingAnalysis::new(&cfg).inference_read();
             let e = EnergyAnalysis::new(&cfg).inference_read(64);
-            print!(" p{p}: {:.0}ps/{:.0}fJ", t.total().ps() / p as f64, e.fj() / p as f64);
+            print!(
+                " p{p}: {:.0}ps/{:.0}fJ",
+                t.total().ps() / p as f64,
+                e.fj() / p as f64
+            );
         }
         println!();
     }
@@ -46,17 +60,27 @@ fn main() {
     let e6 = EnergyAnalysis::new(&ArrayConfig::paper_default(BitcellKind::Std6T));
     let row = (e6.rw_read_cycle().pj() + e6.rw_write_cycle().unwrap().pj()) * 128.0;
     println!("6T rowwise read+write all: {row:.1} pJ (paper 157)");
-    let e4 = EnergyAnalysis::new(&ArrayConfig::paper_default(BitcellKind::multiport(4).unwrap()));
+    let e4 = EnergyAnalysis::new(&ArrayConfig::paper_default(
+        BitcellKind::multiport(4).unwrap(),
+    ));
     let col = (e4.rw_read_cycle().pj() + e4.rw_write_cycle().unwrap().pj()) * 4.0;
     println!("4R transposed col read+write: {col:.2} pJ (paper 8.04)");
     println!("\n== leakage ==");
     for cell in BitcellKind::ALL {
         let e = EnergyAnalysis::new(&ArrayConfig::paper_default(cell));
-        println!("{:8} leak={:.1} uW/array", cell.name(), e.leakage_power().uw());
+        println!(
+            "{:8} leak={:.1} uW/array",
+            cell.name(),
+            e.leakage_power().uw()
+        );
     }
     println!("\n== per-spike inference energy (zeros=64) ==");
     for cell in BitcellKind::ALL {
         let e = EnergyAnalysis::new(&ArrayConfig::paper_default(cell));
-        println!("{:8} E_spike={:.1} fJ", cell.name(), e.inference_read(64).fj());
+        println!(
+            "{:8} E_spike={:.1} fJ",
+            cell.name(),
+            e.inference_read(64).fj()
+        );
     }
 }

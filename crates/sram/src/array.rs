@@ -10,7 +10,6 @@
 
 use esam_bits::{BitMatrix, BitVec};
 
-
 use crate::config::ArrayConfig;
 use crate::energy::EnergyAnalysis;
 use crate::error::SramError;
@@ -35,6 +34,19 @@ impl AccessStats {
     /// Sum of all port activities (any kind of cycle).
     pub fn total_accesses(&self) -> u64 {
         self.inference_reads + self.rw_read_cycles + self.rw_write_cycles
+    }
+
+    /// Adds another counter set into this one.
+    ///
+    /// Counters are plain sums over accesses, so merging shards of a
+    /// partitioned workload is exact (`u64` addition is associative and
+    /// commutative): any interleaving of accesses across shards produces the
+    /// same merged counters as running the whole workload on one array.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.inference_reads += other.inference_reads;
+        self.inference_zero_bits += other.inference_zero_bits;
+        self.rw_read_cycles += other.rw_read_cycles;
+        self.rw_write_cycles += other.rw_write_cycles;
     }
 }
 
@@ -117,6 +129,27 @@ impl SramArray {
     ///
     /// [`SramError::PortOutOfRange`] or [`SramError::RowOutOfRange`].
     pub fn inference_read(&mut self, port: usize, row: usize) -> Result<BitVec, SramError> {
+        let mut stats = self.stats;
+        let bits = self.read_row_counted(&mut stats, port, row)?;
+        self.stats = stats;
+        Ok(bits)
+    }
+
+    /// Reads one row through inference port `port`, counting the access in
+    /// an *external* counter set instead of this array's own — the shared
+    /// implementation behind [`inference_read`](Self::inference_read), also
+    /// used by callers that keep per-worker counter mirrors so concurrent
+    /// shards can read the same (immutable) array.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::PortOutOfRange`] or [`SramError::RowOutOfRange`].
+    pub fn read_row_counted(
+        &self,
+        stats: &mut AccessStats,
+        port: usize,
+        row: usize,
+    ) -> Result<BitVec, SramError> {
         let available = self.config.cell().inference_parallelism();
         if port >= available {
             return Err(SramError::PortOutOfRange { port, available });
@@ -128,8 +161,8 @@ impl SramArray {
             });
         }
         let bits = self.bits.row(row);
-        self.stats.inference_reads += 1;
-        self.stats.inference_zero_bits += (self.config.cols() - bits.count_ones()) as u64;
+        stats.inference_reads += 1;
+        stats.inference_zero_bits += (self.config.cols() - bits.count_ones()) as u64;
         Ok(bits)
     }
 
@@ -248,15 +281,27 @@ impl SramArray {
     ///
     /// Propagates write-margin violations from the write-energy model.
     pub fn consumed_energy(&self) -> Result<Joules, SramError> {
+        self.energy_for_stats(&self.stats)
+    }
+
+    /// Dynamic energy implied by an *external* counter set for an array of
+    /// this configuration — the same reconstruction as
+    /// [`consumed_energy`](Self::consumed_energy), used by callers that
+    /// account accesses outside the array (e.g. per-worker shard counters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write-margin violations from the write-energy model.
+    pub fn energy_for_stats(&self, stats: &AccessStats) -> Result<Joules, SramError> {
         let energy = self.energy();
-        let write = if self.stats.rw_write_cycles > 0 {
-            energy.rw_write_cycle()? * self.stats.rw_write_cycles as f64
+        let write = if stats.rw_write_cycles > 0 {
+            energy.rw_write_cycle()? * stats.rw_write_cycles as f64
         } else {
             Joules::ZERO
         };
-        Ok(energy.inference_read_fixed() * self.stats.inference_reads as f64
-            + energy.inference_read_per_zero() * self.stats.inference_zero_bits as f64
-            + energy.rw_read_cycle() * self.stats.rw_read_cycles as f64
+        Ok(energy.inference_read_fixed() * stats.inference_reads as f64
+            + energy.inference_read_per_zero() * stats.inference_zero_bits as f64
+            + energy.rw_read_cycle() * stats.rw_read_cycles as f64
             + write)
     }
 
@@ -299,7 +344,10 @@ mod tests {
         let mut a = array(BitcellKind::multiport(2).unwrap());
         assert!(matches!(
             a.inference_read(2, 0),
-            Err(SramError::PortOutOfRange { port: 2, available: 2 })
+            Err(SramError::PortOutOfRange {
+                port: 2,
+                available: 2
+            })
         ));
         let mut a6 = array(BitcellKind::Std6T);
         assert!(a6.inference_read(0, 0).is_ok(), "6T reads via its RW port");
@@ -321,7 +369,10 @@ mod tests {
     #[test]
     fn transposed_access_rejected_on_6t() {
         let mut a = array(BitcellKind::Std6T);
-        assert!(matches!(a.transposed_read(0), Err(SramError::NotTransposable)));
+        assert!(matches!(
+            a.transposed_read(0),
+            Err(SramError::NotTransposable)
+        ));
         assert!(matches!(
             a.transposed_write(0, &BitVec::new(128)),
             Err(SramError::NotTransposable)
@@ -365,7 +416,10 @@ mod tests {
         let mut a = array(BitcellKind::multiport(4).unwrap());
         assert!(matches!(
             a.transposed_write(0, &BitVec::new(64)),
-            Err(SramError::DimensionMismatch { expected: 128, got: 64 })
+            Err(SramError::DimensionMismatch {
+                expected: 128,
+                got: 64
+            })
         ));
         assert!(a.load_weights(&BitMatrix::new(64, 128)).is_err());
     }
@@ -373,7 +427,13 @@ mod tests {
     #[test]
     fn out_of_range_addresses() {
         let mut a = array(BitcellKind::multiport(4).unwrap());
-        assert!(matches!(a.inference_read(0, 128), Err(SramError::RowOutOfRange { .. })));
-        assert!(matches!(a.transposed_read(128), Err(SramError::ColOutOfRange { .. })));
+        assert!(matches!(
+            a.inference_read(0, 128),
+            Err(SramError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.transposed_read(128),
+            Err(SramError::ColOutOfRange { .. })
+        ));
     }
 }

@@ -82,7 +82,9 @@ impl BitcellKind {
     /// of the 6T area and no longer match the bitline pitch.
     pub fn multiport(read_ports: u8) -> Result<Self, SramError> {
         if read_ports == 0 || read_ports > MAX_READ_PORTS {
-            return Err(SramError::TooManyPorts { requested: read_ports });
+            return Err(SramError::TooManyPorts {
+                requested: read_ports,
+            });
         }
         Ok(BitcellKind::MultiPort { read_ports })
     }
@@ -135,7 +137,7 @@ impl BitcellKind {
     }
 
     /// Absolute cell area, anchored to the published 6T area of
-    /// 0.01512 µm² [20].
+    /// 0.01512 µm² \[20\].
     pub fn area(self) -> AreaUm2 {
         AreaUm2::new(paper::CELL_AREA_6T_UM2 * self.area_multiplier())
     }

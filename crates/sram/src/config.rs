@@ -260,8 +260,14 @@ mod tests {
     #[test]
     fn mux_ratio_must_divide_rows() {
         let cell = BitcellKind::multiport(1).unwrap();
-        assert!(ArrayConfig::builder(128, 128, cell).mux_ratio(3).build().is_err());
-        assert!(ArrayConfig::builder(128, 128, cell).mux_ratio(8).build().is_ok());
+        assert!(ArrayConfig::builder(128, 128, cell)
+            .mux_ratio(3)
+            .build()
+            .is_err());
+        assert!(ArrayConfig::builder(128, 128, cell)
+            .mux_ratio(8)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -121,8 +121,7 @@ impl EnergyAnalysis {
     /// read on the RW port pays this per pair; the decoupled single-ended
     /// ports do not (their RBL stops drawing once discharged).
     fn rw_read_dc_per_pair(&self) -> Joules {
-        let current = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1)
-            .on_current(self.config.vdd())
+        let current = FinFet::new(Polarity::Nmos, VtFlavor::Svt, 1).on_current(self.config.vdd())
             * fitted::RW_READ_STACK_FACTOR
             * self.config.variation().worst_case_current_factor();
         self.config.vdd() * current * esam_tech::units::Seconds::new(fitted::RW_WL_PULSE_WIDTH)
@@ -170,8 +169,7 @@ impl EnergyAnalysis {
 
         let bl = geometry.line(LineKind::WriteBitline);
         let c_bl = bl.total_capacitance();
-        let per_half_selected =
-            dynamic_energy(c_bl, vdd, vdd * fitted::HALF_SELECT_SWING_FRACTION);
+        let per_half_selected = dynamic_energy(c_bl, vdd, vdd * fitted::HALF_SELECT_SWING_FRACTION);
 
         Ok(dynamic_energy(wl.total_capacitance(), vdd, vdd)
             + self.driven_pair_energy()? * driven as f64
@@ -341,7 +339,10 @@ mod tests {
         let mut prev = Joules::ZERO;
         for cell in BitcellKind::ALL {
             let e = energy(cell).rw_write_per_cell().unwrap();
-            assert!(e > prev, "{cell}: per-cell write energy must grow with ports");
+            assert!(
+                e > prev,
+                "{cell}: per-cell write energy must grow with ports"
+            );
             prev = e;
         }
     }
@@ -351,7 +352,10 @@ mod tests {
         let mut prev = Joules::ZERO;
         for cell in BitcellKind::ALL {
             let e = energy(cell).rw_read_per_cell();
-            assert!(e > prev, "{cell}: per-cell read energy must grow with ports");
+            assert!(
+                e > prev,
+                "{cell}: per-cell read energy must grow with ports"
+            );
             prev = e;
         }
     }

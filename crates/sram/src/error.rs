@@ -102,9 +102,15 @@ mod tests {
     fn display_messages_are_meaningful() {
         let e = SramError::TooManyPorts { requested: 6 };
         assert!(e.to_string().contains("1..=4"));
-        let e = SramError::PortOutOfRange { port: 3, available: 2 };
+        let e = SramError::PortOutOfRange {
+            port: 3,
+            available: 2,
+        };
         assert!(e.to_string().contains("port 3"));
-        let e = SramError::DimensionMismatch { expected: 128, got: 64 };
+        let e = SramError::DimensionMismatch {
+            expected: 128,
+            got: 64,
+        };
         assert!(e.to_string().contains("128"));
         let e = SramError::NotTransposable;
         assert!(e.to_string().contains("6T"));
@@ -113,7 +119,9 @@ mod tests {
     #[test]
     fn write_margin_source_chain() {
         use esam_tech::nbl::NblModel;
-        let inner = NblModel::paper_default().required_assist(512, 1.0).unwrap_err();
+        let inner = NblModel::paper_default()
+            .required_assist(512, 1.0)
+            .unwrap_err();
         let e: SramError = inner.into();
         assert!(std::error::Error::source(&e).is_some());
     }

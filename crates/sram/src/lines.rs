@@ -145,10 +145,9 @@ impl ArrayGeometry {
                 // Two pass-gate gates per cell along the row.
                 gate * (2 * self.cols) as f64,
             ),
-            (LineKind::WriteBitline, Orientation::Standard) => (
-                self.vertical(WireWidth::Standard),
-                drain * self.rows as f64,
-            ),
+            (LineKind::WriteBitline, Orientation::Standard) => {
+                (self.vertical(WireWidth::Standard), drain * self.rows as f64)
+            }
             (LineKind::InferenceWordline | LineKind::InferenceBitline, Orientation::Standard) => {
                 panic!("the 6T baseline has no decoupled inference ports")
             }
@@ -168,10 +167,9 @@ impl ArrayGeometry {
                 // One read-access gate (M8..M11) per cell along the row.
                 gate * self.cols as f64,
             ),
-            (LineKind::InferenceBitline, Orientation::Transposed) => (
-                self.vertical(WireWidth::Standard),
-                drain * self.rows as f64,
-            ),
+            (LineKind::InferenceBitline, Orientation::Transposed) => {
+                (self.vertical(WireWidth::Standard), drain * self.rows as f64)
+            }
         };
         LineParasitics { wire, device_load }
     }
@@ -265,7 +263,10 @@ mod tests {
         let g = geo(BitcellKind::multiport(4).unwrap());
         let rbl = g.line(LineKind::InferenceBitline);
         let c = rbl.total_capacitance().ff();
-        assert!(c > 2.0 && c < 50.0, "RBL capacitance {c} fF out of plausible range");
+        assert!(
+            c > 2.0 && c < 50.0,
+            "RBL capacitance {c} fF out of plausible range"
+        );
     }
 
     #[test]

@@ -54,8 +54,8 @@ impl SramMacro {
 
     /// Area breakdown.
     pub fn area(&self) -> MacroArea {
-        let cells = self.config.cell().area()
-            * (self.config.rows() as f64 * self.config.cols() as f64);
+        let cells =
+            self.config.cell().area() * (self.config.rows() as f64 * self.config.cols() as f64);
         MacroArea {
             cells,
             periphery: cells * fitted::MACRO_PERIPHERY_AREA_FRACTION,
@@ -82,11 +82,20 @@ mod tests {
     fn area_scales_with_cell_family() {
         let areas: Vec<f64> = BitcellKind::ALL
             .iter()
-            .map(|&c| SramMacro::new(ArrayConfig::paper_default(c)).area().total().value())
+            .map(|&c| {
+                SramMacro::new(ArrayConfig::paper_default(c))
+                    .area()
+                    .total()
+                    .value()
+            })
             .collect();
         assert!(areas.windows(2).all(|w| w[1] > w[0]));
         // 128×128 6T mat ≈ 16384 × 0.01512 µm² ≈ 248 µm² plus periphery.
-        assert!(areas[0] > 240.0 && areas[0] < 320.0, "6T macro {} µm²", areas[0]);
+        assert!(
+            areas[0] > 240.0 && areas[0] < 320.0,
+            "6T macro {} µm²",
+            areas[0]
+        );
     }
 
     #[test]
@@ -99,7 +108,9 @@ mod tests {
 
     #[test]
     fn leakage_is_microwatt_class() {
-        let m = SramMacro::new(ArrayConfig::paper_default(BitcellKind::multiport(4).unwrap()));
+        let m = SramMacro::new(ArrayConfig::paper_default(
+            BitcellKind::multiport(4).unwrap(),
+        ));
         let p = m.leakage_power();
         assert!(p.uw() > 1.0 && p.uw() < 1000.0, "got {p}");
         assert_eq!(m.bit_count(), 128 * 128);

@@ -260,7 +260,9 @@ mod tests {
         // Table 2: the SRAM stage jumps from 0.69 ns (1RW) to ≥ 1.08 ns once
         // the decoupled single-ended port is used.
         let t6 = timing(BitcellKind::Std6T).inference_read().total();
-        let t1 = timing(BitcellKind::multiport(1).unwrap()).inference_read().total();
+        let t1 = timing(BitcellKind::multiport(1).unwrap())
+            .inference_read()
+            .total();
         assert!(t1.ps() > 1.3 * t6.ps(), "6T {} vs +1R {}", t6, t1);
     }
 
@@ -268,7 +270,9 @@ mod tests {
     fn inference_access_grows_with_ports() {
         let mut prev = Seconds::ZERO;
         for p in 1..=4 {
-            let t = timing(BitcellKind::multiport(p).unwrap()).inference_read().total();
+            let t = timing(BitcellKind::multiport(p).unwrap())
+                .inference_read()
+                .total();
             assert!(t > prev, "access time must grow with ports (p={p})");
             prev = t;
         }
@@ -296,7 +300,9 @@ mod tests {
         // §4.2: one extra port causes an immediate, significant increase in
         // transposed-port times because the WL narrows.
         let t6 = timing(BitcellKind::Std6T).rw_read().read_time();
-        let t1 = timing(BitcellKind::multiport(1).unwrap()).rw_read().read_time();
+        let t1 = timing(BitcellKind::multiport(1).unwrap())
+            .rw_read()
+            .read_time();
         assert!(
             t1.ps() > t6.ps() * 1.05,
             "expected a visible jump: 6T {} vs +1R {}",
@@ -353,16 +359,20 @@ mod tests {
             (r.total().ps() - (r.precharge + r.wordline + r.develop + r.sense).ps()).abs() < 1e-9
         );
         let w = t.rw_write().unwrap();
-        assert!(
-            (w.total().ps() - (w.wordline + w.drive + w.nbl_kick + w.flip).ps()).abs() < 1e-9
-        );
+        assert!((w.total().ps() - (w.wordline + w.drive + w.nbl_kick + w.flip).ps()).abs() < 1e-9);
     }
 
     #[test]
     fn write_fits_in_the_learning_clock() {
         // §4.4.1: the 4-port cell's transposed ops run at a ~1.2 ns clock.
-        let w = timing(BitcellKind::multiport(4).unwrap()).rw_write().unwrap();
-        assert!(w.total().ns() < 1.25, "write {} must fit a 1.2 ns cycle", w.total());
+        let w = timing(BitcellKind::multiport(4).unwrap())
+            .rw_write()
+            .unwrap();
+        assert!(
+            w.total().ns() < 1.25,
+            "write {} must fit a 1.2 ns cycle",
+            w.total()
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ use proptest::prelude::*;
 
 fn weights(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
     any::<u64>().prop_map(move |seed| {
-        BitMatrix::from_fn(rows, cols, |r, c| (seed >> ((r * 13 + c * 7) % 64)) & 1 == 1)
+        BitMatrix::from_fn(rows, cols, |r, c| {
+            (seed >> ((r * 13 + c * 7) % 64)) & 1 == 1
+        })
     })
 }
 

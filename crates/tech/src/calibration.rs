@@ -14,7 +14,7 @@
 
 /// Datapoints quoted verbatim in the paper (for model input and validation).
 pub mod paper {
-    /// 6T SRAM bitcell area in IMEC 3nm FinFET, §4.2 / ref [20].
+    /// 6T SRAM bitcell area in IMEC 3nm FinFET, §4.2 / ref \[20\].
     pub const CELL_AREA_6T_UM2: f64 = 0.01512;
 
     /// Cell-area multipliers vs 6T for 1RW, 1RW+1R … 1RW+4R (§4.2).
@@ -32,7 +32,7 @@ pub mod paper {
     pub const VPRECH_MV: f64 = 500.0;
 
     /// NBL write-assist validity limit: a required `V_WD < −400 mV` marks the
-    /// array size as non-implementable due to low yield (§4.1, ref [19]).
+    /// array size as non-implementable due to low yield (§4.1, ref \[19\]).
     pub const VWD_LIMIT_MV: f64 = -400.0;
 
     /// Largest valid array dimension under the NBL rule (§4.1).
@@ -140,7 +140,7 @@ pub mod fitted {
     pub const LEAK_PER_FIN: [f64; 3] = [2.2e-9, 0.50e-9, 0.10e-9];
 
     /// Standard-width local-interconnect (M0/M1) sheet resistance per µm (Ω).
-    /// 3nm metals are resistance-dominated (refs [19], [21]).
+    /// 3nm metals are resistance-dominated (refs \[19\], \[21\]).
     pub const WIRE_R_PER_UM_STD: f64 = 300.0;
 
     /// Wire capacitance per µm (F) at standard width.
@@ -404,7 +404,8 @@ mod tests {
         let clock_ns = paper::LEARN_ROWWISE_NS / paper::LEARN_ROWWISE_CYCLES as f64;
         assert!((clock_ns - paper::TABLE2_ARBITER_NS[0]).abs() < 0.01);
         // 2×4 cycles at 1.2 ns ≈ 9.6 ns ≈ 257.8/26.0.
-        let transposed_ns = paper::LEARN_TRANSPOSED_CYCLES as f64 * paper::LEARN_TRANSPOSED_CLOCK_NS;
+        let transposed_ns =
+            paper::LEARN_TRANSPOSED_CYCLES as f64 * paper::LEARN_TRANSPOSED_CLOCK_NS;
         let quoted = paper::LEARN_ROWWISE_NS / paper::LEARN_TIME_GAIN;
         assert!((transposed_ns - quoted).abs() / quoted < 0.05);
     }
@@ -414,8 +415,6 @@ mod tests {
         let m = paper::CELL_AREA_MULTIPLIERS;
         assert!(m.windows(2).all(|w| w[1] > w[0]));
         // The rejected 5th port lands at 2.625 + 0.875 = 3.5×.
-        assert!(
-            (m[4] + paper::FIFTH_PORT_EXTRA_AREA_FRACTION - 3.5).abs() < 1e-12
-        );
+        assert!((m[4] + paper::FIFTH_PORT_EXTRA_AREA_FRACTION - 3.5).abs() < 1e-12);
     }
 }

@@ -181,7 +181,10 @@ mod tests {
         let eco = OperatingPoint::new(Volts::from_mv(500.0), VtFlavor::Hvt);
         let power = eco.dynamic_power_scale(&nominal);
         let energy = eco.energy_scale(&nominal);
-        assert!(power < 0.25, "eco dynamic power scale {power} (want ≥4× cut)");
+        assert!(
+            power < 0.25,
+            "eco dynamic power scale {power} (want ≥4× cut)"
+        );
         assert!(energy < 1.0, "eco energy scale {energy}");
         assert!(eco.frequency_scale(&nominal) > 0.02, "still usable clock");
     }

@@ -59,11 +59,7 @@ pub fn driven_wire_delay(r_driver: Ohms, r_wire: Ohms, c_wire: Farads, c_load: F
 ///
 /// Panics if `i` is zero or negative.
 #[inline]
-pub fn constant_current_slew(
-    c: Farads,
-    dv: crate::units::Volts,
-    i: crate::units::Amps,
-) -> Seconds {
+pub fn constant_current_slew(c: Farads, dv: crate::units::Volts, i: crate::units::Amps) -> Seconds {
     assert!(i.value() > 0.0, "discharge current must be positive");
     Seconds::new(c.value() * dv.v() / i.value())
 }
@@ -96,9 +92,8 @@ mod tests {
         let cw = Farads::from_ff(5.0);
         let cl = Farads::from_ff(2.0);
         let total = driven_wire_delay(rd, rw, cw, cl);
-        let by_hand = lumped_rc_delay(rd, cw + cl)
-            + distributed_rc_delay(rw, cw)
-            + lumped_rc_delay(rw, cl);
+        let by_hand =
+            lumped_rc_delay(rd, cw + cl) + distributed_rc_delay(rw, cw) + lumped_rc_delay(rw, cl);
         assert!((total.ps() - by_hand.ps()).abs() < 1e-9);
     }
 

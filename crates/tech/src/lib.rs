@@ -3,7 +3,7 @@
 //!
 //! The paper (Table 1) characterizes its circuits with Cadence Spectre,
 //! Calibre PEX parasitics, ±3σ process variation and a Negative-Bitline
-//! write-assist methodology [19]. None of those are available outside the
+//! write-assist methodology \[19\]. None of those are available outside the
 //! IMEC ecosystem, so this crate provides the calibrated analytical
 //! equivalents the rest of the workspace builds on:
 //!

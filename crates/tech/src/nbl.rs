@@ -2,7 +2,7 @@
 //!
 //! Writing an SRAM cell at resistance-dominated nodes needs help: the write
 //! driver under-drives the complementary bitline to a voltage `V_WD < V_SS`
-//! to force the cell to flip (§4.1, ref [19]). How deep `V_WD` must go grows
+//! to force the cell to flip (§4.1, ref \[19\]). How deep `V_WD` must go grows
 //! with the bitline parasitics — more cells on the line and wider (multiport)
 //! cells both hurt. A required `V_WD` below −400 mV marks the array size as
 //! non-implementable for yield reasons; this is what restricts ESAM arrays
@@ -126,8 +126,9 @@ impl NblModel {
             "width multiplier is relative to the 6T cell (≥ 1.0)"
         );
         let n_hat = cells_on_bitline as f64 / 128.0;
-        let magnitude_mv = self.linear_mv * n_hat * (1.0 + self.width_coupling * (width_multiplier - 1.0))
-            + self.quadratic_mv * n_hat * n_hat;
+        let magnitude_mv =
+            self.linear_mv * n_hat * (1.0 + self.width_coupling * (width_multiplier - 1.0))
+                + self.quadratic_mv * n_hat * n_hat;
         let required = Volts::from_mv(-magnitude_mv);
         if required < self.limit {
             Err(WriteMarginError {
@@ -148,10 +149,10 @@ impl NblModel {
 
     /// Per-cell write-failure probability given the assist headroom.
     ///
-    /// The −400 mV rule is a proxy for yield [19]: the deeper the required
+    /// The −400 mV rule is a proxy for yield \[19\]: the deeper the required
     /// `V_WD` sits below the limit the less margin remains against local
     /// write-margin variation. We model the cell-to-cell write margin as
-    /// Gaussian with [`WRITE_MARGIN_SIGMA_MV`] of σ; a cell fails when
+    /// Gaussian with `WRITE_MARGIN_SIGMA_MV` of σ; a cell fails when
     /// variation eats the whole headroom. Returns a probability in `[0, 1]`.
     pub fn cell_write_failure_probability(
         &self,
@@ -159,7 +160,7 @@ impl NblModel {
         width_multiplier: f64,
     ) -> f64 {
         let headroom_mv = match self.required_assist(cells_on_bitline, width_multiplier) {
-            Ok(v) => v.mv() - self.limit.mv(), // positive headroom
+            Ok(v) => v.mv() - self.limit.mv(),             // positive headroom
             Err(e) => e.required().mv() - self.limit.mv(), // negative
         };
         gaussian_tail(headroom_mv / WRITE_MARGIN_SIGMA_MV)
@@ -309,9 +310,7 @@ mod tests {
         let just_past = nbl.array_yield(128, boundary + 24, 2.625);
         assert!(just_past < 0.5, "yield past the limit: {just_past}");
         // And it is monotone in array size.
-        assert!(
-            nbl.array_yield(128, 128, 2.625) > nbl.array_yield(128, boundary, 2.625)
-        );
+        assert!(nbl.array_yield(128, 128, 2.625) > nbl.array_yield(128, boundary, 2.625));
     }
 
     #[test]

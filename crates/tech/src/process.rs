@@ -101,7 +101,9 @@ impl VariationModel {
     /// seed and returns the samples, worst (minimum) first.
     pub fn monte_carlo(&self, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut samples: Vec<f64> = (0..n).map(|_| self.sample_current_factor(&mut rng)).collect();
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| self.sample_current_factor(&mut rng))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
         samples
     }

@@ -1,7 +1,7 @@
 //! Interconnect parasitics: per-µm wire resistance and capacitance.
 //!
 //! At the 3nm node local interconnect is *resistance-dominated* (the paper's
-//! refs [19] and [21] are exactly about this). The model exposes two wire
+//! refs \[19\] and \[21\] are exactly about this). The model exposes two wire
 //! widths: the standard width, and the narrowed width the multiport bitcell
 //! is forced to use for its wordline so that RBL0–RBL3 fit in the same metal
 //! layer (§4.2) — the cause of the jump in transposed-port access times in

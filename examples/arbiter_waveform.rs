@@ -11,7 +11,11 @@ use esam::bits::BitVec;
 use esam::logic::{ascii_waveform, GateTiming, Level, NetId, Simulator, TimingAnalysis, VcdWriter};
 
 fn stimulus_from(requests: &BitVec) -> Vec<Level> {
-    requests.to_bools().iter().map(|&b| Level::from(b)).collect()
+    requests
+        .to_bools()
+        .iter()
+        .map(|&b| Level::from(b))
+        .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arbiter = StructuralArbiter::new(width, 4, EncoderStructure::Flat)?;
     let timing = GateTiming::finfet_3nm();
 
-    println!("structural arbiter: {} gates, {} nets", arbiter.gate_count(), arbiter.netlist().net_count());
+    println!(
+        "structural arbiter: {} gates, {} nets",
+        arbiter.gate_count(),
+        arbiter.netlist().net_count()
+    );
     let sta = TimingAnalysis::run(arbiter.netlist(), &timing)?;
     println!("STA critical path:  {}", sta.critical_path());
     println!();
@@ -31,12 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(arbiter.netlist(), timing)?;
     let first = BitVec::from_indices(width, &[2, 5, 7, 11, 13]);
     let (settle, _) = sim.settle(&stimulus_from(&first))?;
-    println!("cycle 1: requests {:?}", first.iter_ones().collect::<Vec<_>>());
+    println!(
+        "cycle 1: requests {:?}",
+        first.iter_ones().collect::<Vec<_>>()
+    );
     println!("         settled in {settle}");
 
     let grants = arbiter.arbitrate(&first)?;
-    println!("         grants   {:?}  (remaining {:?})", grants.granted(),
-        grants.remaining().iter_ones().collect::<Vec<_>>());
+    println!(
+        "         grants   {:?}  (remaining {:?})",
+        grants.granted(),
+        grants.remaining().iter_ones().collect::<Vec<_>>()
+    );
 
     sim.advance_to(esam::tech::units::Seconds::from_ps(2000.0));
     let second = {
@@ -46,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r
     };
     let (settle, _) = sim.settle(&stimulus_from(&second))?;
-    println!("cycle 2: requests {:?}", second.iter_ones().collect::<Vec<_>>());
+    println!(
+        "cycle 2: requests {:?}",
+        second.iter_ones().collect::<Vec<_>>()
+    );
     println!("         settled in {settle}");
     let grants2 = arbiter.arbitrate(&second)?;
     println!("         grants   {:?}", grants2.granted());
@@ -55,14 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Render the interesting nets: the requested inputs plus every granted
     // port-0/1 output that fired.
     let netlist = arbiter.netlist();
-    let shown: Vec<NetId> = ["r[2]", "r[5]", "r[9]", "p0_g[2]", "p1_g[5]", "p0_g[0]", "p3_g[11]"]
-        .iter()
-        .filter_map(|name| netlist.find_net(name))
-        .collect();
+    let shown: Vec<NetId> = [
+        "r[2]", "r[5]", "r[9]", "p0_g[2]", "p1_g[5]", "p0_g[0]", "p3_g[11]",
+    ]
+    .iter()
+    .filter_map(|name| netlist.find_net(name))
+    .collect();
     println!("{}", ascii_waveform(netlist, sim.trace(), &shown));
 
     // Dump everything for GTKWave.
-    let path = std::env::args().nth(1).unwrap_or_else(|| "arbiter.vcd".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "arbiter.vcd".to_string());
     let mut file = std::fs::File::create(&path)?;
     VcdWriter::new("esam_arbiter").write(netlist, sim.trace(), &mut file)?;
     println!("wrote {} transitions to {path}", sim.trace().len());

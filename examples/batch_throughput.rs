@@ -1,0 +1,86 @@
+//! Parallel batch-inference throughput on the paper-default system.
+//!
+//! Builds the 768:256:256:256:10 4-port system (§4.4.2), generates a batch
+//! of random spike frames, and measures simulator frames/sec at increasing
+//! worker counts — demonstrating that the `BatchEngine`'s shard → simulate
+//! → merge flow returns *bit-identical* metrics at every thread count while
+//! the wall-clock time drops.
+//!
+//! ```text
+//! cargo run --release --example batch_throughput [frames] [max_threads]
+//! ```
+
+use std::time::Instant;
+
+use esam::prelude::*;
+use esam_core::{BatchConfig, BatchEngine};
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(256);
+    let max_threads: usize = args
+        .next()
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        });
+
+    // The paper's system topology with untrained (random) weights — weight
+    // values do not affect scaling behaviour, only spike density does.
+    let topology = [768usize, 256, 256, 256, 10];
+    let net = BnnNetwork::new(&topology, 42)?;
+    let model = SnnModel::from_bnn(&net)?;
+    let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
+    let mut system = EsamSystem::from_model(&model, &config)?;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let batch: Vec<BitVec> = (0..frames)
+        .map(|_| (0..768).map(|_| rng.random_bool(0.2)).collect())
+        .collect();
+
+    println!("system: 768:256:256:256:10 on 1RW+4R cells, {frames} frames\n");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12}",
+        "threads", "wall [ms]", "speedup", "frames/s"
+    );
+
+    let start = Instant::now();
+    let reference = system.measure_batch(&batch)?;
+    let sequential_wall = start.elapsed();
+    println!(
+        "{:>8} {:>12.1} {:>10} {:>12.0}",
+        "seq",
+        sequential_wall.as_secs_f64() * 1e3,
+        "1.00x",
+        frames as f64 / sequential_wall.as_secs_f64()
+    );
+
+    let mut threads = 1;
+    while threads <= max_threads {
+        let mut engine = BatchEngine::new(&system, &BatchConfig::with_threads(threads));
+        let start = Instant::now();
+        let metrics = engine.measure(&batch)?;
+        let wall = start.elapsed();
+        assert_eq!(
+            metrics, reference,
+            "parallel metrics must be bit-identical to the sequential reference"
+        );
+        println!(
+            "{:>8} {:>12.1} {:>9.2}x {:>12.0}",
+            threads,
+            wall.as_secs_f64() * 1e3,
+            sequential_wall.as_secs_f64() / wall.as_secs_f64(),
+            frames as f64 / wall.as_secs_f64()
+        );
+        threads *= 2;
+    }
+
+    println!("\nmeasured (thread-count independent) system metrics:\n{reference}");
+    Ok(())
+}

@@ -15,8 +15,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(bitlines run along the array height, so C_rbl is port-independent;");
     println!(" the wordline crosses the *widening* cells and slows with every port)");
     println!();
-    println!("{:<8} {:>10} {:>12} {:>12} {:>14} {:>14} {:>10}", "cell", "C_rbl [fF]",
-        "R_rwl [kOhm]", "I_cell [uA]", "model t_dev", "transient t25%", "model/sim");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "cell",
+        "C_rbl [fF]",
+        "R_rwl [kOhm]",
+        "I_cell [uA]",
+        "model t_dev",
+        "transient t25%",
+        "model/sim"
+    );
 
     for ports in 1..=4u8 {
         let config = ArrayConfig::paper_default(BitcellKind::MultiPort { read_ports: ports });

@@ -18,8 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Data: the paper crops 2×2 pixels from every 28×28 corner → 768
     //    inputs = 6 × 128 SRAM rows. Real MNIST is used when available.
-    let mnist_dir =
-        std::env::var("ESAM_MNIST_DIR").unwrap_or_else(|_| "mnist".to_string());
+    let mnist_dir = std::env::var("ESAM_MNIST_DIR").unwrap_or_else(|_| "mnist".to_string());
     let data = match load_mnist_dir(&mnist_dir)? {
         Some(real) => {
             println!(
@@ -49,14 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train the BNN offline (sign weights, step activations, STE).
     let train = if quick {
-        TrainConfig { epochs: 5, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        }
     } else {
         TrainConfig::default()
     };
-    println!("training 768:256:256:256:10 BNN ({} epochs) …", train.epochs);
+    println!(
+        "training 768:256:256:256:10 BNN ({} epochs) …",
+        train.epochs
+    );
     let mut net = BnnNetwork::new(&[768, 256, 256, 256, 10], 42)?;
     let report = Trainer::new(train).train(&mut net, &data.train)?;
-    println!("  final train accuracy: {:.2}%", report.final_accuracy() * 100.0);
+    println!(
+        "  final train accuracy: {:.2}%",
+        report.final_accuracy() * 100.0
+    );
 
     let bnn_test = evaluate_bnn(&net, &data.test)?.accuracy();
     println!("  BNN test accuracy:    {:.2}%", bnn_test * 100.0);
@@ -64,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Convert: ±1 weights → SRAM bits, biases → integer thresholds.
     let model = SnnModel::from_bnn(&net)?;
     let snn_test = evaluate_snn(&model, &data.test)?.accuracy();
-    println!("  SNN test accuracy:    {:.2}% (conversion is lossless)", snn_test * 100.0);
+    println!(
+        "  SNN test accuracy:    {:.2}% (conversion is lossless)",
+        snn_test * 100.0
+    );
 
     // 4. Run on the hardware model (4-port cells) and measure.
     let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..DigitsConfig::default()
     })?;
     let before = accuracy(&mut system, &shifted.test, eval_samples)?;
-    println!("shifted-distribution accuracy: {:.1}% (before adaptation)", 100.0 * before);
+    println!(
+        "shifted-distribution accuracy: {:.1}% (before adaptation)",
+        100.0 * before
+    );
 
     // 4. Adapt on-chip: teacher-driven stochastic STDP on the output
     //    layer, through the transposed port. The deployed device sees a
@@ -79,8 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let own_accuracy = |system: &mut EsamSystem| -> Result<f64, Box<dyn std::error::Error>> {
         let mut ok = 0usize;
         for i in 0..environment {
-            if system.infer(&shifted.train.spikes(i))?.prediction
-                == shifted.train.label(i) as usize
+            if system.infer(&shifted.train.spikes(i))?.prediction == shifted.train.label(i) as usize
             {
                 ok += 1;
             }
@@ -103,8 +105,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // The spikes that actually entered the output tile.
             let pre = result.layer_inputs[output_layer].clone();
             total = total
-                + engine.teach_system(&mut system, output_layer, &pre, target,
-                    TeacherSignal::ShouldFire)?;
+                + engine.teach_system(
+                    &mut system,
+                    output_layer,
+                    &pre,
+                    target,
+                    TeacherSignal::ShouldFire,
+                )?;
             updates += 1;
         }
         println!(

@@ -12,7 +12,8 @@
 //! * [`nn`] — BNN training, the synthetic digit set, BNN→SNN conversion and
 //!   stochastic STDP.
 //! * [`core`] — tiles, the cascaded system, the spike-by-spike simulator,
-//!   metrics, the online-learning engine and the adder-tree baseline.
+//!   the parallel batch engine, metrics, the online-learning engine and the
+//!   adder-tree baseline.
 //! * [`logic`] — gate-level netlists, event-driven simulation, STA and VCD
 //!   dumping (structural arbiter/neuron verification).
 //! * [`circuit`] — MNA transient solver for RC networks (the Spectre
@@ -57,13 +58,12 @@ pub mod prelude {
     pub use esam_arbiter::{EncoderStructure, MultiPortArbiter};
     pub use esam_bits::{BitMatrix, BitVec};
     pub use esam_core::{
-        EsamSystem, InferenceResult, LearningCost, OnlineLearningEngine, PipelineTiming,
-        SystemConfig, SystemMetrics, Tile,
+        BatchConfig, BatchEngine, EsamSystem, InferenceResult, LearningCost, OnlineLearningEngine,
+        PipelineTiming, SystemConfig, SystemMetrics, Tile,
     };
     pub use esam_neuron::{IfNeuron, NeuronArray, NeuronConfig};
     pub use esam_nn::{
-        BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule, TeacherSignal, TrainConfig,
-        Trainer,
+        BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule, TeacherSignal, TrainConfig, Trainer,
     };
     pub use esam_sram::{ArrayConfig, BitcellKind, SramArray};
     pub use esam_tech::units::{Joules, Seconds, Volts, Watts};

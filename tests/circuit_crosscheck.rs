@@ -34,12 +34,15 @@ fn precharge_time_matches_transient_rc_charge() {
     let mut ckt = Circuit::new();
     let supply = ckt.add_node("vprech");
     let bl = ckt.add_node("rbl");
-    ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(rail.v())).unwrap();
+    ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(rail.v()))
+        .unwrap();
     ckt.add_resistor(supply, bl, r.value()).unwrap();
     ckt.add_capacitor(bl, Circuit::GROUND, c.value()).unwrap();
     let tau = r.value() * c.value();
     let result = ckt.transient(8.0 * tau, tau / 400.0).unwrap();
-    let t90 = result.rising_crossing(bl, 0.9 * rail.v()).expect("charges to 90 %");
+    let t90 = result
+        .rising_crossing(bl, 0.9 * rail.v())
+        .expect("charges to 90 %");
 
     let ratio = analytical.value() / t90;
     assert!(
@@ -69,7 +72,8 @@ fn develop_time_matches_transient_discharge() {
     let bl = ckt.add_node("rbl");
     ckt.add_capacitor(bl, Circuit::GROUND, c.value()).unwrap();
     ckt.set_initial_voltage(bl, rail.v()).unwrap();
-    ckt.add_current_source(bl, Circuit::GROUND, Waveform::dc(i_cell.value())).unwrap();
+    ckt.add_current_source(bl, Circuit::GROUND, Waveform::dc(i_cell.value()))
+        .unwrap();
     ckt.add_resistor(bl, Circuit::GROUND, 1e12).unwrap(); // DC path for MNA
     let result = ckt.transient(4.0 * analytical, analytical / 500.0).unwrap();
     let t_cc = result
@@ -86,9 +90,12 @@ fn develop_time_matches_transient_discharge() {
     let bl = ckt.add_node("rbl");
     ckt.add_capacitor(bl, Circuit::GROUND, c.value()).unwrap();
     ckt.set_initial_voltage(bl, rail.v()).unwrap();
-    ckt.add_switch(bl, Circuit::GROUND, r_eq, 0.0, None).unwrap();
+    ckt.add_switch(bl, Circuit::GROUND, r_eq, 0.0, None)
+        .unwrap();
     let result = ckt.transient(6.0 * analytical, analytical / 500.0).unwrap();
-    let t_rc = result.falling_crossing(bl, rail.v() - swing).expect("discharges");
+    let t_rc = result
+        .falling_crossing(bl, rail.v() - swing)
+        .expect("discharges");
     let expected_ratio = -(1.0f64 - 0.25).ln() / 0.25;
     assert!(
         (t_rc / analytical / expected_ratio - 1.0).abs() < 0.05,
@@ -117,7 +124,8 @@ fn wordline_elmore_bounds_the_distributed_response() {
     let mut ckt = Circuit::new();
     let drv = ckt.add_node("drv");
     let wl_in = ckt.add_node("wl_in");
-    ckt.add_voltage_source(drv, Circuit::GROUND, Waveform::step(0.0, 0.0, 0.7)).unwrap();
+    ckt.add_voltage_source(drv, Circuit::GROUND, Waveform::step(0.0, 0.0, 0.7))
+        .unwrap();
     ckt.add_resistor(drv, wl_in, r_driver).unwrap();
     let ladder = RcLadder::build(
         &mut ckt,
@@ -128,10 +136,13 @@ fn wordline_elmore_bounds_the_distributed_response() {
         "wl",
     )
     .unwrap();
-    ckt.add_capacitor(ladder.output(), Circuit::GROUND, rwl.device_load().value()).unwrap();
+    ckt.add_capacitor(ladder.output(), Circuit::GROUND, rwl.device_load().value())
+        .unwrap();
     let window = 10.0 * analytical.value();
     let result = ckt.transient(window, window / 2000.0).unwrap();
-    let t50 = result.rising_crossing(ladder.output(), 0.35).expect("wordline rises");
+    let t50 = result
+        .rising_crossing(ladder.output(), 0.35)
+        .expect("wordline rises");
 
     let ratio = analytical.value() / t50;
     assert!(
@@ -153,7 +164,8 @@ fn precharge_energy_matches_the_cv_dv_identity() {
     let mut ckt = Circuit::new();
     let supply = ckt.add_node("vprech");
     let bl = ckt.add_node("rbl");
-    ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(rail.v())).unwrap();
+    ckt.add_voltage_source(supply, Circuit::GROUND, Waveform::dc(rail.v()))
+        .unwrap();
     ckt.add_resistor(supply, bl, 2e3).unwrap();
     ckt.add_capacitor(bl, Circuit::GROUND, c.value()).unwrap();
     ckt.set_initial_voltage(bl, rail.v() - swing.v()).unwrap();
@@ -183,9 +195,11 @@ fn transient_discharge_slows_with_port_count() {
 
         let mut ckt = Circuit::new();
         let bl = ckt.add_node("rbl");
-        ckt.add_capacitor(bl, Circuit::GROUND, rbl.total_capacitance().value()).unwrap();
+        ckt.add_capacitor(bl, Circuit::GROUND, rbl.total_capacitance().value())
+            .unwrap();
         ckt.set_initial_voltage(bl, rail.v()).unwrap();
-        ckt.add_switch(bl, Circuit::GROUND, r_eq, 0.0, None).unwrap();
+        ckt.add_switch(bl, Circuit::GROUND, r_eq, 0.0, None)
+            .unwrap();
         let tau = r_eq * rbl.total_capacitance().value();
         let result = ckt.transient(4.0 * tau, tau / 300.0).unwrap();
         let t = result

@@ -35,7 +35,10 @@ fn full_pipeline_learns_converts_and_simulates() {
 
     // Training reached usable accuracy on the easy synthetic set.
     let bnn_accuracy = evaluate_bnn(&net, &data.test).unwrap().accuracy();
-    assert!(bnn_accuracy > 0.70, "BNN accuracy {bnn_accuracy:.3} too low");
+    assert!(
+        bnn_accuracy > 0.70,
+        "BNN accuracy {bnn_accuracy:.3} too low"
+    );
 
     // Conversion is lossless.
     let snn_accuracy = evaluate_snn(&model, &data.test).unwrap().accuracy();
@@ -87,8 +90,8 @@ fn headline_gains_reproduce_on_the_trained_network() {
     let (data, _net, model) = trained_pipeline();
     let frames: Vec<BitVec> = (0..50).map(|i| data.test.spikes(i)).collect();
 
-    let mut single = EsamSystem::from_model(&model, &SystemConfig::paper_default(BitcellKind::Std6T))
-        .unwrap();
+    let mut single =
+        EsamSystem::from_model(&model, &SystemConfig::paper_default(BitcellKind::Std6T)).unwrap();
     let mut multi = EsamSystem::from_model(
         &model,
         &SystemConfig::paper_default(BitcellKind::multiport(4).unwrap()),

@@ -10,7 +10,9 @@ fn clock_periods_are_consistent_everywhere() {
     // The system clock must equal the slower pipeline stage, and learning
     // latencies must be exact multiples of it.
     for cell in BitcellKind::ALL {
-        let config = SystemConfig::builder(cell, &[128, 128, 10]).build().unwrap();
+        let config = SystemConfig::builder(cell, &[128, 128, 10])
+            .build()
+            .unwrap();
         let pipeline = PipelineTiming::analyze(&config).unwrap();
         let clock = pipeline.clock_period();
         assert_eq!(
@@ -99,7 +101,9 @@ fn more_input_spikes_cost_more_energy_and_cycles() {
 fn learning_anchor_latencies_hold() {
     // §4.4.1: 2x128 cycles at the 6T clock ≈ 257.8 ns; 2x4 cycles per block
     // at the 4R clock ≈ 9.9 ns.
-    let c6 = SystemConfig::builder(BitcellKind::Std6T, &[128, 128, 10]).build().unwrap();
+    let c6 = SystemConfig::builder(BitcellKind::Std6T, &[128, 128, 10])
+        .build()
+        .unwrap();
     let clock6 = PipelineTiming::analyze(&c6).unwrap().clock_period();
     let rowwise = clock6 * 256.0;
     assert!(
@@ -134,7 +138,9 @@ fn leakage_scales_with_system_size() {
     let big_net = BnnNetwork::new(&[768, 256, 10], 1).unwrap();
     let big = EsamSystem::from_model(
         &SnnModel::from_bnn(&big_net).unwrap(),
-        &SystemConfig::builder(cell, &[768, 256, 10]).build().unwrap(),
+        &SystemConfig::builder(cell, &[768, 256, 10])
+            .build()
+            .unwrap(),
     )
     .unwrap();
     assert!(big.leakage_power().value() > 5.0 * small.leakage_power().value());

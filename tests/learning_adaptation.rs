@@ -7,7 +7,9 @@ use esam::prelude::*;
 fn system_with(cell: BitcellKind) -> EsamSystem {
     let net = BnnNetwork::new(&[128, 128, 10], 21).unwrap();
     let model = SnnModel::from_bnn(&net).unwrap();
-    let config = SystemConfig::builder(cell, &[128, 128, 10]).build().unwrap();
+    let config = SystemConfig::builder(cell, &[128, 128, 10])
+        .build()
+        .unwrap();
     EsamSystem::from_model(&model, &config).unwrap()
 }
 
@@ -54,7 +56,13 @@ fn teaching_should_not_fire_eventually_silences_the_neuron() {
     let mut silenced = false;
     for _ in 0..40 {
         engine
-            .teach_system(&mut system, 0, &pattern, neuron, TeacherSignal::ShouldNotFire)
+            .teach_system(
+                &mut system,
+                0,
+                &pattern,
+                neuron,
+                TeacherSignal::ShouldNotFire,
+            )
             .unwrap();
         let result = system.infer(&pattern).unwrap();
         if !result.layer_inputs[1].get(neuron) {
@@ -80,7 +88,11 @@ fn transposed_update_cost_scales_with_row_groups() {
     let cost = engine
         .teach_system(&mut system, 0, &pre, 0, TeacherSignal::ShouldFire)
         .unwrap();
-    assert_eq!(cost.cycles, 6 * 8, "6 row groups x (4 read + 4 write) cycles");
+    assert_eq!(
+        cost.cycles,
+        6 * 8,
+        "6 row groups x (4 read + 4 write) cycles"
+    );
 }
 
 #[test]

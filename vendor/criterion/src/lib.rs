@@ -1,0 +1,230 @@
+//! Offline vendored mini benchmark harness with a criterion-shaped API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of `criterion` the workspace's benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`/`finish`), [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is timed
+//! over a handful of samples and reported as `min/median/max ns per
+//! iteration` on stdout — enough to compare variants, not a statistics
+//! suite.
+//!
+//! Benches run in full when executed via `cargo bench` and are compiled (but
+//! skipped) under `cargo test`, mirroring criterion's `--test` behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` passes `--test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs (and reports) one benchmark.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: if self.test_mode { 1 } else { 0 },
+            sample_target: if self.test_mode { 1 } else { self.sample_size },
+        };
+        f(&mut bencher);
+        bencher.report(id, self.test_mode);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    /// Group-local sample-size override; applied per bench and restored
+    /// after, so it never leaks past the group (matching upstream
+    /// criterion's per-group semantics).
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark inside the group (`group/id` in the report).
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let saved = self.parent.sample_size;
+        if let Some(n) = self.sample_size {
+            self.parent.sample_size = n;
+        }
+        self.parent.bench_function(&full, f);
+        self.parent.sample_size = saved;
+        self
+    }
+
+    /// Finishes the group (report flushing is immediate; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_target: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating iterations per sample so each
+    /// sample runs ≳10 ms (one iteration in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.iters_per_sample == 0 {
+            // Calibrate: grow the iteration count until a sample runs long
+            // enough to time reliably.
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                    self.iters_per_sample = iters;
+                    break;
+                }
+                iters *= 4;
+            }
+        }
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str, test_mode: bool) {
+        if self.samples.is_empty() {
+            println!("bench {id:50} … no measurement (iter never called)");
+            return;
+        }
+        if test_mode {
+            println!("bench {id:50} … ok (test mode, 1 iteration)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "bench {id:50} … [{:>12.1} {:>12.1} {:>12.1}] ns/iter (min median max, {} samples × {} iters)",
+            per_iter[0],
+            median,
+            per_iter[per_iter.len() - 1],
+            per_iter.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_function("x", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}
