@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
     for segments in [8usize, 32, 128] {
         let ckt = discharge_circuit(segments);
         c.bench_function(
-            &format!("transient/bitline_discharge_{segments}_segments"),
+            format!("transient/bitline_discharge_{segments}_segments"),
             |b| b.iter(|| std::hint::black_box(ckt.transient(2e-9, 2e-12).expect("solves").len())),
         );
     }

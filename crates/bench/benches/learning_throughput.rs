@@ -1,0 +1,59 @@
+//! Criterion bench: end-to-end online-learning throughput (samples/s) of
+//! the streaming STDP session, multiport vs 6T — the system-level workload
+//! whose per-update cost §4.4.1 quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::learning_curve::{learning_curve_results, learning_curve_table};
+use esam_core::{EsamSystem, OnlineLearningEngine, SystemConfig};
+use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule};
+use esam_sram::BitcellKind;
+
+fn sample_pool() -> Vec<(esam_bits::BitVec, u8)> {
+    let data = Dataset::generate(&DigitsConfig {
+        train_count: 64,
+        test_count: 1,
+        ..DigitsConfig::default()
+    })
+    .expect("dataset generates");
+    data.train.stream(1).collect()
+}
+
+fn system(cell: BitcellKind) -> EsamSystem {
+    let net = BnnNetwork::new(&[768, 10], 1).expect("valid topology");
+    let model = SnnModel::from_bnn(&net).expect("conversion");
+    let config = SystemConfig::builder(cell, &[768, 10])
+        .build()
+        .expect("valid configuration");
+    EsamSystem::from_model(&model, &config).expect("topologies match")
+}
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        learning_curve_table(&learning_curve_results(120).expect("learning curve reproduces"))
+    );
+    let samples = sample_pool();
+    let mut group = c.benchmark_group("learning_throughput");
+    for cell in [BitcellKind::multiport(4).unwrap(), BitcellKind::Std6T] {
+        let mut system = system(cell);
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(0.25, 0.05), 1);
+        let mut cursor = 0usize;
+        group.bench_function(format!("learn_sample/{cell}"), |b| {
+            b.iter(|| {
+                let (frame, label) = &samples[cursor % samples.len()];
+                cursor += 1;
+                std::hint::black_box(
+                    system
+                        .learn_sample(&mut engine, frame, *label as usize)
+                        .expect("sample learns")
+                        .cost
+                        .cycles,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

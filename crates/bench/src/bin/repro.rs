@@ -5,9 +5,10 @@
 //! ```
 //!
 //! Experiments: area, fig6, fig7, table2, arbiter, nbl, sta, transient,
-//! addertree, corners, learning, fig8, table3, accuracy, batch — or `all`.
-//! `--quick` trims the BNN training budget; `--samples` bounds the test
-//! images used by system-level experiments (default 200); `--threads` caps
+//! addertree, corners, learning, learning_curve, fig8, table3, accuracy,
+//! batch — or `all`. `--quick` trims the BNN training budget; `--samples`
+//! bounds the test images used by system-level experiments and the length
+//! of the `learning_curve` training stream (default 200); `--threads` caps
 //! the worker sweep of the `batch` experiment (default: all cores).
 
 use std::process::ExitCode;
@@ -53,7 +54,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--samples N] [--threads N] <experiment>... | all\n\
-                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners learning fig8 table3 accuracy batch"
+                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners learning learning_curve fig8 table3 accuracy batch"
                 );
                 return ExitCode::SUCCESS;
             }

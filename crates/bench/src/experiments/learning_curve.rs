@@ -1,0 +1,278 @@
+//! System-level online learning (§4.4): streaming STDP sessions that close
+//! the loop the paper costs per column — infer, derive teacher signals,
+//! update the output tile — and recover accuracy on the synthetic digit
+//! split, starting from an *untrained* readout.
+//!
+//! Both cells are taught with the same rule and seed, so their weight
+//! trajectories (and therefore their accuracies) are **bit-identical**; the
+//! experiment demonstrates the paper's functional/cost split by showing the
+//! same learning curve at a sharply different training cost (32× cycles,
+//! ~26× time; the energy gain depends on the readout's array geometry —
+//! see the table notes).
+
+use esam_core::{EsamSystem, LearningCurve, OnlineSession, SystemConfig, SystemMetrics};
+use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, Split, StdpRule, CLASSES};
+use esam_sram::BitcellKind;
+
+use crate::{BenchError, Table};
+
+/// Held-out digits used for the before/after accuracy evaluation.
+const TEST_SAMPLES: usize = 200;
+
+/// Seed of the dataset, the untrained readout and the STDP stream.
+const SEED: u64 = 7;
+
+/// The teacher-driven stochastic rule the sessions apply.
+fn rule() -> StdpRule {
+    StdpRule::new(0.4, 0.02)
+}
+
+/// One cell's training run.
+#[derive(Debug, Clone)]
+pub struct CellCurve {
+    /// The bitcell under test.
+    pub cell: BitcellKind,
+    /// Held-out accuracy of the untrained readout.
+    pub baseline_accuracy: f64,
+    /// Held-out accuracy after the online-learning session.
+    pub trained_accuracy: f64,
+    /// Accuracy-over-samples curve recorded during the session.
+    pub curve: LearningCurve,
+    /// Session metrics; `learning` carries the total training cost.
+    pub metrics: SystemMetrics,
+}
+
+/// The full experiment: the same streaming session on multiport and 6T.
+#[derive(Debug, Clone)]
+pub struct LearningCurveResults {
+    /// Training-stream length.
+    pub samples: usize,
+    /// The 4-port transposable cell's run.
+    pub multiport: CellCurve,
+    /// The 6T baseline's run.
+    pub baseline6t: CellCurve,
+}
+
+impl LearningCurveResults {
+    /// Training-time gain of the transposed port (paper's §4.4.1 class).
+    pub fn time_gain(&self) -> f64 {
+        let multi = self.multiport.metrics.learning.expect("learning ran");
+        let single = self.baseline6t.metrics.learning.expect("learning ran");
+        single.cost.latency / multi.cost.latency
+    }
+
+    /// Training-energy gain of the transposed port.
+    pub fn energy_gain(&self) -> f64 {
+        let multi = self.multiport.metrics.learning.expect("learning ran");
+        let single = self.baseline6t.metrics.learning.expect("learning ran");
+        single.cost.energy / multi.cost.energy
+    }
+}
+
+fn accuracy(system: &mut EsamSystem, split: &Split, samples: usize) -> Result<f64, BenchError> {
+    let count = samples.min(split.len());
+    let mut correct = 0usize;
+    for i in 0..count {
+        if system.infer(&split.spikes(i))?.prediction == split.label(i) as usize {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / count as f64)
+}
+
+fn run_cell(cell: BitcellKind, data: &Dataset, samples: usize) -> Result<CellCurve, BenchError> {
+    let net = BnnNetwork::new(&[esam_nn::CROPPED_PIXELS, CLASSES], SEED)?;
+    let model = SnnModel::from_bnn(&net)?;
+    let config = SystemConfig::builder(cell, &[esam_nn::CROPPED_PIXELS, CLASSES]).build()?;
+    let mut system = EsamSystem::from_model(&model, &config)?;
+
+    let baseline_accuracy = accuracy(&mut system, &data.test, TEST_SAMPLES)?;
+    // ~10 curve points regardless of the stream length.
+    let interval = (samples as u64 / 10).max(1);
+    let mut session = OnlineSession::with_curve_interval(&mut system, rule(), SEED, interval);
+    session.run_stream(data.train.stream(SEED))?;
+    let metrics = session.finalize_metrics()?;
+    let curve = session.curve().clone();
+    let trained_accuracy = accuracy(&mut system, &data.test, TEST_SAMPLES)?;
+    Ok(CellCurve {
+        cell,
+        baseline_accuracy,
+        trained_accuracy,
+        curve,
+        metrics,
+    })
+}
+
+/// Runs the experiment: stream `samples` labelled digits through an online
+/// session on an untrained 768:10 readout, once per cell.
+///
+/// # Errors
+///
+/// Propagates dataset/model/simulation errors.
+pub fn learning_curve_results(samples: usize) -> Result<LearningCurveResults, BenchError> {
+    let samples = samples.max(10);
+    let data = Dataset::generate(&DigitsConfig {
+        train_count: samples,
+        test_count: TEST_SAMPLES,
+        seed: SEED,
+        ..DigitsConfig::default()
+    })?;
+    Ok(LearningCurveResults {
+        samples,
+        multiport: run_cell(BitcellKind::multiport(4).expect("4 ports"), &data, samples)?,
+        baseline6t: run_cell(BitcellKind::Std6T, &data, samples)?,
+    })
+}
+
+/// Renders the learning curve and the multiport-vs-6T training cost.
+pub fn learning_curve_table(results: &LearningCurveResults) -> Table {
+    let mut table = Table::new(
+        "§4.4 — Online-learning session: accuracy recovery and training cost",
+        &["quantity", "multiport (1RW+4R)", "6T baseline", "gain"],
+    );
+    let multi = &results.multiport;
+    let single = &results.baseline6t;
+    table.row_owned(vec![
+        "untrained accuracy [%]".into(),
+        format!("{:.1}", 100.0 * multi.baseline_accuracy),
+        format!("{:.1}", 100.0 * single.baseline_accuracy),
+        "-".into(),
+    ]);
+    for (a, b) in multi.curve.points().iter().zip(single.curve.points()) {
+        table.row_owned(vec![
+            format!("online accuracy @ {} samples [%]", a.samples),
+            format!("{:.1}", 100.0 * a.accuracy()),
+            format!("{:.1}", 100.0 * b.accuracy()),
+            "-".into(),
+        ]);
+    }
+    table.row_owned(vec![
+        "held-out accuracy after [%]".into(),
+        format!("{:.1}", 100.0 * multi.trained_accuracy),
+        format!("{:.1}", 100.0 * single.trained_accuracy),
+        "-".into(),
+    ]);
+    let ml = multi.metrics.learning.expect("learning ran");
+    let sl = single.metrics.learning.expect("learning ran");
+    table.row_owned(vec![
+        "column updates".into(),
+        format!("{}", ml.updates),
+        format!("{}", sl.updates),
+        "-".into(),
+    ]);
+    table.row_owned(vec![
+        "training cycles".into(),
+        format!("{}", ml.cost.cycles),
+        format!("{}", sl.cost.cycles),
+        format!("{:.1}x", sl.cost.cycles as f64 / ml.cost.cycles as f64),
+    ]);
+    table.row_owned(vec![
+        "training latency".into(),
+        format!("{:.2}", ml.cost.latency),
+        format!("{:.2}", sl.cost.latency),
+        format!("{:.1}x (paper 26.0x)", results.time_gain()),
+    ]);
+    table.row_owned(vec![
+        "training energy".into(),
+        format!("{:.2}", ml.cost.energy),
+        format!("{:.2}", sl.cost.energy),
+        format!("{:.1}x (paper 19.5x)", results.energy_gain()),
+    ]);
+    table.note(
+        "same rule + seed on both cells: the weight trajectories (and accuracies) are \
+         bit-identical; only the per-update access cost differs (§4.4.1)",
+    );
+    table.note(
+        "the paper's 19.5x energy gain is quoted per 128x128 array; the 10-class readout's \
+         narrow 768x10 edge blocks dilute it (row-wise rows are only 10 cells wide) — the \
+         `learning` experiment reproduces the 128x128 figure",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> LearningCurveResults {
+        learning_curve_results(160).expect("experiment runs")
+    }
+
+    #[test]
+    fn online_learning_beats_the_untrained_baseline() {
+        let r = results();
+        assert!(
+            r.multiport.trained_accuracy > r.multiport.baseline_accuracy,
+            "accuracy must recover: {:.3} -> {:.3}",
+            r.multiport.baseline_accuracy,
+            r.multiport.trained_accuracy
+        );
+        // An untrained 10-class readout is near chance (~10%); the taught
+        // one must be far above it (1-bit template learning on the noisy
+        // 768:10 readout plateaus around 45-50%).
+        assert!(
+            r.multiport.trained_accuracy > 0.30,
+            "trained accuracy {:.3} should be far above chance",
+            r.multiport.trained_accuracy
+        );
+        assert!(
+            r.multiport.trained_accuracy > r.multiport.baseline_accuracy + 0.15,
+            "recovery must be substantial: {:.3} -> {:.3}",
+            r.multiport.baseline_accuracy,
+            r.multiport.trained_accuracy
+        );
+    }
+
+    #[test]
+    fn both_cells_learn_the_same_function() {
+        let r = results();
+        assert_eq!(
+            r.multiport.baseline_accuracy, r.baseline6t.baseline_accuracy,
+            "identical untrained readouts"
+        );
+        assert_eq!(
+            r.multiport.trained_accuracy, r.baseline6t.trained_accuracy,
+            "same rule + seed must give the same trained function"
+        );
+        assert_eq!(r.multiport.curve, r.baseline6t.curve);
+    }
+
+    #[test]
+    fn multiport_training_is_strictly_cheaper() {
+        let r = results();
+        let multi = r.multiport.metrics.learning.expect("learning ran");
+        let single = r.baseline6t.metrics.learning.expect("learning ran");
+        assert_eq!(multi.updates, single.updates);
+        assert!(multi.cost.cycles < single.cost.cycles);
+        assert!(multi.cost.latency < single.cost.latency);
+        assert!(multi.cost.energy < single.cost.energy);
+        // §4.4.1's gain classes: 32x cycles, ~26x time. The energy gain is
+        // geometry-dependent (see the table note): the narrow 768x10 edge
+        // blocks land well below the 128x128 figure but stay decisively in
+        // multiport's favour.
+        assert_eq!(
+            single.cost.cycles / multi.cost.cycles,
+            32,
+            "2x128 row-wise vs 2x4 transposed per 128-row block"
+        );
+        assert!(
+            r.time_gain() > 19.0 && r.time_gain() < 33.0,
+            "time gain {:.1}",
+            r.time_gain()
+        );
+        assert!(
+            r.energy_gain() > 4.0 && r.energy_gain() < 40.0,
+            "energy gain {:.1}",
+            r.energy_gain()
+        );
+    }
+
+    #[test]
+    fn table_renders_curve_and_costs() {
+        let table = learning_curve_table(&results());
+        assert!(table.row_count() > 8);
+        let text = table.to_string();
+        assert!(text.contains("online accuracy"));
+        assert!(text.contains("training energy"));
+    }
+}

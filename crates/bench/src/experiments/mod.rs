@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod learning;
+pub mod learning_curve;
 pub mod nbl;
 pub mod sta;
 pub mod table2;

@@ -144,6 +144,7 @@ mod tests {
             dynamic_power: Watts::from_mw(28.8),
             leakage_power: Watts::from_mw(2.1),
             area: AreaUm2::new(17_657.0),
+            learning: None,
         };
         let t = table3_table(&metrics, 97.8);
         assert_eq!(t.row_count(), 11);

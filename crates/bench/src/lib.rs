@@ -20,6 +20,7 @@
 //! | `arbiter` | §3.3 flat vs tree arbiter |
 //! | `nbl` | §4.1 array-size validity rule |
 //! | `learning` | §4.4.1 online-learning cost |
+//! | `learning_curve` | §4.4 streaming STDP session: accuracy recovery + training cost |
 //! | `fig8` | system sweep + headline gains |
 //! | `batch` | simulator batch-scaling: frames/sec vs worker threads |
 //! | `table3` | SOTA comparison |
@@ -56,7 +57,16 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 10] = [
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
-pub const SYSTEM_EXPERIMENTS: [&str; 5] = ["learning", "fig8", "table3", "accuracy", "batch"];
+/// `learning_curve` is system-level too but trains *online* from an
+/// untrained readout, so it builds no offline-trained context.
+pub const SYSTEM_EXPERIMENTS: [&str; 6] = [
+    "learning",
+    "learning_curve",
+    "fig8",
+    "table3",
+    "accuracy",
+    "batch",
+];
 
 /// Runs a list of experiments, printing each table to stdout.
 ///
@@ -126,6 +136,13 @@ pub fn run_experiments(
             "addertree" => println!("{}", experiments::addertree::addertree_table()?),
             "corners" => println!("{}", experiments::corners::corners_table()),
             "learning" => println!("{}", experiments::learning::learning_table()?),
+            "learning_curve" => {
+                let results = experiments::learning_curve::learning_curve_results(samples)?;
+                println!(
+                    "{}",
+                    experiments::learning_curve::learning_curve_table(&results)
+                );
+            }
             "batch" => {
                 let context = context.as_ref().expect("context prepared above");
                 let results = experiments::batch::batch_results(context, samples, threads)?;

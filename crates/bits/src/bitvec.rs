@@ -350,7 +350,7 @@ mod tests {
         let mut v = BitVec::new(70);
         v.set_all();
         assert_eq!(v.count_ones(), 70);
-        let w = BitVec::from_bools(&vec![true; 70]);
+        let w = BitVec::from_bools(&[true; 70]);
         assert_eq!(v, w);
     }
 

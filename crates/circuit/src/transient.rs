@@ -348,7 +348,7 @@ mod tests {
         let result = ckt.transient(5.0 * tau, tau / 500.0).unwrap();
         for factor in [0.5, 1.0, 2.0, 3.0] {
             let t = factor * tau;
-            let want = 1.0 - (-factor as f64).exp();
+            let want = 1.0 - (-factor).exp();
             let got = result.voltage_at(out, t);
             assert!(
                 (got - want).abs() < 0.01,

@@ -7,17 +7,35 @@
 //! performs the *functional* update with the stochastic 1-bit STDP rule of
 //! `esam_nn::stdp` and reports the exact cycle/time/energy cost from the
 //! arrays' access counters.
+//!
+//! Two layers sit on top of the per-column [`OnlineLearningEngine`]:
+//!
+//! * [`EsamSystem::learn_sample`] closes the loop for one labelled sample —
+//!   infer, derive teacher signals from the observed output spike frame
+//!   ([`esam_nn::derive_teacher_signals`]), update the signalled output
+//!   columns through the transposed port;
+//! * [`OnlineSession`] streams many samples, accumulating a
+//!   [`LearningTally`], a [`BatchTally`] and an accuracy-over-samples
+//!   [`LearningCurve`], and finalizes them into [`SystemMetrics`] whose
+//!   `learning` summary folds the training cost in.
+//!
+//! The functional trajectory is *cell-independent*: the same rule and seed
+//! produce bit-identical weights on multiport and 6T tiles — the cells
+//! differ only in what each update costs (the functional/cost split §4.4.1
+//! relies on, property-tested in `tests/learning_equivalence.rs`).
 
-use std::ops::Add;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 
 use esam_bits::BitVec;
-use esam_nn::{StdpRule, TeacherSignal};
+use esam_nn::{RunningAccuracy, StdpRule, TeacherSignal};
 use esam_tech::units::{Joules, Seconds};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::config::ARRAY_DIM;
 use crate::error::CoreError;
+use crate::metrics::{BatchTally, LearningTally, SystemMetrics};
 use crate::system::EsamSystem;
 use crate::tile::Tile;
 
@@ -34,15 +52,26 @@ pub struct LearningCost {
     pub bits_flipped: usize,
 }
 
+impl AddAssign for LearningCost {
+    fn add_assign(&mut self, rhs: Self) {
+        self.cycles += rhs.cycles;
+        self.latency += rhs.latency;
+        self.energy += rhs.energy;
+        self.bits_flipped += rhs.bits_flipped;
+    }
+}
+
 impl Add for LearningCost {
     type Output = Self;
-    fn add(self, rhs: Self) -> Self {
-        Self {
-            cycles: self.cycles + rhs.cycles,
-            latency: self.latency + rhs.latency,
-            energy: self.energy + rhs.energy,
-            bits_flipped: self.bits_flipped + rhs.bits_flipped,
-        }
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl Sum for LearningCost {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
     }
 }
 
@@ -177,6 +206,301 @@ impl OnlineLearningEngine {
     ) -> Result<LearningCost, CoreError> {
         let clock = system.pipeline().clock_period();
         self.teach(system.tile_mut(layer), clock, pre_spikes, neuron, signal)
+    }
+}
+
+/// What one labelled sample did to the system: the inference verdict plus
+/// the learning activity its teacher signals triggered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleOutcome {
+    /// The system's prediction *before* any weight update.
+    pub prediction: usize,
+    /// The supervising label.
+    pub label: usize,
+    /// Whether the pre-update prediction matched the label.
+    pub correct: bool,
+    /// Output columns taught (0 for a correct, unambiguous frame).
+    pub updates: usize,
+    /// Exact access cost of those updates.
+    pub cost: LearningCost,
+    /// Bottleneck-tile cycles of the triggering inference.
+    pub bottleneck_cycles: u64,
+    /// Whole-cascade cycles of the triggering inference.
+    pub total_cycles: u64,
+}
+
+/// An accuracy-over-samples learning curve.
+///
+/// Every `interval` samples a [`CurvePoint`] snapshots the *cumulative*
+/// `(samples, correct)` counts. Cumulative `u64` counts — rather than
+/// per-window accuracies — are what make shard curves mergeable exactly:
+/// [`merge_shards`](Self::merge_shards) sums the counts of point `k` across
+/// shards, in shard order, so the merged curve is independent of how many
+/// threads executed the shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningCurve {
+    interval: u64,
+    running: RunningAccuracy,
+    points: Vec<CurvePoint>,
+}
+
+/// One checkpoint of a [`LearningCurve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurvePoint {
+    /// Cumulative samples observed at this checkpoint.
+    pub samples: u64,
+    /// Cumulative correct (pre-update) predictions at this checkpoint.
+    pub correct: u64,
+}
+
+impl CurvePoint {
+    /// Cumulative accuracy at this checkpoint.
+    pub fn accuracy(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.samples as f64
+    }
+}
+
+impl LearningCurve {
+    /// Default checkpoint spacing.
+    pub const DEFAULT_INTERVAL: u64 = 25;
+
+    /// Creates an empty curve that checkpoints every `interval` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "curve interval must be non-zero");
+        Self {
+            interval,
+            running: RunningAccuracy::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Records one prediction outcome, snapshotting a point on interval
+    /// boundaries.
+    pub fn record(&mut self, correct: bool) {
+        self.running.record(correct);
+        if self.running.seen().is_multiple_of(self.interval) {
+            self.points.push(CurvePoint {
+                samples: self.running.seen(),
+                correct: self.running.correct(),
+            });
+        }
+    }
+
+    /// The checkpoint spacing.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The checkpoints recorded so far.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Cumulative accuracy over everything recorded (including samples past
+    /// the last checkpoint).
+    pub fn final_accuracy(&self) -> f64 {
+        self.running.accuracy()
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.running.seen()
+    }
+
+    /// Merges per-shard curves into one epoch curve: point `k` of the
+    /// result sums the `(samples, correct)` counts of every shard's point
+    /// `k` (shards that ended before checkpoint `k` contribute their final
+    /// counts). Point `k` therefore reads "after every shard saw up to
+    /// `k × interval` of its samples" — a pure function of the shard
+    /// curves, independent of execution interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty or the intervals disagree.
+    pub fn merge_shards(shards: &[LearningCurve]) -> LearningCurve {
+        let interval = shards
+            .first()
+            .expect("merging at least one shard curve")
+            .interval;
+        assert!(
+            shards.iter().all(|s| s.interval == interval),
+            "shard curves must share one checkpoint interval"
+        );
+        let longest = shards.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let mut running = RunningAccuracy::new();
+        let mut points = Vec::with_capacity(longest);
+        for shard in shards {
+            running.merge(&shard.running);
+        }
+        for k in 0..longest {
+            let mut samples = 0u64;
+            let mut correct = 0u64;
+            for shard in shards {
+                // A shard past its last checkpoint contributes everything
+                // it saw (its counts stopped moving).
+                let point = shard.points.get(k).copied().unwrap_or(CurvePoint {
+                    samples: shard.running.seen(),
+                    correct: shard.running.correct(),
+                });
+                samples += point.samples;
+                correct += point.correct;
+            }
+            points.push(CurvePoint { samples, correct });
+        }
+        LearningCurve {
+            interval,
+            running,
+            points,
+        }
+    }
+}
+
+/// A streaming online-learning session over one [`EsamSystem`]: the
+/// system-level workload §4.4 costs per column, closed into an actual
+/// learning loop.
+///
+/// Feed labelled samples through [`learn_sample`](Self::learn_sample) (or a
+/// whole stream through [`run_stream`](Self::run_stream)); the session runs
+/// infer → teacher derivation → transposed-port STDP for each, and
+/// accumulates the learning tally, the inference cycle tally and the
+/// accuracy-over-samples curve. [`finalize_metrics`](Self::finalize_metrics)
+/// folds everything into [`SystemMetrics`] with a populated `learning`
+/// summary.
+///
+/// # Examples
+///
+/// ```
+/// use esam_core::{EsamSystem, OnlineSession, SystemConfig};
+/// use esam_nn::{BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule};
+/// use esam_sram::BitcellKind;
+///
+/// let data = Dataset::generate(&DigitsConfig {
+///     train_count: 30, test_count: 5, ..DigitsConfig::default()
+/// })?;
+/// let net = BnnNetwork::new(&[768, 10], 3)?;
+/// let model = SnnModel::from_bnn(&net)?;
+/// let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[768, 10]).build()?;
+/// let mut system = EsamSystem::from_model(&model, &config)?;
+///
+/// let mut session = OnlineSession::new(&mut system, StdpRule::new(0.25, 0.05), 7);
+/// session.run_stream(data.train.stream(1))?;
+/// let metrics = session.finalize_metrics()?;
+/// let learning = metrics.learning.expect("a learning batch");
+/// assert_eq!(learning.samples, 30);
+/// assert!(learning.cost.cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct OnlineSession<'s> {
+    system: &'s mut EsamSystem,
+    engine: OnlineLearningEngine,
+    tally: LearningTally,
+    batch: BatchTally,
+    curve: LearningCurve,
+}
+
+impl<'s> OnlineSession<'s> {
+    /// Starts a session applying `rule` with a ChaCha stream seeded by
+    /// `seed`, teaching the system's output layer. Resets the system's
+    /// activity counters so the finalized metrics cover exactly this
+    /// session.
+    pub fn new(system: &'s mut EsamSystem, rule: StdpRule, seed: u64) -> Self {
+        Self::with_curve_interval(system, rule, seed, LearningCurve::DEFAULT_INTERVAL)
+    }
+
+    /// Like [`new`](Self::new) with an explicit curve checkpoint interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `curve_interval` is zero.
+    pub fn with_curve_interval(
+        system: &'s mut EsamSystem,
+        rule: StdpRule,
+        seed: u64,
+        curve_interval: u64,
+    ) -> Self {
+        system.reset_stats();
+        Self {
+            system,
+            engine: OnlineLearningEngine::new(rule, seed),
+            tally: LearningTally::default(),
+            batch: BatchTally::default(),
+            curve: LearningCurve::new(curve_interval),
+        }
+    }
+
+    /// Learns from one labelled sample (see [`EsamSystem::learn_sample`])
+    /// and folds the outcome into the session's tallies and curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference/teaching errors; the label must be a valid
+    /// output class.
+    pub fn learn_sample(
+        &mut self,
+        frame: &BitVec,
+        label: usize,
+    ) -> Result<SampleOutcome, CoreError> {
+        let outcome = self.system.learn_sample(&mut self.engine, frame, label)?;
+        self.tally.record(&outcome);
+        self.batch.record_outcome(&outcome);
+        self.curve.record(outcome.correct);
+        Ok(outcome)
+    }
+
+    /// Drains a sample stream through [`learn_sample`](Self::learn_sample).
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and propagates) the first per-sample error.
+    pub fn run_stream(
+        &mut self,
+        samples: impl IntoIterator<Item = (BitVec, u8)>,
+    ) -> Result<(), CoreError> {
+        for (frame, label) in samples {
+            self.learn_sample(&frame, label as usize)?;
+        }
+        Ok(())
+    }
+
+    /// The learning tally so far.
+    pub fn tally(&self) -> &LearningTally {
+        &self.tally
+    }
+
+    /// The inference-side cycle tally so far (learning counters folded in).
+    pub fn batch_tally(&self) -> &BatchTally {
+        &self.batch
+    }
+
+    /// The accuracy-over-samples curve so far.
+    pub fn curve(&self) -> &LearningCurve {
+        &self.curve
+    }
+
+    /// The system under training.
+    pub fn system(&self) -> &EsamSystem {
+        self.system
+    }
+
+    /// Derives [`SystemMetrics`] over everything the session processed;
+    /// the `learning` summary carries the training cost, and
+    /// `energy_per_inf` includes the learning writes (they advanced the
+    /// same array counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when no samples were processed;
+    /// propagates SRAM energy-model errors.
+    pub fn finalize_metrics(&self) -> Result<SystemMetrics, CoreError> {
+        self.system.finalize_metrics(&self.batch)
     }
 }
 

@@ -15,6 +15,14 @@
 //! sequential walk at any thread count (see [`metrics`] for the merge
 //! law).
 //!
+//! Online learning is a first-class workload, not just a costed micro-op:
+//! [`EsamSystem::learn_sample`] closes the loop (infer → teacher derivation
+//! → transposed-port STDP), [`OnlineSession`] streams labelled samples and
+//! records an accuracy-over-samples [`LearningCurve`], and
+//! [`BatchEngine::learn_epoch`] runs data-parallel epochs over fixed
+//! logical shards with deterministic per-shard ChaCha streams and a
+//! documented weight-merge policy (see [`WeightMergePolicy`]).
+//!
 //! # Examples
 //!
 //! Build a system, measure a batch sequentially, then re-measure it on the
@@ -62,11 +70,15 @@ pub mod system;
 pub mod tile;
 
 pub use adder_tree::{energy_crossover, sparsity_sweep, AdderTreeMacro, SparsityPoint};
-pub use batch::BatchEngine;
-pub use config::{BatchConfig, SystemConfig, SystemConfigBuilder, ARRAY_DIM};
+pub use batch::{BatchEngine, EpochResult, LabelledSample};
+pub use config::{
+    BatchConfig, EpochConfig, SystemConfig, SystemConfigBuilder, WeightMergePolicy, ARRAY_DIM,
+};
 pub use error::CoreError;
-pub use learning::{LearningCost, OnlineLearningEngine};
-pub use metrics::{BatchTally, SystemMetrics};
+pub use learning::{
+    CurvePoint, LearningCost, LearningCurve, OnlineLearningEngine, OnlineSession, SampleOutcome,
+};
+pub use metrics::{BatchTally, LearningSummary, LearningTally, SystemMetrics};
 pub use pipeline::{PipelineStage, PipelineTiming};
 pub use system::{EsamSystem, InferenceResult, SequenceResult};
 pub use tile::{Tile, TileStats, TileWeights};

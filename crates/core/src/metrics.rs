@@ -24,13 +24,17 @@ use std::fmt;
 
 use esam_tech::units::{AreaUm2, Hertz, Joules, Seconds, Watts};
 
+use crate::learning::{LearningCost, SampleOutcome};
 use crate::system::InferenceResult;
 
 /// Raw cycle tallies accumulated while running a batch (or a shard of one).
 ///
 /// This is the integer half of the merge law (see the module docs): tallies
 /// from any partition of a batch [`merge`](Self::merge) into exactly the
-/// tallies of the sequential run.
+/// tallies of the sequential run. Online-learning activity folds in through
+/// the same law — the learning fields are plain `u64` counters advanced by
+/// [`record_outcome`](Self::record_outcome) and stay zero for
+/// pure-inference batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchTally {
     /// Frames processed.
@@ -39,6 +43,15 @@ pub struct BatchTally {
     pub bottleneck_cycles: u64,
     /// Summed whole-cascade cycles (latency numerator).
     pub latency_cycles: u64,
+    /// Predictions that matched their label *before* any weight update
+    /// (online accuracy numerator; zero for unlabelled batches).
+    pub correct: u64,
+    /// Weight-column updates applied by the learning engine.
+    pub learning_updates: u64,
+    /// SRAM cycles consumed by those updates.
+    pub learning_cycles: u64,
+    /// Weight bits flipped by those updates.
+    pub learning_bits_flipped: u64,
 }
 
 impl BatchTally {
@@ -49,12 +62,87 @@ impl BatchTally {
         self.latency_cycles += result.total_cycles();
     }
 
+    /// Records one learning sample: its inference cycles *and* the learning
+    /// activity its teacher signals triggered.
+    pub fn record_outcome(&mut self, outcome: &SampleOutcome) {
+        self.frames += 1;
+        self.bottleneck_cycles += outcome.bottleneck_cycles;
+        self.latency_cycles += outcome.total_cycles;
+        self.correct += u64::from(outcome.correct);
+        self.learning_updates += outcome.updates as u64;
+        self.learning_cycles += outcome.cost.cycles;
+        self.learning_bits_flipped += outcome.cost.bits_flipped as u64;
+    }
+
     /// Adds another shard's tallies into this one (exact).
     pub fn merge(&mut self, other: &BatchTally) {
         self.frames += other.frames;
         self.bottleneck_cycles += other.bottleneck_cycles;
         self.latency_cycles += other.latency_cycles;
+        self.correct += other.correct;
+        self.learning_updates += other.learning_updates;
+        self.learning_cycles += other.learning_cycles;
+        self.learning_bits_flipped += other.learning_bits_flipped;
     }
+}
+
+/// Aggregate cost/accuracy of an online-learning run (a session or one
+/// epoch shard).
+///
+/// The integer fields merge exactly; `cost` carries the float
+/// latency/energy sums, which shard merges fold in a *fixed shard order* so
+/// any thread count reproduces the same float result (see
+/// [`BatchEngine::learn_epoch`](crate::batch::BatchEngine::learn_epoch)).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LearningTally {
+    /// Labelled samples processed.
+    pub samples: u64,
+    /// Predictions matching their label before the update.
+    pub correct: u64,
+    /// Weight-column updates applied.
+    pub updates: u64,
+    /// Total access cost of those updates.
+    pub cost: LearningCost,
+}
+
+impl LearningTally {
+    /// Records one sample outcome.
+    pub fn record(&mut self, outcome: &SampleOutcome) {
+        self.samples += 1;
+        self.correct += u64::from(outcome.correct);
+        self.updates += outcome.updates as u64;
+        self.cost += outcome.cost;
+    }
+
+    /// Adds another shard's tally into this one.
+    pub fn merge(&mut self, other: &LearningTally) {
+        self.samples += other.samples;
+        self.correct += other.correct;
+        self.updates += other.updates;
+        self.cost += other.cost;
+    }
+
+    /// Online accuracy: the fraction of samples the system predicted
+    /// correctly *before* each update (0 when empty).
+    pub fn online_accuracy(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.samples as f64
+    }
+}
+
+/// Online-learning activity folded into a [`SystemMetrics`] measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningSummary {
+    /// Labelled samples that drove learning.
+    pub samples: u64,
+    /// Weight-column updates applied.
+    pub updates: u64,
+    /// Online accuracy over the batch (prediction-before-update).
+    pub online_accuracy: f64,
+    /// Total access cost of the updates (cycles, latency, energy, flips).
+    pub cost: LearningCost,
 }
 
 /// Measured system-level metrics over a batch of inferences.
@@ -76,6 +164,11 @@ pub struct SystemMetrics {
     pub leakage_power: Watts,
     /// Total silicon area.
     pub area: AreaUm2,
+    /// Online-learning activity folded into this measurement (`None` for a
+    /// pure-inference batch). When present, the learning writes' energy is
+    /// *included* in [`energy_per_inf`](Self::energy_per_inf) — they hit
+    /// the same array counters — and broken out here.
+    pub learning: Option<LearningSummary>,
 }
 
 impl SystemMetrics {
@@ -117,6 +210,26 @@ impl SystemMetrics {
         let bottleneck_cycles = self.bottleneck_cycles * wa + other.bottleneck_cycles * wb;
         let throughput = self.clock.value() / bottleneck_cycles;
         let energy_per_inf = self.energy_per_inf * wa + other.energy_per_inf * wb;
+        let learning = match (&self.learning, &other.learning) {
+            (None, None) => None,
+            (a, b) => {
+                let a = a.unwrap_or(EMPTY_LEARNING);
+                let b = b.unwrap_or(EMPTY_LEARNING);
+                let samples = a.samples + b.samples;
+                let correct =
+                    (a.online_accuracy * a.samples as f64) + (b.online_accuracy * b.samples as f64);
+                Some(LearningSummary {
+                    samples,
+                    updates: a.updates + b.updates,
+                    online_accuracy: if samples == 0 {
+                        0.0
+                    } else {
+                        correct / samples as f64
+                    },
+                    cost: a.cost + b.cost,
+                })
+            }
+        };
         SystemMetrics {
             clock: self.clock,
             bottleneck_cycles,
@@ -126,9 +239,23 @@ impl SystemMetrics {
             dynamic_power: Watts::new(energy_per_inf.value() * throughput),
             leakage_power: self.leakage_power,
             area: self.area,
+            learning,
         }
     }
 }
+
+/// The identity element for [`LearningSummary`] folds.
+const EMPTY_LEARNING: LearningSummary = LearningSummary {
+    samples: 0,
+    updates: 0,
+    online_accuracy: 0.0,
+    cost: LearningCost {
+        cycles: 0,
+        latency: Seconds::ZERO,
+        energy: Joules::ZERO,
+        bits_flipped: 0,
+    },
+};
 
 impl fmt::Display for SystemMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -143,7 +270,20 @@ impl fmt::Display for SystemMetrics {
             self.dynamic_power,
             self.leakage_power
         )?;
-        write!(f, "area:         {:.0}", self.area)
+        write!(f, "area:         {:.0}", self.area)?;
+        if let Some(learning) = &self.learning {
+            write!(
+                f,
+                "\nlearning:     {} updates over {} samples ({:.1}% online), {} cycles, {:.2}, {:.2}",
+                learning.updates,
+                learning.samples,
+                100.0 * learning.online_accuracy,
+                learning.cost.cycles,
+                learning.cost.latency,
+                learning.cost.energy
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -163,6 +303,7 @@ mod tests {
             dynamic_power: Watts::new(Joules::from_pj(energy_pj).value() * throughput),
             leakage_power: Watts::from_mw(2.3),
             area: AreaUm2::new(20_000.0),
+            learning: None,
         }
     }
 
@@ -172,16 +313,65 @@ mod tests {
             frames: 3,
             bottleneck_cycles: 30,
             latency_cycles: 90,
+            correct: 2,
+            learning_updates: 4,
+            learning_cycles: 32,
+            learning_bits_flipped: 11,
         };
         let b = BatchTally {
             frames: 2,
             bottleneck_cycles: 25,
             latency_cycles: 70,
+            correct: 1,
+            learning_updates: 1,
+            learning_cycles: 8,
+            learning_bits_flipped: 3,
         };
         a.merge(&b);
         assert_eq!(a.frames, 5);
         assert_eq!(a.bottleneck_cycles, 55);
         assert_eq!(a.latency_cycles, 160);
+        assert_eq!(a.correct, 3);
+        assert_eq!(a.learning_updates, 5);
+        assert_eq!(a.learning_cycles, 40);
+        assert_eq!(a.learning_bits_flipped, 14);
+    }
+
+    #[test]
+    fn learning_tally_accumulates_and_merges() {
+        let outcome = SampleOutcome {
+            prediction: 3,
+            label: 5,
+            correct: false,
+            updates: 2,
+            cost: LearningCost {
+                cycles: 16,
+                latency: Seconds::from_ns(20.0),
+                energy: Joules::from_pj(4.0),
+                bits_flipped: 7,
+            },
+            bottleneck_cycles: 9,
+            total_cycles: 12,
+        };
+        let mut tally = LearningTally::default();
+        tally.record(&outcome);
+        tally.record(&SampleOutcome {
+            correct: true,
+            updates: 0,
+            cost: LearningCost::default(),
+            ..outcome
+        });
+        assert_eq!(tally.samples, 2);
+        assert_eq!(tally.correct, 1);
+        assert_eq!(tally.updates, 2);
+        assert_eq!(tally.cost.cycles, 16);
+        assert!((tally.online_accuracy() - 0.5).abs() < 1e-12);
+        let mut merged = LearningTally::default();
+        merged.merge(&tally);
+        merged.merge(&tally);
+        assert_eq!(merged.samples, 4);
+        assert_eq!(merged.cost.bits_flipped, 14);
+        assert_eq!(LearningTally::default().online_accuracy(), 0.0);
     }
 
     #[test]
@@ -200,7 +390,7 @@ mod tests {
 
     #[test]
     fn totals_and_display() {
-        let m = SystemMetrics {
+        let mut m = SystemMetrics {
             clock: Hertz::from_mhz(810.0),
             bottleneck_cycles: 17.0,
             throughput_inf_s: 44e6,
@@ -209,11 +399,51 @@ mod tests {
             dynamic_power: Watts::from_mw(26.7),
             leakage_power: Watts::from_mw(2.3),
             area: AreaUm2::new(20_000.0),
+            learning: None,
         };
         assert!((m.total_power().mw() - 29.0).abs() < 1e-9);
         assert!((m.throughput_minf_s() - 44.0).abs() < 1e-9);
         let text = m.to_string();
         assert!(text.contains("MInf/s"));
         assert!(text.contains("energy/inf"));
+        assert!(!text.contains("learning:"));
+        m.learning = Some(LearningSummary {
+            samples: 10,
+            updates: 7,
+            online_accuracy: 0.6,
+            cost: LearningCost {
+                cycles: 56,
+                latency: Seconds::from_ns(70.0),
+                energy: Joules::from_pj(12.0),
+                bits_flipped: 20,
+            },
+        });
+        let text = m.to_string();
+        assert!(text.contains("learning:"));
+        assert!(text.contains("7 updates over 10 samples"));
+    }
+
+    #[test]
+    fn metrics_merge_folds_learning_summaries() {
+        let mut a = sample(10.0, 100.0);
+        a.learning = Some(LearningSummary {
+            samples: 4,
+            updates: 3,
+            online_accuracy: 0.5,
+            cost: LearningCost {
+                cycles: 24,
+                latency: Seconds::from_ns(30.0),
+                energy: Joules::from_pj(6.0),
+                bits_flipped: 9,
+            },
+        });
+        let b = sample(10.0, 100.0); // learning: None
+        let merged = a.merge(&b, 4, 4);
+        let learning = merged.learning.expect("one side learned");
+        assert_eq!(learning.samples, 4);
+        assert_eq!(learning.updates, 3);
+        assert_eq!(learning.cost.cycles, 24);
+        assert!((learning.online_accuracy - 0.5).abs() < 1e-12);
+        assert!(sample(10.0, 100.0).merge(&b, 1, 1).learning.is_none());
     }
 }

@@ -10,13 +10,14 @@
 
 use esam_bits::BitVec;
 use esam_nn::bnn::argmax;
-use esam_nn::SnnModel;
+use esam_nn::{derive_teacher_signals, SnnModel};
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
 use crate::batch::BatchEngine;
 use crate::config::{BatchConfig, SystemConfig};
 use crate::error::CoreError;
-use crate::metrics::{BatchTally, SystemMetrics};
+use crate::learning::{LearningCost, OnlineLearningEngine, SampleOutcome};
+use crate::metrics::{BatchTally, LearningSummary, SystemMetrics};
 use crate::pipeline::PipelineTiming;
 use crate::tile::Tile;
 
@@ -29,6 +30,10 @@ pub struct InferenceResult {
     pub logits: Vec<f32>,
     /// Output-layer membrane potentials.
     pub membranes: Vec<i32>,
+    /// The output tile's fired spike frame — the observed output the
+    /// teacher derivation compares against the label during online
+    /// learning.
+    pub output_spikes: BitVec,
     /// Clock cycles each tile spent on this inference (serve + fire).
     pub per_tile_cycles: Vec<u64>,
     /// The spike frame that entered each tile (`[0]` is the input).
@@ -154,6 +159,7 @@ impl EsamSystem {
         let mut layer_inputs = vec![input.clone()];
         let mut per_tile_cycles = Vec::with_capacity(tile_count);
         let mut membranes = Vec::new();
+        let mut output_spikes = BitVec::new(0);
         let mut frame = input.clone();
         for (index, tile) in self.tiles.iter_mut().enumerate() {
             let is_output = index + 1 == tile_count;
@@ -169,7 +175,9 @@ impl EsamSystem {
             let fired = tile.finish_timestep();
             cycles += 1;
             per_tile_cycles.push(cycles);
-            if !is_output {
+            if is_output {
+                output_spikes = fired;
+            } else {
                 layer_inputs.push(fired.clone());
                 frame = fired;
             }
@@ -183,6 +191,7 @@ impl EsamSystem {
             prediction: argmax(&logits),
             logits,
             membranes,
+            output_spikes,
             per_tile_cycles,
             layer_inputs,
         })
@@ -228,6 +237,61 @@ impl EsamSystem {
         })
     }
 
+    /// Closes the online-learning loop for one labelled sample: infer,
+    /// derive teacher signals from the observed output spike frame, and
+    /// apply the signalled column updates to the *output* tile through the
+    /// learning engine (transposed port on multiport cells, row-wise RMW on
+    /// the 6T baseline).
+    ///
+    /// The observed frame is the output tile's fired spikes with the
+    /// readout winner (argmax of the logits) counted as fired too — the
+    /// emitted decision *is* an observation, which lets depression correct
+    /// a wrong winner even when no output neuron crossed its threshold. A
+    /// correct, unambiguous sample derives no signals and costs nothing.
+    ///
+    /// The functional weight trajectory depends only on the rule, the
+    /// engine's RNG stream and the sample sequence — not on the bitcell —
+    /// so multiport and 6T systems taught identically stay bit-identical in
+    /// weights and differ only in [`SampleOutcome::cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an out-of-range label and
+    /// propagates inference/teaching errors.
+    pub fn learn_sample(
+        &mut self,
+        engine: &mut OnlineLearningEngine,
+        frame: &BitVec,
+        label: usize,
+    ) -> Result<SampleOutcome, CoreError> {
+        let classes = self.output_bias.len();
+        if label >= classes {
+            return Err(CoreError::InvalidConfig(format!(
+                "label {label} out of range for {classes} output classes"
+            )));
+        }
+        let result = self.infer(frame)?;
+        let mut observed = result.output_spikes.clone();
+        observed.set(result.prediction, true);
+        let signals = derive_teacher_signals(&observed, label);
+        let layer = self.tiles.len() - 1;
+        let pre_spikes = &result.layer_inputs[layer];
+        let clock = self.pipeline.clock_period();
+        let mut cost = LearningCost::default();
+        for &(neuron, signal) in &signals {
+            cost += engine.teach(&mut self.tiles[layer], clock, pre_spikes, neuron, signal)?;
+        }
+        Ok(SampleOutcome {
+            prediction: result.prediction,
+            label,
+            correct: result.prediction == label,
+            updates: signals.len(),
+            cost,
+            bottleneck_cycles: result.bottleneck_cycles(),
+            total_cycles: result.total_cycles(),
+        })
+    }
+
     /// Resets all activity counters (weights and state are untouched).
     pub fn reset_stats(&mut self) {
         for tile in &mut self.tiles {
@@ -244,6 +308,25 @@ impl EsamSystem {
         let mut total = Joules::ZERO;
         for tile in &self.tiles {
             total += tile.dynamic_energy()?;
+        }
+        Ok(total)
+    }
+
+    /// Dynamic energy of *learning* traffic only, since the last stats
+    /// reset: the in-array counters are advanced solely by the learning
+    /// engine's transposed/row-wise accesses (inference reads count in the
+    /// tiles' per-clone mirrors), so their energy is exactly the training
+    /// share of [`accumulated_energy`](Self::accumulated_energy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM energy-model errors.
+    pub fn learning_energy(&self) -> Result<Joules, CoreError> {
+        let mut total = Joules::ZERO;
+        for tile in &self.tiles {
+            for array in tile.arrays() {
+                total += array.energy_for_stats(array.stats())?;
+            }
         }
         Ok(total)
     }
@@ -358,6 +441,26 @@ impl EsamSystem {
         let bottleneck_cycles = tally.bottleneck_cycles as f64 / n;
         let throughput = self.pipeline.throughput_for_cycles(bottleneck_cycles);
         let energy_per_inf = self.accumulated_energy()? / n;
+        // A learning batch is recognizable even when it applied zero
+        // updates: only `record_outcome` advances `correct`, and a wrong
+        // prediction always derives at least one teacher signal, so a
+        // labelled batch has `learning_updates > 0 || correct > 0` while a
+        // pure-inference batch has both at zero.
+        let learning = if tally.learning_updates == 0 && tally.correct == 0 {
+            None
+        } else {
+            Some(LearningSummary {
+                samples: tally.frames,
+                updates: tally.learning_updates,
+                online_accuracy: tally.correct as f64 / n,
+                cost: LearningCost {
+                    cycles: tally.learning_cycles,
+                    latency: self.pipeline.clock_period() * tally.learning_cycles as f64,
+                    energy: self.learning_energy()?,
+                    bits_flipped: tally.learning_bits_flipped as usize,
+                },
+            })
+        };
         Ok(SystemMetrics {
             clock: self.pipeline.clock_frequency(),
             bottleneck_cycles,
@@ -369,6 +472,7 @@ impl EsamSystem {
             dynamic_power: Watts::new(energy_per_inf.value() * throughput),
             leakage_power: self.leakage_power(),
             area: self.area(),
+            learning,
         })
     }
 
@@ -421,6 +525,19 @@ mod tests {
                 assert_eq!(hw.prediction, golden.prediction(), "{cell} seed {seed}");
                 // Hidden spike frames match too.
                 assert_eq!(hw.layer_inputs[1], golden.spikes[1], "{cell} seed {seed}");
+                // The observed output spike frame is the threshold
+                // comparison over the golden membranes (the golden model
+                // only reads the readout out, it never fires it).
+                let thresholds = model.layers().last().unwrap().thresholds();
+                for (n, (&membrane, &threshold)) in
+                    golden.membranes.iter().zip(thresholds).enumerate()
+                {
+                    assert_eq!(
+                        hw.output_spikes.get(n),
+                        membrane >= threshold,
+                        "{cell} seed {seed} output neuron {n}"
+                    );
+                }
             }
         }
     }
@@ -519,6 +636,97 @@ mod tests {
             .infer_sequence(&[clean.clone(), noisy, clean])
             .unwrap();
         assert_eq!(sequence.prediction, clean_class);
+    }
+
+    #[test]
+    fn learn_sample_closes_the_loop() {
+        use crate::learning::OnlineLearningEngine;
+        use esam_nn::StdpRule;
+
+        let (mut system, _) = small_system(BitcellKind::multiport(4).unwrap());
+        let frame = random_frame(128, 9);
+        let before = system.infer(&frame).unwrap();
+        // Teach toward a label the system neither predicts nor fires for,
+        // so the session must emit a ShouldFire for it.
+        let label = (0..10)
+            .find(|&c| c != before.prediction && !before.output_spikes.get(c))
+            .expect("an untrained readout leaves some class silent");
+        let mut engine = OnlineLearningEngine::new(StdpRule::new(1.0, 1.0), 3);
+        let outcome = system.learn_sample(&mut engine, &frame, label).unwrap();
+        assert_eq!(outcome.prediction, before.prediction);
+        assert!(!outcome.correct);
+        assert!(outcome.updates >= 1, "a wrong prediction must teach");
+        assert!(outcome.cost.cycles > 0);
+        assert_eq!(
+            outcome.bottleneck_cycles,
+            before.bottleneck_cycles(),
+            "the triggering inference's cycles are reported"
+        );
+        // Deterministic potentiation (p = 1) must align the label column
+        // with the pre-synaptic frame that entered the output tile.
+        let column = system.tiles().last().unwrap().weight_column(label);
+        for i in before.layer_inputs[1].iter_ones() {
+            assert!(column.get(i), "active input {i} must be potentiated");
+        }
+        // Learning energy is the in-array share and is now non-zero.
+        assert!(system.learning_energy().unwrap().pj() > 0.0);
+    }
+
+    #[test]
+    fn learn_sample_is_free_when_correct_and_unambiguous() {
+        use crate::learning::OnlineLearningEngine;
+        use esam_nn::StdpRule;
+
+        let (mut system, _) = small_system(BitcellKind::multiport(2).unwrap());
+        let frame = random_frame(128, 4);
+        let prediction = system.infer(&frame).unwrap();
+        // Label = prediction and no spurious output spikes → no updates.
+        if prediction.output_spikes.count_ones()
+            > usize::from(prediction.output_spikes.get(prediction.prediction))
+        {
+            return; // ambiguous frame under this seed: vacuous
+        }
+        let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 5);
+        let outcome = system
+            .learn_sample(&mut engine, &frame, prediction.prediction)
+            .unwrap();
+        assert!(outcome.correct);
+        assert_eq!(outcome.updates, 0);
+        assert_eq!(outcome.cost, crate::learning::LearningCost::default());
+    }
+
+    #[test]
+    fn finalize_keeps_the_learning_summary_for_an_all_correct_session() {
+        // A labelled batch that needed zero updates (every prediction
+        // correct and unambiguous) still finalizes with a learning
+        // summary — `None` is reserved for pure-inference batches.
+        let (system, _) = small_system(BitcellKind::multiport(2).unwrap());
+        let tally = BatchTally {
+            frames: 3,
+            bottleneck_cycles: 12,
+            latency_cycles: 30,
+            correct: 3,
+            ..BatchTally::default()
+        };
+        let metrics = system.finalize_metrics(&tally).unwrap();
+        let learning = metrics.learning.expect("labelled batch keeps its summary");
+        assert_eq!(learning.samples, 3);
+        assert_eq!(learning.updates, 0);
+        assert!((learning.online_accuracy - 1.0).abs() < 1e-12);
+        assert_eq!(learning.cost.cycles, 0);
+    }
+
+    #[test]
+    fn learn_sample_rejects_bad_label() {
+        use crate::learning::OnlineLearningEngine;
+        use esam_nn::StdpRule;
+
+        let (mut system, _) = small_system(BitcellKind::Std6T);
+        let mut engine = OnlineLearningEngine::new(StdpRule::paper_default(), 1);
+        assert!(matches!(
+            system.learn_sample(&mut engine, &random_frame(128, 1), 10),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

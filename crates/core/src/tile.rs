@@ -266,6 +266,44 @@ impl Tile {
         &mut Arc::make_mut(&mut self.weights).arrays[index]
     }
 
+    /// The full weight column of output `neuron`, assembled across row
+    /// groups (one bit per tile input) — the quantity online learning
+    /// reads, updates and merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `neuron` is out of range.
+    pub fn weight_column(&self, neuron: usize) -> BitVec {
+        assert!(
+            neuron < self.outputs,
+            "neuron {neuron} out of range for a {}-output tile",
+            self.outputs
+        );
+        let col_group = neuron / ARRAY_DIM;
+        let local_col = neuron % ARRAY_DIM;
+        let mut column = BitVec::new(self.inputs);
+        for rg in 0..self.row_groups {
+            let block = self.weights.arrays[rg * self.col_groups + col_group].bits();
+            for r in 0..block_len(self.inputs, rg) {
+                column.set(rg * ARRAY_DIM + r, block.get(r, local_col));
+            }
+        }
+        column
+    }
+
+    /// Overwrites one SRAM block's contents in place (the batch engine's
+    /// weight-merge step — an off-chip aggregation, not counted as runtime
+    /// accesses). Un-shares the weights first when necessary.
+    pub(crate) fn load_block(
+        &mut self,
+        row_group: usize,
+        col_group: usize,
+        bits: &BitMatrix,
+    ) -> Result<(), CoreError> {
+        self.array_mut(row_group, col_group).load_weights(bits)?;
+        Ok(())
+    }
+
     /// The neuron array.
     pub fn neurons(&self) -> &NeuronArray {
         &self.neurons
@@ -637,6 +675,35 @@ mod tests {
             sequential.dynamic_energy().unwrap(),
             "energy is a pure function of the merged counters"
         );
+    }
+
+    #[test]
+    fn weight_column_spans_row_groups() {
+        let mut t = tile(256, 130, BitcellKind::multiport(2).unwrap());
+        // Set one bit in each row group of output neuron 129 (col group 1).
+        t.array_mut(0, 1)
+            .transposed_write(1, &{
+                let mut v = BitVec::new(128);
+                v.set(5, true);
+                v
+            })
+            .unwrap();
+        t.array_mut(1, 1)
+            .transposed_write(1, &{
+                let mut v = BitVec::new(128);
+                v.set(7, true);
+                v
+            })
+            .unwrap();
+        let column = t.weight_column(129);
+        assert_eq!(column.len(), 256);
+        assert_eq!(column.iter_ones().collect::<Vec<_>>(), vec![5, 128 + 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn weight_column_rejects_bad_neuron() {
+        tile(128, 8, BitcellKind::Std6T).weight_column(8);
     }
 
     #[test]

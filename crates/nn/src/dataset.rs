@@ -14,6 +14,7 @@
 //! 97.64 %, not a number match.
 
 use esam_bits::BitVec;
+use rand::seq::SliceRandom;
 use rand::RngExt;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -168,7 +169,58 @@ impl Split {
             .map(|v| v.as_slice())
             .zip(self.labels.iter().copied())
     }
+
+    /// Streams the split as `(spike frame, label)` samples in a
+    /// deterministically shuffled order — the sample source online-learning
+    /// sessions consume.
+    ///
+    /// The visit order is a pure function of `seed` (Fisher–Yates through
+    /// ChaCha8), so two streams with the same seed replay the same epoch
+    /// bit-for-bit; different seeds give independent epoch orderings. Every
+    /// sample appears exactly once per stream.
+    pub fn stream(&self, seed: u64) -> SampleStream<'_> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        SampleStream {
+            split: self,
+            order,
+            cursor: 0,
+        }
+    }
 }
+
+/// A deterministic streaming source of `(spike frame, label)` samples over
+/// one [`Split`] — see [`Split::stream`].
+#[derive(Debug, Clone)]
+pub struct SampleStream<'a> {
+    split: &'a Split,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl SampleStream<'_> {
+    /// Samples not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.cursor
+    }
+}
+
+impl Iterator for SampleStream<'_> {
+    type Item = (BitVec, u8);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &index = self.order.get(self.cursor)?;
+        self.cursor += 1;
+        Some((self.split.spikes(index), self.split.label(index)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for SampleStream<'_> {}
 
 /// The full synthetic dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -451,6 +503,34 @@ mod tests {
             spikes.count_ones(),
             data.test.image(0).iter().filter(|&&p| p > 0.5).count()
         );
+    }
+
+    #[test]
+    fn stream_visits_every_sample_once_deterministically() {
+        let config = DigitsConfig {
+            train_count: 40,
+            test_count: 5,
+            ..DigitsConfig::default()
+        };
+        let data = Dataset::generate(&config).unwrap();
+        let a: Vec<(BitVec, u8)> = data.train.stream(3).collect();
+        let b: Vec<(BitVec, u8)> = data.train.stream(3).collect();
+        assert_eq!(a, b, "same seed must replay the same epoch");
+        assert_eq!(a.len(), 40);
+        // Every sample appears exactly once: label multiset matches the split.
+        let mut streamed: Vec<u8> = a.iter().map(|(_, l)| *l).collect();
+        let mut direct: Vec<u8> = (0..data.train.len()).map(|i| data.train.label(i)).collect();
+        streamed.sort_unstable();
+        direct.sort_unstable();
+        assert_eq!(streamed, direct);
+        // A different seed reorders (40 samples make a collision vanishingly
+        // unlikely with distinct shuffles).
+        let c: Vec<(BitVec, u8)> = data.train.stream(4).collect();
+        assert_ne!(a, c, "different seeds must reorder the epoch");
+        let mut stream = data.train.stream(0);
+        assert_eq!(stream.len(), 40);
+        stream.next();
+        assert_eq!(stream.remaining(), 39);
     }
 
     #[test]

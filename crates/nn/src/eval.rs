@@ -51,6 +51,54 @@ impl ConfusionMatrix {
     }
 }
 
+/// Streaming accuracy accumulator for online-learning curves.
+///
+/// Counts are plain `u64` sums, so accumulators from disjoint sample shards
+/// [`merge`](Self::merge) exactly — the same integer-merge law the batch
+/// engine relies on for inference counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunningAccuracy {
+    seen: u64,
+    correct: u64,
+}
+
+impl RunningAccuracy {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction outcome.
+    pub fn record(&mut self, correct: bool) {
+        self.seen += 1;
+        self.correct += u64::from(correct);
+    }
+
+    /// Samples observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Correct predictions so far.
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Accuracy over everything observed (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.seen as f64
+    }
+
+    /// Adds another shard's counts into this one (exact).
+    pub fn merge(&mut self, other: &RunningAccuracy) {
+        self.seen += other.seen;
+        self.correct += other.correct;
+    }
+}
+
 /// Evaluates the BNN on a dataset split.
 ///
 /// # Errors
@@ -94,6 +142,24 @@ mod tests {
         assert_eq!(m.total(), 3);
         assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(ConfusionMatrix::new(2).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn running_accuracy_counts_and_merges_exactly() {
+        let mut a = RunningAccuracy::new();
+        a.record(true);
+        a.record(false);
+        a.record(true);
+        assert_eq!(a.seen(), 3);
+        assert_eq!(a.correct(), 2);
+        assert!((a.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        let mut b = RunningAccuracy::new();
+        b.record(false);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.seen(), 4);
+        assert_eq!(merged.correct(), 2);
+        assert_eq!(RunningAccuracy::default().accuracy(), 0.0);
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //! * [`convert`] — lossless mapping onto SRAM bits and integer thresholds,
 //!   bit-exact with the BNN by construction;
 //! * [`stdp`] — the stochastic 1-bit STDP rule (ref \[16\]) that the online
-//!   learning engine applies through the transposed port;
-//! * [`eval`] — accuracy and confusion-matrix utilities.
+//!   learning engine applies through the transposed port, plus the teacher
+//!   derivation ([`derive_teacher_signals`]) mapping a label and an observed
+//!   output spike frame to per-neuron update directions;
+//! * [`eval`] — accuracy and confusion-matrix utilities, including the
+//!   [`RunningAccuracy`] accumulator behind learning curves.
+//!
+//! Online-learning sessions consume samples through [`Split::stream`], a
+//! deterministically shuffled `(spike frame, label)` iterator.
 //!
 //! # Examples
 //!
@@ -53,9 +59,11 @@ pub mod train;
 
 pub use bnn::{BnnLayer, BnnNetwork, ForwardTrace};
 pub use convert::{SnnLayer, SnnModel, SnnTrace};
-pub use dataset::{corner_crop, Dataset, DigitsConfig, Split, CLASSES, CROPPED_PIXELS};
+pub use dataset::{
+    corner_crop, Dataset, DigitsConfig, SampleStream, Split, CLASSES, CROPPED_PIXELS,
+};
 pub use error::NnError;
-pub use eval::{evaluate_bnn, evaluate_snn, ConfusionMatrix};
+pub use eval::{evaluate_bnn, evaluate_snn, ConfusionMatrix, RunningAccuracy};
 pub use idx::{load_mnist_dir, read_idx, write_idx, MNIST_FILES};
-pub use stdp::{StdpRule, TeacherSignal};
+pub use stdp::{derive_teacher_signals, StdpRule, TeacherSignal};
 pub use train::{TrainConfig, TrainReport, Trainer};

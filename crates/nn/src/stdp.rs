@@ -128,6 +128,41 @@ impl Default for StdpRule {
     }
 }
 
+/// Derives the per-output-neuron teacher signals implied by a `label` and
+/// the observed output spike frame.
+///
+/// The supervision rule is the one the digit-adaptation experiments use:
+/// the labelled neuron should have fired — if it stayed silent it gets a
+/// [`TeacherSignal::ShouldFire`] — and every *other* neuron that fired did
+/// so spuriously and gets a [`TeacherSignal::ShouldNotFire`]. A correct,
+/// unambiguous frame (only the labelled neuron fired) yields no signals at
+/// all, which is what makes teacher-driven learning self-terminating.
+///
+/// The order is deterministic: the labelled neuron first (when silent),
+/// then spurious neurons in ascending index order — callers that spend RNG
+/// per update rely on this for reproducibility.
+///
+/// # Panics
+///
+/// Panics when `label` is not a valid index into `observed`.
+pub fn derive_teacher_signals(observed: &BitVec, label: usize) -> Vec<(usize, TeacherSignal)> {
+    assert!(
+        label < observed.len(),
+        "label {label} out of range for a {}-neuron output frame",
+        observed.len()
+    );
+    let mut signals = Vec::new();
+    if !observed.get(label) {
+        signals.push((label, TeacherSignal::ShouldFire));
+    }
+    for neuron in observed.iter_ones() {
+        if neuron != label {
+            signals.push((neuron, TeacherSignal::ShouldNotFire));
+        }
+    }
+    signals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +261,51 @@ mod tests {
     #[should_panic(expected = "probabilities")]
     fn bad_probability_panics() {
         StdpRule::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn teacher_signals_for_a_correct_frame_are_empty() {
+        let observed = BitVec::from_indices(10, &[3]);
+        assert!(derive_teacher_signals(&observed, 3).is_empty());
+    }
+
+    #[test]
+    fn teacher_signals_potentiate_the_silent_label() {
+        let observed = BitVec::new(10);
+        assert_eq!(
+            derive_teacher_signals(&observed, 4),
+            vec![(4, TeacherSignal::ShouldFire)]
+        );
+    }
+
+    #[test]
+    fn teacher_signals_depress_spurious_spikes_in_order() {
+        let observed = BitVec::from_indices(10, &[1, 4, 8]);
+        assert_eq!(
+            derive_teacher_signals(&observed, 4),
+            vec![
+                (1, TeacherSignal::ShouldNotFire),
+                (8, TeacherSignal::ShouldNotFire),
+            ]
+        );
+    }
+
+    #[test]
+    fn teacher_signals_combine_both_directions_label_first() {
+        let observed = BitVec::from_indices(10, &[0, 9]);
+        assert_eq!(
+            derive_teacher_signals(&observed, 5),
+            vec![
+                (5, TeacherSignal::ShouldFire),
+                (0, TeacherSignal::ShouldNotFire),
+                (9, TeacherSignal::ShouldNotFire),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn teacher_signals_reject_bad_label() {
+        derive_teacher_signals(&BitVec::new(10), 10);
     }
 }

@@ -123,9 +123,9 @@ proptest! {
     ) {
         // Any sub-array of the paper's 128×128 has shorter lines: its access
         // time and per-op energy cannot exceed the full array's.
-        prop_assume!(rows % 4 == 0 || rows < 4);
+        prop_assume!(rows.is_multiple_of(4) || rows < 4);
         let cell = BitcellKind::multiport(4).unwrap();
-        let mux = if rows % 4 == 0 { 4 } else { 1 };
+        let mux = if rows.is_multiple_of(4) { 4 } else { 1 };
         let small = ArrayConfig::builder(rows, cols, cell).mux_ratio(mux).build().unwrap();
         let full = ArrayConfig::paper_default(cell);
         let t_small = TimingAnalysis::new(&small).inference_read().total();

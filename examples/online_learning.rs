@@ -104,14 +104,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             // The spikes that actually entered the output tile.
             let pre = result.layer_inputs[output_layer].clone();
-            total = total
-                + engine.teach_system(
-                    &mut system,
-                    output_layer,
-                    &pre,
-                    target,
-                    TeacherSignal::ShouldFire,
-                )?;
+            total += engine.teach_system(
+                &mut system,
+                output_layer,
+                &pre,
+                target,
+                TeacherSignal::ShouldFire,
+            )?;
             updates += 1;
         }
         println!(

@@ -58,8 +58,9 @@ pub mod prelude {
     pub use esam_arbiter::{EncoderStructure, MultiPortArbiter};
     pub use esam_bits::{BitMatrix, BitVec};
     pub use esam_core::{
-        BatchConfig, BatchEngine, EsamSystem, InferenceResult, LearningCost, OnlineLearningEngine,
-        PipelineTiming, SystemConfig, SystemMetrics, Tile,
+        BatchConfig, BatchEngine, EpochConfig, EsamSystem, InferenceResult, LearningCost,
+        LearningCurve, OnlineLearningEngine, OnlineSession, PipelineTiming, SystemConfig,
+        SystemMetrics, Tile, WeightMergePolicy,
     };
     pub use esam_neuron::{IfNeuron, NeuronArray, NeuronConfig};
     pub use esam_nn::{

@@ -34,14 +34,14 @@ fn full_pipeline_learns_converts_and_simulates() {
     let (data, net, model) = trained_pipeline();
 
     // Training reached usable accuracy on the easy synthetic set.
-    let bnn_accuracy = evaluate_bnn(&net, &data.test).unwrap().accuracy();
+    let bnn_accuracy = evaluate_bnn(net, &data.test).unwrap().accuracy();
     assert!(
         bnn_accuracy > 0.70,
         "BNN accuracy {bnn_accuracy:.3} too low"
     );
 
     // Conversion is lossless.
-    let snn_accuracy = evaluate_snn(&model, &data.test).unwrap().accuracy();
+    let snn_accuracy = evaluate_snn(model, &data.test).unwrap().accuracy();
     assert!(
         (bnn_accuracy - snn_accuracy).abs() < 1e-12,
         "conversion must be bit-exact: {bnn_accuracy} vs {snn_accuracy}"
@@ -52,7 +52,7 @@ fn full_pipeline_learns_converts_and_simulates() {
 
     // The hardware simulation agrees sample-by-sample with the golden model.
     let config = SystemConfig::paper_default(BitcellKind::multiport(4).unwrap());
-    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+    let mut system = EsamSystem::from_model(model, &config).unwrap();
     for i in 0..40 {
         let frame = data.test.spikes(i);
         let hw = system.infer(&frame).unwrap();
@@ -91,9 +91,9 @@ fn headline_gains_reproduce_on_the_trained_network() {
     let frames: Vec<BitVec> = (0..50).map(|i| data.test.spikes(i)).collect();
 
     let mut single =
-        EsamSystem::from_model(&model, &SystemConfig::paper_default(BitcellKind::Std6T)).unwrap();
+        EsamSystem::from_model(model, &SystemConfig::paper_default(BitcellKind::Std6T)).unwrap();
     let mut multi = EsamSystem::from_model(
-        &model,
+        model,
         &SystemConfig::paper_default(BitcellKind::multiport(4).unwrap()),
     )
     .unwrap();

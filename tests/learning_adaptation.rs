@@ -124,6 +124,51 @@ fn transposed_beats_rowwise_by_the_paper_margins() {
 }
 
 #[test]
+fn online_learning_beats_the_untrained_baseline_on_digits() {
+    // The acceptance property of the streaming-session workload: an
+    // *untrained* 768:10 readout taught online (infer → teacher derivation
+    // → transposed-port STDP) must end up measurably better than it
+    // started on the synthetic digit split.
+    let data = Dataset::generate(&DigitsConfig {
+        train_count: 150,
+        test_count: 100,
+        ..DigitsConfig::default()
+    })
+    .unwrap();
+    let net = BnnNetwork::new(&[768, 10], 7).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[768, 10])
+        .build()
+        .unwrap();
+    let mut system = EsamSystem::from_model(&model, &config).unwrap();
+
+    let accuracy = |system: &mut EsamSystem| {
+        let correct = (0..data.test.len())
+            .filter(|&i| {
+                system.infer(&data.test.spikes(i)).unwrap().prediction
+                    == data.test.label(i) as usize
+            })
+            .count();
+        correct as f64 / data.test.len() as f64
+    };
+    let before = accuracy(&mut system);
+
+    let mut session = OnlineSession::new(&mut system, StdpRule::new(0.4, 0.02), 7);
+    session.run_stream(data.train.stream(7)).unwrap();
+    let metrics = session.finalize_metrics().unwrap();
+    let learning = metrics.learning.expect("the session learned");
+    assert!(learning.updates > 0);
+    assert!(learning.cost.cycles > 0);
+    assert_eq!(learning.samples, 150);
+
+    let after = accuracy(&mut system);
+    assert!(
+        after > before,
+        "online learning must beat the untrained baseline ({before:.3} -> {after:.3})"
+    );
+}
+
+#[test]
 fn learning_preserves_unrelated_columns() {
     let mut system = system_with(BitcellKind::multiport(2).unwrap());
     let before: Vec<BitVec> = (0..10)

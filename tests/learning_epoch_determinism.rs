@@ -1,0 +1,104 @@
+//! Determinism of the data-parallel learning epoch: for a fixed seed and
+//! shard count, `BatchEngine::learn_epoch` must produce the **same final
+//! weights and the same learning curve at 1, 2, 4 and 7 threads** — shard
+//! partitions and per-shard ChaCha streams (`seed ⊕ shard`) are fixed by
+//! the epoch config, threads only execute them. The sequential merge
+//! policy must additionally reproduce a plain streaming session bit for
+//! bit.
+
+use esam::prelude::*;
+use esam_core::{EpochConfig, OnlineSession, WeightMergePolicy};
+use proptest::prelude::*;
+
+fn system(seed: u64) -> EsamSystem {
+    let net = BnnNetwork::new(&[96, 40, 8], seed).expect("valid topology");
+    let model = SnnModel::from_bnn(&net).expect("conversion");
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[96, 40, 8])
+        .build()
+        .expect("valid configuration");
+    EsamSystem::from_model(&model, &config).expect("topologies match")
+}
+
+fn output_weights(system: &EsamSystem) -> Vec<BitVec> {
+    let tile = system.tiles().last().expect("output tile");
+    (0..tile.outputs()).map(|n| tile.weight_column(n)).collect()
+}
+
+fn samples_strategy(max: usize) -> impl Strategy<Value = Vec<(BitVec, u8)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<bool>(), 96).prop_map(|bits| BitVec::from_bools(&bits)),
+            0u8..8,
+        ),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn majority_epoch_is_deterministic_for_1_2_4_7_threads(
+        net_seed in 0u64..500,
+        epoch_seed in 0u64..500,
+        shards in 1usize..6,
+        samples in samples_strategy(24),
+    ) {
+        let epoch = EpochConfig::new(StdpRule::new(0.5, 0.2), epoch_seed)
+            .shards(shards)
+            .curve_interval(3);
+        let mut reference: Option<(Vec<BitVec>, esam_core::EpochResult)> = None;
+        for threads in [1usize, 2, 4, 7] {
+            let mut target = system(net_seed);
+            let mut engine = BatchEngine::new(&target, &BatchConfig::with_threads(threads));
+            let result = engine
+                .learn_epoch(&mut target, &samples, &epoch)
+                .expect("epoch runs");
+            let weights = output_weights(&target);
+            match &reference {
+                None => reference = Some((weights, result)),
+                Some((expected_weights, expected_result)) => {
+                    prop_assert_eq!(&weights, expected_weights,
+                        "{} threads changed the final weights", threads);
+                    prop_assert_eq!(&result, expected_result,
+                        "{} threads changed the tally/curve", threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_policy_reproduces_a_streaming_session(
+        net_seed in 0u64..500,
+        epoch_seed in 0u64..500,
+        samples in samples_strategy(16),
+    ) {
+        let epoch = EpochConfig::new(StdpRule::new(0.4, 0.1), epoch_seed)
+            .merge_policy(WeightMergePolicy::Sequential)
+            .curve_interval(4);
+
+        let mut reference = system(net_seed);
+        let mut session = OnlineSession::with_curve_interval(
+            &mut reference,
+            epoch.rule(),
+            epoch.seed(),
+            epoch.curve_interval_samples(),
+        );
+        for (frame, label) in &samples {
+            session.learn_sample(frame, *label as usize).expect("session sample");
+        }
+        let expected_tally = *session.tally();
+        let expected_curve = session.curve().clone();
+
+        for threads in [1usize, 4] {
+            let mut target = system(net_seed);
+            let mut engine = BatchEngine::new(&target, &BatchConfig::with_threads(threads));
+            let result = engine
+                .learn_epoch(&mut target, &samples, &epoch)
+                .expect("epoch runs");
+            prop_assert_eq!(result.tally, expected_tally);
+            prop_assert_eq!(&result.curve, &expected_curve);
+            prop_assert_eq!(output_weights(&target), output_weights(&reference));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The functional/cost split the paper's §4.4 relies on, as a property:
+//! teaching with the same rule and seed produces **bit-identical weight
+//! matrices** on multiport and 6T tiles — the bitcell decides only what the
+//! update *costs* (cycles/latency/energy), never what it *computes*. This
+//! is what lets the repo quote one learning curve for both cells while
+//! comparing their training budgets.
+
+use esam::prelude::*;
+use esam_core::OnlineSession;
+use proptest::prelude::*;
+
+fn system(seed: u64, cell: BitcellKind) -> EsamSystem {
+    let net = BnnNetwork::new(&[96, 40, 8], seed).expect("valid topology");
+    let model = SnnModel::from_bnn(&net).expect("conversion");
+    let config = SystemConfig::builder(cell, &[96, 40, 8])
+        .build()
+        .expect("valid configuration");
+    EsamSystem::from_model(&model, &config).expect("topologies match")
+}
+
+fn all_weight_matrices(system: &EsamSystem) -> Vec<Vec<BitVec>> {
+    system
+        .tiles()
+        .iter()
+        .map(|tile| (0..tile.outputs()).map(|n| tile.weight_column(n)).collect())
+        .collect()
+}
+
+/// Random labelled frames of the given width.
+fn samples_strategy(width: usize, max: usize) -> impl Strategy<Value = Vec<(BitVec, u8)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<bool>(), width)
+                .prop_map(|bits| BitVec::from_bools(&bits)),
+            0u8..8,
+        ),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn teach_is_bit_identical_across_cells(
+        net_seed in 0u64..500,
+        rng_seed in 0u64..500,
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 96)
+                .prop_map(|bits| BitVec::from_bools(&bits)),
+            1..6,
+        ),
+        neuron in 0usize..8,
+    ) {
+        let mut multi = system(net_seed, BitcellKind::multiport(4).unwrap());
+        let mut single = system(net_seed, BitcellKind::Std6T);
+        let mut multi_engine = OnlineLearningEngine::new(StdpRule::paper_default(), rng_seed);
+        let mut single_engine = OnlineLearningEngine::new(StdpRule::paper_default(), rng_seed);
+        let mut multi_cost = LearningCost::default();
+        let mut single_cost = LearningCost::default();
+        for (i, frame) in frames.iter().enumerate() {
+            let signal = if i % 2 == 0 {
+                TeacherSignal::ShouldFire
+            } else {
+                TeacherSignal::ShouldNotFire
+            };
+            // Teach the output layer through each cell's own access path.
+            let pre = multi.infer(frame).expect("inference").layer_inputs[1].clone();
+            multi_cost += multi_engine
+                .teach_system(&mut multi, 1, &pre, neuron, signal)
+                .expect("multiport teach");
+            single_cost += single_engine
+                .teach_system(&mut single, 1, &pre, neuron, signal)
+                .expect("6T teach");
+        }
+        // Same functional result, bit for bit, on every layer.
+        prop_assert_eq!(all_weight_matrices(&multi), all_weight_matrices(&single));
+        prop_assert_eq!(multi_cost.bits_flipped, single_cost.bits_flipped);
+        // Only the access cost differs — and strictly, whenever anything
+        // was accessed at all (updates always read, even flipping nothing).
+        prop_assert!(multi_cost.cycles < single_cost.cycles);
+        prop_assert!(multi_cost.latency < single_cost.latency);
+        prop_assert!(multi_cost.energy < single_cost.energy);
+    }
+
+    #[test]
+    fn learning_sessions_are_bit_identical_across_cells(
+        net_seed in 0u64..500,
+        rng_seed in 0u64..500,
+        samples in samples_strategy(96, 10),
+    ) {
+        let mut multi = system(net_seed, BitcellKind::multiport(2).unwrap());
+        let mut single = system(net_seed, BitcellKind::Std6T);
+        let rule = StdpRule::new(0.5, 0.2);
+
+        let mut multi_session = OnlineSession::new(&mut multi, rule, rng_seed);
+        for (frame, label) in &samples {
+            multi_session.learn_sample(frame, *label as usize).expect("multiport sample");
+        }
+        let multi_tally = *multi_session.tally();
+        let multi_curve = multi_session.curve().clone();
+
+        let mut single_session = OnlineSession::new(&mut single, rule, rng_seed);
+        for (frame, label) in &samples {
+            single_session.learn_sample(frame, *label as usize).expect("6T sample");
+        }
+        let single_tally = *single_session.tally();
+        let single_curve = single_session.curve().clone();
+
+        // Identical functional trajectory: same weights, same predictions,
+        // same flip counts, same curve.
+        prop_assert_eq!(all_weight_matrices(&multi), all_weight_matrices(&single));
+        prop_assert_eq!(multi_tally.samples, single_tally.samples);
+        prop_assert_eq!(multi_tally.correct, single_tally.correct);
+        prop_assert_eq!(multi_tally.updates, single_tally.updates);
+        prop_assert_eq!(multi_tally.cost.bits_flipped, single_tally.cost.bits_flipped);
+        prop_assert_eq!(&multi_curve, &single_curve);
+        // Different cost whenever any column was actually updated.
+        if multi_tally.updates > 0 {
+            prop_assert!(multi_tally.cost.cycles < single_tally.cost.cycles);
+            prop_assert!(multi_tally.cost.energy < single_tally.cost.energy);
+        } else {
+            prop_assert_eq!(multi_tally.cost.cycles, 0);
+            prop_assert_eq!(single_tally.cost.cycles, 0);
+        }
+    }
+}

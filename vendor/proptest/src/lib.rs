@@ -383,6 +383,10 @@ macro_rules! __proptest_fns {
             let config: $crate::ProptestConfig = $cfg;
             for case in 0..config.cases {
                 let mut __proptest_rng = $crate::TestRng::for_case(case);
+                // An immediately-called closure gives `?`/early-return
+                // semantics per case (clippy flags the idiom, but it is
+                // the point here).
+                #[allow(clippy::redundant_closure_call)]
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                     $(let $pat = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
                     $body
