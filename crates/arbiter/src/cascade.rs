@@ -138,6 +138,43 @@ impl MultiPortArbiter {
         }
     }
 
+    /// Serves up to `ports` requests *in place* — the allocation-free hot
+    /// path behind [`arbitrate`](Self::arbitrate).
+    ///
+    /// Granted indices are appended to `granted` (cleared first) in
+    /// priority order and their bits are cleared from `requests`, which is
+    /// left holding exactly the remainder `R'` the cascade would produce.
+    /// Because bit 0 — the leftmost, highest-priority request — is the LSB
+    /// of the first storage word, the fixed-priority scan is a
+    /// `trailing_zeros` walk over the packed words: bit-identical to `p`
+    /// chained encoder passes, without materializing the intermediate
+    /// masked vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vector width does not match the arbiter width.
+    pub fn arbitrate_into(&self, requests: &mut BitVec, granted: &mut Vec<usize>) {
+        assert_eq!(
+            requests.len(),
+            self.width(),
+            "request vector width {} does not match arbiter width {}",
+            requests.len(),
+            self.width()
+        );
+        granted.clear();
+        let ports = self.ports;
+        for (wi, word) in requests.words_mut().iter_mut().enumerate() {
+            while *word != 0 {
+                if granted.len() == ports {
+                    return;
+                }
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1; // clear the granted (lowest set) bit
+                granted.push(wi * BitVec::WORD_BITS + bit);
+            }
+        }
+    }
+
     /// Critical path of one arbitration cycle: the first encoder pass plus
     /// the per-port cascade increment for each additional port.
     pub fn critical_path(&self) -> Seconds {
@@ -229,6 +266,28 @@ mod tests {
         }
         assert_eq!(served, total);
         assert_eq!(cycles, total.div_ceil(4));
+    }
+
+    #[test]
+    fn arbitrate_into_matches_cascaded_encoders() {
+        let arbiter = MultiPortArbiter::paper_default();
+        let mut granted = Vec::with_capacity(arbiter.ports());
+        for seed in 0..60usize {
+            let indices: Vec<usize> = (0..seed % 9).map(|k| (seed * 17 + k * 29) % 128).collect();
+            let requests = BitVec::from_indices(128, &indices);
+            let reference = arbiter.arbitrate(&requests);
+            let mut in_place = requests.clone();
+            arbiter.arbitrate_into(&mut in_place, &mut granted);
+            assert_eq!(granted.as_slice(), reference.granted(), "seed {seed}");
+            assert_eq!(&in_place, reference.remaining(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match arbiter width")]
+    fn arbitrate_into_rejects_wrong_width() {
+        let mut requests = BitVec::new(64);
+        MultiPortArbiter::paper_default().arbitrate_into(&mut requests, &mut Vec::new());
     }
 
     #[test]

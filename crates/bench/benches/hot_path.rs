@@ -1,0 +1,80 @@
+//! Criterion bench for the word-parallel inference hot path.
+//!
+//! Three tiers, so a regression can be localized in one run:
+//!
+//! * `neuron_integrate` — the `NeuronArray` word-parallel ±1 decode alone;
+//! * `tile_step` — one tile clock cycle (arbitration + SRAM reads + row
+//!   assembly + integration) under a saturated request register;
+//! * `frame_pipeline` — a full frame through the paper-default
+//!   768:256:256:256:10 cascade (`EsamSystem::infer`).
+//!
+//! The workload is synthetic and deterministic (seed-initialized BNN,
+//! fixed-stride frames): no dataset, no training, comparable run to run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bits::BitVec;
+use esam_core::{EsamSystem, SystemConfig, Tile};
+use esam_neuron::{NeuronArray, NeuronConfig};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_sram::BitcellKind;
+
+fn frame(width: usize, seed: usize) -> BitVec {
+    let mut f = BitVec::new(width);
+    for k in 0..width / 5 {
+        f.set((seed * 131 + k * 17) % width, true);
+    }
+    f
+}
+
+fn bench(c: &mut Criterion) {
+    let cell = BitcellKind::multiport(4).unwrap();
+
+    // --- neuron_integrate: 256 columns, 4 valid port rows per cycle.
+    let mut neurons = NeuronArray::with_uniform_threshold(NeuronConfig::paper_default(), 256, 8);
+    let rows: Vec<BitVec> = (0..4).map(|p| frame(256, p + 1)).collect();
+    let valid = [true; 4];
+    c.bench_function("neuron_integrate", |b| {
+        b.iter(|| {
+            neurons.integrate(&rows, &valid);
+            std::hint::black_box(neurons.membranes().len())
+        })
+    });
+
+    // --- tile_step: a 768:256 tile (6 arbiters × 2 column groups) with a
+    // re-injected dense frame so every step serves a full grant set.
+    let net = BnnNetwork::new(&[768, 256], 7).expect("valid topology");
+    let model = SnnModel::from_bnn(&net).expect("conversion");
+    let config = SystemConfig::builder(cell, &[768, 256])
+        .build()
+        .expect("valid configuration");
+    let mut tile = Tile::new(768, 256, &config).expect("tile");
+    tile.load_layer(&model.layers()[0]).expect("load");
+    let dense = frame(768, 3);
+    c.bench_function("tile_step", |b| {
+        b.iter(|| {
+            if tile.is_drained() {
+                tile.inject(&dense).expect("inject");
+            }
+            std::hint::black_box(tile.step().expect("step"))
+        })
+    });
+
+    // --- frame_pipeline: full paper-default cascade, one frame.
+    let topology = [768usize, 256, 256, 256, 10];
+    let net = BnnNetwork::new(&topology, 0xE5A).expect("valid topology");
+    let model = SnnModel::from_bnn(&net).expect("conversion");
+    let config = SystemConfig::builder(cell, &topology)
+        .build()
+        .expect("valid configuration");
+    let mut system = EsamSystem::from_model(&model, &config).expect("system");
+    let input = frame(768, 11);
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(20);
+    group.bench_function("frame_pipeline", |b| {
+        b.iter(|| std::hint::black_box(system.infer(&input).expect("infer").prediction))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

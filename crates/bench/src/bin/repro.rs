@@ -1,15 +1,17 @@
 //! `repro` — regenerate the ESAM paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--samples N] [--threads N] <experiment>... | all
+//! repro [--quick] [--json] [--samples N] [--threads N] <experiment>... | all
 //! ```
 //!
 //! Experiments: area, fig6, fig7, table2, arbiter, nbl, sta, transient,
-//! addertree, corners, learning, learning_curve, fig8, table3, accuracy,
-//! batch — or `all`. `--quick` trims the BNN training budget; `--samples`
-//! bounds the test images used by system-level experiments and the length
-//! of the `learning_curve` training stream (default 200); `--threads` caps
-//! the worker sweep of the `batch` experiment (default: all cores).
+//! addertree, corners, hot_path, learning, learning_curve, fig8, table3,
+//! accuracy, batch — or `all`. `--quick` trims the BNN training budget;
+//! `--samples` bounds the test images used by system-level experiments and
+//! the length of the `learning_curve` training stream (default 200);
+//! `--threads` caps the worker sweep of the `batch` experiment (default:
+//! all cores); `--json` emits machine-readable output for experiments that
+//! support it (currently `hot_path`).
 
 use std::process::ExitCode;
 
@@ -19,12 +21,14 @@ fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
     let mut samples = 200usize;
     let mut threads = 0usize; // 0 = available parallelism
+    let mut json = false;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => fidelity = Fidelity::Quick,
+            "--json" => json = true,
             "--samples" => {
                 let Some(value) = args.next() else {
                     eprintln!("--samples needs a value");
@@ -53,8 +57,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--samples N] [--threads N] <experiment>... | all\n\
-                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners learning learning_curve fig8 table3 accuracy batch"
+                    "usage: repro [--quick] [--json] [--samples N] [--threads N] <experiment>... | all\n\
+                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners hot_path learning learning_curve fig8 table3 accuracy batch"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -65,7 +69,7 @@ fn main() -> ExitCode {
         ids.push("all".to_string());
     }
 
-    match run_experiments(&ids, fidelity, samples, threads) {
+    match run_experiments(&ids, fidelity, samples, threads, json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro failed: {e}");

@@ -1,0 +1,177 @@
+//! Hot-path throughput experiment: simulator frames/sec on the
+//! word-parallel inference datapath.
+//!
+//! Unlike the modeled-silicon experiments this measures the *simulator*
+//! itself: how many spike frames per wall-clock second the sequential
+//! `EsamSystem::infer` walk serves on the paper's 768:256:256:256:10
+//! system, per cell kind. The numbers are the perf trajectory future PRs
+//! compare against (`repro hot_path --json` emits them machine-readable),
+//! so regressions in the bits/sram/neuron/core hot path show up as a
+//! dropped frames/s figure rather than an anecdote.
+//!
+//! The workload is synthetic and deterministic — an untrained
+//! seed-initialized BNN and fixed ~20 %-density frames — so the figure
+//! needs no dataset, trains nothing, and is reproducible to the spike.
+
+use std::time::{Duration, Instant};
+
+use esam_bits::BitVec;
+use esam_core::{EsamSystem, SystemConfig};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_sram::BitcellKind;
+
+use crate::{BenchError, Table};
+
+/// Measured hot-path throughput of one cell kind.
+#[derive(Debug, Clone)]
+pub struct HotPathPoint {
+    /// The cell kind simulated.
+    pub cell: BitcellKind,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Simulated frames per wall-clock second.
+    pub frames_per_s: f64,
+    /// Average bottleneck-tile clock cycles per frame (a *modeled*
+    /// quantity: constant across software optimizations, so a shift here
+    /// flags a functional change, not a perf one).
+    pub cycles_per_frame: f64,
+    /// Total spikes injected across the batch (workload fingerprint).
+    pub spikes_in: u64,
+}
+
+/// Results of the hot-path sweep.
+#[derive(Debug, Clone)]
+pub struct HotPathResults {
+    /// Frames measured per cell kind.
+    pub frames: usize,
+    /// One point per cell kind.
+    pub points: Vec<HotPathPoint>,
+}
+
+/// Deterministic ~20 %-density input frames (no RNG dependency: a fixed
+/// multiplicative stride pattern).
+fn synthetic_frames(width: usize, count: usize) -> Vec<BitVec> {
+    (0..count)
+        .map(|f| {
+            let mut frame = BitVec::new(width);
+            for k in 0..width / 5 {
+                frame.set((f * 131 + k * 17 + (f * k) % 13) % width, true);
+            }
+            frame
+        })
+        .collect()
+}
+
+/// Runs the sweep: `samples` frames through the paper-default system on
+/// each cell kind.
+///
+/// # Errors
+///
+/// Propagates model-construction and inference errors.
+pub fn hot_path_results(samples: usize) -> Result<HotPathResults, BenchError> {
+    let samples = samples.max(1);
+    let topology = [768usize, 256, 256, 256, 10];
+    let net = BnnNetwork::new(&topology, 0xE5A)?;
+    let model = SnnModel::from_bnn(&net)?;
+    let frames = synthetic_frames(topology[0], samples);
+    let mut points = Vec::new();
+    for cell in BitcellKind::ALL {
+        let config = SystemConfig::builder(cell, &topology).build()?;
+        let mut system = EsamSystem::from_model(&model, &config)?;
+        let start = Instant::now();
+        let metrics = system.measure_batch(&frames)?;
+        let wall = start.elapsed();
+        let spikes_in = system.tiles().iter().map(|t| t.stats().spikes_in).sum();
+        points.push(HotPathPoint {
+            cell,
+            wall,
+            frames_per_s: frames.len() as f64 / wall.as_secs_f64(),
+            cycles_per_frame: metrics.bottleneck_cycles,
+            spikes_in,
+        });
+    }
+    Ok(HotPathResults {
+        frames: frames.len(),
+        points,
+    })
+}
+
+/// Renders the throughput table.
+pub fn hot_path_table(results: &HotPathResults) -> Table {
+    let mut table = Table::new(
+        "Hot path — simulator frames/sec, sequential inference walk (768:256:256:256:10)",
+        &["cell", "wall [ms]", "frames/s", "cycles/frame", "spikes in"],
+    );
+    for point in &results.points {
+        table.row_owned(vec![
+            point.cell.to_string(),
+            format!("{:.1}", point.wall.as_secs_f64() * 1e3),
+            format!("{:.0}", point.frames_per_s),
+            format!("{:.1}", point.cycles_per_frame),
+            point.spikes_in.to_string(),
+        ]);
+    }
+    table.note("simulator wall-clock, not modeled silicon: cycles/frame and spikes-in are invariants that must not move when only the software gets faster");
+    table
+}
+
+/// Renders the results as one machine-readable JSON object (hand-rolled:
+/// the workspace is offline and serde is not vendored).
+pub fn hot_path_json(results: &HotPathResults) -> String {
+    let points: Vec<String> = results
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"cell\":\"{}\",\"wall_ms\":{:.3},\"frames_per_s\":{:.1},\"cycles_per_frame\":{:.3},\"spikes_in\":{}}}",
+                p.cell, p.wall.as_secs_f64() * 1e3, p.frames_per_s, p.cycles_per_frame, p.spikes_in
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"hot_path\",\"frames\":{},\"points\":[{}]}}",
+        results.frames,
+        points.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_reports_every_cell() {
+        let results = hot_path_results(8).unwrap();
+        assert_eq!(results.frames, 8);
+        assert_eq!(results.points.len(), BitcellKind::ALL.len());
+        for point in &results.points {
+            assert!(point.frames_per_s > 0.0);
+            assert!(point.cycles_per_frame >= 2.0);
+            assert!(point.spikes_in > 0);
+        }
+        assert_eq!(hot_path_table(&results).row_count(), BitcellKind::ALL.len());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_parse_by_eye_and_machine() {
+        let results = hot_path_results(2).unwrap();
+        let json = hot_path_json(&results);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"experiment\":\"hot_path\""));
+        assert!(json.contains("\"frames\":2"));
+        assert_eq!(json.matches("\"cell\"").count(), BitcellKind::ALL.len());
+        // Balanced braces: a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn synthetic_frames_are_deterministic_and_sparse() {
+        let a = synthetic_frames(768, 4);
+        let b = synthetic_frames(768, 4);
+        assert_eq!(a, b);
+        for frame in &a {
+            let density = frame.count_ones() as f64 / 768.0;
+            assert!(density > 0.05 && density < 0.35, "density {density}");
+        }
+    }
+}

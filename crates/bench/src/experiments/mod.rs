@@ -10,6 +10,7 @@ pub mod corners;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod hot_path;
 pub mod learning;
 pub mod learning_curve;
 pub mod nbl;

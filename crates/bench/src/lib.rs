@@ -22,6 +22,7 @@
 //! | `learning` | §4.4.1 online-learning cost |
 //! | `learning_curve` | §4.4 streaming STDP session: accuracy recovery + training cost |
 //! | `fig8` | system sweep + headline gains |
+//! | `hot_path` | simulator hot-path throughput: frames/sec per cell kind (`--json` for machines) |
 //! | `batch` | simulator batch-scaling: frames/sec vs worker threads |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
@@ -42,8 +43,9 @@ pub use context::{ExperimentContext, Fidelity};
 pub use error::BenchError;
 pub use table::Table;
 
-/// Experiment ids that need no trained network (circuit-level artifacts).
-pub const CIRCUIT_EXPERIMENTS: [&str; 10] = [
+/// Experiment ids that need no trained network (circuit-level artifacts
+/// plus the synthetic-workload `hot_path` simulator benchmark).
+pub const CIRCUIT_EXPERIMENTS: [&str; 11] = [
     "area",
     "fig6",
     "fig7",
@@ -54,6 +56,7 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 10] = [
     "transient",
     "addertree",
     "corners",
+    "hot_path",
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
@@ -72,7 +75,9 @@ pub const SYSTEM_EXPERIMENTS: [&str; 6] = [
 ///
 /// `samples` bounds the number of test images used by the system-level
 /// experiments; `threads` caps the worker sweep of the `batch` experiment
-/// (0 = this machine's available parallelism). The shared
+/// (0 = this machine's available parallelism); `json` switches experiments
+/// that support machine-readable output (currently `hot_path`) from a
+/// table to one JSON object per experiment. The shared
 /// [`ExperimentContext`] (dataset + trained model) is built lazily, only
 /// when a system experiment is requested.
 ///
@@ -85,6 +90,7 @@ pub fn run_experiments(
     fidelity: Fidelity,
     samples: usize,
     threads: usize,
+    json: bool,
 ) -> Result<(), BenchError> {
     let expanded: Vec<String> = if ids.iter().any(|id| id == "all") {
         CIRCUIT_EXPERIMENTS
@@ -131,6 +137,14 @@ pub fn run_experiments(
                 println!("{}", experiments::arbiter::arbiter_scaling_table()?);
             }
             "nbl" => println!("{}", experiments::nbl::nbl_table()),
+            "hot_path" => {
+                let results = experiments::hot_path::hot_path_results(samples)?;
+                if json {
+                    println!("{}", experiments::hot_path::hot_path_json(&results));
+                } else {
+                    println!("{}", experiments::hot_path::hot_path_table(&results));
+                }
+            }
             "sta" => println!("{}", experiments::sta::sta_table()?),
             "transient" => println!("{}", experiments::transient::transient_table()?),
             "addertree" => println!("{}", experiments::addertree::addertree_table()?),
@@ -201,15 +215,22 @@ mod tests {
 
     #[test]
     fn unknown_experiment_is_rejected_before_training() {
-        let err = run_experiments(&["bogus".to_string()], Fidelity::Quick, 5, 0).unwrap_err();
+        let err =
+            run_experiments(&["bogus".to_string()], Fidelity::Quick, 5, 0, false).unwrap_err();
         assert!(matches!(err, BenchError::UnknownExperiment(_)));
     }
 
     #[test]
     fn circuit_experiments_run_without_context() {
         for id in CIRCUIT_EXPERIMENTS {
-            run_experiments(&[id.to_string()], Fidelity::Quick, 5, 0)
+            run_experiments(&[id.to_string()], Fidelity::Quick, 5, 0, false)
                 .unwrap_or_else(|e| panic!("{id} failed: {e}"));
         }
+    }
+
+    #[test]
+    fn hot_path_runs_in_json_mode() {
+        run_experiments(&["hot_path".to_string()], Fidelity::Quick, 2, 0, true)
+            .expect("hot_path --json");
     }
 }

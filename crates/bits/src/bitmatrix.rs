@@ -105,23 +105,49 @@ impl BitMatrix {
         }
     }
 
+    /// The packed storage words of row `row` (an Inference wordline, ready
+    /// for word-parallel consumption).
+    ///
+    /// Rows are stored contiguously: `cols.div_ceil(64)` words per row,
+    /// column 0 — the leftmost bit — at the LSB of the first word, and the
+    /// last word's bits at positions `>= cols % 64` always zero (the same
+    /// canonical-tail invariant as [`BitVec::words`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        &self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Copies row `row` into `dst` without allocating — the hot-path form
+    /// of [`row`](Self::row), a straight word-slice copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `dst.len() != cols()`.
+    pub fn copy_row_into(&self, row: usize, dst: &mut BitVec) {
+        assert_eq!(dst.len(), self.cols, "row width mismatch");
+        dst.words_mut().copy_from_slice(self.row_words(row));
+    }
+
     /// Returns row `row` as a [`BitVec`] (an Inference wordline read).
     ///
     /// # Panics
     ///
     /// Panics if `row >= rows()`.
     pub fn row(&self, row: usize) -> BitVec {
-        assert!(row < self.rows, "row {row} out of range {}", self.rows);
         let mut v = BitVec::new(self.cols);
-        for c in 0..self.cols {
-            if self.get(row, c) {
-                v.set(c, true);
-            }
-        }
+        self.copy_row_into(row, &mut v);
         v
     }
 
     /// Returns column `col` as a [`BitVec`] (a transposed-port read).
+    ///
+    /// The column is gathered by direct word indexing — one shift/mask per
+    /// row instead of a bounds-checked `get` per bit.
     ///
     /// # Panics
     ///
@@ -129,35 +155,43 @@ impl BitMatrix {
     pub fn column(&self, col: usize) -> BitVec {
         assert!(col < self.cols, "column {col} out of range {}", self.cols);
         let mut v = BitVec::new(self.rows);
+        let (cw, cb) = (col / WORD_BITS, col % WORD_BITS);
+        let words = v.words_mut();
         for r in 0..self.rows {
-            if self.get(r, col) {
-                v.set(r, true);
-            }
+            let bit = (self.words[r * self.words_per_row + cw] >> cb) & 1;
+            words[r / WORD_BITS] |= bit << (r % WORD_BITS);
         }
         v
     }
 
-    /// Overwrites row `row` with `bits`.
+    /// Overwrites row `row` with `bits` — a straight word-slice copy (rows
+    /// are contiguous; see [`row_words`](Self::row_words)).
     ///
     /// # Panics
     ///
     /// Panics if `row` is out of range or `bits.len() != cols()`.
     pub fn set_row(&mut self, row: usize, bits: &BitVec) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
         assert_eq!(bits.len(), self.cols, "row width mismatch");
-        for c in 0..self.cols {
-            self.set(row, c, bits.get(c));
-        }
+        self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+            .copy_from_slice(bits.words());
     }
 
-    /// Overwrites column `col` with `bits` (a transposed-port write).
+    /// Overwrites column `col` with `bits` (a transposed-port write), one
+    /// masked word update per row.
     ///
     /// # Panics
     ///
     /// Panics if `col` is out of range or `bits.len() != rows()`.
     pub fn set_column(&mut self, col: usize, bits: &BitVec) {
+        assert!(col < self.cols, "column {col} out of range {}", self.cols);
         assert_eq!(bits.len(), self.rows, "column height mismatch");
+        let (cw, cb) = (col / WORD_BITS, col % WORD_BITS);
+        let src = bits.words();
         for r in 0..self.rows {
-            self.set(r, col, bits.get(r));
+            let bit = (src[r / WORD_BITS] >> (r % WORD_BITS)) & 1;
+            let word = &mut self.words[r * self.words_per_row + cw];
+            *word = (*word & !(1u64 << cb)) | (bit << cb);
         }
     }
 
@@ -245,6 +279,33 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn set_row_wrong_width_panics() {
         BitMatrix::new(2, 4).set_row(0, &BitVec::new(3));
+    }
+
+    #[test]
+    fn row_words_match_bitwise_reads() {
+        let m = BitMatrix::from_fn(5, 130, |r, c| (r * 31 + c * 7) % 5 == 0);
+        for r in 0..5 {
+            let words = m.row_words(r);
+            assert_eq!(words.len(), 3);
+            for c in 0..130 {
+                assert_eq!(
+                    (words[c / 64] >> (c % 64)) & 1 == 1,
+                    m.get(r, c),
+                    "({r},{c})"
+                );
+            }
+            // Canonical tail: bits ≥ 130 % 64 of the last word are zero.
+            assert_eq!(words[2] >> 2, 0);
+            let mut dst = BitVec::new(130);
+            m.copy_row_into(r, &mut dst);
+            assert_eq!(dst, m.row(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn copy_row_into_rejects_wrong_width() {
+        BitMatrix::new(2, 10).copy_row_into(0, &mut BitVec::new(9));
     }
 
     #[test]

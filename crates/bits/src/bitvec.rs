@@ -28,6 +28,15 @@ pub struct BitVec {
 }
 
 impl BitVec {
+    /// Number of bits packed into one storage word.
+    ///
+    /// Bit `i` of the vector lives in word `i / WORD_BITS` at bit position
+    /// `i % WORD_BITS` (the word's LSB side), so bit index 0 — the
+    /// *leftmost*, highest-priority request line — is the least-significant
+    /// bit of the first word. Word-level scans therefore walk priority
+    /// order with `trailing_zeros`, never `leading_zeros`.
+    pub const WORD_BITS: usize = WORD_BITS;
+
     /// Creates an all-zero bit vector of `len` bits.
     pub fn new(len: usize) -> Self {
         Self {
@@ -129,12 +138,14 @@ impl BitVec {
     }
 
     /// Number of set bits.
+    #[inline]
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// `true` if at least one bit is set. This is the inverse of the
     /// paper's `noR` flag (Fig. 4(b)).
+    #[inline]
     pub fn any(&self) -> bool {
         self.words.iter().any(|&w| w != 0)
     }
@@ -142,7 +153,10 @@ impl BitVec {
     /// Index of the first (leftmost, highest-priority) set bit, if any.
     ///
     /// This is exactly the selection the paper's fixed-priority encoder
-    /// performs on the request vector `R`.
+    /// performs on the request vector `R`: because bit 0 is the leftmost
+    /// (highest-priority) position and lives at the LSB of word 0, the scan
+    /// is a `trailing_zeros` over the first non-zero word.
+    #[inline]
     pub fn first_set(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {
             if w != 0 {
@@ -166,6 +180,120 @@ impl BitVec {
             vec: self,
             word_index: 0,
             current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The packed storage words, least-significant-bit first.
+    ///
+    /// Bit `i` of the vector is bit `i % WORD_BITS` (LSB side) of word
+    /// `i / WORD_BITS`, so bit 0 — the leftmost, highest-priority position —
+    /// is the LSB of `words()[0]`. Bits of the last word at positions
+    /// `>= len() % WORD_BITS` are always zero (the canonical-tail
+    /// invariant `Eq`/`Hash` rely on).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed storage words.
+    ///
+    /// Same layout as [`words`](Self::words): bit 0 of the vector is the
+    /// LSB of word 0. Callers must preserve the canonical-tail invariant —
+    /// bits of the last word at positions `>= len() % WORD_BITS` must stay
+    /// zero — or `Eq`, `Hash`, `count_ones` and `any` become meaningless.
+    /// Clearing bits is always safe; setting bits is safe only below
+    /// `len()`.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Copies all of `src` into `self` starting at bit `dst_start`,
+    /// overwriting exactly the bits `dst_start..dst_start + src.len()` and
+    /// leaving every other bit untouched.
+    ///
+    /// `dst_start` must be word-aligned (`dst_start % WORD_BITS == 0`), so
+    /// the copy is a handful of whole-word moves plus one masked merge for
+    /// a partial tail — assembling a 128-bit sub-row is two word copies.
+    /// Bit ordering follows the packed layout: bit 0 = leftmost = LSB of
+    /// word 0, so `src` bit `k` lands at vector bit `dst_start + k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dst_start` is not word-aligned or the copy would run
+    /// past `len()`.
+    pub fn copy_bits_from(&mut self, src: &BitVec, dst_start: usize) {
+        assert!(
+            dst_start.is_multiple_of(WORD_BITS),
+            "destination offset {dst_start} is not word-aligned"
+        );
+        assert!(
+            dst_start + src.len <= self.len,
+            "copy of {} bits at {dst_start} overruns length {}",
+            src.len,
+            self.len
+        );
+        let w0 = dst_start / WORD_BITS;
+        let full = src.len / WORD_BITS;
+        self.words[w0..w0 + full].copy_from_slice(&src.words[..full]);
+        let tail = src.len % WORD_BITS;
+        if tail != 0 {
+            let mask = (1u64 << tail) - 1;
+            let dst = &mut self.words[w0 + full];
+            *dst = (*dst & !mask) | (src.words[full] & mask);
+        }
+    }
+
+    /// ORs a *window of the source* into `self`: `self |=
+    /// src[src_start..src_start + len()]`.
+    ///
+    /// Note the asymmetry with [`copy_bits_from`](Self::copy_bits_from):
+    /// there the offset positions the write inside the *destination*; here
+    /// it selects the sub-range of the *source* (hence the name). Both
+    /// offsets must be word-aligned; the whole operation is then a
+    /// word-wise OR loop. Bit ordering follows the packed layout (bit 0 =
+    /// leftmost = LSB of word 0): `src` bit `src_start + k` ORs into
+    /// vector bit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src_start` is not word-aligned or the range runs past
+    /// `src.len()`.
+    pub fn or_window_of(&mut self, src: &BitVec, src_start: usize) {
+        assert!(
+            src_start.is_multiple_of(WORD_BITS),
+            "source offset {src_start} is not word-aligned"
+        );
+        assert!(
+            src_start + self.len <= src.len,
+            "range of {} bits at {src_start} overruns source length {}",
+            self.len,
+            src.len
+        );
+        let w0 = src_start / WORD_BITS;
+        let full = self.len / WORD_BITS;
+        for (dst, s) in self.words[..full].iter_mut().zip(&src.words[w0..]) {
+            *dst |= *s;
+        }
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            self.words[full] |= src.words[w0 + full] & ((1u64 << tail) - 1);
+        }
+    }
+
+    /// ORs `self` into `dst` (`dst |= self`) — the "push" direction of
+    /// [`or_assign`](Self::or_assign), useful when the accumulator is the
+    /// callee-owned buffer. Word-wise; bit `k` of `self` ORs into bit `k`
+    /// of `dst` (bit 0 = leftmost = LSB of word 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn union_into(&self, dst: &mut BitVec) {
+        assert_eq!(self.len, dst.len, "length mismatch in union_into");
+        for (d, s) in dst.words.iter_mut().zip(&self.words) {
+            *d |= *s;
         }
     }
 
@@ -391,6 +519,73 @@ mod tests {
         let v: BitVec = [true, false, true].into_iter().collect();
         assert_eq!(v.len(), 3);
         assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn words_expose_packed_layout() {
+        let mut v = BitVec::new(70);
+        v.set(0, true);
+        v.set(64, true);
+        assert_eq!(v.words(), &[1, 1]);
+        v.words_mut()[0] |= 1 << 5;
+        assert!(v.get(5));
+    }
+
+    #[test]
+    fn copy_bits_from_word_aligned() {
+        let mut dst = BitVec::new(200);
+        dst.set(199, true); // outside the copy range: must survive
+        dst.set(130, true); // inside the copy range: must be overwritten
+        let src = BitVec::from_indices(70, &[0, 63, 64, 69]);
+        dst.copy_bits_from(&src, 128);
+        assert_eq!(
+            dst.iter_ones().collect::<Vec<_>>(),
+            vec![128, 191, 192, 197, 199]
+        );
+        // Bit-by-bit reference.
+        for k in 0..70 {
+            assert_eq!(dst.get(128 + k), src.get(k), "bit {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn copy_bits_from_rejects_misalignment() {
+        BitVec::new(128).copy_bits_from(&BitVec::new(8), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn copy_bits_from_rejects_overrun() {
+        BitVec::new(128).copy_bits_from(&BitVec::new(80), 64);
+    }
+
+    #[test]
+    fn or_window_of_extracts_subrange() {
+        let src = BitVec::from_indices(300, &[64, 70, 130, 191, 200]);
+        let mut dst = BitVec::from_indices(128, &[1]);
+        dst.or_window_of(&src, 64);
+        // src bits 64..192 land at dst bits 0..128, ORed over the existing 1.
+        assert_eq!(dst.iter_ones().collect::<Vec<_>>(), vec![0, 1, 6, 66, 127]);
+        // Short (non-word-multiple) destination masks the tail.
+        let mut short = BitVec::new(10);
+        short.or_window_of(&src, 64);
+        assert_eq!(short.iter_ones().collect::<Vec<_>>(), vec![0, 6]);
+        assert_eq!(short.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn or_window_of_rejects_misalignment() {
+        BitVec::new(8).or_window_of(&BitVec::new(128), 8);
+    }
+
+    #[test]
+    fn union_into_is_or_assign_reversed() {
+        let src = BitVec::from_indices(70, &[0, 69]);
+        let mut dst = BitVec::from_indices(70, &[5]);
+        src.union_into(&mut dst);
+        assert_eq!(dst.iter_ones().collect::<Vec<_>>(), vec![0, 5, 69]);
     }
 
     #[test]

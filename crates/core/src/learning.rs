@@ -148,8 +148,10 @@ impl OnlineLearningEngine {
         for rg in 0..row_groups {
             let offset = rg * ARRAY_DIM;
             let rows = (tile.inputs() - offset).min(ARRAY_DIM);
-            // Slice of the pre-synaptic frame feeding this block.
-            let pre_slice: BitVec = (0..rows).map(|r| pre_spikes.get(offset + r)).collect();
+            // Slice of the pre-synaptic frame feeding this block
+            // (word-aligned extraction: `offset` is a multiple of 128).
+            let mut pre_slice = BitVec::new(rows);
+            pre_slice.or_window_of(pre_spikes, offset);
             let array = tile.array_mut(rg, col_group);
             if transposable {
                 let column = array.transposed_read(local_col)?;

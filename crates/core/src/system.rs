@@ -170,7 +170,7 @@ impl EsamSystem {
                 cycles += 1;
             }
             if is_output {
-                membranes = tile.membranes();
+                membranes = tile.membranes().to_vec();
             }
             let fired = tile.finish_timestep();
             cycles += 1;

@@ -99,6 +99,60 @@ impl TileWeights {
     }
 }
 
+/// Reusable per-tile scratch buffers: everything [`Tile::step`] needs per
+/// clock cycle lives here, sized once at construction, so a steady-state
+/// step performs **zero heap allocations** (verified by
+/// `tests/step_no_alloc.rs`). Cloned with the tile (the buffers are small;
+/// their *contents* are dead between cycles).
+#[derive(Debug)]
+struct StepScratch {
+    /// Assembled port rows (each `outputs` bits), one per possible grant:
+    /// `max_spikes_per_cycle` buffers.
+    port_rows: Vec<BitVec>,
+    /// Validity flags for the neuron array. The arbiter only hands over
+    /// real grants, so every used slot is valid; this is the constant
+    /// all-true prefix `integrate` is given (replacing the per-cycle
+    /// `vec![true; n]`).
+    valid: Vec<bool>,
+    /// Grant-index buffer for the in-place arbiter scan (capacity =
+    /// ports, so pushes never reallocate).
+    granted: Vec<usize>,
+    /// One block-row buffer per column group (`block_len(outputs, cg)`
+    /// bits) for allocation-free SRAM reads.
+    block_rows: Vec<BitVec>,
+}
+
+impl Clone for StepScratch {
+    /// A derived clone would shrink `granted` to capacity 0 (cloning an
+    /// empty `Vec` does not copy its reservation), re-introducing one heap
+    /// allocation into the first `step` of every cloned tile — and cloned
+    /// tiles are exactly what the batch engine's workers are. Re-reserve
+    /// explicitly so clones inherit the allocation-free contract.
+    fn clone(&self) -> Self {
+        Self {
+            port_rows: self.port_rows.clone(),
+            valid: self.valid.clone(),
+            granted: Vec::with_capacity(self.granted.capacity()),
+            block_rows: self.block_rows.clone(),
+        }
+    }
+}
+
+impl StepScratch {
+    fn new(outputs: usize, col_groups: usize, max_spikes_per_cycle: usize, ports: usize) -> Self {
+        Self {
+            port_rows: (0..max_spikes_per_cycle)
+                .map(|_| BitVec::new(outputs))
+                .collect(),
+            valid: vec![true; max_spikes_per_cycle],
+            granted: Vec::with_capacity(ports),
+            block_rows: (0..col_groups)
+                .map(|cg| BitVec::new(block_len(outputs, cg)))
+                .collect(),
+        }
+    }
+}
+
 /// One ESAM tile (one network layer).
 #[derive(Debug, Clone)]
 pub struct Tile {
@@ -117,6 +171,8 @@ pub struct Tile {
     /// Per-clone mirror of inference access counters, parallel to
     /// [`TileWeights::arrays`] (learning counters stay inside the arrays).
     array_stats: Vec<AccessStats>,
+    /// Reusable hot-path buffers (see [`StepScratch`]).
+    scratch: StepScratch,
 }
 
 impl Tile {
@@ -156,6 +212,7 @@ impl Tile {
             .map(|rg| BitVec::new(block_len(inputs, rg)))
             .collect();
         let array_stats = vec![AccessStats::default(); arrays.len()];
+        let grants_per_cycle = config.grants_per_arbiter();
         Ok(Self {
             inputs,
             outputs,
@@ -165,9 +222,15 @@ impl Tile {
             arbiters,
             neurons: NeuronArray::with_uniform_threshold(config.neuron(), outputs, 0),
             requests,
-            grants_per_cycle: config.grants_per_arbiter(),
+            grants_per_cycle,
             stats: TileStats::default(),
             array_stats,
+            scratch: StepScratch::new(
+                outputs,
+                col_groups,
+                row_groups * grants_per_cycle,
+                grants_per_cycle,
+            ),
         })
     }
 
@@ -284,9 +347,9 @@ impl Tile {
         let mut column = BitVec::new(self.inputs);
         for rg in 0..self.row_groups {
             let block = self.weights.arrays[rg * self.col_groups + col_group].bits();
-            for r in 0..block_len(self.inputs, rg) {
-                column.set(rg * ARRAY_DIM + r, block.get(r, local_col));
-            }
+            // Per-block word-gathered column, spliced at the (word-aligned)
+            // row-group offset.
+            column.copy_bits_from(&block.column(local_col), rg * ARRAY_DIM);
         }
         column
     }
@@ -323,7 +386,7 @@ impl Tile {
                 got: vec![layer.inputs(), layer.outputs()],
             });
         }
-        let neuron_config = self.neurons.neurons()[0].config();
+        let neuron_config = self.neurons.config();
         for &threshold in layer.thresholds() {
             if threshold > neuron_config.threshold_max()
                 || threshold < neuron_config.threshold_min()
@@ -362,8 +425,10 @@ impl Tile {
                 got: frame.len(),
             });
         }
-        for index in frame.iter_ones() {
-            self.requests[index / ARRAY_DIM].set(index % ARRAY_DIM, true);
+        // Word-parallel latch: each row group's register ORs in its
+        // 128-bit (word-aligned) slice of the frame.
+        for (rg, requests) in self.requests.iter_mut().enumerate() {
+            requests.or_window_of(frame, rg * ARRAY_DIM);
         }
         self.stats.spikes_in += frame.count_ones() as u64;
         Ok(())
@@ -377,10 +442,72 @@ impl Tile {
     /// Executes one clock cycle: arbitration, SRAM reads, neuron
     /// integration. Returns the number of spikes served (0 when idle).
     ///
+    /// This is the word-parallel, allocation-free hot path: the arbiter
+    /// scan clears granted bits in place, SRAM rows land in reusable
+    /// scratch, and the full port row is assembled by word-aligned copies
+    /// (`ARRAY_DIM = 128` → two-word moves per column group). It is
+    /// bit-identical — outputs, membranes *and* every activity counter —
+    /// to the retained scalar path
+    /// ([`step_reference`](Self::step_reference)), property-tested in
+    /// `tests/hot_path_equivalence.rs`.
+    ///
     /// # Errors
     ///
     /// Propagates SRAM access errors (none occur for in-range grants).
     pub fn step(&mut self) -> Result<usize, CoreError> {
+        let mut used = 0usize;
+        for rg in 0..self.row_groups {
+            if !self.requests[rg].any() {
+                continue;
+            }
+            let granted = &mut self.scratch.granted;
+            self.arbiters[rg].arbitrate_into(&mut self.requests[rg], granted);
+            for (slot, &local_row) in granted.iter().enumerate() {
+                let full_row = &mut self.scratch.port_rows[used];
+                for cg in 0..self.col_groups {
+                    let index = rg * self.col_groups + cg;
+                    let block_row = &mut self.scratch.block_rows[cg];
+                    // Counted in the per-clone mirror (not the shared
+                    // array) so concurrent batch workers never contend;
+                    // same bounds and increments as SramArray::inference_read.
+                    self.weights.arrays[index].read_row_counted_into(
+                        &mut self.array_stats[index],
+                        slot,
+                        local_row,
+                        block_row,
+                    )?;
+                    full_row.copy_bits_from(block_row, cg * ARRAY_DIM);
+                }
+                used += 1;
+            }
+        }
+        if used == 0 {
+            return Ok(0);
+        }
+        self.neurons
+            .integrate(&self.scratch.port_rows[..used], &self.scratch.valid[..used]);
+        self.stats.active_cycles += 1;
+        self.stats.grants += used as u64;
+        self.stats.neuron_bits += (used * self.outputs) as u64;
+        Ok(used)
+    }
+
+    /// The retained scalar reference for [`step`](Self::step): cascaded
+    /// encoder passes, per-bit row assembly, freshly allocated buffers —
+    /// the original implementation, kept as the executable specification
+    /// the optimized path is property-tested against (same outputs,
+    /// membranes and counters, bit for bit). Not for production use.
+    ///
+    /// The neuron integration itself goes through the same
+    /// [`NeuronArray`]; its word-parallel decode is separately
+    /// property-tested against the scalar
+    /// [`ScalarNeuronArray`](esam_neuron::ScalarNeuronArray) in the
+    /// `esam-neuron` crate, so the two layers of equivalence compose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM access errors (none occur for in-range grants).
+    pub fn step_reference(&mut self) -> Result<usize, CoreError> {
         let mut port_rows: Vec<BitVec> = Vec::with_capacity(self.max_spikes_per_cycle());
         for rg in 0..self.row_groups {
             if !self.requests[rg].any() {
@@ -392,9 +519,6 @@ impl Tile {
                 let mut full_row = BitVec::new(self.outputs);
                 for cg in 0..self.col_groups {
                     let index = rg * self.col_groups + cg;
-                    // Counted in the per-clone mirror (not the shared
-                    // array) so concurrent batch workers never contend;
-                    // same bounds and increments as SramArray::inference_read.
                     let bits = self.weights.arrays[index].read_row_counted(
                         &mut self.array_stats[index],
                         slot,
@@ -429,8 +553,9 @@ impl Tile {
     }
 
     /// Membrane potentials (output-layer readout, taken before
-    /// [`finish_timestep`](Self::finish_timestep)).
-    pub fn membranes(&self) -> Vec<i32> {
+    /// [`finish_timestep`](Self::finish_timestep)). Borrowed, not copied —
+    /// the readout allocates nothing.
+    pub fn membranes(&self) -> &[i32] {
         self.neurons.membranes()
     }
 

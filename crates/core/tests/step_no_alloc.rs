@@ -1,0 +1,133 @@
+//! Proof that the steady-state inference hot path performs **zero heap
+//! allocations**: a counting global allocator wraps the system allocator,
+//! and the drain loop of [`Tile::step`] must not advance the counter.
+//!
+//! The counter is thread-local so the measurement cannot be polluted by
+//! allocator traffic from other test threads; this file holds only
+//! hot-path tests for the same reason.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use esam_bits::BitVec;
+use esam_core::{SystemConfig, Tile};
+use esam_sram::BitcellKind;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator with a thread-local allocation counter.
+struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to the system allocator; the
+// only addition is a thread-local counter bump, which cannot allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+fn dense_frame(width: usize) -> BitVec {
+    // ~ every other bit set: the worst realistic arbitration load.
+    (0..width).map(|i| i % 2 == 0).collect()
+}
+
+#[test]
+fn steady_state_step_is_allocation_free() {
+    for cell in [
+        BitcellKind::Std6T,
+        BitcellKind::multiport(2).unwrap(),
+        BitcellKind::multiport(4).unwrap(),
+    ] {
+        // A multi-group tile with a ragged edge block (260 → 3 row groups,
+        // 130 → 2 column groups) so every scratch-buffer shape is
+        // exercised.
+        let config = SystemConfig::builder(cell, &[260, 130]).build().unwrap();
+        let mut tile = Tile::new(260, 130, &config).unwrap();
+
+        // Warm-up frame: nothing in `step` allocates lazily, but keep the
+        // measurement strictly steady-state as the contract states.
+        tile.process_frame(&dense_frame(260)).unwrap();
+
+        tile.inject(&dense_frame(260)).unwrap();
+        let before = allocations();
+        let mut served = 0usize;
+        while !tile.is_drained() {
+            served += tile.step().unwrap();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{cell}: the drain loop must not touch the heap"
+        );
+        assert_eq!(served, 130, "every injected spike is served exactly once");
+        tile.finish_timestep();
+    }
+}
+
+#[test]
+fn cloned_worker_tiles_inherit_the_allocation_free_contract() {
+    // Batch-engine workers are `Tile::clone`s, so the scratch buffers'
+    // capacity must survive cloning (a derived Vec clone would drop the
+    // empty grant buffer's reservation).
+    let cell = BitcellKind::multiport(4).unwrap();
+    let config = SystemConfig::builder(cell, &[260, 130]).build().unwrap();
+    let template = Tile::new(260, 130, &config).unwrap();
+    let mut worker = template.clone();
+
+    // No warm-up on the clone: its very first drain must already be
+    // allocation-free.
+    let frame = dense_frame(260);
+    worker.inject(&frame).unwrap();
+    let before = allocations();
+    while !worker.is_drained() {
+        worker.step().unwrap();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "a cloned tile's first drain loop must not touch the heap"
+    );
+}
+
+#[test]
+fn inject_and_idle_step_are_allocation_free() {
+    let cell = BitcellKind::multiport(4).unwrap();
+    let config = SystemConfig::builder(cell, &[128, 64]).build().unwrap();
+    let mut tile = Tile::new(128, 64, &config).unwrap();
+    tile.process_frame(&dense_frame(128)).unwrap();
+
+    let frame = dense_frame(128);
+    let before = allocations();
+    tile.inject(&frame).unwrap();
+    while !tile.is_drained() {
+        tile.step().unwrap();
+    }
+    tile.step().unwrap(); // idle step (clock-gated)
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "inject + drain + idle step must not allocate"
+    );
+}

@@ -1,11 +1,32 @@
-//! A column of IF neurons fed by the multiport bitlines (§3.4).
+//! A column of IF neurons fed by the multiport bitlines (§3.4) —
+//! word-parallel struct-of-arrays implementation.
+//!
+//! The hardware integrates all columns of a tile *simultaneously*: every
+//! read port drives one sensed row across the whole neuron array per clock
+//! cycle. To make the software act like that, [`NeuronArray`] stores its
+//! state as struct-of-arrays — `membranes: Vec<i32>`, `thresholds:
+//! Vec<i32>` and a packed spike-request [`BitVec`] — and walks the port
+//! rows 64 neurons at a time on their packed words instead of issuing a
+//! bounds-checked bit read per neuron per port.
+//!
+//! Per 64-lane word the ±1 decode (`delta = 2·ones − valid_ports`, the same
+//! counting form the gate-level datapath in [`crate::structural`] uses) is
+//! computed by a carry-save bit-slice over the port words, so the inner
+//! loop touches each membrane exactly once per cycle. The behaviour is
+//! **bit-identical** to applying [`IfNeuron`](crate::IfNeuron) column by
+//! column — the retained scalar model lives in
+//! [`reference::ScalarNeuronArray`](crate::reference::ScalarNeuronArray)
+//! and `tests/word_parallel_equivalence.rs` property-tests the equivalence
+//! over random stimulus.
 
 use esam_bits::BitVec;
 
-use crate::config::NeuronConfig;
-use crate::if_neuron::IfNeuron;
+use crate::config::{NeuronConfig, ResetPolicy};
 
-/// The neuron array of one tile: one IF neuron per SRAM column.
+const WORD_BITS: usize = BitVec::WORD_BITS;
+
+/// The neuron array of one tile: one IF neuron per SRAM column, stored
+/// struct-of-arrays and integrated word-parallel.
 ///
 /// Each clock cycle the array receives up to `p` sensed rows (one per SRAM
 /// read port) plus a validity flag per port — "an unused port is not
@@ -32,7 +53,14 @@ use crate::if_neuron::IfNeuron;
 /// ```
 #[derive(Debug, Clone)]
 pub struct NeuronArray {
-    neurons: Vec<IfNeuron>,
+    config: NeuronConfig,
+    /// Membrane potentials, one per column (`V_mem` registers).
+    membranes: Vec<i32>,
+    /// Firing thresholds, one per column (`V_th` registers).
+    thresholds: Vec<i32>,
+    /// Packed pending spike requests (the `r` registers): bit `j` — column
+    /// `j`, leftmost column at the LSB of word 0.
+    requests: BitVec,
 }
 
 impl NeuronArray {
@@ -42,11 +70,18 @@ impl NeuronArray {
     ///
     /// Panics if any threshold exceeds the configured register width.
     pub fn new(config: NeuronConfig, thresholds: &[i32]) -> Self {
+        for &t in thresholds {
+            assert!(
+                (config.threshold_min()..=config.threshold_max()).contains(&t),
+                "threshold {t} does not fit a {}-bit register",
+                config.threshold_bits()
+            );
+        }
         Self {
-            neurons: thresholds
-                .iter()
-                .map(|&t| IfNeuron::new(config, t))
-                .collect(),
+            config,
+            membranes: vec![0; thresholds.len()],
+            thresholds: thresholds.to_vec(),
+            requests: BitVec::new(thresholds.len()),
         }
     }
 
@@ -56,36 +91,57 @@ impl NeuronArray {
     }
 
     /// Number of neurons (columns).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.neurons.len()
+        self.membranes.len()
     }
 
     /// `true` when the array has no neurons.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.neurons.is_empty()
+        self.membranes.is_empty()
     }
 
-    /// Immutable view of the neurons.
-    pub fn neurons(&self) -> &[IfNeuron] {
-        &self.neurons
+    /// The shared neuron datapath configuration.
+    pub fn config(&self) -> NeuronConfig {
+        self.config
     }
 
     /// Current membrane potentials (useful as an analog readout of the
-    /// output layer).
-    pub fn membranes(&self) -> Vec<i32> {
-        self.neurons.iter().map(|n| n.v_mem()).collect()
+    /// output layer). Borrowed, not copied — the readout path allocates
+    /// nothing.
+    #[inline]
+    pub fn membranes(&self) -> &[i32] {
+        &self.membranes
     }
 
-    /// Integrates one cycle of sensed rows.
+    /// Firing thresholds, one per column.
+    #[inline]
+    pub fn thresholds(&self) -> &[i32] {
+        &self.thresholds
+    }
+
+    /// Packed pending spike requests (bit `j` = column `j`'s `r` register,
+    /// leftmost column at the LSB of word 0).
+    #[inline]
+    pub fn spike_requests(&self) -> &BitVec {
+        &self.requests
+    }
+
+    /// Integrates one cycle of sensed rows, word-parallel.
     ///
     /// `rows[k]` is the row read on port `k` (one bit per column);
     /// `valid[k]` is that port's validity flag. Invalid ports contribute
-    /// nothing.
+    /// nothing. Per 64-column word, a carry-save bit-slice counts how many
+    /// valid ports sensed a `1` in each lane; the membrane update is then
+    /// `2·ones − valid_ports` per column (saturating at the register
+    /// bounds), identical to the per-neuron ±1 decode of
+    /// [`IfNeuron::accumulate`](crate::IfNeuron::accumulate).
     ///
     /// # Panics
     ///
-    /// Panics if `rows` and `valid` lengths differ, or any row width does
-    /// not match the neuron count.
+    /// Panics if `rows` and `valid` lengths differ, or any valid row width
+    /// does not match the neuron count.
     pub fn integrate(&mut self, rows: &[BitVec], valid: &[bool]) {
         assert_eq!(
             rows.len(),
@@ -98,21 +154,52 @@ impl NeuronArray {
             }
             assert_eq!(
                 row.len(),
-                self.neurons.len(),
+                self.membranes.len(),
                 "row width {} does not match neuron count {}",
                 row.len(),
-                self.neurons.len()
+                self.membranes.len()
             );
         }
-        for (j, neuron) in self.neurons.iter_mut().enumerate() {
-            let mut delta = 0;
+        let valid_count = valid.iter().filter(|&&v| v).count() as i32;
+        if valid_count == 0 {
+            return;
+        }
+        let (mem_min, mem_max) = (self.config.mem_min(), self.config.mem_max());
+        let n = self.membranes.len();
+        for w in 0..n.div_ceil(WORD_BITS) {
+            let base = w * WORD_BITS;
+            let lanes = (n - base).min(WORD_BITS);
+            // Carry-save per-lane popcount over the valid port words. Three
+            // counter planes count exactly up to 7 ports per flush; flushing
+            // every 7 rows keeps the count exact for any port count.
+            let mut ones = [0i32; WORD_BITS];
+            let (mut c0, mut c1, mut c2) = (0u64, 0u64, 0u64);
+            let mut pending = 0u32;
             for (row, &is_valid) in rows.iter().zip(valid) {
-                if is_valid {
-                    delta += if row.get(j) { 1 } else { -1 };
+                if !is_valid {
+                    continue;
+                }
+                let x = row.words()[w];
+                let t0 = c0 & x;
+                c0 ^= x;
+                let t1 = c1 & t0;
+                c1 ^= t0;
+                c2 ^= t1;
+                pending += 1;
+                if pending == 7 {
+                    flush_counters(&mut ones, lanes, c0, c1, c2);
+                    (c0, c1, c2) = (0, 0, 0);
+                    pending = 0;
                 }
             }
-            if delta != 0 {
-                neuron.accumulate(delta);
+            if pending > 0 {
+                flush_counters(&mut ones, lanes, c0, c1, c2);
+            }
+            for (lane, membrane) in self.membranes[base..base + lanes].iter_mut().enumerate() {
+                let delta = 2 * ones[lane] - valid_count;
+                if delta != 0 {
+                    *membrane = (*membrane + delta).clamp(mem_min, mem_max);
+                }
             }
         }
     }
@@ -122,28 +209,66 @@ impl NeuronArray {
     /// pattern — the binary pulses sent fully in parallel to the next tile
     /// (§3.1).
     pub fn end_timestep(&mut self) -> BitVec {
-        let mut fired = BitVec::new(self.neurons.len());
-        for (j, neuron) in self.neurons.iter_mut().enumerate() {
-            if neuron.end_timestep() {
-                fired.set(j, true);
-            }
-        }
+        let mut fired = BitVec::new(self.membranes.len());
+        self.end_timestep_into(&mut fired);
         fired
     }
 
-    /// Clears the spike requests that were granted by the next tile.
-    pub fn grant(&mut self, granted: &BitVec) {
-        assert_eq!(granted.len(), self.neurons.len(), "grant width mismatch");
-        for j in granted.iter_ones() {
-            self.neurons[j].grant();
+    /// End-of-timestep evaluation into a caller-owned frame — the
+    /// allocation-free form of [`end_timestep`](Self::end_timestep). The
+    /// fired pattern is assembled word by word (bit `j` = column `j`,
+    /// leftmost at the LSB of word 0), ORed into the pending spike
+    /// requests, and the membranes reset per the configured
+    /// [`ResetPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired.len()` is not the neuron count.
+    pub fn end_timestep_into(&mut self, fired: &mut BitVec) {
+        let n = self.membranes.len();
+        assert_eq!(fired.len(), n, "fired frame width mismatch");
+        {
+            let words = fired.words_mut();
+            for (w, slot) in words.iter_mut().enumerate() {
+                let base = w * WORD_BITS;
+                let lanes = (n - base).min(WORD_BITS);
+                let mut word = 0u64;
+                for (lane, (&membrane, &threshold)) in self.membranes[base..base + lanes]
+                    .iter()
+                    .zip(&self.thresholds[base..base + lanes])
+                    .enumerate()
+                {
+                    word |= u64::from(membrane >= threshold) << lane;
+                }
+                *slot = word;
+            }
         }
+        fired.union_into(&mut self.requests);
+        match self.config.reset_policy() {
+            ResetPolicy::EveryTimestep => self.membranes.fill(0),
+            ResetPolicy::OnFire => {
+                for j in fired.iter_ones() {
+                    self.membranes[j] = 0;
+                }
+            }
+        }
+    }
+
+    /// Clears the spike requests that were granted by the next tile — a
+    /// word-wise `requests &= !granted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn grant(&mut self, granted: &BitVec) {
+        assert_eq!(granted.len(), self.membranes.len(), "grant width mismatch");
+        self.requests.and_not_assign(granted);
     }
 
     /// Resets every neuron to its power-on state.
     pub fn reset(&mut self) {
-        for neuron in &mut self.neurons {
-            neuron.reset();
-        }
+        self.membranes.fill(0);
+        self.requests.clear();
     }
 
     /// Replaces all thresholds (after learning).
@@ -154,12 +279,27 @@ impl NeuronArray {
     pub fn load_thresholds(&mut self, thresholds: &[i32]) {
         assert_eq!(
             thresholds.len(),
-            self.neurons.len(),
+            self.thresholds.len(),
             "threshold count mismatch"
         );
-        for (neuron, &t) in self.neurons.iter_mut().zip(thresholds) {
-            neuron.set_threshold(t);
+        for &t in thresholds {
+            assert!(
+                (self.config.threshold_min()..=self.config.threshold_max()).contains(&t),
+                "threshold {t} does not fit a {}-bit register",
+                self.config.threshold_bits()
+            );
         }
+        self.thresholds.copy_from_slice(thresholds);
+    }
+}
+
+/// Adds the carry-save counter planes into the per-lane totals:
+/// `ones[lane] += c0[lane] + 2·c1[lane] + 4·c2[lane]`.
+#[inline]
+fn flush_counters(ones: &mut [i32; WORD_BITS], lanes: usize, c0: u64, c1: u64, c2: u64) {
+    for (lane, total) in ones.iter_mut().enumerate().take(lanes) {
+        *total +=
+            (((c0 >> lane) & 1) + (((c1 >> lane) & 1) << 1) + (((c2 >> lane) & 1) << 2)) as i32;
     }
 }
 
@@ -176,7 +316,7 @@ mod tests {
         let mut a = array(3, 0);
         // Port row: col0 = 1 (+1), col1 = 0 (−1), col2 = 1 (+1).
         a.integrate(&[BitVec::from_indices(3, &[0, 2])], &[true]);
-        assert_eq!(a.membranes(), vec![1, -1, 1]);
+        assert_eq!(a.membranes(), &[1, -1, 1]);
     }
 
     #[test]
@@ -184,7 +324,7 @@ mod tests {
         let mut a = array(2, 0);
         let all_ones = BitVec::from_indices(2, &[0, 1]);
         a.integrate(&[all_ones.clone(), all_ones], &[true, false]);
-        assert_eq!(a.membranes(), vec![1, 1], "only the valid port counts");
+        assert_eq!(a.membranes(), &[1, 1], "only the valid port counts");
     }
 
     #[test]
@@ -197,7 +337,17 @@ mod tests {
             BitVec::new(2),                // col0 −1, col1 −1
         ];
         a.integrate(&rows, &[true; 4]);
-        assert_eq!(a.membranes(), vec![0, -2]);
+        assert_eq!(a.membranes(), &[0, -2]);
+    }
+
+    #[test]
+    fn more_than_seven_ports_stay_exact() {
+        // Exercises the carry-save flush boundary: 9 valid rows all driving
+        // column 0 high and column 1 low → deltas +9 / −9.
+        let mut a = array(2, 0);
+        let rows = vec![BitVec::from_indices(2, &[0]); 9];
+        a.integrate(&rows, &[true; 9]);
+        assert_eq!(a.membranes(), &[9, -9]);
     }
 
     #[test]
@@ -210,7 +360,7 @@ mod tests {
         assert!(fired.get(0));
         assert!(fired.get(1));
         assert!(!fired.get(2));
-        assert_eq!(a.membranes(), vec![0, 0, 0]);
+        assert_eq!(a.membranes(), &[0, 0, 0]);
     }
 
     #[test]
@@ -219,8 +369,20 @@ mod tests {
         a.integrate(&[BitVec::from_indices(2, &[0, 1])], &[true]);
         let fired = a.end_timestep();
         assert_eq!(fired.count_ones(), 2);
+        assert_eq!(a.spike_requests(), &fired);
         a.grant(&fired);
-        assert!(a.neurons().iter().all(|n| !n.spike_request()));
+        assert!(!a.spike_requests().any());
+        assert!(!a.spike_requests().get(0) && !a.spike_requests().get(1));
+    }
+
+    #[test]
+    fn requests_persist_until_granted() {
+        let mut a = array(2, -1);
+        let fired = a.end_timestep(); // 0 ≥ −1: both fire
+        assert_eq!(fired.count_ones(), 2);
+        // A second quiet timestep must not clear the pending requests.
+        a.end_timestep();
+        assert_eq!(a.spike_requests().count_ones(), 2);
     }
 
     #[test]
@@ -236,10 +398,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_threshold_rejected() {
+        NeuronArray::new(NeuronConfig::new(8, 4, ResetPolicy::EveryTimestep), &[100]);
+    }
+
+    #[test]
     fn load_thresholds_roundtrip() {
         let mut a = array(3, 0);
         a.load_thresholds(&[5, -4, 7]);
-        let ths: Vec<i32> = a.neurons().iter().map(|n| n.v_th()).collect();
-        assert_eq!(ths, vec![5, -4, 7]);
+        assert_eq!(a.thresholds(), &[5, -4, 7]);
+        assert_eq!(a.config(), NeuronConfig::paper_default());
+    }
+
+    #[test]
+    fn on_fire_reset_keeps_unfired_residue() {
+        let cfg = NeuronConfig::new(12, 12, ResetPolicy::OnFire);
+        let mut a = NeuronArray::new(cfg, &[10, 100]);
+        for _ in 0..10 {
+            a.integrate(&[BitVec::from_indices(2, &[0, 1])], &[true]);
+        }
+        let fired = a.end_timestep();
+        assert!(fired.get(0) && !fired.get(1));
+        assert_eq!(a.membranes(), &[0, 10], "unfired membrane integrates on");
     }
 }

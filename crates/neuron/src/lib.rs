@@ -31,6 +31,7 @@ pub mod array;
 pub mod config;
 pub mod if_neuron;
 pub mod lif;
+pub mod reference;
 pub mod structural;
 pub mod timing;
 
@@ -38,4 +39,5 @@ pub use array::NeuronArray;
 pub use config::{NeuronConfig, ResetPolicy};
 pub use if_neuron::IfNeuron;
 pub use lif::LifNeuron;
+pub use reference::ScalarNeuronArray;
 pub use timing::NeuronTiming;

@@ -1,0 +1,170 @@
+//! Scalar reference implementation of the neuron array.
+//!
+//! [`ScalarNeuronArray`] is the original array-of-structs implementation —
+//! one [`IfNeuron`] per column, integrated bit-by-bit exactly as §3.4
+//! describes a single column's datapath. It is *not* on the hot path: the
+//! word-parallel [`NeuronArray`](crate::NeuronArray) replaced it there, and
+//! this model is retained as the executable specification the optimized
+//! array is property-tested against (`tests/word_parallel_equivalence.rs`
+//! asserts bit-identical membranes, fired frames and request registers over
+//! random stimulus).
+
+use esam_bits::BitVec;
+
+use crate::config::NeuronConfig;
+use crate::if_neuron::IfNeuron;
+
+/// The scalar (array-of-structs) neuron array: the single-neuron reference
+/// model applied column by column.
+#[derive(Debug, Clone)]
+pub struct ScalarNeuronArray {
+    neurons: Vec<IfNeuron>,
+}
+
+impl ScalarNeuronArray {
+    /// Builds an array from per-neuron thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any threshold exceeds the configured register width.
+    pub fn new(config: NeuronConfig, thresholds: &[i32]) -> Self {
+        Self {
+            neurons: thresholds
+                .iter()
+                .map(|&t| IfNeuron::new(config, t))
+                .collect(),
+        }
+    }
+
+    /// Builds `count` neurons sharing one threshold.
+    pub fn with_uniform_threshold(config: NeuronConfig, count: usize, threshold: i32) -> Self {
+        Self::new(config, &vec![threshold; count])
+    }
+
+    /// Number of neurons (columns).
+    pub fn len(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// `true` when the array has no neurons.
+    pub fn is_empty(&self) -> bool {
+        self.neurons.is_empty()
+    }
+
+    /// Immutable view of the neurons.
+    pub fn neurons(&self) -> &[IfNeuron] {
+        &self.neurons
+    }
+
+    /// Current membrane potentials.
+    pub fn membranes(&self) -> Vec<i32> {
+        self.neurons.iter().map(|n| n.v_mem()).collect()
+    }
+
+    /// Pending spike requests as a packed frame.
+    pub fn spike_requests(&self) -> BitVec {
+        self.neurons.iter().map(|n| n.spike_request()).collect()
+    }
+
+    /// Integrates one cycle of sensed rows, neuron by neuron, bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `valid` lengths differ, or any valid row width
+    /// does not match the neuron count.
+    pub fn integrate(&mut self, rows: &[BitVec], valid: &[bool]) {
+        assert_eq!(
+            rows.len(),
+            valid.len(),
+            "one validity flag per port is required"
+        );
+        for (row, &is_valid) in rows.iter().zip(valid) {
+            if !is_valid {
+                continue;
+            }
+            assert_eq!(
+                row.len(),
+                self.neurons.len(),
+                "row width {} does not match neuron count {}",
+                row.len(),
+                self.neurons.len()
+            );
+        }
+        for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            let mut delta = 0;
+            for (row, &is_valid) in rows.iter().zip(valid) {
+                if is_valid {
+                    delta += if row.get(j) { 1 } else { -1 };
+                }
+            }
+            if delta != 0 {
+                neuron.accumulate(delta);
+            }
+        }
+    }
+
+    /// End-of-timestep evaluation: every neuron compares and conditionally
+    /// fires. Returns the fired pattern.
+    pub fn end_timestep(&mut self) -> BitVec {
+        let mut fired = BitVec::new(self.neurons.len());
+        for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            if neuron.end_timestep() {
+                fired.set(j, true);
+            }
+        }
+        fired
+    }
+
+    /// Clears the spike requests that were granted by the next tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn grant(&mut self, granted: &BitVec) {
+        assert_eq!(granted.len(), self.neurons.len(), "grant width mismatch");
+        for j in granted.iter_ones() {
+            self.neurons[j].grant();
+        }
+    }
+
+    /// Resets every neuron to its power-on state.
+    pub fn reset(&mut self) {
+        for neuron in &mut self.neurons {
+            neuron.reset();
+        }
+    }
+
+    /// Replaces all thresholds (after learning).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or register overflow.
+    pub fn load_thresholds(&mut self, thresholds: &[i32]) {
+        assert_eq!(
+            thresholds.len(),
+            self.neurons.len(),
+            "threshold count mismatch"
+        );
+        for (neuron, &t) in self.neurons.iter_mut().zip(thresholds) {
+            neuron.set_threshold(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_array_follows_single_neuron_semantics() {
+        let mut a = ScalarNeuronArray::new(NeuronConfig::paper_default(), &[1, 2, 3]);
+        a.integrate(&[BitVec::from_indices(3, &[0, 1, 2])], &[true]);
+        a.integrate(&[BitVec::from_indices(3, &[0, 1])], &[true]);
+        let fired = a.end_timestep();
+        assert!(fired.get(0) && fired.get(1) && !fired.get(2));
+        assert_eq!(a.spike_requests(), fired);
+        a.grant(&fired);
+        assert!(!a.spike_requests().any());
+        assert_eq!(a.membranes(), vec![0, 0, 0]);
+    }
+}

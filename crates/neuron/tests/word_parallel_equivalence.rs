@@ -1,0 +1,108 @@
+//! Bit-identity of the word-parallel [`NeuronArray`] against the retained
+//! scalar reference model ([`ScalarNeuronArray`]): membranes, fired frames
+//! and pending spike requests must match *exactly* after any interleaving
+//! of integrate / end-timestep / grant operations, for both reset policies
+//! and for arrays that span word boundaries (the carry-save decode and the
+//! per-lane compare have no tolerance to hide behind).
+
+use esam_bits::BitVec;
+use esam_neuron::{NeuronArray, NeuronConfig, ResetPolicy, ScalarNeuronArray};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// One cycle of port stimulus: rows of fixed stimulus width (truncated to
+/// the sampled array width by the caller) plus a validity flag per row.
+type Cycle = Vec<(Vec<bool>, bool)>;
+
+/// Up to 9 port rows per cycle — deliberately beyond the 7-row carry-save
+/// flush boundary of the optimized decode.
+fn cycle_strategy(width: usize) -> impl Strategy<Value = Cycle> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<bool>(), width),
+            any::<bool>(),
+        ),
+        1usize..=9,
+    )
+}
+
+fn run_equivalence(
+    width: usize,
+    thresholds: &[i32],
+    policy: ResetPolicy,
+    cycles: &[Cycle],
+    grant_mask: &[bool],
+) -> Result<(), TestCaseError> {
+    let config = NeuronConfig::new(12, 12, policy);
+    let mut optimized = NeuronArray::new(config, thresholds);
+    let mut reference = ScalarNeuronArray::new(config, thresholds);
+    for (i, cycle) in cycles.iter().enumerate() {
+        let rows: Vec<BitVec> = cycle
+            .iter()
+            .map(|(r, _)| BitVec::from_bools(&r[..width]))
+            .collect();
+        let valid: Vec<bool> = cycle.iter().map(|&(_, v)| v).collect();
+        optimized.integrate(&rows, &valid);
+        reference.integrate(&rows, &valid);
+        let ref_membranes = reference.membranes();
+        prop_assert_eq!(
+            optimized.membranes(),
+            ref_membranes.as_slice(),
+            "membranes diverged after integrate {}",
+            i
+        );
+        // Every few cycles: end the timestep and compare the fired frame
+        // plus the request register, then grant a random subset.
+        if i % 3 == 2 {
+            let fired_opt = optimized.end_timestep();
+            let fired_ref = reference.end_timestep();
+            prop_assert_eq!(&fired_opt, &fired_ref, "fired frames diverged at {}", i);
+            let ref_requests = reference.spike_requests();
+            prop_assert_eq!(
+                optimized.spike_requests(),
+                &ref_requests,
+                "requests diverged at {}",
+                i
+            );
+            let ref_post_fire = reference.membranes();
+            prop_assert_eq!(
+                optimized.membranes(),
+                ref_post_fire.as_slice(),
+                "post-fire membranes diverged at {}",
+                i
+            );
+            let granted: BitVec = (0..width)
+                .map(|j| fired_opt.get(j) && grant_mask[(i + j) % grant_mask.len()])
+                .collect();
+            optimized.grant(&granted);
+            reference.grant(&granted);
+            let ref_after_grant = reference.spike_requests();
+            prop_assert_eq!(optimized.spike_requests(), &ref_after_grant);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn word_parallel_array_matches_scalar_reference(
+        width in 1usize..200,
+        on_fire in any::<bool>(),
+        cycles in proptest::collection::vec(cycle_strategy(200), 1..12),
+        grant_mask in proptest::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let policy = if on_fire { ResetPolicy::OnFire } else { ResetPolicy::EveryTimestep };
+        let thresholds: Vec<i32> = (0..width).map(|j| (j as i32 % 17) - 8).collect();
+        run_equivalence(width, &thresholds, policy, &cycles, &grant_mask)?;
+    }
+
+    #[test]
+    fn random_thresholds_fire_identically(
+        thresholds in proptest::collection::vec(-20i32..20, 130usize),
+        cycles in proptest::collection::vec(cycle_strategy(130), 1..8),
+    ) {
+        run_equivalence(130, &thresholds, ResetPolicy::EveryTimestep, &cycles, &[true])?;
+    }
+}

@@ -166,6 +166,46 @@ impl SramArray {
         Ok(bits)
     }
 
+    /// Reads one row through inference port `port` into caller-owned
+    /// scratch — the allocation-free form of
+    /// [`read_row_counted`](Self::read_row_counted), with identical bounds
+    /// checks and counter increments. The row lands in `dst` as a straight
+    /// word copy (column 0 at the LSB of the first word).
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::PortOutOfRange`] or [`SramError::RowOutOfRange`];
+    /// [`SramError::DimensionMismatch`] when `dst.len()` is not the column
+    /// count.
+    pub fn read_row_counted_into(
+        &self,
+        stats: &mut AccessStats,
+        port: usize,
+        row: usize,
+        dst: &mut BitVec,
+    ) -> Result<(), SramError> {
+        let available = self.config.cell().inference_parallelism();
+        if port >= available {
+            return Err(SramError::PortOutOfRange { port, available });
+        }
+        if row >= self.config.rows() {
+            return Err(SramError::RowOutOfRange {
+                row,
+                rows: self.config.rows(),
+            });
+        }
+        if dst.len() != self.config.cols() {
+            return Err(SramError::DimensionMismatch {
+                expected: self.config.cols(),
+                got: dst.len(),
+            });
+        }
+        self.bits.copy_row_into(row, dst);
+        stats.inference_reads += 1;
+        stats.inference_zero_bits += (self.config.cols() - dst.count_ones()) as u64;
+        Ok(())
+    }
+
     /// Reads a full weight column through the transposed port.
     ///
     /// Costs `mux_ratio` RW-port cycles (4 in the paper: §4.4.1's `2 × 4`
@@ -352,6 +392,35 @@ mod tests {
         let mut a6 = array(BitcellKind::Std6T);
         assert!(a6.inference_read(0, 0).is_ok(), "6T reads via its RW port");
         assert!(a6.inference_read(1, 0).is_err());
+    }
+
+    #[test]
+    fn read_row_counted_into_matches_allocating_read() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&checkerboard()).unwrap();
+        let mut scratch = BitVec::new(128);
+        let mut stats = AccessStats::default();
+        for row in [0usize, 1, 64, 127] {
+            a.read_row_counted_into(&mut stats, 1, row, &mut scratch)
+                .unwrap();
+            assert_eq!(scratch, a.inference_read(1, row).unwrap(), "row {row}");
+        }
+        // Identical counting: 4 reads each, same zero-bit totals.
+        assert_eq!(stats, *a.stats());
+        // Same bounds checks as the allocating read.
+        assert!(matches!(
+            a.read_row_counted_into(&mut stats, 4, 0, &mut scratch),
+            Err(SramError::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.read_row_counted_into(&mut stats, 0, 128, &mut scratch),
+            Err(SramError::RowOutOfRange { .. })
+        ));
+        let mut short = BitVec::new(64);
+        assert!(matches!(
+            a.read_row_counted_into(&mut stats, 0, 0, &mut short),
+            Err(SramError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
