@@ -1,0 +1,80 @@
+//! Criterion bench for the `esam-serve` serving layer.
+//!
+//! Three tiers isolate where serving time goes:
+//!
+//! * `submit_wait_roundtrip` — one request through a single-worker
+//!   service (queue + ticket + condvar overhead on top of one inference);
+//! * `closed_loop_burst` — 64 requests from 4 closed-loop clients through
+//!   a 2-worker pool with greedy micro-batching (the capacity shape);
+//! * `direct_infer_reference` — the same frame served by a bare
+//!   `EsamSystem::infer` call, the no-service floor.
+//!
+//! The workload is the small 128:64:10 system so one iteration stays in
+//! the microsecond class; absolute capacity numbers live in
+//! `repro serve --json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_core::{EsamSystem, SystemConfig};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_serve::{BatchPolicy, EsamService, LoadGenerator, LoadMode, ServeConfig};
+use esam_sram::BitcellKind;
+
+fn system() -> EsamSystem {
+    let net = BnnNetwork::new(&[128, 64, 10], 11).expect("valid topology");
+    let model = SnnModel::from_bnn(&net).expect("conversion");
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 64, 10])
+        .build()
+        .expect("valid configuration");
+    EsamSystem::from_model(&model, &config).expect("system")
+}
+
+fn bench(c: &mut Criterion) {
+    let generator = LoadGenerator::synthetic(128, 16, 0xE5A);
+
+    // --- direct_infer_reference: the no-service floor.
+    let mut bare = system();
+    c.bench_function("direct_infer_reference", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(bare.infer(generator.frame(i)).expect("infer").prediction)
+        })
+    });
+
+    // --- submit_wait_roundtrip: one request, one worker.
+    let single = EsamService::start(
+        &system(),
+        ServeConfig::with_workers(1).batch(BatchPolicy::unbatched()),
+    );
+    c.bench_function("submit_wait_roundtrip", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let response = single
+                .infer(generator.frame(i).clone())
+                .expect("round trip");
+            std::hint::black_box(response.prediction)
+        })
+    });
+    single.shutdown();
+
+    // --- closed_loop_burst: 64 requests, 4 clients, 2 workers.
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    let service = EsamService::start(
+        &system(),
+        ServeConfig::with_workers(2).batch(BatchPolicy::greedy(8)),
+    );
+    group.bench_function("closed_loop_burst", |b| {
+        b.iter(|| {
+            let report = generator.run(&service, LoadMode::ClosedLoop { clients: 4 }, 64);
+            assert_eq!(report.completed, 64);
+            std::hint::black_box(report.completed)
+        })
+    });
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -56,7 +56,8 @@ fn main() {
             for i in 0..adapt_count.min(shifted.train.len()) {
                 let frame = shifted.train.spikes(i);
                 let target = shifted.train.label(i) as usize;
-                let r = system.infer(&frame).unwrap();
+                let traced = system.infer_traced(&frame).unwrap();
+                let r = &traced.result;
                 if r.prediction == target {
                     continue;
                 }
@@ -66,7 +67,7 @@ fn main() {
                         continue;
                     }
                 }
-                let pre: BitVec = r.layer_inputs[out].clone();
+                let pre: BitVec = traced.layer_inputs[out].clone();
                 engine
                     .teach_system(&mut system, out, &pre, target, TeacherSignal::ShouldFire)
                     .unwrap();

@@ -14,6 +14,7 @@ pub mod hot_path;
 pub mod learning;
 pub mod learning_curve;
 pub mod nbl;
+pub mod serve;
 pub mod sta;
 pub mod table2;
 pub mod table3;

@@ -24,6 +24,7 @@
 //! | `fig8` | system sweep + headline gains |
 //! | `hot_path` | simulator hot-path throughput: frames/sec per cell kind (`--json` for machines) |
 //! | `batch` | simulator batch-scaling: frames/sec vs worker threads |
+//! | `serve` | concurrent serving: closed/open-loop latency SLOs + admission behaviour (`--json` for machines) |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
 //! | `sta` | §3.3 gate-level STA cross-check (structural arbiter) |
@@ -44,8 +45,9 @@ pub use error::BenchError;
 pub use table::Table;
 
 /// Experiment ids that need no trained network (circuit-level artifacts
-/// plus the synthetic-workload `hot_path` simulator benchmark).
-pub const CIRCUIT_EXPERIMENTS: [&str; 11] = [
+/// plus the synthetic-workload `hot_path` and `serve` simulator
+/// benchmarks).
+pub const CIRCUIT_EXPERIMENTS: [&str; 12] = [
     "area",
     "fig6",
     "fig7",
@@ -57,6 +59,7 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 11] = [
     "addertree",
     "corners",
     "hot_path",
+    "serve",
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
@@ -74,10 +77,12 @@ pub const SYSTEM_EXPERIMENTS: [&str; 6] = [
 /// Runs a list of experiments, printing each table to stdout.
 ///
 /// `samples` bounds the number of test images used by the system-level
-/// experiments; `threads` caps the worker sweep of the `batch` experiment
-/// (0 = this machine's available parallelism); `json` switches experiments
-/// that support machine-readable output (currently `hot_path`) from a
-/// table to one JSON object per experiment. The shared
+/// experiments (and scales the request counts of the `serve` experiment);
+/// `threads` caps the worker sweep of the `batch` experiment and the
+/// worker pool of the `serve` experiment (0 = this machine's available
+/// parallelism); `json` switches experiments that support machine-readable
+/// output (`hot_path`, `serve`) from a table to one JSON object per
+/// experiment. The shared
 /// [`ExperimentContext`] (dataset + trained model) is built lazily, only
 /// when a system experiment is requested.
 ///
@@ -143,6 +148,14 @@ pub fn run_experiments(
                     println!("{}", experiments::hot_path::hot_path_json(&results));
                 } else {
                     println!("{}", experiments::hot_path::hot_path_table(&results));
+                }
+            }
+            "serve" => {
+                let results = experiments::serve::serve_results(samples, threads)?;
+                if json {
+                    println!("{}", experiments::serve::serve_json(&results));
+                } else {
+                    println!("{}", experiments::serve::serve_table(&results));
                 }
             }
             "sta" => println!("{}", experiments::sta::sta_table()?),

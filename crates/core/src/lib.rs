@@ -80,5 +80,5 @@ pub use learning::{
 };
 pub use metrics::{BatchTally, LearningSummary, LearningTally, SystemMetrics};
 pub use pipeline::{PipelineStage, PipelineTiming};
-pub use system::{EsamSystem, InferenceResult, SequenceResult};
+pub use system::{EsamSystem, InferenceResult, SequenceResult, TracedInference};
 pub use tile::{Tile, TileStats, TileWeights};

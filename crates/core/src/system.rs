@@ -22,6 +22,12 @@ use crate::pipeline::PipelineTiming;
 use crate::tile::Tile;
 
 /// Result of one inference.
+///
+/// Deliberately *does not* carry the inter-tile spike frames: cloning every
+/// frame per inference is a per-request allocation the serving/batch hot
+/// path must not pay. Callers that need the frames (tests, the learning
+/// teacher derivation) use [`EsamSystem::infer_traced`], which returns a
+/// [`TracedInference`] wrapping this result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceResult {
     /// Predicted class (argmax of the readout logits).
@@ -36,6 +42,15 @@ pub struct InferenceResult {
     pub output_spikes: BitVec,
     /// Clock cycles each tile spent on this inference (serve + fire).
     pub per_tile_cycles: Vec<u64>,
+}
+
+/// An inference with its inter-tile spike trace captured
+/// ([`EsamSystem::infer_traced`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedInference {
+    /// The inference outcome (identical to what [`EsamSystem::infer`]
+    /// returns for the same frame).
+    pub result: InferenceResult,
     /// The spike frame that entered each tile (`[0]` is the input).
     pub layer_inputs: Vec<BitVec>,
 }
@@ -123,6 +138,18 @@ impl EsamSystem {
         &self.config
     }
 
+    /// Width of the input spike frames this system accepts
+    /// (`topology()[0]`) — what a serving front end validates against
+    /// before enqueueing a request.
+    pub fn input_width(&self) -> usize {
+        self.config.topology()[0]
+    }
+
+    /// Number of readout classes (the logit width).
+    pub fn output_classes(&self) -> usize {
+        self.output_bias.len()
+    }
+
     /// The tile cascade.
     pub fn tiles(&self) -> &[Tile] {
         &self.tiles
@@ -144,10 +171,45 @@ impl EsamSystem {
     /// is read out as membrane potentials plus the converted biases, exactly
     /// reproducing the BNN logits (see `esam_nn::convert`).
     ///
+    /// This is the serving/batch hot path: it does **not** clone the
+    /// inter-tile spike frames. Use [`infer_traced`](Self::infer_traced)
+    /// when the per-layer frames are needed.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InputWidthMismatch`] for a wrong input width.
     pub fn infer(&mut self, input: &BitVec) -> Result<InferenceResult, CoreError> {
+        self.infer_core(input, None)
+    }
+
+    /// Runs one inference and additionally captures the spike frame that
+    /// entered each tile (`layer_inputs[0]` is the input itself).
+    ///
+    /// The inference outcome is bit-identical to [`infer`](Self::infer) on
+    /// the same frame; only the trace capture (one clone per inter-tile
+    /// frame) is added. Online learning and equivalence tests live here;
+    /// the serving path never pays for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for a wrong input width.
+    pub fn infer_traced(&mut self, input: &BitVec) -> Result<TracedInference, CoreError> {
+        let mut layer_inputs = Vec::with_capacity(self.tiles.len());
+        let result = self.infer_core(input, Some(&mut layer_inputs))?;
+        Ok(TracedInference {
+            result,
+            layer_inputs,
+        })
+    }
+
+    /// The shared cascade walk behind [`infer`](Self::infer) and
+    /// [`infer_traced`](Self::infer_traced): `trace`, when present,
+    /// receives a clone of every tile's input frame.
+    fn infer_core(
+        &mut self,
+        input: &BitVec,
+        mut trace: Option<&mut Vec<BitVec>>,
+    ) -> Result<InferenceResult, CoreError> {
         let expected = self.config.topology()[0];
         if input.len() != expected {
             return Err(CoreError::InputWidthMismatch {
@@ -155,15 +217,20 @@ impl EsamSystem {
                 got: input.len(),
             });
         }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.clear();
+            trace.push(input.clone());
+        }
         let tile_count = self.tiles.len();
-        let mut layer_inputs = vec![input.clone()];
         let mut per_tile_cycles = Vec::with_capacity(tile_count);
         let mut membranes = Vec::new();
         let mut output_spikes = BitVec::new(0);
-        let mut frame = input.clone();
+        // The working frame: `None` until the first tile fires (the input
+        // is borrowed, never cloned, on the untraced path).
+        let mut frame: Option<BitVec> = None;
         for (index, tile) in self.tiles.iter_mut().enumerate() {
             let is_output = index + 1 == tile_count;
-            tile.inject(&frame)?;
+            tile.inject(frame.as_ref().unwrap_or(input))?;
             let mut cycles = 0u64;
             while !tile.is_drained() {
                 tile.step()?;
@@ -178,8 +245,10 @@ impl EsamSystem {
             if is_output {
                 output_spikes = fired;
             } else {
-                layer_inputs.push(fired.clone());
-                frame = fired;
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(fired.clone());
+                }
+                frame = Some(fired);
             }
         }
         let logits: Vec<f32> = membranes
@@ -193,7 +262,6 @@ impl EsamSystem {
             membranes,
             output_spikes,
             per_tile_cycles,
-            layer_inputs,
         })
     }
 
@@ -270,12 +338,13 @@ impl EsamSystem {
                 "label {label} out of range for {classes} output classes"
             )));
         }
-        let result = self.infer(frame)?;
+        let traced = self.infer_traced(frame)?;
+        let result = traced.result;
         let mut observed = result.output_spikes.clone();
         observed.set(result.prediction, true);
         let signals = derive_teacher_signals(&observed, label);
         let layer = self.tiles.len() - 1;
-        let pre_spikes = &result.layer_inputs[layer];
+        let pre_spikes = &traced.layer_inputs[layer];
         let clock = self.pipeline.clock_period();
         let mut cost = LearningCost::default();
         for &(neuron, signal) in &signals {
@@ -423,15 +492,18 @@ impl EsamSystem {
         Ok(tally)
     }
 
-    /// Finalization core shared by the sequential and parallel paths:
-    /// derives [`SystemMetrics`] from a cycle tally plus this system's
-    /// accumulated activity counters.
+    /// Finalization core shared by the sequential and parallel paths (and
+    /// by external aggregators like the `esam-serve` worker pool): derives
+    /// [`SystemMetrics`] from a cycle tally plus this system's accumulated
+    /// activity counters. Callers that ran frames on worker clones fold
+    /// them in first via [`absorb_stats`](Self::absorb_stats) and
+    /// [`BatchTally::merge`].
     ///
     /// # Errors
     ///
     /// Propagates SRAM energy-model errors; returns
     /// [`CoreError::InvalidConfig`] for an empty tally.
-    pub(crate) fn finalize_metrics(&self, tally: &BatchTally) -> Result<SystemMetrics, CoreError> {
+    pub fn finalize_metrics(&self, tally: &BatchTally) -> Result<SystemMetrics, CoreError> {
         if tally.frames == 0 {
             return Err(CoreError::InvalidConfig(
                 "metrics need at least one frame".into(),
@@ -519,12 +591,16 @@ mod tests {
             let (mut system, model) = small_system(cell);
             for seed in 0..25 {
                 let input = random_frame(128, seed);
-                let hw = system.infer(&input).unwrap();
+                let traced = system.infer_traced(&input).unwrap();
+                let hw = &traced.result;
                 let golden = model.forward(&input).unwrap();
                 assert_eq!(hw.membranes, golden.membranes, "{cell} seed {seed}");
                 assert_eq!(hw.prediction, golden.prediction(), "{cell} seed {seed}");
                 // Hidden spike frames match too.
-                assert_eq!(hw.layer_inputs[1], golden.spikes[1], "{cell} seed {seed}");
+                assert_eq!(
+                    traced.layer_inputs[1], golden.spikes[1],
+                    "{cell} seed {seed}"
+                );
                 // The observed output spike frame is the threshold
                 // comparison over the golden membranes (the golden model
                 // only reads the readout out, it never fires it).
@@ -645,7 +721,8 @@ mod tests {
 
         let (mut system, _) = small_system(BitcellKind::multiport(4).unwrap());
         let frame = random_frame(128, 9);
-        let before = system.infer(&frame).unwrap();
+        let traced = system.infer_traced(&frame).unwrap();
+        let before = &traced.result;
         // Teach toward a label the system neither predicts nor fires for,
         // so the session must emit a ShouldFire for it.
         let label = (0..10)
@@ -665,7 +742,7 @@ mod tests {
         // Deterministic potentiation (p = 1) must align the label column
         // with the pre-synaptic frame that entered the output tile.
         let column = system.tiles().last().unwrap().weight_column(label);
-        for i in before.layer_inputs[1].iter_ones() {
+        for i in traced.layer_inputs[1].iter_ones() {
             assert!(column.get(i), "active input {i} must be potentiated");
         }
         // Learning energy is the in-array share and is now non-zero.

@@ -1,0 +1,69 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors surfaced by the inference service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request was refused at admission: the queue was full under
+    /// [`AdmissionPolicy::Reject`](crate::AdmissionPolicy::Reject).
+    Rejected,
+    /// The request was admitted but evicted before execution by
+    /// [`AdmissionPolicy::DropOldest`](crate::AdmissionPolicy::DropOldest)
+    /// backpressure. Its ticket still resolves — with this error.
+    Dropped,
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The submitted frame's width does not match the system's input layer.
+    InputWidthMismatch {
+        /// Width the system expects (`topology()[0]`).
+        expected: usize,
+        /// Width of the submitted frame.
+        got: usize,
+    },
+    /// A worker failed while executing the request (propagated
+    /// [`CoreError`](esam_core::CoreError), stringified so the error stays
+    /// cheaply clonable across the response slot).
+    Worker(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "request rejected: queue full"),
+            ServeError::Dropped => write!(f, "request dropped by backpressure before execution"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::InputWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input frame width {got} != system input width {expected}"
+                )
+            }
+            ServeError::Worker(msg) => write!(f, "worker error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ServeError::Rejected.to_string().contains("queue full"));
+        assert!(ServeError::Dropped.to_string().contains("dropped"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServeError::InputWidthMismatch {
+            expected: 768,
+            got: 64
+        }
+        .to_string()
+        .contains("768"));
+        assert!(ServeError::Worker("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

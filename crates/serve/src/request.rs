@@ -1,0 +1,221 @@
+//! Requests, response slots and tickets — the handles that connect a
+//! submitting client to the worker that eventually executes its frame.
+//!
+//! Submission returns a [`Ticket`]; the worker (or the admission policy,
+//! for evicted requests) fulfils the ticket's shared response slot exactly
+//! once, and [`Ticket::wait`] hands the outcome back to the client. The
+//! slot is a plain `Mutex<Option<..>> + Condvar` pair — std-only, no async
+//! runtime.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use esam_bits::BitVec;
+
+use crate::error::ServeError;
+
+/// The completed outcome of one served inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Request id (assigned at submission, unique per service).
+    pub id: u64,
+    /// Predicted class (argmax of the readout logits) — identical to what
+    /// [`EsamSystem::infer`](esam_core::EsamSystem::infer) returns for the
+    /// same frame.
+    pub prediction: usize,
+    /// Readout logits.
+    pub logits: Vec<f32>,
+    /// Output-layer membrane potentials.
+    pub membranes: Vec<i32>,
+    /// Modeled clock cycles through the whole cascade (latency domain).
+    pub pipeline_cycles: u64,
+    /// Modeled clock cycles of the bottleneck tile (throughput domain).
+    pub bottleneck_cycles: u64,
+    /// Wall-clock latency from submission to completion (includes queueing
+    /// and batching delay).
+    pub wall_latency: Duration,
+    /// Wall-clock time the request spent queued before its batch was
+    /// dispatched to a worker.
+    pub queue_wait: Duration,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+}
+
+/// The shared completion slot behind a [`Ticket`].
+#[derive(Debug)]
+pub(crate) struct ResponseSlot {
+    outcome: Mutex<Option<Result<Response, ServeError>>>,
+    done: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Fulfils the slot (first completion wins; a second completion is a
+    /// logic error and ignored in release builds).
+    pub(crate) fn complete(&self, outcome: Result<Response, ServeError>) {
+        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        debug_assert!(slot.is_none(), "response slot completed twice");
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    fn take_blocking(&self) -> Result<Response, ServeError> {
+        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.done.wait(slot).expect("response slot poisoned");
+        }
+    }
+
+    fn take_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return Some(outcome);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(slot, remaining)
+                .expect("response slot poisoned");
+            slot = guard;
+        }
+    }
+}
+
+/// A claim on one submitted request's eventual outcome.
+///
+/// Every admitted request's ticket resolves exactly once — with a
+/// [`Response`] when a worker served it, or with
+/// [`ServeError::Dropped`]/[`ServeError::Worker`] otherwise. Tickets are
+/// never lost: shutdown drains the queue before the workers exit.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// The request id this ticket tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Dropped`] when backpressure evicted the
+    /// request, or [`ServeError::Worker`] when execution failed.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.slot.take_blocking()
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err(ticket)` means the timeout elapsed — the ticket
+    /// comes back so the caller can keep waiting. `Ok(outcome)` is the
+    /// request's own resolution, exactly as [`wait`](Self::wait) returns
+    /// it (including [`ServeError::Dropped`]/[`ServeError::Worker`], which
+    /// are final — do not retry those).
+    #[allow(clippy::result_large_err)]
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Response, ServeError>, Ticket> {
+        match self.slot.take_timeout(timeout) {
+            Some(outcome) => Ok(outcome),
+            None => Err(self),
+        }
+    }
+}
+
+/// A request sitting in the queue: its frame, its completion slot and its
+/// submission timestamp (the wall-latency epoch).
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    pub(crate) id: u64,
+    pub(crate) frame: BitVec,
+    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) submitted: Instant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(id: u64) -> Response {
+        Response {
+            id,
+            prediction: 3,
+            logits: vec![0.0; 10],
+            membranes: vec![0; 10],
+            pipeline_cycles: 40,
+            bottleneck_cycles: 12,
+            wall_latency: Duration::from_micros(80),
+            queue_wait: Duration::from_micros(5),
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn ticket_resolves_after_completion() {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket {
+            id: 7,
+            slot: Arc::clone(&slot),
+        };
+        assert_eq!(ticket.id(), 7);
+        slot.complete(Ok(response(7)));
+        let got = ticket.wait().expect("completed");
+        assert_eq!(got.id, 7);
+        assert_eq!(got.prediction, 3);
+    }
+
+    #[test]
+    fn ticket_wait_blocks_until_another_thread_completes() {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket {
+            id: 1,
+            slot: Arc::clone(&slot),
+        };
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.complete(Err(ServeError::Dropped));
+        });
+        assert_eq!(ticket.wait(), Err(ServeError::Dropped));
+        worker.join().expect("worker");
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_ticket_when_unresolved() {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket {
+            id: 2,
+            slot: Arc::clone(&slot),
+        };
+        let ticket = ticket
+            .wait_timeout(Duration::from_millis(5))
+            .expect_err("nothing completed it yet");
+        slot.complete(Ok(response(2)));
+        let got = ticket
+            .wait_timeout(Duration::from_millis(100))
+            .expect("resolved")
+            .expect("success");
+        assert_eq!(got.id, 2);
+    }
+}

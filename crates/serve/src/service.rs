@@ -1,0 +1,668 @@
+//! The inference service: bounded queue → micro-batcher → worker pool.
+//!
+//! [`EsamService::start`] clones the source [`EsamSystem`] once per worker
+//! (cheap: tiles share their weight arrays behind `Arc`, only the mutable
+//! neuron/scratch state is duplicated — the same sharing the offline
+//! [`BatchEngine`](esam_core::BatchEngine) relies on) and spawns one plain
+//! `std::thread` per worker. Each worker loops: pull a micro-batch, run
+//! every frame through its own pipeline clone, fulfil the tickets, flush
+//! the batch's latency samples into the shared metrics under one lock.
+//!
+//! Results are **bit-identical** to calling
+//! [`EsamSystem::infer`](esam_core::EsamSystem::infer) sequentially on the
+//! same frames: with the default every-timestep reset each inference starts
+//! from reset membranes and weights are read-only, so neither the worker
+//! count, the batch composition, nor the admission policy can influence a
+//! response (pinned across worker counts and policies by
+//! `tests/determinism.rs`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use esam_bits::BitVec;
+use esam_core::{BatchTally, EsamSystem, SystemMetrics};
+use esam_tech::units::{Joules, Seconds};
+
+use crate::batcher::{BatchPolicy, MicroBatcher};
+use crate::error::ServeError;
+use crate::metrics::{CycleSummary, LatencyHistogram, LatencySummary};
+use crate::queue::{AdmissionPolicy, QueueCounters, RequestQueue};
+use crate::request::{PendingRequest, Response, ResponseSlot, Ticket};
+
+/// Configuration of an [`EsamService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    workers: usize,
+    queue_capacity: usize,
+    admission: AdmissionPolicy,
+    batch: BatchPolicy,
+}
+
+impl ServeConfig {
+    /// A service plan with `workers` worker pipelines (clamped to at least
+    /// 1), a 256-slot queue, blocking admission and the default greedy
+    /// batch policy.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            queue_capacity: 256,
+            admission: AdmissionPolicy::default(),
+            batch: BatchPolicy::default(),
+        }
+    }
+
+    /// Sets the queue capacity (clamped to at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the admission policy applied when the queue is full.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the micro-batching trigger policy.
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Number of worker pipelines.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queue capacity.
+    pub fn queue_capacity_slots(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The admission policy.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// The micro-batching policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch
+    }
+}
+
+impl Default for ServeConfig {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_workers(workers)
+    }
+}
+
+/// Latency samples a worker flushes per batch (kept out of the shared
+/// lock's critical path).
+struct BatchSamples {
+    wall_ns: u64,
+    wait_ns: u64,
+    cycles: u64,
+}
+
+/// The shared, mutex-guarded metrics collector.
+struct SharedMetrics {
+    wall_ns: LatencyHistogram,
+    wait_ns: LatencyHistogram,
+    cycles: LatencyHistogram,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    batched_requests: u64,
+    last_done: Option<Instant>,
+}
+
+impl SharedMetrics {
+    fn new() -> Self {
+        Self {
+            wall_ns: LatencyHistogram::new(),
+            wait_ns: LatencyHistogram::new(),
+            cycles: LatencyHistogram::new(),
+            completed: 0,
+            failed: 0,
+            batches: 0,
+            batched_requests: 0,
+            last_done: None,
+        }
+    }
+}
+
+/// A running inference service over a worker pool of system clones.
+///
+/// # Examples
+///
+/// ```
+/// use esam_bits::BitVec;
+/// use esam_core::{EsamSystem, SystemConfig};
+/// use esam_nn::{BnnNetwork, SnnModel};
+/// use esam_serve::{EsamService, ServeConfig};
+/// use esam_sram::BitcellKind;
+///
+/// let net = BnnNetwork::new(&[128, 32, 10], 7)?;
+/// let model = SnnModel::from_bnn(&net)?;
+/// let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 32, 10])
+///     .build()?;
+/// let system = EsamSystem::from_model(&model, &config)?;
+///
+/// let service = EsamService::start(&system, ServeConfig::with_workers(2));
+/// let ticket = service.submit(BitVec::from_indices(128, &[3, 70, 90]))?;
+/// let response = ticket.wait()?;
+/// assert!(response.prediction < 10);
+/// let report = service.shutdown();
+/// assert_eq!(report.completed, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EsamService {
+    config: ServeConfig,
+    queue: Arc<RequestQueue>,
+    metrics: Arc<Mutex<SharedMetrics>>,
+    handles: Vec<JoinHandle<(EsamSystem, BatchTally)>>,
+    reference: EsamSystem,
+    next_id: AtomicU64,
+    first_submit: OnceLock<Instant>,
+    input_width: usize,
+}
+
+impl fmt::Debug for SharedMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedMetrics")
+            .field("completed", &self.completed)
+            .field("batches", &self.batches)
+            .finish()
+    }
+}
+
+impl EsamService {
+    /// Starts the service: clones `system` once per worker and spawns the
+    /// worker pool. The source system is untouched (its activity counters
+    /// do not advance; the workers' clones count, and are folded back into
+    /// the [`ServiceReport`] at shutdown).
+    pub fn start(system: &EsamSystem, config: ServeConfig) -> Self {
+        let queue = Arc::new(RequestQueue::new(config.queue_capacity, config.admission));
+        let metrics = Arc::new(Mutex::new(SharedMetrics::new()));
+        let mut reference = system.clone();
+        reference.reset_stats();
+        let handles = (0..config.workers)
+            .map(|index| {
+                let mut worker = system.clone();
+                worker.reset_stats();
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let batcher = MicroBatcher::new(config.batch);
+                std::thread::Builder::new()
+                    .name(format!("esam-serve-{index}"))
+                    .spawn(move || worker_loop(worker, &queue, &metrics, &batcher))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        let input_width = system.input_width();
+        Self {
+            config,
+            queue,
+            metrics,
+            handles,
+            reference,
+            next_id: AtomicU64::new(0),
+            first_submit: OnceLock::new(),
+            input_width,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Current queue depth (racy by nature; for observability only).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Width of the input frames this service accepts.
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// Number of readout classes of the served system.
+    pub fn output_classes(&self) -> usize {
+        self.reference.output_classes()
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn queue_counters(&self) -> QueueCounters {
+        self.queue.counters()
+    }
+
+    /// Submits one spike frame for inference.
+    ///
+    /// Returns a [`Ticket`] resolving to the request's [`Response`]. Under
+    /// [`AdmissionPolicy::Block`] this call blocks while the queue is full;
+    /// under [`AdmissionPolicy::Reject`] it fails fast with
+    /// [`ServeError::Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InputWidthMismatch`] for a wrong frame width,
+    /// [`ServeError::Rejected`] on shed load, [`ServeError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn submit(&self, frame: BitVec) -> Result<Ticket, ServeError> {
+        if frame.len() != self.input_width {
+            return Err(ServeError::InputWidthMismatch {
+                expected: self.input_width,
+                got: frame.len(),
+            });
+        }
+        let _ = self.first_submit.set(Instant::now());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = ResponseSlot::new();
+        self.queue.push(PendingRequest {
+            id,
+            frame,
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+        })?;
+        Ok(Ticket { id, slot })
+    }
+
+    /// Convenience: submit and block for the response.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit), plus the request's own failure.
+    pub fn infer(&self, frame: BitVec) -> Result<Response, ServeError> {
+        self.submit(frame)?.wait()
+    }
+
+    /// Stops accepting new requests while the workers keep draining what
+    /// was already admitted — the graceful half of shutdown. Subsequent
+    /// [`submit`](Self::submit) calls fail with
+    /// [`ServeError::ShuttingDown`]; call [`shutdown`](Self::shutdown) to
+    /// join the workers and collect the report.
+    pub fn close_intake(&self) {
+        self.queue.close();
+    }
+
+    /// Stops intake, drains the queue, joins the workers and folds their
+    /// counters into the final [`ServiceReport`]. Every admitted ticket has
+    /// resolved when this returns.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.queue.close();
+        let mut tally = BatchTally::default();
+        self.reference.reset_stats();
+        for handle in self.handles.drain(..) {
+            let (worker, worker_tally) = handle.join().expect("worker thread panicked");
+            tally.merge(&worker_tally);
+            self.reference.absorb_stats(&worker);
+        }
+        let metrics = self.metrics.lock().expect("metrics poisoned");
+        let counters = self.queue.counters();
+        let busy_time = match (self.first_submit.get(), metrics.last_done) {
+            (Some(&start), Some(end)) => end.saturating_duration_since(start),
+            _ => Duration::ZERO,
+        };
+        let throughput_rps = if busy_time > Duration::ZERO {
+            metrics.completed as f64 / busy_time.as_secs_f64()
+        } else {
+            0.0
+        };
+        let mut modeling_error = None;
+        let modeled = if tally.frames > 0 {
+            match self.reference.finalize_metrics(&tally) {
+                Ok(metrics) => Some(metrics),
+                Err(error) => {
+                    // Surface the failure instead of masquerading as "no
+                    // traffic ran" — the latency/throughput half of the
+                    // report is still valid.
+                    modeling_error = Some(error.to_string());
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let clock_period = self.reference.pipeline().clock_period();
+        let cycles = CycleSummary::from_histogram(&metrics.cycles);
+        ServiceReport {
+            workers: self.config.workers,
+            queue_capacity: self.config.queue_capacity,
+            admission: self.config.admission,
+            batch_policy: self.config.batch,
+            admitted: counters.admitted,
+            completed: metrics.completed,
+            rejected: counters.rejected,
+            dropped: counters.dropped,
+            failed: metrics.failed,
+            peak_queue_depth: counters.peak_depth,
+            batches: metrics.batches,
+            mean_batch_size: if metrics.batches > 0 {
+                metrics.batched_requests as f64 / metrics.batches as f64
+            } else {
+                0.0
+            },
+            busy_time,
+            throughput_rps,
+            wall: LatencySummary::from_nanos(&metrics.wall_ns),
+            queue_wait: LatencySummary::from_nanos(&metrics.wait_ns),
+            cycle_latency_p99: clock_period * cycles.p99 as f64,
+            cycles,
+            energy_per_request: modeled.as_ref().map(|m| m.energy_per_inf),
+            modeled,
+            modeling_error,
+        }
+    }
+}
+
+impl Drop for EsamService {
+    /// A dropped service still drains and joins cleanly (tickets are never
+    /// lost); the report is simply discarded. Prefer
+    /// [`shutdown`](Self::shutdown).
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker's serve loop: pull micro-batches until the queue closes and
+/// drains; return the worker's pipeline (holding its activity counters) and
+/// cycle tally for the shutdown fold.
+fn worker_loop(
+    mut system: EsamSystem,
+    queue: &RequestQueue,
+    metrics: &Mutex<SharedMetrics>,
+    batcher: &MicroBatcher,
+) -> (EsamSystem, BatchTally) {
+    let mut tally = BatchTally::default();
+    let mut samples: Vec<BatchSamples> = Vec::with_capacity(batcher.policy().max_batch());
+    while let Some(batch) = batcher.next_batch(queue) {
+        let dispatch = Instant::now();
+        let size = batch.len();
+        samples.clear();
+        let mut failed = 0u64;
+        for request in batch {
+            let queue_wait = dispatch.saturating_duration_since(request.submitted);
+            match system.infer(&request.frame) {
+                Ok(result) => {
+                    tally.record(&result);
+                    let wall_latency = request.submitted.elapsed();
+                    let pipeline_cycles = result.total_cycles();
+                    let bottleneck_cycles = result.bottleneck_cycles();
+                    samples.push(BatchSamples {
+                        wall_ns: wall_latency.as_nanos() as u64,
+                        wait_ns: queue_wait.as_nanos() as u64,
+                        cycles: pipeline_cycles,
+                    });
+                    request.slot.complete(Ok(Response {
+                        id: request.id,
+                        prediction: result.prediction,
+                        logits: result.logits,
+                        membranes: result.membranes,
+                        pipeline_cycles,
+                        bottleneck_cycles,
+                        wall_latency,
+                        queue_wait,
+                        batch_size: size,
+                    }));
+                }
+                Err(error) => {
+                    failed += 1;
+                    request
+                        .slot
+                        .complete(Err(ServeError::Worker(error.to_string())));
+                }
+            }
+        }
+        let done = Instant::now();
+        let mut shared = metrics.lock().expect("metrics poisoned");
+        for sample in &samples {
+            shared.wall_ns.record(sample.wall_ns);
+            shared.wait_ns.record(sample.wait_ns);
+            shared.cycles.record(sample.cycles);
+        }
+        shared.completed += samples.len() as u64;
+        shared.failed += failed;
+        shared.batches += 1;
+        shared.batched_requests += size as u64;
+        shared.last_done = Some(shared.last_done.map_or(done, |t| t.max(done)));
+    }
+    (system, tally)
+}
+
+/// The final accounting of a service's lifetime
+/// ([`EsamService::shutdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Worker pipelines that served the traffic.
+    pub workers: usize,
+    /// Queue capacity (admission boundary).
+    pub queue_capacity: usize,
+    /// Admission policy that was in force.
+    pub admission: AdmissionPolicy,
+    /// Micro-batching policy that was in force.
+    pub batch_policy: BatchPolicy,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests refused at admission ([`AdmissionPolicy::Reject`]).
+    pub rejected: u64,
+    /// Admitted requests evicted by backpressure
+    /// ([`AdmissionPolicy::DropOldest`]).
+    pub dropped: u64,
+    /// Requests whose execution failed ([`ServeError::Worker`]).
+    pub failed: u64,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// First submission → last completion.
+    pub busy_time: Duration,
+    /// Sustained throughput over the busy window (completed / busy time).
+    pub throughput_rps: f64,
+    /// Wall-clock request latency (submission → completion; includes
+    /// queueing and batching delay).
+    pub wall: LatencySummary,
+    /// Wall-clock time requests spent queued before dispatch.
+    pub queue_wait: LatencySummary,
+    /// Modeled cascade cycles per request (the workload invariant; see
+    /// [`crate::metrics`] for why both domains are reported).
+    pub cycles: CycleSummary,
+    /// p99 modeled latency: p99 cycles × the pipeline clock period.
+    pub cycle_latency_p99: Seconds,
+    /// Modeled dynamic energy per completed request, folded from the
+    /// worker pipelines' spike-by-spike access counters.
+    pub energy_per_request: Option<Joules>,
+    /// Full modeled-silicon metrics over the served traffic — identical in
+    /// derivation to [`EsamSystem::measure_batch`](esam_core::EsamSystem)
+    /// over the same frames (`None` when nothing completed, or when the
+    /// fold failed — see [`modeling_error`](Self::modeling_error)).
+    pub modeled: Option<SystemMetrics>,
+    /// Why [`modeled`](Self::modeled) is absent despite completed traffic
+    /// (a propagated energy-model error), `None` on the happy path.
+    pub modeling_error: Option<String>,
+}
+
+impl ServiceReport {
+    /// Fraction of admitted requests that were evicted before execution.
+    pub fn drop_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.admitted as f64
+    }
+
+    /// Fraction of submission attempts refused at admission.
+    pub fn reject_rate(&self) -> f64 {
+        let offered = self.admitted + self.rejected;
+        if offered == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / offered as f64
+    }
+}
+
+impl fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served:      {} completed / {} admitted ({} rejected, {} dropped, {} failed)",
+            self.completed, self.admitted, self.rejected, self.dropped, self.failed
+        )?;
+        writeln!(
+            f,
+            "throughput:  {:.0} req/s over {:.1} ms busy ({} workers, mean batch {:.2})",
+            self.throughput_rps,
+            self.busy_time.as_secs_f64() * 1e3,
+            self.workers,
+            self.mean_batch_size
+        )?;
+        writeln!(
+            f,
+            "wall:        p50 {:.1} µs  p95 {:.1} µs  p99 {:.1} µs  max {:.1} µs",
+            self.wall.p50.as_secs_f64() * 1e6,
+            self.wall.p95.as_secs_f64() * 1e6,
+            self.wall.p99.as_secs_f64() * 1e6,
+            self.wall.max.as_secs_f64() * 1e6
+        )?;
+        write!(
+            f,
+            "modeled:     p50 {} / p99 {} cycles (p99 = {:.2}), peak queue {}",
+            self.cycles.p50, self.cycles.p99, self.cycle_latency_p99, self.peak_queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esam_core::SystemConfig;
+    use esam_nn::{BnnNetwork, SnnModel};
+    use esam_sram::BitcellKind;
+
+    fn small_system() -> EsamSystem {
+        let net = BnnNetwork::new(&[128, 64, 10], 11).unwrap();
+        let model = SnnModel::from_bnn(&net).unwrap();
+        let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 64, 10])
+            .build()
+            .unwrap();
+        EsamSystem::from_model(&model, &config).unwrap()
+    }
+
+    fn frame(seed: usize) -> BitVec {
+        BitVec::from_indices(
+            128,
+            &[seed % 128, (seed * 7 + 3) % 128, (seed * 31 + 9) % 128],
+        )
+    }
+
+    #[test]
+    fn serves_requests_and_reports() {
+        let system = small_system();
+        let service = EsamService::start(&system, ServeConfig::with_workers(2));
+        let tickets: Vec<Ticket> = (0..40)
+            .map(|i| service.submit(frame(i)).expect("admitted"))
+            .collect();
+        let mut expected = system.clone();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().expect("served");
+            let reference = expected.infer(&frame(i)).expect("reference");
+            assert_eq!(response.prediction, reference.prediction, "request {i}");
+            assert_eq!(response.logits, reference.logits, "request {i}");
+            assert_eq!(response.pipeline_cycles, reference.total_cycles());
+            assert!(response.wall_latency >= response.queue_wait);
+            assert!(response.batch_size >= 1);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.admitted, 40);
+        assert_eq!(report.rejected + report.dropped + report.failed, 0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.wall.p99 >= report.wall.p50);
+        assert!(report.cycles.p99 >= report.cycles.p50);
+        assert!(report.cycles.p99 > 0, "finite, nonzero modeled latency");
+        assert!(report.cycle_latency_p99 > Seconds::ZERO);
+        assert!(report.energy_per_request.expect("traffic ran").pj() > 0.0);
+        assert!(report.batches >= 1);
+        assert!(report.mean_batch_size >= 1.0);
+        let text = report.to_string();
+        assert!(text.contains("throughput"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn report_matches_offline_measurement_of_the_same_frames() {
+        // The modeled fold must equal measure_batch on the same frames —
+        // the serving layer adds no modeling drift.
+        let frames: Vec<BitVec> = (0..30).map(frame).collect();
+        let mut offline = small_system();
+        let expected = offline.measure_batch(&frames).unwrap();
+
+        let service = EsamService::start(&small_system(), ServeConfig::with_workers(3));
+        let tickets: Vec<Ticket> = frames
+            .iter()
+            .map(|f| service.submit(f.clone()).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("served");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.modeled, Some(expected));
+        assert_eq!(report.energy_per_request.unwrap(), expected.energy_per_inf);
+    }
+
+    #[test]
+    fn wrong_width_is_refused_at_submission() {
+        let service = EsamService::start(&small_system(), ServeConfig::with_workers(1));
+        assert!(matches!(
+            service.submit(BitVec::new(64)),
+            Err(ServeError::InputWidthMismatch {
+                expected: 128,
+                got: 64
+            })
+        ));
+        let report = service.shutdown();
+        assert_eq!(report.admitted, 0);
+        assert!(report.modeled.is_none());
+        assert!(report.energy_per_request.is_none());
+        assert_eq!(report.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_cleanly() {
+        let system = small_system();
+        let service = EsamService::start(&system, ServeConfig::with_workers(1));
+        let service2 = EsamService::start(&system, ServeConfig::with_workers(1));
+        drop(service2); // Drop path: close + join without a report.
+        let ticket = service.submit(frame(0)).unwrap();
+        ticket.wait().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn config_accessors() {
+        let config = ServeConfig::with_workers(0)
+            .queue_capacity(0)
+            .admission(AdmissionPolicy::Reject)
+            .batch(BatchPolicy::new(4, Duration::from_micros(50)));
+        assert_eq!(config.workers(), 1, "clamped");
+        assert_eq!(config.queue_capacity_slots(), 1, "clamped");
+        assert_eq!(config.admission_policy(), AdmissionPolicy::Reject);
+        assert_eq!(config.batch_policy().max_batch(), 4);
+        assert!(ServeConfig::default().workers() >= 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Stress: multi-producer bursts into a bounded queue. The accounting
+//! invariant under any admission policy is *conservation* — every offered
+//! request resolves exactly one way (completed, rejected, dropped or
+//! failed); no ticket is ever lost, even when shutdown races the burst.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use esam_bits::BitVec;
+use esam_core::{EsamSystem, SystemConfig};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_serve::{AdmissionPolicy, BatchPolicy, EsamService, ServeConfig, ServeError};
+use esam_sram::BitcellKind;
+
+fn small_system() -> EsamSystem {
+    let net = BnnNetwork::new(&[128, 32, 10], 5).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &[128, 32, 10])
+        .build()
+        .unwrap();
+    EsamSystem::from_model(&model, &config).unwrap()
+}
+
+fn frame(i: usize) -> BitVec {
+    BitVec::from_indices(128, &[i % 128, (i * 17 + 5) % 128, (i * 41 + 11) % 128])
+}
+
+/// Fires `producers × per_producer` requests from concurrent threads and
+/// returns (completed, rejected, dropped, failed) — asserting inside each
+/// producer that every ticket resolves.
+fn burst(service: &EsamService, producers: usize, per_producer: usize) -> (u64, u64, u64, u64) {
+    let completed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for producer in 0..producers {
+            let completed = &completed;
+            let rejected = &rejected;
+            let dropped = &dropped;
+            let failed = &failed;
+            scope.spawn(move || {
+                let mut tickets = Vec::with_capacity(per_producer);
+                for i in 0..per_producer {
+                    match service.submit(frame(producer * per_producer + i)) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(ServeError::Rejected) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected submit failure: {e}"),
+                    }
+                }
+                for ticket in tickets {
+                    match ticket.wait() {
+                        Ok(response) => {
+                            assert!(response.prediction < 10);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Dropped) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("worker failure: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (
+        completed.into_inner(),
+        rejected.into_inner(),
+        dropped.into_inner(),
+        failed.into_inner(),
+    )
+}
+
+#[test]
+fn burst_through_a_bounded_blocking_queue_loses_nothing() {
+    let offered = 8 * 150;
+    let service = EsamService::start(
+        &small_system(),
+        ServeConfig::with_workers(4)
+            .queue_capacity(16)
+            .admission(AdmissionPolicy::Block)
+            .batch(BatchPolicy::greedy(8)),
+    );
+    let (completed, rejected, dropped, failed) = burst(&service, 8, 150);
+    assert_eq!(
+        completed, offered,
+        "blocking admission completes everything"
+    );
+    assert_eq!(rejected + dropped + failed, 0);
+    let report = service.shutdown();
+    assert_eq!(report.completed, offered);
+    assert_eq!(report.admitted, offered);
+    assert!(
+        report.peak_queue_depth <= 16,
+        "bounded queue stayed bounded"
+    );
+}
+
+#[test]
+fn burst_with_reject_admission_conserves_every_request() {
+    let producers = 8usize;
+    let per_producer = 150usize;
+    let offered = (producers * per_producer) as u64;
+    let service = EsamService::start(
+        &small_system(),
+        ServeConfig::with_workers(2)
+            .queue_capacity(8)
+            .admission(AdmissionPolicy::Reject)
+            .batch(BatchPolicy::greedy(4)),
+    );
+    let (completed, rejected, dropped, failed) = burst(&service, producers, per_producer);
+    assert_eq!(
+        completed + rejected + dropped + failed,
+        offered,
+        "conservation"
+    );
+    assert_eq!(dropped, 0, "reject policy never drops admitted requests");
+    assert_eq!(failed, 0);
+    let report = service.shutdown();
+    assert_eq!(report.completed, completed);
+    assert_eq!(report.rejected, rejected);
+    assert_eq!(report.admitted, completed);
+    assert!(report.peak_queue_depth <= 8);
+}
+
+#[test]
+fn burst_with_drop_oldest_resolves_every_ticket() {
+    let producers = 8usize;
+    let per_producer = 150usize;
+    let offered = (producers * per_producer) as u64;
+    let service = EsamService::start(
+        &small_system(),
+        ServeConfig::with_workers(2)
+            .queue_capacity(8)
+            .admission(AdmissionPolicy::DropOldest)
+            .batch(BatchPolicy::greedy(4)),
+    );
+    let (completed, rejected, dropped, failed) = burst(&service, producers, per_producer);
+    assert_eq!(
+        completed + dropped,
+        offered,
+        "every admitted ticket resolved"
+    );
+    assert_eq!(rejected + failed, 0, "drop-oldest admits everything");
+    let report = service.shutdown();
+    assert_eq!(report.admitted, offered);
+    assert_eq!(report.completed, completed);
+    assert_eq!(report.dropped, dropped);
+}
+
+#[test]
+fn shutdown_mid_burst_drains_admitted_requests() {
+    // Producers race shutdown: whatever was admitted must still resolve
+    // (served — the queue drains before workers exit), and late
+    // submissions fail cleanly with ShuttingDown.
+    let service = EsamService::start(
+        &small_system(),
+        ServeConfig::with_workers(2)
+            .queue_capacity(32)
+            .batch(BatchPolicy::greedy(8)),
+    );
+    let submitted = AtomicU64::new(0);
+    let resolved = AtomicU64::new(0);
+    let shut_out = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let service_ref = &service;
+        let submitted = &submitted;
+        let resolved = &resolved;
+        let shut_out = &shut_out;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        match service_ref.submit(frame(p * 100 + i)) {
+                            Ok(ticket) => {
+                                submitted.fetch_add(1, Ordering::Relaxed);
+                                match ticket.wait() {
+                                    Ok(_) | Err(ServeError::Dropped) => {
+                                        resolved.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) => panic!("lost ticket: {e}"),
+                                }
+                            }
+                            Err(ServeError::ShuttingDown) => {
+                                shut_out.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(2));
+        // Close intake while producers are mid-flight; already-admitted
+        // requests keep draining.
+        service_ref.close_intake();
+        for producer in producers {
+            producer.join().expect("producer");
+        }
+    });
+    let submitted = submitted.into_inner();
+    assert_eq!(
+        submitted,
+        resolved.into_inner(),
+        "every admitted ticket resolved despite the shutdown race"
+    );
+    assert!(
+        shut_out.into_inner() > 0 || submitted == 400,
+        "either the close raced in, or the burst finished first"
+    );
+    let report = service.shutdown();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.completed + report.dropped, submitted);
+}

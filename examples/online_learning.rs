@@ -98,12 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..environment {
             let frame = shifted.train.spikes(i);
             let target = shifted.train.label(i) as usize;
-            let result = system.infer(&frame)?;
-            if result.prediction == target {
+            let traced = system.infer_traced(&frame)?;
+            if traced.result.prediction == target {
                 continue;
             }
             // The spikes that actually entered the output tile.
-            let pre = result.layer_inputs[output_layer].clone();
+            let pre = traced.layer_inputs[output_layer].clone();
             total += engine.teach_system(
                 &mut system,
                 output_layer,

@@ -14,6 +14,9 @@
 //! * [`core`] — tiles, the cascaded system, the spike-by-spike simulator,
 //!   the parallel batch engine, metrics, the online-learning engine and the
 //!   adder-tree baseline.
+//! * [`serve`] — the concurrent inference service: bounded admission,
+//!   dynamic micro-batching, worker pool, latency SLO metrics and
+//!   deterministic load generation.
 //! * [`logic`] — gate-level netlists, event-driven simulation, STA and VCD
 //!   dumping (structural arbiter/neuron verification).
 //! * [`circuit`] — MNA transient solver for RC networks (the Spectre
@@ -50,6 +53,7 @@ pub use esam_core as core;
 pub use esam_logic as logic;
 pub use esam_neuron as neuron;
 pub use esam_nn as nn;
+pub use esam_serve as serve;
 pub use esam_sram as sram;
 pub use esam_tech as tech;
 
@@ -60,11 +64,15 @@ pub mod prelude {
     pub use esam_core::{
         BatchConfig, BatchEngine, EpochConfig, EsamSystem, InferenceResult, LearningCost,
         LearningCurve, OnlineLearningEngine, OnlineSession, PipelineTiming, SystemConfig,
-        SystemMetrics, Tile, WeightMergePolicy,
+        SystemMetrics, Tile, TracedInference, WeightMergePolicy,
     };
     pub use esam_neuron::{IfNeuron, NeuronArray, NeuronConfig};
     pub use esam_nn::{
         BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule, TeacherSignal, TrainConfig, Trainer,
+    };
+    pub use esam_serve::{
+        AdmissionPolicy, BatchPolicy, EsamService, LoadGenerator, LoadMode, ServeConfig,
+        ServiceReport,
     };
     pub use esam_sram::{ArrayConfig, BitcellKind, SramArray};
     pub use esam_tech::units::{Joules, Seconds, Volts, Watts};

@@ -24,9 +24,9 @@ fn teaching_should_fire_eventually_fires_the_neuron() {
     // pattern (threshold is fixed; the weights move toward the pattern).
     let mut fired_at = None;
     for round in 0..40 {
-        let result = system.infer(&pattern).unwrap();
+        let traced = system.infer_traced(&pattern).unwrap();
         // layer_inputs[1] is tile 1's input = tile 0's firing pattern.
-        let hidden = &result.layer_inputs[1];
+        let hidden = &traced.layer_inputs[1];
         if hidden.get(neuron) {
             fired_at = Some(round);
             break;
@@ -48,8 +48,8 @@ fn teaching_should_not_fire_eventually_silences_the_neuron() {
     let pattern = BitVec::from_indices(128, &(0..128).step_by(2).collect::<Vec<_>>());
 
     // Find a neuron that currently fires on the pattern.
-    let result = system.infer(&pattern).unwrap();
-    let Some(neuron) = result.layer_inputs[1].first_set() else {
+    let traced = system.infer_traced(&pattern).unwrap();
+    let Some(neuron) = traced.layer_inputs[1].first_set() else {
         // Nothing fires: vacuously silenced.
         return;
     };
@@ -64,8 +64,8 @@ fn teaching_should_not_fire_eventually_silences_the_neuron() {
                 TeacherSignal::ShouldNotFire,
             )
             .unwrap();
-        let result = system.infer(&pattern).unwrap();
-        if !result.layer_inputs[1].get(neuron) {
+        let traced = system.infer_traced(&pattern).unwrap();
+        if !traced.layer_inputs[1].get(neuron) {
             silenced = true;
             break;
         }

@@ -65,7 +65,7 @@ proptest! {
                 TeacherSignal::ShouldNotFire
             };
             // Teach the output layer through each cell's own access path.
-            let pre = multi.infer(frame).expect("inference").layer_inputs[1].clone();
+            let pre = multi.infer_traced(frame).expect("inference").layer_inputs[1].clone();
             multi_cost += multi_engine
                 .teach_system(&mut multi, 1, &pre, neuron, signal)
                 .expect("multiport teach");
