@@ -2,12 +2,17 @@
 //! word-parallel inference datapath.
 //!
 //! Unlike the modeled-silicon experiments this measures the *simulator*
-//! itself: how many spike frames per wall-clock second the sequential
-//! `EsamSystem::infer` walk serves on the paper's 768:256:256:256:10
-//! system, per cell kind. The numbers are the perf trajectory future PRs
-//! compare against (`repro hot_path --json` emits them machine-readable),
-//! so regressions in the bits/sram/neuron/core hot path show up as a
-//! dropped frames/s figure rather than an anecdote.
+//! itself: how many spike frames per wall-clock second the inference walk
+//! serves on the paper's 768:256:256:256:10 system, per cell kind — once
+//! through the sequential `EsamSystem::infer` loop and once through the
+//! batch-major bit-sliced `infer_block` kernel (64 frames per machine
+//! word). The numbers are the perf trajectory future PRs compare against
+//! (`repro hot_path --json` emits them machine-readable), so regressions
+//! in the bits/sram/neuron/core hot path show up as a dropped frames/s
+//! figure rather than an anecdote. Because the two modes are bit-identical
+//! by contract, their modeled invariants (cycles/frame, spikes-in) must
+//! agree exactly — the experiment asserts nothing, but the snapshot diff
+//! would catch a split.
 //!
 //! The workload is synthetic and deterministic — an untrained
 //! seed-initialized BNN and fixed ~20 %-density frames — so the figure
@@ -22,11 +27,14 @@ use esam_sram::BitcellKind;
 
 use crate::{BenchError, Table};
 
-/// Measured hot-path throughput of one cell kind.
+/// Measured hot-path throughput of one (cell kind, datapath mode) pair.
 #[derive(Debug, Clone)]
 pub struct HotPathPoint {
     /// The cell kind simulated.
     pub cell: BitcellKind,
+    /// Datapath mode: `"sequential"` (frame-at-a-time `infer`) or
+    /// `"bitsliced"` (batch-major 64-lane `infer_block`).
+    pub mode: &'static str,
     /// Wall-clock time for the whole batch.
     pub wall: Duration,
     /// Simulated frames per wall-clock second.
@@ -44,8 +52,22 @@ pub struct HotPathPoint {
 pub struct HotPathResults {
     /// Frames measured per cell kind.
     pub frames: usize,
-    /// One point per cell kind.
+    /// Two points per cell kind: sequential, then bitsliced.
     pub points: Vec<HotPathPoint>,
+}
+
+impl HotPathResults {
+    /// Bit-sliced over sequential frames/s for `cell` (`None` if either
+    /// point is missing).
+    pub fn speedup(&self, cell: BitcellKind) -> Option<f64> {
+        let rate = |mode: &str| {
+            self.points
+                .iter()
+                .find(|p| p.cell == cell && p.mode == mode)
+                .map(|p| p.frames_per_s)
+        };
+        Some(rate("bitsliced")? / rate("sequential")?)
+    }
 }
 
 /// Deterministic ~20 %-density input frames (no RNG dependency: a fixed
@@ -63,7 +85,7 @@ fn synthetic_frames(width: usize, count: usize) -> Vec<BitVec> {
 }
 
 /// Runs the sweep: `samples` frames through the paper-default system on
-/// each cell kind.
+/// each cell kind, through both datapath modes.
 ///
 /// # Errors
 ///
@@ -78,17 +100,23 @@ pub fn hot_path_results(samples: usize) -> Result<HotPathResults, BenchError> {
     for cell in BitcellKind::ALL {
         let config = SystemConfig::builder(cell, &topology).build()?;
         let mut system = EsamSystem::from_model(&model, &config)?;
-        let start = Instant::now();
-        let metrics = system.measure_batch(&frames)?;
-        let wall = start.elapsed();
-        let spikes_in = system.tiles().iter().map(|t| t.stats().spikes_in).sum();
-        points.push(HotPathPoint {
-            cell,
-            wall,
-            frames_per_s: frames.len() as f64 / wall.as_secs_f64(),
-            cycles_per_frame: metrics.bottleneck_cycles,
-            spikes_in,
-        });
+        for mode in ["sequential", "bitsliced"] {
+            let start = Instant::now();
+            let metrics = match mode {
+                "sequential" => system.measure_batch(&frames)?,
+                _ => system.measure_batch_bitsliced(&frames)?,
+            };
+            let wall = start.elapsed();
+            let spikes_in = system.tiles().iter().map(|t| t.stats().spikes_in).sum();
+            points.push(HotPathPoint {
+                cell,
+                mode,
+                wall,
+                frames_per_s: frames.len() as f64 / wall.as_secs_f64(),
+                cycles_per_frame: metrics.bottleneck_cycles,
+                spikes_in,
+            });
+        }
     }
     Ok(HotPathResults {
         frames: frames.len(),
@@ -99,19 +127,27 @@ pub fn hot_path_results(samples: usize) -> Result<HotPathResults, BenchError> {
 /// Renders the throughput table.
 pub fn hot_path_table(results: &HotPathResults) -> Table {
     let mut table = Table::new(
-        "Hot path — simulator frames/sec, sequential inference walk (768:256:256:256:10)",
-        &["cell", "wall [ms]", "frames/s", "cycles/frame", "spikes in"],
+        "Hot path — simulator frames/sec, sequential vs bit-sliced inference (768:256:256:256:10)",
+        &[
+            "cell",
+            "mode",
+            "wall [ms]",
+            "frames/s",
+            "cycles/frame",
+            "spikes in",
+        ],
     );
     for point in &results.points {
         table.row_owned(vec![
             point.cell.to_string(),
+            point.mode.to_string(),
             format!("{:.1}", point.wall.as_secs_f64() * 1e3),
             format!("{:.0}", point.frames_per_s),
             format!("{:.1}", point.cycles_per_frame),
             point.spikes_in.to_string(),
         ]);
     }
-    table.note("simulator wall-clock, not modeled silicon: cycles/frame and spikes-in are invariants that must not move when only the software gets faster");
+    table.note("simulator wall-clock, not modeled silicon: cycles/frame and spikes-in are invariants that must agree across modes and must not move when only the software gets faster");
     table
 }
 
@@ -123,8 +159,8 @@ pub fn hot_path_json(results: &HotPathResults) -> String {
         .iter()
         .map(|p| {
             format!(
-                "{{\"cell\":\"{}\",\"wall_ms\":{:.3},\"frames_per_s\":{:.1},\"cycles_per_frame\":{:.3},\"spikes_in\":{}}}",
-                p.cell, p.wall.as_secs_f64() * 1e3, p.frames_per_s, p.cycles_per_frame, p.spikes_in
+                "{{\"cell\":\"{}\",\"mode\":\"{}\",\"wall_ms\":{:.3},\"frames_per_s\":{:.1},\"cycles_per_frame\":{:.3},\"spikes_in\":{}}}",
+                p.cell, p.mode, p.wall.as_secs_f64() * 1e3, p.frames_per_s, p.cycles_per_frame, p.spikes_in
             )
         })
         .collect();
@@ -140,16 +176,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_runs_and_reports_every_cell() {
+    fn sweep_runs_and_reports_every_cell_in_both_modes() {
         let results = hot_path_results(8).unwrap();
         assert_eq!(results.frames, 8);
-        assert_eq!(results.points.len(), BitcellKind::ALL.len());
+        assert_eq!(results.points.len(), 2 * BitcellKind::ALL.len());
         for point in &results.points {
             assert!(point.frames_per_s > 0.0);
             assert!(point.cycles_per_frame >= 2.0);
             assert!(point.spikes_in > 0);
         }
-        assert_eq!(hot_path_table(&results).row_count(), BitcellKind::ALL.len());
+        assert_eq!(
+            hot_path_table(&results).row_count(),
+            2 * BitcellKind::ALL.len()
+        );
+    }
+
+    #[test]
+    fn modes_agree_on_the_modeled_invariants() {
+        // Bit-identity in miniature: the bit-sliced sweep must reproduce
+        // the sequential sweep's modeled cycles/frame and spike totals for
+        // every cell — only the wall clock may differ.
+        // 65 = one full 64-lane block plus a ragged single-lane tail.
+        let results = hot_path_results(65).unwrap();
+        for cell in BitcellKind::ALL {
+            let by_mode = |mode: &str| {
+                results
+                    .points
+                    .iter()
+                    .find(|p| p.cell == cell && p.mode == mode)
+                    .unwrap()
+            };
+            let seq = by_mode("sequential");
+            let bs = by_mode("bitsliced");
+            assert_eq!(seq.cycles_per_frame, bs.cycles_per_frame, "{cell}");
+            assert_eq!(seq.spikes_in, bs.spikes_in, "{cell}");
+            assert!(results.speedup(cell).unwrap() > 0.0, "{cell}");
+        }
     }
 
     #[test]
@@ -159,7 +221,11 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"experiment\":\"hot_path\""));
         assert!(json.contains("\"frames\":2"));
-        assert_eq!(json.matches("\"cell\"").count(), BitcellKind::ALL.len());
+        assert_eq!(json.matches("\"cell\"").count(), 2 * BitcellKind::ALL.len());
+        assert_eq!(
+            json.matches("\"mode\":\"bitsliced\"").count(),
+            BitcellKind::ALL.len()
+        );
         // Balanced braces: a cheap structural sanity check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -1,0 +1,311 @@
+//! Batch-major bit-sliced frame storage: up to 64 frames advance per word.
+//!
+//! A [`FrameBlock`] transposes a batch of equal-width spike frames so that
+//! bit *b* of word *w* is frame *b*'s value for input *w*. One `u64` AND /
+//! popcount against a weight row then advances every frame in the block at
+//! once — the classic BNN bit-slicing trick, applied to the batch axis
+//! instead of the neuron axis.
+
+use crate::BitVec;
+
+/// A transposed block of up to [`FrameBlock::LANES`] equal-width spike
+/// frames.
+///
+/// Layout contract: `word(w)` holds one bit per *lane* (frame); bit `b` of
+/// `word(w)` is frame `b`'s value for input `w`. Lanes are numbered in
+/// submission order within the block. Blocks are canonical: bits at lane
+/// positions `>= lanes()` are always zero, so whole-word equality, popcounts
+/// and hashes are meaningful on ragged tails.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FrameBlock {
+    /// One lane word per input row: `words[w]` bit `b` = frame `b`, input `w`.
+    words: Vec<u64>,
+    /// Number of inputs (rows) per frame.
+    width: usize,
+    /// Number of frames packed into the block (`1..=LANES`).
+    lanes: usize,
+}
+
+impl FrameBlock {
+    /// Maximum number of frames per block — the machine word width.
+    pub const LANES: usize = BitVec::WORD_BITS;
+
+    /// An all-zero block of `lanes` frames, each `width` bits wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= FrameBlock::LANES`.
+    pub fn new(width: usize, lanes: usize) -> Self {
+        assert!(
+            (1..=Self::LANES).contains(&lanes),
+            "a frame block holds 1..={} lanes, got {lanes}",
+            Self::LANES
+        );
+        Self {
+            words: vec![0; width],
+            width,
+            lanes,
+        }
+    }
+
+    /// Transposes up to [`FrameBlock::LANES`] frames into a block; frame `b`
+    /// becomes lane `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frames` is empty, holds more than [`FrameBlock::LANES`]
+    /// frames, or the frames disagree on width.
+    pub fn from_frames(frames: &[BitVec]) -> Self {
+        assert!(!frames.is_empty(), "a frame block needs at least one frame");
+        assert!(
+            frames.len() <= Self::LANES,
+            "a frame block holds at most {} frames, got {}",
+            Self::LANES,
+            frames.len()
+        );
+        let width = frames[0].len();
+        let mut block = Self::new(width, frames.len());
+        for (lane, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                frame.len(),
+                width,
+                "every frame in a block must share one width"
+            );
+            for input in frame.iter_ones() {
+                block.words[input] |= 1 << lane;
+            }
+        }
+        block
+    }
+
+    /// Splits an arbitrary batch into consecutive blocks of at most
+    /// [`FrameBlock::LANES`] frames (the last block carries the ragged
+    /// tail). An empty batch yields no blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frames disagree on width.
+    pub fn blocks_of(frames: &[BitVec]) -> Vec<FrameBlock> {
+        frames.chunks(Self::LANES).map(Self::from_frames).collect()
+    }
+
+    /// Untransposes the block back into one [`BitVec`] frame per lane, in
+    /// lane order. `to_frames(from_frames(f)) == f` for any valid batch.
+    pub fn to_frames(&self) -> Vec<BitVec> {
+        (0..self.lanes).map(|lane| self.lane_frame(lane)).collect()
+    }
+
+    /// Extracts the frame occupying a single lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= self.lanes()`.
+    pub fn lane_frame(&self, lane: usize) -> BitVec {
+        assert!(
+            lane < self.lanes,
+            "lane {lane} out of range for a {}-lane block",
+            self.lanes
+        );
+        let mut frame = BitVec::new(self.width);
+        let dst = frame.words_mut();
+        for (input, &word) in self.words.iter().enumerate() {
+            dst[input / Self::LANES] |= ((word >> lane) & 1) << (input % Self::LANES);
+        }
+        frame
+    }
+
+    /// Number of inputs (rows) per frame.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of frames packed into the block.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mask with one bit set per occupied lane (`lanes()` low bits).
+    pub fn lane_mask(&self) -> u64 {
+        if self.lanes == Self::LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+
+    /// The lane word of input `row`: bit `b` is frame `b`'s value for that
+    /// input.
+    pub fn word(&self, row: usize) -> u64 {
+        self.words[row]
+    }
+
+    /// All lane words, one per input row.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites the lane word of input `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `word` sets a bit at or above `lanes()` — blocks stay
+    /// canonical so whole-word comparisons remain meaningful.
+    pub fn set_word(&mut self, row: usize, word: u64) {
+        assert_eq!(
+            word & !self.lane_mask(),
+            0,
+            "lane bits >= lanes() must stay zero"
+        );
+        self.words[row] = word;
+    }
+
+    /// Clears every lane of every input.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl std::fmt::Debug for FrameBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameBlock")
+            .field("width", &self.width)
+            .field("lanes", &self.lanes)
+            .field(
+                "spikes",
+                &self.words.iter().map(|w| w.count_ones()).sum::<u32>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn frame_of(width: usize, ones: &[usize]) -> BitVec {
+        BitVec::from_indices(width, ones)
+    }
+
+    #[test]
+    fn transpose_places_frame_bits_in_lanes() {
+        let frames = vec![
+            frame_of(100, &[0, 3, 99]),
+            frame_of(100, &[3]),
+            frame_of(100, &[99]),
+        ];
+        let block = FrameBlock::from_frames(&frames);
+        assert_eq!(block.width(), 100);
+        assert_eq!(block.lanes(), 3);
+        assert_eq!(block.lane_mask(), 0b111);
+        assert_eq!(block.word(0), 0b001, "input 0 fires only in frame 0");
+        assert_eq!(block.word(3), 0b011, "input 3 fires in frames 0 and 1");
+        assert_eq!(block.word(99), 0b101, "input 99 fires in frames 0 and 2");
+        assert_eq!(block.word(1), 0, "silent inputs stay zero");
+    }
+
+    #[test]
+    fn untranspose_is_the_inverse_of_transpose() {
+        let frames = vec![
+            frame_of(130, &[0, 64, 127, 129]),
+            frame_of(130, &[]),
+            frame_of(130, &[63, 64, 65]),
+        ];
+        let block = FrameBlock::from_frames(&frames);
+        assert_eq!(block.to_frames(), frames);
+        assert_eq!(block.lane_frame(1), frames[1]);
+    }
+
+    #[test]
+    fn empty_batch_yields_no_blocks() {
+        assert!(FrameBlock::blocks_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_frame_occupies_lane_zero_only() {
+        let frames = vec![frame_of(70, &[1, 69])];
+        let block = FrameBlock::from_frames(&frames);
+        assert_eq!(block.lanes(), 1);
+        assert_eq!(block.lane_mask(), 1);
+        assert_eq!(block.word(1), 1);
+        assert!(block.words().iter().all(|&w| w & !1 == 0));
+        assert_eq!(block.to_frames(), frames);
+    }
+
+    #[test]
+    fn all_zero_and_all_one_lanes_round_trip() {
+        let zeros = BitVec::new(96);
+        let ones: BitVec = (0..96).map(|_| true).collect();
+        let frames = vec![zeros.clone(), ones.clone(), zeros, ones];
+        let block = FrameBlock::from_frames(&frames);
+        assert!(block.words().iter().all(|&w| w == 0b1010));
+        assert_eq!(block.to_frames(), frames);
+    }
+
+    #[test]
+    fn ragged_tail_masks_unoccupied_lanes() {
+        // 65 frames -> one full block + a single-lane tail; the tail's
+        // words must never set bits above its lane count.
+        let frames: Vec<BitVec> = (0..65)
+            .map(|f| frame_of(40, &[f % 40, (f * 7) % 40]))
+            .collect();
+        let blocks = FrameBlock::blocks_of(&frames);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].lanes(), FrameBlock::LANES);
+        assert_eq!(blocks[1].lanes(), 1);
+        for block in &blocks {
+            let mask = block.lane_mask();
+            assert!(block.words().iter().all(|&w| w & !mask == 0));
+        }
+        let mut round_trip = blocks[0].to_frames();
+        round_trip.extend(blocks[1].to_frames());
+        assert_eq!(round_trip, frames);
+    }
+
+    #[test]
+    fn set_word_enforces_the_canonical_lane_mask() {
+        let mut block = FrameBlock::new(8, 2);
+        block.set_word(5, 0b11);
+        assert_eq!(block.word(5), 0b11);
+        let result = std::panic::catch_unwind(move || {
+            let mut block = block;
+            block.set_word(5, 0b100);
+        });
+        assert!(
+            result.is_err(),
+            "bit at lane 2 of a 2-lane block must panic"
+        );
+    }
+
+    #[test]
+    fn clear_zeroes_every_word() {
+        let frames = vec![frame_of(20, &[0, 19]), frame_of(20, &[7])];
+        let mut block = FrameBlock::from_frames(&frames);
+        block.clear();
+        assert!(block.words().iter().all(|&w| w == 0));
+        assert_eq!(block.lanes(), 2, "clear keeps the lane count");
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_untranspose_round_trips(
+            width in 1usize..200,
+            lanes in 1usize..=FrameBlock::LANES,
+            seed in 0u64..1000,
+        ) {
+            let frames: Vec<BitVec> = (0..lanes)
+                .map(|lane| {
+                    (0..width)
+                        .map(|i| {
+                            (seed.wrapping_mul(31) as usize + lane * 13 + i * 7).is_multiple_of(5)
+                        })
+                        .collect()
+                })
+                .collect();
+            let block = FrameBlock::from_frames(&frames);
+            prop_assert_eq!(block.to_frames(), frames);
+            let mask = block.lane_mask();
+            prop_assert!(block.words().iter().all(|&w| w & !mask == 0));
+        }
+    }
+}

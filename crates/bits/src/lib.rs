@@ -33,6 +33,8 @@
 
 mod bitmatrix;
 mod bitvec;
+mod frame_block;
 
 pub use bitmatrix::BitMatrix;
 pub use bitvec::BitVec;
+pub use frame_block::FrameBlock;

@@ -45,7 +45,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use esam_bits::{BitMatrix, BitVec};
+use esam_bits::{BitMatrix, BitVec, FrameBlock};
 
 use crate::config::{BatchConfig, EpochConfig, WeightMergePolicy};
 use crate::error::CoreError;
@@ -141,6 +141,48 @@ impl BatchEngine {
             ));
         }
         let shard_tallies = self.run_sharded(frames)?;
+        let mut tally = BatchTally::default();
+        for shard in &shard_tallies {
+            tally.merge(shard);
+        }
+        self.reference.reset_stats();
+        for worker in &self.workers {
+            self.reference.absorb_stats(worker);
+        }
+        self.reference.finalize_metrics(&tally)
+    }
+
+    /// [`measure`](Self::measure) on the batch-major bit-sliced path:
+    /// workers claim chunks rounded up to whole [`FrameBlock::LANES`]-frame
+    /// blocks (so almost every block runs with all 64 lanes occupied) and
+    /// run them through [`EsamSystem::infer_block`]. Bit-identical to
+    /// [`EsamSystem::measure_batch`] — and to [`measure`](Self::measure) —
+    /// on the same frames at every thread count: the block path reproduces
+    /// every counter of the sequential walk, and the counters merge under
+    /// the same exact law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty batch and
+    /// propagates the first worker error otherwise.
+    pub fn measure_bitsliced(&mut self, frames: &[BitVec]) -> Result<SystemMetrics, CoreError> {
+        if frames.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "metrics need at least one frame".into(),
+            ));
+        }
+        let base = self
+            .config
+            .effective_chunk_size(frames.len(), self.workers.len());
+        let chunk_size = base.div_ceil(FrameBlock::LANES).max(1) * FrameBlock::LANES;
+        let tallies: Mutex<Vec<BatchTally>> =
+            Mutex::new(vec![BatchTally::default(); self.threads()]);
+        self.run_workers_chunked(frames, chunk_size, |worker_index, _, chunk, worker| {
+            let tally = worker.run_frames_bitsliced(chunk)?;
+            tallies.lock().expect("tally sink poisoned")[worker_index].merge(&tally);
+            Ok(())
+        })?;
+        let shard_tallies = tallies.into_inner().expect("tally sink poisoned");
         let mut tally = BatchTally::default();
         for shard in &shard_tallies {
             tally.merge(shard);
@@ -374,12 +416,26 @@ impl BatchEngine {
     where
         F: Fn(usize, usize, &[BitVec], &mut EsamSystem) -> Result<(), CoreError> + Sync,
     {
-        for worker in &mut self.workers {
-            worker.reset_stats();
-        }
         let chunk_size = self
             .config
             .effective_chunk_size(frames.len(), self.workers.len());
+        self.run_workers_chunked(frames, chunk_size, serve)
+    }
+
+    /// [`run_workers`](Self::run_workers) with an explicit chunk size (the
+    /// bit-sliced path rounds chunks up to whole 64-lane blocks).
+    fn run_workers_chunked<F>(
+        &mut self,
+        frames: &[BitVec],
+        chunk_size: usize,
+        serve: F,
+    ) -> Result<(), CoreError>
+    where
+        F: Fn(usize, usize, &[BitVec], &mut EsamSystem) -> Result<(), CoreError> + Sync,
+    {
+        for worker in &mut self.workers {
+            worker.reset_stats();
+        }
         let cursor = AtomicUsize::new(0);
         let failed = AtomicUsize::new(0);
         let errors: Mutex<Vec<CoreError>> = Mutex::new(Vec::new());

@@ -8,7 +8,7 @@
 //! tile works on a different inference, so throughput is set by the
 //! *bottleneck* tile's cycle count while latency is the sum over tiles.
 
-use esam_bits::BitVec;
+use esam_bits::{BitVec, FrameBlock};
 use esam_nn::bnn::argmax;
 use esam_nn::{derive_teacher_signals, SnnModel};
 use esam_tech::units::{AreaUm2, Joules, Watts};
@@ -488,6 +488,163 @@ impl EsamSystem {
         for frame in frames {
             let result = self.infer(frame)?;
             tally.record(&result);
+        }
+        Ok(tally)
+    }
+
+    /// Whether the batch-major bit-sliced block path reproduces the
+    /// sequential walk bit for bit from this system's *current* state.
+    ///
+    /// The block path needs per-frame independence (the `EveryTimestep`
+    /// reset), a fully clean pipeline (drained tiles, zero membranes, no
+    /// pending neuron requests — all guaranteed again after every frame
+    /// under that reset), and membrane registers wide enough that the
+    /// per-cycle clamp can never engage mid-frame (`inputs ≤ min(mem_max,
+    /// −mem_min)`; the running sum's magnitude is bounded by the spikes
+    /// processed so far, so it then never leaves the register range and the
+    /// closed-form `2·ones − spikes` is exact).
+    pub(crate) fn block_path_eligible(&self) -> bool {
+        if self.config.neuron().reset_policy() != esam_neuron::ResetPolicy::EveryTimestep {
+            return false;
+        }
+        self.tiles.iter().all(|tile| {
+            let neuron_config = tile.neurons().config();
+            let clamp_guard = neuron_config.mem_max().min(-neuron_config.mem_min());
+            tile.inputs() as i64 <= clamp_guard as i64
+                && tile.is_drained()
+                && !tile.neurons().spike_requests().any()
+                && tile.membranes().iter().all(|&m| m == 0)
+        })
+    }
+
+    /// Runs a batch of frames through the batch-major bit-sliced path:
+    /// frames are transposed into [`FrameBlock`]s of up to 64 lanes (the
+    /// last block carries the ragged tail) and each tile advances every
+    /// lane at once ([`Tile::step_block`]).
+    ///
+    /// Results — predictions, logits, membranes, output spikes, per-tile
+    /// cycle counts *and every activity counter* — are bit-identical to
+    /// looping [`infer`](Self::infer) over the same frames in order
+    /// (property-tested in `tests/bitslice_equivalence.rs`). When the
+    /// system state or configuration rules the block path out (see
+    /// `block_path_eligible`), the frames run through the sequential walk
+    /// instead, so the call is *always* exact.
+    ///
+    /// An empty slice yields an empty result vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] when any frame has the
+    /// wrong width.
+    pub fn infer_block(&mut self, frames: &[BitVec]) -> Result<Vec<InferenceResult>, CoreError> {
+        let expected = self.config.topology()[0];
+        for frame in frames {
+            if frame.len() != expected {
+                return Err(CoreError::InputWidthMismatch {
+                    expected,
+                    got: frame.len(),
+                });
+            }
+        }
+        if !self.block_path_eligible() {
+            return frames.iter().map(|frame| self.infer(frame)).collect();
+        }
+        let mut results = Vec::with_capacity(frames.len());
+        for chunk in frames.chunks(FrameBlock::LANES) {
+            self.infer_block_chunk(chunk, &mut results)?;
+        }
+        Ok(results)
+    }
+
+    /// Advances one ≤64-lane chunk through the cascade. The fired lane
+    /// words of each tile *are* the next tile's [`FrameBlock`] words, so
+    /// cascading costs no re-transpose; only the output tile materializes
+    /// per-lane membranes and frames for the results.
+    fn infer_block_chunk(
+        &mut self,
+        frames: &[BitVec],
+        results: &mut Vec<InferenceResult>,
+    ) -> Result<(), CoreError> {
+        let lanes = frames.len();
+        let tile_count = self.tiles.len();
+        let classes = self.output_bias.len();
+        let mut block = FrameBlock::from_frames(frames);
+        let mut cycles = vec![0u64; lanes];
+        let mut per_lane_cycles: Vec<Vec<u64>> =
+            (0..lanes).map(|_| Vec::with_capacity(tile_count)).collect();
+        let mut membranes = vec![0i32; lanes * classes];
+        for (index, tile) in self.tiles.iter_mut().enumerate() {
+            let is_output = index + 1 == tile_count;
+            let mut fired = FrameBlock::new(tile.outputs(), lanes);
+            tile.step_block(
+                &block,
+                &mut fired,
+                &mut cycles,
+                is_output.then_some(membranes.as_mut_slice()),
+            )?;
+            for (lane_cycles, &tile_cycles) in per_lane_cycles.iter_mut().zip(cycles.iter()) {
+                lane_cycles.push(tile_cycles);
+            }
+            block = fired;
+        }
+        for (lane, per_tile_cycles) in per_lane_cycles.into_iter().enumerate() {
+            let membranes = membranes[lane * classes..(lane + 1) * classes].to_vec();
+            let logits: Vec<f32> = membranes
+                .iter()
+                .zip(&self.output_bias)
+                .map(|(&m, &b)| m as f32 + b)
+                .collect();
+            results.push(InferenceResult {
+                prediction: argmax(&logits),
+                logits,
+                membranes,
+                output_spikes: block.lane_frame(lane),
+                per_tile_cycles,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`measure_batch`](Self::measure_batch) on the batch-major bit-sliced
+    /// path: same reset, same tally, same finalization — and bit-identical
+    /// metrics, because the block path reproduces every counter the
+    /// sequential walk accumulates (the merge law the batch engine already
+    /// relies on makes the per-block closed-form sums exact).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference errors; returns
+    /// [`CoreError::InvalidConfig`] for an empty batch.
+    pub fn measure_batch_bitsliced(
+        &mut self,
+        frames: &[BitVec],
+    ) -> Result<SystemMetrics, CoreError> {
+        if frames.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "metrics need at least one frame".into(),
+            ));
+        }
+        self.reset_stats();
+        let tally = self.run_frames_bitsliced(frames)?;
+        self.finalize_metrics(&tally)
+    }
+
+    /// Accumulation core of the bit-sliced path: one [`FrameBlock`] at a
+    /// time through [`infer_block`](Self::infer_block), tallying exactly
+    /// like [`run_frames`](Self::run_frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-block inference errors.
+    pub(crate) fn run_frames_bitsliced(
+        &mut self,
+        frames: &[BitVec],
+    ) -> Result<BatchTally, CoreError> {
+        let mut tally = BatchTally::default();
+        for chunk in frames.chunks(FrameBlock::LANES) {
+            for result in self.infer_block(chunk)? {
+                tally.record(&result);
+            }
         }
         Ok(tally)
     }

@@ -31,7 +31,7 @@
 use std::sync::Arc;
 
 use esam_arbiter::{EncoderStructure, MultiPortArbiter};
-use esam_bits::{BitMatrix, BitVec};
+use esam_bits::{BitMatrix, BitVec, FrameBlock};
 use esam_neuron::NeuronArray;
 use esam_nn::SnnLayer;
 use esam_sram::{AccessStats, SramArray, SramMacro};
@@ -153,6 +153,67 @@ impl StepScratch {
     }
 }
 
+/// Number of bit-planes in each per-row-group vertical request counter:
+/// row groups hold at most [`ARRAY_DIM`] = 128 rows, so per-lane request
+/// counts fit in 8 bits.
+const RG_PLANES: usize = 8;
+
+/// Reusable buffers of the batch-major bit-sliced path
+/// ([`Tile::step_block`]): vertical (bit-plane) counters holding one lane
+/// per bit, sized once at construction so a steady-state block step performs
+/// **zero heap allocations** (verified by `tests/step_no_alloc.rs`). The
+/// vectors are non-empty, so a derived clone preserves them and cloned
+/// worker tiles inherit the allocation-free contract.
+#[derive(Debug, Clone)]
+struct BlockScratch {
+    /// Per-output vertical spike counters: `nplanes` lane-words per output,
+    /// laid out `[output][plane]`. Plane `p` of output `j` holds bit `p` of
+    /// that output's per-lane count of received `1`-weight spikes.
+    planes: Vec<u64>,
+    /// Per-row-group vertical request counters: [`RG_PLANES`] lane-words
+    /// per row group, reconstructing each lane's per-group spike count (the
+    /// quantity that fixes that lane's serve-cycle count).
+    rg_planes: Vec<u64>,
+    /// Bit-planes per output counter: `ceil(log2(inputs + 1))`, enough for
+    /// a lane receiving every input as a spike.
+    nplanes: usize,
+}
+
+impl BlockScratch {
+    fn new(inputs: usize, outputs: usize, row_groups: usize) -> Self {
+        let nplanes = (usize::BITS - inputs.leading_zeros()) as usize;
+        Self {
+            planes: vec![0; outputs * nplanes],
+            rg_planes: vec![0; row_groups * RG_PLANES],
+            nplanes,
+        }
+    }
+}
+
+/// Adds one lane-word of unit increments into a vertical (bit-plane)
+/// counter: a 64-lane ripple-carry add of 0/1 per lane. The carry chain
+/// stops as soon as it is absorbed, so the amortized cost is ~2 word ops.
+#[inline]
+fn ripple_add(planes: &mut [u64], mut carry: u64) {
+    let mut plane = 0;
+    while carry != 0 {
+        let next = planes[plane] & carry;
+        planes[plane] ^= carry;
+        carry = next;
+        plane += 1;
+    }
+}
+
+/// Reads lane `lane`'s value out of a vertical counter.
+#[inline]
+fn lane_count(planes: &[u64], lane: usize) -> u32 {
+    planes
+        .iter()
+        .enumerate()
+        .map(|(bit, &plane)| (((plane >> lane) & 1) as u32) << bit)
+        .sum()
+}
+
 /// One ESAM tile (one network layer).
 #[derive(Debug, Clone)]
 pub struct Tile {
@@ -173,6 +234,8 @@ pub struct Tile {
     array_stats: Vec<AccessStats>,
     /// Reusable hot-path buffers (see [`StepScratch`]).
     scratch: StepScratch,
+    /// Reusable bit-sliced-path buffers (see [`BlockScratch`]).
+    block_scratch: BlockScratch,
 }
 
 impl Tile {
@@ -231,6 +294,7 @@ impl Tile {
                 row_groups * grants_per_cycle,
                 grants_per_cycle,
             ),
+            block_scratch: BlockScratch::new(inputs, outputs, row_groups),
         })
     }
 
@@ -575,6 +639,166 @@ impl Tile {
         let fired = self.finish_timestep();
         cycles += 1;
         Ok((fired, cycles))
+    }
+
+    /// Processes one [`FrameBlock`] — up to 64 independent frames at once,
+    /// one pass over the active weight rows advancing every lane per word.
+    ///
+    /// Writes the fired spike frame of every lane into `fired` (its lane
+    /// words are the next tile's `FrameBlock` words — cascading blocks
+    /// needs no re-transpose), the per-lane pipeline cycle counts
+    /// (serve cycles + the fire cycle) into `cycles`, and — when
+    /// `membranes_out` is given, e.g. for the output tile readout — each
+    /// lane's pre-reset membrane potentials into
+    /// `membranes_out[lane * outputs + neuron]`.
+    ///
+    /// # Bit-identity contract
+    ///
+    /// For every lane, outputs, membranes, [`TileStats`] and
+    /// [`AccessStats`] land exactly as if the lanes had been processed one
+    /// at a time with [`inject`](Self::inject) / [`step`](Self::step) /
+    /// [`finish_timestep`](Self::finish_timestep): all activity counters
+    /// are order-independent sums over (lane, spike) events, accumulated
+    /// here in closed form, and the per-lane membrane `2·ones − spikes` is
+    /// the exact integration result whenever the membrane register cannot
+    /// clamp mid-frame. Callers must uphold the preconditions
+    /// (drained tile, zero membranes, no pending neuron requests,
+    /// every-timestep reset, `inputs ≤ min(mem_max, −mem_min)`) —
+    /// [`EsamSystem::infer_block`](crate::EsamSystem::infer_block) checks
+    /// them and falls back to the sequential walk otherwise. Equivalence is
+    /// property-tested in `tests/bitslice_equivalence.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] when the block width does
+    /// not match the tile fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fired`, `cycles` or `membranes_out` are mis-shaped for
+    /// this tile and the block's lane count.
+    pub fn step_block(
+        &mut self,
+        block: &FrameBlock,
+        fired: &mut FrameBlock,
+        cycles: &mut [u64],
+        mut membranes_out: Option<&mut [i32]>,
+    ) -> Result<(), CoreError> {
+        if block.width() != self.inputs {
+            return Err(CoreError::InputWidthMismatch {
+                expected: self.inputs,
+                got: block.width(),
+            });
+        }
+        let lanes = block.lanes();
+        assert_eq!(fired.width(), self.outputs, "fired block width mismatch");
+        assert_eq!(fired.lanes(), lanes, "fired block lane-count mismatch");
+        assert_eq!(cycles.len(), lanes, "cycle buffer length mismatch");
+        if let Some(out) = membranes_out.as_deref_mut() {
+            assert_eq!(
+                out.len(),
+                lanes * self.outputs,
+                "membrane buffer length mismatch"
+            );
+        }
+        debug_assert!(self.is_drained(), "block step needs a drained tile");
+        debug_assert!(
+            self.membranes().iter().all(|&m| m == 0),
+            "block step needs zeroed membranes"
+        );
+
+        let nplanes = self.block_scratch.nplanes;
+        self.block_scratch.planes.fill(0);
+        self.block_scratch.rg_planes.fill(0);
+        let planes = &mut self.block_scratch.planes;
+        let rg_planes = &mut self.block_scratch.rg_planes;
+
+        // One pass over the active weight rows. For input row `i` with lane
+        // word `s` (one bit per lane in which that input spikes), every
+        // column `j` with weight 1 receives `s` as a 64-lane unit increment
+        // into its vertical counter; the per-array counters advance by the
+        // same amounts a per-lane `read_row_counted_into` walk would have
+        // accumulated (one read per granted lane).
+        let mut block_spikes = 0u64;
+        for rg in 0..self.row_groups {
+            let rows = block_len(self.inputs, rg);
+            let rg_counter = &mut rg_planes[rg * RG_PLANES..(rg + 1) * RG_PLANES];
+            for local_row in 0..rows {
+                let lanes_word = block.word(rg * ARRAY_DIM + local_row);
+                if lanes_word == 0 {
+                    continue;
+                }
+                let granted_lanes = u64::from(lanes_word.count_ones());
+                block_spikes += granted_lanes;
+                ripple_add(rg_counter, lanes_word);
+                for cg in 0..self.col_groups {
+                    let index = rg * self.col_groups + cg;
+                    let array = &self.weights.arrays[index];
+                    let mut row_ones = 0u64;
+                    for (word_index, &weights_word) in
+                        array.bits().row_words(local_row).iter().enumerate()
+                    {
+                        row_ones += u64::from(weights_word.count_ones());
+                        let mut remaining = weights_word;
+                        while remaining != 0 {
+                            let column = word_index * 64 + remaining.trailing_zeros() as usize;
+                            remaining &= remaining - 1;
+                            let output = cg * ARRAY_DIM + column;
+                            ripple_add(
+                                &mut planes[output * nplanes..(output + 1) * nplanes],
+                                lanes_word,
+                            );
+                        }
+                    }
+                    // Same increments as `read_row_counted_into`, once per
+                    // granted lane.
+                    let stats = &mut self.array_stats[index];
+                    stats.inference_reads += granted_lanes;
+                    stats.inference_zero_bits +=
+                        granted_lanes * (array.config().cols() as u64 - row_ones);
+                }
+            }
+        }
+
+        // Per-lane serve-cycle plan: each row group drains its lane count in
+        // `ceil(n / p)` cycles, groups drain in parallel, plus one compare/
+        // fire cycle — exactly `process_frame`'s cycle count per lane.
+        let ports = self.grants_per_cycle as u32;
+        let mut totals = [0i32; FrameBlock::LANES];
+        for (lane, (cycle_slot, total)) in cycles.iter_mut().zip(totals.iter_mut()).enumerate() {
+            let mut serve = 0u32;
+            for rg in 0..self.row_groups {
+                let count = lane_count(&rg_planes[rg * RG_PLANES..(rg + 1) * RG_PLANES], lane);
+                *total += count as i32;
+                serve = serve.max(count.div_ceil(ports));
+            }
+            *cycle_slot = u64::from(serve) + 1;
+            self.stats.active_cycles += u64::from(serve) + 1;
+        }
+
+        // Per-lane compare/fire: with zeroed start and no mid-frame clamp,
+        // the membrane is exactly `2·ones − spikes` (every 1-weight spike
+        // adds 1, every 0-weight spike subtracts 1). The fired lane words
+        // are the block path's output currency.
+        let thresholds = self.neurons.thresholds();
+        for (output, &threshold) in thresholds.iter().enumerate() {
+            let counter = &planes[output * nplanes..(output + 1) * nplanes];
+            let mut fired_word = 0u64;
+            for (lane, &total) in totals.iter().enumerate().take(lanes) {
+                let membrane = 2 * lane_count(counter, lane) as i32 - total;
+                if let Some(out) = membranes_out.as_deref_mut() {
+                    out[lane * self.outputs + output] = membrane;
+                }
+                fired_word |= u64::from(membrane >= threshold) << lane;
+            }
+            fired.set_word(output, fired_word);
+        }
+
+        self.stats.spikes_in += block_spikes;
+        self.stats.grants += block_spikes;
+        self.stats.neuron_bits += block_spikes * self.outputs as u64;
+        self.stats.timesteps += lanes as u64;
+        Ok(())
     }
 
     /// Dynamic energy implied by the accumulated counters: SRAM accesses,

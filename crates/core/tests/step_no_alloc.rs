@@ -9,7 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use esam_bits::BitVec;
+use esam_bits::{BitVec, FrameBlock};
 use esam_core::{SystemConfig, Tile};
 use esam_sram::BitcellKind;
 
@@ -107,6 +107,80 @@ fn cloned_worker_tiles_inherit_the_allocation_free_contract() {
         after - before,
         0,
         "a cloned tile's first drain loop must not touch the heap"
+    );
+}
+
+#[test]
+fn steady_state_block_step_is_allocation_free() {
+    // The batch-major bit-sliced kernel must match the scalar hot path's
+    // contract: with caller-provided output buffers, a steady-state
+    // `step_block` touches only the tile's preallocated vertical-counter
+    // scratch — zero heap allocations, full and ragged blocks alike.
+    for cell in [
+        BitcellKind::Std6T,
+        BitcellKind::multiport(2).unwrap(),
+        BitcellKind::multiport(4).unwrap(),
+    ] {
+        let config = SystemConfig::builder(cell, &[260, 130]).build().unwrap();
+        let mut tile = Tile::new(260, 130, &config).unwrap();
+
+        let full: Vec<BitVec> = (0..FrameBlock::LANES)
+            .map(|lane| (0..260).map(|i| (i + lane) % 3 == 0).collect())
+            .collect();
+        let block = FrameBlock::from_frames(&full);
+        let ragged = FrameBlock::from_frames(&full[..21]);
+        let mut fired = FrameBlock::new(130, FrameBlock::LANES);
+        let mut fired_ragged = FrameBlock::new(130, 21);
+        let mut cycles = vec![0u64; FrameBlock::LANES];
+        let mut membranes = vec![0i32; FrameBlock::LANES * 130];
+
+        // Warm-up: nothing in `step_block` allocates lazily, but keep the
+        // measurement strictly steady-state as the contract states.
+        tile.step_block(&block, &mut fired, &mut cycles, Some(&mut membranes))
+            .unwrap();
+
+        let before = allocations();
+        tile.step_block(&block, &mut fired, &mut cycles, Some(&mut membranes))
+            .unwrap();
+        tile.step_block(&block, &mut fired, &mut cycles, None)
+            .unwrap();
+        tile.step_block(&ragged, &mut fired_ragged, &mut cycles[..21], None)
+            .unwrap();
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{cell}: the block step must not touch the heap"
+        );
+    }
+}
+
+#[test]
+fn cloned_worker_tiles_block_step_is_allocation_free_too() {
+    // Serve/batch workers are clones; the vertical-counter scratch must
+    // survive cloning so a worker's first block step already honors the
+    // contract.
+    let cell = BitcellKind::multiport(4).unwrap();
+    let config = SystemConfig::builder(cell, &[260, 130]).build().unwrap();
+    let template = Tile::new(260, 130, &config).unwrap();
+    let mut worker = template.clone();
+
+    let frames: Vec<BitVec> = (0..FrameBlock::LANES)
+        .map(|lane| (0..260).map(|i| (i * 5 + lane) % 4 == 0).collect())
+        .collect();
+    let block = FrameBlock::from_frames(&frames);
+    let mut fired = FrameBlock::new(130, FrameBlock::LANES);
+    let mut cycles = vec![0u64; FrameBlock::LANES];
+
+    let before = allocations();
+    worker
+        .step_block(&block, &mut fired, &mut cycles, None)
+        .unwrap();
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "a cloned tile's first block step must not touch the heap"
     );
 }
 

@@ -7,6 +7,12 @@
 //! `std::thread` per worker. Each worker loops: pull a micro-batch, run
 //! every frame through its own pipeline clone, fulfil the tickets, flush
 //! the batch's latency samples into the shared metrics under one lock.
+//! Batches of at least [`FrameBlock::LANES`](esam_bits::FrameBlock::LANES)
+//! requests advance through the batch-major bit-sliced kernel
+//! ([`EsamSystem::infer_block`](esam_core::EsamSystem::infer_block)) — 64
+//! frames per machine word — which is bit-identical to the per-request
+//! walk; pair it with [`BatchPolicy::slice_aligned`] so the micro-batcher
+//! prefers lane-width multiples.
 //!
 //! Results are **bit-identical** to calling
 //! [`EsamSystem::infer`](esam_core::EsamSystem::infer) sequentially on the
@@ -22,8 +28,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use esam_bits::BitVec;
-use esam_core::{BatchTally, EsamSystem, SystemMetrics};
+use esam_bits::{BitVec, FrameBlock};
+use esam_core::{BatchTally, EsamSystem, InferenceResult, SystemMetrics};
 use esam_tech::units::{Joules, Seconds};
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
@@ -379,6 +385,50 @@ impl Drop for EsamService {
 /// One worker's serve loop: pull micro-batches until the queue closes and
 /// drains; return the worker's pipeline (holding its activity counters) and
 /// cycle tally for the shutdown fold.
+/// Resolves one request's ticket from its inference outcome and flushes the
+/// latency sample; returns 1 on failure (for the batch's failure count).
+/// Shared by the sequential and the bit-sliced dispatch paths so both
+/// produce byte-identical [`Response`]s.
+fn fulfil(
+    request: PendingRequest,
+    outcome: Result<InferenceResult, ServeError>,
+    dispatch: Instant,
+    size: usize,
+    tally: &mut BatchTally,
+    samples: &mut Vec<BatchSamples>,
+) -> u64 {
+    let queue_wait = dispatch.saturating_duration_since(request.submitted);
+    match outcome {
+        Ok(result) => {
+            tally.record(&result);
+            let wall_latency = request.submitted.elapsed();
+            let pipeline_cycles = result.total_cycles();
+            let bottleneck_cycles = result.bottleneck_cycles();
+            samples.push(BatchSamples {
+                wall_ns: wall_latency.as_nanos() as u64,
+                wait_ns: queue_wait.as_nanos() as u64,
+                cycles: pipeline_cycles,
+            });
+            request.slot.complete(Ok(Response {
+                id: request.id,
+                prediction: result.prediction,
+                logits: result.logits,
+                membranes: result.membranes,
+                pipeline_cycles,
+                bottleneck_cycles,
+                wall_latency,
+                queue_wait,
+                batch_size: size,
+            }));
+            0
+        }
+        Err(error) => {
+            request.slot.complete(Err(error));
+            1
+        }
+    }
+}
+
 fn worker_loop(
     mut system: EsamSystem,
     queue: &RequestQueue,
@@ -392,37 +442,46 @@ fn worker_loop(
         let size = batch.len();
         samples.clear();
         let mut failed = 0u64;
-        for request in batch {
-            let queue_wait = dispatch.saturating_duration_since(request.submitted);
-            match system.infer(&request.frame) {
-                Ok(result) => {
-                    tally.record(&result);
-                    let wall_latency = request.submitted.elapsed();
-                    let pipeline_cycles = result.total_cycles();
-                    let bottleneck_cycles = result.bottleneck_cycles();
-                    samples.push(BatchSamples {
-                        wall_ns: wall_latency.as_nanos() as u64,
-                        wait_ns: queue_wait.as_nanos() as u64,
-                        cycles: pipeline_cycles,
-                    });
-                    request.slot.complete(Ok(Response {
-                        id: request.id,
-                        prediction: result.prediction,
-                        logits: result.logits,
-                        membranes: result.membranes,
-                        pipeline_cycles,
-                        bottleneck_cycles,
-                        wall_latency,
-                        queue_wait,
-                        batch_size: size,
-                    }));
+        if size >= FrameBlock::LANES {
+            // Lane-width batch: advance all frames through the bit-sliced
+            // block kernel (bit-identical to the per-request walk; the
+            // kernel falls back internally when ineligible). Widths were
+            // validated at submission, so a block error is a genuine
+            // worker fault — resolve every ticket with it and move on.
+            let frames: Vec<BitVec> = batch.iter().map(|r| r.frame.clone()).collect();
+            match system.infer_block(&frames) {
+                Ok(results) => {
+                    for (request, result) in batch.into_iter().zip(results) {
+                        failed += fulfil(
+                            request,
+                            Ok(result),
+                            dispatch,
+                            size,
+                            &mut tally,
+                            &mut samples,
+                        );
+                    }
                 }
                 Err(error) => {
-                    failed += 1;
-                    request
-                        .slot
-                        .complete(Err(ServeError::Worker(error.to_string())));
+                    let worker_error = ServeError::Worker(error.to_string());
+                    for request in batch {
+                        failed += fulfil(
+                            request,
+                            Err(worker_error.clone()),
+                            dispatch,
+                            size,
+                            &mut tally,
+                            &mut samples,
+                        );
+                    }
                 }
+            }
+        } else {
+            for request in batch {
+                let outcome = system
+                    .infer(&request.frame)
+                    .map_err(|error| ServeError::Worker(error.to_string()));
+                failed += fulfil(request, outcome, dispatch, size, &mut tally, &mut samples);
             }
         }
         let done = Instant::now();

@@ -150,6 +150,54 @@ fn six_transistor_baseline_serves_identically_too() {
 }
 
 #[test]
+fn block_path_batches_are_bit_identical_across_worker_counts() {
+    // Greedy batches big enough to clear the 64-lane threshold push the
+    // workers onto the bit-sliced block kernel; every response must still
+    // match the sequential walk exactly, at any worker count.
+    let system = system(BitcellKind::multiport(4).unwrap());
+    let batch = frames(160, 31);
+    let expected = sequential_reference(&system, &batch);
+    for workers in [1, 2, 4] {
+        assert_served_matches(
+            &system,
+            &batch,
+            &expected,
+            ServeConfig::with_workers(workers)
+                .queue_capacity(256)
+                .batch(BatchPolicy::greedy(256)),
+            &format!("block path, {workers} workers"),
+        );
+    }
+}
+
+#[test]
+fn slice_aligned_batches_are_bit_identical_under_every_admission_policy() {
+    // Slice-width-aligned batching (the block path's preferred shape) must
+    // stay exact under every admission policy; capacity is large enough
+    // that nothing is shed.
+    let system = system(BitcellKind::multiport(4).unwrap());
+    let batch = frames(130, 37);
+    let expected = sequential_reference(&system, &batch);
+    let policy = BatchPolicy::new(128, Duration::from_micros(200)).slice_aligned(64);
+    for admission in [
+        AdmissionPolicy::Block,
+        AdmissionPolicy::Reject,
+        AdmissionPolicy::DropOldest,
+    ] {
+        assert_served_matches(
+            &system,
+            &batch,
+            &expected,
+            ServeConfig::with_workers(2)
+                .queue_capacity(256)
+                .admission(admission)
+                .batch(policy),
+            &format!("slice-aligned, {}", admission.name()),
+        );
+    }
+}
+
+#[test]
 fn service_report_modeled_metrics_match_offline_batch() {
     // End to end: the report's modeled fold equals measure_batch on the
     // same frames at any worker count (same merge law as the BatchEngine).

@@ -60,7 +60,7 @@ pub use esam_tech as tech;
 /// The most common imports in one place.
 pub mod prelude {
     pub use esam_arbiter::{EncoderStructure, MultiPortArbiter};
-    pub use esam_bits::{BitMatrix, BitVec};
+    pub use esam_bits::{BitMatrix, BitVec, FrameBlock};
     pub use esam_core::{
         BatchConfig, BatchEngine, EpochConfig, EsamSystem, InferenceResult, LearningCost,
         LearningCurve, OnlineLearningEngine, OnlineSession, PipelineTiming, SystemConfig,
