@@ -26,8 +26,11 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("batch_scaling");
     group.sample_size(10);
+    // One engine across the sweep: `set_threads` resizes the worker pool
+    // in place, so per-point numbers exclude pool construction.
+    let mut engine = BatchEngine::new(&system, &BatchConfig::sequential());
     for threads in [1usize, 2, 4] {
-        let mut engine = BatchEngine::new(&system, &BatchConfig::with_threads(threads));
+        engine.set_threads(threads);
         group.bench_function(format!("measure_{threads}_threads"), |b| {
             b.iter(|| std::hint::black_box(engine.measure(&frames).unwrap()))
         });

@@ -1,0 +1,51 @@
+//! Criterion bench for the multi-core mesh: pipeline-parallel `run` vs
+//! core count on the deep synthetic workload.
+//!
+//! Prints the mesh-scaling table first (modeled cycle-domain speedup +
+//! bit-identity check against the plain single-core system), then benches
+//! `MeshSystem::run` at each core count so regressions in the channel
+//! plumbing or the per-core handlers show up as ns/iter shifts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esam_bench::experiments::mesh::{mesh_results, mesh_table};
+use esam_bits::BitVec;
+use esam_core::SystemConfig;
+use esam_mesh::{MeshConfig, MeshSystem};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_sram::BitcellKind;
+
+fn bench(c: &mut Criterion) {
+    let results = mesh_results(16).expect("mesh scaling runs");
+    println!("{}", mesh_table(&results));
+    assert!(
+        results
+            .workloads
+            .iter()
+            .all(|w| w.points.iter().all(|p| p.identical)),
+        "mesh outputs diverged from the plain single-core system"
+    );
+
+    let topology = [256usize, 256, 256, 256, 256, 10];
+    let net = BnnNetwork::new(&topology, 0x3E54).expect("network");
+    let model = SnnModel::from_bnn(&net).expect("model");
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &topology)
+        .build()
+        .expect("config");
+    let frames: Vec<BitVec> = (0..32)
+        .map(|f| BitVec::from_indices(256, &[f % 256, (f * 31 + 5) % 256, (f * 97 + 11) % 256]))
+        .collect();
+
+    let mut group = c.benchmark_group("mesh");
+    group.sample_size(10);
+    for cores in [1usize, 2, 4] {
+        let mut mesh =
+            MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(cores)).expect("mesh");
+        group.bench_function(format!("run_{cores}_cores"), |b| {
+            b.iter(|| std::hint::black_box(mesh.run(&frames).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

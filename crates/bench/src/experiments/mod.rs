@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod hot_path;
 pub mod learning;
 pub mod learning_curve;
+pub mod mesh;
 pub mod nbl;
 pub mod serve;
 pub mod sta;

@@ -24,6 +24,7 @@
 //! | `fig8` | system sweep + headline gains |
 //! | `hot_path` | simulator hot-path throughput: frames/sec per cell kind (`--json` for machines) |
 //! | `batch` | simulator batch-scaling: frames/sec vs worker threads |
+//! | `mesh` | multi-core mesh scaling: pipeline-parallel throughput vs core count (`--json` for machines) |
 //! | `serve` | concurrent serving: closed/open-loop latency SLOs + admission behaviour (`--json` for machines) |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
@@ -45,9 +46,9 @@ pub use error::BenchError;
 pub use table::Table;
 
 /// Experiment ids that need no trained network (circuit-level artifacts
-/// plus the synthetic-workload `hot_path` and `serve` simulator
+/// plus the synthetic-workload `hot_path`, `serve` and `mesh` simulator
 /// benchmarks).
-pub const CIRCUIT_EXPERIMENTS: [&str; 12] = [
+pub const CIRCUIT_EXPERIMENTS: [&str; 13] = [
     "area",
     "fig6",
     "fig7",
@@ -60,6 +61,7 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 12] = [
     "corners",
     "hot_path",
     "serve",
+    "mesh",
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
@@ -81,8 +83,8 @@ pub const SYSTEM_EXPERIMENTS: [&str; 6] = [
 /// `threads` caps the worker sweep of the `batch` experiment and the
 /// worker pool of the `serve` experiment (0 = this machine's available
 /// parallelism); `json` switches experiments that support machine-readable
-/// output (`hot_path`, `serve`) from a table to one JSON object per
-/// experiment. The shared
+/// output (`hot_path`, `serve`, `mesh`) from a table to one JSON object
+/// per experiment. The shared
 /// [`ExperimentContext`] (dataset + trained model) is built lazily, only
 /// when a system experiment is requested.
 ///
@@ -156,6 +158,14 @@ pub fn run_experiments(
                     println!("{}", experiments::serve::serve_json(&results));
                 } else {
                     println!("{}", experiments::serve::serve_table(&results));
+                }
+            }
+            "mesh" => {
+                let results = experiments::mesh::mesh_results(samples)?;
+                if json {
+                    println!("{}", experiments::mesh::mesh_json(&results));
+                } else {
+                    println!("{}", experiments::mesh::mesh_table(&results));
                 }
             }
             "sta" => println!("{}", experiments::sta::sta_table()?),

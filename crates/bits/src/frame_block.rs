@@ -163,6 +163,65 @@ impl FrameBlock {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
+    /// Copies every row of `src` into rows `dst_row..dst_row + src.width()`
+    /// of this block — the splice primitive for reassembling a wide frame
+    /// from column-sliced producers without leaving the transposed layout.
+    ///
+    /// Unlike bit-level splices this needs no alignment: each row is one
+    /// whole lane word, so any `dst_row` works.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lane counts differ or the row range does not fit.
+    pub fn copy_rows_from(&mut self, src: &FrameBlock, dst_row: usize) {
+        assert_eq!(
+            src.lanes, self.lanes,
+            "row splices need matching lane counts"
+        );
+        assert!(
+            dst_row + src.width <= self.width,
+            "rows {dst_row}..{} out of range for a {}-row block",
+            dst_row + src.width,
+            self.width
+        );
+        self.words[dst_row..dst_row + src.width].copy_from_slice(&src.words);
+    }
+
+    /// Per-lane spike counts: `counts[b]` is the number of set inputs in
+    /// frame `b` (zero at and above `lanes()`).
+    ///
+    /// Computed with vertical ripple-carry counters — one add per input
+    /// row, all 64 lanes per word — the same trick `Tile::step_block` uses
+    /// for membranes, here giving the per-lane address-event count a
+    /// serialization cost model needs.
+    pub fn lane_counts(&self) -> [u32; Self::LANES] {
+        // 40 bit-planes count up to 2^40 - 1 rows per lane — far beyond
+        // any representable width.
+        let mut planes = [0u64; 40];
+        for &word in &self.words {
+            let mut carry = word;
+            for plane in &mut planes {
+                if carry == 0 {
+                    break;
+                }
+                let sum = *plane ^ carry;
+                carry &= *plane;
+                *plane = sum;
+            }
+            debug_assert_eq!(carry, 0, "lane count overflowed the planes");
+        }
+        let mut counts = [0u32; Self::LANES];
+        for (bit, plane) in planes.iter().enumerate() {
+            let mut remaining = *plane;
+            while remaining != 0 {
+                let lane = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                counts[lane] += 1 << bit;
+            }
+        }
+        counts
+    }
 }
 
 impl std::fmt::Debug for FrameBlock {
@@ -278,6 +337,49 @@ mod tests {
     }
 
     #[test]
+    fn copy_rows_from_splices_column_slices_back_together() {
+        let left = FrameBlock::from_frames(&[frame_of(3, &[0, 2]), frame_of(3, &[1])]);
+        let right = FrameBlock::from_frames(&[frame_of(2, &[1]), frame_of(2, &[0])]);
+        let mut whole = FrameBlock::new(5, 2);
+        whole.copy_rows_from(&left, 0);
+        whole.copy_rows_from(&right, 3);
+        assert_eq!(
+            whole.to_frames(),
+            vec![frame_of(5, &[0, 2, 4]), frame_of(5, &[1, 3])]
+        );
+    }
+
+    #[test]
+    fn copy_rows_from_rejects_mismatched_lanes_and_overflow() {
+        let src = FrameBlock::new(4, 2);
+        let mut mismatched = FrameBlock::new(8, 3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mismatched.copy_rows_from(&src, 0);
+        }));
+        assert!(result.is_err(), "lane mismatch must panic");
+        let mut short = FrameBlock::new(5, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            short.copy_rows_from(&src, 2);
+        }));
+        assert!(result.is_err(), "row overflow must panic");
+    }
+
+    #[test]
+    fn lane_counts_match_per_frame_popcounts() {
+        let frames = vec![
+            frame_of(130, &[0, 64, 127, 129]),
+            frame_of(130, &[]),
+            (0..130).map(|_| true).collect::<BitVec>(),
+        ];
+        let block = FrameBlock::from_frames(&frames);
+        let counts = block.lane_counts();
+        assert_eq!(counts[0], 4);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 130);
+        assert!(counts[3..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
     fn clear_zeroes_every_word() {
         let frames = vec![frame_of(20, &[0, 19]), frame_of(20, &[7])];
         let mut block = FrameBlock::from_frames(&frames);
@@ -303,6 +405,10 @@ mod tests {
                 })
                 .collect();
             let block = FrameBlock::from_frames(&frames);
+            let counts = block.lane_counts();
+            for (lane, frame) in frames.iter().enumerate() {
+                prop_assert_eq!(counts[lane] as usize, frame.count_ones());
+            }
             prop_assert_eq!(block.to_frames(), frames);
             let mask = block.lane_mask();
             prop_assert!(block.words().iter().all(|&w| w & !mask == 0));

@@ -111,6 +111,32 @@ impl BatchEngine {
         }
     }
 
+    /// Resizes the worker pool in place: growth clones new workers from
+    /// the reference pipeline, shrink drops the excess. The per-frame
+    /// independence clamp of [`Self::new`] still applies, so a
+    /// state-carrying reset policy pins the pool at one worker regardless
+    /// of `threads`.
+    ///
+    /// This is what makes a thread-count *sweep* cheap: one engine, resized
+    /// per point, instead of re-cloning the whole tile cascade for every
+    /// point (the `batch_scaling` experiment reports the setup time this
+    /// hoists out of its wall-clock measurements). After a resize,
+    /// [`threads`](Self::threads) reflects the live pool;
+    /// [`config`](Self::config) keeps the originally requested plan.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = if frames_are_independent(&self.reference) {
+            threads.max(1)
+        } else {
+            1
+        };
+        if threads <= self.workers.len() {
+            self.workers.truncate(threads);
+        } else {
+            let reference = &self.reference;
+            self.workers.resize_with(threads, || reference.clone());
+        }
+    }
+
     /// Number of worker pipelines.
     pub fn threads(&self) -> usize {
         self.workers.len()
@@ -424,6 +450,15 @@ impl BatchEngine {
 
     /// [`run_workers`](Self::run_workers) with an explicit chunk size (the
     /// bit-sliced path rounds chunks up to whole 64-lane blocks).
+    ///
+    /// A fresh [`std::thread::scope`] is opened per call on purpose: the
+    /// closure borrows the caller's `frames` slice, and under
+    /// `forbid(unsafe_code)` a long-lived thread pool could not hold that
+    /// borrow across calls. OS-thread spawn cost is nanoseconds-to-
+    /// microseconds against milliseconds-to-seconds of simulation per
+    /// chunk; what *is* worth hoisting — cloning the tile cascade per
+    /// worker — happens once in [`Self::new`] / [`Self::set_threads`], not
+    /// here.
     fn run_workers_chunked<F>(
         &mut self,
         frames: &[BitVec],
@@ -596,6 +631,26 @@ mod tests {
     }
 
     #[test]
+    fn resized_engine_stays_bit_identical() {
+        // The sweep pattern: one engine, resized per point. Every size —
+        // growing, shrinking, zero-clamped — must reproduce the sequential
+        // metrics exactly.
+        let mut reference = system();
+        let batch = frames(31, 13);
+        let sequential = reference.measure_batch(&batch).unwrap();
+        let mut engine = BatchEngine::new(&system(), &BatchConfig::sequential());
+        for threads in [1usize, 4, 2, 7, 0, 3] {
+            engine.set_threads(threads);
+            assert_eq!(engine.threads(), threads.max(1));
+            assert_eq!(
+                engine.measure(&batch).unwrap(),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
     fn infer_batch_matches_sequential_order() {
         let mut reference = system();
         let batch = frames(29, 3);
@@ -662,6 +717,8 @@ mod tests {
         );
         assert_eq!(engine.threads(), 1, "engine must clamp to one worker");
         assert_eq!(engine.measure(&batch).unwrap(), reference);
+        engine.set_threads(6);
+        assert_eq!(engine.threads(), 1, "resizing must respect the clamp");
 
         let mut parallel = EsamSystem::from_model(&model, &config).unwrap();
         let metrics = parallel

@@ -476,6 +476,68 @@ impl Tile {
         Ok(())
     }
 
+    /// Loads a column slice of a converted layer: the tile becomes the
+    /// shard owning output neurons `col_start .. col_start + outputs()` of
+    /// `layer` (full fan-in, sliced fan-out) — the construction primitive
+    /// for column-split mesh cores.
+    ///
+    /// `col_start` must be a multiple of [`ARRAY_DIM`]: the shard's column
+    /// groups then coincide with a suffix-aligned subset of the unsplit
+    /// tile's groups, so its SRAM arrays — and therefore its per-array
+    /// [`AccessStats`] — are exactly a partition of the unsplit tile's
+    /// (the mesh equivalence suite relies on this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TopologyMismatch`] when the fan-in differs or
+    /// the column range exceeds the layer, [`CoreError::InvalidConfig`]
+    /// for an unaligned `col_start`, and a threshold-overflow error when a
+    /// sliced threshold exceeds the neuron's register width.
+    pub fn load_layer_slice(
+        &mut self,
+        layer: &SnnLayer,
+        col_start: usize,
+    ) -> Result<(), CoreError> {
+        if !col_start.is_multiple_of(ARRAY_DIM) {
+            return Err(CoreError::InvalidConfig(format!(
+                "column slices start on {ARRAY_DIM}-aligned group boundaries, got {col_start}"
+            )));
+        }
+        if layer.inputs() != self.inputs || col_start + self.outputs > layer.outputs() {
+            return Err(CoreError::TopologyMismatch {
+                expected: vec![self.inputs, self.outputs],
+                got: vec![layer.inputs(), layer.outputs().saturating_sub(col_start)],
+            });
+        }
+        let thresholds = &layer.thresholds()[col_start..col_start + self.outputs];
+        let neuron_config = self.neurons.config();
+        for &threshold in thresholds {
+            if threshold > neuron_config.threshold_max()
+                || threshold < neuron_config.threshold_min()
+            {
+                return Err(CoreError::Nn(esam_nn::NnError::ThresholdOverflow {
+                    threshold,
+                    bits: neuron_config.threshold_bits(),
+                }));
+            }
+        }
+        let weights = Arc::make_mut(&mut self.weights);
+        for rg in 0..self.row_groups {
+            let rows = block_len(self.inputs, rg);
+            for cg in 0..self.col_groups {
+                let cols = block_len(self.outputs, cg);
+                let block = BitMatrix::from_fn(rows, cols, |r, c| {
+                    layer
+                        .bits()
+                        .get(rg * ARRAY_DIM + r, col_start + cg * ARRAY_DIM + c)
+                });
+                weights.arrays[rg * self.col_groups + cg].load_weights(&block)?;
+            }
+        }
+        self.neurons.load_thresholds(thresholds);
+        Ok(())
+    }
+
     /// Injects a spike frame into the request register (binary pulses from
     /// the previous tile arriving fully in parallel, §3.1).
     ///
@@ -1074,6 +1136,57 @@ mod tests {
         let model = esam_nn::SnnModel::from_bnn(&net).unwrap();
         assert!(matches!(
             t.load_layer(&model.layers()[0]),
+            Err(CoreError::TopologyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn layer_slices_partition_the_full_layer() {
+        // A 128->300 layer sliced at group boundaries: every shard's
+        // weight columns and thresholds must equal the unsplit tile's at
+        // the shifted index.
+        let cell = BitcellKind::multiport(4).unwrap();
+        let net = esam_nn::BnnNetwork::new(&[128, 300], 9).unwrap();
+        let model = esam_nn::SnnModel::from_bnn(&net).unwrap();
+        let layer = &model.layers()[0];
+        let mut whole = Tile::new(128, 300, &config(cell)).unwrap();
+        whole.load_layer(layer).unwrap();
+        for (start, width) in [(0usize, 128usize), (128, 128), (256, 44)] {
+            let mut shard = Tile::new(128, width, &config(cell)).unwrap();
+            shard.load_layer_slice(layer, start).unwrap();
+            for n in 0..width {
+                assert_eq!(
+                    shard.weight_column(n),
+                    whole.weight_column(start + n),
+                    "column {n} of slice at {start}"
+                );
+                assert_eq!(
+                    shard.neurons().thresholds()[n],
+                    whole.neurons().thresholds()[start + n],
+                    "threshold {n} of slice at {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_slice_rejects_misalignment_and_overflow() {
+        let cell = BitcellKind::multiport(2).unwrap();
+        let net = esam_nn::BnnNetwork::new(&[128, 300], 9).unwrap();
+        let model = esam_nn::SnnModel::from_bnn(&net).unwrap();
+        let layer = &model.layers()[0];
+        let mut shard = Tile::new(128, 64, &config(cell)).unwrap();
+        assert!(matches!(
+            shard.load_layer_slice(layer, 64),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            shard.load_layer_slice(layer, 256),
+            Err(CoreError::TopologyMismatch { .. })
+        ));
+        let mut wrong_fan_in = Tile::new(96, 64, &config(cell)).unwrap();
+        assert!(matches!(
+            wrong_fan_in.load_layer_slice(layer, 0),
             Err(CoreError::TopologyMismatch { .. })
         ));
     }

@@ -1,0 +1,224 @@
+//! A mesh core: one pipeline stage's shard of the tile cascade.
+//!
+//! A [`MeshCore`] owns real [`Tile`]s — the same `Arc<TileWeights>`-backed
+//! simulation objects the single-core [`EsamSystem`](esam_core::EsamSystem)
+//! walks — covering either a contiguous run of whole layers or a column
+//! slice of one layer (see [`MeshPlan`](crate::MeshPlan)). Within a core
+//! the tiles are time-multiplexed: the core serves one frame's timestep
+//! through its tiles in order, so its per-frame occupancy is the *sum* of
+//! its tiles' cycle counts. Parallelism in the mesh comes from *different*
+//! cores overlapping different frames, never from overlap inside a core.
+//!
+//! Both payload walks reproduce the single-core reference exactly: the
+//! crate-internal `process_frame` is the inject → drain → fire walk of
+//! `EsamSystem::infer`, and `process_block` is the [`Tile::step_block`]
+//! cascade of `EsamSystem::infer_block` — same calls, same order, same
+//! counters.
+
+use esam_bits::{BitVec, FrameBlock};
+use esam_core::{CoreError, SystemConfig, Tile};
+use esam_nn::SnnModel;
+
+/// What a core hands downstream after serving one spike frame.
+#[derive(Debug, Clone)]
+pub(crate) struct FrameOutput {
+    /// Fired spikes of the core's output slice.
+    pub slice: BitVec,
+    /// Serve + fire cycles of each of the core's tiles, in layer order.
+    pub tile_cycles: Vec<u64>,
+    /// Pre-reset membrane potentials of the output slice — captured only
+    /// on output-stage cores (empty otherwise).
+    pub membranes: Vec<i32>,
+}
+
+/// What a core hands downstream after serving one frame block.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockOutput {
+    /// Fired lane words of the core's output slice.
+    pub slice: FrameBlock,
+    /// `tile_cycles[tile][lane]`: per-lane cycles of each of the core's
+    /// tiles, in layer order.
+    pub tile_cycles: Vec<Vec<u64>>,
+    /// Per-lane membranes of the output slice
+    /// (`membranes[lane * slice_width + neuron]`) — output-stage cores
+    /// only (empty otherwise).
+    pub membranes: Vec<i32>,
+}
+
+/// One core of the mesh: a shard of the cascade plus its position in the
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct MeshCore {
+    id: usize,
+    stage: usize,
+    layer_start: usize,
+    col_start: usize,
+    is_output: bool,
+    tiles: Vec<Tile>,
+}
+
+impl MeshCore {
+    /// Builds the core for stage `stage` of the plan, executing `layers`
+    /// of `model` with the last layer's outputs sliced to `cols` (pass the
+    /// full range for an unsplit stage).
+    pub(crate) fn build(
+        id: usize,
+        stage: usize,
+        model: &SnnModel,
+        config: &SystemConfig,
+        layers: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+        is_output: bool,
+    ) -> Result<Self, CoreError> {
+        let mut tiles = Vec::with_capacity(layers.len());
+        for layer_index in layers.clone() {
+            let layer = &model.layers()[layer_index];
+            let is_last = layer_index + 1 == layers.end;
+            let (outputs, col_start) = if is_last {
+                (cols.len(), cols.start)
+            } else {
+                (layer.outputs(), 0)
+            };
+            let mut tile = Tile::new(layer.inputs(), outputs, config)?;
+            if is_last && cols.len() != layer.outputs() {
+                tile.load_layer_slice(layer, col_start)?;
+            } else {
+                tile.load_layer(layer)?;
+            }
+            tiles.push(tile);
+        }
+        Ok(Self {
+            id,
+            stage,
+            layer_start: layers.start,
+            col_start: cols.start,
+            is_output,
+            tiles,
+        })
+    }
+
+    /// Core id (chain position; link distance is the id difference).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Pipeline stage index.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Index of the first layer this core executes.
+    pub fn layer_start(&self) -> usize {
+        self.layer_start
+    }
+
+    /// Column offset of the core's output slice within its last layer.
+    pub fn col_start(&self) -> usize {
+        self.col_start
+    }
+
+    /// Whether this core produces (a slice of) the readout layer.
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// The core's tiles, in layer order (counters accumulate here).
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Width of the spike frame the core consumes.
+    pub fn input_width(&self) -> usize {
+        self.tiles[0].inputs()
+    }
+
+    /// Width of the spike slice the core produces.
+    pub fn output_width(&self) -> usize {
+        self.tiles.last().expect("a core owns >= 1 tile").outputs()
+    }
+
+    /// Resets the tiles' activity counters.
+    pub(crate) fn reset_stats(&mut self) {
+        for tile in &mut self.tiles {
+            tile.reset_stats();
+        }
+    }
+
+    /// Serves one spike frame through the core's tiles — the exact
+    /// inject → drain → fire walk of the single-core sequential reference,
+    /// restricted to this shard.
+    pub(crate) fn process_frame(&mut self, frame: &BitVec) -> Result<FrameOutput, CoreError> {
+        let tile_count = self.tiles.len();
+        let mut tile_cycles = Vec::with_capacity(tile_count);
+        let mut membranes = Vec::new();
+        let mut working: Option<BitVec> = None;
+        for (index, tile) in self.tiles.iter_mut().enumerate() {
+            let is_last = index + 1 == tile_count;
+            tile.inject(working.as_ref().unwrap_or(frame))?;
+            let mut cycles = 0u64;
+            while !tile.is_drained() {
+                tile.step()?;
+                cycles += 1;
+            }
+            if is_last && self.is_output {
+                membranes = tile.membranes().to_vec();
+            }
+            let fired = tile.finish_timestep();
+            cycles += 1;
+            tile_cycles.push(cycles);
+            working = Some(fired);
+        }
+        Ok(FrameOutput {
+            slice: working.expect("a core owns >= 1 tile"),
+            tile_cycles,
+            membranes,
+        })
+    }
+
+    /// Serves one frame block through the core's tiles — the
+    /// [`Tile::step_block`] cascade of the single-core bit-sliced path,
+    /// restricted to this shard. Callers must have established block-path
+    /// eligibility (the mesh system checks it before selecting this
+    /// payload).
+    pub(crate) fn process_block(&mut self, block: &FrameBlock) -> Result<BlockOutput, CoreError> {
+        let lanes = block.lanes();
+        let tile_count = self.tiles.len();
+        let mut tile_cycles = Vec::with_capacity(tile_count);
+        let mut membranes = Vec::new();
+        let mut working = block.clone();
+        let mut cycles = vec![0u64; lanes];
+        for (index, tile) in self.tiles.iter_mut().enumerate() {
+            let is_last = index + 1 == tile_count;
+            let mut fired = FrameBlock::new(tile.outputs(), lanes);
+            if is_last && self.is_output {
+                membranes = vec![0i32; lanes * tile.outputs()];
+            }
+            tile.step_block(
+                &working,
+                &mut fired,
+                &mut cycles,
+                (is_last && self.is_output).then_some(membranes.as_mut_slice()),
+            )?;
+            tile_cycles.push(cycles.clone());
+            working = fired;
+        }
+        Ok(BlockOutput {
+            slice: working,
+            tile_cycles,
+            membranes,
+        })
+    }
+
+    /// Whether the block payload is exact on this core's tiles (the
+    /// per-tile half of `EsamSystem::block_path_eligible`, shard-local).
+    pub(crate) fn block_eligible(&self) -> bool {
+        self.tiles.iter().all(|tile| {
+            let neuron_config = tile.neurons().config();
+            let clamp_guard = neuron_config.mem_max().min(-neuron_config.mem_min());
+            tile.inputs() as i64 <= i64::from(clamp_guard)
+                && tile.is_drained()
+                && !tile.neurons().spike_requests().any()
+                && tile.membranes().iter().all(|&m| m == 0)
+        })
+    }
+}

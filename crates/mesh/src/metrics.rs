@@ -1,0 +1,148 @@
+//! Mesh-level tallies and figures of merit.
+//!
+//! The mesh extends the single-core merge law (see `esam_core::metrics`)
+//! with two more integer tallies: the **mesh bottleneck** — per frame, the
+//! maximum over every core's occupancy and every link's cycles, i.e. the
+//! pipeline's slowest station for that frame — and the **NoC latency** —
+//! per frame, the interconnect cycles on the critical path from input to
+//! readout. Both are `u64` sums over frames, so they merge exactly across
+//! any partition of a batch, and [`MeshMetrics`] finalizes once over the
+//! merged integers exactly like `SystemMetrics` does.
+
+use std::fmt;
+
+use esam_core::{BatchTally, SystemMetrics};
+use esam_tech::units::Seconds;
+
+use crate::noc::LinkStats;
+
+/// Integer tallies of a mesh run: the single-core [`BatchTally`] plus the
+/// interconnect's additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeshTally {
+    /// The tile-side tallies — identical to what the single-core walk
+    /// records for the same frames.
+    pub tiles: BatchTally,
+    /// Summed per-frame mesh bottlenecks: `max(core occupancies, link
+    /// cycles)` per frame. The pipelined-throughput numerator of the mesh
+    /// (compare [`BatchTally::bottleneck_cycles`], the single-core tile
+    /// bottleneck).
+    pub mesh_bottleneck_cycles: u64,
+    /// Summed per-frame critical-path interconnect cycles (hop +
+    /// serialization along the longest input → readout chain).
+    pub noc_latency_cycles: u64,
+}
+
+impl MeshTally {
+    /// Adds another shard's tallies into this one (exact).
+    pub fn merge(&mut self, other: &MeshTally) {
+        self.tiles.merge(&other.tiles);
+        self.mesh_bottleneck_cycles += other.mesh_bottleneck_cycles;
+        self.noc_latency_cycles += other.noc_latency_cycles;
+    }
+}
+
+/// Measured figures of merit of a mesh run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshMetrics {
+    /// The single-core figures of merit over the same frames, finalized
+    /// from the mesh's merged counters. For layer-granular plans this is
+    /// bit-identical to `EsamSystem::measure_batch` on the same workload —
+    /// the mesh charges interconnect costs *on top of* the tile model,
+    /// never inside it.
+    pub system: SystemMetrics,
+    /// Cores the plan actually uses (may be clamped below the request).
+    pub cores: usize,
+    /// Average per-frame mesh bottleneck: the slowest pipeline station
+    /// (core occupancy or link) in cycles. Steady-state mesh throughput is
+    /// one frame per this many cycles.
+    pub mesh_bottleneck_cycles: f64,
+    /// Pipeline-parallel mesh throughput: `clock /
+    /// mesh_bottleneck_cycles` inferences per second.
+    pub mesh_throughput_inf_s: f64,
+    /// Average per-frame critical-path interconnect cycles.
+    pub noc_latency_cycles: f64,
+    /// End-to-end mesh latency of one inference: cascade latency plus the
+    /// critical-path interconnect time.
+    pub mesh_latency: Seconds,
+    /// Per-link activity, ordered by (src, dst).
+    pub links: Vec<LinkStats>,
+}
+
+impl MeshMetrics {
+    /// Mesh speedup over a single core running the whole cascade: the
+    /// ratio of the cascade's summed cycles (what one core would be
+    /// occupied per frame) to the mesh bottleneck.
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.mesh_bottleneck_cycles == 0.0 {
+            return 1.0;
+        }
+        let single_core_cycles = self.system.latency.value() * self.system.clock.value();
+        single_core_cycles / self.mesh_bottleneck_cycles
+    }
+
+    /// Mesh throughput in mega-inferences per second.
+    pub fn mesh_throughput_minf_s(&self) -> f64 {
+        self.mesh_throughput_inf_s / 1e6
+    }
+}
+
+impl fmt::Display for MeshMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cores:           {}", self.cores)?;
+        writeln!(
+            f,
+            "mesh bottleneck: {:.2} cycles/inf",
+            self.mesh_bottleneck_cycles
+        )?;
+        writeln!(
+            f,
+            "mesh throughput: {:.2} MInf/s ({:.2}x one core)",
+            self.mesh_throughput_minf_s(),
+            self.modeled_speedup()
+        )?;
+        writeln!(
+            f,
+            "noc latency:     {:.2} cycles/inf over {} links",
+            self.noc_latency_cycles,
+            self.links.len()
+        )?;
+        writeln!(f, "mesh latency:    {:.2}", self.mesh_latency)?;
+        write!(f, "{}", self.system)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_merge_is_plain_addition() {
+        let mut a = MeshTally {
+            tiles: BatchTally {
+                frames: 2,
+                bottleneck_cycles: 20,
+                latency_cycles: 80,
+                ..BatchTally::default()
+            },
+            mesh_bottleneck_cycles: 22,
+            noc_latency_cycles: 10,
+        };
+        let b = MeshTally {
+            tiles: BatchTally {
+                frames: 3,
+                bottleneck_cycles: 33,
+                latency_cycles: 120,
+                ..BatchTally::default()
+            },
+            mesh_bottleneck_cycles: 36,
+            noc_latency_cycles: 15,
+        };
+        a.merge(&b);
+        assert_eq!(a.tiles.frames, 5);
+        assert_eq!(a.tiles.bottleneck_cycles, 53);
+        assert_eq!(a.tiles.latency_cycles, 200);
+        assert_eq!(a.mesh_bottleneck_cycles, 58);
+        assert_eq!(a.noc_latency_cycles, 25);
+    }
+}

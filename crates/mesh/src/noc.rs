@@ -1,0 +1,114 @@
+//! Interconnect accounting: per-link activity counters.
+//!
+//! Every inter-core edge of the mesh owns a [`LinkStats`] record on its
+//! *consumer* side: the consumer knows exactly which spike events it
+//! received over the link, so it charges the hop and serialization cycles
+//! there (the producer sends the same packet clone to every consumer and
+//! never touches link state). All fields are plain `u64` counters, so link
+//! activity obeys the same exact merge law as the tile counters: any
+//! partition of a batch sums to the sequential totals.
+
+use crate::config::LinkConfig;
+
+/// Activity of one directed inter-core link over a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Producer core id.
+    pub src: usize,
+    /// Consumer core id.
+    pub dst: usize,
+    /// Chain distance charged per packet (`hop_latency × distance` routing
+    /// cycles).
+    pub distance: u64,
+    /// Spike frames delivered (each block packet counts its lane count).
+    pub frames: u64,
+    /// Spike events serialized over the link.
+    pub events: u64,
+    /// Routing cycles charged (`frames × hop_latency × distance`).
+    pub hop_cycles: u64,
+    /// Serialization cycles charged (`Σ ceil(max(events,1) /
+    /// events_per_cycle)` per frame).
+    pub serialize_cycles: u64,
+    /// Total busy cycles: `hop_cycles + serialize_cycles`.
+    pub busy_cycles: u64,
+}
+
+impl LinkStats {
+    /// A zeroed record for the `src → dst` link at the given chain
+    /// distance.
+    pub(crate) fn new(src: usize, dst: usize, distance: u64) -> Self {
+        Self {
+            src,
+            dst,
+            distance,
+            ..Self::default()
+        }
+    }
+
+    /// Charges one spike frame carrying `events` events and returns the
+    /// link cycles it cost (the value folded into the mesh bottleneck).
+    pub(crate) fn charge(&mut self, link: &LinkConfig, events: u64) -> u64 {
+        let hop = link.hop_latency * self.distance;
+        let serialize = link.cycles(events, 0);
+        self.frames += 1;
+        self.events += events;
+        self.hop_cycles += hop;
+        self.serialize_cycles += serialize;
+        self.busy_cycles += hop + serialize;
+        hop + serialize
+    }
+
+    /// Adds another shard's counters for the *same* link into this one
+    /// (exact; debug-asserts the endpoints match).
+    pub fn merge(&mut self, other: &LinkStats) {
+        debug_assert_eq!((self.src, self.dst), (other.src, other.dst));
+        debug_assert_eq!(self.distance, other.distance);
+        self.frames += other.frames;
+        self.events += other.events;
+        self.hop_cycles += other.hop_cycles;
+        self.serialize_cycles += other.serialize_cycles;
+        self.busy_cycles += other.busy_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_and_returns_link_cycles() {
+        let link = LinkConfig {
+            hop_latency: 2,
+            events_per_cycle: 8,
+        };
+        let mut stats = LinkStats::new(0, 1, 3);
+        let cost = stats.charge(&link, 20);
+        assert_eq!(cost, 2 * 3 + 3, "6 hop cycles + ceil(20/8) serialization");
+        let silent = stats.charge(&link, 0);
+        assert_eq!(silent, 6 + 1, "silence still costs one bus cycle");
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.events, 20);
+        assert_eq!(stats.hop_cycles, 12);
+        assert_eq!(stats.serialize_cycles, 4);
+        assert_eq!(stats.busy_cycles, 16);
+    }
+
+    #[test]
+    fn merge_is_plain_addition() {
+        let link = LinkConfig::paper_default();
+        let mut a = LinkStats::new(1, 2, 1);
+        a.charge(&link, 40);
+        let mut b = LinkStats::new(1, 2, 1);
+        b.charge(&link, 100);
+        b.charge(&link, 0);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.frames, 3);
+        assert_eq!(merged.events, 140);
+        assert_eq!(
+            merged.busy_cycles,
+            a.busy_cycles + b.busy_cycles,
+            "busy cycles sum exactly"
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! Mesh partitioning: mapping the layers of a multi-tile network onto
+//! cores.
+//!
+//! A [`MeshPlan`] arranges the cascade into pipeline **stages** executed by
+//! distinct cores. Two granularities compose:
+//!
+//! * **Layer-granular** (cores ≤ layers): each stage is a contiguous run of
+//!   whole layers, chosen by a classic linear-partition DP that minimizes
+//!   the maximum per-stage synapse count (the static proxy for per-frame
+//!   work). A stage's core walks its tiles in order for each frame, so its
+//!   per-frame occupancy is the *sum* of its tiles' serve cycles.
+//! * **Column-split** (cores > layers): every layer gets its own stage, and
+//!   the extra cores split the costliest layers by output-column range.
+//!   Split boundaries land on [`ARRAY_DIM`]-aligned column-group edges, so
+//!   a shard owns whole SRAM arrays — its per-array
+//!   [`AccessStats`](esam_core::tile) partition the unsplit tile's counters
+//!   exactly, and the word-aligned `BitVec` window primitives apply
+//!   directly to the spike hand-off.
+//!
+//! The plan is pure data: construction never touches weights, so the same
+//! plan can be inspected, printed and replayed deterministically.
+
+use std::ops::Range;
+
+use esam_core::{CoreError, ARRAY_DIM};
+
+/// One pipeline stage: a contiguous run of layers, possibly column-split
+/// across several shards (one core per shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlan {
+    /// Layer indices this stage executes (contiguous, at least one).
+    pub layers: Range<usize>,
+    /// Output-column ranges of the stage's **last** layer, one per shard.
+    /// `vec![0..outputs]` when unsplit; more than one range only ever
+    /// occurs for single-layer stages, and every interior boundary is a
+    /// multiple of [`ARRAY_DIM`].
+    pub splits: Vec<Range<usize>>,
+}
+
+impl StagePlan {
+    /// Number of shards (cores) executing this stage.
+    pub fn shards(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// Whether the stage is column-split across several cores.
+    pub fn is_split(&self) -> bool {
+        self.splits.len() > 1
+    }
+}
+
+/// A deterministic mapping of a network's layers onto mesh cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshPlan {
+    topology: Vec<usize>,
+    stages: Vec<StagePlan>,
+}
+
+impl MeshPlan {
+    /// Partitions `topology` (layer widths, `len >= 2`) onto up to
+    /// `cores` cores.
+    ///
+    /// When the network cannot absorb all requested cores (fewer layers
+    /// than cores and no more column groups to split), the plan clamps to
+    /// the maximum useful core count — [`MeshPlan::cores`] reports the
+    /// actual number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a degenerate topology or a
+    /// zero core count.
+    pub fn partition(topology: &[usize], cores: usize) -> Result<Self, CoreError> {
+        if topology.len() < 2 {
+            return Err(CoreError::InvalidConfig(
+                "a mesh plan needs at least one layer (topology len >= 2)".into(),
+            ));
+        }
+        if topology.contains(&0) {
+            return Err(CoreError::InvalidConfig(
+                "mesh topology widths must be non-zero".into(),
+            ));
+        }
+        if cores == 0 {
+            return Err(CoreError::InvalidConfig(
+                "a mesh needs at least one core".into(),
+            ));
+        }
+        let layer_count = topology.len() - 1;
+        let costs: Vec<u64> = (0..layer_count)
+            .map(|l| topology[l] as u64 * topology[l + 1] as u64)
+            .collect();
+        let stages = if cores <= layer_count {
+            partition_layers(&costs, cores)
+                .into_iter()
+                .map(|layers| {
+                    let outputs = topology[layers.end];
+                    StagePlan {
+                        layers,
+                        splits: std::iter::once(0..outputs).collect(),
+                    }
+                })
+                .collect()
+        } else {
+            split_columns(topology, &costs, cores)
+        };
+        Ok(Self {
+            topology: topology.to_vec(),
+            stages,
+        })
+    }
+
+    /// The pipeline stages, in cascade order.
+    pub fn stages(&self) -> &[StagePlan] {
+        &self.stages
+    }
+
+    /// Actual number of cores the plan uses (may be less than requested
+    /// when the network has nothing left to split).
+    pub fn cores(&self) -> usize {
+        self.stages.iter().map(StagePlan::shards).sum()
+    }
+
+    /// The layer widths the plan was built for.
+    pub fn topology(&self) -> &[usize] {
+        &self.topology
+    }
+
+    /// Whether every stage runs whole layers (no column splits) — the
+    /// granularity at which mesh counters match the plain single-core
+    /// system tile for tile.
+    pub fn is_layer_granular(&self) -> bool {
+        self.stages.iter().all(|s| !s.is_split())
+    }
+}
+
+impl std::fmt::Display for MeshPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                if s.is_split() {
+                    let cols: Vec<String> = s
+                        .splits
+                        .iter()
+                        .map(|r| format!("{}..{}", r.start, r.end))
+                        .collect();
+                    format!("L{}[{}]", s.layers.start, cols.join("|"))
+                } else if s.layers.len() == 1 {
+                    format!("L{}", s.layers.start)
+                } else {
+                    format!("L{}-{}", s.layers.start, s.layers.end - 1)
+                }
+            })
+            .collect();
+        write!(f, "{}", stages.join(" -> "))
+    }
+}
+
+/// Linear-partition DP: splits `costs` into exactly `parts` contiguous
+/// runs minimizing the maximum run sum. `parts <= costs.len()`.
+fn partition_layers(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    debug_assert!(parts >= 1 && parts <= n);
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let sum = |a: usize, b: usize| prefix[b] - prefix[a]; // costs[a..b]
+
+    // best[k][i]: minimal max-run-sum splitting costs[..i] into k runs.
+    let inf = u64::MAX;
+    let mut best = vec![vec![inf; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    best[0][0] = 0;
+    for k in 1..=parts {
+        for i in k..=n {
+            for j in (k - 1)..i {
+                if best[k - 1][j] == inf {
+                    continue;
+                }
+                let candidate = best[k - 1][j].max(sum(j, i));
+                // `<` (not `<=`) keeps the earliest cut for equal costs —
+                // a fixed tiebreak makes the plan deterministic.
+                if candidate < best[k][i] {
+                    best[k][i] = candidate;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+
+    let mut bounds = vec![n];
+    let mut i = n;
+    for k in (1..=parts).rev() {
+        i = cut[k][i];
+        bounds.push(i);
+    }
+    bounds.reverse();
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// One stage per layer, with `cores - layers` extra cores assigned by
+/// repeatedly splitting the layer with the highest per-shard cost (until
+/// every layer is down to one column group per shard).
+fn split_columns(topology: &[usize], costs: &[u64], cores: usize) -> Vec<StagePlan> {
+    let layer_count = costs.len();
+    let mut shards = vec![1usize; layer_count];
+    let groups: Vec<usize> = (0..layer_count)
+        .map(|l| topology[l + 1].div_ceil(ARRAY_DIM))
+        .collect();
+    let mut extra = cores - layer_count;
+    while extra > 0 {
+        // Highest per-shard cost among layers that can still split; ties
+        // break toward the earliest layer (deterministic).
+        let candidate = (0..layer_count)
+            .filter(|&l| shards[l] < groups[l])
+            .max_by(|&a, &b| {
+                (costs[a] / shards[a] as u64)
+                    .cmp(&(costs[b] / shards[b] as u64))
+                    .then(b.cmp(&a))
+            });
+        let Some(layer) = candidate else {
+            break; // nothing left to split: clamp to fewer cores
+        };
+        shards[layer] += 1;
+        extra -= 1;
+    }
+    (0..layer_count)
+        .map(|l| StagePlan {
+            layers: l..l + 1,
+            splits: column_ranges(topology[l + 1], shards[l]),
+        })
+        .collect()
+}
+
+/// Splits `outputs` columns into `shards` ranges on column-group
+/// boundaries: near-even group counts, every interior edge a multiple of
+/// [`ARRAY_DIM`], the last range capped at `outputs`.
+fn column_ranges(outputs: usize, shards: usize) -> Vec<Range<usize>> {
+    let groups = outputs.div_ceil(ARRAY_DIM);
+    debug_assert!(shards >= 1 && shards <= groups);
+    let base = groups / shards;
+    let extra = groups % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut group = 0usize;
+    for s in 0..shards {
+        let take = base + usize::from(s < extra);
+        let start = group * ARRAY_DIM;
+        group += take;
+        let end = (group * ARRAY_DIM).min(outputs);
+        ranges.push(start..end);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_core_takes_the_whole_cascade() {
+        let plan = MeshPlan::partition(&[768, 256, 256, 256, 10], 1).unwrap();
+        assert_eq!(plan.cores(), 1);
+        assert_eq!(plan.stages().len(), 1);
+        assert_eq!(plan.stages()[0].layers, 0..4);
+        assert_eq!(plan.stages()[0].splits, vec![0..10]);
+        assert!(plan.is_layer_granular());
+    }
+
+    #[test]
+    fn layer_granular_partition_balances_cost() {
+        // Costs: 768*256, 256*256, 256*256, 256*10 — the DP must isolate
+        // the heavy first layer rather than cut evenly by count.
+        let plan = MeshPlan::partition(&[768, 256, 256, 256, 10], 2).unwrap();
+        assert_eq!(plan.stages().len(), 2);
+        assert_eq!(plan.stages()[0].layers, 0..1);
+        assert_eq!(plan.stages()[1].layers, 1..4);
+    }
+
+    #[test]
+    fn one_core_per_layer_is_layer_granular() {
+        let plan = MeshPlan::partition(&[256, 256, 256, 10], 3).unwrap();
+        assert_eq!(plan.cores(), 3);
+        assert!(plan.is_layer_granular());
+        for (l, stage) in plan.stages().iter().enumerate() {
+            assert_eq!(stage.layers, l..l + 1);
+        }
+    }
+
+    #[test]
+    fn extra_cores_split_the_widest_layer_on_group_boundaries() {
+        // 2 layers, 4 cores: the 768->1024 layer (8 column groups) absorbs
+        // the extra cores before the 1024->10 readout (1 group, unsplittable).
+        let plan = MeshPlan::partition(&[768, 1024, 10], 4).unwrap();
+        assert_eq!(plan.cores(), 4);
+        assert!(!plan.is_layer_granular());
+        let first = &plan.stages()[0];
+        assert_eq!(first.shards(), 3);
+        for window in first.splits.windows(2) {
+            assert_eq!(window[0].end, window[1].start, "contiguous ranges");
+            assert_eq!(window[0].end % ARRAY_DIM, 0, "group-aligned boundary");
+        }
+        assert_eq!(first.splits.first().unwrap().start, 0);
+        assert_eq!(first.splits.last().unwrap().end, 1024);
+        assert_eq!(plan.stages()[1].shards(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_core_counts_clamp() {
+        // 1 layer with 1 column group: at most one core is useful.
+        let plan = MeshPlan::partition(&[64, 10], 8).unwrap();
+        assert_eq!(plan.cores(), 1);
+    }
+
+    #[test]
+    fn ragged_last_group_caps_the_final_range() {
+        // 300 outputs = 3 groups (128 + 128 + 44); 3 shards.
+        let plan = MeshPlan::partition(&[128, 300, 300, 300], 6).unwrap();
+        for stage in plan.stages() {
+            assert_eq!(stage.splits.last().unwrap().end, 300);
+            for split in &stage.splits {
+                assert_eq!(split.start % ARRAY_DIM, 0);
+            }
+        }
+        assert_eq!(plan.cores(), 6);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(MeshPlan::partition(&[128], 1).is_err());
+        assert!(MeshPlan::partition(&[128, 10], 0).is_err());
+        assert!(MeshPlan::partition(&[128, 0, 10], 2).is_err());
+    }
+
+    #[test]
+    fn display_names_stages_readably() {
+        let plan = MeshPlan::partition(&[768, 256, 256, 256, 10], 2).unwrap();
+        assert_eq!(plan.to_string(), "L0 -> L1-3");
+        let split = MeshPlan::partition(&[768, 1024, 10], 4).unwrap();
+        assert!(split.to_string().starts_with("L0["));
+    }
+}

@@ -1,0 +1,224 @@
+//! Bounded single-producer single-consumer channels for inter-core spike
+//! traffic.
+//!
+//! The mesh pipeline is a static dataflow graph: every edge has exactly one
+//! producer core and one consumer core, so a full MPMC channel would be
+//! over-machinery. This is the minimal `std`-only (`Mutex`/`Condvar`, in
+//! keeping with the serve crate — no async runtime) bounded ring with the
+//! two close semantics a pipeline needs to shut down cleanly:
+//!
+//! * **Producer gone** (sender dropped): the consumer drains whatever is
+//!   buffered, then [`Receiver::recv`] returns `None` — end of stream.
+//! * **Consumer gone** (receiver dropped): [`Sender::send`] fails fast with
+//!   [`SendError`], returning the undelivered value — a producer blocked on
+//!   a full buffer is woken rather than deadlocked.
+//!
+//! Together these make failure propagation in the mesh engine automatic:
+//! a core that errors out simply drops its endpoints; upstream cores see
+//! `SendError` and stop, downstream cores drain and see `None`. The
+//! shutdown-drain behavior is pinned by `tests/channel_drain.rs`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A value returned to sender because the receiving half was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "send on a channel whose receiver was dropped")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Shared channel state: the ring plus liveness flags for both endpoints.
+#[derive(Debug)]
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signaled when a slot frees up or the receiver disappears.
+    not_full: Condvar,
+    /// Signaled when a value arrives or the sender disappears.
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    buffer: VecDeque<T>,
+    capacity: usize,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+/// The producing half of a bounded SPSC channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: std::sync::Arc<Shared<T>>,
+}
+
+/// The consuming half of a bounded SPSC channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: std::sync::Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC channel holding at most `capacity` in-flight
+/// values.
+///
+/// # Panics
+///
+/// Panics when `capacity` is zero — a zero-slot ring cannot make progress
+/// without a rendezvous protocol, which the mesh does not need.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "an SPSC channel needs at least one slot");
+    let shared = std::sync::Arc::new(Shared {
+        state: Mutex::new(State {
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: std::sync::Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers a value, blocking while the buffer is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value inside [`SendError`] when the receiver has been
+    /// dropped (immediately, even from a blocked state).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.buffer.len() < state.capacity {
+                state.buffer.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("channel state poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        state.sender_alive = false;
+        // Wake a consumer blocked on an empty buffer so it can observe
+        // end-of-stream.
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next value, blocking while the buffer is empty. Returns
+    /// `None` once the sender is gone *and* the buffer is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        loop {
+            if let Some(value) = state.buffer.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("channel state poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        state.receiver_alive = false;
+        // Dropping undelivered values here (not strictly required, but it
+        // releases payload memory promptly) and waking a blocked producer
+        // so it can fail fast instead of deadlocking.
+        state.buffer.clear();
+        self.shared.not_full.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_arrive_in_order() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_inflight_values() {
+        let (tx, rx) = channel(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let producer = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the consumer takes one
+            42
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(producer.join().unwrap(), 42);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn receiver_drains_after_sender_drops() {
+        let (tx, rx) = channel(8);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), Some("b"));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "end-of-stream is sticky");
+    }
+
+    #[test]
+    fn sender_fails_fast_when_receiver_drops() {
+        let (tx, rx) = channel(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_drop() {
+        let (tx, rx) = channel(1);
+        tx.send(1).unwrap();
+        let producer = std::thread::spawn(move || tx.send(2));
+        // Give the producer a chance to block on the full buffer, then kill
+        // the consuming side; the send must fail instead of deadlocking.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(producer.join().unwrap(), Err(SendError(2)));
+    }
+}

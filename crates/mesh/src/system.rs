@@ -1,0 +1,969 @@
+//! The mesh engine: sharded cores, inter-core spike traffic, pipelined
+//! execution and mesh-level measurement.
+//!
+//! # Dataflow
+//!
+//! A [`MeshSystem`] instantiates one [`MeshCore`] per shard of its
+//! [`MeshPlan`] and wires consecutive stages with a complete bipartite set
+//! of directed edges: every shard of stage *s* sends its output slice to
+//! every shard of stage *s+1* (a consumer needs the *whole* previous layer
+//! as input even when producers are column-split). A synthetic feeder edge
+//! delivers network input to stage 0 and a sink edge collects the readout
+//! stage — neither models interconnect cost.
+//!
+//! # Cycle accounting
+//!
+//! Packets carry two accumulators in the same cycle domain as
+//! [`PipelineTiming`]:
+//!
+//! * `noc_latency` — interconnect cycles on the critical path so far: at
+//!   each consumer, `max` over in-edges of (packet's `noc_latency` + that
+//!   edge's hop + serialization cycles).
+//! * `pipe_max` — the slowest pipeline *station* seen so far: running
+//!   `max` over every traversed core's occupancy (the sum of its tiles'
+//!   serve cycles for this frame) and every traversed link's cycles.
+//!
+//! Because stage boundaries are complete bipartite, every core and link
+//! value reaches the sink, where the per-frame mesh bottleneck
+//! (`max` over readout shards' `pipe_max`) and NoC latency fold into a
+//! [`MeshTally`] as plain `u64` sums — the same exact merge law the
+//! single-core batch engine uses.
+//!
+//! # Equivalence contract
+//!
+//! [`Execution::Pipelined`] and [`Execution::Sequential`] run the *same*
+//! per-core handler over the same packets — only the scheduling differs —
+//! so they are bit-identical in results, tallies and every counter.
+//! Against the plain single-core [`EsamSystem`](esam_core::EsamSystem),
+//! outputs (predictions, logits, membranes, output spikes, per-tile
+//! cycles) are always identical; tile counters additionally match
+//! tile-for-tile whenever the plan is layer-granular (column-split shards
+//! own private arbiters, so arbiter-side counters physically duplicate
+//! per shard while per-array access counters partition exactly). The
+//! `mesh_equivalence` battery pins all of this.
+
+use std::sync::Mutex;
+use std::thread;
+
+use esam_bits::{BitVec, FrameBlock};
+use esam_core::{CoreError, InferenceResult, PipelineTiming, SystemConfig, SystemMetrics, Tile};
+use esam_neuron::ResetPolicy;
+use esam_nn::bnn::argmax;
+use esam_nn::SnnModel;
+use esam_tech::units::{AreaUm2, Joules, Watts};
+
+use crate::config::{Execution, LinkConfig, MeshConfig, PayloadMode};
+use crate::core::MeshCore;
+use crate::metrics::{MeshMetrics, MeshTally};
+use crate::noc::LinkStats;
+use crate::plan::MeshPlan;
+use crate::spsc::{channel, Receiver, Sender};
+
+/// One spike hand-off between pipeline stations.
+#[derive(Debug, Clone)]
+enum Packet {
+    /// A single spike frame.
+    Frame(FramePacket),
+    /// A batch-major block of up to 64 frames.
+    Block(BlockPacket),
+}
+
+#[derive(Debug, Clone)]
+struct FramePacket {
+    /// The producing core's output slice.
+    slice: BitVec,
+    /// Per-layer serve cycles accumulated from the cascade start.
+    cycles: Vec<u64>,
+    /// Readout membranes (output-stage producers only).
+    membranes: Vec<i32>,
+    /// Critical-path interconnect cycles so far.
+    noc_latency: u64,
+    /// Slowest pipeline station (core occupancy or link) so far.
+    pipe_max: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BlockPacket {
+    /// The producing core's output slice, batch-major.
+    slice: FrameBlock,
+    /// `cycles[layer][lane]`: per-layer serve cycles from cascade start.
+    cycles: Vec<Vec<u64>>,
+    /// Readout membranes, `[lane * slice_width + neuron]` (output stage
+    /// only).
+    membranes: Vec<i32>,
+    /// Per-lane critical-path interconnect cycles.
+    noc_latency: Vec<u64>,
+    /// Per-lane slowest pipeline station.
+    pipe_max: Vec<u64>,
+}
+
+/// A consumer-side input port: where the producer's slice lands in this
+/// core's input frame, and the link it travels (None across the synthetic
+/// feeder boundary).
+#[derive(Debug, Clone)]
+struct InPort {
+    offset: usize,
+    link: Option<LinkStats>,
+}
+
+/// A core plus its consumer-side interconnect state. `handle` is the
+/// single handler both execution modes invoke — bit-identity between them
+/// holds by construction.
+#[derive(Debug, Clone)]
+struct CoreSlot {
+    core: MeshCore,
+    ports: Vec<InPort>,
+    link: LinkConfig,
+}
+
+impl CoreSlot {
+    fn handle(&mut self, inputs: &[Packet]) -> Result<Packet, CoreError> {
+        debug_assert_eq!(inputs.len(), self.ports.len());
+        match inputs.first() {
+            Some(Packet::Frame(_)) => self.handle_frame(inputs),
+            Some(Packet::Block(_)) => self.handle_block(inputs),
+            None => Err(CoreError::InvalidConfig(
+                "a mesh core received an empty hand-off".into(),
+            )),
+        }
+    }
+
+    fn handle_frame(&mut self, inputs: &[Packet]) -> Result<Packet, CoreError> {
+        let mut packets = Vec::with_capacity(inputs.len());
+        for packet in inputs {
+            let Packet::Frame(packet) = packet else {
+                return Err(CoreError::InvalidConfig(
+                    "mixed payload kinds in one mesh run".into(),
+                ));
+            };
+            packets.push(packet);
+        }
+        debug_assert!(
+            packets.windows(2).all(|w| w[0].cycles == w[1].cycles),
+            "upstream cycle chains diverged across shards"
+        );
+        let mut noc_in = 0u64;
+        let mut pipe_in = 0u64;
+        for (port, packet) in self.ports.iter_mut().zip(&packets) {
+            let events = packet.slice.count_ones() as u64;
+            let cost = match port.link.as_mut() {
+                Some(stats) => stats.charge(&self.link, events),
+                None => 0,
+            };
+            noc_in = noc_in.max(packet.noc_latency + cost);
+            pipe_in = pipe_in.max(packet.pipe_max.max(cost));
+        }
+        let width = self.core.input_width();
+        let assembled;
+        let input = if packets.len() == 1 && self.ports[0].offset == 0 {
+            &packets[0].slice
+        } else {
+            let mut frame = BitVec::new(width);
+            for (port, packet) in self.ports.iter().zip(&packets) {
+                frame.copy_bits_from(&packet.slice, port.offset);
+            }
+            assembled = frame;
+            &assembled
+        };
+        let out = self.core.process_frame(input)?;
+        let occupancy: u64 = out.tile_cycles.iter().sum();
+        let mut cycles = packets[0].cycles.clone();
+        cycles.extend_from_slice(&out.tile_cycles);
+        Ok(Packet::Frame(FramePacket {
+            slice: out.slice,
+            cycles,
+            membranes: out.membranes,
+            noc_latency: noc_in,
+            pipe_max: pipe_in.max(occupancy),
+        }))
+    }
+
+    fn handle_block(&mut self, inputs: &[Packet]) -> Result<Packet, CoreError> {
+        let mut packets = Vec::with_capacity(inputs.len());
+        for packet in inputs {
+            let Packet::Block(packet) = packet else {
+                return Err(CoreError::InvalidConfig(
+                    "mixed payload kinds in one mesh run".into(),
+                ));
+            };
+            packets.push(packet);
+        }
+        debug_assert!(
+            packets.windows(2).all(|w| w[0].cycles == w[1].cycles),
+            "upstream cycle chains diverged across shards"
+        );
+        let lanes = packets[0].slice.lanes();
+        let mut noc_in = vec![0u64; lanes];
+        let mut pipe_in = vec![0u64; lanes];
+        for (port, packet) in self.ports.iter_mut().zip(&packets) {
+            let counts = packet.slice.lane_counts();
+            for lane in 0..lanes {
+                let cost = match port.link.as_mut() {
+                    Some(stats) => stats.charge(&self.link, u64::from(counts[lane])),
+                    None => 0,
+                };
+                noc_in[lane] = noc_in[lane].max(packet.noc_latency[lane] + cost);
+                pipe_in[lane] = pipe_in[lane].max(packet.pipe_max[lane].max(cost));
+            }
+        }
+        let width = self.core.input_width();
+        let assembled;
+        let input = if packets.len() == 1 && self.ports[0].offset == 0 {
+            &packets[0].slice
+        } else {
+            let mut block = FrameBlock::new(width, lanes);
+            for (port, packet) in self.ports.iter().zip(&packets) {
+                block.copy_rows_from(&packet.slice, port.offset);
+            }
+            assembled = block;
+            &assembled
+        };
+        let out = self.core.process_block(input)?;
+        let mut pipe_out = pipe_in;
+        for (lane, pipe) in pipe_out.iter_mut().enumerate() {
+            let occupancy: u64 = out.tile_cycles.iter().map(|tile| tile[lane]).sum();
+            *pipe = (*pipe).max(occupancy);
+        }
+        let mut cycles = packets[0].cycles.clone();
+        cycles.extend(out.tile_cycles.iter().cloned());
+        Ok(Packet::Block(BlockPacket {
+            slice: out.slice,
+            cycles,
+            membranes: out.membranes,
+            noc_latency: noc_in,
+            pipe_max: pipe_out,
+        }))
+    }
+}
+
+fn feeder_frame(frame: &BitVec) -> Packet {
+    Packet::Frame(FramePacket {
+        slice: frame.clone(),
+        cycles: Vec::new(),
+        membranes: Vec::new(),
+        noc_latency: 0,
+        pipe_max: 0,
+    })
+}
+
+fn feeder_block(chunk: &[BitVec]) -> Packet {
+    Packet::Block(BlockPacket {
+        slice: FrameBlock::from_frames(chunk),
+        cycles: Vec::new(),
+        membranes: Vec::new(),
+        noc_latency: vec![0; chunk.len()],
+        pipe_max: vec![0; chunk.len()],
+    })
+}
+
+/// Collects one frame's readout packets (shards in column order) into an
+/// [`InferenceResult`] and folds its cycle accumulators into the tally.
+fn record_frame_sink(
+    packets: &[Packet],
+    offsets: &[usize],
+    output_width: usize,
+    output_bias: &[f32],
+    results: &mut Vec<InferenceResult>,
+    tally: &mut MeshTally,
+) -> Result<(), CoreError> {
+    let mut shards = Vec::with_capacity(packets.len());
+    for packet in packets {
+        let Packet::Frame(packet) = packet else {
+            return Err(CoreError::InvalidConfig(
+                "mixed payload kinds in one mesh run".into(),
+            ));
+        };
+        shards.push(packet);
+    }
+    debug_assert!(
+        shards.windows(2).all(|w| w[0].cycles == w[1].cycles),
+        "readout shards disagree on the cascade cycle chain"
+    );
+    let per_tile_cycles = shards[0].cycles.clone();
+    let mut membranes = Vec::with_capacity(output_width);
+    for shard in &shards {
+        membranes.extend_from_slice(&shard.membranes);
+    }
+    let logits: Vec<f32> = membranes
+        .iter()
+        .zip(output_bias)
+        .map(|(&m, &b)| m as f32 + b)
+        .collect();
+    let output_spikes = if shards.len() == 1 {
+        shards[0].slice.clone()
+    } else {
+        let mut spikes = BitVec::new(output_width);
+        for (shard, &offset) in shards.iter().zip(offsets) {
+            spikes.copy_bits_from(&shard.slice, offset);
+        }
+        spikes
+    };
+    let result = InferenceResult {
+        prediction: argmax(&logits),
+        logits,
+        membranes,
+        output_spikes,
+        per_tile_cycles,
+    };
+    tally.tiles.record(&result);
+    tally.mesh_bottleneck_cycles += shards.iter().map(|s| s.pipe_max).max().unwrap_or(0);
+    tally.noc_latency_cycles += shards.iter().map(|s| s.noc_latency).max().unwrap_or(0);
+    results.push(result);
+    Ok(())
+}
+
+/// Block-payload counterpart of [`record_frame_sink`]: unpacks every lane
+/// of the readout block into its own [`InferenceResult`], in lane order.
+fn record_block_sink(
+    packets: &[Packet],
+    offsets: &[usize],
+    output_width: usize,
+    output_bias: &[f32],
+    results: &mut Vec<InferenceResult>,
+    tally: &mut MeshTally,
+) -> Result<(), CoreError> {
+    let mut shards = Vec::with_capacity(packets.len());
+    for packet in packets {
+        let Packet::Block(packet) = packet else {
+            return Err(CoreError::InvalidConfig(
+                "mixed payload kinds in one mesh run".into(),
+            ));
+        };
+        shards.push(packet);
+    }
+    debug_assert!(
+        shards.windows(2).all(|w| w[0].cycles == w[1].cycles),
+        "readout shards disagree on the cascade cycle chain"
+    );
+    let lanes = shards[0].slice.lanes();
+    let full = if shards.len() == 1 {
+        shards[0].slice.clone()
+    } else {
+        let mut block = FrameBlock::new(output_width, lanes);
+        for (shard, &offset) in shards.iter().zip(offsets) {
+            block.copy_rows_from(&shard.slice, offset);
+        }
+        block
+    };
+    for lane in 0..lanes {
+        let per_tile_cycles: Vec<u64> = shards[0].cycles.iter().map(|layer| layer[lane]).collect();
+        let mut membranes = Vec::with_capacity(output_width);
+        for shard in &shards {
+            let width = shard.slice.width();
+            membranes.extend_from_slice(&shard.membranes[lane * width..(lane + 1) * width]);
+        }
+        let logits: Vec<f32> = membranes
+            .iter()
+            .zip(output_bias)
+            .map(|(&m, &b)| m as f32 + b)
+            .collect();
+        let result = InferenceResult {
+            prediction: argmax(&logits),
+            logits,
+            membranes,
+            output_spikes: full.lane_frame(lane),
+            per_tile_cycles,
+        };
+        tally.tiles.record(&result);
+        tally.mesh_bottleneck_cycles += shards.iter().map(|s| s.pipe_max[lane]).max().unwrap_or(0);
+        tally.noc_latency_cycles += shards
+            .iter()
+            .map(|s| s.noc_latency[lane])
+            .max()
+            .unwrap_or(0);
+        results.push(result);
+    }
+    Ok(())
+}
+
+/// A multi-core ESAM mesh executing one network sharded across cores.
+#[derive(Debug, Clone)]
+pub struct MeshSystem {
+    config: SystemConfig,
+    mesh: MeshConfig,
+    plan: MeshPlan,
+    slots: Vec<CoreSlot>,
+    stage_ranges: Vec<std::ops::Range<usize>>,
+    sink_offsets: Vec<usize>,
+    pipeline: PipelineTiming,
+    output_bias: Vec<f32>,
+    tally: MeshTally,
+}
+
+impl MeshSystem {
+    /// Shards `model` across cores per `mesh` (see
+    /// [`MeshPlan::partition`]) and builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TopologyMismatch`] when the model does not
+    /// match the system configuration, and propagates tile construction
+    /// and partitioning errors.
+    pub fn from_model(
+        model: &SnnModel,
+        config: &SystemConfig,
+        mesh: &MeshConfig,
+    ) -> Result<Self, CoreError> {
+        if model.topology() != config.topology() {
+            return Err(CoreError::TopologyMismatch {
+                expected: config.topology().to_vec(),
+                got: model.topology(),
+            });
+        }
+        let plan = MeshPlan::partition(config.topology(), mesh.cores())?;
+        let pipeline = PipelineTiming::analyze(config)?;
+        let stage_count = plan.stages().len();
+        let mut slots: Vec<CoreSlot> = Vec::with_capacity(plan.cores());
+        let mut stage_ranges = Vec::with_capacity(stage_count);
+        // (core id, column offset) of the previous stage's shards.
+        let mut prev: Vec<(usize, usize)> = Vec::new();
+        for (stage_index, stage) in plan.stages().iter().enumerate() {
+            let start = slots.len();
+            let is_output = stage_index + 1 == stage_count;
+            let mut current = Vec::with_capacity(stage.shards());
+            for cols in &stage.splits {
+                let id = slots.len();
+                let core = MeshCore::build(
+                    id,
+                    stage_index,
+                    model,
+                    config,
+                    stage.layers.clone(),
+                    cols.clone(),
+                    is_output,
+                )?;
+                let ports = if stage_index == 0 {
+                    vec![InPort {
+                        offset: 0,
+                        link: None,
+                    }]
+                } else {
+                    prev.iter()
+                        .map(|&(src, offset)| InPort {
+                            offset,
+                            link: Some(LinkStats::new(src, id, (id - src) as u64)),
+                        })
+                        .collect()
+                };
+                slots.push(CoreSlot {
+                    core,
+                    ports,
+                    link: *mesh.link_config(),
+                });
+                current.push((id, cols.start));
+            }
+            stage_ranges.push(start..slots.len());
+            prev = current;
+        }
+        let sink_offsets = plan
+            .stages()
+            .last()
+            .expect("a plan has at least one stage")
+            .splits
+            .iter()
+            .map(|r| r.start)
+            .collect();
+        Ok(Self {
+            config: config.clone(),
+            mesh: *mesh,
+            plan,
+            slots,
+            stage_ranges,
+            sink_offsets,
+            pipeline,
+            output_bias: model.output_bias().to_vec(),
+            tally: MeshTally::default(),
+        })
+    }
+
+    /// The partitioning in effect.
+    pub fn plan(&self) -> &MeshPlan {
+        &self.plan
+    }
+
+    /// The per-core system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The mesh configuration.
+    pub fn mesh_config(&self) -> &MeshConfig {
+        &self.mesh
+    }
+
+    /// Cycle tallies accumulated since the last [`reset_stats`](Self::reset_stats).
+    pub fn tally(&self) -> &MeshTally {
+        &self.tally
+    }
+
+    /// Number of cores actually instantiated (the plan may clamp the
+    /// request).
+    pub fn core_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The cores, in id order (their tiles hold the activity counters).
+    pub fn cores(&self) -> impl Iterator<Item = &MeshCore> {
+        self.slots.iter().map(|slot| &slot.core)
+    }
+
+    /// Resets every activity counter: tile stats, link stats and the mesh
+    /// tally.
+    pub fn reset_stats(&mut self) {
+        for slot in &mut self.slots {
+            slot.core.reset_stats();
+            for port in &mut slot.ports {
+                if let Some(stats) = port.link.as_mut() {
+                    *stats = LinkStats::new(stats.src, stats.dst, stats.distance);
+                }
+            }
+        }
+        self.tally = MeshTally::default();
+    }
+
+    /// Runs one frame through the mesh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`run`](Self::run) errors.
+    pub fn infer(&mut self, frame: &BitVec) -> Result<InferenceResult, CoreError> {
+        let mut results = self.run(std::slice::from_ref(frame))?;
+        Ok(results.pop().expect("one frame in, one result out"))
+    }
+
+    /// Runs a batch through the mesh, returning per-frame results in batch
+    /// order. Activity accumulates in the tiles, links and
+    /// [`tally`](Self::tally).
+    ///
+    /// The payload format follows [`PayloadMode`]; `Blocks` (and `Auto` on
+    /// multi-frame batches) streams [`FrameBlock`] packets when the
+    /// bit-sliced path's eligibility guard admits the whole mesh, falling
+    /// back to frames otherwise, so results are always exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for wrong-width frames
+    /// and propagates per-core inference errors.
+    pub fn run(&mut self, frames: &[BitVec]) -> Result<Vec<InferenceResult>, CoreError> {
+        let expected = self.plan.topology()[0];
+        for frame in frames {
+            if frame.len() != expected {
+                return Err(CoreError::InputWidthMismatch {
+                    expected,
+                    got: frame.len(),
+                });
+            }
+        }
+        if frames.is_empty() {
+            return Ok(Vec::new());
+        }
+        let blocks = match self.mesh.payload_mode() {
+            PayloadMode::Frames => false,
+            PayloadMode::Blocks => self.block_eligible(),
+            PayloadMode::Auto => frames.len() > 1 && self.block_eligible(),
+        };
+        match self.mesh.execution_mode() {
+            Execution::Sequential => self.run_sequential(frames, blocks),
+            Execution::Pipelined => self.run_pipelined(frames, blocks),
+        }
+    }
+
+    /// Measures a batch: reset, run, finalize — the mesh counterpart of
+    /// `EsamSystem::measure_batch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference errors; returns [`CoreError::InvalidConfig`]
+    /// for an empty batch.
+    pub fn measure(&mut self, frames: &[BitVec]) -> Result<MeshMetrics, CoreError> {
+        if frames.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "metrics need at least one frame".into(),
+            ));
+        }
+        self.reset_stats();
+        self.run(frames)?;
+        self.finalize_metrics()
+    }
+
+    /// Finalizes the accumulated tally and counters into [`MeshMetrics`]
+    /// — a pure function of the merged integers, mirroring
+    /// `EsamSystem::finalize_metrics` for the tile half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when no frames have been run;
+    /// propagates SRAM energy-model errors.
+    pub fn finalize_metrics(&self) -> Result<MeshMetrics, CoreError> {
+        let tally = &self.tally;
+        if tally.tiles.frames == 0 {
+            return Err(CoreError::InvalidConfig(
+                "metrics need at least one frame".into(),
+            ));
+        }
+        let n = tally.tiles.frames as f64;
+        let bottleneck_cycles = tally.tiles.bottleneck_cycles as f64 / n;
+        let throughput = self.pipeline.throughput_for_cycles(bottleneck_cycles);
+        let mut energy = Joules::ZERO;
+        for tile in self.tiles() {
+            energy += tile.dynamic_energy()?;
+        }
+        let energy_per_inf = energy / n;
+        let leakage_power: Watts = self.tiles().map(Tile::leakage_power).sum();
+        let area: AreaUm2 = self.tiles().map(Tile::area).sum();
+        let system = SystemMetrics {
+            clock: self.pipeline.clock_frequency(),
+            bottleneck_cycles,
+            throughput_inf_s: throughput,
+            latency: self
+                .pipeline
+                .seconds_for_cycles(tally.tiles.latency_cycles as f64 / n),
+            energy_per_inf,
+            dynamic_power: Watts::new(energy_per_inf.value() * throughput),
+            leakage_power,
+            area,
+            learning: None,
+        };
+        let mesh_bottleneck_cycles = tally.mesh_bottleneck_cycles as f64 / n;
+        let mut links: Vec<LinkStats> = self
+            .slots
+            .iter()
+            .flat_map(|slot| slot.ports.iter().filter_map(|port| port.link))
+            .collect();
+        links.sort_by_key(|link| (link.src, link.dst));
+        Ok(MeshMetrics {
+            system,
+            cores: self.slots.len(),
+            mesh_bottleneck_cycles,
+            mesh_throughput_inf_s: self.pipeline.throughput_for_cycles(mesh_bottleneck_cycles),
+            noc_latency_cycles: tally.noc_latency_cycles as f64 / n,
+            mesh_latency: self.pipeline.seconds_for_cycles(
+                (tally.tiles.latency_cycles + tally.noc_latency_cycles) as f64 / n,
+            ),
+            links,
+        })
+    }
+
+    fn tiles(&self) -> impl Iterator<Item = &Tile> {
+        self.slots.iter().flat_map(|slot| slot.core.tiles())
+    }
+
+    /// Whether the block payload is exact for the current mesh state: the
+    /// mesh-wide mirror of `EsamSystem::block_path_eligible`.
+    fn block_eligible(&self) -> bool {
+        self.config.neuron().reset_policy() == ResetPolicy::EveryTimestep
+            && self.slots.iter().all(|slot| slot.core.block_eligible())
+    }
+
+    /// The retained single-threaded reference: stage order, frame by
+    /// frame, through the same handlers the pipelined mode runs.
+    fn run_sequential(
+        &mut self,
+        frames: &[BitVec],
+        blocks: bool,
+    ) -> Result<Vec<InferenceResult>, CoreError> {
+        let output_width = *self.plan.topology().last().expect("topology len >= 2");
+        let mut results = Vec::with_capacity(frames.len());
+        let mut tally = MeshTally::default();
+        if blocks {
+            for chunk in frames.chunks(FrameBlock::LANES) {
+                let packets = self.walk_stages(feeder_block(chunk))?;
+                record_block_sink(
+                    &packets,
+                    &self.sink_offsets,
+                    output_width,
+                    &self.output_bias,
+                    &mut results,
+                    &mut tally,
+                )?;
+            }
+        } else {
+            for frame in frames {
+                let packets = self.walk_stages(feeder_frame(frame))?;
+                record_frame_sink(
+                    &packets,
+                    &self.sink_offsets,
+                    output_width,
+                    &self.output_bias,
+                    &mut results,
+                    &mut tally,
+                )?;
+            }
+        }
+        self.tally.merge(&tally);
+        Ok(results)
+    }
+
+    /// Pushes one feeder packet through every stage in order, returning
+    /// the readout stage's packets in shard (column) order.
+    fn walk_stages(&mut self, feed: Packet) -> Result<Vec<Packet>, CoreError> {
+        let mut prev = vec![feed];
+        for stage in 0..self.stage_ranges.len() {
+            let range = self.stage_ranges[stage].clone();
+            let mut next = Vec::with_capacity(range.len());
+            for index in range {
+                next.push(self.slots[index].handle(&prev)?);
+            }
+            prev = next;
+        }
+        Ok(prev)
+    }
+
+    /// Pipeline-parallel execution: one thread per core plus a feeder
+    /// thread, the sink on the calling thread. Core *k* serves hand-off
+    /// *t* while core *k+1* serves *t−1*; bounded SPSC channels apply
+    /// back-pressure, and endpoint drops propagate shutdown (see
+    /// [`crate::spsc`]).
+    fn run_pipelined(
+        &mut self,
+        frames: &[BitVec],
+        blocks: bool,
+    ) -> Result<Vec<InferenceResult>, CoreError> {
+        let capacity = self.mesh.channel_depth();
+        let stage_count = self.stage_ranges.len();
+        let slot_count = self.slots.len();
+        let mut in_rx: Vec<Vec<Receiver<Packet>>> = (0..slot_count).map(|_| Vec::new()).collect();
+        let mut out_tx: Vec<Vec<Sender<Packet>>> = (0..slot_count).map(|_| Vec::new()).collect();
+        let mut feed_tx = Vec::new();
+        for consumer in self.stage_ranges[0].clone() {
+            let (tx, rx) = channel(capacity);
+            feed_tx.push(tx);
+            in_rx[consumer].push(rx);
+        }
+        // Producers enumerate their senders in consumer order and
+        // consumers their receivers in producer order; with this fixed
+        // ordering on an acyclic stage graph, bounded channels cannot
+        // deadlock — every blocked endpoint waits on a strictly
+        // downstream or strictly upstream peer.
+        for boundary in 1..stage_count {
+            for producer in self.stage_ranges[boundary - 1].clone() {
+                for consumer in self.stage_ranges[boundary].clone() {
+                    let (tx, rx) = channel(capacity);
+                    out_tx[producer].push(tx);
+                    in_rx[consumer].push(rx);
+                }
+            }
+        }
+        let mut sink_rx = Vec::new();
+        for producer in self.stage_ranges[stage_count - 1].clone() {
+            let (tx, rx) = channel(capacity);
+            out_tx[producer].push(tx);
+            sink_rx.push(rx);
+        }
+
+        let errors: Mutex<Vec<CoreError>> = Mutex::new(Vec::new());
+        let mut results = Vec::with_capacity(frames.len());
+        let mut tally = MeshTally::default();
+        let hand_offs = if blocks {
+            frames.len().div_ceil(FrameBlock::LANES)
+        } else {
+            frames.len()
+        };
+        let output_width = *self.plan.topology().last().expect("topology len >= 2");
+        let slots = &mut self.slots;
+        let sink_offsets = &self.sink_offsets;
+        let output_bias = &self.output_bias;
+
+        thread::scope(|scope| {
+            scope.spawn(move || {
+                let send_all = |packet: Packet| -> bool {
+                    let last = feed_tx.len() - 1;
+                    for tx in &feed_tx[..last] {
+                        if tx.send(packet.clone()).is_err() {
+                            return false;
+                        }
+                    }
+                    feed_tx[last].send(packet).is_ok()
+                };
+                if blocks {
+                    for chunk in frames.chunks(FrameBlock::LANES) {
+                        if !send_all(feeder_block(chunk)) {
+                            return;
+                        }
+                    }
+                } else {
+                    for frame in frames {
+                        if !send_all(feeder_frame(frame)) {
+                            return;
+                        }
+                    }
+                }
+            });
+            for ((slot, rxs), txs) in slots.iter_mut().zip(in_rx).zip(out_tx) {
+                let errors = &errors;
+                scope.spawn(move || {
+                    'hand_offs: loop {
+                        let mut inputs = Vec::with_capacity(rxs.len());
+                        for rx in &rxs {
+                            match rx.recv() {
+                                Some(packet) => inputs.push(packet),
+                                // A producer is gone: end of stream (or an
+                                // upstream failure) — drop our endpoints so
+                                // the shutdown propagates both ways.
+                                None => break 'hand_offs,
+                            }
+                        }
+                        match slot.handle(&inputs) {
+                            Ok(packet) => {
+                                let last = txs.len() - 1;
+                                for tx in &txs[..last] {
+                                    if tx.send(packet.clone()).is_err() {
+                                        break 'hand_offs;
+                                    }
+                                }
+                                if txs[last].send(packet).is_err() {
+                                    break 'hand_offs;
+                                }
+                            }
+                            Err(error) => {
+                                errors.lock().expect("error sink poisoned").push(error);
+                                break 'hand_offs;
+                            }
+                        }
+                    }
+                });
+            }
+            'sink: for _ in 0..hand_offs {
+                let mut packets = Vec::with_capacity(sink_rx.len());
+                for rx in &sink_rx {
+                    match rx.recv() {
+                        Some(packet) => packets.push(packet),
+                        None => break 'sink,
+                    }
+                }
+                let outcome = if blocks {
+                    record_block_sink(
+                        &packets,
+                        sink_offsets,
+                        output_width,
+                        output_bias,
+                        &mut results,
+                        &mut tally,
+                    )
+                } else {
+                    record_frame_sink(
+                        &packets,
+                        sink_offsets,
+                        output_width,
+                        output_bias,
+                        &mut results,
+                        &mut tally,
+                    )
+                };
+                if let Err(error) = outcome {
+                    errors.lock().expect("error sink poisoned").push(error);
+                    break 'sink;
+                }
+            }
+            // Release the sink's receivers so upstream cores unwind if the
+            // loop broke early.
+            drop(sink_rx);
+        });
+
+        if let Some(error) = errors.into_inner().expect("error sink poisoned").pop() {
+            return Err(error);
+        }
+        if results.len() != frames.len() {
+            return Err(CoreError::InvalidConfig(
+                "mesh pipeline shut down before the batch completed".into(),
+            ));
+        }
+        self.tally.merge(&tally);
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esam_core::EsamSystem;
+    use esam_nn::BnnNetwork;
+    use esam_sram::BitcellKind;
+
+    fn build(topology: &[usize], seed: u64) -> (SnnModel, SystemConfig) {
+        let net = BnnNetwork::new(topology, seed).unwrap();
+        let model = SnnModel::from_bnn(&net).unwrap();
+        let config = SystemConfig::builder(BitcellKind::multiport(2).unwrap(), topology)
+            .build()
+            .unwrap();
+        (model, config)
+    }
+
+    fn frames(width: usize, count: usize) -> Vec<BitVec> {
+        (0..count)
+            .map(|f| {
+                BitVec::from_indices(
+                    width,
+                    &[(f * 13) % width, (f * 29 + 7) % width, (f * 53 + 1) % width],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_core_mesh_matches_the_plain_system() {
+        let (model, config) = build(&[128, 64, 10], 3);
+        let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+        let mesh_config = MeshConfig::with_cores(1).execution(Execution::Sequential);
+        let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+        assert_eq!(mesh.core_count(), 1);
+        for frame in frames(128, 6) {
+            assert_eq!(mesh.infer(&frame).unwrap(), plain.infer(&frame).unwrap());
+        }
+        // A single stage has no links, so the mesh bottleneck is the whole
+        // cascade and NoC latency is zero.
+        assert_eq!(mesh.tally().noc_latency_cycles, 0);
+        assert_eq!(
+            mesh.tally().mesh_bottleneck_cycles,
+            mesh.tally().tiles.latency_cycles
+        );
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_and_plain_outputs() {
+        let (model, config) = build(&[128, 64, 32, 10], 9);
+        let batch = frames(128, 17);
+        let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+        let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+        for cores in [2usize, 3] {
+            let sequential_config = MeshConfig::with_cores(cores).execution(Execution::Sequential);
+            let mut sequential =
+                MeshSystem::from_model(&model, &config, &sequential_config).unwrap();
+            let sequential_results = sequential.run(&batch).unwrap();
+            let pipelined_config = MeshConfig::with_cores(cores);
+            let mut pipelined = MeshSystem::from_model(&model, &config, &pipelined_config).unwrap();
+            let pipelined_results = pipelined.run(&batch).unwrap();
+            assert_eq!(sequential_results, expected, "{cores} cores vs plain");
+            assert_eq!(pipelined_results, expected, "{cores} cores pipelined");
+            assert_eq!(
+                sequential.tally(),
+                pipelined.tally(),
+                "{cores} cores tallies"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_reports_mesh_figures() {
+        let (model, config) = build(&[128, 64, 32, 10], 5);
+        let mesh_config = MeshConfig::with_cores(3);
+        let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+        let metrics = mesh.measure(&frames(128, 32)).unwrap();
+        assert_eq!(metrics.cores, 3);
+        assert!(metrics.mesh_bottleneck_cycles > 0.0);
+        assert!(metrics.mesh_throughput_inf_s > metrics.system.throughput_inf_s / 100.0);
+        assert_eq!(metrics.links.len(), 2, "two boundaries, one link each");
+        assert!(metrics.links.iter().all(|l| l.frames == 32));
+        let text = metrics.to_string();
+        assert!(text.contains("mesh throughput"));
+        assert!(mesh.measure(&[]).is_err());
+    }
+
+    #[test]
+    fn wrong_width_frames_are_rejected() {
+        let (model, config) = build(&[128, 64, 10], 1);
+        let mut mesh = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(2)).unwrap();
+        let err = mesh.run(&[BitVec::new(64)]).unwrap_err();
+        assert!(matches!(err, CoreError::InputWidthMismatch { .. }));
+    }
+}

@@ -1,0 +1,254 @@
+//! The mesh must be bit-identical to the retained single-core walk.
+//!
+//! Two levels of contract, both pinned here:
+//!
+//! 1. **Mesh-parallel ≡ mesh-sequential, always**: `Execution::Pipelined`
+//!    and `Execution::Sequential` run the same per-core handlers, so
+//!    results, the mesh tally and *every* tile/array counter must match at
+//!    any core count, payload mode and batch shape.
+//! 2. **Mesh ≡ plain `EsamSystem`**: outputs (predictions, logits,
+//!    membranes, output spikes, per-tile cycles) match frame for frame at
+//!    every core count. When the plan is layer-granular (no column
+//!    splits), tile and array counters additionally match tile for tile —
+//!    the mesh walks the very same tiles in the same order. Column-split
+//!    shards own private arbiters, so their arbiter-side counters
+//!    physically duplicate; outputs still match exactly.
+
+use esam_bits::BitVec;
+use esam_core::{EsamSystem, SystemConfig, TileStats};
+use esam_mesh::{Execution, MeshConfig, MeshSystem, PayloadMode};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_sram::BitcellKind;
+use proptest::prelude::*;
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn model_and_config(topology: &[usize], seed: u64) -> (SnnModel, SystemConfig) {
+    let net = BnnNetwork::new(topology, seed).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(2).unwrap(), topology)
+        .build()
+        .unwrap();
+    (model, config)
+}
+
+fn random_frames(width: usize, count: usize, seed: u64, density: f64) -> Vec<BitVec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..width).map(|_| rng.random_bool(density)).collect())
+        .collect()
+}
+
+/// Flattened per-tile counters of a mesh, in core order.
+fn mesh_tile_stats(mesh: &MeshSystem) -> Vec<TileStats> {
+    mesh.cores()
+        .flat_map(|core| core.tiles().iter().map(|t| *t.stats()))
+        .collect()
+}
+
+/// Runs the batch on a pipelined and a sequential mesh built from the same
+/// model and asserts results and all counters are identical; returns the
+/// sequential mesh's results for further comparison.
+fn assert_pipelined_matches_sequential(
+    model: &SnnModel,
+    config: &SystemConfig,
+    mesh_config: &MeshConfig,
+    batch: &[BitVec],
+    label: &str,
+) -> (MeshSystem, Vec<esam_core::InferenceResult>) {
+    let sequential_config = mesh_config.execution(Execution::Sequential);
+    let mut sequential = MeshSystem::from_model(model, config, &sequential_config).unwrap();
+    let expected = sequential.run(batch).unwrap();
+
+    let pipelined_config = mesh_config.execution(Execution::Pipelined);
+    let mut pipelined = MeshSystem::from_model(model, config, &pipelined_config).unwrap();
+    let got = pipelined.run(batch).unwrap();
+
+    assert_eq!(got, expected, "{label}: pipelined results");
+    assert_eq!(
+        pipelined.tally(),
+        sequential.tally(),
+        "{label}: mesh tallies"
+    );
+    assert_eq!(
+        mesh_tile_stats(&pipelined),
+        mesh_tile_stats(&sequential),
+        "{label}: per-tile TileStats"
+    );
+    let seq_arrays: Vec<_> = sequential
+        .cores()
+        .flat_map(|c| c.tiles().iter().map(|t| t.array_stats().to_vec()))
+        .collect();
+    let pipe_arrays: Vec<_> = pipelined
+        .cores()
+        .flat_map(|c| c.tiles().iter().map(|t| t.array_stats().to_vec()))
+        .collect();
+    assert_eq!(pipe_arrays, seq_arrays, "{label}: per-array AccessStats");
+    (sequential, expected)
+}
+
+/// Asserts mesh outputs match looping the plain system's `infer`, and —
+/// for layer-granular plans — that every counter matches tile for tile.
+fn assert_mesh_matches_plain(
+    mesh: &MeshSystem,
+    mesh_results: &[esam_core::InferenceResult],
+    model: &SnnModel,
+    config: &SystemConfig,
+    batch: &[BitVec],
+    label: &str,
+) {
+    let mut plain = EsamSystem::from_model(model, config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    assert_eq!(mesh_results, expected, "{label}: outputs vs plain system");
+    assert_eq!(
+        mesh.tally().tiles,
+        {
+            let mut tally = esam_core::BatchTally::default();
+            for result in &expected {
+                tally.record(result);
+            }
+            tally
+        },
+        "{label}: tile tally vs plain system"
+    );
+    if mesh.plan().is_layer_granular() {
+        let mesh_tiles: Vec<_> = mesh.cores().flat_map(|c| c.tiles().iter()).collect();
+        assert_eq!(mesh_tiles.len(), plain.tiles().len(), "{label}: tile count");
+        for (t, (mesh_tile, plain_tile)) in mesh_tiles.iter().zip(plain.tiles()).enumerate() {
+            assert_eq!(
+                mesh_tile.stats(),
+                plain_tile.stats(),
+                "{label}: tile {t} TileStats vs plain"
+            );
+            assert_eq!(
+                mesh_tile.array_stats(),
+                plain_tile.array_stats(),
+                "{label}: tile {t} AccessStats vs plain"
+            );
+        }
+    }
+}
+
+fn exercise(topology: &[usize], seed: u64, cores: usize, batch: &[BitVec], payload: PayloadMode) {
+    let (model, config) = model_and_config(topology, seed);
+    let mesh_config = MeshConfig::with_cores(cores).payload(payload);
+    let label = format!("{topology:?} cores={cores} n={} {payload:?}", batch.len());
+    let (mesh, results) =
+        assert_pipelined_matches_sequential(&model, &config, &mesh_config, batch, &label);
+    assert_mesh_matches_plain(&mesh, &results, &model, &config, batch, &label);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random deep networks at the pinned core counts, frame payloads.
+    #[test]
+    fn random_networks_match_with_frame_payloads(
+        seed in 0u64..10_000,
+        // Multiples of 8 keep every array row count divisible by the SRAM
+        // column-mux ratio.
+        hidden_octets in 4usize..12,
+        count in 1usize..20,
+        density in 0.05f64..0.6,
+    ) {
+        let hidden = hidden_octets * 8;
+        let topology = [128, hidden, hidden / 2 + 8, 10];
+        let batch = random_frames(128, count, seed.wrapping_add(17), density);
+        for cores in [1usize, 2, 4, 7] {
+            exercise(&topology, seed, cores, &batch, PayloadMode::Frames);
+        }
+    }
+
+    /// Block payloads, including ragged batch tails (counts straddling the
+    /// 64-lane block width).
+    #[test]
+    fn random_networks_match_with_block_payloads(
+        seed in 0u64..10_000,
+        count in 60usize..70,
+        density in 0.05f64..0.5,
+    ) {
+        let topology = [128, 64, 48, 10];
+        let batch = random_frames(128, count, seed.wrapping_add(3), density);
+        for cores in [1usize, 2, 4] {
+            exercise(&topology, seed, cores, &batch, PayloadMode::Blocks);
+        }
+    }
+
+    /// Column-split plans (cores > layers) on multi-group widths, both
+    /// payloads: outputs must still match the plain system exactly.
+    #[test]
+    fn column_split_plans_match_plain_outputs(
+        seed in 0u64..10_000,
+        count in 1usize..8,
+        density in 0.1f64..0.5,
+    ) {
+        // 300-wide hidden layer = three column groups (128+128+44): splits
+        // exercise ragged group tails and word-aligned reassembly.
+        let topology = [128, 300, 10];
+        let batch = random_frames(128, count, seed.wrapping_add(29), density);
+        for payload in [PayloadMode::Frames, PayloadMode::Blocks] {
+            exercise(&topology, seed, 4, &batch, payload);
+        }
+        // A 256-wide readout (two column groups) splits the *output* stage,
+        // exercising sink-side membrane/spike reassembly across shards.
+        let wide_readout = [64, 128, 256];
+        let readout_batch = random_frames(64, count, seed.wrapping_add(31), density);
+        for payload in [PayloadMode::Frames, PayloadMode::Blocks] {
+            exercise(&wide_readout, seed, 4, &readout_batch, payload);
+        }
+    }
+}
+
+#[test]
+fn auto_payload_matches_forced_modes() {
+    let topology = [128, 96, 64, 10];
+    let (model, config) = model_and_config(&topology, 23);
+    let batch = random_frames(128, 100, 7, 0.3);
+    let mut auto = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(3)).unwrap();
+    let auto_results = auto.run(&batch).unwrap();
+    let mut forced = MeshSystem::from_model(
+        &model,
+        &config,
+        &MeshConfig::with_cores(3).payload(PayloadMode::Frames),
+    )
+    .unwrap();
+    let forced_results = forced.run(&batch).unwrap();
+    assert_eq!(auto_results, forced_results);
+    assert_eq!(auto.tally().tiles, forced.tally().tiles);
+    // The modeled NoC charges per frame either way, so the interconnect
+    // tallies agree too.
+    assert_eq!(auto.tally(), forced.tally());
+}
+
+#[test]
+fn repeated_runs_accumulate_like_one_long_batch() {
+    let topology = [128, 64, 10];
+    let (model, config) = model_and_config(&topology, 4);
+    let batch = random_frames(128, 24, 11, 0.25);
+    let mut split = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(2)).unwrap();
+    split.run(&batch[..7]).unwrap();
+    split.run(&batch[7..]).unwrap();
+    let mut whole = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(2)).unwrap();
+    whole.run(&batch).unwrap();
+    assert_eq!(split.tally(), whole.tally(), "tallies merge exactly");
+    assert_eq!(mesh_tile_stats(&split), mesh_tile_stats(&whole));
+}
+
+#[test]
+fn measure_is_deterministic_across_executions() {
+    let topology = [128, 96, 48, 10];
+    let (model, config) = model_and_config(&topology, 31);
+    let batch = random_frames(128, 80, 13, 0.3);
+    let mut pipelined =
+        MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(3)).unwrap();
+    let a = pipelined.measure(&batch).unwrap();
+    let mut sequential = MeshSystem::from_model(
+        &model,
+        &config,
+        &MeshConfig::with_cores(3).execution(Execution::Sequential),
+    )
+    .unwrap();
+    let b = sequential.measure(&batch).unwrap();
+    assert_eq!(a, b, "metrics are a pure function of merged integers");
+}

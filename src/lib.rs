@@ -14,6 +14,9 @@
 //! * [`core`] — tiles, the cascaded system, the spike-by-spike simulator,
 //!   the parallel batch engine, metrics, the online-learning engine and the
 //!   adder-tree baseline.
+//! * [`mesh`] — the multi-core mesh: layer/column sharding across cores,
+//!   pipeline-parallel inference over bounded channels, and a cycle-modeled
+//!   interconnect.
 //! * [`serve`] — the concurrent inference service: bounded admission,
 //!   dynamic micro-batching, worker pool, latency SLO metrics and
 //!   deterministic load generation.
@@ -51,6 +54,7 @@ pub use esam_bits as bits;
 pub use esam_circuit as circuit;
 pub use esam_core as core;
 pub use esam_logic as logic;
+pub use esam_mesh as mesh;
 pub use esam_neuron as neuron;
 pub use esam_nn as nn;
 pub use esam_serve as serve;
@@ -66,6 +70,7 @@ pub mod prelude {
         LearningCurve, OnlineLearningEngine, OnlineSession, PipelineTiming, SystemConfig,
         SystemMetrics, Tile, TracedInference, WeightMergePolicy,
     };
+    pub use esam_mesh::{MeshConfig, MeshMetrics, MeshPlan, MeshSystem};
     pub use esam_neuron::{IfNeuron, NeuronArray, NeuronConfig};
     pub use esam_nn::{
         BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule, TeacherSignal, TrainConfig, Trainer,
