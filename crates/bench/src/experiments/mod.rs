@@ -7,6 +7,7 @@ pub mod arbiter;
 pub mod area;
 pub mod batch;
 pub mod corners;
+pub mod faults;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

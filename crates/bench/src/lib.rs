@@ -26,6 +26,7 @@
 //! | `batch` | simulator batch-scaling: frames/sec vs worker threads |
 //! | `mesh` | multi-core mesh scaling: pipeline-parallel throughput vs core count (`--json` for machines) |
 //! | `serve` | concurrent serving: closed/open-loop latency SLOs + admission behaviour (`--json` for machines) |
+//! | `faults` | fault injection: accuracy vs bit-flip rate, serving under worker deaths, mesh under packet loss (`--json` for machines) |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
 //! | `sta` | §3.3 gate-level STA cross-check (structural arbiter) |
@@ -46,9 +47,9 @@ pub use error::BenchError;
 pub use table::Table;
 
 /// Experiment ids that need no trained network (circuit-level artifacts
-/// plus the synthetic-workload `hot_path`, `serve` and `mesh` simulator
-/// benchmarks).
-pub const CIRCUIT_EXPERIMENTS: [&str; 13] = [
+/// plus the synthetic-workload `hot_path`, `serve`, `mesh` and `faults`
+/// simulator benchmarks).
+pub const CIRCUIT_EXPERIMENTS: [&str; 14] = [
     "area",
     "fig6",
     "fig7",
@@ -62,6 +63,7 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 13] = [
     "hot_path",
     "serve",
     "mesh",
+    "faults",
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
@@ -83,8 +85,8 @@ pub const SYSTEM_EXPERIMENTS: [&str; 6] = [
 /// `threads` caps the worker sweep of the `batch` experiment and the
 /// worker pool of the `serve` experiment (0 = this machine's available
 /// parallelism); `json` switches experiments that support machine-readable
-/// output (`hot_path`, `serve`, `mesh`) from a table to one JSON object
-/// per experiment. The shared
+/// output (`hot_path`, `serve`, `mesh`, `faults`) from a table to one JSON
+/// object per experiment. The shared
 /// [`ExperimentContext`] (dataset + trained model) is built lazily, only
 /// when a system experiment is requested.
 ///
@@ -166,6 +168,16 @@ pub fn run_experiments(
                     println!("{}", experiments::mesh::mesh_json(&results));
                 } else {
                     println!("{}", experiments::mesh::mesh_table(&results));
+                }
+            }
+            "faults" => {
+                let results = experiments::faults::faults_results(samples, threads)?;
+                if json {
+                    println!("{}", experiments::faults::faults_json(&results));
+                } else {
+                    println!("{}", experiments::faults::faults_flip_table(&results));
+                    println!("{}", experiments::faults::faults_serve_table(&results));
+                    println!("{}", experiments::faults::faults_mesh_table(&results));
                 }
             }
             "sta" => println!("{}", experiments::sta::sta_table()?),

@@ -105,6 +105,19 @@ impl BitMatrix {
         }
     }
 
+    /// Inverts the bit at (`row`, `col`) — the physical primitive behind
+    /// fault-injected bit flips. XOR is involutive, so flipping the same
+    /// position twice restores the original content exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn flip(&mut self, row: usize, col: usize) {
+        self.check(row, col);
+        self.words[row * self.words_per_row + col / WORD_BITS] ^= 1u64 << (col % WORD_BITS);
+    }
+
     /// The packed storage words of row `row` (an Inference wordline, ready
     /// for word-parallel consumption).
     ///
@@ -237,6 +250,16 @@ mod tests {
         assert_eq!(m.cols(), 130);
         assert_eq!(m.bit_count(), 128 * 130);
         assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn flip_toggles_and_is_involutive() {
+        let mut m = BitMatrix::new(5, 70);
+        m.flip(4, 69);
+        assert!(m.get(4, 69));
+        m.flip(4, 69);
+        assert!(!m.get(4, 69));
+        assert_eq!(m.count_ones(), 0, "double flip restores the matrix");
     }
 
     #[test]

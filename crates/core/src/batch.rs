@@ -230,6 +230,12 @@ impl BatchEngine {
     /// outcome — and a state-carrying reset policy clamps the engine to a
     /// single worker claiming chunks in frame order (see [`Self::new`]).
     ///
+    /// Frames run under the source system's installed
+    /// [`FaultPlan`](esam_fault::FaultPlan) with the *global batch index*
+    /// as the fault coordinate, so transient fault sites — like everything
+    /// else here — are identical at any thread count or chunk size. With
+    /// no plan installed this is exactly the unfaulted batch walk.
+    ///
     /// # Errors
     ///
     /// Propagates the first worker error.
@@ -238,8 +244,8 @@ impl BatchEngine {
             Mutex::new(Vec::with_capacity(frames.len()));
         self.run_workers(frames, |_, chunk_start, chunk, worker| {
             let mut results = Vec::with_capacity(chunk.len());
-            for frame in chunk {
-                results.push(worker.infer(frame)?);
+            for (offset, frame) in chunk.iter().enumerate() {
+                results.push(worker.infer_faulted(frame, (chunk_start + offset) as u64)?);
             }
             collected
                 .lock()

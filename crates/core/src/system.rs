@@ -9,6 +9,7 @@
 //! *bottleneck* tile's cycle count while latency is the sum over tiles.
 
 use esam_bits::{BitVec, FrameBlock};
+use esam_fault::{FaultPlan, FaultTally};
 use esam_nn::bnn::argmax;
 use esam_nn::{derive_teacher_signals, SnnModel};
 use esam_tech::units::{AreaUm2, Joules, Watts};
@@ -103,6 +104,18 @@ pub struct EsamSystem {
     tiles: Vec<Tile>,
     pipeline: PipelineTiming,
     output_bias: Vec<f32>,
+    /// Installed fault plan ([`FaultPlan::none`] by default — every fault
+    /// helper then short-circuits, keeping the unfaulted paths bit-exact).
+    faults: FaultPlan,
+    /// SRAM-domain injection counters (merged/reset with the activity
+    /// counters under the same exact u64 law).
+    fault_tally: FaultTally,
+    /// Stuck-at sites materialized into the weights by the current plan
+    /// whose stored bit actually changed — kept so a plan swap can revert
+    /// them (toggles are involutive).
+    stuck_flips: Vec<(usize, usize, usize)>,
+    /// Stuck-at sites the current plan pins (changed or not).
+    stuck_bits: u64,
 }
 
 impl EsamSystem {
@@ -130,6 +143,10 @@ impl EsamSystem {
             tiles,
             pipeline: PipelineTiming::analyze(config)?,
             output_bias: model.output_bias().to_vec(),
+            faults: FaultPlan::none(),
+            fault_tally: FaultTally::default(),
+            stuck_flips: Vec::new(),
+            stuck_bits: 0,
         })
     }
 
@@ -265,6 +282,152 @@ impl EsamSystem {
         })
     }
 
+    /// Installs a fault plan on this system.
+    ///
+    /// Stuck-at faults are **materialized once, here**: every weight bit
+    /// the plan pins is forced to its stuck value in the SRAM arrays, so
+    /// the word-parallel hot path pays nothing per inference for them.
+    /// Installing a new plan (including [`FaultPlan::none`]) first reverts
+    /// the previous plan's materialization, restoring the original weights
+    /// exactly (flips are involutive). Transient faults (weight/membrane
+    /// flips) take effect in [`infer_faulted`](Self::infer_faulted);
+    /// serve-/mesh-domain rates are carried but injected by those layers.
+    ///
+    /// Install the plan **before** cloning worker systems so every clone
+    /// shares the same stuck-at weights and plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM bounds errors (impossible for in-range topologies).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), CoreError> {
+        // Revert the previous plan's materialized stuck bits.
+        for index in 0..self.stuck_flips.len() {
+            let (layer, input, output) = self.stuck_flips[index];
+            self.tiles[layer].toggle_weight_bit(input, output)?;
+        }
+        self.stuck_flips.clear();
+        self.stuck_bits = 0;
+        self.faults = plan;
+        self.fault_tally = FaultTally::default();
+        if plan.stuck_active() {
+            for layer in 0..self.tiles.len() {
+                let (inputs, outputs) = (self.tiles[layer].inputs(), self.tiles[layer].outputs());
+                for input in 0..inputs {
+                    for output in 0..outputs {
+                        let Some(value) =
+                            plan.stuck_site(layer as u64, input as u64, output as u64)
+                        else {
+                            continue;
+                        };
+                        self.stuck_bits += 1;
+                        if self.tiles[layer].weight_bit(input, output) != value {
+                            self.tiles[layer].toggle_weight_bit(input, output)?;
+                            self.stuck_flips.push((layer, input, output));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The installed fault plan ([`FaultPlan::none`] unless
+    /// [`set_fault_plan`](Self::set_fault_plan) was called).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// SRAM-domain injection counters accumulated since the last stats
+    /// reset.
+    pub fn fault_tally(&self) -> &FaultTally {
+        &self.fault_tally
+    }
+
+    /// Number of weight bits the current plan pins to a stuck value
+    /// (a property of the installed plan, not reset with the activity
+    /// counters).
+    pub fn stuck_bits(&self) -> u64 {
+        self.stuck_bits
+    }
+
+    /// Toggles every weight bit the plan flips for `frame_id` and returns
+    /// the flip count. Involutive: calling it a second time with the same
+    /// `frame_id` restores the weights exactly — which is how
+    /// [`infer_faulted`](Self::infer_faulted) reverts a frame's transient
+    /// faults.
+    fn toggle_frame_flips(&mut self, frame_id: u64) -> Result<u64, CoreError> {
+        let mut flips = 0u64;
+        for layer in 0..self.tiles.len() {
+            let (inputs, outputs) = (self.tiles[layer].inputs(), self.tiles[layer].outputs());
+            for input in 0..inputs {
+                for output in 0..outputs {
+                    if self
+                        .faults
+                        .weight_flip(frame_id, layer as u64, input as u64, output as u64)
+                    {
+                        self.tiles[layer].toggle_weight_bit(input, output)?;
+                        flips += 1;
+                    }
+                }
+            }
+        }
+        Ok(flips)
+    }
+
+    /// Runs one inference under the installed fault plan's *transient*
+    /// SRAM faults: the plan's weight-bit flips for `frame_id` are toggled
+    /// in, the frame runs through the ordinary word-parallel walk, the
+    /// flips are toggled back out (exact restore), and membrane-word
+    /// upsets are applied to the output neurons (low-bit flip, logits and
+    /// prediction recomputed; `output_spikes` keeps the pre-upset firing —
+    /// the upset models a readout-register strike after the compare).
+    ///
+    /// `frame_id` is the fault coordinate: callers use a stable global
+    /// index (batch position, request id) so fault sites are independent
+    /// of chunking, thread count or arrival order. With no transient
+    /// faults active this is exactly [`infer`](Self::infer) — no toggling,
+    /// no recompute, zero cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for a wrong input width.
+    pub fn infer_faulted(
+        &mut self,
+        input: &BitVec,
+        frame_id: u64,
+    ) -> Result<InferenceResult, CoreError> {
+        if !self.faults.transient_active() {
+            return self.infer(input);
+        }
+        let flips = self.toggle_frame_flips(frame_id)?;
+        let outcome = self.infer(input);
+        // Revert before error propagation so a failed inference cannot
+        // leave flipped weights behind.
+        self.toggle_frame_flips(frame_id)?;
+        let mut result = outcome?;
+        self.fault_tally.weight_flips += flips;
+        if self.faults.config().membrane_flip_rate() > 0.0 {
+            let mut upset = false;
+            for (neuron, membrane) in result.membranes.iter_mut().enumerate() {
+                if self.faults.membrane_flip(frame_id, neuron as u64) {
+                    *membrane ^= 1;
+                    self.fault_tally.membrane_flips += 1;
+                    upset = true;
+                }
+            }
+            if upset {
+                result.logits = result
+                    .membranes
+                    .iter()
+                    .zip(&self.output_bias)
+                    .map(|(&m, &b)| m as f32 + b)
+                    .collect();
+                result.prediction = argmax(&result.logits);
+            }
+        }
+        Ok(result)
+    }
+
     /// Temporal (rate-coded) inference over a sequence of input frames —
     /// the extension workload the paper's IF/static choice points at (§3.4:
     /// an IF neuron was chosen *because* the test task is time-static).
@@ -361,11 +524,13 @@ impl EsamSystem {
         })
     }
 
-    /// Resets all activity counters (weights and state are untouched).
+    /// Resets all activity counters, including the SRAM-domain fault
+    /// tally (weights, state and the installed fault plan are untouched).
     pub fn reset_stats(&mut self) {
         for tile in &mut self.tiles {
             tile.reset_stats();
         }
+        self.fault_tally = FaultTally::default();
     }
 
     /// Dynamic energy accumulated since the last stats reset.
@@ -505,6 +670,13 @@ impl EsamSystem {
     /// closed-form `2·ones − spikes` is exact).
     pub(crate) fn block_path_eligible(&self) -> bool {
         if self.config.neuron().reset_policy() != esam_neuron::ResetPolicy::EveryTimestep {
+            return false;
+        }
+        // Transient faults are per-frame, and the block path has no
+        // per-frame hook — frames with active weight/membrane flips take
+        // the sequential walk. Stuck-at faults live in the weights
+        // themselves, so they keep the block path (and its exactness).
+        if self.faults.transient_active() {
             return false;
         }
         self.tiles.iter().all(|tile| {
@@ -717,6 +889,7 @@ impl EsamSystem {
         for (mine, theirs) in self.tiles.iter_mut().zip(&other.tiles) {
             mine.absorb_stats(theirs);
         }
+        self.fault_tally.merge(&other.fault_tally);
     }
 }
 

@@ -393,6 +393,46 @@ impl Tile {
         &mut Arc::make_mut(&mut self.weights).arrays[index]
     }
 
+    /// Inverts the stored weight bit at (`input`, `output`) — the fault
+    /// layer's physical bit-flip primitive, routed to the owning SRAM
+    /// block's [`flip_bit`](SramArray::flip_bit) (uncounted; a strike, not
+    /// an access). XOR-involutive: toggling twice restores the tile, which
+    /// is how transient per-frame flips are reverted. Un-shares the
+    /// weights first when they are shared with other clones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the SRAM bounds errors when `input`/`output` exceed the
+    /// tile dimensions.
+    pub fn toggle_weight_bit(&mut self, input: usize, output: usize) -> Result<(), CoreError> {
+        let row_group = input / ARRAY_DIM;
+        let col_group = output / ARRAY_DIM;
+        if row_group >= self.row_groups || col_group >= self.col_groups {
+            return Err(CoreError::Sram(esam_sram::SramError::RowOutOfRange {
+                row: input,
+                rows: self.inputs,
+            }));
+        }
+        self.array_mut(row_group, col_group)
+            .flip_bit(input % ARRAY_DIM, output % ARRAY_DIM)?;
+        Ok(())
+    }
+
+    /// Reads the stored weight bit at (`input`, `output`) — a direct,
+    /// uncounted content probe (the fault layer compares against it when
+    /// materializing stuck-at cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input`/`output` exceed the tile dimensions.
+    pub fn weight_bit(&self, input: usize, output: usize) -> bool {
+        assert!(input < self.inputs && output < self.outputs);
+        let index = (input / ARRAY_DIM) * self.col_groups + output / ARRAY_DIM;
+        self.weights.arrays[index]
+            .bits()
+            .get(input % ARRAY_DIM, output % ARRAY_DIM)
+    }
+
     /// The full weight column of output `neuron`, assembled across row
     /// groups (one bit per tile input) — the quantity online learning
     /// reads, updates and merges.

@@ -1,5 +1,9 @@
 //! Mesh configuration: core count, interconnect cost model, channel
-//! sizing, payload mode.
+//! sizing, payload mode, fault plan.
+
+use std::time::Duration;
+
+use esam_fault::FaultPlan;
 
 /// Cost model of one inter-core link, in the same cycle domain as
 /// [`PipelineTiming`](esam_core::PipelineTiming).
@@ -77,18 +81,20 @@ pub enum Execution {
 }
 
 /// Configuration of a [`MeshSystem`](crate::MeshSystem).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeshConfig {
     cores: usize,
     link: LinkConfig,
     channel_capacity: usize,
     payload: PayloadMode,
     execution: Execution,
+    faults: FaultPlan,
+    link_timeout: Option<Duration>,
 }
 
 impl MeshConfig {
     /// A mesh of `cores` cores with default interconnect, channel depth
-    /// and payload selection.
+    /// and payload selection; no faults, no link timeout.
     pub fn with_cores(cores: usize) -> Self {
         Self {
             cores,
@@ -96,6 +102,8 @@ impl MeshConfig {
             channel_capacity: 4,
             payload: PayloadMode::Auto,
             execution: Execution::Pipelined,
+            faults: FaultPlan::none(),
+            link_timeout: None,
         }
     }
 
@@ -128,6 +136,28 @@ impl MeshConfig {
         self
     }
 
+    /// Installs a deterministic fault plan. Only the plan's mesh-domain
+    /// rates (packet drop/delay, core stall/panic) act here; while any of
+    /// them is nonzero the mesh streams frame packets (the block payload
+    /// has no per-frame hand-off to fault) and recovers lost frames on a
+    /// fault-exempt sequential pass, so results stay exact.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Arms the sink-side liveness backstop: a readout link that stays
+    /// silent for `timeout` (producer alive but stuck) aborts the
+    /// pipelined run and the missing frames are recovered sequentially.
+    /// `None` (the default) waits indefinitely, which is exact and
+    /// sufficient whenever failures drop their endpoints.
+    #[must_use]
+    pub fn link_timeout(mut self, timeout: Duration) -> Self {
+        self.link_timeout = Some(timeout);
+        self
+    }
+
     /// Requested core count (the plan may clamp; see
     /// [`MeshPlan::cores`](crate::MeshPlan::cores)).
     pub fn cores(&self) -> usize {
@@ -152,6 +182,16 @@ impl MeshConfig {
     /// The execution mode.
     pub fn execution_mode(&self) -> Execution {
         self.execution
+    }
+
+    /// The installed fault plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The sink-side link timeout, if armed.
+    pub fn link_timeout_budget(&self) -> Option<Duration> {
+        self.link_timeout
     }
 }
 

@@ -23,6 +23,17 @@
 //! with no re-transpose. See `tests/mesh_equivalence.rs` for the pinned
 //! contract and `crate::system` for the accounting model.
 //!
+//! The mesh is also *fault-tolerant*: a deterministic
+//! [`FaultPlan`] installed via
+//! [`MeshConfig::faults`] injects reproducible packet drops and delays,
+//! core stalls, and (pipelined only) mid-batch core deaths. Lost frames
+//! ride through the pipeline as lockstep markers and are re-run on a
+//! fault-exempt sequential recovery pass, panicking core threads are
+//! contained and fully joined, and a sink-side
+//! [`link_timeout`](MeshConfig::link_timeout) guards liveness — so every
+//! run still returns exact results for the full batch, with the fault and
+//! recovery counters folded into [`MeshTally`].
+//!
 //! # Example
 //!
 //! ```
@@ -59,6 +70,7 @@ pub mod system;
 
 pub use config::{Execution, LinkConfig, MeshConfig, PayloadMode};
 pub use core::MeshCore;
+pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
 pub use metrics::{MeshMetrics, MeshTally};
 pub use noc::LinkStats;
 pub use plan::{MeshPlan, StagePlan};

@@ -31,6 +31,26 @@ pub struct MeshTally {
     /// Summed per-frame critical-path interconnect cycles (hop +
     /// serialization along the longest input → readout chain).
     pub noc_latency_cycles: u64,
+    /// AER packets lost to injected link faults (consumer-side verdicts;
+    /// the affected frames are re-run on the recovery path).
+    pub packets_dropped: u64,
+    /// AER packets that took an injected congestion delay (the extra
+    /// cycles land in the NoC and bottleneck accumulators).
+    pub packets_delayed: u64,
+    /// Injected core stalls (extra occupancy cycles on the stalled
+    /// hand-off).
+    pub core_stalls: u64,
+    /// Core pipeline threads killed by injected panics. Pipelined
+    /// execution only; the count of *in-flight* work lost with a thread is
+    /// scheduling-dependent, so determinism suites must not compare this
+    /// field (everything else in the tally stays exact).
+    pub core_panics: u64,
+    /// Sink-side link timeouts that tripped the liveness backstop
+    /// ([`MeshConfig::link_timeout`](crate::MeshConfig::link_timeout)).
+    pub link_timeouts: u64,
+    /// Frames whose readout was lost mid-mesh and re-run on the
+    /// fault-exempt sequential recovery path.
+    pub frames_recovered: u64,
 }
 
 impl MeshTally {
@@ -39,6 +59,12 @@ impl MeshTally {
         self.tiles.merge(&other.tiles);
         self.mesh_bottleneck_cycles += other.mesh_bottleneck_cycles;
         self.noc_latency_cycles += other.noc_latency_cycles;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_delayed += other.packets_delayed;
+        self.core_stalls += other.core_stalls;
+        self.core_panics += other.core_panics;
+        self.link_timeouts += other.link_timeouts;
+        self.frames_recovered += other.frames_recovered;
     }
 }
 
@@ -127,6 +153,9 @@ mod tests {
             },
             mesh_bottleneck_cycles: 22,
             noc_latency_cycles: 10,
+            packets_dropped: 1,
+            frames_recovered: 1,
+            ..MeshTally::default()
         };
         let b = MeshTally {
             tiles: BatchTally {
@@ -137,6 +166,9 @@ mod tests {
             },
             mesh_bottleneck_cycles: 36,
             noc_latency_cycles: 15,
+            packets_dropped: 2,
+            core_stalls: 4,
+            ..MeshTally::default()
         };
         a.merge(&b);
         assert_eq!(a.tiles.frames, 5);
@@ -144,5 +176,8 @@ mod tests {
         assert_eq!(a.tiles.latency_cycles, 200);
         assert_eq!(a.mesh_bottleneck_cycles, 58);
         assert_eq!(a.noc_latency_cycles, 25);
+        assert_eq!(a.packets_dropped, 3);
+        assert_eq!(a.core_stalls, 4);
+        assert_eq!(a.frames_recovered, 1);
     }
 }

@@ -17,9 +17,23 @@
 //! a core that errors out simply drops its endpoints; upstream cores see
 //! `SendError` and stop, downstream cores drain and see `None`. The
 //! shutdown-drain behavior is pinned by `tests/channel_drain.rs`.
+//!
+//! Two hardening guarantees back the mesh's resilience layer: every lock
+//! acquisition recovers from poisoning (the ring state is valid at every
+//! instant a panicking thread could have released it — a flag or a
+//! completed push/pop — so the data is usable as-is), and
+//! [`Receiver::recv_timeout`] gives the sink a liveness backstop against a
+//! producer that hangs without dropping its endpoint.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks `state`, recovering the guard from a poisoned mutex (see the
+/// module docs for why the ring is always consistent).
+fn lock_recover<T>(state: &Mutex<T>) -> MutexGuard<'_, T> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A value returned to sender because the receiving half was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +112,7 @@ impl<T> Sender<T> {
     /// Returns the value inside [`SendError`] when the receiver has been
     /// dropped (immediately, even from a blocked state).
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = lock_recover(&self.shared.state);
         loop {
             if !state.receiver_alive {
                 return Err(SendError(value));
@@ -112,14 +126,14 @@ impl<T> Sender<T> {
                 .shared
                 .not_full
                 .wait(state)
-                .expect("channel state poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.sender_alive = false;
         // Wake a consumer blocked on an empty buffer so it can observe
         // end-of-stream.
@@ -127,11 +141,24 @@ impl<T> Drop for Sender<T> {
     }
 }
 
+/// Outcome of a [`Receiver::recv_timeout`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// A value arrived in time.
+    Value(T),
+    /// The sender is gone and the buffer is drained — end of stream
+    /// (equivalent to [`Receiver::recv`] returning `None`).
+    Closed,
+    /// The timeout elapsed with the sender still alive: the producer is
+    /// stuck without having dropped its endpoint.
+    TimedOut,
+}
+
 impl<T> Receiver<T> {
     /// Takes the next value, blocking while the buffer is empty. Returns
     /// `None` once the sender is gone *and* the buffer is drained.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = lock_recover(&self.shared.state);
         loop {
             if let Some(value) = state.buffer.pop_front() {
                 self.shared.not_full.notify_one();
@@ -144,14 +171,43 @@ impl<T> Receiver<T> {
                 .shared
                 .not_empty
                 .wait(state)
-                .expect("channel state poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`recv`](Self::recv), but gives up after `timeout` — the
+    /// liveness backstop the mesh sink uses against a hung (not merely
+    /// dead) producer. The three outcomes are disjoint: a value, a clean
+    /// end-of-stream, or a timeout with the producer still nominally
+    /// alive.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock_recover(&self.shared.state);
+        loop {
+            if let Some(value) = state.buffer.pop_front() {
+                self.shared.not_full.notify_one();
+                return RecvTimeout::Value(value);
+            }
+            if !state.sender_alive {
+                return RecvTimeout::Closed;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return RecvTimeout::TimedOut;
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
         }
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.receiver_alive = false;
         // Dropping undelivered values here (not strictly required, but it
         // releases payload memory promptly) and waking a blocked producer
@@ -208,6 +264,43 @@ mod tests {
         let (tx, rx) = channel(1);
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_its_three_outcomes() {
+        let (tx, rx) = channel(2);
+        tx.send(9).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(50)),
+            RecvTimeout::Value(9)
+        );
+        // Sender alive, buffer empty: the wait times out.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            RecvTimeout::TimedOut
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            RecvTimeout::Closed
+        );
+    }
+
+    #[test]
+    fn endpoints_survive_a_panic_while_the_lock_is_held() {
+        let (tx, rx) = channel(4);
+        tx.send(1).unwrap();
+        // Poison the state mutex: panic in a thread that holds it.
+        let shared = std::sync::Arc::clone(&rx.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the channel state");
+        })
+        .join();
+        assert!(rx.shared.state.is_poisoned());
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
     }
 
     #[test]

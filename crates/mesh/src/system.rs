@@ -41,12 +41,30 @@
 //! own private arbiters, so arbiter-side counters physically duplicate
 //! per shard while per-array access counters partition exactly). The
 //! `mesh_equivalence` battery pins all of this.
+//!
+//! # Resilience
+//!
+//! A [`FaultPlan`] installed via [`MeshConfig::faults`] injects
+//! deterministic link faults (packet drops and delays, keyed on
+//! `(hand-off, src, dst)`), core stalls (extra occupancy cycles) and —
+//! under [`Execution::Pipelined`] only — core panics that kill a pipeline
+//! thread mid-batch. Every hazard degrades gracefully instead of failing
+//! the run: a dropped packet turns the frame into a `Packet::Lost`
+//! marker that traverses the mesh in lockstep and sinks as a gap; a
+//! panicking core is contained by `catch_unwind` so every thread still
+//! joins; and after the pipeline winds down, all missing frames are re-run
+//! on a fault-exempt sequential recovery pass — so [`MeshSystem::run`]
+//! always returns exact results for the full batch. The injected-fault
+//! counters land in [`MeshTally`] under the same exact u64 merge law as
+//! everything else.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread;
 
 use esam_bits::{BitVec, FrameBlock};
 use esam_core::{CoreError, InferenceResult, PipelineTiming, SystemConfig, SystemMetrics, Tile};
+use esam_fault::FaultPlan;
 use esam_neuron::ResetPolicy;
 use esam_nn::bnn::argmax;
 use esam_nn::SnnModel;
@@ -57,7 +75,14 @@ use crate::core::MeshCore;
 use crate::metrics::{MeshMetrics, MeshTally};
 use crate::noc::LinkStats;
 use crate::plan::MeshPlan;
-use crate::spsc::{channel, Receiver, Sender};
+use crate::spsc::{channel, Receiver, RecvTimeout, Sender};
+
+/// Locks a mutex, recovering the guard when a panicking thread poisoned
+/// it (the guarded values here — error lists, counters — are valid at
+/// every instant they could have been abandoned).
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One spike hand-off between pipeline stations.
 #[derive(Debug, Clone)]
@@ -66,6 +91,11 @@ enum Packet {
     Frame(FramePacket),
     /// A batch-major block of up to 64 frames.
     Block(BlockPacket),
+    /// The frame was lost to an injected link fault somewhere upstream.
+    /// The marker still traverses every edge so the pipeline stays in
+    /// lockstep; it charges no link or tile cycles and sinks as a gap for
+    /// the recovery pass to fill.
+    Lost,
 }
 
 #[derive(Debug, Clone)]
@@ -108,27 +138,57 @@ struct InPort {
 
 /// A core plus its consumer-side interconnect state. `handle` is the
 /// single handler both execution modes invoke — bit-identity between them
-/// holds by construction.
+/// holds by construction: fault decisions are keyed on the slot's own
+/// hand-off counter, which advances identically under either scheduling.
 #[derive(Debug, Clone)]
 struct CoreSlot {
     core: MeshCore,
     ports: Vec<InPort>,
     link: LinkConfig,
+    faults: FaultPlan,
+    /// Hand-offs consumed since the last stats reset — the `t` coordinate
+    /// of every fault decision at this core. Lost frames count too (the
+    /// hand-off happened), fault-exempt recovery walks do not.
+    hand_offs: u64,
+    /// Per-run injected-fault scratch counters, drained into the run's
+    /// [`MeshTally`] when it completes.
+    dropped: u64,
+    delayed: u64,
+    stalls: u64,
 }
 
 impl CoreSlot {
-    fn handle(&mut self, inputs: &[Packet]) -> Result<Packet, CoreError> {
+    /// Serves one hand-off. `exempt` marks the recovery path: no fault
+    /// decisions are made and the hand-off counter does not advance, so a
+    /// recovered frame is the exact unfaulted computation.
+    fn handle(&mut self, inputs: &[Packet], exempt: bool) -> Result<Packet, CoreError> {
         debug_assert_eq!(inputs.len(), self.ports.len());
+        let t = self.hand_offs;
+        if !exempt {
+            self.hand_offs += 1;
+        }
+        if inputs.iter().any(|packet| matches!(packet, Packet::Lost)) {
+            // An upstream loss already doomed this frame: consume the
+            // hand-off and propagate the marker (lockstep) without any
+            // tile work or link charges.
+            return Ok(Packet::Lost);
+        }
         match inputs.first() {
-            Some(Packet::Frame(_)) => self.handle_frame(inputs),
-            Some(Packet::Block(_)) => self.handle_block(inputs),
+            Some(Packet::Frame(_)) => self.handle_frame(inputs, exempt, t),
+            Some(Packet::Block(_)) | Some(Packet::Lost) => self.handle_block(inputs),
             None => Err(CoreError::InvalidConfig(
                 "a mesh core received an empty hand-off".into(),
             )),
         }
     }
 
-    fn handle_frame(&mut self, inputs: &[Packet]) -> Result<Packet, CoreError> {
+    fn handle_frame(
+        &mut self,
+        inputs: &[Packet],
+        exempt: bool,
+        t: u64,
+    ) -> Result<Packet, CoreError> {
+        let faults = self.faults;
         let mut packets = Vec::with_capacity(inputs.len());
         for packet in inputs {
             let Packet::Frame(packet) = packet else {
@@ -142,14 +202,42 @@ impl CoreSlot {
             packets.windows(2).all(|w| w[0].cycles == w[1].cycles),
             "upstream cycle chains diverged across shards"
         );
+        // Consumer-side drop verdicts, one per real in-edge (the synthetic
+        // feeder edge never faults). Any hit dooms the whole frame at this
+        // core: the transaction aborts, so nothing is charged.
+        if !exempt && faults.mesh_active() {
+            let mut lost = false;
+            for port in &self.ports {
+                if let Some(stats) = &port.link {
+                    if faults.packet_drop(t, stats.src as u64, stats.dst as u64) {
+                        self.dropped += 1;
+                        lost = true;
+                    }
+                }
+            }
+            if lost {
+                return Ok(Packet::Lost);
+            }
+        }
         let mut noc_in = 0u64;
         let mut pipe_in = 0u64;
         for (port, packet) in self.ports.iter_mut().zip(&packets) {
             let events = packet.slice.count_ones() as u64;
-            let cost = match port.link.as_mut() {
+            let mut cost = match port.link.as_mut() {
                 Some(stats) => stats.charge(&self.link, events),
                 None => 0,
             };
+            if !exempt {
+                if let Some(stats) = &port.link {
+                    if faults.packet_delay(t, stats.src as u64, stats.dst as u64) {
+                        // Congestion model: the delayed packet still
+                        // delivers, but its edge costs extra cycles on
+                        // both the latency and bottleneck accumulators.
+                        self.delayed += 1;
+                        cost += faults.config().delay_cycles();
+                    }
+                }
+            }
             noc_in = noc_in.max(packet.noc_latency + cost);
             pipe_in = pipe_in.max(packet.pipe_max.max(cost));
         }
@@ -166,7 +254,13 @@ impl CoreSlot {
             &assembled
         };
         let out = self.core.process_frame(input)?;
-        let occupancy: u64 = out.tile_cycles.iter().sum();
+        let mut occupancy: u64 = out.tile_cycles.iter().sum();
+        if !exempt && faults.core_stall(t, self.core.id() as u64) {
+            // A stalled core occupies its pipeline station longer; the
+            // per-tile latency chain (real compute) is untouched.
+            self.stalls += 1;
+            occupancy += faults.config().core_stall_cycles();
+        }
         let mut cycles = packets[0].cycles.clone();
         cycles.extend_from_slice(&out.tile_cycles);
         Ok(Packet::Frame(FramePacket {
@@ -257,15 +351,21 @@ fn feeder_block(chunk: &[BitVec]) -> Packet {
 }
 
 /// Collects one frame's readout packets (shards in column order) into an
-/// [`InferenceResult`] and folds its cycle accumulators into the tally.
+/// [`InferenceResult`] and folds its cycle accumulators into the tally. A
+/// frame lost to an injected link fault sinks as `None` — a gap the
+/// recovery pass fills after the run.
 fn record_frame_sink(
     packets: &[Packet],
     offsets: &[usize],
     output_width: usize,
     output_bias: &[f32],
-    results: &mut Vec<InferenceResult>,
+    results: &mut Vec<Option<InferenceResult>>,
     tally: &mut MeshTally,
 ) -> Result<(), CoreError> {
+    if packets.iter().any(|packet| matches!(packet, Packet::Lost)) {
+        results.push(None);
+        return Ok(());
+    }
     let mut shards = Vec::with_capacity(packets.len());
     for packet in packets {
         let Packet::Frame(packet) = packet else {
@@ -308,7 +408,7 @@ fn record_frame_sink(
     tally.tiles.record(&result);
     tally.mesh_bottleneck_cycles += shards.iter().map(|s| s.pipe_max).max().unwrap_or(0);
     tally.noc_latency_cycles += shards.iter().map(|s| s.noc_latency).max().unwrap_or(0);
-    results.push(result);
+    results.push(Some(result));
     Ok(())
 }
 
@@ -319,7 +419,7 @@ fn record_block_sink(
     offsets: &[usize],
     output_width: usize,
     output_bias: &[f32],
-    results: &mut Vec<InferenceResult>,
+    results: &mut Vec<Option<InferenceResult>>,
     tally: &mut MeshTally,
 ) -> Result<(), CoreError> {
     let mut shards = Vec::with_capacity(packets.len());
@@ -371,7 +471,7 @@ fn record_block_sink(
             .map(|s| s.noc_latency[lane])
             .max()
             .unwrap_or(0);
-        results.push(result);
+        results.push(Some(result));
     }
     Ok(())
 }
@@ -449,6 +549,11 @@ impl MeshSystem {
                     core,
                     ports,
                     link: *mesh.link_config(),
+                    faults: *mesh.fault_plan(),
+                    hand_offs: 0,
+                    dropped: 0,
+                    delayed: 0,
+                    stalls: 0,
                 });
                 current.push((id, cols.start));
             }
@@ -507,8 +612,10 @@ impl MeshSystem {
         self.slots.iter().map(|slot| &slot.core)
     }
 
-    /// Resets every activity counter: tile stats, link stats and the mesh
-    /// tally.
+    /// Resets every activity counter: tile stats, link stats, the mesh
+    /// tally, and the per-core hand-off counters that key fault decisions
+    /// (so fault sites are a function of the frame's index within the
+    /// measured batch).
     pub fn reset_stats(&mut self) {
         for slot in &mut self.slots {
             slot.core.reset_stats();
@@ -517,8 +624,23 @@ impl MeshSystem {
                     *stats = LinkStats::new(stats.src, stats.dst, stats.distance);
                 }
             }
+            slot.hand_offs = 0;
+            slot.dropped = 0;
+            slot.delayed = 0;
+            slot.stalls = 0;
         }
         self.tally = MeshTally::default();
+    }
+
+    /// Swaps the installed fault plan (also updates
+    /// [`mesh_config`](Self::mesh_config)). Handy for sweeping fault rates
+    /// over one built mesh; pass [`FaultPlan::none`] to return to the
+    /// exact unfaulted baseline.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.mesh = self.mesh.faults(plan);
+        for slot in &mut self.slots {
+            slot.faults = plan;
+        }
     }
 
     /// Runs one frame through the mesh.
@@ -557,11 +679,15 @@ impl MeshSystem {
         if frames.is_empty() {
             return Ok(Vec::new());
         }
-        let blocks = match self.mesh.payload_mode() {
-            PayloadMode::Frames => false,
-            PayloadMode::Blocks => self.block_eligible(),
-            PayloadMode::Auto => frames.len() > 1 && self.block_eligible(),
-        };
+        // Mesh faults act on per-frame hand-offs, so they force the frame
+        // payload; with the plan disabled the payload choice (and every
+        // result and counter) is bit-identical to the unfaulted build.
+        let blocks = !self.mesh.fault_plan().mesh_active()
+            && match self.mesh.payload_mode() {
+                PayloadMode::Frames => false,
+                PayloadMode::Blocks => self.block_eligible(),
+                PayloadMode::Auto => frames.len() > 1 && self.block_eligible(),
+            };
         match self.mesh.execution_mode() {
             Execution::Sequential => self.run_sequential(frames, blocks),
             Execution::Pipelined => self.run_pipelined(frames, blocks),
@@ -663,11 +789,11 @@ impl MeshSystem {
         blocks: bool,
     ) -> Result<Vec<InferenceResult>, CoreError> {
         let output_width = *self.plan.topology().last().expect("topology len >= 2");
-        let mut results = Vec::with_capacity(frames.len());
+        let mut results: Vec<Option<InferenceResult>> = Vec::with_capacity(frames.len());
         let mut tally = MeshTally::default();
         if blocks {
             for chunk in frames.chunks(FrameBlock::LANES) {
-                let packets = self.walk_stages(feeder_block(chunk))?;
+                let packets = self.walk_stages(feeder_block(chunk), false)?;
                 record_block_sink(
                     &packets,
                     &self.sink_offsets,
@@ -679,7 +805,7 @@ impl MeshSystem {
             }
         } else {
             for frame in frames {
-                let packets = self.walk_stages(feeder_frame(frame))?;
+                let packets = self.walk_stages(feeder_frame(frame), false)?;
                 record_frame_sink(
                     &packets,
                     &self.sink_offsets,
@@ -690,23 +816,73 @@ impl MeshSystem {
                 )?;
             }
         }
-        self.tally.merge(&tally);
-        Ok(results)
+        self.finish_run(frames, results, tally)
     }
 
     /// Pushes one feeder packet through every stage in order, returning
-    /// the readout stage's packets in shard (column) order.
-    fn walk_stages(&mut self, feed: Packet) -> Result<Vec<Packet>, CoreError> {
+    /// the readout stage's packets in shard (column) order. `exempt` runs
+    /// the fault-exempt recovery variant of every handler.
+    fn walk_stages(&mut self, feed: Packet, exempt: bool) -> Result<Vec<Packet>, CoreError> {
         let mut prev = vec![feed];
         for stage in 0..self.stage_ranges.len() {
             let range = self.stage_ranges[stage].clone();
             let mut next = Vec::with_capacity(range.len());
             for index in range {
-                next.push(self.slots[index].handle(&prev)?);
+                next.push(self.slots[index].handle(&prev, exempt)?);
             }
             prev = next;
         }
         Ok(prev)
+    }
+
+    /// The common run epilogue: recover every missing frame on the
+    /// fault-exempt sequential path (modeled retransmission from the
+    /// source — links and tiles are re-charged for the re-run), drain the
+    /// per-core fault counters, fold the run's tally in, and unwrap the
+    /// now-complete results.
+    fn finish_run(
+        &mut self,
+        frames: &[BitVec],
+        mut results: Vec<Option<InferenceResult>>,
+        mut tally: MeshTally,
+    ) -> Result<Vec<InferenceResult>, CoreError> {
+        let output_width = *self.plan.topology().last().expect("topology len >= 2");
+        // Frames past the sink's progress never completed (a dead
+        // pipeline); they are gaps like any dropped frame.
+        while results.len() < frames.len() {
+            results.push(None);
+        }
+        for (index, slot) in results.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let packets = self.walk_stages(feeder_frame(&frames[index]), true)?;
+            let mut recovered = Vec::with_capacity(1);
+            record_frame_sink(
+                &packets,
+                &self.sink_offsets,
+                output_width,
+                &self.output_bias,
+                &mut recovered,
+                &mut tally,
+            )?;
+            tally.frames_recovered += 1;
+            *slot = recovered.pop().expect("one frame in, one result out");
+            debug_assert!(
+                slot.is_some(),
+                "the exempt recovery path cannot lose frames"
+            );
+        }
+        for slot in &mut self.slots {
+            tally.packets_dropped += std::mem::take(&mut slot.dropped);
+            tally.packets_delayed += std::mem::take(&mut slot.delayed);
+            tally.core_stalls += std::mem::take(&mut slot.stalls);
+        }
+        self.tally.merge(&tally);
+        Ok(results
+            .into_iter()
+            .map(|result| result.expect("every gap was just recovered"))
+            .collect())
     }
 
     /// Pipeline-parallel execution: one thread per core plus a feeder
@@ -714,6 +890,14 @@ impl MeshSystem {
     /// *t* while core *k+1* serves *t−1*; bounded SPSC channels apply
     /// back-pressure, and endpoint drops propagate shutdown (see
     /// [`crate::spsc`]).
+    ///
+    /// Panics inside a core — injected by the fault plan or genuine — are
+    /// contained by `catch_unwind` on the worker thread: the thread drops
+    /// its endpoints (shutting the pipeline down cleanly in both
+    /// directions), every spawned thread is explicitly joined, and the
+    /// frames that never reached the sink are recovered sequentially. A
+    /// mid-batch core death therefore degrades throughput, never
+    /// correctness, and cannot deadlock or tear down the calling thread.
     fn run_pipelined(
         &mut self,
         frames: &[BitVec],
@@ -752,7 +936,8 @@ impl MeshSystem {
         }
 
         let errors: Mutex<Vec<CoreError>> = Mutex::new(Vec::new());
-        let mut results = Vec::with_capacity(frames.len());
+        let panics: Mutex<u64> = Mutex::new(0);
+        let mut results: Vec<Option<InferenceResult>> = Vec::with_capacity(frames.len());
         let mut tally = MeshTally::default();
         let hand_offs = if blocks {
             frames.len().div_ceil(FrameBlock::LANES)
@@ -760,12 +945,13 @@ impl MeshSystem {
             frames.len()
         };
         let output_width = *self.plan.topology().last().expect("topology len >= 2");
+        let link_timeout = self.mesh.link_timeout_budget();
         let slots = &mut self.slots;
         let sink_offsets = &self.sink_offsets;
         let output_bias = &self.output_bias;
 
         thread::scope(|scope| {
-            scope.spawn(move || {
+            let feeder = scope.spawn(move || {
                 let send_all = |packet: Packet| -> bool {
                     let last = feed_tx.len() - 1;
                     for tx in &feed_tx[..last] {
@@ -789,9 +975,11 @@ impl MeshSystem {
                     }
                 }
             });
+            let mut workers = Vec::with_capacity(slots.len());
             for ((slot, rxs), txs) in slots.iter_mut().zip(in_rx).zip(out_tx) {
                 let errors = &errors;
-                scope.spawn(move || {
+                let panics = &panics;
+                workers.push(scope.spawn(move || {
                     'hand_offs: loop {
                         let mut inputs = Vec::with_capacity(rxs.len());
                         for rx in &rxs {
@@ -803,8 +991,23 @@ impl MeshSystem {
                                 None => break 'hand_offs,
                             }
                         }
-                        match slot.handle(&inputs) {
-                            Ok(packet) => {
+                        // Injected core death fires at the hand-off
+                        // boundary, before any tile work, so the core's
+                        // state stays clean for the recovery pass. The
+                        // catch_unwind also contains *genuine* handler
+                        // panics: either way the thread breaks out, drops
+                        // its endpoints, and the run degrades instead of
+                        // unwinding through the scope.
+                        let core_id = slot.core.id();
+                        let doomed = slot.faults.core_panic(slot.hand_offs, core_id as u64);
+                        let handled = catch_unwind(AssertUnwindSafe(|| {
+                            if doomed {
+                                panic!("injected core fault (core {core_id})");
+                            }
+                            slot.handle(&inputs, false)
+                        }));
+                        match handled {
+                            Ok(Ok(packet)) => {
                                 let last = txs.len() - 1;
                                 for tx in &txs[..last] {
                                     if tx.send(packet.clone()).is_err() {
@@ -815,18 +1018,36 @@ impl MeshSystem {
                                     break 'hand_offs;
                                 }
                             }
-                            Err(error) => {
-                                errors.lock().expect("error sink poisoned").push(error);
+                            Ok(Err(error)) => {
+                                lock_recover(errors).push(error);
+                                break 'hand_offs;
+                            }
+                            Err(_) => {
+                                *lock_recover(panics) += 1;
                                 break 'hand_offs;
                             }
                         }
                     }
-                });
+                }));
             }
             'sink: for _ in 0..hand_offs {
                 let mut packets = Vec::with_capacity(sink_rx.len());
                 for rx in &sink_rx {
-                    match rx.recv() {
+                    let received = match link_timeout {
+                        None => rx.recv(),
+                        Some(budget) => match rx.recv_timeout(budget) {
+                            RecvTimeout::Value(packet) => Some(packet),
+                            RecvTimeout::Closed => None,
+                            RecvTimeout::TimedOut => {
+                                // The liveness backstop: a hung (not dead)
+                                // producer — abandon the pipeline and let
+                                // the recovery pass finish the batch.
+                                tally.link_timeouts += 1;
+                                None
+                            }
+                        },
+                    };
+                    match received {
                         Some(packet) => packets.push(packet),
                         None => break 'sink,
                     }
@@ -851,25 +1072,31 @@ impl MeshSystem {
                     )
                 };
                 if let Err(error) = outcome {
-                    errors.lock().expect("error sink poisoned").push(error);
+                    lock_recover(&errors).push(error);
                     break 'sink;
                 }
             }
             // Release the sink's receivers so upstream cores unwind if the
-            // loop broke early.
+            // loop broke early, then join every spawned thread explicitly.
+            // Panics were contained on the worker side, so these joins
+            // cannot re-raise; a mid-batch core death still ends with the
+            // full complement of threads reaped.
             drop(sink_rx);
+            let _ = feeder.join();
+            for worker in workers {
+                let _ = worker.join();
+            }
         });
 
-        if let Some(error) = errors.into_inner().expect("error sink poisoned").pop() {
+        if let Some(error) = errors
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+        {
             return Err(error);
         }
-        if results.len() != frames.len() {
-            return Err(CoreError::InvalidConfig(
-                "mesh pipeline shut down before the batch completed".into(),
-            ));
-        }
-        self.tally.merge(&tally);
-        Ok(results)
+        tally.core_panics += panics.into_inner().unwrap_or_else(PoisonError::into_inner);
+        self.finish_run(frames, results, tally)
     }
 }
 

@@ -1,0 +1,235 @@
+//! Mesh-domain fault battery: dropped/delayed packets, core stalls, and
+//! mid-batch core deaths — all recovering to exact full-batch results, in
+//! both execution modes, with deterministic fault counters.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use esam_bits::BitVec;
+use esam_core::{EsamSystem, SystemConfig};
+use esam_mesh::{Execution, FaultConfig, FaultPlan, MeshConfig, MeshSystem};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_sram::BitcellKind;
+
+/// Injected core panics are part of these tests' happy path — silence
+/// their default-hook backtraces (once per process) while leaving every
+/// other panic's report intact.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|message| message.starts_with("injected core fault"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn build(topology: &[usize], seed: u64) -> (SnnModel, SystemConfig) {
+    let net = BnnNetwork::new(topology, seed).unwrap();
+    let model = SnnModel::from_bnn(&net).unwrap();
+    let config = SystemConfig::builder(BitcellKind::multiport(2).unwrap(), topology)
+        .build()
+        .unwrap();
+    (model, config)
+}
+
+fn frames(width: usize, count: usize) -> Vec<BitVec> {
+    (0..count)
+        .map(|f| {
+            BitVec::from_indices(
+                width,
+                &[(f * 13) % width, (f * 29 + 7) % width, (f * 53 + 1) % width],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn dropped_packets_recover_to_exact_results_in_both_modes() {
+    let (model, config) = build(&[128, 64, 32, 10], 9);
+    let batch = frames(128, 24);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    let plan = FaultPlan::seeded(31, FaultConfig::none().with_drop_rate(0.05));
+    for cores in [2usize, 3, 4] {
+        let mut tallies = Vec::new();
+        for execution in [Execution::Sequential, Execution::Pipelined] {
+            let mesh_config = MeshConfig::with_cores(cores)
+                .faults(plan)
+                .execution(execution);
+            let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+            let results = mesh.run(&batch).unwrap();
+            assert_eq!(results, expected, "{cores} cores, {execution:?}");
+            tallies.push(*mesh.tally());
+        }
+        // Fault sites are keyed on (hand-off, src, dst), which both modes
+        // walk identically, so every counter — drops, recoveries, link
+        // and tile activity — matches exactly.
+        assert_eq!(tallies[0], tallies[1], "{cores} cores tallies");
+        assert!(tallies[0].packets_dropped > 0, "{cores} cores: drops fired");
+        assert_eq!(
+            tallies[0].frames_recovered, tallies[1].frames_recovered,
+            "{cores} cores recoveries"
+        );
+        assert!(tallies[0].frames_recovered > 0);
+    }
+}
+
+#[test]
+fn delays_and_stalls_charge_cycles_without_corrupting_results() {
+    let (model, config) = build(&[128, 64, 32, 10], 5);
+    let batch = frames(128, 20);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    let plan = FaultPlan::seeded(
+        7,
+        FaultConfig::none()
+            .with_delay(0.3, 50)
+            .with_core_stall(0.3, 40),
+    );
+    // Clean reference tally for the cycle-inflation check.
+    let mut clean = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(3)).unwrap();
+    clean.run(&batch).unwrap();
+    let mut tallies = Vec::new();
+    for execution in [Execution::Sequential, Execution::Pipelined] {
+        let mesh_config = MeshConfig::with_cores(3).faults(plan).execution(execution);
+        let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+        let results = mesh.run(&batch).unwrap();
+        assert_eq!(results, expected, "{execution:?}: delays never corrupt");
+        tallies.push(*mesh.tally());
+    }
+    assert_eq!(tallies[0], tallies[1], "modes agree on every counter");
+    let tally = tallies[0];
+    assert!(tally.packets_delayed > 0, "delays fired");
+    assert!(tally.core_stalls > 0, "stalls fired");
+    assert_eq!(tally.frames_recovered, 0, "nothing was lost");
+    assert!(
+        tally.noc_latency_cycles > clean.tally().noc_latency_cycles,
+        "delayed packets inflate the NoC critical path"
+    );
+    assert!(
+        tally.mesh_bottleneck_cycles > clean.tally().mesh_bottleneck_cycles,
+        "stalls inflate the pipeline bottleneck"
+    );
+    // The real compute is untouched: tile-side tallies match the clean run.
+    assert_eq!(tally.tiles, clean.tally().tiles);
+}
+
+#[test]
+fn a_core_death_mid_batch_degrades_without_deadlock() {
+    quiet_injected_panics();
+    let (model, config) = build(&[128, 64, 32, 10], 9);
+    let batch = frames(128, 40);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    let plan = FaultPlan::seeded(11, FaultConfig::none().with_core_panic_rate(0.05));
+    let mesh_config = MeshConfig::with_cores(3).faults(plan);
+    let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+    let results = mesh.run(&batch).unwrap();
+    assert_eq!(results, expected, "degraded run is still exact");
+    assert!(mesh.tally().core_panics >= 1, "a core thread was killed");
+    assert!(
+        mesh.tally().frames_recovered >= 1,
+        "the dead core's frames were re-run sequentially"
+    );
+    // The mesh survives its own degradation: the same instance serves the
+    // next batch (the panic schedule keys on per-core hand-off counts, so
+    // later hand-offs see fresh sites).
+    let again = mesh.run(&batch).unwrap();
+    assert_eq!(again, expected);
+}
+
+#[test]
+fn every_core_dying_at_once_still_completes_the_batch() {
+    quiet_injected_panics();
+    let (model, config) = build(&[128, 64, 10], 3);
+    let batch = frames(128, 12);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    // Certain death on the first hand-off: the entire batch goes through
+    // recovery, and every spawned thread still joins (the run returning at
+    // all is the no-deadlock proof).
+    let plan = FaultPlan::seeded(2, FaultConfig::none().with_core_panic_rate(1.0));
+    let mesh_config = MeshConfig::with_cores(2)
+        .faults(plan)
+        .link_timeout(Duration::from_secs(5));
+    let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+    let results = mesh.run(&batch).unwrap();
+    assert_eq!(results, expected);
+    assert_eq!(mesh.tally().frames_recovered, batch.len() as u64);
+    assert!(mesh.tally().core_panics >= 1);
+}
+
+#[test]
+fn disabled_plan_is_bit_identical_to_the_unfaulted_baseline() {
+    let (model, config) = build(&[128, 64, 32, 10], 13);
+    let batch = frames(128, 64);
+    let mut baseline = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(3)).unwrap();
+    let expected = baseline.run(&batch).unwrap();
+    // FaultPlan::none() plus an (unfired) link timeout must not perturb
+    // anything — including the block-payload selection this batch takes.
+    let guarded = MeshConfig::with_cores(3)
+        .faults(FaultPlan::none())
+        .link_timeout(Duration::from_secs(30));
+    let mut mesh = MeshSystem::from_model(&model, &config, &guarded).unwrap();
+    let results = mesh.run(&batch).unwrap();
+    assert_eq!(results, expected);
+    assert_eq!(mesh.tally(), baseline.tally());
+    assert_eq!(mesh.tally().packets_dropped, 0);
+    assert_eq!(mesh.tally().link_timeouts, 0);
+}
+
+#[test]
+fn same_seed_reproduces_fault_sites_and_counters() {
+    let (model, config) = build(&[128, 64, 32, 10], 21);
+    let batch = frames(128, 32);
+    let plan = FaultPlan::seeded(
+        99,
+        FaultConfig::none()
+            .with_drop_rate(0.04)
+            .with_delay(0.2, 25)
+            .with_core_stall(0.2, 30),
+    );
+    let run = |execution: Execution| {
+        let mesh_config = MeshConfig::with_cores(3).faults(plan).execution(execution);
+        let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+        let results = mesh.run(&batch).unwrap();
+        (results, *mesh.tally())
+    };
+    let (results_a, tally_a) = run(Execution::Pipelined);
+    let (results_b, tally_b) = run(Execution::Pipelined);
+    let (results_c, tally_c) = run(Execution::Sequential);
+    assert_eq!(results_a, results_b, "pipelined runs reproduce exactly");
+    assert_eq!(tally_a, tally_b);
+    assert_eq!(results_a, results_c, "and match the sequential walk");
+    assert_eq!(tally_a, tally_c);
+    assert!(tally_a.packets_dropped > 0 || tally_a.packets_delayed > 0);
+}
+
+#[test]
+fn swapping_the_plan_on_a_live_mesh_returns_to_baseline() {
+    let (model, config) = build(&[128, 64, 10], 17);
+    let batch = frames(128, 16);
+    let mut mesh = MeshSystem::from_model(&model, &config, &MeshConfig::with_cores(2)).unwrap();
+    let clean = mesh.run(&batch).unwrap();
+    mesh.set_fault_plan(FaultPlan::seeded(
+        4,
+        FaultConfig::none().with_drop_rate(0.2),
+    ));
+    mesh.reset_stats();
+    let faulted = mesh.run(&batch).unwrap();
+    assert_eq!(faulted, clean, "drops recover to the exact results");
+    assert!(mesh.tally().packets_dropped > 0);
+    mesh.set_fault_plan(FaultPlan::none());
+    mesh.reset_stats();
+    let restored = mesh.run(&batch).unwrap();
+    assert_eq!(restored, clean);
+    assert_eq!(mesh.tally().packets_dropped, 0);
+    assert_eq!(mesh.tally().frames_recovered, 0);
+}

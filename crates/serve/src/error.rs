@@ -26,6 +26,18 @@ pub enum ServeError {
     /// [`CoreError`](esam_core::CoreError), stringified so the error stays
     /// cheaply clonable across the response slot).
     Worker(String),
+    /// The request's deadline budget
+    /// ([`ServeConfig::deadline`](crate::ServeConfig::deadline)) was
+    /// already spent when a worker picked it up, so it was shed instead of
+    /// served stale.
+    DeadlineExceeded,
+    /// Every execution attempt landed on a crashing worker and the retry
+    /// budget ([`ServeConfig::max_retries`](crate::ServeConfig::max_retries))
+    /// ran out.
+    RetriesExhausted {
+        /// Execution attempts made (1 + the configured retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +53,15 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Worker(msg) => write!(f, "worker error: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request shed: deadline budget spent before dispatch")
+            }
+            ServeError::RetriesExhausted { attempts } => {
+                write!(
+                    f,
+                    "request failed: {attempts} attempts all hit worker faults"
+                )
+            }
         }
     }
 }
@@ -65,5 +86,11 @@ mod tests {
         assert!(ServeError::Worker("boom".into())
             .to_string()
             .contains("boom"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::RetriesExhausted { attempts: 4 }
+            .to_string()
+            .contains('4'));
     }
 }

@@ -30,6 +30,15 @@
 //! [`EsamSystem::infer`](esam_core::EsamSystem::infer) on the same frames
 //! regardless of worker count, batching policy or admission pressure.
 //!
+//! The service is also *supervised*: a deterministic
+//! [`FaultPlan`] installed via
+//! [`ServeConfig::faults`] injects reproducible worker panics, stalls and
+//! SRAM-domain bit faults, and the recovery ladder — bounded retry →
+//! worker restart from a pristine template → deadline shed — resolves
+//! every admitted ticket no matter what (poisoned locks are recovered, a
+//! request unwinding out of a crashed worker completes its ticket from a
+//! drop guard). Restart/retry/shed counters surface in [`ServiceReport`].
+//!
 //! # Examples
 //!
 //! ```
@@ -64,9 +73,11 @@ pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod service;
+mod sync;
 
 pub use batcher::{BatchPolicy, MicroBatcher};
 pub use error::ServeError;
+pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
 pub use loadgen::{LoadGenerator, LoadMode, LoadReport};
 pub use metrics::{CycleSummary, LatencyHistogram, LatencySummary};
 pub use queue::{AdmissionPolicy, QueueCounters, RequestQueue};

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use crate::batcher::BatchPolicy;
 use crate::error::ServeError;
 use crate::request::PendingRequest;
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 /// What happens to a new request when the queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,12 +107,12 @@ impl RequestQueue {
 
     /// Current queue depth.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue poisoned").pending.len()
+        lock_recover(&self.state).pending.len()
     }
 
     /// Snapshot of the admission counters.
     pub fn counters(&self) -> QueueCounters {
-        self.state.lock().expect("queue poisoned").counters
+        lock_recover(&self.state).counters
     }
 
     /// Admits a request, applying the admission policy at capacity.
@@ -122,14 +123,14 @@ impl RequestQueue {
     /// [`ServeError::Rejected`] at capacity under
     /// [`AdmissionPolicy::Reject`].
     pub(crate) fn push(&self, request: PendingRequest) -> Result<(), ServeError> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         if !state.open {
             return Err(ServeError::ShuttingDown);
         }
         while state.pending.len() >= self.capacity {
             match self.admission {
                 AdmissionPolicy::Block => {
-                    state = self.not_full.wait(state).expect("queue poisoned");
+                    state = wait_recover(&self.not_full, state);
                     if !state.open {
                         return Err(ServeError::ShuttingDown);
                     }
@@ -139,12 +140,19 @@ impl RequestQueue {
                     return Err(ServeError::Rejected);
                 }
                 AdmissionPolicy::DropOldest => {
-                    let victim = state.pending.pop_front().expect("queue is at capacity");
-                    state.counters.dropped += 1;
-                    // Completing the victim's ticket while holding the
-                    // queue lock is safe: the slot mutex is a leaf lock —
-                    // nothing takes the queue lock while holding it.
-                    victim.slot.complete(Err(ServeError::Dropped));
+                    match state.pending.pop_front() {
+                        Some(victim) => {
+                            state.counters.dropped += 1;
+                            // Completing the victim's ticket while holding
+                            // the queue lock is safe: the slot mutex is a
+                            // leaf lock — nothing takes the queue lock
+                            // while holding it.
+                            victim.slot.complete(Err(ServeError::Dropped));
+                        }
+                        // Unreachable (the queue is at capacity >= 1), but
+                        // falling through to admission beats panicking.
+                        None => break,
+                    }
                 }
             }
         }
@@ -162,13 +170,13 @@ impl RequestQueue {
     /// (the size-or-deadline trigger). Returns `None` only when the queue
     /// is closed *and* fully drained — the worker-exit signal.
     pub(crate) fn pop_batch(&self, policy: &BatchPolicy) -> Option<Vec<PendingRequest>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
             while state.pending.is_empty() {
                 if !state.open {
                     return None;
                 }
-                state = self.not_empty.wait(state).expect("queue poisoned");
+                state = wait_recover(&self.not_empty, state);
             }
             if policy.max_wait() > Duration::ZERO {
                 // Deadline trigger: measured from the moment this worker
@@ -179,10 +187,7 @@ impl RequestQueue {
                     if remaining.is_zero() {
                         break;
                     }
-                    let (guard, timeout) = self
-                        .not_empty
-                        .wait_timeout(state, remaining)
-                        .expect("queue poisoned");
+                    let (guard, timeout) = wait_timeout_recover(&self.not_empty, state, remaining);
                     state = guard;
                     if timeout.timed_out() {
                         break;
@@ -223,12 +228,29 @@ impl RequestQueue {
         }
     }
 
+    /// Re-enqueues a request a worker could not finish (it unwound out of
+    /// a crashed execution attempt) at the *front* of the queue, so a
+    /// retried request keeps its place in the latency order.
+    ///
+    /// Bypasses the admission boundary on purpose: the request was already
+    /// admitted once and the caller holds the retry budget, so re-entry
+    /// must succeed even when the queue is closed (shutdown still drains
+    /// it) or momentarily over capacity (bounded by workers × batch size
+    /// requests in flight).
+    pub(crate) fn requeue(&self, request: PendingRequest) {
+        let mut state = lock_recover(&self.state);
+        state.pending.push_front(request);
+        state.counters.peak_depth = state.counters.peak_depth.max(state.pending.len());
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
     /// Closes intake: subsequent [`push`](Self::push) calls fail with
     /// [`ServeError::ShuttingDown`], blocked producers wake up with the
     /// same error, and workers drain the remaining requests before
     /// [`pop_batch`](Self::pop_batch) returns `None`.
     pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         state.open = false;
         drop(state);
         self.not_empty.notify_all();
@@ -260,6 +282,7 @@ mod tests {
                 frame: BitVec::new(8),
                 slot: Arc::clone(&slot),
                 submitted,
+                attempts: 0,
             },
             crate::Ticket { id, slot },
         )
@@ -301,6 +324,25 @@ mod tests {
         assert_eq!(queue.counters().dropped, 1);
         let batch = queue.pop_batch(&BatchPolicy::greedy(8)).unwrap();
         assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn requeue_goes_to_the_front_and_survives_close() {
+        let queue = RequestQueue::new(2, AdmissionPolicy::Block);
+        queue.push(request(0).0).unwrap();
+        queue.push(request(1).0).unwrap();
+        let mut batch = queue.pop_batch(&BatchPolicy::greedy(1)).unwrap();
+        let mut retried = batch.pop().unwrap();
+        retried.attempts += 1;
+        queue.close();
+        // Retry re-entry bypasses the closed intake (the request was
+        // already admitted) and lands at the front of the queue.
+        queue.requeue(retried);
+        assert_eq!(queue.counters().admitted, 2, "retries are not re-admitted");
+        let batch = queue.pop_batch(&BatchPolicy::greedy(8)).unwrap();
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(batch[0].attempts, 1);
+        assert!(queue.pop_batch(&BatchPolicy::greedy(8)).is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use esam_bits::BitVec;
 
 use crate::error::ServeError;
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 /// The completed outcome of one served inference request.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,11 +57,11 @@ impl ResponseSlot {
         })
     }
 
-    /// Fulfils the slot (first completion wins; a second completion is a
-    /// logic error and ignored in release builds).
+    /// Fulfils the slot. Idempotent: the first completion wins and later
+    /// ones are no-ops, so the worker's normal fulfilment and the
+    /// [`PendingRequest`] drop guard can both fire without conflict.
     pub(crate) fn complete(&self, outcome: Result<Response, ServeError>) {
-        let mut slot = self.outcome.lock().expect("response slot poisoned");
-        debug_assert!(slot.is_none(), "response slot completed twice");
+        let mut slot = lock_recover(&self.outcome);
         if slot.is_none() {
             *slot = Some(outcome);
         }
@@ -69,18 +70,18 @@ impl ResponseSlot {
     }
 
     fn take_blocking(&self) -> Result<Response, ServeError> {
-        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        let mut slot = lock_recover(&self.outcome);
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.done.wait(slot).expect("response slot poisoned");
+            slot = wait_recover(&self.done, slot);
         }
     }
 
     fn take_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
         let deadline = Instant::now() + timeout;
-        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        let mut slot = lock_recover(&self.outcome);
         loop {
             if let Some(outcome) = slot.take() {
                 return Some(outcome);
@@ -89,10 +90,7 @@ impl ResponseSlot {
             if remaining.is_zero() {
                 return None;
             }
-            let (guard, _) = self
-                .done
-                .wait_timeout(slot, remaining)
-                .expect("response slot poisoned");
+            let (guard, _) = wait_timeout_recover(&self.done, slot, remaining);
             slot = guard;
         }
     }
@@ -144,14 +142,28 @@ impl Ticket {
     }
 }
 
-/// A request sitting in the queue: its frame, its completion slot and its
-/// submission timestamp (the wall-latency epoch).
+/// A request sitting in the queue: its frame, its completion slot, its
+/// submission timestamp (the wall-latency epoch) and how many execution
+/// attempts it has survived (worker-fault retries re-enqueue it).
 #[derive(Debug)]
 pub(crate) struct PendingRequest {
     pub(crate) id: u64,
     pub(crate) frame: BitVec,
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) submitted: Instant,
+    pub(crate) attempts: u32,
+}
+
+impl Drop for PendingRequest {
+    /// The structural zero-lost-tickets guarantee: wherever a pending
+    /// request dies — unwound out of a panicking worker, discarded with a
+    /// dropped queue — its ticket still resolves. On the normal paths the
+    /// slot was already completed and this is a no-op.
+    fn drop(&mut self) {
+        self.slot.complete(Err(ServeError::Worker(
+            "request abandoned by a failed worker".into(),
+        )));
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +211,35 @@ mod tests {
         });
         assert_eq!(ticket.wait(), Err(ServeError::Dropped));
         worker.join().expect("worker");
+    }
+
+    #[test]
+    fn completion_is_idempotent_first_wins() {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket {
+            id: 9,
+            slot: Arc::clone(&slot),
+        };
+        slot.complete(Ok(response(9)));
+        slot.complete(Err(ServeError::Dropped));
+        assert_eq!(ticket.wait().expect("first completion wins").id, 9);
+    }
+
+    #[test]
+    fn dropping_a_pending_request_resolves_its_ticket() {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket {
+            id: 4,
+            slot: Arc::clone(&slot),
+        };
+        drop(PendingRequest {
+            id: 4,
+            frame: BitVec::new(8),
+            slot,
+            submitted: Instant::now(),
+            attempts: 0,
+        });
+        assert!(matches!(ticket.wait(), Err(ServeError::Worker(_))));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! `tests/determinism.rs`).
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -30,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use esam_bits::{BitVec, FrameBlock};
 use esam_core::{BatchTally, EsamSystem, InferenceResult, SystemMetrics};
+use esam_fault::{FaultPlan, FaultTally};
 use esam_tech::units::{Joules, Seconds};
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
@@ -37,26 +39,33 @@ use crate::error::ServeError;
 use crate::metrics::{CycleSummary, LatencyHistogram, LatencySummary};
 use crate::queue::{AdmissionPolicy, QueueCounters, RequestQueue};
 use crate::request::{PendingRequest, Response, ResponseSlot, Ticket};
+use crate::sync::lock_recover;
 
 /// Configuration of an [`EsamService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     workers: usize,
     queue_capacity: usize,
     admission: AdmissionPolicy,
     batch: BatchPolicy,
+    faults: FaultPlan,
+    max_retries: u32,
+    deadline: Option<Duration>,
 }
 
 impl ServeConfig {
     /// A service plan with `workers` worker pipelines (clamped to at least
-    /// 1), a 256-slot queue, blocking admission and the default greedy
-    /// batch policy.
+    /// 1), a 256-slot queue, blocking admission, the default greedy batch
+    /// policy, no injected faults, a retry budget of 2 and no deadline.
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
             queue_capacity: 256,
             admission: AdmissionPolicy::default(),
             batch: BatchPolicy::default(),
+            faults: FaultPlan::none(),
+            max_retries: 2,
+            deadline: None,
         }
     }
 
@@ -75,6 +84,32 @@ impl ServeConfig {
     /// Sets the micro-batching trigger policy.
     pub fn batch(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Installs a deterministic fault plan: the workers' pipeline clones
+    /// carry its SRAM-domain faults, and its serve-domain faults (worker
+    /// panics and stalls) are injected around request execution, keyed on
+    /// `(request id, attempt)` so replays are reproducible and retries
+    /// terminate.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets how many times a request unwound out of a crashed worker is
+    /// re-enqueued before its ticket resolves with
+    /// [`ServeError::RetriesExhausted`].
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets a per-request deadline budget: a request whose
+    /// submission-to-dispatch age already exceeds it is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of served stale.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -97,6 +132,21 @@ impl ServeConfig {
     pub fn batch_policy(&self) -> BatchPolicy {
         self.batch
     }
+
+    /// The installed fault plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// The retry budget for requests that hit a crashing worker.
+    pub fn retry_limit(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// The per-request deadline budget, if one is set.
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
 }
 
 impl Default for ServeConfig {
@@ -117,6 +167,18 @@ struct BatchSamples {
     cycles: u64,
 }
 
+/// Per-batch resilience counters a worker accumulates locally and flushes
+/// with the latency samples — plain u64 sums, so the shutdown fold obeys
+/// the same exact merge law as every other counter in the stack.
+#[derive(Default)]
+struct BatchFaults {
+    failed: u64,
+    restarts: u64,
+    retries: u64,
+    deadline_shed: u64,
+    stalls: u64,
+}
+
 /// The shared, mutex-guarded metrics collector.
 struct SharedMetrics {
     wall_ns: LatencyHistogram,
@@ -126,6 +188,10 @@ struct SharedMetrics {
     failed: u64,
     batches: u64,
     batched_requests: u64,
+    worker_restarts: u64,
+    retries: u64,
+    deadline_shed: u64,
+    worker_stalls: u64,
     last_done: Option<Instant>,
 }
 
@@ -139,6 +205,10 @@ impl SharedMetrics {
             failed: 0,
             batches: 0,
             batched_requests: 0,
+            worker_restarts: 0,
+            retries: 0,
+            deadline_shed: 0,
+            worker_stalls: 0,
             last_done: None,
         }
     }
@@ -191,28 +261,43 @@ impl fmt::Debug for SharedMetrics {
 }
 
 impl EsamService {
-    /// Starts the service: clones `system` once per worker and spawns the
-    /// worker pool. The source system is untouched (its activity counters
-    /// do not advance; the workers' clones count, and are folded back into
-    /// the [`ServiceReport`] at shutdown).
+    /// Starts the service: clones `system` once per worker (installing the
+    /// configured [`FaultPlan`] on each clone) and spawns the worker pool.
+    /// The source system is untouched (its activity counters do not
+    /// advance; the workers' clones count, and are folded back into the
+    /// [`ServiceReport`] at shutdown).
+    ///
+    /// Thread-spawn failure is non-fatal: the service runs with however
+    /// many workers came up. If *none* did, intake closes immediately so
+    /// [`submit`](Self::submit) fails with [`ServeError::ShuttingDown`]
+    /// instead of queueing requests nobody will serve.
     pub fn start(system: &EsamSystem, config: ServeConfig) -> Self {
         let queue = Arc::new(RequestQueue::new(config.queue_capacity, config.admission));
         let metrics = Arc::new(Mutex::new(SharedMetrics::new()));
         let mut reference = system.clone();
         reference.reset_stats();
-        let handles = (0..config.workers)
-            .map(|index| {
-                let mut worker = system.clone();
-                worker.reset_stats();
+        let mut template = system.clone();
+        template.reset_stats();
+        // Every stuck/transient coordinate the plan can name is in range by
+        // construction (the materializer iterates the system's own
+        // dimensions), so installation cannot fail; if it somehow does,
+        // serve unfaulted rather than crash the caller.
+        let _ = template.set_fault_plan(config.faults);
+        let handles: Vec<JoinHandle<(EsamSystem, BatchTally)>> = (0..config.workers)
+            .filter_map(|index| {
+                let worker = template.clone();
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let batcher = MicroBatcher::new(config.batch);
                 std::thread::Builder::new()
                     .name(format!("esam-serve-{index}"))
-                    .spawn(move || worker_loop(worker, &queue, &metrics, &batcher))
-                    .expect("spawning a worker thread")
+                    .spawn(move || worker_loop(worker, config, &queue, &metrics, &batcher))
+                    .ok()
             })
             .collect();
+        if handles.is_empty() {
+            queue.close();
+        }
         let input_width = system.input_width();
         Self {
             config,
@@ -278,6 +363,7 @@ impl EsamService {
             frame,
             slot: Arc::clone(&slot),
             submitted: Instant::now(),
+            attempts: 0,
         })?;
         Ok(Ticket { id, slot })
     }
@@ -308,11 +394,17 @@ impl EsamService {
         let mut tally = BatchTally::default();
         self.reference.reset_stats();
         for handle in self.handles.drain(..) {
-            let (worker, worker_tally) = handle.join().expect("worker thread panicked");
-            tally.merge(&worker_tally);
-            self.reference.absorb_stats(&worker);
+            // A top-level worker panic (everything request-scoped is
+            // already caught and supervised inside the loop) loses that
+            // worker's counters but nothing else: its in-flight tickets
+            // resolved when the requests unwound, so the report is merely
+            // missing one worker's activity, not wrong about outcomes.
+            if let Ok((worker, worker_tally)) = handle.join() {
+                tally.merge(&worker_tally);
+                self.reference.absorb_stats(&worker);
+            }
         }
-        let metrics = self.metrics.lock().expect("metrics poisoned");
+        let metrics = lock_recover(&self.metrics);
         let counters = self.queue.counters();
         let busy_time = match (self.first_submit.get(), metrics.last_done) {
             (Some(&start), Some(end)) => end.saturating_duration_since(start),
@@ -366,6 +458,11 @@ impl EsamService {
             energy_per_request: modeled.as_ref().map(|m| m.energy_per_inf),
             modeled,
             modeling_error,
+            worker_restarts: metrics.worker_restarts,
+            retries: metrics.retries,
+            deadline_shed: metrics.deadline_shed,
+            worker_stalls: metrics.worker_stalls,
+            fault_tally: *self.reference.fault_tally(),
         }
     }
 }
@@ -382,9 +479,6 @@ impl Drop for EsamService {
     }
 }
 
-/// One worker's serve loop: pull micro-batches until the queue closes and
-/// drains; return the worker's pipeline (holding its activity counters) and
-/// cycle tally for the shutdown fold.
 /// Resolves one request's ticket from its inference outcome and flushes the
 /// latency sample; returns 1 on failure (for the batch's failure count).
 /// Shared by the sequential and the bit-sliced dispatch paths so both
@@ -429,75 +523,185 @@ fn fulfil(
     }
 }
 
+/// One worker's supervised serve loop: pull micro-batches until the queue
+/// closes and drains; return the worker's banked pipeline counters and
+/// cycle tally for the shutdown fold.
+///
+/// Supervision model: `template` is the pristine (fault-plan-installed)
+/// pipeline the worker restarts from. Execution runs on a `working` clone;
+/// after every *successful* unit of work the working counters are banked
+/// (`banked.absorb_stats` + `working.reset_stats`), so when an execution
+/// attempt panics — injected by the fault plan or genuine — discarding the
+/// half-updated `working` clone loses nothing that was already reported.
+/// That keeps the shutdown fold's `modeled` metrics exactly consistent
+/// with the completed traffic even across restarts. The unwound request
+/// itself is re-enqueued (front of the queue) while it has retry budget,
+/// else its ticket resolves with [`ServeError::RetriesExhausted`].
 fn worker_loop(
-    mut system: EsamSystem,
+    template: EsamSystem,
+    config: ServeConfig,
     queue: &RequestQueue,
     metrics: &Mutex<SharedMetrics>,
     batcher: &MicroBatcher,
 ) -> (EsamSystem, BatchTally) {
+    let faults = config.fault_plan();
+    let mut banked = template.clone();
+    banked.reset_stats();
+    let mut working = template.clone();
+    working.reset_stats();
     let mut tally = BatchTally::default();
     let mut samples: Vec<BatchSamples> = Vec::with_capacity(batcher.policy().max_batch());
     while let Some(batch) = batcher.next_batch(queue) {
         let dispatch = Instant::now();
-        let size = batch.len();
         samples.clear();
-        let mut failed = 0u64;
-        if size >= FrameBlock::LANES {
+        let mut faulted = BatchFaults::default();
+        // Deadline shed happens at dispatch: a request whose budget is
+        // already spent would be served stale, so resolve it now (this is
+        // also what bounds a retry loop under a deadline).
+        let batch: Vec<PendingRequest> = match config.deadline_budget() {
+            Some(budget) => batch
+                .into_iter()
+                .filter_map(|request| {
+                    if dispatch.saturating_duration_since(request.submitted) > budget {
+                        request.slot.complete(Err(ServeError::DeadlineExceeded));
+                        faulted.deadline_shed += 1;
+                        faulted.failed += 1;
+                        None
+                    } else {
+                        Some(request)
+                    }
+                })
+                .collect(),
+            None => batch,
+        };
+        let size = batch.len();
+        // The bit-sliced block kernel has no hook for per-frame transient
+        // faults and no per-request supervision boundary, so fault plans
+        // that can strike mid-batch force the per-request path.
+        if size >= FrameBlock::LANES && !faults.serve_active() && !faults.transient_active() {
             // Lane-width batch: advance all frames through the bit-sliced
             // block kernel (bit-identical to the per-request walk; the
             // kernel falls back internally when ineligible). Widths were
             // validated at submission, so a block error is a genuine
             // worker fault — resolve every ticket with it and move on.
+            // The catch_unwind is a safety net for genuine panics only: the
+            // unwound requests resolve through their drop guard, and the
+            // worker restarts from the template (the partial batch's
+            // counters are discarded — with tickets mid-batch already
+            // resolved there is no exact accounting to preserve).
             let frames: Vec<BitVec> = batch.iter().map(|r| r.frame.clone()).collect();
-            match system.infer_block(&frames) {
-                Ok(results) => {
-                    for (request, result) in batch.into_iter().zip(results) {
-                        failed += fulfil(
-                            request,
-                            Ok(result),
-                            dispatch,
-                            size,
-                            &mut tally,
-                            &mut samples,
-                        );
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut failed = 0u64;
+                match working.infer_block(&frames) {
+                    Ok(results) => {
+                        for (request, result) in batch.into_iter().zip(results) {
+                            failed += fulfil(
+                                request,
+                                Ok(result),
+                                dispatch,
+                                size,
+                                &mut tally,
+                                &mut samples,
+                            );
+                        }
+                    }
+                    Err(error) => {
+                        let worker_error = ServeError::Worker(error.to_string());
+                        for request in batch {
+                            failed += fulfil(
+                                request,
+                                Err(worker_error.clone()),
+                                dispatch,
+                                size,
+                                &mut tally,
+                                &mut samples,
+                            );
+                        }
                     }
                 }
-                Err(error) => {
-                    let worker_error = ServeError::Worker(error.to_string());
-                    for request in batch {
-                        failed += fulfil(
-                            request,
-                            Err(worker_error.clone()),
-                            dispatch,
-                            size,
-                            &mut tally,
-                            &mut samples,
-                        );
-                    }
+                failed
+            }));
+            match run {
+                Ok(failed) => {
+                    faulted.failed += failed;
+                    banked.absorb_stats(&working);
+                    working.reset_stats();
+                }
+                Err(_) => {
+                    faulted.restarts += 1;
+                    working = template.clone();
+                    working.reset_stats();
                 }
             }
         } else {
-            for request in batch {
-                let outcome = system
-                    .infer(&request.frame)
-                    .map_err(|error| ServeError::Worker(error.to_string()));
-                failed += fulfil(request, outcome, dispatch, size, &mut tally, &mut samples);
+            for mut request in batch {
+                if faults.worker_stall(request.id, u64::from(request.attempts)) {
+                    faulted.stalls += 1;
+                    std::thread::sleep(faults.config().worker_stall());
+                }
+                let injected_panic = faults.worker_panic(request.id, u64::from(request.attempts));
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if injected_panic {
+                        panic!(
+                            "injected worker fault (request {}, attempt {})",
+                            request.id, request.attempts
+                        );
+                    }
+                    // The transient-fault coordinate is the request id —
+                    // assigned at submission, so the faulted result is
+                    // independent of which worker serves it, of batch
+                    // composition, and of retries (a replayed request
+                    // hits the same weight bits and reproduces the same
+                    // response bit-for-bit).
+                    working.infer_faulted(&request.frame, request.id)
+                }));
+                match run {
+                    Ok(outcome) => {
+                        banked.absorb_stats(&working);
+                        working.reset_stats();
+                        let outcome =
+                            outcome.map_err(|error| ServeError::Worker(error.to_string()));
+                        faulted.failed +=
+                            fulfil(request, outcome, dispatch, size, &mut tally, &mut samples);
+                    }
+                    Err(_) => {
+                        faulted.restarts += 1;
+                        working = template.clone();
+                        working.reset_stats();
+                        request.attempts += 1;
+                        if request.attempts <= config.retry_limit() {
+                            faulted.retries += 1;
+                            queue.requeue(request);
+                        } else {
+                            let attempts = request.attempts;
+                            request
+                                .slot
+                                .complete(Err(ServeError::RetriesExhausted { attempts }));
+                            faulted.failed += 1;
+                        }
+                    }
+                }
             }
         }
         let done = Instant::now();
-        let mut shared = metrics.lock().expect("metrics poisoned");
+        let mut shared = lock_recover(metrics);
         for sample in &samples {
             shared.wall_ns.record(sample.wall_ns);
             shared.wait_ns.record(sample.wait_ns);
             shared.cycles.record(sample.cycles);
         }
         shared.completed += samples.len() as u64;
-        shared.failed += failed;
+        shared.failed += faulted.failed;
         shared.batches += 1;
         shared.batched_requests += size as u64;
+        shared.worker_restarts += faulted.restarts;
+        shared.retries += faulted.retries;
+        shared.deadline_shed += faulted.deadline_shed;
+        shared.worker_stalls += faulted.stalls;
         shared.last_done = Some(shared.last_done.map_or(done, |t| t.max(done)));
     }
-    (system, tally)
+    banked.absorb_stats(&working);
+    (banked, tally)
 }
 
 /// The final accounting of a service's lifetime
@@ -554,6 +758,18 @@ pub struct ServiceReport {
     /// Why [`modeled`](Self::modeled) is absent despite completed traffic
     /// (a propagated energy-model error), `None` on the happy path.
     pub modeling_error: Option<String>,
+    /// Worker pipelines discarded and restarted from the pristine template
+    /// after an execution attempt panicked (injected or genuine).
+    pub worker_restarts: u64,
+    /// Requests re-enqueued after unwinding out of a crashed attempt.
+    pub retries: u64,
+    /// Requests shed at dispatch because their deadline budget was spent.
+    pub deadline_shed: u64,
+    /// Injected worker stalls served through (latency faults, not errors).
+    pub worker_stalls: u64,
+    /// SRAM-domain fault injections folded from the worker pipelines
+    /// (transient weight flips and membrane upsets actually applied).
+    pub fault_tally: FaultTally,
 }
 
 impl ServiceReport {
@@ -602,7 +818,26 @@ impl fmt::Display for ServiceReport {
             f,
             "modeled:     p50 {} / p99 {} cycles (p99 = {:.2}), peak queue {}",
             self.cycles.p50, self.cycles.p99, self.cycle_latency_p99, self.peak_queue_depth
-        )
+        )?;
+        let injected = self.worker_restarts
+            + self.retries
+            + self.deadline_shed
+            + self.worker_stalls
+            + self.fault_tally.weight_flips
+            + self.fault_tally.membrane_flips;
+        if injected > 0 {
+            write!(
+                f,
+                "\nresilience:  {} restarts, {} retries, {} deadline-shed, {} stalls ({} weight flips, {} membrane upsets)",
+                self.worker_restarts,
+                self.retries,
+                self.deadline_shed,
+                self.worker_stalls,
+                self.fault_tally.weight_flips,
+                self.fault_tally.membrane_flips
+            )?;
+        }
+        Ok(())
     }
 }
 

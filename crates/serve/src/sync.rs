@@ -1,0 +1,60 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A `std::sync::Mutex` poisons itself when a thread panics while holding
+//! it. The service's shared state (queue, response slots, metrics) is made
+//! of plain counters, histograms and `Option` slots — every value is valid
+//! after any prefix of updates, so a panic mid-update never leaves state
+//! that must not be observed. Recovering the guard (instead of propagating
+//! the poison as a second panic) is therefore always sound here, and it is
+//! what keeps one worker's crash from cascading into intake threads and
+//! clients blocked on tickets.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers the guard on poison.
+pub(crate) fn wait_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers the guard on poison.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let shared = Arc::new(Mutex::new(7u64));
+        let poisoner = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let _guard = shared.lock().unwrap();
+                panic!("poison the mutex");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock_recover(&shared), 7);
+        *lock_recover(&shared) += 1;
+        assert_eq!(*lock_recover(&shared), 8);
+    }
+}

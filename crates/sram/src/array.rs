@@ -120,6 +120,31 @@ impl SramArray {
         Ok(())
     }
 
+    /// Inverts one stored bit in place — the fault layer's physical
+    /// bit-flip primitive (a particle strike or stuck-at materialization,
+    /// not a port access), so it is **not counted** in [`AccessStats`] and
+    /// needs no port. Flipping the same bit twice restores the cell.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::RowOutOfRange`] or [`SramError::ColOutOfRange`].
+    pub fn flip_bit(&mut self, row: usize, col: usize) -> Result<(), SramError> {
+        if row >= self.config.rows() {
+            return Err(SramError::RowOutOfRange {
+                row,
+                rows: self.config.rows(),
+            });
+        }
+        if col >= self.config.cols() {
+            return Err(SramError::ColOutOfRange {
+                col,
+                cols: self.config.cols(),
+            });
+        }
+        self.bits.flip(row, col);
+        Ok(())
+    }
+
     /// Reads one row through inference port `port` (0-based).
     ///
     /// For the 6T baseline only port 0 exists (its RW port). The returned
@@ -377,6 +402,26 @@ mod tests {
         }
         assert_eq!(a.stats().inference_reads, 4);
         assert_eq!(a.stats().inference_zero_bits, 4 * 64);
+    }
+
+    #[test]
+    fn flip_bit_is_uncounted_and_involutive() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&checkerboard()).unwrap();
+        let before = a.bits().clone();
+        a.flip_bit(3, 40).unwrap();
+        assert_ne!(a.bits().get(3, 40), before.get(3, 40));
+        a.flip_bit(3, 40).unwrap();
+        assert_eq!(*a.bits(), before, "double flip restores the array");
+        assert_eq!(a.stats().inference_reads, 0, "faults are not accesses");
+        assert!(matches!(
+            a.flip_bit(128, 0),
+            Err(SramError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.flip_bit(0, 128),
+            Err(SramError::ColOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`core`] — tiles, the cascaded system, the spike-by-spike simulator,
 //!   the parallel batch engine, metrics, the online-learning engine and the
 //!   adder-tree baseline.
+//! * [`fault`] — deterministic fault injection: ChaCha-seeded fault plans
+//!   whose keyed-hash site decisions are order- and thread-count-
+//!   independent (the resilience layer's oracle).
 //! * [`mesh`] — the multi-core mesh: layer/column sharding across cores,
 //!   pipeline-parallel inference over bounded channels, and a cycle-modeled
 //!   interconnect.
@@ -53,6 +56,7 @@ pub use esam_arbiter as arbiter;
 pub use esam_bits as bits;
 pub use esam_circuit as circuit;
 pub use esam_core as core;
+pub use esam_fault as fault;
 pub use esam_logic as logic;
 pub use esam_mesh as mesh;
 pub use esam_neuron as neuron;
@@ -70,6 +74,7 @@ pub mod prelude {
         LearningCurve, OnlineLearningEngine, OnlineSession, PipelineTiming, SystemConfig,
         SystemMetrics, Tile, TracedInference, WeightMergePolicy,
     };
+    pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
     pub use esam_mesh::{MeshConfig, MeshMetrics, MeshPlan, MeshSystem};
     pub use esam_neuron::{IfNeuron, NeuronArray, NeuronConfig};
     pub use esam_nn::{
