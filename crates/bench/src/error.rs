@@ -36,7 +36,7 @@ impl fmt::Display for BenchError {
             BenchError::Circuit(e) => write!(f, "{e}"),
             BenchError::UnknownExperiment(id) => write!(
                 f,
-                "unknown experiment '{id}' (try: area, fig6, fig7, table2, arbiter, nbl, sta, transient, addertree, corners, hot_path, serve, mesh, learning, learning_curve, fig8, table3, accuracy, batch, all)"
+                "unknown experiment '{id}' (try: area, fig6, fig7, table2, arbiter, nbl, sta, transient, addertree, corners, hot_path, serve, mesh, faults, observe, learning, learning_curve, fig8, table3, accuracy, batch, all)"
             ),
         }
     }

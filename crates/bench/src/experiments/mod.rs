@@ -16,6 +16,7 @@ pub mod learning;
 pub mod learning_curve;
 pub mod mesh;
 pub mod nbl;
+pub mod observe;
 pub mod serve;
 pub mod sta;
 pub mod table2;

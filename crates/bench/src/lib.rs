@@ -27,6 +27,7 @@
 //! | `mesh` | multi-core mesh scaling: pipeline-parallel throughput vs core count (`--json` for machines) |
 //! | `serve` | concurrent serving: closed/open-loop latency SLOs + admission behaviour (`--json` for machines) |
 //! | `faults` | fault injection: accuracy vs bit-flip rate, serving under worker deaths, mesh under packet loss (`--json` for machines) |
+//! | `observe` | deterministic end-to-end trace (Perfetto-loadable) + metrics snapshot with a bottleneck breakdown (`--json` for machines) |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
 //! | `sta` | §3.3 gate-level STA cross-check (structural arbiter) |
@@ -49,7 +50,7 @@ pub use table::Table;
 /// Experiment ids that need no trained network (circuit-level artifacts
 /// plus the synthetic-workload `hot_path`, `serve`, `mesh` and `faults`
 /// simulator benchmarks).
-pub const CIRCUIT_EXPERIMENTS: [&str; 14] = [
+pub const CIRCUIT_EXPERIMENTS: [&str; 15] = [
     "area",
     "fig6",
     "fig7",
@@ -64,6 +65,7 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 14] = [
     "serve",
     "mesh",
     "faults",
+    "observe",
 ];
 
 /// Experiment ids that need the trained network (system-level artifacts).
@@ -85,8 +87,8 @@ pub const SYSTEM_EXPERIMENTS: [&str; 6] = [
 /// `threads` caps the worker sweep of the `batch` experiment and the
 /// worker pool of the `serve` experiment (0 = this machine's available
 /// parallelism); `json` switches experiments that support machine-readable
-/// output (`hot_path`, `serve`, `mesh`, `faults`) from a table to one JSON
-/// object per experiment. The shared
+/// output (`hot_path`, `serve`, `mesh`, `faults`, `observe`) from a table
+/// to one JSON object per experiment. The shared
 /// [`ExperimentContext`] (dataset + trained model) is built lazily, only
 /// when a system experiment is requested.
 ///
@@ -180,6 +182,31 @@ pub fn run_experiments(
                     println!("{}", experiments::faults::faults_mesh_table(&results));
                 }
             }
+            "observe" => {
+                let results = experiments::observe::observe_results(samples)?;
+                if json {
+                    println!("{}", experiments::observe::observe_json(&results));
+                    // The one wall-clock figure stays off stdout so the
+                    // JSON snapshot is byte-for-byte reproducible.
+                    eprintln!(
+                        "[observe] no-op tracer overhead on the inference hot path: {:+.2}% over {} frames (acceptance < 2%)",
+                        results.overhead_pct, results.overhead_frames
+                    );
+                } else {
+                    println!("{}", experiments::observe::observe_table(&results));
+                }
+                if let Ok(dir) = std::env::var("ESAM_OBSERVE_DIR") {
+                    match experiments::observe::write_artifacts(
+                        &results,
+                        std::path::Path::new(&dir),
+                    ) {
+                        Ok(()) => eprintln!(
+                            "[observe] wrote {dir}/trace.json (Perfetto), {dir}/metrics.prom, {dir}/metrics.json"
+                        ),
+                        Err(e) => eprintln!("[observe] artifact write failed: {e}"),
+                    }
+                }
+            }
             "sta" => println!("{}", experiments::sta::sta_table()?),
             "transient" => println!("{}", experiments::transient::transient_table()?),
             "addertree" => println!("{}", experiments::addertree::addertree_table()?),
@@ -267,5 +294,11 @@ mod tests {
     fn hot_path_runs_in_json_mode() {
         run_experiments(&["hot_path".to_string()], Fidelity::Quick, 2, 0, true)
             .expect("hot_path --json");
+    }
+
+    #[test]
+    fn observe_runs_in_json_mode() {
+        run_experiments(&["observe".to_string()], Fidelity::Quick, 4, 0, true)
+            .expect("observe --json");
     }
 }

@@ -75,6 +75,7 @@ pub use config::{
     BatchConfig, EpochConfig, SystemConfig, SystemConfigBuilder, WeightMergePolicy, ARRAY_DIM,
 };
 pub use error::CoreError;
+pub use esam_obs::{TraceScope, TrackTrace};
 pub use learning::{
     CurvePoint, LearningCost, LearningCurve, OnlineLearningEngine, OnlineSession, SampleOutcome,
 };

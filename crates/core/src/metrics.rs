@@ -22,6 +22,7 @@
 
 use std::fmt;
 
+use esam_obs::tally_add;
 use esam_tech::units::{AreaUm2, Hertz, Joules, Seconds, Watts};
 
 use crate::learning::{LearningCost, SampleOutcome};
@@ -74,15 +75,17 @@ impl BatchTally {
         self.learning_bits_flipped += outcome.cost.bits_flipped as u64;
     }
 
-    /// Adds another shard's tallies into this one (exact).
+    /// Adds another shard's tallies into this one (exact). Overflow is
+    /// loud in debug builds and saturates in release, so a pegged counter
+    /// can never wrap into a plausible-looking small number.
     pub fn merge(&mut self, other: &BatchTally) {
-        self.frames += other.frames;
-        self.bottleneck_cycles += other.bottleneck_cycles;
-        self.latency_cycles += other.latency_cycles;
-        self.correct += other.correct;
-        self.learning_updates += other.learning_updates;
-        self.learning_cycles += other.learning_cycles;
-        self.learning_bits_flipped += other.learning_bits_flipped;
+        tally_add(&mut self.frames, other.frames);
+        tally_add(&mut self.bottleneck_cycles, other.bottleneck_cycles);
+        tally_add(&mut self.latency_cycles, other.latency_cycles);
+        tally_add(&mut self.correct, other.correct);
+        tally_add(&mut self.learning_updates, other.learning_updates);
+        tally_add(&mut self.learning_cycles, other.learning_cycles);
+        tally_add(&mut self.learning_bits_flipped, other.learning_bits_flipped);
     }
 }
 

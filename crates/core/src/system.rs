@@ -12,6 +12,7 @@ use esam_bits::{BitVec, FrameBlock};
 use esam_fault::{FaultPlan, FaultTally};
 use esam_nn::bnn::argmax;
 use esam_nn::{derive_teacher_signals, SnnModel};
+use esam_obs::TraceScope;
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
 use crate::batch::BatchEngine;
@@ -197,6 +198,38 @@ impl EsamSystem {
     /// Returns [`CoreError::InputWidthMismatch`] for a wrong input width.
     pub fn infer(&mut self, input: &BitVec) -> Result<InferenceResult, CoreError> {
         self.infer_core(input, None)
+    }
+
+    /// Runs one inference and attributes its modeled cycles to per-layer
+    /// spans on the scope's track.
+    ///
+    /// The inference itself is *exactly* [`infer`](Self::infer) — the
+    /// cascade walk is untouched, so the result is bit-identical at any
+    /// scope state (pinned by `tests/trace_equivalence.rs`). Attribution
+    /// happens post-hoc from the result's
+    /// [`per_tile_cycles`](InferenceResult::per_tile_cycles): their sum is
+    /// [`total_cycles`](InferenceResult::total_cycles), so the `layer`
+    /// spans tile the frame's cycle interval exactly, advancing the
+    /// track's cursor by the frame's full latency. Every recorded event is
+    /// `Copy` into the track's preallocated ring, so the hot path stays
+    /// allocation-free with tracing *on*; with [`TraceScope::Off`] the
+    /// whole addition is one branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for a wrong input width.
+    pub fn infer_scoped(
+        &mut self,
+        input: &BitVec,
+        scope: &mut TraceScope<'_>,
+    ) -> Result<InferenceResult, CoreError> {
+        let result = self.infer(input)?;
+        if let TraceScope::On(track) = scope {
+            for (layer, &cycles) in result.per_tile_cycles.iter().enumerate() {
+                track.span("layer", cycles, [Some(("layer", layer as u64)), None]);
+            }
+        }
+        Ok(result)
     }
 
     /// Runs one inference and additionally captures the spike frame that
@@ -724,6 +757,51 @@ impl EsamSystem {
         let mut results = Vec::with_capacity(frames.len());
         for chunk in frames.chunks(FrameBlock::LANES) {
             self.infer_block_chunk(chunk, &mut results)?;
+        }
+        Ok(results)
+    }
+
+    /// [`infer_block`](Self::infer_block) with per-layer cycle
+    /// attribution for each executed block.
+    ///
+    /// Under batch-major execution all lanes of a block advance in
+    /// lockstep through the bit-sliced tile, so a layer's occupancy for
+    /// the block is the **maximum** over its lanes' per-layer cycle
+    /// counts; blocks execute back to back, so each block contributes one
+    /// `layer-block` span per layer (lane count attached) and the cursor
+    /// advances by the block's summed per-layer maxima. Results are
+    /// bit-identical to [`infer_block`](Self::infer_block) — the
+    /// execution path is shared and attribution is post-hoc.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] when any frame has the
+    /// wrong width.
+    pub fn infer_block_scoped(
+        &mut self,
+        frames: &[BitVec],
+        scope: &mut TraceScope<'_>,
+    ) -> Result<Vec<InferenceResult>, CoreError> {
+        let results = self.infer_block(frames)?;
+        if let TraceScope::On(track) = scope {
+            let layers = self.tiles.len();
+            for block in results.chunks(FrameBlock::LANES) {
+                for layer in 0..layers {
+                    let cycles = block
+                        .iter()
+                        .map(|r| r.per_tile_cycles[layer])
+                        .max()
+                        .unwrap_or(0);
+                    track.span(
+                        "layer-block",
+                        cycles,
+                        [
+                            Some(("layer", layer as u64)),
+                            Some(("lanes", block.len() as u64)),
+                        ],
+                    );
+                }
+            }
         }
         Ok(results)
     }

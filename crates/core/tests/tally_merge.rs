@@ -1,0 +1,123 @@
+//! Property tests for the workspace merge law's integer tallies: folding
+//! per-frame tallies shard-by-shard (any random partition, any shard
+//! order within the partition law's constraints) must equal the
+//! sequential fold bit-for-bit. This pins the exact-u64 half of the merge
+//! law that `BatchEngine`, the mesh and the serving layer all rely on,
+//! now routed through `esam_obs::tally_add` (debug-loud, release-
+//! saturating).
+
+use esam_core::BatchTally;
+use esam_fault::FaultTally;
+use proptest::prelude::*;
+
+/// Deterministic per-frame tally stream from a splitmix64 walk.
+fn frame_tallies(seed: u64, count: usize) -> Vec<BatchTally> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| BatchTally {
+            frames: 1,
+            bottleneck_cycles: next() % 10_000,
+            latency_cycles: next() % 100_000,
+            correct: next() % 2,
+            learning_updates: next() % 64,
+            learning_cycles: next() % 4_096,
+            learning_bits_flipped: next() % 512,
+        })
+        .collect()
+}
+
+/// Splits `items` at the given fractions and folds each shard
+/// independently, then merges the shard tallies in order.
+fn sharded_fold(items: &[BatchTally], cuts: &[usize]) -> BatchTally {
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (items.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(items.len());
+    bounds.sort_unstable();
+    let mut merged = BatchTally::default();
+    for pair in bounds.windows(2) {
+        let mut shard = BatchTally::default();
+        for tally in &items[pair[0]..pair[1]] {
+            shard.merge(tally);
+        }
+        merged.merge(&shard);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random partition of a frame stream merges to exactly the
+    /// sequential tally — the associativity/commutativity contract the
+    /// parallel engines assume.
+    #[test]
+    fn sharded_merge_equals_sequential(
+        seed in any::<u64>(),
+        count in 1usize..200,
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let frames = frame_tallies(seed, count);
+        let mut sequential = BatchTally::default();
+        for tally in &frames {
+            sequential.merge(tally);
+        }
+        let sharded = sharded_fold(&frames, &cuts);
+        prop_assert_eq!(sequential, sharded);
+    }
+
+    /// Merge order across shards does not matter either (commutativity):
+    /// fold the same shards in reverse and get the same integers.
+    #[test]
+    fn shard_merge_is_commutative(
+        seed in any::<u64>(),
+        count in 2usize..100,
+        split in 1usize..99,
+    ) {
+        let frames = frame_tallies(seed, count);
+        let cut = 1 + split % (count - 1).max(1);
+        let (left, right) = frames.split_at(cut.min(count - 1));
+        let fold = |chunk: &[BatchTally]| {
+            let mut t = BatchTally::default();
+            chunk.iter().for_each(|x| t.merge(x));
+            t
+        };
+        let (a, b) = (fold(left), fold(right));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// The fault-injection tally obeys the same law.
+    #[test]
+    fn fault_tally_sharded_merge_equals_sequential(
+        flips in proptest::collection::vec((0u64..1_000, 0u64..1_000), 1..50),
+        cut in any::<usize>(),
+    ) {
+        let tallies: Vec<FaultTally> = flips
+            .iter()
+            .map(|&(w, m)| FaultTally { weight_flips: w, membrane_flips: m })
+            .collect();
+        let mut sequential = FaultTally::default();
+        for t in &tallies {
+            sequential.merge(t);
+        }
+        let split = cut % tallies.len();
+        let fold = |chunk: &[FaultTally]| {
+            let mut t = FaultTally::default();
+            chunk.iter().for_each(|x| t.merge(x));
+            t
+        };
+        let mut sharded = fold(&tallies[..split]);
+        sharded.merge(&fold(&tallies[split..]));
+        prop_assert_eq!(sequential, sharded);
+    }
+}

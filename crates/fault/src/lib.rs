@@ -437,9 +437,11 @@ pub struct FaultTally {
 
 impl FaultTally {
     /// Adds another tally's counts into this one (exact integer sums).
+    /// Overflow is loud in debug builds and saturates in release (see
+    /// [`esam_obs::tally_add`]).
     pub fn merge(&mut self, other: &FaultTally) {
-        self.weight_flips += other.weight_flips;
-        self.membrane_flips += other.membrane_flips;
+        esam_obs::tally_add(&mut self.weight_flips, other.weight_flips);
+        esam_obs::tally_add(&mut self.membrane_flips, other.membrane_flips);
     }
 }
 

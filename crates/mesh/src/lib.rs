@@ -71,7 +71,8 @@ pub mod system;
 pub use config::{Execution, LinkConfig, MeshConfig, PayloadMode};
 pub use core::MeshCore;
 pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
+pub use esam_obs::{TimeDomain, Trace, TraceConfig};
 pub use metrics::{MeshMetrics, MeshTally};
 pub use noc::LinkStats;
 pub use plan::{MeshPlan, StagePlan};
-pub use system::MeshSystem;
+pub use system::{MeshSystem, MESH_TRACE_PID};

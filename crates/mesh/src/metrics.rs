@@ -12,6 +12,7 @@
 use std::fmt;
 
 use esam_core::{BatchTally, SystemMetrics};
+use esam_obs::tally_add;
 use esam_tech::units::Seconds;
 
 use crate::noc::LinkStats;
@@ -54,17 +55,22 @@ pub struct MeshTally {
 }
 
 impl MeshTally {
-    /// Adds another shard's tallies into this one (exact).
+    /// Adds another shard's tallies into this one (exact). Overflow is
+    /// loud in debug builds and saturates in release (see
+    /// [`esam_obs::tally_add`]).
     pub fn merge(&mut self, other: &MeshTally) {
         self.tiles.merge(&other.tiles);
-        self.mesh_bottleneck_cycles += other.mesh_bottleneck_cycles;
-        self.noc_latency_cycles += other.noc_latency_cycles;
-        self.packets_dropped += other.packets_dropped;
-        self.packets_delayed += other.packets_delayed;
-        self.core_stalls += other.core_stalls;
-        self.core_panics += other.core_panics;
-        self.link_timeouts += other.link_timeouts;
-        self.frames_recovered += other.frames_recovered;
+        tally_add(
+            &mut self.mesh_bottleneck_cycles,
+            other.mesh_bottleneck_cycles,
+        );
+        tally_add(&mut self.noc_latency_cycles, other.noc_latency_cycles);
+        tally_add(&mut self.packets_dropped, other.packets_dropped);
+        tally_add(&mut self.packets_delayed, other.packets_delayed);
+        tally_add(&mut self.core_stalls, other.core_stalls);
+        tally_add(&mut self.core_panics, other.core_panics);
+        tally_add(&mut self.link_timeouts, other.link_timeouts);
+        tally_add(&mut self.frames_recovered, other.frames_recovered);
     }
 }
 
@@ -141,6 +147,53 @@ impl fmt::Display for MeshMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random shard splits of a mesh-tally stream merge to exactly
+        /// the sequential fold — the mesh side of the workspace merge
+        /// law, now routed through `esam_obs::tally_add`.
+        #[test]
+        fn sharded_merge_equals_sequential(
+            raw in proptest::collection::vec((0u64..5_000, 0u64..5_000, 0u64..10), 1..60),
+            cut in any::<usize>(),
+        ) {
+            let tallies: Vec<MeshTally> = raw
+                .iter()
+                .map(|&(bottleneck, noc, faults)| MeshTally {
+                    tiles: BatchTally {
+                        frames: 1,
+                        bottleneck_cycles: bottleneck,
+                        latency_cycles: bottleneck + noc,
+                        ..BatchTally::default()
+                    },
+                    mesh_bottleneck_cycles: bottleneck,
+                    noc_latency_cycles: noc,
+                    packets_dropped: faults % 3,
+                    packets_delayed: faults % 5,
+                    core_stalls: faults % 2,
+                    core_panics: faults % 7,
+                    link_timeouts: faults % 4,
+                    frames_recovered: faults % 3,
+                })
+                .collect();
+            let mut sequential = MeshTally::default();
+            for t in &tallies {
+                sequential.merge(t);
+            }
+            let split = cut % tallies.len();
+            let fold = |chunk: &[MeshTally]| {
+                let mut t = MeshTally::default();
+                chunk.iter().for_each(|x| t.merge(x));
+                t
+            };
+            let mut sharded = fold(&tallies[..split]);
+            sharded.merge(&fold(&tallies[split..]));
+            prop_assert_eq!(sequential, sharded);
+        }
+    }
 
     #[test]
     fn tally_merge_is_plain_addition() {

@@ -68,6 +68,7 @@ use esam_fault::FaultPlan;
 use esam_neuron::ResetPolicy;
 use esam_nn::bnn::argmax;
 use esam_nn::SnnModel;
+use esam_obs::{Trace, TrackTrace, NO_ARGS};
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
 use crate::config::{Execution, LinkConfig, MeshConfig, PayloadMode};
@@ -476,6 +477,10 @@ fn record_block_sink(
     Ok(())
 }
 
+/// Chrome-trace process id of mesh tracks in merged traces (the serving
+/// layer uses pid 1; see `esam_serve::SERVE_TRACE_PID`).
+pub const MESH_TRACE_PID: u32 = 2;
+
 /// A multi-core ESAM mesh executing one network sharded across cores.
 #[derive(Debug, Clone)]
 pub struct MeshSystem {
@@ -779,6 +784,215 @@ impl MeshSystem {
     fn block_eligible(&self) -> bool {
         self.config.neuron().reset_policy() == ResetPolicy::EveryTimestep
             && self.slots.iter().all(|slot| slot.core.block_eligible())
+    }
+
+    /// Runs a batch on the sequential reference path while reconstructing
+    /// the pipeline's steady-state timeline in the modeled cycle domain:
+    /// per-core `frame` occupancy spans with fill/imbalance `bubble`
+    /// spans, per-link `hop` + `serialize` transfer spans, and injected
+    /// faults (`packet-drop`, `packet-delay`, `core-stall`, `frame-lost`)
+    /// as instants.
+    ///
+    /// Results, tallies and every activity counter are exactly those of
+    /// [`run`](Self::run) under [`Execution::Sequential`] with frame
+    /// payloads — the walk invokes the same per-core handlers in the same
+    /// order. The timeline itself is pure cycle arithmetic over the
+    /// packets' accumulators and is therefore independent of execution
+    /// mode, thread scheduling and wall time: the cycle-domain Chrome
+    /// export of the returned [`Trace`] is byte-identical across runs.
+    ///
+    /// The queueing model: the feeder saturates stage 0 (a frame is
+    /// available the moment its core is free), a link delivers at its
+    /// producer's finish plus hop + serialization cycles, and each core
+    /// starts a frame at `max(own busy-until, latest in-port delivery)` —
+    /// any gap is pipeline dead time, emitted as a `bubble` span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for wrong-width frames
+    /// and propagates per-core inference errors.
+    pub fn run_traced(
+        &mut self,
+        frames: &[BitVec],
+        trace_capacity: usize,
+    ) -> Result<(Vec<InferenceResult>, Trace), CoreError> {
+        let expected = self.plan.topology()[0];
+        for frame in frames {
+            if frame.len() != expected {
+                return Err(CoreError::InputWidthMismatch {
+                    expected,
+                    got: frame.len(),
+                });
+            }
+        }
+        let epoch = std::time::Instant::now();
+        let mut core_tracks: Vec<TrackTrace> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                TrackTrace::with_epoch(
+                    MESH_TRACE_PID,
+                    slot.core.id() as u32,
+                    format!("core {} (stage {})", slot.core.id(), slot.core.stage()),
+                    trace_capacity,
+                    epoch,
+                )
+            })
+            .collect();
+        // One track per directed link, tids offset past the core ids.
+        let mut link_tracks: Vec<TrackTrace> = Vec::new();
+        let mut link_index: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
+        for slot in &self.slots {
+            for port in &slot.ports {
+                if let Some(stats) = &port.link {
+                    let next = link_tracks.len();
+                    link_index.entry((stats.src, stats.dst)).or_insert_with(|| {
+                        link_tracks.push(TrackTrace::with_epoch(
+                            MESH_TRACE_PID,
+                            (self.slots.len() + next) as u32,
+                            format!("link {} -> {}", stats.src, stats.dst),
+                            trace_capacity,
+                            epoch,
+                        ));
+                        next
+                    });
+                }
+            }
+        }
+        let output_width = *self.plan.topology().last().expect("topology len >= 2");
+        let mut results: Vec<Option<InferenceResult>> = Vec::with_capacity(frames.len());
+        let mut tally = MeshTally::default();
+        // This frame's finish time per core (valid once the core's stage
+        // has run; stage order guarantees producers precede consumers).
+        let mut finish = vec![0u64; self.slots.len()];
+        for (frame_index, frame) in frames.iter().enumerate() {
+            let frame_arg = ("frame", frame_index as u64);
+            let mut prev = vec![feeder_frame(frame)];
+            for stage in 0..self.stage_ranges.len() {
+                let range = self.stage_ranges[stage].clone();
+                let mut next = Vec::with_capacity(range.len());
+                for index in range {
+                    // Snapshot everything the timeline needs before the
+                    // handler mutates the slot. Fault decisions are pure
+                    // functions of (plan, hand-off, edge), so mirroring
+                    // them here reproduces the handler's verdicts exactly.
+                    let t_coord = self.slots[index].hand_offs;
+                    let slot_faults = self.slots[index].faults;
+                    let mesh_faulty = slot_faults.mesh_active();
+                    let link_cfg = self.slots[index].link;
+                    let core_id = self.slots[index].core.id() as u64;
+                    let port_meta: Vec<Option<(usize, usize, u64)>> = self.slots[index]
+                        .ports
+                        .iter()
+                        .map(|p| p.link.as_ref().map(|s| (s.src, s.dst, s.distance)))
+                        .collect();
+                    let input_lost = prev.iter().any(|p| matches!(p, Packet::Lost));
+                    let chain_len = prev
+                        .iter()
+                        .find_map(|p| match p {
+                            Packet::Frame(p) => Some(p.cycles.len()),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+
+                    let out = self.slots[index].handle(&prev, false)?;
+                    match &out {
+                        Packet::Lost => {
+                            if mesh_faulty && !input_lost {
+                                // This slot's own drop verdicts doomed the
+                                // frame (a propagated loss makes none).
+                                for &(src, dst, _) in port_meta.iter().flatten() {
+                                    if slot_faults.packet_drop(t_coord, src as u64, dst as u64) {
+                                        link_tracks[link_index[&(src, dst)]]
+                                            .instant("packet-drop", [Some(frame_arg), None]);
+                                    }
+                                }
+                            }
+                            core_tracks[index].instant("frame-lost", [Some(frame_arg), None]);
+                            finish[index] = core_tracks[index].cursor();
+                        }
+                        Packet::Frame(out_packet) => {
+                            let mut avail = 0u64;
+                            for (port_pos, meta) in port_meta.iter().enumerate() {
+                                let Some(&(src, dst, distance)) = meta.as_ref() else {
+                                    continue; // feeder port: available at 0
+                                };
+                                let Packet::Frame(in_packet) = &prev[port_pos] else {
+                                    continue;
+                                };
+                                let events = in_packet.slice.count_ones() as u64;
+                                let hop = link_cfg.hop_latency * distance;
+                                let serialize = link_cfg.cycles(events, 0);
+                                let departed = finish[src];
+                                let track = &mut link_tracks[link_index[&(src, dst)]];
+                                track.span_at("hop", departed, hop, [Some(frame_arg), None]);
+                                track.span_at(
+                                    "serialize",
+                                    departed + hop,
+                                    serialize,
+                                    [Some(("events", events)), None],
+                                );
+                                let mut cost = hop + serialize;
+                                if mesh_faulty
+                                    && slot_faults.packet_delay(t_coord, src as u64, dst as u64)
+                                {
+                                    let extra = slot_faults.config().delay_cycles();
+                                    track.instant(
+                                        "packet-delay",
+                                        [Some(frame_arg), Some(("cycles", extra))],
+                                    );
+                                    cost += extra;
+                                }
+                                avail = avail.max(departed + cost);
+                            }
+                            let mut occupancy: u64 = out_packet.cycles[chain_len..].iter().sum();
+                            if mesh_faulty && slot_faults.core_stall(t_coord, core_id) {
+                                let extra = slot_faults.config().core_stall_cycles();
+                                core_tracks[index].instant(
+                                    "core-stall",
+                                    [Some(frame_arg), Some(("cycles", extra))],
+                                );
+                                occupancy += extra;
+                            }
+                            let track = &mut core_tracks[index];
+                            let busy_until = track.cursor();
+                            if avail > busy_until {
+                                track.span_at("bubble", busy_until, avail - busy_until, NO_ARGS);
+                                track.set_cursor(avail);
+                            }
+                            track.span("frame", occupancy, [Some(frame_arg), None]);
+                            finish[index] = track.cursor();
+                        }
+                        Packet::Block(_) => {
+                            return Err(CoreError::InvalidConfig(
+                                "block packets cannot appear on the traced frame walk".into(),
+                            ));
+                        }
+                    }
+                    next.push(out);
+                }
+                prev = next;
+            }
+            record_frame_sink(
+                &prev,
+                &self.sink_offsets,
+                output_width,
+                &self.output_bias,
+                &mut results,
+                &mut tally,
+            )?;
+        }
+        let results = self.finish_run(frames, results, tally)?;
+        let mut trace = Trace::new();
+        trace.name_process(MESH_TRACE_PID, "esam-mesh");
+        for track in core_tracks {
+            trace.push(track);
+        }
+        for track in link_tracks {
+            trace.push(track);
+        }
+        Ok((results, trace))
     }
 
     /// The retained single-threaded reference: stage order, frame by

@@ -1,0 +1,232 @@
+//! The shared mergeable histogram — promoted from the serve crate so
+//! every layer (serve latency, mesh link occupancy, queue-depth series,
+//! trace-derived stage breakdowns) records into the same structure.
+//!
+//! `esam-serve` re-exports this type as `LatencyHistogram`, so its public
+//! API is unchanged; the bucket layout, quantile semantics and merge law
+//! are exactly the ones the serve reports were built on.
+
+use std::fmt;
+
+/// A mergeable histogram of `u64` values (nanoseconds or cycles) with
+/// ~6 % value resolution: 16 linear sub-buckets per power of two
+/// (HDR-histogram shape), 976 buckets total, fixed 8 KiB footprint — no
+/// per-record allocation, no unbounded memory in a long-lived service.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+const PRECISION_BITS: u32 = 4;
+const SUBBUCKETS: usize = 1 << PRECISION_BITS; // 16
+const BUCKETS: usize = SUBBUCKETS + (64 - PRECISION_BITS as usize) * SUBBUCKETS; // 976
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros(); // >= PRECISION_BITS
+    let sub = ((value >> (exp - PRECISION_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    SUBBUCKETS + (exp - PRECISION_BITS) as usize * SUBBUCKETS + sub
+}
+
+/// Lower edge of a bucket — the quantile estimate returned for any value
+/// that landed in it (an under-estimate by at most one sub-bucket, ~6 %).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUBBUCKETS {
+        return index as u64;
+    }
+    let exp = (index - SUBBUCKETS) / SUBBUCKETS;
+    let sub = (index - SUBBUCKETS) % SUBBUCKETS;
+    ((SUBBUCKETS + sub) as u64) << exp
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of the recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), resolved to its bucket's lower
+    /// edge; 0 when empty. `quantile(1.0)` uses the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_floor(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's recordings into this one (exact: bucket
+    /// counts and sums are plain integer additions).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.max(), 15);
+        assert!((h.mean() - 7.5).abs() < 1e-12);
+        assert_eq!(h.sum(), 120);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn large_values_resolve_within_a_subbucket() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        let p = h.quantile(0.99);
+        assert!(p <= 1_000_000, "lower-edge estimate: {p}");
+        assert!(
+            p as f64 >= 1_000_000.0 / 1.07,
+            "within one sub-bucket (~6%): {p}"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..1000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x % 10_000_000);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let values: Vec<u64> = (0..500).map(|i| (i * 7919) % 100_000).collect();
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge is exact down to the buckets");
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_index_on_edges() {
+        for value in [0u64, 1, 15, 16, 17, 31, 32, 1023, 1024, u64::MAX / 2] {
+            let floor = bucket_floor(bucket_index(value));
+            assert!(floor <= value);
+            assert!(
+                value - floor <= value / SUBBUCKETS as u64,
+                "floor {floor} too far below {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! The unified metrics registry: counters, gauges and histograms behind
+//! one API, with deterministic iteration and two exporters.
+//!
+//! The registry is an aggregation-side structure, not a hot-path one:
+//! hot loops keep recording into their existing plain-field tallies and
+//! histograms, and a registry snapshot is assembled at report time (or
+//! merged shard-by-shard, following the same exact u64 merge law —
+//! counters fold through [`tally_add`], histograms
+//! through their exact bucket merge, gauges take the maximum, so a merge
+//! of N shard registries is independent of merge order).
+//!
+//! Keys iterate in sorted (BTreeMap) order, so both exporters emit
+//! byte-identical text for equal contents.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::{json_escape, tally_add};
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count (merged by saturating addition).
+    Counter(u64),
+    /// Point-in-time level (merged by maximum — peak depth semantics).
+    Gauge(i64),
+    /// Value distribution (merged exactly, bucket by bucket).
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A name-keyed collection of [`Metric`]s with deterministic iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to the counter `name` (creating it at 0). Re-using a
+    /// name registered as a different kind is a bug: loud in debug
+    /// builds, ignored in release.
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => tally_add(c, value),
+            other => debug_assert!(false, "{name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets the gauge `name` (creating it).
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(value))
+        {
+            Metric::Gauge(g) => *g = value,
+            other => debug_assert!(false, "{name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records `value` into the histogram `name` (creating it).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => debug_assert!(false, "{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Merges a whole histogram into the histogram `name` (creating it)
+    /// — the bridge from the per-shard histograms the hot paths own.
+    pub fn merge_histogram(&mut self, name: &str, histogram: &Histogram) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.merge(histogram),
+            other => debug_assert!(false, "{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// The counter `name`, or 0 when absent (or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Sorted iteration over `(name, metric)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry in: counters saturating-add, gauges take
+    /// the maximum, histograms merge exactly. Kind mismatches are loud in
+    /// debug builds and keep the existing entry in release.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, metric) in &other.metrics {
+            match self.metrics.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(metric.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), metric) {
+                        (Metric::Counter(mine), Metric::Counter(theirs)) => {
+                            tally_add(mine, *theirs);
+                        }
+                        (Metric::Gauge(mine), Metric::Gauge(theirs)) => {
+                            *mine = (*mine).max(*theirs);
+                        }
+                        (Metric::Histogram(mine), Metric::Histogram(theirs)) => {
+                            mine.merge(theirs);
+                        }
+                        (mine, theirs) => debug_assert!(
+                            false,
+                            "{name}: cannot merge {} into {}",
+                            theirs.kind(),
+                            mine.kind()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prometheus text exposition (format version 0.0.4). Histograms are
+    /// exposed as summaries with p50/p95/p99 quantiles plus `_sum`,
+    /// `_count` and `_max`. Hyphens and dots in names are mapped to
+    /// underscores to satisfy the Prometheus grammar.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            let name = prom_name(name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {g}\n"));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                        out.push_str(&format!(
+                            "{name}{{quantile=\"{label}\"}} {}\n",
+                            h.quantile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                    out.push_str(&format!("{name}_max {}\n", h.max()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Hand-rolled JSON snapshot in the `repro --json` style: sorted
+    /// keys, histograms as `{count, mean, p50, p95, p99, max}` objects.
+    pub fn json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        let append = |dst: &mut String, item: String| {
+            if !dst.is_empty() {
+                dst.push(',');
+            }
+            dst.push_str(&item);
+        };
+        for (name, metric) in &self.metrics {
+            let key = json_escape(name);
+            match metric {
+                Metric::Counter(c) => append(&mut counters, format!("\"{key}\":{c}")),
+                Metric::Gauge(g) => append(&mut gauges, format!("\"{key}\":{g}")),
+                Metric::Histogram(h) => append(
+                    &mut histograms,
+                    format!(
+                        "\"{key}\":{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\
+                         \"p99\":{},\"max\":{}}}",
+                        h.count(),
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.max()
+                    ),
+                ),
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}")
+    }
+}
+
+/// Maps a metric name onto the Prometheus identifier grammar.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricsRegistry::new();
+        r.add_counter("serve_completed_total", 3);
+        r.add_counter("serve_completed_total", 4);
+        assert_eq!(r.counter("serve_completed_total"), 7);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut whole = MetricsRegistry::new();
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        for i in 0..100u64 {
+            whole.add_counter("events", 1);
+            whole.observe("lat", i * 37);
+            let shard = if i % 2 == 0 { &mut a } else { &mut b };
+            shard.add_counter("events", 1);
+            shard.observe("lat", i * 37);
+        }
+        whole.set_gauge("peak", 9);
+        a.set_gauge("peak", 4);
+        b.set_gauge("peak", 9);
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let shard = |seed: u64| {
+            let mut r = MetricsRegistry::new();
+            r.add_counter("n", seed);
+            r.observe("v", seed * 11);
+            r.set_gauge("g", seed as i64);
+            r
+        };
+        let mut ab = shard(1);
+        ab.merge(&shard(2));
+        let mut ba = shard(2);
+        ba.merge(&shard(1));
+        assert_eq!(ab, ba);
+        assert_eq!(ab.json(), ba.json());
+        assert_eq!(ab.prometheus(), ba.prometheus());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut r = MetricsRegistry::new();
+        r.add_counter("frames_total", 5);
+        r.set_gauge("queue-depth.peak", 3);
+        for v in [10u64, 20, 30] {
+            r.observe("latency_cycles", v);
+        }
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE frames_total counter\nframes_total 5\n"));
+        assert!(text.contains("# TYPE queue_depth_peak gauge\nqueue_depth_peak 3\n"));
+        assert!(text.contains("# TYPE latency_cycles summary\n"));
+        assert!(text.contains("latency_cycles{quantile=\"0.5\"} 20\n"));
+        assert!(text.contains("latency_cycles_count 3\n"));
+        assert!(text.contains("latency_cycles_sum 60\n"));
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.add_counter("zeta", 1);
+        r.add_counter("alpha", 2);
+        r.observe("h", 100);
+        let json = r.json();
+        let alpha = json.find("\"alpha\"").unwrap();
+        let zeta = json.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "sorted keys");
+        assert!(json.contains("\"histograms\":{\"h\":{\"count\":1"));
+        assert_eq!(json, r.clone().json());
+    }
+}

@@ -1,0 +1,337 @@
+//! Schema sanity for the Chrome trace exporter: the emitted JSON is
+//! parsed with a minimal recursive-descent parser, every event is
+//! checked for the fields the trace-event format requires (`ph`, `ts`,
+//! `pid`, `tid`, …), and the parsed document is re-serialized and
+//! re-parsed to prove the output round-trips — the offline stand-in for
+//! loading the trace in Perfetto.
+
+use esam_obs::{TimeDomain, Trace, TrackTrace};
+
+/// A minimal JSON value — just enough structure to validate the trace.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn is_num(&self) -> bool {
+        matches!(self, Json::Num(_))
+    }
+
+    fn serialize(&self) -> String {
+        match self {
+            Json::Null => "null".into(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Json::Str(s) => format!("\"{}\"", esam_obs::json_escape(s)),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::serialize).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", esam_obs::json_escape(k), v.serialize()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.at).expect("unexpected end of JSON")
+    }
+
+    fn eat(&mut self, expected: u8) {
+        let got = self.peek();
+        assert_eq!(
+            got as char, expected as char,
+            "expected {:?} at byte {}",
+            expected as char, self.at
+        );
+        self.at += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Json {
+        self.skip_ws();
+        assert!(
+            self.bytes[self.at..].starts_with(text.as_bytes()),
+            "bad literal at byte {}",
+            self.at
+        );
+        self.at += text.len();
+        value
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("utf8 number");
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text}")))
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            let b = self.bytes[self.at];
+            self.at += 1;
+            match b {
+                b'"' => return out,
+                b'\\' => {
+                    let esc = self.bytes[self.at];
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.at..self.at + 4]).unwrap();
+                            self.at += 4;
+                            let code = u32::from_str_radix(hex, 16).expect("hex escape");
+                            out.push(char::from_u32(code).expect("scalar value"));
+                        }
+                        other => panic!("unsupported escape \\{}", other as char),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.at - 1..]).expect("utf8");
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.at += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.at += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("expected , or ] found {:?}", other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.at += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            let key = {
+                self.skip_ws();
+                self.string()
+            };
+            self.eat(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Json::Obj(fields);
+                }
+                other => panic!("expected , or }} found {:?}", other as char),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Json {
+    let mut parser = Parser::new(text);
+    let value = parser.value();
+    parser.skip_ws();
+    assert_eq!(parser.at, parser.bytes.len(), "trailing JSON content");
+    value
+}
+
+/// A representative trace: two processes, spans with args, instants,
+/// metadata, names needing escaping.
+fn sample_trace() -> Trace {
+    let mut worker = TrackTrace::new(1, 0, "worker 0 \"greedy\"", 32);
+    worker.span_at("queue-wait", 0, 40, [Some(("request", 1)), None]);
+    worker.advance(40);
+    worker.span("infer", 120, [Some(("frame", 1)), Some(("batch", 1))]);
+    worker.instant("fulfil", [Some(("request", 1)), None]);
+    worker.instant("worker-restart", [None, None]);
+    let mut core = TrackTrace::new(2, 3, "core 3", 32);
+    core.span("frame", 77, [Some(("t", 0)), None]);
+    let mut trace = Trace::new();
+    trace.name_process(1, "esam-serve");
+    trace.name_process(2, "esam-mesh");
+    trace.push(worker);
+    trace.push(core);
+    trace
+}
+
+fn validate_events(doc: &Json) -> usize {
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty());
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event needs a ph");
+        assert!(
+            event.get("pid").is_some_and(Json::is_num),
+            "every event needs a numeric pid: {event:?}"
+        );
+        assert!(
+            event.get("tid").is_some_and(Json::is_num),
+            "every event needs a numeric tid: {event:?}"
+        );
+        match ph {
+            "X" => {
+                assert!(event.get("ts").is_some_and(Json::is_num));
+                assert!(event.get("dur").is_some_and(Json::is_num));
+                assert!(event.get("name").is_some());
+            }
+            "i" => {
+                assert!(event.get("ts").is_some_and(Json::is_num));
+                assert_eq!(event.get("s").and_then(Json::as_str), Some("t"));
+            }
+            "M" => {
+                let name = event.get("name").and_then(Json::as_str).unwrap();
+                assert!(matches!(name, "process_name" | "thread_name"));
+                assert!(event.get("args").and_then(|a| a.get("name")).is_some());
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    events.len()
+}
+
+#[test]
+fn cycle_domain_trace_parses_validates_and_round_trips() {
+    let text = sample_trace().chrome_json(TimeDomain::Cycles);
+    let doc = parse(&text);
+    let events = validate_events(&doc);
+    // 2 process_name + 2 thread_name + 5 payload events.
+    assert_eq!(events, 9);
+    // Round-trip: serialize the parsed AST and parse again.
+    let reparsed = parse(&doc.serialize());
+    assert_eq!(
+        doc, reparsed,
+        "export survives a parse→serialize→parse loop"
+    );
+}
+
+#[test]
+fn wall_domain_trace_parses_and_validates_too() {
+    let text = sample_trace().chrome_json(TimeDomain::Wall);
+    let doc = parse(&text);
+    validate_events(&doc);
+}
+
+#[test]
+fn span_args_survive_the_round_trip() {
+    let text = sample_trace().chrome_json(TimeDomain::Cycles);
+    let doc = parse(&text);
+    let Json::Arr(events) = doc.get("traceEvents").unwrap() else {
+        unreachable!()
+    };
+    let infer = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("infer"))
+        .expect("infer span present");
+    assert_eq!(
+        infer.get("args").and_then(|a| a.get("frame")),
+        Some(&Json::Num(1.0))
+    );
+    assert_eq!(
+        infer.get("args").and_then(|a| a.get("batch")),
+        Some(&Json::Num(1.0))
+    );
+    assert_eq!(infer.get("ts"), Some(&Json::Num(40.0)));
+    assert_eq!(infer.get("dur"), Some(&Json::Num(120.0)));
+}

@@ -1,0 +1,110 @@
+//! Quantile accuracy for the shared histogram: on deterministic
+//! synthetic distributions (uniform, bimodal, heavy-tail), the histogram
+//! p50/p95/p99 must land within one sub-bucket (~6 %, lower edge) of the
+//! exact sorted-order quantile under the same rank convention.
+
+use esam_obs::Histogram;
+
+/// Exact sorted-order quantile with the histogram's rank convention
+/// (`rank = ceil(q·n)`, clamped to at least 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram estimate sits in the same bucket as the exact
+/// value: a lower edge no more than one sub-bucket (1/16 of the value,
+/// plus one for integer truncation) below it.
+fn assert_within_one_bucket(label: &str, values: &[u64]) {
+    let mut hist = Histogram::new();
+    for &v in values {
+        hist.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    for q in [0.50, 0.95, 0.99] {
+        let exact = exact_quantile(&sorted, q);
+        let estimate = hist.quantile(q);
+        assert!(
+            estimate <= exact,
+            "{label} q={q}: estimate {estimate} above exact {exact}"
+        );
+        let tolerance = exact / 16 + 1;
+        assert!(
+            exact - estimate <= tolerance,
+            "{label} q={q}: estimate {estimate} more than one sub-bucket below exact {exact}"
+        );
+    }
+    assert_eq!(
+        hist.quantile(1.0),
+        *sorted.last().unwrap(),
+        "{label}: max is exact"
+    );
+}
+
+/// Deterministic splitmix64 — the same generator the fault plans use for
+/// site hashing, reused here as a seedable value stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn uniform_distribution() {
+    let mut state = 0x0B5u64;
+    let values: Vec<u64> = (0..10_000)
+        .map(|_| splitmix(&mut state) % 1_000_000)
+        .collect();
+    assert_within_one_bucket("uniform", &values);
+}
+
+#[test]
+fn bimodal_distribution() {
+    // Two narrow modes three decades apart — the shape of a latency
+    // distribution with a fast path and a retry path.
+    let mut state = 0xB1B0u64;
+    let values: Vec<u64> = (0..10_000)
+        .map(|i| {
+            let jitter = splitmix(&mut state) % 64;
+            if i % 10 < 9 {
+                1_000 + jitter // fast mode, 90 %
+            } else {
+                1_000_000 + jitter * 512 // slow mode, 10 %
+            }
+        })
+        .collect();
+    assert_within_one_bucket("bimodal", &values);
+}
+
+#[test]
+fn heavy_tail_distribution() {
+    // Pareto-like: value ~ scale / u^(1/alpha) with alpha ≈ 1.16 —
+    // spans five decades, p99 far from the median.
+    let mut state = 0x7A11u64;
+    let values: Vec<u64> = (0..10_000)
+        .map(|_| {
+            let u = (splitmix(&mut state) % 1_000_000) as f64 / 1_000_000.0 + 1e-6;
+            (100.0 / u.powf(1.0 / 1.16)) as u64
+        })
+        .collect();
+    assert_within_one_bucket("heavy-tail", &values);
+}
+
+#[test]
+fn small_exact_range_has_zero_error() {
+    // Values below 16 land in exact unit buckets: estimate == exact.
+    let values: Vec<u64> = (0..1_000).map(|i| i % 16).collect();
+    let mut hist = Histogram::new();
+    for &v in &values {
+        hist.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    for q in [0.50, 0.95, 0.99] {
+        assert_eq!(hist.quantile(q), exact_quantile(&sorted, q));
+    }
+}

@@ -1,0 +1,159 @@
+//! Tracer properties: deterministic merge across threads (same seed +
+//! same thread count ⇒ byte-identical cycle-domain trace), well-formed
+//! span nesting across panics, and ring-overflow bookkeeping.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use esam_obs::{TimeDomain, Trace, TraceConfig, TrackTrace};
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `threads` worker threads, each recording a deterministic event
+/// stream derived from `(seed, shard index)` into its own track, then
+/// merges the tracks in completion order. Mirrors how the batch engine
+/// shards frames: logical shards are fixed, so the merged cycle-domain
+/// trace must not depend on scheduling.
+fn traced_run(seed: u64, threads: usize, events_per_shard: usize) -> String {
+    let config = TraceConfig::enabled(events_per_shard + 4);
+    let handles: Vec<_> = (0..threads)
+        .map(|shard| {
+            let mut track = config
+                .track(1, shard as u32, format!("shard {shard}"))
+                .expect("tracing enabled");
+            std::thread::spawn(move || {
+                let mut state = seed ^ (shard as u64).wrapping_mul(0xA5A5_A5A5);
+                for i in 0..events_per_shard {
+                    let dur = splitmix(&mut state) % 500;
+                    match splitmix(&mut state) % 3 {
+                        0 => track.span("step", dur, [Some(("i", i as u64)), None]),
+                        1 => {
+                            track.begin("layer");
+                            track.advance(dur);
+                            track.end([Some(("i", i as u64)), None]);
+                        }
+                        _ => track.instant("spike", [Some(("i", i as u64)), None]),
+                    }
+                }
+                track
+            })
+        })
+        .collect();
+    let mut trace = Trace::new();
+    trace.name_process(1, "engine");
+    for handle in handles {
+        trace.push(handle.join().expect("worker"));
+    }
+    assert_eq!(trace.total_unmatched(), 0);
+    trace.chrome_json(TimeDomain::Cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed + same thread count ⇒ byte-identical cycle-domain trace,
+    /// at every thread count.
+    #[test]
+    fn same_seed_same_threads_identical_trace(
+        seed in 0u64..1_000,
+        threads in 1usize..6,
+        events in 1usize..40,
+    ) {
+        let a = traced_run(seed, threads, events);
+        let b = traced_run(seed, threads, events);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Span nesting stays well-formed across panics: a worker that
+    /// unwinds mid-span is recovered by `abandon_open`, after which every
+    /// recorded exit matches an enter and the track keeps recording.
+    #[test]
+    fn nesting_is_wellformed_across_panics(
+        depth in 1usize..8,
+        panic_at in 0usize..8,
+        survivors in 0usize..5,
+    ) {
+        let mut track = TrackTrace::new(1, 0, "supervised", 64);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for level in 0..depth {
+                track.begin("stage");
+                track.advance(10);
+                if level == panic_at % depth {
+                    panic!("injected worker fault");
+                }
+            }
+        }));
+        prop_assert!(result.is_err());
+        let open = track.open_depth() as u64;
+        prop_assert!(open > 0, "the unwound spans are still open");
+        // Supervisor recovery: restore the invariant, then keep serving.
+        track.abandon_open();
+        track.instant("worker-restart", [None, None]);
+        prop_assert_eq!(track.open_depth(), 0);
+        prop_assert_eq!(track.unmatched(), open);
+        for _ in 0..survivors {
+            track.begin("stage");
+            track.advance(5);
+            prop_assert!(track.end([None, None]));
+        }
+        prop_assert_eq!(track.open_depth(), 0);
+        prop_assert_eq!(track.unmatched(), open, "recovered spans all match");
+        let mut trace = Trace::new();
+        trace.push(track);
+        prop_assert_eq!(trace.total_unmatched(), open);
+    }
+
+    /// Ring overflow: the track retains exactly `min(recorded, capacity)`
+    /// events — the newest window — and counts every overwrite.
+    #[test]
+    fn ring_keeps_the_newest_window(
+        capacity in 1usize..32,
+        recorded in 0usize..100,
+    ) {
+        let mut track = TrackTrace::new(1, 0, "ring", capacity);
+        for i in 0..recorded {
+            track.instant("e", [Some(("i", i as u64)), None]);
+        }
+        prop_assert_eq!(track.len(), recorded.min(capacity));
+        prop_assert_eq!(track.dropped(), recorded.saturating_sub(capacity) as u64);
+        let kept: Vec<u64> = track.events().map(|e| e.args[0].unwrap().1).collect();
+        let expect: Vec<u64> =
+            (recorded.saturating_sub(capacity)..recorded).map(|i| i as u64).collect();
+        prop_assert_eq!(kept, expect);
+    }
+}
+
+/// Merging sub-traces (one per thread group) is equivalent to pushing
+/// every track into one trace — the merge law at the `Trace` level.
+#[test]
+fn trace_merge_matches_flat_push() {
+    let mk = |tid: u32| {
+        let mut t = TrackTrace::new(1, tid, format!("t{tid}"), 16);
+        t.span("work", u64::from(tid) * 10 + 1, [None, None]);
+        t
+    };
+    let mut flat = Trace::new();
+    for tid in 0..6 {
+        flat.push(mk(tid));
+    }
+    let mut left = Trace::new();
+    for tid in [4, 0, 2] {
+        left.push(mk(tid));
+    }
+    let mut right = Trace::new();
+    for tid in [5, 1, 3] {
+        right.push(mk(tid));
+    }
+    left.merge(right);
+    assert_eq!(
+        left.chrome_json(TimeDomain::Cycles),
+        flat.chrome_json(TimeDomain::Cycles)
+    );
+}

@@ -78,8 +78,9 @@ mod sync;
 pub use batcher::{BatchPolicy, MicroBatcher};
 pub use error::ServeError;
 pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
+pub use esam_obs::{TimeDomain, Trace, TraceConfig};
 pub use loadgen::{LoadGenerator, LoadMode, LoadReport};
 pub use metrics::{CycleSummary, LatencyHistogram, LatencySummary};
 pub use queue::{AdmissionPolicy, QueueCounters, RequestQueue};
 pub use request::{Response, Ticket};
-pub use service::{EsamService, ServeConfig, ServiceReport};
+pub use service::{EsamService, ServeConfig, ServiceReport, SERVE_TRACE_PID};

@@ -12,132 +12,17 @@
 //!   an invariant of the workload: it must not move when only the serving
 //!   layer changes, so a shift flags a functional regression, exactly like
 //!   `cycles/frame` in the `hot_path` experiment.
+//!
+//! The histogram itself lives in [`esam_obs`] (it is shared with the mesh
+//! link/occupancy and queue-depth series); the alias below keeps this
+//! crate's public API unchanged.
 
-use std::fmt;
 use std::time::Duration;
 
-/// A mergeable histogram of `u64` values (nanoseconds or cycles) with
-/// ~6 % value resolution: 16 linear sub-buckets per power of two
-/// (HDR-histogram shape), 976 buckets total, fixed 8 KiB footprint — no
-/// per-request allocation, no unbounded memory in a long-lived service.
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    buckets: Box<[u64; BUCKETS]>,
-    count: u64,
-    sum: u128,
-    max: u64,
-}
-
-const PRECISION_BITS: u32 = 4;
-const SUBBUCKETS: usize = 1 << PRECISION_BITS; // 16
-const BUCKETS: usize = SUBBUCKETS + (64 - PRECISION_BITS as usize) * SUBBUCKETS; // 976
-
-fn bucket_index(value: u64) -> usize {
-    if value < SUBBUCKETS as u64 {
-        return value as usize;
-    }
-    let exp = 63 - value.leading_zeros(); // >= PRECISION_BITS
-    let sub = ((value >> (exp - PRECISION_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
-    SUBBUCKETS + (exp - PRECISION_BITS) as usize * SUBBUCKETS + sub
-}
-
-/// Lower edge of a bucket — the quantile estimate returned for any value
-/// that landed in it (an under-estimate by at most one sub-bucket, ~6 %).
-fn bucket_floor(index: usize) -> u64 {
-    if index < SUBBUCKETS {
-        return index as u64;
-    }
-    let exp = (index - SUBBUCKETS) / SUBBUCKETS;
-    let sub = (index - SUBBUCKETS) % SUBBUCKETS;
-    ((SUBBUCKETS + sub) as u64) << exp
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: Box::new([0; BUCKETS]),
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_index(value)] += 1;
-        self.count += 1;
-        self.sum += u128::from(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest recorded value (exact).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of the recorded values (exact; 0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        self.sum as f64 / self.count as f64
-    }
-
-    /// The `q`-quantile (`q` in `[0, 1]`), resolved to its bucket's lower
-    /// edge; 0 when empty. `quantile(1.0)` uses the exact maximum.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        if q >= 1.0 {
-            return self.max;
-        }
-        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (index, &bucket) in self.buckets.iter().enumerate() {
-            seen += bucket;
-            if seen >= rank {
-                return bucket_floor(index).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Adds another histogram's recordings into this one (exact: bucket
-    /// counts and sums are plain integer additions).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.count)
-            .field("mean", &self.mean())
-            .field("p50", &self.quantile(0.5))
-            .field("p99", &self.quantile(0.99))
-            .field("max", &self.max)
-            .finish()
-    }
-}
+/// The shared mergeable `u64` histogram, re-exported under its historical
+/// serve-crate name — see [`esam_obs::Histogram`] for the bucket layout
+/// (16 linear sub-buckets per power of two, 976 buckets, fixed 8 KiB).
+pub use esam_obs::Histogram as LatencyHistogram;
 
 /// Wall-time quantiles of one latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,91 +84,52 @@ impl CycleSummary {
 mod tests {
     use super::*;
 
+    // The histogram's own behavior (bucket resolution, merge exactness,
+    // quantile monotonicity) is tested where it lives, in `esam_obs`.
+    // These tests pin the serve-side summaries built on top of it.
+
     #[test]
-    fn small_values_are_exact() {
+    fn latency_summary_reads_quantiles_as_durations() {
         let mut h = LatencyHistogram::new();
         for v in 0..16 {
             h.record(v);
         }
-        assert_eq!(h.count(), 16);
-        assert_eq!(h.quantile(0.5), 7);
-        assert_eq!(h.quantile(1.0), 15);
-        assert_eq!(h.max(), 15);
-        assert!((h.mean() - 7.5).abs() < 1e-12);
+        let s = LatencySummary::from_nanos(&h);
+        assert_eq!(s.p50, Duration::from_nanos(7));
+        assert_eq!(s.max, Duration::from_nanos(15));
+        assert!(s.p99 >= s.p50);
     }
 
     #[test]
-    fn large_values_resolve_within_a_subbucket() {
+    fn cycle_summary_reads_quantiles_raw() {
         let mut h = LatencyHistogram::new();
-        h.record(1_000_000);
-        let p = h.quantile(0.99);
-        assert!(p <= 1_000_000, "lower-edge estimate: {p}");
-        assert!(
-            p as f64 >= 1_000_000.0 / 1.07,
-            "within one sub-bucket (~6%): {p}"
-        );
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let c = CycleSummary::from_histogram(&h);
+        assert_eq!(c.p50, 20);
+        assert_eq!(c.max, 40);
+        assert!((c.mean - 25.0).abs() < 1e-12);
     }
 
     #[test]
-    fn quantiles_are_monotone() {
-        let mut h = LatencyHistogram::new();
-        let mut x = 1u64;
-        for i in 0..1000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
-            h.record(x % 10_000_000);
-        }
-        let mut last = 0;
-        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
-            let v = h.quantile(q);
-            assert!(v >= last, "quantile({q}) = {v} < {last}");
-            last = v;
-        }
-    }
-
-    #[test]
-    fn merge_equals_recording_everything_in_one() {
-        let values: Vec<u64> = (0..500).map(|i| (i * 7919) % 100_000).collect();
-        let mut whole = LatencyHistogram::new();
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        for (i, &v) in values.iter().enumerate() {
-            whole.record(v);
-            if i % 2 == 0 {
-                a.record(v);
-            } else {
-                b.record(v);
-            }
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max(), whole.max());
-        assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        for q in [0.1, 0.5, 0.9, 0.99] {
-            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
-        }
-    }
-
-    #[test]
-    fn bucket_floor_inverts_bucket_index_on_edges() {
-        for value in [0u64, 1, 15, 16, 17, 31, 32, 1023, 1024, u64::MAX / 2] {
-            let floor = bucket_floor(bucket_index(value));
-            assert!(floor <= value);
-            assert!(
-                value - floor <= value / SUBBUCKETS as u64,
-                "floor {floor} too far below {value}"
-            );
-        }
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zero() {
+    fn empty_histogram_summaries_are_zero() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.99), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.max(), 0);
         let s = LatencySummary::from_nanos(&h);
         assert_eq!(s.p99, Duration::ZERO);
         let c = CycleSummary::from_histogram(&h);
         assert_eq!(c.p99, 0);
+        assert_eq!(c.mean, 0.0);
+    }
+
+    #[test]
+    fn reexported_histogram_is_the_shared_one() {
+        // Source compatibility: the alias points at the esam-obs type.
+        fn takes_shared(h: &esam_obs::Histogram) -> u64 {
+            h.count()
+        }
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        assert_eq!(takes_shared(&h), 1);
     }
 }

@@ -283,6 +283,7 @@ mod tests {
                 slot: Arc::clone(&slot),
                 submitted,
                 attempts: 0,
+                arrival_cycle: None,
             },
             crate::Ticket { id, slot },
         )

@@ -152,6 +152,11 @@ pub(crate) struct PendingRequest {
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) submitted: Instant,
     pub(crate) attempts: u32,
+    /// Modeled-cycle arrival stamp for the tracer's deterministic
+    /// queueing timeline (`EsamService::submit_at`); `None` for plain
+    /// submissions. Survives retries: a replayed request keeps its
+    /// original arrival.
+    pub(crate) arrival_cycle: Option<u64>,
 }
 
 impl Drop for PendingRequest {
@@ -238,6 +243,7 @@ mod tests {
             slot,
             submitted: Instant::now(),
             attempts: 0,
+            arrival_cycle: None,
         });
         assert!(matches!(ticket.wait(), Err(ServeError::Worker(_))));
     }

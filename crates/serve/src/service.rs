@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use esam_bits::{BitVec, FrameBlock};
 use esam_core::{BatchTally, EsamSystem, InferenceResult, SystemMetrics};
 use esam_fault::{FaultPlan, FaultTally};
+use esam_obs::{Trace, TraceConfig, TraceScope, TrackTrace};
 use esam_tech::units::{Joules, Seconds};
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
@@ -51,6 +52,7 @@ pub struct ServeConfig {
     faults: FaultPlan,
     max_retries: u32,
     deadline: Option<Duration>,
+    trace: TraceConfig,
 }
 
 impl ServeConfig {
@@ -66,6 +68,7 @@ impl ServeConfig {
             faults: FaultPlan::none(),
             max_retries: 2,
             deadline: None,
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -113,6 +116,25 @@ impl ServeConfig {
         self
     }
 
+    /// Enables request-lifecycle tracing: each worker records
+    /// queue-wait / infer (with per-layer attribution) spans and
+    /// fulfil/restart/retry/shed instants into a private fixed-capacity
+    /// ring buffer ([`esam_obs::TrackTrace`]), merged into
+    /// [`ServiceReport::trace`] at shutdown. Disabled by default — the
+    /// disabled path costs one branch per request, like
+    /// [`FaultPlan::none`].
+    ///
+    /// Cycle-domain timestamps model each worker as its own pipeline: a
+    /// request's service span starts at
+    /// `max(worker cursor, arrival cycle)` (the arrival cycle comes from
+    /// [`EsamService::submit_at`]; plain submissions arrive "now", i.e.
+    /// at the cursor) — so with one worker and size-1 batches the trace
+    /// is a deterministic queueing timeline.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Number of worker pipelines.
     pub fn workers(&self) -> usize {
         self.workers
@@ -146,6 +168,11 @@ impl ServeConfig {
     /// The per-request deadline budget, if one is set.
     pub fn deadline_budget(&self) -> Option<Duration> {
         self.deadline
+    }
+
+    /// The tracing configuration ([`TraceConfig::disabled`] by default).
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace
     }
 }
 
@@ -244,12 +271,15 @@ pub struct EsamService {
     config: ServeConfig,
     queue: Arc<RequestQueue>,
     metrics: Arc<Mutex<SharedMetrics>>,
-    handles: Vec<JoinHandle<(EsamSystem, BatchTally)>>,
+    handles: Vec<JoinHandle<(EsamSystem, BatchTally, Option<TrackTrace>)>>,
     reference: EsamSystem,
     next_id: AtomicU64,
     first_submit: OnceLock<Instant>,
     input_width: usize,
 }
+
+/// Perfetto process id under which serve-worker tracks are exported.
+pub const SERVE_TRACE_PID: u32 = 1;
 
 impl fmt::Debug for SharedMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -283,15 +313,27 @@ impl EsamService {
         // dimensions), so installation cannot fail; if it somehow does,
         // serve unfaulted rather than crash the caller.
         let _ = template.set_fault_plan(config.faults);
-        let handles: Vec<JoinHandle<(EsamSystem, BatchTally)>> = (0..config.workers)
+        // One wall epoch for the whole service, so worker tracks line up.
+        let epoch = Instant::now();
+        let handles: Vec<JoinHandle<(EsamSystem, BatchTally, Option<TrackTrace>)>> = (0..config
+            .workers)
             .filter_map(|index| {
                 let worker = template.clone();
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let batcher = MicroBatcher::new(config.batch);
+                let track = config.trace.is_enabled().then(|| {
+                    TrackTrace::with_epoch(
+                        SERVE_TRACE_PID,
+                        index as u32,
+                        format!("worker {index}"),
+                        config.trace.capacity(),
+                        epoch,
+                    )
+                });
                 std::thread::Builder::new()
                     .name(format!("esam-serve-{index}"))
-                    .spawn(move || worker_loop(worker, config, &queue, &metrics, &batcher))
+                    .spawn(move || worker_loop(worker, config, &queue, &metrics, &batcher, track))
                     .ok()
             })
             .collect();
@@ -349,6 +391,27 @@ impl EsamService {
     /// [`ServeError::Rejected`] on shed load, [`ServeError::ShuttingDown`]
     /// after shutdown began.
     pub fn submit(&self, frame: BitVec) -> Result<Ticket, ServeError> {
+        self.submit_inner(frame, None)
+    }
+
+    /// Like [`submit`](Self::submit), but stamps the request with a
+    /// modeled-cycle arrival time for the tracer's deterministic
+    /// queueing timeline (see [`ServeConfig::trace`]): the traced
+    /// queue-wait span runs from `arrival_cycle` to the serving worker's
+    /// cycle cursor. Without tracing the stamp is inert.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_at(&self, frame: BitVec, arrival_cycle: u64) -> Result<Ticket, ServeError> {
+        self.submit_inner(frame, Some(arrival_cycle))
+    }
+
+    fn submit_inner(
+        &self,
+        frame: BitVec,
+        arrival_cycle: Option<u64>,
+    ) -> Result<Ticket, ServeError> {
         if frame.len() != self.input_width {
             return Err(ServeError::InputWidthMismatch {
                 expected: self.input_width,
@@ -364,6 +427,7 @@ impl EsamService {
             slot: Arc::clone(&slot),
             submitted: Instant::now(),
             attempts: 0,
+            arrival_cycle,
         })?;
         Ok(Ticket { id, slot })
     }
@@ -392,6 +456,10 @@ impl EsamService {
     pub fn shutdown(mut self) -> ServiceReport {
         self.queue.close();
         let mut tally = BatchTally::default();
+        let mut trace = Trace::new();
+        if self.config.trace.is_enabled() {
+            trace.name_process(SERVE_TRACE_PID, "esam-serve");
+        }
         self.reference.reset_stats();
         for handle in self.handles.drain(..) {
             // A top-level worker panic (everything request-scoped is
@@ -399,9 +467,12 @@ impl EsamService {
             // worker's counters but nothing else: its in-flight tickets
             // resolved when the requests unwound, so the report is merely
             // missing one worker's activity, not wrong about outcomes.
-            if let Ok((worker, worker_tally)) = handle.join() {
+            if let Ok((worker, worker_tally, track)) = handle.join() {
                 tally.merge(&worker_tally);
                 self.reference.absorb_stats(&worker);
+                if let Some(track) = track {
+                    trace.push(track);
+                }
             }
         }
         let metrics = lock_recover(&self.metrics);
@@ -463,6 +534,7 @@ impl EsamService {
             deadline_shed: metrics.deadline_shed,
             worker_stalls: metrics.worker_stalls,
             fault_tally: *self.reference.fault_tally(),
+            trace,
         }
     }
 }
@@ -483,6 +555,12 @@ impl Drop for EsamService {
 /// latency sample; returns 1 on failure (for the batch's failure count).
 /// Shared by the sequential and the bit-sliced dispatch paths so both
 /// produce byte-identical [`Response`]s.
+///
+/// When tracing is on, this is also where the request's timeline is
+/// recorded: a `queue-wait` span from the modeled arrival cycle to the
+/// worker's cursor, an `infer` span tiled by per-layer `layer` spans
+/// (the cascade's exact per-tile cycle attribution), and a `fulfil`
+/// instant — or a `request-failed` instant on the error path.
 fn fulfil(
     request: PendingRequest,
     outcome: Result<InferenceResult, ServeError>,
@@ -490,6 +568,7 @@ fn fulfil(
     size: usize,
     tally: &mut BatchTally,
     samples: &mut Vec<BatchSamples>,
+    scope: &mut TraceScope<'_>,
 ) -> u64 {
     let queue_wait = dispatch.saturating_duration_since(request.submitted);
     match outcome {
@@ -498,6 +577,33 @@ fn fulfil(
             let wall_latency = request.submitted.elapsed();
             let pipeline_cycles = result.total_cycles();
             let bottleneck_cycles = result.bottleneck_cycles();
+            if let TraceScope::On(track) = scope {
+                let arrival = request.arrival_cycle.unwrap_or_else(|| track.cursor());
+                let start = track.cursor().max(arrival);
+                track.span_at(
+                    "queue-wait",
+                    arrival,
+                    start - arrival,
+                    [Some(("request", request.id)), None],
+                );
+                let wall_now = track.wall_elapsed_ns();
+                let wall_dur = dispatch.elapsed().as_nanos() as u64;
+                track.span_walled(
+                    "infer",
+                    start,
+                    pipeline_cycles,
+                    wall_now.saturating_sub(wall_dur),
+                    wall_dur,
+                    [Some(("request", request.id)), Some(("batch", size as u64))],
+                );
+                let mut at = start;
+                for (layer, &cycles) in result.per_tile_cycles.iter().enumerate() {
+                    track.span_at("layer", at, cycles, [Some(("layer", layer as u64)), None]);
+                    at += cycles;
+                }
+                track.set_cursor(start.saturating_add(pipeline_cycles));
+                track.instant("fulfil", [Some(("request", request.id)), None]);
+            }
             samples.push(BatchSamples {
                 wall_ns: wall_latency.as_nanos() as u64,
                 wait_ns: queue_wait.as_nanos() as u64,
@@ -517,6 +623,7 @@ fn fulfil(
             0
         }
         Err(error) => {
+            scope.instant("request-failed", [Some(("request", request.id)), None]);
             request.slot.complete(Err(error));
             1
         }
@@ -543,7 +650,8 @@ fn worker_loop(
     queue: &RequestQueue,
     metrics: &Mutex<SharedMetrics>,
     batcher: &MicroBatcher,
-) -> (EsamSystem, BatchTally) {
+    mut track: Option<TrackTrace>,
+) -> (EsamSystem, BatchTally, Option<TrackTrace>) {
     let faults = config.fault_plan();
     let mut banked = template.clone();
     banked.reset_stats();
@@ -563,6 +671,9 @@ fn worker_loop(
                 .into_iter()
                 .filter_map(|request| {
                     if dispatch.saturating_duration_since(request.submitted) > budget {
+                        if let Some(track) = track.as_mut() {
+                            track.instant("deadline-shed", [Some(("request", request.id)), None]);
+                        }
                         request.slot.complete(Err(ServeError::DeadlineExceeded));
                         faulted.deadline_shed += 1;
                         faulted.failed += 1;
@@ -575,6 +686,9 @@ fn worker_loop(
             None => batch,
         };
         let size = batch.len();
+        if let Some(track) = track.as_mut() {
+            track.instant("batch-form", [Some(("size", size as u64)), None]);
+        }
         // The bit-sliced block kernel has no hook for per-frame transient
         // faults and no per-request supervision boundary, so fault plans
         // that can strike mid-batch force the per-request path.
@@ -602,6 +716,7 @@ fn worker_loop(
                                 size,
                                 &mut tally,
                                 &mut samples,
+                                &mut TraceScope::over(track.as_mut()),
                             );
                         }
                     }
@@ -615,6 +730,7 @@ fn worker_loop(
                                 size,
                                 &mut tally,
                                 &mut samples,
+                                &mut TraceScope::over(track.as_mut()),
                             );
                         }
                     }
@@ -629,6 +745,10 @@ fn worker_loop(
                 }
                 Err(_) => {
                     faulted.restarts += 1;
+                    if let Some(track) = track.as_mut() {
+                        track.abandon_open();
+                        track.instant("worker-restart", [None, None]);
+                    }
                     working = template.clone();
                     working.reset_stats();
                 }
@@ -637,6 +757,9 @@ fn worker_loop(
             for mut request in batch {
                 if faults.worker_stall(request.id, u64::from(request.attempts)) {
                     faulted.stalls += 1;
+                    if let Some(track) = track.as_mut() {
+                        track.instant("worker-stall", [Some(("request", request.id)), None]);
+                    }
                     std::thread::sleep(faults.config().worker_stall());
                 }
                 let injected_panic = faults.worker_panic(request.id, u64::from(request.attempts));
@@ -661,19 +784,39 @@ fn worker_loop(
                         working.reset_stats();
                         let outcome =
                             outcome.map_err(|error| ServeError::Worker(error.to_string()));
-                        faulted.failed +=
-                            fulfil(request, outcome, dispatch, size, &mut tally, &mut samples);
+                        faulted.failed += fulfil(
+                            request,
+                            outcome,
+                            dispatch,
+                            size,
+                            &mut tally,
+                            &mut samples,
+                            &mut TraceScope::over(track.as_mut()),
+                        );
                     }
                     Err(_) => {
                         faulted.restarts += 1;
+                        if let Some(track) = track.as_mut() {
+                            track.abandon_open();
+                            track.instant("worker-restart", [Some(("request", request.id)), None]);
+                        }
                         working = template.clone();
                         working.reset_stats();
                         request.attempts += 1;
                         if request.attempts <= config.retry_limit() {
                             faulted.retries += 1;
+                            if let Some(track) = track.as_mut() {
+                                track.instant("retry", [Some(("request", request.id)), None]);
+                            }
                             queue.requeue(request);
                         } else {
                             let attempts = request.attempts;
+                            if let Some(track) = track.as_mut() {
+                                track.instant(
+                                    "retries-exhausted",
+                                    [Some(("request", request.id)), None],
+                                );
+                            }
                             request
                                 .slot
                                 .complete(Err(ServeError::RetriesExhausted { attempts }));
@@ -701,7 +844,7 @@ fn worker_loop(
         shared.last_done = Some(shared.last_done.map_or(done, |t| t.max(done)));
     }
     banked.absorb_stats(&working);
-    (banked, tally)
+    (banked, tally, track)
 }
 
 /// The final accounting of a service's lifetime
@@ -770,6 +913,11 @@ pub struct ServiceReport {
     /// SRAM-domain fault injections folded from the worker pipelines
     /// (transient weight flips and membrane upsets actually applied).
     pub fault_tally: FaultTally,
+    /// The merged request-lifecycle trace (one track per worker; empty
+    /// unless [`ServeConfig::trace`] enabled tracing). Not part of the
+    /// textual report — export it with
+    /// [`Trace::chrome_json`](esam_obs::Trace::chrome_json).
+    pub trace: Trace,
 }
 
 impl ServiceReport {

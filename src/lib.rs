@@ -20,6 +20,10 @@
 //! * [`mesh`] — the multi-core mesh: layer/column sharding across cores,
 //!   pipeline-parallel inference over bounded channels, and a cycle-modeled
 //!   interconnect.
+//! * [`obs`] — the observability layer: a deterministic dual-domain tracer
+//!   (wall time + modeled cycles, fixed-capacity per-thread rings, exact
+//!   merge), a unified metrics registry, and Chrome-trace/Prometheus/JSON
+//!   exporters.
 //! * [`serve`] — the concurrent inference service: bounded admission,
 //!   dynamic micro-batching, worker pool, latency SLO metrics and
 //!   deterministic load generation.
@@ -61,6 +65,7 @@ pub use esam_logic as logic;
 pub use esam_mesh as mesh;
 pub use esam_neuron as neuron;
 pub use esam_nn as nn;
+pub use esam_obs as obs;
 pub use esam_serve as serve;
 pub use esam_sram as sram;
 pub use esam_tech as tech;
@@ -80,6 +85,7 @@ pub mod prelude {
     pub use esam_nn::{
         BnnNetwork, Dataset, DigitsConfig, SnnModel, StdpRule, TeacherSignal, TrainConfig, Trainer,
     };
+    pub use esam_obs::{MetricsRegistry, TimeDomain, Trace, TraceConfig, TraceScope, TrackTrace};
     pub use esam_serve::{
         AdmissionPolicy, BatchPolicy, EsamService, LoadGenerator, LoadMode, ServeConfig,
         ServiceReport,
