@@ -5,18 +5,21 @@
 //! ```
 //!
 //! Experiments: area, fig6, fig7, table2, arbiter, nbl, sta, transient,
-//! addertree, corners, hot_path, serve, mesh, faults, observe, learning,
-//! learning_curve, fig8, table3, accuracy, batch — or `all`. `--quick`
-//! trims the BNN training budget; `--samples` bounds the test images used
-//! by system-level experiments, the length of the `learning_curve` training
-//! stream, the request counts of the `serve` and `observe` experiments and
-//! the frames per point of the `mesh` and `faults` sweeps (default 200);
-//! `--threads` caps the worker sweep of the `batch` experiment and the
-//! worker pools of the `serve` and `faults` experiments (default: all
-//! cores); `--json` emits machine-readable output for experiments that
-//! support it (`hot_path`, `serve`, `mesh`, `faults`, `observe`). With
-//! `ESAM_OBSERVE_DIR=dir` set, `observe` also writes `dir/trace.json`
-//! (Perfetto-loadable), `dir/metrics.prom` and `dir/metrics.json`.
+//! addertree, corners, hot_path, serve, mesh, faults, integrity, observe,
+//! learning, learning_curve, fig8, table3, accuracy, batch — or `all`.
+//! `--quick` trims the BNN training budget; `--samples` bounds the test
+//! images used by system-level experiments, the length of the
+//! `learning_curve` training stream, the request counts of the `serve`
+//! and `observe` experiments and
+//! the frames per point of the `mesh`, `faults` and `integrity` sweeps
+//! (default 200); `--threads` caps the worker sweep of the `batch`
+//! experiment and the worker pools of the `serve` and `faults`
+//! experiments (default: all cores); `--json` emits machine-readable
+//! output for experiments that
+//! support it (`hot_path`, `serve`, `mesh`, `faults`, `integrity`,
+//! `observe`). With `ESAM_OBSERVE_DIR=dir` set, `observe` also writes
+//! `dir/trace.json` (Perfetto-loadable), `dir/metrics.prom` and
+//! `dir/metrics.json`.
 
 use std::process::ExitCode;
 
@@ -63,7 +66,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--json] [--samples N] [--threads N] <experiment>... | all\n\
-                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners hot_path serve mesh faults observe learning learning_curve fig8 table3 accuracy batch"
+                     experiments: area fig6 fig7 table2 arbiter nbl sta transient addertree corners hot_path serve mesh faults integrity observe learning learning_curve fig8 table3 accuracy batch"
                 );
                 return ExitCode::SUCCESS;
             }

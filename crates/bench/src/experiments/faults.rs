@@ -7,10 +7,14 @@
 //!
 //! 1. **SRAM bit flips** — transient weight-bit and membrane-word upsets
 //!    at ≥ 4 rates on both the 6T and 4-port cells, via
-//!    [`EsamSystem::infer_faulted`]. "Accuracy" is agreement with the
-//!    unfaulted baseline's predictions on the same frames; fault sites
-//!    are nested across rates by construction (same seed, higher
-//!    threshold), so the degradation curve is monotone.
+//!    [`EsamSystem::infer_checked`] in [`IntegrityMode::Detect`]: reads
+//!    are delivered raw (the accuracy curve is identical to the old
+//!    `infer_faulted` sweep) while the SECDED syndrome path *counts*
+//!    what struck — the corrected / uncorrectable / silent columns.
+//!    "Accuracy" is agreement with the unfaulted baseline's predictions
+//!    on the same frames; fault sites are nested across rates by
+//!    construction (same seed, higher threshold), so the degradation
+//!    curve is monotone.
 //! 2. **Serving under worker deaths** — a closed-loop run against
 //!    `esam-serve` with a nonzero worker-panic rate: the supervisor must
 //!    restart workers and retry the doomed requests so that *zero*
@@ -25,7 +29,7 @@
 use std::sync::Once;
 use std::time::Duration;
 
-use esam_core::{EsamSystem, SystemConfig};
+use esam_core::{EsamSystem, IntegrityMode, SystemConfig};
 use esam_fault::{FaultConfig, FaultPlan};
 use esam_mesh::{MeshConfig, MeshSystem};
 use esam_nn::{BnnNetwork, SnnModel};
@@ -56,6 +60,14 @@ pub struct FlipPoint {
     pub weight_flips: u64,
     /// Membrane words actually upset across the run.
     pub membrane_flips: u64,
+    /// Single-bit rows the SECDED syndrome check observed (delivered raw
+    /// in `Detect` mode — correction is the `integrity` experiment).
+    pub corrected: u64,
+    /// Detected-uncorrectable reads plus scrub reloads.
+    pub uncorrectable: u64,
+    /// Corruption the golden audit caught slipping past the syndrome
+    /// path (≥ 3-bit rows aliasing to a benign verdict).
+    pub silent: u64,
 }
 
 /// One cell's accuracy-degradation curve.
@@ -178,6 +190,10 @@ fn flip_curve(
         .iter()
         .map(|f| system.infer(f).map(|r| r.prediction))
         .collect::<Result<_, _>>()?;
+    // Detect mode rides the sweep for free: reads are delivered raw (the
+    // agreement curve is unchanged) while the syndrome path counts the
+    // corrected / uncorrectable / silent verdicts per rate.
+    system.set_integrity_mode(IntegrityMode::Detect);
 
     let mut points = Vec::new();
     for rate in FLIP_RATES {
@@ -188,19 +204,24 @@ fn flip_curve(
                 .with_membrane_flip_rate(rate),
         );
         system.set_fault_plan(plan)?;
+        system.reset_stats();
         let mut agree = 0usize;
         for (id, frame) in frames.iter().enumerate() {
-            let result = system.infer_faulted(frame, id as u64)?;
+            let result = system.infer_checked(frame, id as u64)?;
             if result.prediction == baseline[id] {
                 agree += 1;
             }
         }
         let tally = *system.fault_tally();
+        let integrity = system.integrity_tally();
         points.push(FlipPoint {
             rate,
             agreement: agree as f64 / frames.len() as f64,
             weight_flips: tally.weight_flips,
             membrane_flips: tally.membrane_flips,
+            corrected: integrity.corrected,
+            uncorrectable: integrity.uncorrectable(),
+            silent: integrity.silent,
         });
     }
     Ok(FlipCurve {
@@ -345,6 +366,9 @@ pub fn faults_flip_table(results: &FaultsResults) -> Table {
             "agreement",
             "weight flips",
             "membrane upsets",
+            "corrected",
+            "uncorrectable",
+            "silent",
         ],
     );
     for curve in &results.curves {
@@ -355,10 +379,14 @@ pub fn faults_flip_table(results: &FaultsResults) -> Table {
                 format!("{:.1}%", 100.0 * point.agreement),
                 point.weight_flips.to_string(),
                 point.membrane_flips.to_string(),
+                point.corrected.to_string(),
+                point.uncorrectable.to_string(),
+                point.silent.to_string(),
             ]);
         }
     }
     table.note("fault sites are nested across rates (same seed, higher threshold), so each curve degrades monotonically by construction; rate 0 is bit-identical to the baseline");
+    table.note("the last three columns are SECDED Detect-mode verdicts (counted, not repaired — see `repro integrity` for the correction curves): single-bit rows, detected-uncorrectable reads + scrub reloads, and audit-caught aliasing");
     table
 }
 
@@ -440,8 +468,8 @@ pub fn faults_json(results: &FaultsResults) -> String {
                 .iter()
                 .map(|p| {
                     format!(
-                        "{{\"rate\":{:e},\"agreement\":{:.4},\"weight_flips\":{},\"membrane_flips\":{}}}",
-                        p.rate, p.agreement, p.weight_flips, p.membrane_flips
+                        "{{\"rate\":{:e},\"agreement\":{:.4},\"weight_flips\":{},\"membrane_flips\":{},\"corrected\":{},\"uncorrectable\":{},\"silent\":{}}}",
+                        p.rate, p.agreement, p.weight_flips, p.membrane_flips, p.corrected, p.uncorrectable, p.silent
                     )
                 })
                 .collect();
@@ -504,6 +532,12 @@ mod tests {
                 curve.cell
             );
             assert_eq!(first.weight_flips + first.membrane_flips, 0);
+            assert_eq!(
+                first.corrected + first.uncorrectable + first.silent,
+                0,
+                "{}: no integrity events without upsets",
+                curve.cell
+            );
             for pair in curve.points.windows(2) {
                 assert!(
                     pair[1].agreement <= pair[0].agreement,
@@ -525,6 +559,11 @@ mod tests {
                 curve.cell
             );
             assert!(last.weight_flips > 0);
+            assert!(
+                last.corrected + last.uncorrectable > 0,
+                "{}: the Detect-mode syndrome path saw the upsets",
+                curve.cell
+            );
         }
     }
 

@@ -1,0 +1,479 @@
+//! Integrity experiment: what SECDED self-checking buys under transient
+//! weight upsets **with the oracle restore disabled**, and what the mesh's
+//! CRC/NACK transport costs under in-flight packet corruption.
+//!
+//! Two sweeps, both seeded and reproducible to the bit:
+//!
+//! 1. **Protection curves** — the same flip-rate sweep run three times,
+//!    once per [`IntegrityMode`]: `off` is the unprotected baseline
+//!    (oracle toggle-out, the only thing that keeps an unprotected array
+//!    serviceable), `detect` checks and counts but delivers raw data,
+//!    `correct` repairs single-bit rows in the delivered data and scrubs
+//!    the store after every frame. Per point: agreement with the
+//!    fault-free baseline, the fraction of frames with bit-identical
+//!    logits, and the corrected / detected-uncorrectable / silent event
+//!    counts. The headline is the `correct` row staying at 1.0 exact
+//!    through rates that visibly degrade `off` — and the `silent` column
+//!    staying 0 wherever no row collects ≥ 3 flips.
+//! 2. **Mesh corruption** — a packet-corrupt-rate sweep on the 3-core
+//!    mesh: every in-flight upset is caught by the consumer's CRC verify
+//!    and NACK-retransmitted (budget [`MAX_RETRANSMITS`]); exhausted
+//!    budgets fall to the recovery pass. Results stay exact while the
+//!    deterministically charged CRC + retransmit cycles inflate link
+//!    traffic.
+//!
+//! `repro integrity --json` emits one machine-readable object for
+//! snapshot diffing, like `faults`/`mesh`/`observe`.
+//!
+//! [`MAX_RETRANSMITS`]: esam_mesh::MAX_RETRANSMITS
+
+use esam_core::{EsamSystem, IntegrityMode, SystemConfig};
+use esam_fault::{FaultConfig, FaultPlan};
+use esam_mesh::{MeshConfig, MeshSystem};
+use esam_nn::{BnnNetwork, SnnModel};
+use esam_sram::BitcellKind;
+
+use crate::{BenchError, Table};
+
+/// Swept transient weight-bit flip rates (per bit, per frame). Nested
+/// fault sites make every curve monotone in this.
+pub const FLIP_RATES: [f64; 4] = [0.0, 5e-4, 2e-3, 8e-3];
+
+/// Swept mesh packet-corruption rates (per link hand-off attempt).
+pub const CORRUPT_RATES: [f64; 4] = [0.0, 0.05, 0.2, 0.5];
+
+/// Plan seed shared by both sweeps.
+const SEED: u64 = 0x1DE7;
+
+/// The three protection levels, in sweep order.
+const MODES: [(IntegrityMode, &str); 3] = [
+    (IntegrityMode::Off, "off"),
+    (IntegrityMode::Detect, "detect"),
+    (IntegrityMode::Correct, "correct"),
+];
+
+/// One flip-rate point under one integrity mode.
+#[derive(Debug, Clone)]
+pub struct ProtectionPoint {
+    /// Transient weight-bit flip rate.
+    pub rate: f64,
+    /// Fraction of frames whose prediction matched the fault-free
+    /// baseline.
+    pub agreement: f64,
+    /// Fraction of frames whose logits were bit-identical to the
+    /// fault-free baseline (stricter than agreement).
+    pub exact: f64,
+    /// Weight bits actually flipped across the run.
+    pub weight_flips: u64,
+    /// Single-bit rows observed on the read path (repaired in the
+    /// delivered data under `correct`, counted raw under `detect`).
+    pub corrected: u64,
+    /// Detected-uncorrectable reads plus scrub reloads from the golden
+    /// image — the events that drive worker quarantine in `esam-serve`.
+    pub uncorrectable: u64,
+    /// Rows the scrub's golden audit caught carrying corruption the
+    /// syndrome path missed or miscorrected (≥ 3-bit upsets aliasing to
+    /// a clean or single-bit verdict).
+    pub silent: u64,
+}
+
+/// One integrity mode's flip-rate curve.
+#[derive(Debug, Clone)]
+pub struct ProtectionCurve {
+    /// Mode label: `"off"`, `"detect"` or `"correct"`.
+    pub mode: &'static str,
+    /// One point per entry of [`FLIP_RATES`], ascending.
+    pub points: Vec<ProtectionPoint>,
+}
+
+/// One mesh corruption-rate point.
+#[derive(Debug, Clone)]
+pub struct MeshCorruptPoint {
+    /// Injected per-hand-off corruption probability.
+    pub corrupt_rate: f64,
+    /// Transmission attempts whose payload was struck and flagged by the
+    /// consumer's CRC verify (all of them — a miss aborts the run).
+    pub packets_corrupted: u64,
+    /// NACK-triggered retransmissions issued after those mismatches.
+    pub retransmits: u64,
+    /// Frames whose retry budget was exhausted and that were re-run on
+    /// the fault-exempt recovery pass.
+    pub frames_recovered: u64,
+    /// Total link busy cycles (hop + serialization + CRC checks +
+    /// retransmissions).
+    pub link_busy_cycles: u64,
+    /// `link_busy_cycles` relative to the zero-rate point.
+    pub link_inflation: f64,
+    /// Whether the batch matched the plain single-core system bit for
+    /// bit.
+    pub exact: bool,
+}
+
+/// Results of the integrity experiment.
+#[derive(Debug, Clone)]
+pub struct IntegrityResults {
+    /// One curve per integrity mode, in sweep order: off, detect, correct.
+    pub curves: Vec<ProtectionCurve>,
+    /// Frames evaluated per curve point.
+    pub frames: usize,
+    /// Mesh corruption sweep, one point per entry of [`CORRUPT_RATES`].
+    pub mesh: Vec<MeshCorruptPoint>,
+    /// Frames per mesh point.
+    pub mesh_frames: usize,
+}
+
+/// Deterministic ~20 %-density input frames (same stride idiom as the
+/// `faults` experiment).
+fn synthetic_frames(width: usize, count: usize) -> Vec<esam_bits::BitVec> {
+    (0..count)
+        .map(|f| {
+            let mut frame = esam_bits::BitVec::new(width);
+            for k in 0..width / 5 {
+                frame.set((f * 131 + k * 17 + (f * k) % 13) % width, true);
+            }
+            frame
+        })
+        .collect()
+}
+
+/// Sweeps [`FLIP_RATES`] under one integrity mode. All three modes see
+/// the *same* fault sites (same seed), so the curves are directly
+/// comparable point by point.
+fn protection_curve(
+    mode: IntegrityMode,
+    label: &'static str,
+    topology: &[usize],
+    frames: &[esam_bits::BitVec],
+) -> Result<ProtectionCurve, BenchError> {
+    let net = BnnNetwork::new(topology, 0x3E54)?;
+    let model = SnnModel::from_bnn(&net)?;
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), topology).build()?;
+    let mut system = EsamSystem::from_model(&model, &config)?;
+    let baseline: Vec<_> = frames
+        .iter()
+        .map(|f| system.infer(f))
+        .collect::<Result<_, _>>()?;
+    system.set_integrity_mode(mode);
+
+    let mut points = Vec::new();
+    for rate in FLIP_RATES {
+        let plan = FaultPlan::seeded(SEED, FaultConfig::none().with_weight_flip_rate(rate));
+        system.set_fault_plan(plan)?;
+        system.reset_stats();
+        let mut agree = 0usize;
+        let mut exact = 0usize;
+        for (id, frame) in frames.iter().enumerate() {
+            let result = system.infer_checked(frame, id as u64)?;
+            if result.prediction == baseline[id].prediction {
+                agree += 1;
+            }
+            if result.logits == baseline[id].logits {
+                exact += 1;
+            }
+        }
+        let integrity = system.integrity_tally();
+        let faults = *system.fault_tally();
+        points.push(ProtectionPoint {
+            rate,
+            agreement: agree as f64 / frames.len() as f64,
+            exact: exact as f64 / frames.len() as f64,
+            weight_flips: faults.weight_flips,
+            corrected: integrity.corrected,
+            uncorrectable: integrity.uncorrectable(),
+            silent: integrity.silent,
+        });
+    }
+    Ok(ProtectionCurve {
+        mode: label,
+        points,
+    })
+}
+
+/// Sweeps [`CORRUPT_RATES`] on a 3-core mesh: every upset is caught,
+/// retransmitted (or recovered), and charged.
+fn mesh_under_corruption(samples: usize) -> Result<(Vec<MeshCorruptPoint>, usize), BenchError> {
+    let topology = [128usize, 64, 32, 10];
+    let net = BnnNetwork::new(&topology, 0x3E54)?;
+    let model = SnnModel::from_bnn(&net)?;
+    let config = SystemConfig::builder(BitcellKind::multiport(4).unwrap(), &topology).build()?;
+    let frames = synthetic_frames(topology[0], (samples.max(1) * 4).max(20));
+    let mut plain = EsamSystem::from_model(&model, &config)?;
+    let expected: Vec<_> = frames
+        .iter()
+        .map(|f| plain.infer(f))
+        .collect::<Result<_, _>>()?;
+
+    let mut points: Vec<MeshCorruptPoint> = Vec::new();
+    let mut clean_busy = None;
+    for rate in CORRUPT_RATES {
+        let plan = FaultPlan::seeded(SEED, FaultConfig::none().with_packet_corrupt_rate(rate));
+        let mesh_config = MeshConfig::with_cores(3).faults(plan);
+        let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config)?;
+        let results = mesh.run(&frames)?;
+        let tally = *mesh.tally();
+        let metrics = mesh.finalize_metrics()?;
+        let busy: u64 = metrics.links.iter().map(|l| l.busy_cycles).sum();
+        let baseline = *clean_busy.get_or_insert(busy);
+        points.push(MeshCorruptPoint {
+            corrupt_rate: rate,
+            packets_corrupted: tally.packets_corrupted,
+            retransmits: tally.retransmits,
+            frames_recovered: tally.frames_recovered,
+            link_busy_cycles: busy,
+            link_inflation: busy as f64 / baseline as f64,
+            exact: results == expected,
+        });
+    }
+    Ok((points, frames.len()))
+}
+
+/// Runs both integrity sweeps. `samples` scales the frame counts.
+///
+/// # Errors
+///
+/// Propagates model-construction and inference errors.
+pub fn integrity_results(samples: usize) -> Result<IntegrityResults, BenchError> {
+    let topology = [128usize, 64, 32, 10];
+    let frames = synthetic_frames(topology[0], (samples.max(1) * 4).max(20));
+    let curves = MODES
+        .iter()
+        .map(|&(mode, label)| protection_curve(mode, label, &topology, &frames))
+        .collect::<Result<Vec<_>, _>>()?;
+    let (mesh, mesh_frames) = mesh_under_corruption(samples)?;
+    Ok(IntegrityResults {
+        curves,
+        frames: frames.len(),
+        mesh,
+        mesh_frames,
+    })
+}
+
+/// Renders the protection curves.
+pub fn integrity_protection_table(results: &IntegrityResults) -> Table {
+    let mut table = Table::new(
+        "Integrity — SECDED protection vs transient weight upsets (oracle restore disabled)",
+        &[
+            "mode",
+            "flip rate",
+            "agreement",
+            "exact",
+            "flips",
+            "corrected",
+            "uncorrectable",
+            "silent",
+        ],
+    );
+    for curve in &results.curves {
+        for point in &curve.points {
+            table.row_owned(vec![
+                curve.mode.into(),
+                format!("{:.0e}", point.rate),
+                format!("{:.1}%", 100.0 * point.agreement),
+                format!("{:.1}%", 100.0 * point.exact),
+                point.weight_flips.to_string(),
+                point.corrected.to_string(),
+                point.uncorrectable.to_string(),
+                point.silent.to_string(),
+            ]);
+        }
+    }
+    table.note("all three modes see the same seeded fault sites; `off` is the oracle-restored unprotected baseline, `correct` repairs single-bit rows on read and scrubs after every frame — its `exact` column holds 100% whenever no row takes ≥2 flips between scrubs (uncorrectable = silent = 0), and `silent` counts only ≥3-bit rows aliasing past SECDED");
+    table
+}
+
+/// Renders the mesh corruption sweep.
+pub fn integrity_mesh_table(results: &IntegrityResults) -> Table {
+    let mut table = Table::new(
+        "Integrity — 3-core mesh under in-flight packet corruption (CRC verify + NACK/retransmit)",
+        &[
+            "corrupt rate",
+            "corrupted",
+            "retransmits",
+            "recovered",
+            "link busy",
+            "traffic",
+            "outputs",
+        ],
+    );
+    for point in &results.mesh {
+        table.row_owned(vec![
+            format!("{:.0e}", point.corrupt_rate),
+            point.packets_corrupted.to_string(),
+            point.retransmits.to_string(),
+            point.frames_recovered.to_string(),
+            point.link_busy_cycles.to_string(),
+            format!("{:.2}x", point.link_inflation),
+            if point.exact {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+            .into(),
+        ]);
+    }
+    table.note("every struck hand-off is flagged by the consumer's CRC-32 and NACK-retransmitted (budget 3); exhausted budgets fall to the fault-exempt recovery pass — outputs stay exact while the CRC + retransmit cycles are charged deterministically into the link model");
+    table
+}
+
+/// Renders the results as one machine-readable JSON object (hand-rolled:
+/// the workspace is offline and serde is not vendored).
+pub fn integrity_json(results: &IntegrityResults) -> String {
+    let curves: Vec<String> = results
+        .curves
+        .iter()
+        .map(|c| {
+            let points: Vec<String> = c
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"rate\":{:e},\"agreement\":{:.4},\"exact\":{:.4},\"weight_flips\":{},\"corrected\":{},\"uncorrectable\":{},\"silent\":{}}}",
+                        p.rate, p.agreement, p.exact, p.weight_flips, p.corrected, p.uncorrectable, p.silent
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"mode\":\"{}\",\"points\":[{}]}}",
+                c.mode,
+                points.join(",")
+            )
+        })
+        .collect();
+    let mesh: Vec<String> = results
+        .mesh
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"corrupt_rate\":{:e},\"packets_corrupted\":{},\"retransmits\":{},\"frames_recovered\":{},\"link_busy_cycles\":{},\"link_inflation\":{:.4},\"exact\":{}}}",
+                p.corrupt_rate,
+                p.packets_corrupted,
+                p.retransmits,
+                p.frames_recovered,
+                p.link_busy_cycles,
+                p.link_inflation,
+                p.exact
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"integrity\",\"frames\":{},\"protection\":[{}],\"mesh_frames\":{},\"mesh\":[{}]}}",
+        results.frames,
+        curves.join(","),
+        results.mesh_frames,
+        mesh.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_mode_holds_the_exactness_floor_the_baseline_loses() {
+        let results = integrity_results(8).unwrap();
+        assert_eq!(results.curves.len(), 3);
+        let by_mode = |m: &str| results.curves.iter().find(|c| c.mode == m).unwrap();
+        let (off, detect, correct) = (by_mode("off"), by_mode("detect"), by_mode("correct"));
+        for curve in &results.curves {
+            assert_eq!(curve.points.len(), FLIP_RATES.len());
+            let first = &curve.points[0];
+            assert_eq!(first.agreement, 1.0, "{}: rate 0 is clean", curve.mode);
+            assert_eq!(first.exact, 1.0);
+            assert_eq!(
+                first.corrected + first.uncorrectable + first.silent,
+                0,
+                "{}: no events without upsets",
+                curve.mode
+            );
+        }
+        // Same seed → same sites: off and detect run the same raw data
+        // through the cascade, so their accuracy columns are identical;
+        // detect additionally *counts* what it saw.
+        for (o, d) in off.points.iter().zip(&detect.points) {
+            assert_eq!(o.agreement, d.agreement);
+            assert_eq!(o.exact, d.exact);
+            assert_eq!(o.weight_flips, d.weight_flips);
+            assert_eq!(
+                o.corrected + o.uncorrectable + o.silent,
+                0,
+                "off never checks"
+            );
+        }
+        let top_detect = detect.points.last().unwrap();
+        assert!(
+            top_detect.corrected > 0,
+            "the top rate lands single-bit rows"
+        );
+        // The tentpole: correction restores bit-exact logits at rates
+        // where the unprotected baseline has already drifted.
+        let top_off = off.points.last().unwrap();
+        assert!(
+            top_off.exact < 1.0,
+            "the top rate must perturb the baseline"
+        );
+        for point in &correct.points {
+            if point.uncorrectable == 0 && point.silent == 0 {
+                assert_eq!(
+                    point.exact, 1.0,
+                    "rate {:.0e}: single-bit upsets correct to bit-identity",
+                    point.rate
+                );
+            }
+        }
+        assert!(
+            correct.points.last().unwrap().corrected > 0,
+            "correction actually fired"
+        );
+    }
+
+    #[test]
+    fn mesh_corruption_recovers_exactly_and_charges_the_links() {
+        let (points, frames) = mesh_under_corruption(8).unwrap();
+        assert_eq!(points.len(), CORRUPT_RATES.len());
+        assert!(frames >= 20);
+        assert_eq!(points[0].packets_corrupted, 0);
+        assert_eq!(points[0].link_inflation, 1.0);
+        for point in &points {
+            assert!(point.exact, "corrupt rate {:.0e}", point.corrupt_rate);
+            assert!(
+                point.retransmits <= point.packets_corrupted,
+                "a retransmission needs a flagged packet first"
+            );
+        }
+        let last = points.last().unwrap();
+        assert!(last.packets_corrupted > 0, "upsets fired at the top rate");
+        assert!(last.retransmits > 0);
+        assert!(
+            last.link_inflation > 1.0,
+            "CRC + retransmit cycles inflate link traffic"
+        );
+    }
+
+    #[test]
+    fn json_is_structurally_sound_and_reproducible() {
+        let results = integrity_results(2).unwrap();
+        let json = integrity_json(&results);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"experiment\":\"integrity\""));
+        for mode in ["off", "detect", "correct"] {
+            assert!(json.contains(&format!("\"mode\":\"{mode}\"")));
+        }
+        assert_eq!(json.matches("\"rate\"").count(), 3 * FLIP_RATES.len());
+        assert_eq!(
+            json.matches("\"corrupt_rate\"").count(),
+            CORRUPT_RATES.len()
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(
+            json,
+            integrity_json(&integrity_results(2).unwrap()),
+            "the snapshot is seeded and must not wobble"
+        );
+        let tables = [
+            integrity_protection_table(&results),
+            integrity_mesh_table(&results),
+        ];
+        assert_eq!(tables[0].row_count(), 3 * FLIP_RATES.len());
+        assert_eq!(tables[1].row_count(), CORRUPT_RATES.len());
+    }
+}

@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod hot_path;
+pub mod integrity;
 pub mod learning;
 pub mod learning_curve;
 pub mod mesh;

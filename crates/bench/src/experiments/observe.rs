@@ -8,11 +8,16 @@
 //! 1. **Serve** — a single-worker, batch-of-1 [`EsamService`] fed through
 //!    [`EsamService::submit_at`] with a modeled-cycle arrival plan (one
 //!    request every half mean service time, so a queue builds and the
-//!    `queue-wait` percentiles are non-trivial). The worker records
-//!    queue-wait → infer (tiled by per-layer spans) → fulfil.
+//!    `queue-wait` percentiles are non-trivial). The worker runs with
+//!    SECDED integrity checking on under a light transient-flip plan, so
+//!    the snapshot carries live corrected/uncorrectable/quarantine
+//!    series. It records queue-wait → infer (tiled by per-layer spans)
+//!    → fulfil.
 //! 2. **Mesh** — a 3-core sequential pipeline walked through
-//!    [`MeshSystem::run_traced`]: per-core `frame` occupancy and `bubble`
-//!    spans, per-link `hop` + `serialize` spans.
+//!    [`MeshSystem::run_traced`] under a light packet-corruption plan:
+//!    per-core `frame` occupancy and `bubble` spans, per-link `hop` +
+//!    `serialize` spans, and `packet-corrupt` instants whose CRC-verify
+//!    and retransmit counters land in the metrics snapshot.
 //! 3. **Block engine** — the batch-major bit-sliced kernel through
 //!    [`esam_core::EsamSystem::infer_block_scoped`], attributing
 //!    `layer-block` spans per 64-lane block.
@@ -38,7 +43,10 @@ use esam_nn::{BnnNetwork, SnnModel};
 use esam_obs::{
     json_escape, EventKind, Histogram, MetricsRegistry, TimeDomain, Trace, TraceConfig,
 };
-use esam_serve::{BatchPolicy, EsamService, ServeConfig, ServeError, SERVE_TRACE_PID};
+use esam_serve::{
+    BatchPolicy, EsamService, FaultConfig, FaultPlan, IntegrityMode, ServeConfig, ServeError,
+    SERVE_TRACE_PID,
+};
 use esam_sram::BitcellKind;
 
 use crate::{BenchError, Table};
@@ -172,11 +180,19 @@ pub fn observe_results(samples: usize) -> Result<ObserveResults, BenchError> {
     }
     let gap = (total_cycles / requests as u64) / 2;
 
+    // A light transient-flip plan with integrity checking on: the worker
+    // self-corrects (responses stay exact for single-bit rows) and the
+    // corrected/uncorrectable/quarantine series in the snapshot are live.
     let service = EsamService::start(
         &system,
         ServeConfig::with_workers(1)
             .queue_capacity(requests)
             .batch(BatchPolicy::new(1, Duration::ZERO))
+            .faults(FaultPlan::seeded(
+                0x0B5,
+                FaultConfig::none().with_weight_flip_rate(5e-4),
+            ))
+            .integrity(IntegrityMode::Correct)
             .trace(TraceConfig::enabled(TRACE_CAPACITY)),
     );
     let tickets: Vec<_> = batch
@@ -203,7 +219,14 @@ pub fn observe_results(samples: usize) -> Result<ObserveResults, BenchError> {
         SystemConfig::builder(BitcellKind::multiport(2).unwrap(), &mesh_topology).build()?;
     let mesh_config = MeshConfig::with_cores(3)
         .execution(Execution::Sequential)
-        .payload(PayloadMode::Frames);
+        .payload(PayloadMode::Frames)
+        // Light in-flight corruption: the CRC verify + NACK/retransmit
+        // series are live and the timeline carries `packet-corrupt`
+        // instants, while results stay exact.
+        .faults(FaultPlan::seeded(
+            0x0B5E,
+            FaultConfig::none().with_packet_corrupt_rate(0.08),
+        ));
     let mut mesh = MeshSystem::from_model(&mesh_model, &mesh_sys_config, &mesh_config)?;
     let mesh_batch = synthetic_frames(mesh_topology[0], mesh_frames);
     let (_, mesh_trace) = mesh.run_traced(&mesh_batch, TRACE_CAPACITY)?;
@@ -211,6 +234,8 @@ pub fn observe_results(samples: usize) -> Result<ObserveResults, BenchError> {
 
     // --- Merge the three subsystem traces under the sorted-track law. ---
     let serve_counters = (report.admitted, report.completed, report.batches);
+    let serve_integrity = report.integrity;
+    let serve_quarantines = report.quarantines;
     let mut trace = Trace::new();
     trace.name_process(CORE_TRACE_PID, "esam-core");
     trace.push(block_track);
@@ -267,6 +292,19 @@ pub fn observe_results(samples: usize) -> Result<ObserveResults, BenchError> {
     registry.add_counter("serve_batches_total", serve_counters.2);
     registry.add_counter("mesh_frames_total", mesh_batch.len() as u64);
     registry.add_counter("mesh_packets_dropped_total", mesh_tally.packets_dropped);
+    registry.add_counter("mesh_packets_corrupted_total", mesh_tally.packets_corrupted);
+    registry.add_counter("mesh_retransmits_total", mesh_tally.retransmits);
+    registry.add_counter(
+        "serve_integrity_checked_reads_total",
+        serve_integrity.checked_reads,
+    );
+    registry.add_counter("serve_integrity_corrected_total", serve_integrity.corrected);
+    registry.add_counter(
+        "serve_integrity_uncorrectable_total",
+        serve_integrity.uncorrectable(),
+    );
+    registry.add_counter("serve_integrity_silent_total", serve_integrity.silent);
+    registry.add_counter("serve_quarantines_total", serve_quarantines);
     registry.add_counter("trace_events_total", trace.total_events());
     registry.add_counter("trace_dropped_total", trace.total_dropped());
     registry.add_counter("trace_unmatched_total", trace.total_unmatched());
@@ -455,6 +493,23 @@ mod tests {
         );
         assert_eq!(results.registry.counter("serve_requests_admitted_total"), 6);
         assert_eq!(results.registry.counter("mesh_frames_total"), 6);
+        assert!(
+            results
+                .registry
+                .counter("serve_integrity_checked_reads_total")
+                > 0,
+            "the worker serves with SECDED checking on"
+        );
+        assert!(
+            results.registry.counter("mesh_packets_corrupted_total") > 0,
+            "the corruption plan fires at this rate"
+        );
+        assert_eq!(
+            results.registry.counter("mesh_packets_corrupted_total"),
+            results.registry.counter("mesh_retransmits_total"),
+            "every flagged packet is retransmitted within budget here"
+        );
+        assert_eq!(results.registry.counter("serve_integrity_silent_total"), 0);
         assert_eq!(
             results.registry.counter("trace_events_total"),
             results.trace_events

@@ -27,6 +27,7 @@
 //! | `mesh` | multi-core mesh scaling: pipeline-parallel throughput vs core count (`--json` for machines) |
 //! | `serve` | concurrent serving: closed/open-loop latency SLOs + admission behaviour (`--json` for machines) |
 //! | `faults` | fault injection: accuracy vs bit-flip rate, serving under worker deaths, mesh under packet loss (`--json` for machines) |
+//! | `integrity` | SECDED self-checking: protection curves vs flip rate with the oracle restore disabled, mesh CRC/retransmit sweep (`--json` for machines) |
 //! | `observe` | deterministic end-to-end trace (Perfetto-loadable) + metrics snapshot with a bottleneck breakdown (`--json` for machines) |
 //! | `table3` | SOTA comparison |
 //! | `accuracy` | §4.4.2 classification accuracy |
@@ -50,7 +51,7 @@ pub use table::Table;
 /// Experiment ids that need no trained network (circuit-level artifacts
 /// plus the synthetic-workload `hot_path`, `serve`, `mesh` and `faults`
 /// simulator benchmarks).
-pub const CIRCUIT_EXPERIMENTS: [&str; 15] = [
+pub const CIRCUIT_EXPERIMENTS: [&str; 16] = [
     "area",
     "fig6",
     "fig7",
@@ -65,6 +66,7 @@ pub const CIRCUIT_EXPERIMENTS: [&str; 15] = [
     "serve",
     "mesh",
     "faults",
+    "integrity",
     "observe",
 ];
 
@@ -180,6 +182,18 @@ pub fn run_experiments(
                     println!("{}", experiments::faults::faults_flip_table(&results));
                     println!("{}", experiments::faults::faults_serve_table(&results));
                     println!("{}", experiments::faults::faults_mesh_table(&results));
+                }
+            }
+            "integrity" => {
+                let results = experiments::integrity::integrity_results(samples)?;
+                if json {
+                    println!("{}", experiments::integrity::integrity_json(&results));
+                } else {
+                    println!(
+                        "{}",
+                        experiments::integrity::integrity_protection_table(&results)
+                    );
+                    println!("{}", experiments::integrity::integrity_mesh_table(&results));
                 }
             }
             "observe" => {

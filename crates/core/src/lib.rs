@@ -76,6 +76,7 @@ pub use config::{
 };
 pub use error::CoreError;
 pub use esam_obs::{TraceScope, TrackTrace};
+pub use esam_sram::{IntegrityMode, IntegrityTally, RowVerdict};
 pub use learning::{
     CurvePoint, LearningCost, LearningCurve, OnlineLearningEngine, OnlineSession, SampleOutcome,
 };

@@ -13,6 +13,7 @@ use esam_fault::{FaultPlan, FaultTally};
 use esam_nn::bnn::argmax;
 use esam_nn::{derive_teacher_signals, SnnModel};
 use esam_obs::TraceScope;
+use esam_sram::{IntegrityMode, IntegrityTally};
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
 use crate::batch::BatchEngine;
@@ -117,6 +118,9 @@ pub struct EsamSystem {
     stuck_flips: Vec<(usize, usize, usize)>,
     /// Stuck-at sites the current plan pins (changed or not).
     stuck_bits: u64,
+    /// Integrity mode in effect on every tile's weight reads
+    /// ([`IntegrityMode::Off`] by default — bit-identical baseline).
+    integrity: IntegrityMode,
 }
 
 impl EsamSystem {
@@ -148,6 +152,7 @@ impl EsamSystem {
             fault_tally: FaultTally::default(),
             stuck_flips: Vec::new(),
             stuck_bits: 0,
+            integrity: IntegrityMode::Off,
         })
     }
 
@@ -437,8 +442,20 @@ impl EsamSystem {
         // Revert before error propagation so a failed inference cannot
         // leave flipped weights behind.
         self.toggle_frame_flips(frame_id)?;
-        let mut result = outcome?;
+        let result = outcome?;
         self.fault_tally.weight_flips += flips;
+        self.apply_membrane_upsets(result, frame_id)
+    }
+
+    /// Applies the plan's membrane-word upsets for `frame_id` to a
+    /// finished result (shared by the oracle-restore and self-checking
+    /// inference paths): low-bit flips on the readout registers, logits and
+    /// prediction recomputed when anything struck.
+    fn apply_membrane_upsets(
+        &mut self,
+        mut result: InferenceResult,
+        frame_id: u64,
+    ) -> Result<InferenceResult, CoreError> {
         if self.faults.config().membrane_flip_rate() > 0.0 {
             let mut upset = false;
             for (neuron, membrane) in result.membranes.iter_mut().enumerate() {
@@ -459,6 +476,98 @@ impl EsamSystem {
             }
         }
         Ok(result)
+    }
+
+    /// The integrity mode in effect on this system's weight reads.
+    pub fn integrity_mode(&self) -> IntegrityMode {
+        self.integrity
+    }
+
+    /// Switches the integrity mode on every tile (see
+    /// [`Tile::set_integrity_mode`]): [`Detect`](IntegrityMode::Detect) /
+    /// [`Correct`](IntegrityMode::Correct) encode SECDED
+    /// codewords from the current weights and capture the golden off-chip
+    /// image the scrub pass reloads from.
+    ///
+    /// Enable **after** [`set_fault_plan`](Self::set_fault_plan) when
+    /// stuck-at faults are active: the plan materializes stuck bits into
+    /// the weights, and enabling afterwards folds them into the codewords
+    /// and golden image (a stuck cell is part of the fabricated array, not
+    /// a transient upset for scrub to undo). Enable **before** cloning
+    /// worker systems so clones share codewords and golden image.
+    pub fn set_integrity_mode(&mut self, mode: IntegrityMode) {
+        self.integrity = mode;
+        for tile in &mut self.tiles {
+            tile.set_integrity_mode(mode);
+        }
+    }
+
+    /// Integrity event counters accumulated since the last stats reset,
+    /// summed over tiles.
+    pub fn integrity_tally(&self) -> IntegrityTally {
+        let mut total = IntegrityTally::default();
+        for tile in &self.tiles {
+            total.merge(tile.integrity_tally());
+        }
+        total
+    }
+
+    /// Runs one inference under the installed fault plan's transient SRAM
+    /// faults **without the oracle restore**: the plan's weight-bit flips
+    /// for `frame_id` are toggled in and then *left in the array* — the
+    /// system must detect and recover on its own.
+    ///
+    /// Recovery is the integrity ladder:
+    ///
+    /// * [`Correct`] — every weight read carries a SECDED syndrome check
+    ///   that repairs single-bit rows in the delivered data, and the
+    ///   post-frame scrub pass heals the store (golden reload for
+    ///   uncorrectable rows, silent-corruption audit);
+    /// * [`Detect`] — reads are checked and counted but delivered raw; the
+    ///   post-frame pass restores drifted rows so frames stay independent;
+    /// * [`Off`] — no self-checking exists, so this falls back to
+    ///   [`infer_faulted`](Self::infer_faulted)'s oracle toggle-out (the
+    ///   unprotected baseline the integrity experiment compares against).
+    ///
+    /// Membrane-word upsets are applied to the result exactly as in
+    /// [`infer_faulted`](Self::infer_faulted) — they strike the readout
+    /// register downstream of the protected SRAM. Because the scrub runs
+    /// after every frame, frames are independent and the
+    /// [`IntegrityTally`] is a deterministic function of (seed, frame ids)
+    /// — identical at any thread or core count.
+    ///
+    /// [`Correct`]: IntegrityMode::Correct
+    /// [`Detect`]: IntegrityMode::Detect
+    /// [`Off`]: IntegrityMode::Off
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] for a wrong input width.
+    pub fn infer_checked(
+        &mut self,
+        input: &BitVec,
+        frame_id: u64,
+    ) -> Result<InferenceResult, CoreError> {
+        if !self.integrity.checks() {
+            return self.infer_faulted(input, frame_id);
+        }
+        if !self.faults.transient_active() {
+            // Nothing strikes the weights; reads are still syndrome-checked
+            // (counting clean reads) and membrane upsets still apply.
+            let result = self.infer(input)?;
+            return self.apply_membrane_upsets(result, frame_id);
+        }
+        let flips = self.toggle_frame_flips(frame_id)?;
+        self.fault_tally.weight_flips += flips;
+        let outcome = self.infer(input);
+        // No oracle toggle-out: the scrub pass (ECC heal + golden reload +
+        // audit) is the only thing restoring the store — also on the error
+        // path, so a failed inference cannot leave corruption behind.
+        for tile in &mut self.tiles {
+            tile.scrub_audited()?;
+        }
+        let result = outcome?;
+        self.apply_membrane_upsets(result, frame_id)
     }
 
     /// Temporal (rate-coded) inference over a sequence of input frames —
@@ -710,6 +819,12 @@ impl EsamSystem {
         // the sequential walk. Stuck-at faults live in the weights
         // themselves, so they keep the block path (and its exactness).
         if self.faults.transient_active() {
+            return false;
+        }
+        // The block path reads raw packed words with no per-read hook, so
+        // it cannot carry the SECDED syndrome check: self-checking systems
+        // take the sequential walk.
+        if self.integrity.checks() {
             return false;
         }
         self.tiles.iter().all(|tile| {

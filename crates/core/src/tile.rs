@@ -34,7 +34,7 @@ use esam_arbiter::{EncoderStructure, MultiPortArbiter};
 use esam_bits::{BitMatrix, BitVec, FrameBlock};
 use esam_neuron::NeuronArray;
 use esam_nn::SnnLayer;
-use esam_sram::{AccessStats, SramArray, SramMacro};
+use esam_sram::{AccessStats, IntegrityMode, IntegrityTally, SramArray, SramMacro};
 use esam_tech::calibration::fitted;
 use esam_tech::units::{AreaUm2, Joules, Watts};
 
@@ -236,6 +236,18 @@ pub struct Tile {
     scratch: StepScratch,
     /// Reusable bit-sliced-path buffers (see [`BlockScratch`]).
     block_scratch: BlockScratch,
+    /// How weight reads treat the SECDED codewords (default [`Off`]:
+    /// bit-identical to the unprotected baseline).
+    ///
+    /// [`Off`]: IntegrityMode::Off
+    integrity: IntegrityMode,
+    /// Per-clone integrity event counters (merged like the other stats).
+    integrity_tally: IntegrityTally,
+    /// Pristine per-array weight images captured when integrity was
+    /// enabled — the off-chip golden copy the scrub pass reloads
+    /// uncorrectable rows from. `Arc`-shared across clones and never
+    /// mutated; **never consulted on the read path**.
+    golden: Option<Arc<Vec<BitMatrix>>>,
 }
 
 impl Tile {
@@ -295,6 +307,9 @@ impl Tile {
                 grants_per_cycle,
             ),
             block_scratch: BlockScratch::new(inputs, outputs, row_groups),
+            integrity: IntegrityMode::Off,
+            integrity_tally: IntegrityTally::default(),
+            golden: None,
         })
     }
 
@@ -338,6 +353,91 @@ impl Tile {
         Arc::strong_count(&self.weights) > 1
     }
 
+    /// The integrity mode in effect on this tile's weight reads.
+    pub fn integrity_mode(&self) -> IntegrityMode {
+        self.integrity
+    }
+
+    /// Per-clone integrity event counters accumulated so far.
+    pub fn integrity_tally(&self) -> &IntegrityTally {
+        &self.integrity_tally
+    }
+
+    /// Switches the integrity mode. Enabling ([`Detect`]/[`Correct`])
+    /// encodes SECDED codewords from the *current* weights and captures
+    /// the golden (pristine off-chip) image the scrub pass reloads from,
+    /// so it must happen **after** the model is loaded — the load paths
+    /// re-capture both when called later. Disabling drops codewords and
+    /// golden image; [`Off`] tiles never touch either (zero overhead).
+    ///
+    /// [`Detect`]: IntegrityMode::Detect
+    /// [`Correct`]: IntegrityMode::Correct
+    /// [`Off`]: IntegrityMode::Off
+    pub fn set_integrity_mode(&mut self, mode: IntegrityMode) {
+        self.integrity = mode;
+        if mode.checks() {
+            let weights = Arc::make_mut(&mut self.weights);
+            for array in &mut weights.arrays {
+                array.enable_ecc();
+            }
+            self.capture_golden();
+        } else {
+            if self.weights.arrays.iter().any(|a| a.ecc_enabled()) {
+                for array in &mut Arc::make_mut(&mut self.weights).arrays {
+                    array.disable_ecc();
+                }
+            }
+            self.golden = None;
+        }
+    }
+
+    /// Snapshots the current weights as the golden image.
+    fn capture_golden(&mut self) {
+        self.golden = Some(Arc::new(
+            self.weights
+                .arrays
+                .iter()
+                .map(|a| a.bits().clone())
+                .collect(),
+        ));
+    }
+
+    /// Background scrub pass over every SRAM block (see
+    /// [`SramArray::scrub_audited`]): heals single-bit rows in place,
+    /// reloads uncorrectable rows from the golden image, and audits for
+    /// silent corruption under [`IntegrityMode::Correct`]; restores drifted
+    /// rows without counting under [`IntegrityMode::Detect`]; no-op under
+    /// [`IntegrityMode::Off`]. A tile whose store matches the golden image
+    /// returns immediately without un-sharing its weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM shape errors (none occur for a tile-captured golden
+    /// image).
+    pub fn scrub_audited(&mut self) -> Result<(), CoreError> {
+        if !self.integrity.checks() {
+            return Ok(());
+        }
+        let Some(golden) = &self.golden else {
+            return Ok(());
+        };
+        let golden = Arc::clone(golden);
+        let dirty = self
+            .weights
+            .arrays
+            .iter()
+            .zip(golden.iter())
+            .any(|(a, g)| a.bits() != g);
+        if !dirty {
+            return Ok(());
+        }
+        let weights = Arc::make_mut(&mut self.weights);
+        for (array, pristine) in weights.arrays.iter_mut().zip(golden.iter()) {
+            array.scrub_audited(pristine, self.integrity, &mut self.integrity_tally)?;
+        }
+        Ok(())
+    }
+
     /// Resets activity counters (contents and membranes are untouched).
     ///
     /// Learning counters live inside the (possibly shared) weight arrays;
@@ -345,6 +445,7 @@ impl Tile {
     /// resets without un-sharing its weights.
     pub fn reset_stats(&mut self) {
         self.stats = TileStats::default();
+        self.integrity_tally = IntegrityTally::default();
         for stats in &mut self.array_stats {
             *stats = AccessStats::default();
         }
@@ -370,6 +471,7 @@ impl Tile {
     pub fn absorb_stats(&mut self, other: &Tile) {
         debug_assert_eq!(self.array_stats.len(), other.array_stats.len());
         self.stats.merge(&other.stats);
+        self.integrity_tally.merge(&other.integrity_tally);
         for (mine, theirs) in self.array_stats.iter_mut().zip(&other.array_stats) {
             mine.merge(theirs);
         }
@@ -468,6 +570,9 @@ impl Tile {
         bits: &BitMatrix,
     ) -> Result<(), CoreError> {
         self.array_mut(row_group, col_group).load_weights(bits)?;
+        if self.integrity.checks() {
+            self.capture_golden();
+        }
         Ok(())
     }
 
@@ -513,6 +618,9 @@ impl Tile {
             }
         }
         self.neurons.load_thresholds(layer.thresholds());
+        if self.integrity.checks() {
+            self.capture_golden();
+        }
         Ok(())
     }
 
@@ -575,6 +683,9 @@ impl Tile {
             }
         }
         self.neurons.load_thresholds(thresholds);
+        if self.integrity.checks() {
+            self.capture_golden();
+        }
         Ok(())
     }
 
@@ -636,8 +747,14 @@ impl Tile {
                     // Counted in the per-clone mirror (not the shared
                     // array) so concurrent batch workers never contend;
                     // same bounds and increments as SramArray::inference_read.
-                    self.weights.arrays[index].read_row_counted_into(
+                    // With integrity Off (and ECC never enabled) the checked
+                    // read is exactly the unchecked one — no extra work, no
+                    // allocation; otherwise the SECDED syndrome piggybacks
+                    // on this packed-row read.
+                    self.weights.arrays[index].read_row_checked_into(
                         &mut self.array_stats[index],
+                        &mut self.integrity_tally,
+                        self.integrity,
                         slot,
                         local_row,
                         block_row,
@@ -685,10 +802,18 @@ impl Tile {
                 let mut full_row = BitVec::new(self.outputs);
                 for cg in 0..self.col_groups {
                     let index = rg * self.col_groups + cg;
-                    let bits = self.weights.arrays[index].read_row_counted(
+                    let array = &self.weights.arrays[index];
+                    let mut bits = BitVec::new(array.config().cols());
+                    // Same checked read as the optimized path (fresh
+                    // buffer: this is the executable specification, not
+                    // the production path).
+                    array.read_row_checked_into(
                         &mut self.array_stats[index],
+                        &mut self.integrity_tally,
+                        self.integrity,
                         slot,
                         local_row,
+                        &mut bits,
                     )?;
                     for c in bits.iter_ones() {
                         full_row.set(cg * ARRAY_DIM + c, true);

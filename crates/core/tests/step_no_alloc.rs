@@ -85,6 +85,39 @@ fn steady_state_step_is_allocation_free() {
 }
 
 #[test]
+fn integrity_modes_keep_the_drain_loop_allocation_free() {
+    // `IntegrityMode::Off` must be bit-identical to the baseline including
+    // its zero-allocation contract, and the SECDED syndrome check of the
+    // protected modes piggybacks on the packed-row read without touching
+    // the heap either.
+    use esam_sram::IntegrityMode;
+    let cell = BitcellKind::multiport(4).unwrap();
+    let config = SystemConfig::builder(cell, &[260, 130]).build().unwrap();
+    for mode in [
+        IntegrityMode::Off,
+        IntegrityMode::Detect,
+        IntegrityMode::Correct,
+    ] {
+        let mut tile = Tile::new(260, 130, &config).unwrap();
+        tile.set_integrity_mode(mode);
+        tile.process_frame(&dense_frame(260)).unwrap();
+
+        tile.inject(&dense_frame(260)).unwrap();
+        let before = allocations();
+        while !tile.is_drained() {
+            tile.step().unwrap();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{mode:?}: the checked drain loop must not touch the heap"
+        );
+        tile.finish_timestep();
+    }
+}
+
+#[test]
 fn cloned_worker_tiles_inherit_the_allocation_free_contract() {
     // Batch-engine workers are `Tile::clone`s, so the scratch buffers'
     // capacity must survive cloning (a derived Vec clone would drop the

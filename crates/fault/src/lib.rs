@@ -34,7 +34,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Number of fault domains (= derived subkeys) in a plan.
-const DOMAINS: usize = 9;
+///
+/// New domains are appended, never inserted: subkeys derive sequentially
+/// from one ChaCha8 stream over the seed, so appending keeps every
+/// existing domain's fault sites stable for a given seed.
+const DOMAINS: usize = 10;
 
 /// Subkey indices, one per fault domain.
 const STUCK: usize = 0;
@@ -46,6 +50,7 @@ const DROP: usize = 5;
 const DELAY: usize = 6;
 const CSTALL: usize = 7;
 const CPANIC: usize = 8;
+const CORRUPT: usize = 9;
 
 /// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
 #[inline]
@@ -104,6 +109,7 @@ fn decide(key: u64, rate: f64, coords: &[u64]) -> bool {
 /// | mesh | [`delay_rate`](Self::with_delay) | per link hand-off |
 /// | mesh | [`core_stall_rate`](Self::with_core_stall) | per core hand-off |
 /// | mesh | [`core_panic_rate`](Self::with_core_panic_rate) | per core hand-off |
+/// | mesh | [`packet_corrupt_rate`](Self::with_packet_corrupt_rate) | per link transmission attempt |
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultConfig {
     stuck_rate: f64,
@@ -118,6 +124,7 @@ pub struct FaultConfig {
     core_stall_rate: f64,
     core_stall_cycles: u64,
     core_panic_rate: f64,
+    packet_corrupt_rate: f64,
 }
 
 impl FaultConfig {
@@ -203,6 +210,16 @@ impl FaultConfig {
         self
     }
 
+    /// In-flight AER packet corruption: each link transmission *attempt*
+    /// (the original hand-off and every retransmission) takes a single-bit
+    /// payload upset with probability `rate`. The mesh's CRC verify must
+    /// catch these — a missed one would be consumed as wrong data.
+    #[must_use]
+    pub fn with_packet_corrupt_rate(mut self, rate: f64) -> Self {
+        self.packet_corrupt_rate = rate;
+        self
+    }
+
     /// Permanent stuck-at rate per weight bit.
     pub fn stuck_rate(&self) -> f64 {
         self.stuck_rate
@@ -261,6 +278,11 @@ impl FaultConfig {
     /// Core panic rate per core hand-off.
     pub fn core_panic_rate(&self) -> f64 {
         self.core_panic_rate
+    }
+
+    /// Packet corruption rate per link transmission attempt.
+    pub fn packet_corrupt_rate(&self) -> f64 {
+        self.packet_corrupt_rate
     }
 }
 
@@ -333,6 +355,14 @@ impl FaultPlan {
             || self.config.delay_rate > 0.0
             || self.config.core_stall_rate > 0.0
             || self.config.core_panic_rate > 0.0
+            || self.config.packet_corrupt_rate > 0.0
+    }
+
+    /// Whether in-flight packet corruption is configured (the mesh arms
+    /// its CRC verify + NACK/retransmit protocol only while this is true,
+    /// keeping the clean path bit-identical to the unprotected baseline).
+    pub fn corrupt_active(&self) -> bool {
+        self.config.packet_corrupt_rate > 0.0
     }
 
     /// Whether the plan injects nothing anywhere.
@@ -416,6 +446,25 @@ impl FaultPlan {
     pub fn core_panic(&self, t: u64, core: u64) -> bool {
         decide(self.keys[CPANIC], self.config.core_panic_rate, &[t, core])
     }
+
+    /// Corruption verdict for transmission `attempt` of the frame-`t`
+    /// packet on link `src → dst`: `Some(selector)` when the attempt takes
+    /// a single-bit in-flight upset. The selector is a well-mixed 64-bit
+    /// value the consumer reduces onto its payload width to pick the
+    /// struck bit — derived from a second mix so it is independent of the
+    /// (biased-low) site hash, exactly like [`stuck_site`](Self::stuck_site).
+    pub fn packet_corrupt(&self, t: u64, src: u64, dst: u64, attempt: u64) -> Option<u64> {
+        let rate = self.config.packet_corrupt_rate;
+        if rate <= 0.0 {
+            return None;
+        }
+        let h = site_hash(self.keys[CORRUPT], &[t, src, dst, attempt]);
+        if u128::from(h) < threshold(rate) {
+            Some(mix(h))
+        } else {
+            None
+        }
+    }
 }
 
 impl Default for FaultPlan {
@@ -461,6 +510,7 @@ mod tests {
             .with_delay(0.3, 7)
             .with_core_stall(0.3, 9)
             .with_core_panic_rate(0.3)
+            .with_packet_corrupt_rate(0.3)
     }
 
     #[test]
@@ -471,6 +521,7 @@ mod tests {
         assert!(!plan.transient_active());
         assert!(!plan.serve_active());
         assert!(!plan.mesh_active());
+        assert!(!plan.corrupt_active());
         for a in 0..50u64 {
             for b in 0..5u64 {
                 assert_eq!(plan.stuck_site(a, b, a ^ b), None);
@@ -482,6 +533,7 @@ mod tests {
                 assert!(!plan.packet_delay(a, b, a));
                 assert!(!plan.core_stall(a, b));
                 assert!(!plan.core_panic(a, b));
+                assert_eq!(plan.packet_corrupt(a, b, a, b), None);
             }
         }
     }
@@ -526,6 +578,25 @@ mod tests {
             .filter(|&t| plan.weight_flip(t, 0, 0, 0))
             .count();
         assert!((800..1200).contains(&hits), "10% rate gave {hits}/10000");
+    }
+
+    #[test]
+    fn corrupt_verdicts_are_attempt_keyed() {
+        // Retransmission attempts draw independent verdicts, so a bounded
+        // retry loop terminates with overwhelming probability; and the
+        // struck-bit selector varies across sites (it is a mixed hash,
+        // not a constant).
+        let plan = FaultPlan::seeded(11, FaultConfig::none().with_packet_corrupt_rate(0.5));
+        let verdicts: Vec<_> = (0..64u64)
+            .map(|a| plan.packet_corrupt(3, 0, 1, a))
+            .collect();
+        assert!(verdicts.iter().any(Option::is_some));
+        assert!(verdicts.iter().any(Option::is_none));
+        let selectors: std::collections::BTreeSet<u64> =
+            verdicts.iter().flatten().copied().collect();
+        assert!(selectors.len() > 1, "selectors should vary across attempts");
+        assert!(plan.corrupt_active());
+        assert!(plan.mesh_active());
     }
 
     #[test]

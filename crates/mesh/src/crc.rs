@@ -1,0 +1,80 @@
+//! CRC-32 over packet payload words — the mesh transport's end-to-end
+//! checksum.
+//!
+//! The reflected CRC-32 (polynomial `0xEDB88320`, the IEEE 802.3 one every
+//! NoC/link-layer reuses) is computed bit-serially over the packet's packed
+//! `u64` payload words, least-significant byte first — matching how the
+//! serializer would stream them onto the link. No table: packets are a few
+//! words, and the checker must stay allocation-free and deterministic.
+//!
+//! Detection strength: any single-bit error (and any error burst up to 32
+//! bits) in a packet changes the CRC, so a consumer comparing the received
+//! payload's CRC against the carried one catches every single-bit-per-packet
+//! corruption — the guarantee the mesh fault battery pins.
+
+/// Reflected CRC-32 polynomial (IEEE 802.3).
+const POLY: u32 = 0xEDB8_8320;
+
+/// CRC-32 of a packed payload, streamed least-significant byte first.
+pub fn crc32_words(words: &[u64]) -> u32 {
+    let mut crc = !0u32;
+    for &word in words {
+        for byte in word.to_le_bytes() {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (POLY & mask);
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC-32("123456789") = 0xCBF43926; the 9 bytes packed LSB-first
+        // into u64 words with zero padding give a different but fixed
+        // value — pin the empty and a simple vector instead.
+        assert_eq!(crc32_words(&[]), 0);
+        // One zero word is not a no-op (length is folded through state).
+        assert_ne!(crc32_words(&[0]), 0);
+        assert_ne!(crc32_words(&[0]), crc32_words(&[0, 0]));
+    }
+
+    #[test]
+    fn ascii_reference_vector() {
+        // "12345678" as one little-endian u64 word is the standard CRC-32
+        // of the ASCII string "12345678" = 0x9AE0DAAF.
+        let word = u64::from_le_bytes(*b"12345678");
+        assert_eq!(crc32_words(&[word]), 0x9AE0_DAAF);
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_crc() {
+        let payload = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210];
+        let clean = crc32_words(&payload);
+        for word in 0..payload.len() {
+            for bit in 0..64 {
+                let mut struck = payload;
+                struck[word] ^= 1u64 << bit;
+                assert_ne!(
+                    crc32_words(&struck),
+                    clean,
+                    "flip at word {word} bit {bit} must be caught"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let a = [1u64, 2, 3];
+        let b = [3u64, 2, 1];
+        assert_eq!(crc32_words(&a), crc32_words(&a));
+        assert_ne!(crc32_words(&a), crc32_words(&b));
+    }
+}

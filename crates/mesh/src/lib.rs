@@ -62,6 +62,7 @@
 
 pub mod config;
 pub mod core;
+pub mod crc;
 pub mod metrics;
 pub mod noc;
 pub mod plan;
@@ -70,9 +71,10 @@ pub mod system;
 
 pub use config::{Execution, LinkConfig, MeshConfig, PayloadMode};
 pub use core::MeshCore;
+pub use crc::crc32_words;
 pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
 pub use esam_obs::{TimeDomain, Trace, TraceConfig};
 pub use metrics::{MeshMetrics, MeshTally};
 pub use noc::LinkStats;
 pub use plan::{MeshPlan, StagePlan};
-pub use system::{MeshSystem, MESH_TRACE_PID};
+pub use system::{MeshSystem, MAX_RETRANSMITS, MESH_TRACE_PID};

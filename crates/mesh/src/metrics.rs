@@ -38,6 +38,15 @@ pub struct MeshTally {
     /// AER packets that took an injected congestion delay (the extra
     /// cycles land in the NoC and bottleneck accumulators).
     pub packets_delayed: u64,
+    /// Link transmission attempts whose payload took an injected
+    /// in-flight upset and was flagged by the consumer's CRC verify
+    /// (every one of them — a missed upset would abort the run).
+    pub packets_corrupted: u64,
+    /// NACK-triggered retransmissions issued after those CRC mismatches
+    /// (at most [`MAX_RETRANSMITS`](crate::MAX_RETRANSMITS) per hand-off
+    /// and edge; exhausting the budget loses the frame to the recovery
+    /// pass instead).
+    pub retransmits: u64,
     /// Injected core stalls (extra occupancy cycles on the stalled
     /// hand-off).
     pub core_stalls: u64,
@@ -67,6 +76,8 @@ impl MeshTally {
         tally_add(&mut self.noc_latency_cycles, other.noc_latency_cycles);
         tally_add(&mut self.packets_dropped, other.packets_dropped);
         tally_add(&mut self.packets_delayed, other.packets_delayed);
+        tally_add(&mut self.packets_corrupted, other.packets_corrupted);
+        tally_add(&mut self.retransmits, other.retransmits);
         tally_add(&mut self.core_stalls, other.core_stalls);
         tally_add(&mut self.core_panics, other.core_panics);
         tally_add(&mut self.link_timeouts, other.link_timeouts);
@@ -173,6 +184,8 @@ mod tests {
                     noc_latency_cycles: noc,
                     packets_dropped: faults % 3,
                     packets_delayed: faults % 5,
+                    packets_corrupted: faults % 6,
+                    retransmits: faults % 8,
                     core_stalls: faults % 2,
                     core_panics: faults % 7,
                     link_timeouts: faults % 4,
@@ -207,6 +220,8 @@ mod tests {
             mesh_bottleneck_cycles: 22,
             noc_latency_cycles: 10,
             packets_dropped: 1,
+            packets_corrupted: 2,
+            retransmits: 2,
             frames_recovered: 1,
             ..MeshTally::default()
         };
@@ -220,6 +235,8 @@ mod tests {
             mesh_bottleneck_cycles: 36,
             noc_latency_cycles: 15,
             packets_dropped: 2,
+            packets_corrupted: 1,
+            retransmits: 1,
             core_stalls: 4,
             ..MeshTally::default()
         };
@@ -230,6 +247,8 @@ mod tests {
         assert_eq!(a.mesh_bottleneck_cycles, 58);
         assert_eq!(a.noc_latency_cycles, 25);
         assert_eq!(a.packets_dropped, 3);
+        assert_eq!(a.packets_corrupted, 3);
+        assert_eq!(a.retransmits, 3);
         assert_eq!(a.core_stalls, 4);
         assert_eq!(a.frames_recovered, 1);
     }

@@ -29,11 +29,27 @@ pub struct LinkStats {
     /// Serialization cycles charged (`Σ ceil(max(events,1) /
     /// events_per_cycle)` per frame).
     pub serialize_cycles: u64,
-    /// Total busy cycles: `hop_cycles + serialize_cycles`.
+    /// CRC verify cycles charged on the consumer side (one
+    /// [`CRC_CHECK_CYCLES`](Self::CRC_CHECK_CYCLES) charge per received
+    /// transmission attempt while the checksum protocol is armed).
+    pub crc_cycles: u64,
+    /// Retransmissions this link carried after a consumer-side CRC
+    /// mismatch NACKed the attempt.
+    pub retransmits: u64,
+    /// Cycles charged for those retransmissions (NACK hop back plus the
+    /// full hop + serialization of the re-send).
+    pub retransmit_cycles: u64,
+    /// Total busy cycles: `hop_cycles + serialize_cycles + crc_cycles +
+    /// retransmit_cycles`.
     pub busy_cycles: u64,
 }
 
 impl LinkStats {
+    /// Cycles one consumer-side CRC verify costs: the checker is a small
+    /// pipelined LFSR over the already-deserialized words, adding one
+    /// cycle of accept latency per received transmission attempt.
+    pub const CRC_CHECK_CYCLES: u64 = 1;
+
     /// A zeroed record for the `src → dst` link at the given chain
     /// distance.
     pub(crate) fn new(src: usize, dst: usize, distance: u64) -> Self {
@@ -58,6 +74,27 @@ impl LinkStats {
         hop + serialize
     }
 
+    /// Charges one consumer-side CRC verify and returns its cycles.
+    pub(crate) fn charge_crc(&mut self) -> u64 {
+        self.crc_cycles += Self::CRC_CHECK_CYCLES;
+        self.busy_cycles += Self::CRC_CHECK_CYCLES;
+        Self::CRC_CHECK_CYCLES
+    }
+
+    /// Charges one NACK + retransmission of a frame carrying `events`
+    /// events and returns the cycles it cost: the NACK hops back to the
+    /// producer, then the packet re-pays the full hop + serialization
+    /// forward. The frame and event counters do not advance — the same
+    /// logical frame is delivered, it just cost more cycles.
+    pub(crate) fn charge_retransmit(&mut self, link: &LinkConfig, events: u64) -> u64 {
+        let hop = link.hop_latency * self.distance;
+        let cost = 2 * hop + link.cycles(events, 0);
+        self.retransmits += 1;
+        self.retransmit_cycles += cost;
+        self.busy_cycles += cost;
+        cost
+    }
+
     /// Adds another shard's counters for the *same* link into this one
     /// (exact; debug-asserts the endpoints match).
     pub fn merge(&mut self, other: &LinkStats) {
@@ -67,6 +104,9 @@ impl LinkStats {
         self.events += other.events;
         self.hop_cycles += other.hop_cycles;
         self.serialize_cycles += other.serialize_cycles;
+        self.crc_cycles += other.crc_cycles;
+        self.retransmits += other.retransmits;
+        self.retransmit_cycles += other.retransmit_cycles;
         self.busy_cycles += other.busy_cycles;
     }
 }
@@ -98,17 +138,44 @@ mod tests {
         let link = LinkConfig::paper_default();
         let mut a = LinkStats::new(1, 2, 1);
         a.charge(&link, 40);
+        a.charge_crc();
         let mut b = LinkStats::new(1, 2, 1);
         b.charge(&link, 100);
         b.charge(&link, 0);
+        b.charge_retransmit(&link, 100);
         let mut merged = a;
         merged.merge(&b);
         assert_eq!(merged.frames, 3);
         assert_eq!(merged.events, 140);
+        assert_eq!(merged.crc_cycles, LinkStats::CRC_CHECK_CYCLES);
+        assert_eq!(merged.retransmits, 1);
+        assert_eq!(merged.retransmit_cycles, b.retransmit_cycles);
         assert_eq!(
             merged.busy_cycles,
             a.busy_cycles + b.busy_cycles,
             "busy cycles sum exactly"
         );
+    }
+
+    #[test]
+    fn retransmit_charges_nack_plus_resend() {
+        let link = LinkConfig {
+            hop_latency: 2,
+            events_per_cycle: 8,
+        };
+        let mut stats = LinkStats::new(0, 1, 3);
+        let cost = stats.charge_retransmit(&link, 20);
+        assert_eq!(
+            cost,
+            2 * 6 + 3,
+            "NACK hop back + re-send hop + ceil(20/8) serialization"
+        );
+        assert_eq!(stats.retransmits, 1);
+        assert_eq!(stats.retransmit_cycles, 15);
+        assert_eq!(stats.busy_cycles, 15);
+        assert_eq!(stats.frames, 0, "a retransmit is not a new frame");
+        let crc = stats.charge_crc();
+        assert_eq!(crc, LinkStats::CRC_CHECK_CYCLES);
+        assert_eq!(stats.busy_cycles, 15 + crc);
     }
 }

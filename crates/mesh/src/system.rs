@@ -73,6 +73,7 @@ use esam_tech::units::{AreaUm2, Joules, Watts};
 
 use crate::config::{Execution, LinkConfig, MeshConfig, PayloadMode};
 use crate::core::MeshCore;
+use crate::crc::crc32_words;
 use crate::metrics::{MeshMetrics, MeshTally};
 use crate::noc::LinkStats;
 use crate::plan::MeshPlan;
@@ -111,6 +112,49 @@ struct FramePacket {
     noc_latency: u64,
     /// Slowest pipeline station (core occupancy or link) so far.
     pipe_max: u64,
+    /// CRC-32 of `slice`'s packed words, computed by the producer when
+    /// the checksum protocol is armed ([`FaultPlan::corrupt_active`]);
+    /// zero otherwise, so the clean path never pays for it.
+    crc: u32,
+}
+
+/// Retransmissions a consumer may NACK per hand-off and edge before it
+/// declares the frame lost (it then sinks as a gap for the fault-exempt
+/// recovery pass, like a dropped packet).
+pub const MAX_RETRANSMITS: u64 = 3;
+
+/// Pure mirror of the consumer's CRC verify + NACK/retransmit attempt
+/// loop: replays the [`FaultPlan::packet_corrupt`] verdicts for the
+/// `t`-th hand-off on edge `src → dst` and returns `(extra link cycles,
+/// corrupted attempts, retransmissions issued, frame lost)`. The traced
+/// walk uses it to reproduce the handler's charge arithmetic without
+/// touching link state.
+fn mirror_corrupt(
+    faults: &FaultPlan,
+    t: u64,
+    src: u64,
+    dst: u64,
+    hop: u64,
+    serialize: u64,
+) -> (u64, u64, u64, bool) {
+    if !faults.corrupt_active() {
+        return (0, 0, 0, false);
+    }
+    let (mut cost, mut corrupted, mut retransmits) = (0u64, 0u64, 0u64);
+    let mut attempt = 0u64;
+    loop {
+        cost += LinkStats::CRC_CHECK_CYCLES;
+        if faults.packet_corrupt(t, src, dst, attempt).is_none() {
+            return (cost, corrupted, retransmits, false);
+        }
+        corrupted += 1;
+        if attempt == MAX_RETRANSMITS {
+            return (cost, corrupted, retransmits, true);
+        }
+        cost += 2 * hop + serialize;
+        retransmits += 1;
+        attempt += 1;
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -156,6 +200,8 @@ struct CoreSlot {
     dropped: u64,
     delayed: u64,
     stalls: u64,
+    corrupted: u64,
+    retransmits: u64,
 }
 
 impl CoreSlot {
@@ -220,14 +266,64 @@ impl CoreSlot {
                 return Ok(Packet::Lost);
             }
         }
+        let link = self.link;
+        let armed = !exempt && faults.corrupt_active();
         let mut noc_in = 0u64;
         let mut pipe_in = 0u64;
+        let (mut corrupted, mut retransmits) = (0u64, 0u64);
+        let mut lost = false;
         for (port, packet) in self.ports.iter_mut().zip(&packets) {
             let events = packet.slice.count_ones() as u64;
             let mut cost = match port.link.as_mut() {
-                Some(stats) => stats.charge(&self.link, events),
+                Some(stats) => stats.charge(&link, events),
                 None => 0,
             };
+            if armed {
+                if let Some(stats) = port.link.as_mut() {
+                    // CRC verify + NACK/retransmit protocol: every
+                    // received transmission attempt is checked by the
+                    // *real* CRC comparison — an injected upset strikes a
+                    // local copy of the in-flight payload and detection is
+                    // computed, never assumed. A mismatch NACKs the
+                    // attempt and re-charges the edge; exhausting the
+                    // retry budget loses the frame like a drop.
+                    let (src, dst) = (stats.src as u64, stats.dst as u64);
+                    let mut attempt = 0u64;
+                    loop {
+                        cost += stats.charge_crc();
+                        let received_crc = match faults.packet_corrupt(t, src, dst, attempt) {
+                            None => crc32_words(packet.slice.words()),
+                            Some(selector) => {
+                                let mut words = packet.slice.words().to_vec();
+                                let bit = (selector % packet.slice.len().max(1) as u64) as usize;
+                                words[bit / 64] ^= 1u64 << (bit % 64);
+                                let got = crc32_words(&words);
+                                // CRC-32 catches every single-bit error;
+                                // a miss here would mean the consumer is
+                                // about to eat wrong data — abort loudly
+                                // instead of masking it.
+                                assert_ne!(
+                                    got, packet.crc,
+                                    "CRC-32 must flag a single-bit in-flight upset"
+                                );
+                                got
+                            }
+                        };
+                        if received_crc == packet.crc {
+                            // Verified clean — consume.
+                            break;
+                        }
+                        corrupted += 1;
+                        if attempt == MAX_RETRANSMITS {
+                            lost = true;
+                            break;
+                        }
+                        cost += stats.charge_retransmit(&link, events);
+                        retransmits += 1;
+                        attempt += 1;
+                    }
+                }
+            }
             if !exempt {
                 if let Some(stats) = &port.link {
                     if faults.packet_delay(t, stats.src as u64, stats.dst as u64) {
@@ -241,6 +337,15 @@ impl CoreSlot {
             }
             noc_in = noc_in.max(packet.noc_latency + cost);
             pipe_in = pipe_in.max(packet.pipe_max.max(cost));
+        }
+        self.corrupted += corrupted;
+        self.retransmits += retransmits;
+        if lost {
+            // The retry budget ran dry on some in-edge: the transmissions
+            // (and their retransmission traffic) were genuinely charged,
+            // but the frame never arrived intact — it sinks as a gap for
+            // the recovery pass, exactly like a dropped packet.
+            return Ok(Packet::Lost);
         }
         let width = self.core.input_width();
         let assembled;
@@ -264,12 +369,18 @@ impl CoreSlot {
         }
         let mut cycles = packets[0].cycles.clone();
         cycles.extend_from_slice(&out.tile_cycles);
+        let crc = if faults.corrupt_active() {
+            crc32_words(out.slice.words())
+        } else {
+            0
+        };
         Ok(Packet::Frame(FramePacket {
             slice: out.slice,
             cycles,
             membranes: out.membranes,
             noc_latency: noc_in,
             pipe_max: pipe_in.max(occupancy),
+            crc,
         }))
     }
 
@@ -331,13 +442,17 @@ impl CoreSlot {
     }
 }
 
-fn feeder_frame(frame: &BitVec) -> Packet {
+/// `armed` mirrors [`FaultPlan::corrupt_active`]: when the checksum
+/// protocol is in use, even the feeder stamps its packets so every real
+/// edge downstream can verify them.
+fn feeder_frame(frame: &BitVec, armed: bool) -> Packet {
     Packet::Frame(FramePacket {
         slice: frame.clone(),
         cycles: Vec::new(),
         membranes: Vec::new(),
         noc_latency: 0,
         pipe_max: 0,
+        crc: if armed { crc32_words(frame.words()) } else { 0 },
     })
 }
 
@@ -559,6 +674,8 @@ impl MeshSystem {
                     dropped: 0,
                     delayed: 0,
                     stalls: 0,
+                    corrupted: 0,
+                    retransmits: 0,
                 });
                 current.push((id, cols.start));
             }
@@ -633,6 +750,8 @@ impl MeshSystem {
             slot.dropped = 0;
             slot.delayed = 0;
             slot.stalls = 0;
+            slot.corrupted = 0;
+            slot.retransmits = 0;
         }
         self.tally = MeshTally::default();
     }
@@ -866,9 +985,10 @@ impl MeshSystem {
         // This frame's finish time per core (valid once the core's stage
         // has run; stage order guarantees producers precede consumers).
         let mut finish = vec![0u64; self.slots.len()];
+        let armed = self.mesh.fault_plan().corrupt_active();
         for (frame_index, frame) in frames.iter().enumerate() {
             let frame_arg = ("frame", frame_index as u64);
-            let mut prev = vec![feeder_frame(frame)];
+            let mut prev = vec![feeder_frame(frame, armed)];
             for stage in 0..self.stage_ranges.len() {
                 let range = self.stage_ranges[stage].clone();
                 let mut next = Vec::with_capacity(range.len());
@@ -902,10 +1022,41 @@ impl MeshSystem {
                             if mesh_faulty && !input_lost {
                                 // This slot's own drop verdicts doomed the
                                 // frame (a propagated loss makes none).
+                                let mut dropped_here = false;
                                 for &(src, dst, _) in port_meta.iter().flatten() {
                                     if slot_faults.packet_drop(t_coord, src as u64, dst as u64) {
+                                        dropped_here = true;
                                         link_tracks[link_index[&(src, dst)]]
                                             .instant("packet-drop", [Some(frame_arg), None]);
+                                    }
+                                }
+                                if !dropped_here {
+                                    // No drop fired, so the loss was a CRC
+                                    // retransmit budget running dry on
+                                    // some in-edge — replay the verdicts
+                                    // to find which.
+                                    for &(src, dst, _) in port_meta.iter().flatten() {
+                                        let (_, corrupted, retransmits, lost) = mirror_corrupt(
+                                            &slot_faults,
+                                            t_coord,
+                                            src as u64,
+                                            dst as u64,
+                                            0,
+                                            0,
+                                        );
+                                        if corrupted > 0 {
+                                            link_tracks[link_index[&(src, dst)]].instant(
+                                                "packet-corrupt",
+                                                [
+                                                    Some(frame_arg),
+                                                    Some(("retransmits", retransmits)),
+                                                ],
+                                            );
+                                        }
+                                        debug_assert!(
+                                            lost || corrupted == retransmits,
+                                            "a surviving edge retransmits once per upset"
+                                        );
                                     }
                                 }
                             }
@@ -934,6 +1085,26 @@ impl MeshSystem {
                                     [Some(("events", events)), None],
                                 );
                                 let mut cost = hop + serialize;
+                                // Mirror the CRC verify + retransmit loop
+                                // the handler just ran on this edge (the
+                                // output is a Frame, so the retry budget
+                                // held).
+                                let (extra, corrupted, retransmits, lost) = mirror_corrupt(
+                                    &slot_faults,
+                                    t_coord,
+                                    src as u64,
+                                    dst as u64,
+                                    hop,
+                                    serialize,
+                                );
+                                debug_assert!(!lost, "a delivered frame exhausted no retry budget");
+                                if corrupted > 0 {
+                                    track.instant(
+                                        "packet-corrupt",
+                                        [Some(frame_arg), Some(("retransmits", retransmits))],
+                                    );
+                                }
+                                cost += extra;
                                 if mesh_faulty
                                     && slot_faults.packet_delay(t_coord, src as u64, dst as u64)
                                 {
@@ -1018,8 +1189,9 @@ impl MeshSystem {
                 )?;
             }
         } else {
+            let armed = self.mesh.fault_plan().corrupt_active();
             for frame in frames {
-                let packets = self.walk_stages(feeder_frame(frame), false)?;
+                let packets = self.walk_stages(feeder_frame(frame, armed), false)?;
                 record_frame_sink(
                     &packets,
                     &self.sink_offsets,
@@ -1061,6 +1233,7 @@ impl MeshSystem {
         mut tally: MeshTally,
     ) -> Result<Vec<InferenceResult>, CoreError> {
         let output_width = *self.plan.topology().last().expect("topology len >= 2");
+        let armed = self.mesh.fault_plan().corrupt_active();
         // Frames past the sink's progress never completed (a dead
         // pipeline); they are gaps like any dropped frame.
         while results.len() < frames.len() {
@@ -1070,7 +1243,7 @@ impl MeshSystem {
             if slot.is_some() {
                 continue;
             }
-            let packets = self.walk_stages(feeder_frame(&frames[index]), true)?;
+            let packets = self.walk_stages(feeder_frame(&frames[index], armed), true)?;
             let mut recovered = Vec::with_capacity(1);
             record_frame_sink(
                 &packets,
@@ -1091,6 +1264,8 @@ impl MeshSystem {
             tally.packets_dropped += std::mem::take(&mut slot.dropped);
             tally.packets_delayed += std::mem::take(&mut slot.delayed);
             tally.core_stalls += std::mem::take(&mut slot.stalls);
+            tally.packets_corrupted += std::mem::take(&mut slot.corrupted);
+            tally.retransmits += std::mem::take(&mut slot.retransmits);
         }
         self.tally.merge(&tally);
         Ok(results
@@ -1160,6 +1335,7 @@ impl MeshSystem {
         };
         let output_width = *self.plan.topology().last().expect("topology len >= 2");
         let link_timeout = self.mesh.link_timeout_budget();
+        let armed = self.mesh.fault_plan().corrupt_active();
         let slots = &mut self.slots;
         let sink_offsets = &self.sink_offsets;
         let output_bias = &self.output_bias;
@@ -1183,7 +1359,7 @@ impl MeshSystem {
                     }
                 } else {
                     for frame in frames {
-                        if !send_all(feeder_frame(frame)) {
+                        if !send_all(feeder_frame(frame, armed)) {
                             return;
                         }
                     }

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use esam_bits::BitVec;
 use esam_core::{EsamSystem, SystemConfig};
-use esam_mesh::{Execution, FaultConfig, FaultPlan, MeshConfig, MeshSystem};
+use esam_mesh::{Execution, FaultConfig, FaultPlan, MeshConfig, MeshSystem, PayloadMode};
 use esam_nn::{BnnNetwork, SnnModel};
 use esam_sram::BitcellKind;
 
@@ -210,6 +210,133 @@ fn same_seed_reproduces_fault_sites_and_counters() {
     assert_eq!(results_a, results_c, "and match the sequential walk");
     assert_eq!(tally_a, tally_c);
     assert!(tally_a.packets_dropped > 0 || tally_a.packets_delayed > 0);
+}
+
+#[test]
+fn corrupted_packets_retransmit_to_exact_results_in_both_modes() {
+    let (model, config) = build(&[128, 64, 32, 10], 9);
+    let batch = frames(128, 24);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    let plan = FaultPlan::seeded(77, FaultConfig::none().with_packet_corrupt_rate(0.15));
+    for cores in [2usize, 3] {
+        let mut tallies = Vec::new();
+        for execution in [Execution::Sequential, Execution::Pipelined] {
+            let mesh_config = MeshConfig::with_cores(cores)
+                .faults(plan)
+                .execution(execution);
+            let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+            let results = mesh.run(&batch).unwrap();
+            assert_eq!(results, expected, "{cores} cores, {execution:?}");
+            tallies.push(*mesh.tally());
+        }
+        // Corruption verdicts are keyed on (hand-off, src, dst, attempt),
+        // which both modes walk identically — every counter matches.
+        assert_eq!(tallies[0], tallies[1], "{cores} cores tallies");
+        assert!(
+            tallies[0].packets_corrupted > 0,
+            "{cores} cores: upsets fired"
+        );
+        assert!(
+            tallies[0].retransmits > 0,
+            "{cores} cores: NACKs triggered re-sends"
+        );
+    }
+}
+
+#[test]
+fn every_injected_corruption_is_caught_and_accounted() {
+    // At a rate where the retry budget never runs dry (p(4 consecutive
+    // upsets on one edge) ≈ 6e-6), the CRC protocol's books must balance
+    // exactly: every detected upset NACKed exactly one retransmission and
+    // no frame was lost. A *missed* upset cannot hide here — the consumer
+    // computes the real CRC comparison and aborts the run on a miss.
+    let (model, config) = build(&[128, 64, 32, 10], 15);
+    let batch = frames(128, 32);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    let plan = FaultPlan::seeded(123, FaultConfig::none().with_packet_corrupt_rate(0.05));
+    let mesh_config = MeshConfig::with_cores(3).faults(plan);
+    let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+    let results = mesh.run(&batch).unwrap();
+    assert_eq!(results, expected, "all corruptions were masked in flight");
+    let tally = *mesh.tally();
+    assert!(tally.packets_corrupted > 0, "the attacker actually struck");
+    assert_eq!(
+        tally.retransmits, tally.packets_corrupted,
+        "one re-send per caught upset when the budget holds"
+    );
+    assert_eq!(tally.frames_recovered, 0);
+}
+
+#[test]
+fn exhausted_retransmit_budget_loses_the_frame_to_recovery() {
+    let (model, config) = build(&[128, 64, 32, 10], 9);
+    let batch = frames(128, 24);
+    let mut plain = EsamSystem::from_model(&model, &config).unwrap();
+    let expected: Vec<_> = batch.iter().map(|f| plain.infer(f).unwrap()).collect();
+    // Heavy corruption: each edge exhausts its MAX_RETRANSMITS budget on
+    // ~24% of hand-offs, so several frames sink as gaps — and the
+    // recovery pass still delivers the exact batch.
+    let plan = FaultPlan::seeded(5, FaultConfig::none().with_packet_corrupt_rate(0.7));
+    let mesh_config = MeshConfig::with_cores(3).faults(plan);
+    let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+    let results = mesh.run(&batch).unwrap();
+    assert_eq!(results, expected, "recovery fills every corruption gap");
+    let tally = *mesh.tally();
+    assert!(tally.frames_recovered > 0, "some retry budgets ran dry");
+    // Per edge: a delivered packet retransmits once per caught upset; an
+    // exhausted edge catches MAX_RETRANSMITS + 1 upsets but re-sends only
+    // MAX_RETRANSMITS times. The difference counts exhaustion events, of
+    // which every corruption-lost frame has at least one.
+    let exhaustions = tally.packets_corrupted - tally.retransmits;
+    assert!(
+        exhaustions >= tally.frames_recovered,
+        "{exhaustions} exhaustions must cover {} lost frames",
+        tally.frames_recovered
+    );
+}
+
+#[test]
+fn retransmit_cycles_are_charged_deterministically_on_the_links() {
+    let (model, config) = build(&[128, 64, 32, 10], 25);
+    let batch = frames(128, 20);
+    let plan = FaultPlan::seeded(9, FaultConfig::none().with_packet_corrupt_rate(0.2));
+    let measure = |execution: Execution| {
+        let mesh_config = MeshConfig::with_cores(3).faults(plan).execution(execution);
+        let mut mesh = MeshSystem::from_model(&model, &config, &mesh_config).unwrap();
+        mesh.measure(&batch).unwrap()
+    };
+    let sequential = measure(Execution::Sequential);
+    let pipelined = measure(Execution::Pipelined);
+    assert_eq!(
+        sequential.links, pipelined.links,
+        "per-link charges are independent of scheduling"
+    );
+    assert!(sequential.links.iter().any(|l| l.retransmits > 0));
+    for link in &sequential.links {
+        assert!(link.crc_cycles > 0, "armed links verify every attempt");
+        assert_eq!(
+            link.retransmit_cycles > 0,
+            link.retransmits > 0,
+            "retransmit cycles appear exactly with retransmissions"
+        );
+        assert_eq!(
+            link.busy_cycles,
+            link.hop_cycles + link.serialize_cycles + link.crc_cycles + link.retransmit_cycles,
+            "busy cycles decompose exactly"
+        );
+    }
+    // The protection is not free: the same batch over a clean plan busies
+    // the links strictly less (frame payloads on both sides, so the
+    // comparison is charge-for-charge).
+    let clean_config = MeshConfig::with_cores(3)
+        .execution(Execution::Sequential)
+        .payload(PayloadMode::Frames);
+    let mut clean = MeshSystem::from_model(&model, &config, &clean_config).unwrap();
+    let clean_metrics = clean.measure(&batch).unwrap();
+    let busy = |links: &[esam_mesh::LinkStats]| links.iter().map(|l| l.busy_cycles).sum::<u64>();
+    assert!(busy(&sequential.links) > busy(&clean_metrics.links));
 }
 
 #[test]

@@ -135,3 +135,38 @@ fn injected_faults_surface_as_deterministic_instants() {
     assert_eq!(*plain.tally(), tally);
     let _ = Duration::ZERO; // keep the import used on all cfgs
 }
+
+#[test]
+fn corruption_retransmits_surface_in_the_traced_timeline() {
+    // The traced walk mirrors the CRC verify + retransmit charges exactly:
+    // same results and tally as the untraced run, `packet-corrupt`
+    // instants on the struck links, and a byte-identical cycle-domain
+    // export across runs. The heavy rate also exhausts some retry budgets,
+    // covering the corruption-lost branch of the mirror.
+    let (model, config) = build(&[128, 64, 32, 10], 3);
+    let plan = FaultPlan::seeded(0xC0DEC, FaultConfig::none().with_packet_corrupt_rate(0.45));
+    let batch = frames(128, 24);
+    let run_once = || {
+        let mut mesh =
+            MeshSystem::from_model(&model, &config, &mesh_config(3).faults(plan)).unwrap();
+        let (results, trace) = mesh.run_traced(&batch, 4096).unwrap();
+        (
+            results,
+            trace.chrome_json(TimeDomain::Cycles),
+            *mesh.tally(),
+        )
+    };
+    let (results, json, tally) = run_once();
+    assert!(tally.packets_corrupted > 0);
+    assert!(tally.retransmits > 0);
+    assert!(json.contains("packet-corrupt"));
+    let (results2, json2, tally2) = run_once();
+    assert_eq!(results, results2);
+    assert_eq!(json, json2, "retransmit charges are part of the timeline");
+    assert_eq!(tally, tally2);
+
+    let mut plain = MeshSystem::from_model(&model, &config, &mesh_config(3).faults(plan)).unwrap();
+    let plain_results = plain.run(&batch).unwrap();
+    assert_eq!(plain_results, results);
+    assert_eq!(*plain.tally(), tally);
+}

@@ -68,6 +68,7 @@
 
 pub mod batcher;
 pub mod error;
+pub mod health;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
@@ -77,8 +78,10 @@ mod sync;
 
 pub use batcher::{BatchPolicy, MicroBatcher};
 pub use error::ServeError;
+pub use esam_core::{IntegrityMode, IntegrityTally};
 pub use esam_fault::{FaultConfig, FaultPlan, FaultTally};
 pub use esam_obs::{TimeDomain, Trace, TraceConfig};
+pub use health::{HealthMonitor, HealthPolicy, HealthVerdict};
 pub use loadgen::{LoadGenerator, LoadMode, LoadReport};
 pub use metrics::{CycleSummary, LatencyHistogram, LatencySummary};
 pub use queue::{AdmissionPolicy, QueueCounters, RequestQueue};

@@ -30,13 +30,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use esam_bits::{BitVec, FrameBlock};
-use esam_core::{BatchTally, EsamSystem, InferenceResult, SystemMetrics};
+use esam_core::{
+    BatchTally, EsamSystem, InferenceResult, IntegrityMode, IntegrityTally, SystemMetrics,
+};
 use esam_fault::{FaultPlan, FaultTally};
 use esam_obs::{Trace, TraceConfig, TraceScope, TrackTrace};
 use esam_tech::units::{Joules, Seconds};
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
 use crate::error::ServeError;
+use crate::health::{HealthMonitor, HealthPolicy, HealthVerdict};
 use crate::metrics::{CycleSummary, LatencyHistogram, LatencySummary};
 use crate::queue::{AdmissionPolicy, QueueCounters, RequestQueue};
 use crate::request::{PendingRequest, Response, ResponseSlot, Ticket};
@@ -50,6 +53,8 @@ pub struct ServeConfig {
     admission: AdmissionPolicy,
     batch: BatchPolicy,
     faults: FaultPlan,
+    integrity: IntegrityMode,
+    health: HealthPolicy,
     max_retries: u32,
     deadline: Option<Duration>,
     trace: TraceConfig,
@@ -66,6 +71,8 @@ impl ServeConfig {
             admission: AdmissionPolicy::default(),
             batch: BatchPolicy::default(),
             faults: FaultPlan::none(),
+            integrity: IntegrityMode::Off,
+            health: HealthPolicy::default(),
             max_retries: 2,
             deadline: None,
             trace: TraceConfig::disabled(),
@@ -97,6 +104,29 @@ impl ServeConfig {
     /// terminate.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Switches on SECDED self-checking on the workers' weight reads
+    /// ([`IntegrityMode::Detect`] or [`Correct`](IntegrityMode::Correct)):
+    /// requests run through
+    /// [`EsamSystem::infer_checked`](esam_core::EsamSystem::infer_checked)
+    /// — transient weight flips are *left in the array* (no oracle
+    /// restore) and the syndrome-check / scrub ladder recovers them —
+    /// and each worker's [`IntegrityTally`] feeds the health monitor's
+    /// quarantine decisions. [`IntegrityMode::Off`] (the default) is
+    /// bit-identical to the unprotected service.
+    pub fn integrity(mut self, integrity: IntegrityMode) -> Self {
+        self.integrity = integrity;
+        self
+    }
+
+    /// Sets the health policy that turns per-worker integrity counters
+    /// into quarantine decisions (see [`HealthPolicy`]). Only consulted
+    /// when [`integrity`](Self::integrity) checking is on; the default
+    /// quarantines on the first uncorrectable event.
+    pub fn health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
         self
     }
 
@@ -160,6 +190,16 @@ impl ServeConfig {
         self.faults
     }
 
+    /// The integrity mode ([`IntegrityMode::Off`] by default).
+    pub fn integrity_mode(&self) -> IntegrityMode {
+        self.integrity
+    }
+
+    /// The worker health policy (first-strike quarantine by default).
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.health
+    }
+
     /// The retry budget for requests that hit a crashing worker.
     pub fn retry_limit(&self) -> u32 {
         self.max_retries
@@ -204,6 +244,7 @@ struct BatchFaults {
     retries: u64,
     deadline_shed: u64,
     stalls: u64,
+    quarantines: u64,
 }
 
 /// The shared, mutex-guarded metrics collector.
@@ -219,6 +260,7 @@ struct SharedMetrics {
     retries: u64,
     deadline_shed: u64,
     worker_stalls: u64,
+    quarantines: u64,
     last_done: Option<Instant>,
 }
 
@@ -236,6 +278,7 @@ impl SharedMetrics {
             retries: 0,
             deadline_shed: 0,
             worker_stalls: 0,
+            quarantines: 0,
             last_done: None,
         }
     }
@@ -313,6 +356,9 @@ impl EsamService {
         // dimensions), so installation cannot fail; if it somehow does,
         // serve unfaulted rather than crash the caller.
         let _ = template.set_fault_plan(config.faults);
+        // After the plan (stuck bits fold into the codewords and golden
+        // image), before the worker clones (clones share both).
+        template.set_integrity_mode(config.integrity);
         // One wall epoch for the whole service, so worker tracks line up.
         let epoch = Instant::now();
         let handles: Vec<JoinHandle<(EsamSystem, BatchTally, Option<TrackTrace>)>> = (0..config
@@ -533,7 +579,9 @@ impl EsamService {
             retries: metrics.retries,
             deadline_shed: metrics.deadline_shed,
             worker_stalls: metrics.worker_stalls,
+            quarantines: metrics.quarantines,
             fault_tally: *self.reference.fault_tally(),
+            integrity: self.reference.integrity_tally(),
             trace,
         }
     }
@@ -653,6 +701,12 @@ fn worker_loop(
     mut track: Option<TrackTrace>,
 ) -> (EsamSystem, BatchTally, Option<TrackTrace>) {
     let faults = config.fault_plan();
+    let integrity = config.integrity_mode();
+    // The quarantine rung only exists when self-checking produces the
+    // uncorrectable counts it keys on.
+    let mut health = integrity
+        .checks()
+        .then(|| HealthMonitor::new(config.health_policy()));
     let mut banked = template.clone();
     banked.reset_stats();
     let mut working = template.clone();
@@ -691,8 +745,14 @@ fn worker_loop(
         }
         // The bit-sliced block kernel has no hook for per-frame transient
         // faults and no per-request supervision boundary, so fault plans
-        // that can strike mid-batch force the per-request path.
-        if size >= FrameBlock::LANES && !faults.serve_active() && !faults.transient_active() {
+        // that can strike mid-batch force the per-request path — as does
+        // integrity checking, whose syndrome path rides the per-frame
+        // packed-row reads.
+        if size >= FrameBlock::LANES
+            && !faults.serve_active()
+            && !faults.transient_active()
+            && !integrity.checks()
+        {
             // Lane-width batch: advance all frames through the bit-sliced
             // block kernel (bit-identical to the per-request walk; the
             // kernel falls back internally when ineligible). Widths were
@@ -775,13 +835,22 @@ fn worker_loop(
                     // independent of which worker serves it, of batch
                     // composition, and of retries (a replayed request
                     // hits the same weight bits and reproduces the same
-                    // response bit-for-bit).
-                    working.infer_faulted(&request.frame, request.id)
+                    // response bit-for-bit). With integrity Off this is
+                    // exactly `infer_faulted` (oracle restore); with
+                    // checking on, the flips stay in and the SECDED
+                    // ladder recovers them.
+                    working.infer_checked(&request.frame, request.id)
                 }));
                 match run {
                     Ok(outcome) => {
+                        // Health reads the request's integrity delta off
+                        // the working clone *before* banking zeroes it.
+                        let verdict = health
+                            .as_mut()
+                            .map(|monitor| monitor.observe(&working.integrity_tally()));
                         banked.absorb_stats(&working);
                         working.reset_stats();
+                        let request_id = request.id;
                         let outcome =
                             outcome.map_err(|error| ServeError::Worker(error.to_string()));
                         faulted.failed += fulfil(
@@ -793,6 +862,19 @@ fn worker_loop(
                             &mut samples,
                             &mut TraceScope::over(track.as_mut()),
                         );
+                        if verdict == Some(HealthVerdict::Quarantine) {
+                            // The worker's arrays take too many
+                            // uncorrectable hits: drain it (its counters
+                            // are already banked, its ticket resolved)
+                            // and re-clone from the pristine template —
+                            // the same machinery that contains panics.
+                            faulted.quarantines += 1;
+                            if let Some(track) = track.as_mut() {
+                                track.instant("quarantine", [Some(("request", request_id)), None]);
+                            }
+                            working = template.clone();
+                            working.reset_stats();
+                        }
                     }
                     Err(_) => {
                         faulted.restarts += 1;
@@ -841,6 +923,7 @@ fn worker_loop(
         shared.retries += faulted.retries;
         shared.deadline_shed += faulted.deadline_shed;
         shared.worker_stalls += faulted.stalls;
+        shared.quarantines += faulted.quarantines;
         shared.last_done = Some(shared.last_done.map_or(done, |t| t.max(done)));
     }
     banked.absorb_stats(&working);
@@ -910,9 +993,19 @@ pub struct ServiceReport {
     pub deadline_shed: u64,
     /// Injected worker stalls served through (latency faults, not errors).
     pub worker_stalls: u64,
+    /// Workers drained and re-cloned from the pristine template because
+    /// their uncorrectable-event count crossed the [`HealthPolicy`]
+    /// limit (the last rung of the integrity ladder; zero unless
+    /// [`ServeConfig::integrity`] checking is on).
+    pub quarantines: u64,
     /// SRAM-domain fault injections folded from the worker pipelines
     /// (transient weight flips and membrane upsets actually applied).
     pub fault_tally: FaultTally,
+    /// SECDED integrity events folded from the worker pipelines:
+    /// corrected / detected-uncorrectable / silent read verdicts plus
+    /// the scrub pass's heals and golden reloads (all zero when
+    /// [`ServeConfig::integrity`] is [`IntegrityMode::Off`]).
+    pub integrity: IntegrityTally,
     /// The merged request-lifecycle trace (one track per worker; empty
     /// unless [`ServeConfig::trace`] enabled tracing). Not part of the
     /// textual report — export it with
@@ -983,6 +1076,17 @@ impl fmt::Display for ServiceReport {
                 self.worker_stalls,
                 self.fault_tally.weight_flips,
                 self.fault_tally.membrane_flips
+            )?;
+        }
+        if self.integrity.checked_reads > 0 || self.quarantines > 0 {
+            write!(
+                f,
+                "\nintegrity:   {} corrected, {} uncorrectable, {} silent over {} checked reads; {} quarantines",
+                self.integrity.corrected + self.integrity.scrub_corrected,
+                self.integrity.uncorrectable(),
+                self.integrity.silent,
+                self.integrity.checked_reads,
+                self.quarantines
             )?;
         }
         Ok(())

@@ -11,6 +11,7 @@
 use esam_bits::{BitMatrix, BitVec};
 
 use crate::config::ArrayConfig;
+use crate::ecc::{EccState, IntegrityMode, IntegrityTally, RowVerdict};
 use crate::energy::EnergyAnalysis;
 use crate::error::SramError;
 use crate::timing::TimingAnalysis;
@@ -69,6 +70,7 @@ pub struct SramArray {
     config: ArrayConfig,
     bits: BitMatrix,
     stats: AccessStats,
+    ecc: Option<EccState>,
 }
 
 impl SramArray {
@@ -79,6 +81,7 @@ impl SramArray {
             config,
             bits,
             stats: AccessStats::default(),
+            ecc: None,
         }
     }
 
@@ -117,13 +120,36 @@ impl SramArray {
             });
         }
         self.bits = weights.clone();
+        if let Some(ecc) = &mut self.ecc {
+            ecc.refresh_all(&self.bits);
+        }
         Ok(())
+    }
+
+    /// Enables SECDED protection: encodes one codeword sidecar per row from
+    /// the *current* contents (the spare-column check bits of a real
+    /// macro). Idempotent — re-enabling re-encodes from the current store.
+    pub fn enable_ecc(&mut self) {
+        self.ecc = Some(EccState::encode_matrix(&self.bits));
+    }
+
+    /// Drops the stored codewords (back to the unprotected baseline).
+    pub fn disable_ecc(&mut self) {
+        self.ecc = None;
+    }
+
+    /// Whether codewords are currently stored.
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc.is_some()
     }
 
     /// Inverts one stored bit in place — the fault layer's physical
     /// bit-flip primitive (a particle strike or stuck-at materialization,
     /// not a port access), so it is **not counted** in [`AccessStats`] and
-    /// needs no port. Flipping the same bit twice restores the cell.
+    /// needs no port. Flipping the same bit twice restores the cell. It
+    /// deliberately bypasses the SECDED codeword refresh: the strike
+    /// corrupts the cell *behind* the code's back, which is what the
+    /// syndrome check exists to catch.
     ///
     /// # Errors
     ///
@@ -231,6 +257,132 @@ impl SramArray {
         Ok(())
     }
 
+    /// Reads one row into caller-owned scratch with a word-parallel SECDED
+    /// syndrome check piggybacked on the packed-row read — the self-checking
+    /// form of [`read_row_counted_into`](Self::read_row_counted_into).
+    ///
+    /// Under [`IntegrityMode::Correct`] a located single-bit data error is
+    /// repaired in the *delivered* bits (`dst`); the stored row is healed
+    /// later by [`scrub_audited`](Self::scrub_audited). Under
+    /// [`IntegrityMode::Detect`] errors are counted but the raw bits are
+    /// delivered unchanged. Under [`IntegrityMode::Off`] (or with ECC never
+    /// enabled) this is exactly the unchecked read and reports
+    /// [`RowVerdict::Clean`].
+    ///
+    /// Zero-bit energy counting happens *before* correction: the read-
+    /// bitline discharge is driven by the stored (possibly corrupted)
+    /// cells; the repair is downstream logic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`read_row_counted_into`](Self::read_row_counted_into).
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_row_checked_into(
+        &self,
+        stats: &mut AccessStats,
+        tally: &mut IntegrityTally,
+        mode: IntegrityMode,
+        port: usize,
+        row: usize,
+        dst: &mut BitVec,
+    ) -> Result<RowVerdict, SramError> {
+        self.read_row_counted_into(stats, port, row, dst)?;
+        let ecc = match (mode.checks(), &self.ecc) {
+            (true, Some(ecc)) => ecc,
+            _ => return Ok(RowVerdict::Clean),
+        };
+        tally.checked_reads += 1;
+        let verdict = ecc.check_row(row, dst.words());
+        match verdict {
+            RowVerdict::Clean => {}
+            RowVerdict::CorrectedData(col) => {
+                tally.corrected += 1;
+                if mode == IntegrityMode::Correct {
+                    dst.set(col, !dst.get(col));
+                }
+            }
+            RowVerdict::CorrectedCheck => tally.corrected += 1,
+            RowVerdict::DetectedUncorrectable => tally.detected += 1,
+        }
+        Ok(verdict)
+    }
+
+    /// Background scrub pass with a golden audit.
+    ///
+    /// Under [`IntegrityMode::Correct`], walks every row: single-bit data
+    /// errors are healed in place (`scrub_corrected`), flipped check bits
+    /// re-encoded, and detected-uncorrectable rows reloaded from `golden`
+    /// (`scrub_reloaded`). A final content audit against `golden` catches
+    /// corruption the codeword could not see — counted as `silent` (SECDED
+    /// guarantees zero for ≤ 2 flipped bits per row) and also reloaded.
+    ///
+    /// Under [`IntegrityMode::Detect`], rows differing from `golden` are
+    /// reloaded without classification or counting — a frame-independence
+    /// restore, not an audit. Under [`IntegrityMode::Off`] this is a no-op.
+    ///
+    /// `golden` models the pristine off-chip weight image a real deployment
+    /// reloads from; it is never consulted on the read path.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::DimensionMismatch`] when `golden` does not match the
+    /// array shape.
+    pub fn scrub_audited(
+        &mut self,
+        golden: &BitMatrix,
+        mode: IntegrityMode,
+        tally: &mut IntegrityTally,
+    ) -> Result<(), SramError> {
+        if !mode.checks() {
+            return Ok(());
+        }
+        if golden.rows() != self.config.rows() || golden.cols() != self.config.cols() {
+            return Err(SramError::DimensionMismatch {
+                expected: self.config.rows() * self.config.cols(),
+                got: golden.rows() * golden.cols(),
+            });
+        }
+        for row in 0..self.config.rows() {
+            if mode == IntegrityMode::Detect {
+                if self.bits.row_words(row) != golden.row_words(row) {
+                    self.bits.set_row(row, &golden.row(row));
+                    if let Some(ecc) = &mut self.ecc {
+                        ecc.refresh_row(row, self.bits.row_words(row));
+                    }
+                }
+                continue;
+            }
+            if let Some(ecc) = &mut self.ecc {
+                match ecc.check_row(row, self.bits.row_words(row)) {
+                    RowVerdict::Clean => {}
+                    RowVerdict::CorrectedData(col) => {
+                        self.bits.flip(row, col);
+                        tally.scrub_corrected += 1;
+                    }
+                    RowVerdict::CorrectedCheck => {
+                        ecc.refresh_row(row, self.bits.row_words(row));
+                        tally.scrub_corrected += 1;
+                    }
+                    RowVerdict::DetectedUncorrectable => {
+                        self.bits.set_row(row, &golden.row(row));
+                        ecc.refresh_row(row, self.bits.row_words(row));
+                        tally.scrub_reloaded += 1;
+                    }
+                }
+            }
+            if self.bits.row_words(row) != golden.row_words(row) {
+                tally.silent += 1;
+                self.bits.set_row(row, &golden.row(row));
+                if let Some(ecc) = &mut self.ecc {
+                    ecc.refresh_row(row, self.bits.row_words(row));
+                }
+                tally.scrub_reloaded += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Reads a full weight column through the transposed port.
     ///
     /// Costs `mux_ratio` RW-port cycles (4 in the paper: §4.4.1's `2 × 4`
@@ -274,6 +426,11 @@ impl SramArray {
             });
         }
         self.bits.set_column(col, bits);
+        if let Some(ecc) = &mut self.ecc {
+            // A column write touches one bit of every row: re-encode all
+            // sidecars (the learning path is not read-latency critical).
+            ecc.refresh_all(&self.bits);
+        }
         self.stats.rw_write_cycles += self.config.mux_ratio() as u64;
         Ok(())
     }
@@ -326,6 +483,9 @@ impl SramArray {
             });
         }
         self.bits.set_row(row, bits);
+        if let Some(ecc) = &mut self.ecc {
+            ecc.refresh_row(row, self.bits.row_words(row));
+        }
         self.stats.rw_write_cycles += 1;
         Ok(())
     }
@@ -508,6 +668,195 @@ mod tests {
         let mut a = array(BitcellKind::multiport(1).unwrap());
         assert!(a.rowwise_read(0).is_err());
         assert!(a.rowwise_write(0, &BitVec::new(128)).is_err());
+    }
+
+    #[test]
+    fn checked_read_corrects_single_flips_and_detects_doubles() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&checkerboard()).unwrap();
+        a.enable_ecc();
+        assert!(a.ecc_enabled());
+        let mut stats = AccessStats::default();
+        let mut tally = IntegrityTally::default();
+        let mut dst = BitVec::new(128);
+
+        // Clean row: clean verdict, counted check, bits untouched.
+        let v = a
+            .read_row_checked_into(
+                &mut stats,
+                &mut tally,
+                IntegrityMode::Correct,
+                0,
+                7,
+                &mut dst,
+            )
+            .unwrap();
+        assert_eq!(v, RowVerdict::Clean);
+        assert_eq!(dst, checkerboard().row(7));
+        assert_eq!(tally.checked_reads, 1);
+
+        // Single-bit strike: Detect counts but delivers raw; Correct repairs.
+        a.flip_bit(7, 33).unwrap();
+        let v = a
+            .read_row_checked_into(
+                &mut stats,
+                &mut tally,
+                IntegrityMode::Detect,
+                0,
+                7,
+                &mut dst,
+            )
+            .unwrap();
+        assert_eq!(v, RowVerdict::CorrectedData(33));
+        assert_ne!(dst, checkerboard().row(7), "Detect delivers raw bits");
+        let v = a
+            .read_row_checked_into(
+                &mut stats,
+                &mut tally,
+                IntegrityMode::Correct,
+                0,
+                7,
+                &mut dst,
+            )
+            .unwrap();
+        assert_eq!(v, RowVerdict::CorrectedData(33));
+        assert_eq!(dst, checkerboard().row(7), "Correct repairs the read");
+        assert_eq!(tally.corrected, 2);
+
+        // Second strike in the same row: detected, not miscorrected.
+        a.flip_bit(7, 90).unwrap();
+        let v = a
+            .read_row_checked_into(
+                &mut stats,
+                &mut tally,
+                IntegrityMode::Correct,
+                0,
+                7,
+                &mut dst,
+            )
+            .unwrap();
+        assert_eq!(v, RowVerdict::DetectedUncorrectable);
+        assert_eq!(tally.detected, 1);
+
+        // Off mode: no check, no counting, raw delivery.
+        let before = tally;
+        let v = a
+            .read_row_checked_into(&mut stats, &mut tally, IntegrityMode::Off, 0, 7, &mut dst)
+            .unwrap();
+        assert_eq!(v, RowVerdict::Clean);
+        assert_eq!(tally, before);
+    }
+
+    #[test]
+    fn scrub_heals_the_store_and_audits_against_golden() {
+        let golden = checkerboard();
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&golden).unwrap();
+        a.enable_ecc();
+        a.flip_bit(3, 10).unwrap(); // single-bit: healable in place
+        a.flip_bit(5, 20).unwrap(); // double-bit: needs golden reload
+        a.flip_bit(5, 21).unwrap();
+        let mut tally = IntegrityTally::default();
+        a.scrub_audited(&golden, IntegrityMode::Correct, &mut tally)
+            .unwrap();
+        assert_eq!(*a.bits(), golden, "scrub restores the pristine image");
+        assert_eq!(tally.scrub_corrected, 1);
+        assert_eq!(tally.scrub_reloaded, 1);
+        assert_eq!(tally.silent, 0, "SECDED sees every <=2-bit upset");
+        // Store healed: subsequent checked reads are clean again.
+        let mut stats = AccessStats::default();
+        let mut dst = BitVec::new(128);
+        for row in [3usize, 5] {
+            let v = a
+                .read_row_checked_into(
+                    &mut stats,
+                    &mut tally,
+                    IntegrityMode::Correct,
+                    0,
+                    row,
+                    &mut dst,
+                )
+                .unwrap();
+            assert_eq!(v, RowVerdict::Clean, "row {row}");
+        }
+    }
+
+    #[test]
+    fn detect_scrub_restores_without_counting() {
+        let golden = checkerboard();
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&golden).unwrap();
+        a.enable_ecc();
+        a.flip_bit(0, 0).unwrap();
+        a.flip_bit(1, 1).unwrap();
+        a.flip_bit(1, 2).unwrap();
+        let mut tally = IntegrityTally::default();
+        a.scrub_audited(&golden, IntegrityMode::Detect, &mut tally)
+            .unwrap();
+        assert_eq!(*a.bits(), golden);
+        assert_eq!(tally, IntegrityTally::default(), "restore, not audit");
+        // Off mode never touches the store.
+        a.flip_bit(2, 2).unwrap();
+        a.scrub_audited(&golden, IntegrityMode::Off, &mut tally)
+            .unwrap();
+        assert_ne!(*a.bits(), golden);
+    }
+
+    #[test]
+    fn legitimate_writes_refresh_codewords() {
+        let mut a = array(BitcellKind::multiport(4).unwrap());
+        a.load_weights(&checkerboard()).unwrap();
+        a.enable_ecc();
+        // Transposed (learning) write changes one bit of every row; the
+        // sidecars must follow so the new content reads clean.
+        let column = BitVec::from_indices(128, &[0, 5, 77]);
+        a.transposed_write(64, &column).unwrap();
+        let mut stats = AccessStats::default();
+        let mut tally = IntegrityTally::default();
+        let mut dst = BitVec::new(128);
+        for row in 0..128 {
+            let v = a
+                .read_row_checked_into(
+                    &mut stats,
+                    &mut tally,
+                    IntegrityMode::Correct,
+                    0,
+                    row,
+                    &mut dst,
+                )
+                .unwrap();
+            assert_eq!(v, RowVerdict::Clean, "row {row}");
+        }
+        // Bulk reload also re-encodes.
+        a.flip_bit(9, 9).unwrap();
+        a.load_weights(&checkerboard()).unwrap();
+        let v = a
+            .read_row_checked_into(
+                &mut stats,
+                &mut tally,
+                IntegrityMode::Correct,
+                0,
+                9,
+                &mut dst,
+            )
+            .unwrap();
+        assert_eq!(v, RowVerdict::Clean);
+        // And the 6T row-wise learning write on its own array kind.
+        let mut a6 = array(BitcellKind::Std6T);
+        a6.enable_ecc();
+        a6.rowwise_write(4, &BitVec::from_indices(128, &[1, 2]))
+            .unwrap();
+        let v = a6
+            .read_row_checked_into(
+                &mut stats,
+                &mut tally,
+                IntegrityMode::Correct,
+                0,
+                4,
+                &mut dst,
+            )
+            .unwrap();
+        assert_eq!(v, RowVerdict::Clean);
     }
 
     #[test]

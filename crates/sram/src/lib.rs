@@ -41,6 +41,7 @@
 pub mod array;
 pub mod cell;
 pub mod config;
+pub mod ecc;
 pub mod energy;
 pub mod error;
 pub mod lines;
@@ -51,6 +52,7 @@ pub mod timing;
 pub use array::{AccessStats, SramArray};
 pub use cell::{BitcellKind, Orientation, MAX_READ_PORTS};
 pub use config::{ArrayConfig, ArrayConfigBuilder};
+pub use ecc::{EccState, IntegrityMode, IntegrityTally, RowVerdict, SecdedCode};
 pub use energy::EnergyAnalysis;
 pub use error::SramError;
 pub use lines::{ArrayGeometry, LineKind, LineParasitics};

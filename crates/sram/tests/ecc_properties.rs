@@ -1,0 +1,154 @@
+//! Property tests for the SECDED code: the single-error-correct /
+//! double-error-detect guarantees, and equivalence of the word-parallel
+//! syndrome path with the scalar bit-by-bit reference.
+
+use esam_bits::BitVec;
+use esam_sram::{RowVerdict, SecdedCode};
+use proptest::prelude::*;
+
+/// A random row of `width` bits driven by one seed word.
+fn row(width: usize, seed: u64) -> BitVec {
+    let mut v = BitVec::new(width);
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for i in 0..width {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        if x & 1 == 1 {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+/// Row widths spanning word boundaries up to the paper's 128 columns, with
+/// the boundary cases themselves visited often.
+fn widths() -> impl Strategy<Value = usize> {
+    any::<u64>().prop_map(|w| match w % 8 {
+        0 => 1,
+        1 => 63,
+        2 => 64,
+        3 => 65,
+        4 => 127,
+        5 => 128,
+        _ => 1 + (w >> 3) as usize % 128,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn word_parallel_encode_matches_scalar_reference(
+        width in widths(),
+        seed in any::<u64>(),
+    ) {
+        let code = SecdedCode::new(width);
+        let data = row(width, seed);
+        prop_assert_eq!(code.encode(data.words()), code.encode_reference(&data));
+    }
+
+    #[test]
+    fn word_parallel_syndrome_matches_scalar_reference(
+        width in widths(),
+        seed in any::<u64>(),
+        strike in any::<u64>(),
+    ) {
+        let code = SecdedCode::new(width);
+        let mut data = row(width, seed);
+        let sidecar = code.encode(data.words());
+        // Strike 0–2 data bits so all verdict classes are exercised.
+        let flips = (strike % 3) as usize;
+        for f in 0..flips {
+            let col = ((strike >> (8 * (f + 1))) as usize + f * 31) % width;
+            data.set(col, !data.get(col));
+        }
+        prop_assert_eq!(
+            code.syndrome(data.words(), sidecar),
+            code.syndrome_reference(&data, sidecar)
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected(
+        width in widths(),
+        seed in any::<u64>(),
+    ) {
+        let code = SecdedCode::new(width);
+        let data = row(width, seed);
+        let sidecar = code.encode(data.words());
+        // Every data-bit flip is located at its exact column.
+        for col in 0..width {
+            let mut struck = data.clone();
+            struck.set(col, !struck.get(col));
+            let (s, p) = code.syndrome(struck.words(), sidecar);
+            prop_assert_eq!(
+                code.classify(s, p),
+                RowVerdict::CorrectedData(col),
+                "width {} col {}",
+                width,
+                col
+            );
+        }
+        // Every sidecar-bit flip (check bits + overall parity) leaves the
+        // data intact and says so.
+        for bit in 0..=code.check_bits() {
+            let (s, p) = code.syndrome(data.words(), sidecar ^ (1 << bit));
+            prop_assert_eq!(code.classify(s, p), RowVerdict::CorrectedCheck);
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected_not_miscorrected(
+        width in widths(),
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        prop_assume!(width >= 2);
+        let code = SecdedCode::new(width);
+        let data = row(width, seed);
+        let sidecar = code.encode(data.words());
+        // Two distinct data-bit flips.
+        let a = (pick as usize) % width;
+        let b = {
+            let cand = ((pick >> 17) as usize) % width;
+            if cand == a { (cand + 1) % width } else { cand }
+        };
+        let mut struck = data.clone();
+        struck.set(a, !struck.get(a));
+        struck.set(b, !struck.get(b));
+        let (s, p) = code.syndrome(struck.words(), sidecar);
+        prop_assert_eq!(code.classify(s, p), RowVerdict::DetectedUncorrectable);
+        // One data flip + one sidecar flip is also a double error.
+        let mut one = data.clone();
+        one.set(a, !one.get(a));
+        let bit = ((pick >> 33) as usize) % (code.check_bits() + 1);
+        let (s, p) = code.syndrome(one.words(), sidecar ^ (1 << bit));
+        prop_assert_eq!(code.classify(s, p), RowVerdict::DetectedUncorrectable);
+        // Two sidecar flips likewise.
+        let other = (bit + 1) % (code.check_bits() + 1);
+        let (s, p) = code.syndrome(data.words(), sidecar ^ (1 << bit) ^ (1 << other));
+        prop_assert_eq!(code.classify(s, p), RowVerdict::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn correction_round_trips_to_the_original_row(
+        width in widths(),
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let code = SecdedCode::new(width);
+        let data = row(width, seed);
+        let sidecar = code.encode(data.words());
+        let col = (pick as usize) % width;
+        let mut struck = data.clone();
+        struck.set(col, !struck.get(col));
+        let (s, p) = code.syndrome(struck.words(), sidecar);
+        if let RowVerdict::CorrectedData(located) = code.classify(s, p) {
+            struck.set(located, !struck.get(located));
+            prop_assert_eq!(struck, data);
+        } else {
+            prop_assert!(false, "single data flip must be located");
+        }
+    }
+}
